@@ -1,0 +1,146 @@
+// Package repro's root benchmark harness regenerates every table and figure
+// of the paper's evaluation as testing.B benchmarks:
+//
+//	go test -bench=. -benchmem
+//
+// Each benchmark prints the reproduced table (once) and measures the time
+// to regenerate it. Strategy runs are cached in a shared environment, so a
+// figure that reuses an earlier counterfactual (e.g. the oracle run) is
+// cheap after its first computation — exactly how the viabench CLI behaves.
+//
+// Environment knobs:
+//
+//	VIABENCH_CALLS  trace size (default 120000)
+//	VIABENCH_SEED   master seed (default 1)
+//	VIABENCH_FIG18  quick | full | skip (default quick)
+package repro
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"sync"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+var (
+	benchMu   sync.Mutex
+	benchEnvV *experiments.Env
+	printed   = map[string]bool{}
+)
+
+func benchEnv(b *testing.B) *experiments.Env {
+	b.Helper()
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if benchEnvV == nil {
+		seed := envUint("VIABENCH_SEED", 1)
+		calls := envInt("VIABENCH_CALLS", 120000)
+		fmt.Printf("[bench env: seed=%d calls=%d]\n", seed, calls)
+		benchEnvV = experiments.NewEnv(seed, calls)
+	}
+	return benchEnvV
+}
+
+func envInt(key string, def int) int {
+	if s := os.Getenv(key); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return def
+}
+
+func envUint(key string, def uint64) uint64 {
+	if s := os.Getenv(key); s != "" {
+		if v, err := strconv.ParseUint(s, 10, 64); err == nil {
+			return v
+		}
+	}
+	return def
+}
+
+// runExperiment executes one registered experiment, printing its tables the
+// first time it runs in this process.
+func runExperiment(b *testing.B, name string) {
+	b.Helper()
+	env := benchEnv(b)
+	exp, err := experiments.Lookup(name)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables := exp.Run(env)
+		b.StopTimer()
+		benchMu.Lock()
+		if !printed[name] {
+			printed[name] = true
+			for _, t := range tables {
+				fmt.Println(t.String())
+			}
+		}
+		benchMu.Unlock()
+		b.StartTimer()
+	}
+}
+
+func BenchmarkTable1(b *testing.B)             { runExperiment(b, "table1") }
+func BenchmarkFig1(b *testing.B)               { runExperiment(b, "fig1") }
+func BenchmarkFig2(b *testing.B)               { runExperiment(b, "fig2") }
+func BenchmarkFig3(b *testing.B)               { runExperiment(b, "fig3") }
+func BenchmarkFig4(b *testing.B)               { runExperiment(b, "fig4") }
+func BenchmarkFig5(b *testing.B)               { runExperiment(b, "fig5") }
+func BenchmarkFig6(b *testing.B)               { runExperiment(b, "fig6") }
+func BenchmarkFig8(b *testing.B)               { runExperiment(b, "fig8") }
+func BenchmarkFig9(b *testing.B)               { runExperiment(b, "fig9") }
+func BenchmarkFig12a(b *testing.B)             { runExperiment(b, "fig12a") }
+func BenchmarkFig12b(b *testing.B)             { runExperiment(b, "fig12b") }
+func BenchmarkOptionMix(b *testing.B)          { runExperiment(b, "mix") }
+func BenchmarkFig13(b *testing.B)              { runExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B)              { runExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B)              { runExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B)              { runExperiment(b, "fig16") }
+func BenchmarkFig17a(b *testing.B)             { runExperiment(b, "fig17a") }
+func BenchmarkFig17b(b *testing.B)             { runExperiment(b, "fig17b") }
+func BenchmarkFig17c(b *testing.B)             { runExperiment(b, "fig17c") }
+func BenchmarkTomographyAccuracy(b *testing.B) { runExperiment(b, "tomo") }
+func BenchmarkActiveProbes(b *testing.B)       { runExperiment(b, "probes") }
+func BenchmarkMOSValidation(b *testing.B)      { runExperiment(b, "mos") }
+func BenchmarkMOSImprovement(b *testing.B)     { runExperiment(b, "mosgain") }
+func BenchmarkCoordinates(b *testing.B)        { runExperiment(b, "coords") }
+func BenchmarkDecisionCaching(b *testing.B)    { runExperiment(b, "cache") }
+func BenchmarkBudgetModels(b *testing.B)       { runExperiment(b, "budgetmodels") }
+
+// BenchmarkFig18 runs the real-networking deployment (§5.5). It uses real
+// sockets, timers, and wall-clock pacing, so its "time/op" is dominated by
+// configured link delays, not CPU.
+func BenchmarkFig18(b *testing.B) {
+	mode := os.Getenv("VIABENCH_FIG18")
+	if mode == "skip" {
+		b.Skip("VIABENCH_FIG18=skip")
+	}
+	cfg := experiments.QuickFig18Config()
+	if mode == "full" {
+		cfg = experiments.DefaultFig18Config()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tables, err := experiments.Fig18(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StopTimer()
+		benchMu.Lock()
+		if !printed["fig18"] {
+			printed["fig18"] = true
+			for _, t := range tables {
+				fmt.Println(t.String())
+			}
+		}
+		benchMu.Unlock()
+		b.StartTimer()
+	}
+}

@@ -1,0 +1,98 @@
+// Command viabench regenerates the paper's tables and figures from the
+// synthetic substrate.
+//
+// Usage:
+//
+//	viabench [flags] all            run every trace-driven experiment
+//	viabench [flags] <name>...      run specific experiments (see -list)
+//	viabench [flags] fig18          run the loopback deployment (§5.5)
+//	viabench -list                  list experiment names
+//
+// Flags:
+//
+//	-seed N     master seed (default 1)
+//	-calls N    trace size in calls (default 200000)
+//	-csv        also emit CSV after each table
+//	-quick      shrink fig18 to smoke-test scale
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "master seed")
+	calls := flag.Int("calls", 200000, "trace size in calls")
+	csv := flag.Bool("csv", false, "also emit CSV")
+	quick := flag.Bool("quick", false, "shrink fig18 to smoke scale")
+	list := flag.Bool("list", false, "list experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.Registry() {
+			fmt.Printf("%-8s %s\n", e.Name, e.Desc)
+		}
+		fmt.Printf("%-8s %s\n", "fig18", "real-networking deployment (§5.5)")
+		return
+	}
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: viabench [flags] all | fig18 | <experiment>... (use -list)")
+		os.Exit(2)
+	}
+
+	names := args
+	if len(args) == 1 && args[0] == "all" {
+		names = nil
+		for _, e := range experiments.Registry() {
+			names = append(names, e.Name)
+		}
+		names = append(names, "fig18")
+	}
+
+	var env *experiments.Env
+	for _, name := range names {
+		start := time.Now()
+		if name == "fig18" {
+			cfg := experiments.DefaultFig18Config()
+			if *quick {
+				cfg = experiments.QuickFig18Config()
+			}
+			cfg.Seed = *seed + 10
+			tables, err := experiments.Fig18(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "fig18: %v\n", err)
+				os.Exit(1)
+			}
+			emit(tables, *csv)
+			fmt.Printf("[fig18 done in %s]\n\n", time.Since(start).Round(time.Millisecond))
+			continue
+		}
+		exp, err := experiments.Lookup(name)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(2)
+		}
+		if env == nil {
+			fmt.Printf("[building environment: seed=%d calls=%d]\n", *seed, *calls)
+			env = experiments.NewEnv(*seed, *calls)
+		}
+		emit(exp.Run(env), *csv)
+		fmt.Printf("[%s done in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+func emit(tables []*stats.Table, csv bool) {
+	for _, t := range tables {
+		fmt.Println(t.String())
+		if csv {
+			fmt.Println(t.CSV())
+		}
+	}
+}

@@ -1,0 +1,87 @@
+// Command viactl runs the Via controller: the central service that ingests
+// per-call measurement reports from clients and answers relay-selection
+// queries using prediction-guided exploration (§3.1, Figure 7).
+//
+// Usage:
+//
+//	viactl -addr :8080 -metric rtt
+//
+// Relays register with POST /v1/relays/register; clients call POST
+// /v1/choose and POST /v1/report. GET /v1/stats reports counters.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/quality"
+)
+
+func main() {
+	addr := flag.String("addr", "127.0.0.1:8080", "HTTP listen address")
+	metric := flag.String("metric", "rtt", "metric to optimize: rtt, loss, jitter")
+	budget := flag.Float64("budget", 1.0, "max fraction of calls relayed (1 = unconstrained)")
+	timescale := flag.Float64("timescale", 0, "virtual hours per wall second (0 = real time)")
+	seed := flag.Uint64("seed", 1, "strategy seed")
+	state := flag.String("state", "", "history snapshot file: loaded at start, saved on SIGINT")
+	flag.Parse()
+
+	var m quality.Metric
+	switch *metric {
+	case "rtt":
+		m = quality.RTT
+	case "loss":
+		m = quality.Loss
+	case "jitter":
+		m = quality.Jitter
+	default:
+		log.Fatalf("unknown metric %q (want rtt, loss, or jitter)", *metric)
+	}
+
+	cfg := core.DefaultViaConfig(m)
+	cfg.Budget = *budget
+	cfg.Seed = *seed
+	strat := core.NewVia(cfg, nil)
+
+	if *state != "" {
+		if f, err := os.Open(*state); err == nil {
+			if err := strat.LoadHistory(f); err != nil {
+				log.Fatalf("load state: %v", err)
+			}
+			f.Close()
+			fmt.Printf("restored history from %s\n", *state)
+		} else if !os.IsNotExist(err) {
+			log.Fatalf("open state: %v", err)
+		}
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt)
+		go func() {
+			<-sig
+			f, err := os.Create(*state)
+			if err == nil {
+				err = strat.SaveHistory(f)
+				f.Close()
+			}
+			if err != nil {
+				log.Printf("save state: %v", err)
+			} else {
+				fmt.Printf("\nsaved history to %s\n", *state)
+			}
+			os.Exit(0)
+		}()
+	}
+
+	srv := controller.New(controller.Config{
+		Strategy:  strat,
+		TimeScale: *timescale,
+	})
+
+	fmt.Printf("via controller listening on %s (metric=%s budget=%.2f)\n", *addr, m, *budget)
+	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+}

@@ -1,0 +1,81 @@
+// Command viarelay runs one managed-overlay relay node: a UDP forwarder
+// that registers itself with the controller and forwards media frames along
+// their source routes (bounce and transit paths, §3.1).
+//
+// Usage:
+//
+//	viarelay -id 3 -addr :9003 -controller http://ctrl:8080
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/netsim"
+	"repro/internal/relay"
+)
+
+func main() {
+	id := flag.Int("id", 0, "relay id")
+	addr := flag.String("addr", "127.0.0.1:0", "UDP listen address")
+	ctrl := flag.String("controller", "", "controller base URL (optional)")
+	advertise := flag.String("advertise", "", "address to register with the controller (default: bound address)")
+	heartbeat := flag.Duration("heartbeat", 15*time.Second, "re-registration interval (liveness)")
+	flag.Parse()
+
+	conn, err := net.ListenPacket("udp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	node := relay.New(netsim.RelayID(*id), conn)
+	fmt.Printf("relay %d forwarding on %s\n", *id, node.Addr())
+
+	if *ctrl != "" {
+		reg := *advertise
+		if reg == "" {
+			reg = node.Addr().String()
+		}
+		cc := controller.NewClient(*ctrl)
+		if err := cc.RegisterRelay(netsim.RelayID(*id), reg); err != nil {
+			log.Fatalf("register: %v", err)
+		}
+		fmt.Printf("registered with controller %s as %s\n", *ctrl, reg)
+		// Heartbeat: re-registration keeps the relay in the directory; a
+		// crashed relay silently ages out of it (controller RelayTTL).
+		go func() {
+			t := time.NewTicker(*heartbeat)
+			defer t.Stop()
+			for range t.C {
+				if err := cc.RegisterRelay(netsim.RelayID(*id), reg); err != nil {
+					log.Printf("heartbeat: %v", err)
+				}
+			}
+		}()
+	}
+
+	go func() {
+		t := time.NewTicker(30 * time.Second)
+		defer t.Stop()
+		for range t.C {
+			p, b, d := node.Stats()
+			fmt.Printf("relay %d: %d packets, %d bytes, %d dropped, %d sessions\n",
+				*id, p, b, d, node.Sessions())
+		}
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt)
+	go func() {
+		<-sig
+		node.Close()
+	}()
+	if err := node.Serve(); err != nil {
+		log.Fatalf("serve: %v", err)
+	}
+}

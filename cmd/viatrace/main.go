@@ -1,0 +1,122 @@
+// Command viatrace generates, inspects, and summarizes synthetic call
+// traces — the dataset artifacts the experiments consume.
+//
+// Usage:
+//
+//	viatrace generate -calls 200000 -o trace.csv     # freeze a workload
+//	viatrace stats trace.csv                         # Table 1-style summary
+//	viatrace head -n 5 trace.csv                     # peek at records
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/netsim"
+	"repro/internal/quality"
+	"repro/internal/trace"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		log.Fatal("usage: viatrace generate|stats|head [flags] [file]")
+	}
+	switch os.Args[1] {
+	case "generate":
+		generate(os.Args[2:])
+	case "stats":
+		statsCmd(os.Args[2:])
+	case "head":
+		head(os.Args[2:])
+	default:
+		log.Fatalf("unknown subcommand %q", os.Args[1])
+	}
+}
+
+func generate(args []string) {
+	fs := flag.NewFlagSet("generate", flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "world seed (trace seed is seed+1)")
+	calls := fs.Int("calls", 200000, "number of calls")
+	days := fs.Int("days", 28, "trace length in days")
+	out := fs.String("o", "", "output file (default stdout)")
+	fs.Parse(args)
+
+	w := netsim.New(netsim.DefaultConfig(*seed))
+	cfg := trace.DefaultConfig(*seed+1, *calls)
+	cfg.Days = *days
+	recs := trace.NewGenerator(w, cfg).GenerateSlice()
+
+	dst := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		dst = f
+	}
+	if err := trace.WriteCSV(dst, recs); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "wrote %d calls (%d days, seed %d)\n", len(recs), *days, *seed)
+}
+
+func load(path string) []trace.CallRecord {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := trace.ReadCSV(f)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return recs
+}
+
+func statsCmd(args []string) {
+	fs := flag.NewFlagSet("stats", flag.ExitOnError)
+	seed := fs.Uint64("seed", 1, "world seed the trace was generated with")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatal("usage: viatrace stats [-seed N] trace.csv")
+	}
+	recs := load(fs.Arg(0))
+	w := netsim.New(netsim.DefaultConfig(*seed))
+	s := trace.Summarize(w, recs)
+	fmt.Printf("calls:          %d\n", s.Calls)
+	fmt.Printf("users:          %d\n", s.Users)
+	fmt.Printf("ases:           %d\n", s.ASes)
+	fmt.Printf("countries:      %d\n", s.Countries)
+	fmt.Printf("days:           %.1f\n", s.Days)
+	fmt.Printf("international:  %.1f%%\n", 100*s.International)
+	fmt.Printf("inter-as:       %.1f%%\n", 100*s.InterAS)
+	fmt.Printf("rated:          %.1f%%\n", 100*s.Rated)
+	var pnr quality.PNR
+	for _, c := range recs {
+		pnr.Add(c.Metrics)
+	}
+	fmt.Printf("PNR rtt/loss/jitter/any: %.1f%% / %.1f%% / %.1f%% / %.1f%%\n",
+		100*pnr.Rate(quality.RTT), 100*pnr.Rate(quality.Loss),
+		100*pnr.Rate(quality.Jitter), 100*pnr.AtLeastOneBadRate())
+}
+
+func head(args []string) {
+	fs := flag.NewFlagSet("head", flag.ExitOnError)
+	n := fs.Int("n", 10, "records to print")
+	fs.Parse(args)
+	if fs.NArg() != 1 {
+		log.Fatal("usage: viatrace head [-n N] trace.csv")
+	}
+	recs := load(fs.Arg(0))
+	if *n > len(recs) {
+		*n = len(recs)
+	}
+	for _, c := range recs[:*n] {
+		fmt.Printf("#%d t=%.2fh %d->%d via %v rtt=%.1fms loss=%.2f%% jitter=%.1fms dur=%.0fs rating=%d\n",
+			c.ID, c.THours, c.Src, c.Dst, c.Option,
+			c.Metrics.RTTMs, 100*c.Metrics.LossRate, c.Metrics.JitterMs, c.Duration, c.Rating)
+	}
+}

@@ -1,0 +1,46 @@
+// Budget demonstrates §4.6: relaying under a budget. Budget-aware Via
+// relays a call only when its predicted benefit is within the top
+// B-percentile of historical benefits; budget-unaware Via relays
+// first-come-first-served until the cap. The aware variant gets most of the
+// benefit at a fraction of the budget.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/via"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "environment seed")
+	calls := flag.Int("calls", 80000, "calls in the trace")
+	flag.Parse()
+
+	world := via.NewWorld(*seed)
+	trace := via.GenerateTrace(world, *seed+1, *calls)
+	simr := via.NewSimulator(world, via.DefaultSimulatorConfig(*seed+2))
+	simr.Prepare(trace)
+
+	def := simr.RunOne(via.NewDefault(), trace)
+	base := def.PNR.AtLeastOneBadRate()
+	fmt.Printf("default: at-least-one-bad PNR %.2f%%\n\n", 100*base)
+
+	fmt.Printf("%-8s %22s %22s\n", "budget", "budget-aware", "budget-unaware")
+	fmt.Printf("%-8s %10s %11s %10s %11s\n", "", "PNR red.", "relayed", "PNR red.", "relayed")
+	for _, b := range []float64{0.1, 0.2, 0.3, 0.5, 1.0} {
+		row := fmt.Sprintf("%-8.0f%%", b*100)
+		for _, aware := range []bool{true, false} {
+			cfg := via.DefaultSelectorConfig(via.RTT)
+			cfg.Budget = b
+			cfg.BudgetAware = aware
+			res := simr.RunOne(via.NewSelector(cfg, world), trace)
+			row += fmt.Sprintf(" %9.1f%% %10.1f%%",
+				via.Reduction(base, res.PNR.AtLeastOneBadRate()),
+				100*res.RelayedFraction())
+		}
+		fmt.Println(row)
+	}
+	fmt.Println("\nThe paper's Fig 16: budget-aware reaches about half the full benefit")
+	fmt.Println("with only 30% of calls relayed, and dominates budget-unaware throughout.")
+}

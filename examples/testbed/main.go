@@ -1,0 +1,32 @@
+// Testbed reproduces the §5.5 controlled deployment on loopback: a real
+// controller (HTTP), real relay nodes and call agents (UDP), media streams
+// with RFC 3550 measurement, and WAN impairment standing in for the
+// Internet. It prints the Fig. 18 suboptimality summary.
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/via"
+)
+
+func main() {
+	full := flag.Bool("full", false, "run the full 18-pair deployment (slower)")
+	flag.Parse()
+
+	scale := via.DeploymentQuick
+	if *full {
+		scale = via.DeploymentFull
+		fmt.Println("Running the full 18-pair deployment; this takes a few minutes...")
+	} else {
+		fmt.Println("Running the quick deployment (use -full for the paper-scale run)...")
+	}
+	tables, err := via.RunDeploymentExperiment(scale)
+	if err != nil {
+		panic(err)
+	}
+	for _, t := range tables {
+		fmt.Println(t.String())
+	}
+}

@@ -1,0 +1,29 @@
+// Tracestudy reruns the paper's §2 measurement study on a synthetic trace:
+// how network performance relates to user experience (Fig. 1), how much of
+// the call population is beyond the poor-performance thresholds (Fig. 2),
+// and how poor performance splits across call classes (Fig. 4).
+package main
+
+import (
+	"flag"
+	"fmt"
+
+	"repro/via"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 1, "environment seed")
+	calls := flag.Int("calls", 100000, "calls in the trace")
+	flag.Parse()
+
+	env := via.NewExperimentEnv(*seed, *calls)
+	for _, name := range []string{"table1", "fig1", "fig2", "fig4", "fig5", "fig6"} {
+		tables, err := via.RunExperiment(env, name)
+		if err != nil {
+			panic(err)
+		}
+		for _, t := range tables {
+			fmt.Println(t.String())
+		}
+	}
+}

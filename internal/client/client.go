@@ -1,0 +1,558 @@
+// Package client implements the testbed call agent: the instrumented-Skype
+// stand-in of §5.5. An agent plays both roles — caller (streams RTP-style
+// media through the relaying option under test and collects RTT samples
+// from echoed receiver reports) and callee (measures loss and RFC 3550
+// jitter on arriving media and feeds them back through the reverse relay
+// route). The resulting call-average metric triple is exactly what the
+// production clients push to the controller.
+package client
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/quality"
+	"repro/internal/rtp"
+	"repro/internal/stats"
+	"repro/internal/transport"
+)
+
+// Agent is one endpoint.
+type Agent struct {
+	group int32 // the agent's AS-analogue group id
+	conn  net.PacketConn
+
+	mu       sync.Mutex
+	relays   map[netsim.RelayID]*net.UDPAddr
+	outgoing map[uint64]*outCall
+	incoming map[uint64]*inCall
+	closed   bool
+	rng      *stats.RNG
+
+	wg sync.WaitGroup
+}
+
+// outCall is caller-side per-call state.
+type outCall struct {
+	mu     sync.Mutex
+	flow   rtp.FlowStats
+	lastRR *rtp.ReceiverReport
+}
+
+// inCall is callee-side per-call state.
+type inCall struct {
+	mu        sync.Mutex
+	flow      rtp.FlowStats
+	reply     []*net.UDPAddr
+	pkts      int64
+	lastSend  int64 // SendNanos of most recent media packet
+	lastArrNs int64 // its arrival time
+	streaming bool  // a duplex return stream is running
+}
+
+// rrEvery is how often (in media packets) the callee emits a report.
+const rrEvery = 5
+
+// Media payload types: ptSimplex is ordinary one-way media; ptDuplex asks
+// the callee to stream media back over the reverse route.
+const (
+	ptSimplex = 111
+	ptDuplex  = 112
+)
+
+// New builds an agent on conn (typically a wan.Shaper) and starts its
+// receive loop.
+func New(group int32, conn net.PacketConn, seed uint64) *Agent {
+	a := &Agent{
+		group:    group,
+		conn:     conn,
+		relays:   make(map[netsim.RelayID]*net.UDPAddr),
+		outgoing: make(map[uint64]*outCall),
+		incoming: make(map[uint64]*inCall),
+		rng:      stats.NewRNG(seed).Split("agent"),
+	}
+	a.wg.Add(1)
+	go a.readLoop()
+	return a
+}
+
+// Group returns the agent's group id.
+func (a *Agent) Group() int32 { return a.group }
+
+// Addr returns the agent's media address.
+func (a *Agent) Addr() *net.UDPAddr { return a.conn.LocalAddr().(*net.UDPAddr) }
+
+// SetRelays installs the relay directory (from the controller).
+func (a *Agent) SetRelays(dir map[netsim.RelayID]string) error {
+	m := make(map[netsim.RelayID]*net.UDPAddr, len(dir))
+	for id, addr := range dir {
+		ua, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			return fmt.Errorf("client: relay %d addr %q: %w", id, addr, err)
+		}
+		m[id] = ua
+	}
+	a.mu.Lock()
+	a.relays = m
+	a.mu.Unlock()
+	return nil
+}
+
+// Close shuts the agent down.
+func (a *Agent) Close() error {
+	a.mu.Lock()
+	if a.closed {
+		a.mu.Unlock()
+		return nil
+	}
+	a.closed = true
+	a.mu.Unlock()
+	err := a.conn.Close()
+	a.wg.Wait()
+	return err
+}
+
+// CallSpec describes one call to place.
+type CallSpec struct {
+	Peer     *net.UDPAddr
+	Option   netsim.Option
+	Duration time.Duration
+	// PPS is the media packet rate (default 50 — 20ms frames).
+	PPS int
+	// PayloadBytes is the media payload size (default 160, G.711 20ms).
+	PayloadBytes int
+	// Duplex asks the callee to stream media back over the reverse route
+	// for the duration of the call, so both directions are measured (real
+	// calls are two-way; the paper's metrics are round-trip/average).
+	Duplex bool
+}
+
+// ErrNoFeedback reports a call that received no receiver reports — the
+// path was completely dead.
+var ErrNoFeedback = errors.New("client: no receiver reports (path dead?)")
+
+// Call streams media to the peer through the given relaying option for the
+// spec's duration and returns the measured call-average metrics.
+func (a *Agent) Call(spec CallSpec) (quality.Metrics, error) {
+	if spec.PPS <= 0 {
+		spec.PPS = 50
+	}
+	if spec.PayloadBytes < 8 {
+		spec.PayloadBytes = 160
+	}
+	if spec.Duration <= 0 {
+		spec.Duration = time.Second
+	}
+	sendTo, route, reply, err := a.routes(spec.Option, spec.Peer)
+	if err != nil {
+		return quality.Metrics{}, err
+	}
+
+	session := a.newSession()
+	oc := &outCall{}
+	a.mu.Lock()
+	a.outgoing[session] = oc
+	a.mu.Unlock()
+	defer func() {
+		a.mu.Lock()
+		delete(a.outgoing, session)
+		a.mu.Unlock()
+	}()
+
+	var f transport.Frame
+	f.Session = session
+	f.Kind = transport.KindMedia
+	if err := f.SetRoute(route); err != nil {
+		return quality.Metrics{}, err
+	}
+	if err := f.SetReply(reply); err != nil {
+		return quality.Metrics{}, err
+	}
+
+	interval := time.Second / time.Duration(spec.PPS)
+	total := int(spec.Duration / interval)
+	if total < 2 {
+		total = 2
+	}
+	payload := make([]byte, spec.PayloadBytes)
+	ssrc := uint32(session)
+	buf := make([]byte, 0, 1500)
+
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+	tsStep := uint32(rtp.ClockRate / spec.PPS)
+	for i := 0; i < total; i++ {
+		pt := uint8(ptSimplex)
+		if spec.Duplex {
+			pt = ptDuplex
+		}
+		pkt := rtp.Packet{
+			PayloadType: pt,
+			Seq:         uint16(i),
+			Timestamp:   uint32(i) * tsStep,
+			SSRC:        ssrc,
+			Payload:     payload,
+		}
+		putNanos(payload, time.Now().UnixNano())
+		f.Payload = pkt.Marshal(buf[:0])
+		// The frame wraps the RTP packet; reuse buffers to avoid churn.
+		wire := f.Marshal(nil)
+		if _, err := a.conn.WriteTo(wire, sendTo); err != nil {
+			return quality.Metrics{}, err
+		}
+		if i < total-1 {
+			<-ticker.C
+		}
+	}
+
+	// Wait for the last reports to come home. The path may be slow (high
+	// one-way delay) or lossy, so poll: finish early once a report covers
+	// the final packet, or once reports stop making progress.
+	deadline := time.Now().Add(4*interval + 2500*time.Millisecond)
+	var lastSeen uint32
+	lastProgress := time.Now()
+	for time.Now().Before(deadline) {
+		time.Sleep(40 * time.Millisecond)
+		oc.mu.Lock()
+		rr := oc.lastRR
+		oc.mu.Unlock()
+		if rr == nil {
+			continue
+		}
+		if rr.HighestSeq >= uint32(total-1) {
+			break
+		}
+		if rr.HighestSeq != lastSeen {
+			lastSeen = rr.HighestSeq
+			lastProgress = time.Now()
+		} else if time.Since(lastProgress) > 500*time.Millisecond {
+			break // tail packets lost; no more reports coming
+		}
+	}
+
+	oc.mu.Lock()
+	defer oc.mu.Unlock()
+	if oc.lastRR == nil {
+		return quality.Metrics{}, ErrNoFeedback
+	}
+	m := quality.Metrics{
+		JitterMs: float64(oc.lastRR.JitterMicros) / 1000,
+	}
+	expected := uint64(oc.lastRR.HighestSeq) + 1
+	if expected > 0 {
+		lost := float64(oc.lastRR.CumLost)
+		// Packets sent after the highest one the receiver saw are unknown,
+		// not lost; rate over the receiver's observed span.
+		m.LossRate = lost / float64(expected)
+	}
+	if fm := oc.flow.Metrics(); fm.RTTMs > 0 {
+		m.RTTMs = fm.RTTMs
+	}
+	if m.LossRate > 1 {
+		m.LossRate = 1
+	}
+	return m, nil
+}
+
+// CallDuplex places a two-way call: the callee streams media back over the
+// reverse relay route while the forward stream runs. It returns the forward
+// direction's metrics (RTT, loss, jitter as measured by the callee and
+// echoed back) and the reverse direction's receive-side metrics (loss and
+// jitter measured locally; reverse RTT is measured at the callee).
+func (a *Agent) CallDuplex(spec CallSpec) (forward, reverse quality.Metrics, err error) {
+	spec.Duplex = true
+	// Snapshot which sessions exist so the new reverse stream is findable.
+	before := a.incomingSessions()
+	forward, err = a.Call(spec)
+	if err != nil {
+		return forward, reverse, err
+	}
+	// The reverse stream arrived under the same session id the callee saw;
+	// find the new incoming session created during this call.
+	after := a.incomingSessions()
+	for s := range after {
+		if !before[s] {
+			a.mu.Lock()
+			ic := a.incoming[s]
+			a.mu.Unlock()
+			if ic != nil {
+				ic.mu.Lock()
+				reverse = ic.flow.Metrics()
+				ic.mu.Unlock()
+			}
+			break
+		}
+	}
+	return forward, reverse, nil
+}
+
+func (a *Agent) incomingSessions() map[uint64]bool {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	out := make(map[uint64]bool, len(a.incoming))
+	for s := range a.incoming {
+		out[s] = true
+	}
+	return out
+}
+
+// CallWithFallback places a call like Call, but if a relayed path turns out
+// to be completely dead (no receiver reports at all — a crashed relay, not
+// mere degradation), it retries once over the direct path. It returns the
+// metrics together with the option actually used; the caller should report
+// that option to the controller so the dead path's failure is learned.
+func (a *Agent) CallWithFallback(spec CallSpec) (quality.Metrics, netsim.Option, error) {
+	m, err := a.Call(spec)
+	if err == ErrNoFeedback && spec.Option.IsRelayed() {
+		direct := spec
+		direct.Option = netsim.DirectOption()
+		m, err = a.Call(direct)
+		return m, direct.Option, err
+	}
+	return m, spec.Option, err
+}
+
+func putNanos(b []byte, v int64) {
+	for i := 0; i < 8; i++ {
+		b[i] = byte(v >> (8 * (7 - i)))
+	}
+}
+
+func getNanos(b []byte) int64 {
+	var v int64
+	for i := 0; i < 8; i++ {
+		v = v<<8 | int64(b[i])
+	}
+	return v
+}
+
+func (a *Agent) newSession() uint64 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	for {
+		s := a.rng.Uint64()
+		if s == 0 {
+			continue
+		}
+		if _, busy := a.outgoing[s]; !busy {
+			return s
+		}
+	}
+}
+
+// routes derives the datagram target, forward route, and reply route for an
+// option. The reply route is from the callee's perspective: element 0 is
+// where the callee sends its datagrams, the rest become the frame route.
+func (a *Agent) routes(opt netsim.Option, peer *net.UDPAddr) (sendTo *net.UDPAddr, route, reply []*net.UDPAddr, err error) {
+	self := a.Addr()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	relay := func(id netsim.RelayID) (*net.UDPAddr, error) {
+		ra, ok := a.relays[id]
+		if !ok {
+			return nil, fmt.Errorf("client: relay %d not in directory", id)
+		}
+		return ra, nil
+	}
+	switch opt.Kind {
+	case netsim.Direct:
+		return peer, nil, []*net.UDPAddr{self}, nil
+	case netsim.Bounce:
+		r, e := relay(opt.R1)
+		if e != nil {
+			return nil, nil, nil, e
+		}
+		return r, []*net.UDPAddr{peer}, []*net.UDPAddr{r, self}, nil
+	case netsim.Transit:
+		r1, e := relay(opt.R1)
+		if e != nil {
+			return nil, nil, nil, e
+		}
+		r2, e := relay(opt.R2)
+		if e != nil {
+			return nil, nil, nil, e
+		}
+		return r1, []*net.UDPAddr{r2, peer}, []*net.UDPAddr{r2, r1, self}, nil
+	default:
+		return nil, nil, nil, fmt.Errorf("client: unknown option kind %v", opt.Kind)
+	}
+}
+
+// readLoop dispatches incoming frames until the conn closes.
+func (a *Agent) readLoop() {
+	defer a.wg.Done()
+	buf := make([]byte, 64*1024)
+	for {
+		n, _, err := a.conn.ReadFrom(buf)
+		if err != nil {
+			return
+		}
+		var f transport.Frame
+		if err := f.Unmarshal(buf[:n]); err != nil {
+			continue
+		}
+		if f.NextHop() != nil {
+			continue // not at its final destination; misdelivered
+		}
+		switch f.Kind {
+		case transport.KindMedia:
+			a.handleMedia(&f)
+		case transport.KindReport:
+			a.handleReport(&f)
+		}
+	}
+}
+
+// handleMedia is the callee side: measure, and periodically report back.
+func (a *Agent) handleMedia(f *transport.Frame) {
+	var pkt rtp.Packet
+	if err := pkt.Unmarshal(f.Payload); err != nil || len(pkt.Payload) < 8 {
+		return
+	}
+	now := time.Now().UnixNano()
+
+	a.mu.Lock()
+	ic := a.incoming[f.Session]
+	if ic == nil {
+		ic = &inCall{}
+		a.incoming[f.Session] = ic
+		// Bound state growth from abandoned sessions.
+		if len(a.incoming) > 4096 {
+			for k := range a.incoming {
+				delete(a.incoming, k)
+				break
+			}
+		}
+	}
+	a.mu.Unlock()
+
+	ic.mu.Lock()
+	ic.flow.ObservePacket(&pkt, now)
+	ic.pkts++
+	ic.lastSend = getNanos(pkt.Payload)
+	ic.lastArrNs = now
+	if reply := f.ReplyAddrs(); len(reply) > 0 {
+		ic.reply = reply
+	}
+	// A duplex caller asks for a return media stream; start it once.
+	startStream := pkt.PayloadType == ptDuplex && !ic.streaming && len(ic.reply) > 0
+	if startStream {
+		ic.streaming = true
+	}
+	sendRR := ic.pkts%rrEvery == 0
+	var rr rtp.ReceiverReport
+	var replyRoute []*net.UDPAddr
+	if sendRR && len(ic.reply) > 0 {
+		rr = rtp.ReceiverReport{
+			SSRC:          pkt.SSRC,
+			CumLost:       uint32(ic.flow.Loss.Lost()),
+			HighestSeq:    ic.flow.Loss.HighestExt(),
+			JitterMicros:  ic.flow.Jitter.Micros(),
+			LastSendNanos: ic.lastSend,
+			DelayNanos:    time.Now().UnixNano() - ic.lastArrNs,
+		}
+		replyRoute = ic.reply
+	}
+	ic.mu.Unlock()
+
+	if startStream {
+		a.wg.Add(1)
+		go a.streamBack(f.Session, ic)
+	}
+	if replyRoute != nil {
+		var out transport.Frame
+		out.Session = f.Session
+		out.Kind = transport.KindReport
+		if err := out.SetRoute(replyRoute[1:]); err != nil {
+			return
+		}
+		out.Payload = rr.Marshal(nil)
+		_, _ = a.conn.WriteTo(out.Marshal(nil), replyRoute[0])
+	}
+}
+
+// streamBack is the callee side of a duplex call: it streams media toward
+// the caller along the reverse route until the forward stream goes quiet.
+func (a *Agent) streamBack(session uint64, ic *inCall) {
+	defer a.wg.Done()
+	const pps = 50
+	interval := time.Second / pps
+	payload := make([]byte, 160)
+	ticker := time.NewTicker(interval)
+	defer ticker.Stop()
+
+	ic.mu.Lock()
+	reply := append([]*net.UDPAddr(nil), ic.reply...)
+	ic.mu.Unlock()
+	if len(reply) == 0 {
+		return
+	}
+	sendTo := reply[0]
+	route := reply[1:]
+	// The caller reaches us back by reversing the relay portion of our
+	// reply route and finishing at our own address.
+	back := make([]*net.UDPAddr, 0, len(reply))
+	for i := len(reply) - 2; i >= 0; i-- {
+		back = append(back, reply[i])
+	}
+	back = append(back, a.Addr())
+
+	var f transport.Frame
+	f.Session = session
+	f.Kind = transport.KindMedia
+	if err := f.SetRoute(route); err != nil {
+		return
+	}
+	if err := f.SetReply(back); err != nil {
+		return
+	}
+
+	start := time.Now()
+	for i := uint16(0); ; i++ {
+		// Stop when the forward stream has gone quiet or after a cap.
+		ic.mu.Lock()
+		last := ic.lastArrNs
+		ic.mu.Unlock()
+		if time.Now().UnixNano()-last > int64(600*time.Millisecond) ||
+			time.Since(start) > 60*time.Second {
+			return
+		}
+		pkt := rtp.Packet{
+			PayloadType: ptSimplex,
+			Seq:         i,
+			Timestamp:   uint32(i) * (rtp.ClockRate / pps),
+			SSRC:        uint32(session >> 32),
+			Payload:     payload,
+		}
+		putNanos(payload, time.Now().UnixNano())
+		f.Payload = pkt.Marshal(nil)
+		if _, err := a.conn.WriteTo(f.Marshal(nil), sendTo); err != nil {
+			return
+		}
+		<-ticker.C
+	}
+}
+
+// handleReport is the caller side: fold the report in, sample RTT.
+func (a *Agent) handleReport(f *transport.Frame) {
+	var rr rtp.ReceiverReport
+	if err := rr.Unmarshal(f.Payload); err != nil {
+		return
+	}
+	a.mu.Lock()
+	oc := a.outgoing[f.Session]
+	a.mu.Unlock()
+	if oc == nil {
+		return
+	}
+	rttNanos := time.Now().UnixNano() - rr.LastSendNanos - rr.DelayNanos
+	oc.mu.Lock()
+	oc.flow.ObserveRTT(rttNanos)
+	cp := rr
+	oc.lastRR = &cp
+	oc.mu.Unlock()
+}

@@ -1,0 +1,102 @@
+package controller
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"net/http"
+
+	"repro/internal/netsim"
+	"repro/internal/quality"
+	"repro/internal/transport"
+)
+
+// Client is the HTTP client the relays and call agents use to talk to the
+// controller.
+type Client struct {
+	Base string // e.g. "http://127.0.0.1:8080"
+	HTTP *http.Client
+}
+
+// NewClient builds a client for a controller base URL.
+func NewClient(base string) *Client {
+	return &Client{Base: base, HTTP: &http.Client{}}
+}
+
+func (c *Client) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := c.HTTP.Post(c.Base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return fmt.Errorf("controller: %s returned %s", path, r.Status)
+	}
+	return json.NewDecoder(r.Body).Decode(resp)
+}
+
+func (c *Client) get(path string, resp any) error {
+	r, err := c.HTTP.Get(c.Base + path)
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		return fmt.Errorf("controller: %s returned %s", path, r.Status)
+	}
+	return json.NewDecoder(r.Body).Decode(resp)
+}
+
+// RegisterRelay announces a relay's media address.
+func (c *Client) RegisterRelay(id netsim.RelayID, addr string) error {
+	var resp transport.RegisterRelayResponse
+	return c.post("/v1/relays/register",
+		transport.RegisterRelayRequest{RelayID: id, Addr: addr}, &resp)
+}
+
+// Relays fetches the registered relay directory.
+func (c *Client) Relays() (map[netsim.RelayID]string, error) {
+	var resp transport.RelayListResponse
+	if err := c.get("/v1/relays", &resp); err != nil {
+		return nil, err
+	}
+	out := make(map[netsim.RelayID]string, len(resp.Relays))
+	for _, r := range resp.Relays {
+		out[r.RelayID] = r.Addr
+	}
+	return out, nil
+}
+
+// Choose asks the controller for a relaying option.
+func (c *Client) Choose(src, dst int32, cands []netsim.Option) (netsim.Option, error) {
+	req := transport.ChooseRequest{Src: src, Dst: dst}
+	for _, o := range cands {
+		req.Candidates = append(req.Candidates, transport.ToWireOption(o))
+	}
+	var resp transport.ChooseResponse
+	if err := c.post("/v1/choose", req, &resp); err != nil {
+		return netsim.DirectOption(), err
+	}
+	return resp.Option.Option(), nil
+}
+
+// Report pushes one call's measurements.
+func (c *Client) Report(src, dst int32, opt netsim.Option, m quality.Metrics) error {
+	var resp transport.ReportResponse
+	return c.post("/v1/report", transport.ReportRequest{
+		Src: src, Dst: dst,
+		Option:  transport.ToWireOption(opt),
+		Metrics: transport.ToWireMetrics(m),
+	}, &resp)
+}
+
+// Stats fetches controller counters.
+func (c *Client) Stats() (transport.StatsResponse, error) {
+	var resp transport.StatsResponse
+	err := c.get("/v1/stats", &resp)
+	return resp, err
+}

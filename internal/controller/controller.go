@@ -1,0 +1,225 @@
+// Package controller implements Via's centralized controller (§3.1,
+// Figure 7) as an HTTP/JSON service: relays register their media addresses,
+// clients push per-call measurement reports and ask which relaying option to
+// use. Relay selection is delegated to a pluggable core.Strategy — the full
+// Via algorithm in production, or a baseline for controlled experiments.
+//
+// The control exchange per call is deliberately minimal (one report, one
+// decision — the §7 scalability budget). Time is virtualized: a TimeScale
+// of N means one wall-clock second advances the algorithm's clock by N
+// hours, letting a minutes-long testbed run cover multi-day prediction
+// epochs.
+package controller
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/transport"
+)
+
+// Config parameterizes the controller.
+type Config struct {
+	// Strategy makes the relaying decisions. Required.
+	Strategy core.Strategy
+	// TimeScale converts wall-clock seconds to algorithm hours. 0 means
+	// real time (1 hour per hour).
+	TimeScale float64
+	// RelayTTL expires relays that have not re-registered (heartbeat)
+	// within this duration; 0 means relays never expire. Expired relays
+	// disappear from the directory, so clients stop routing through them —
+	// the controller needs no direct relay monitoring beyond this (§3.1:
+	// end-to-end measurements already reflect degradation; the TTL covers
+	// outright death).
+	RelayTTL time.Duration
+}
+
+// Server is the controller service. Mount Handler on an http.Server.
+type Server struct {
+	cfg   Config
+	start time.Time
+
+	mu        sync.RWMutex
+	relays    map[netsim.RelayID]string
+	relaySeen map[netsim.RelayID]time.Time
+
+	reports atomic.Int64
+	chooses atomic.Int64
+
+	mux *http.ServeMux
+}
+
+// New builds a controller.
+func New(cfg Config) *Server {
+	if cfg.Strategy == nil {
+		panic("controller: Strategy is required")
+	}
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 1.0 / 3600 // real time: seconds → hours
+	}
+	s := &Server{
+		cfg:       cfg,
+		start:     time.Now(),
+		relays:    make(map[netsim.RelayID]string),
+		relaySeen: make(map[netsim.RelayID]time.Time),
+		mux:       http.NewServeMux(),
+	}
+	s.mux.HandleFunc("POST /v1/relays/register", s.handleRegister)
+	s.mux.HandleFunc("GET /v1/relays", s.handleRelays)
+	s.mux.HandleFunc("POST /v1/choose", s.handleChoose)
+	s.mux.HandleFunc("POST /v1/report", s.handleReport)
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
+	return s
+}
+
+// Handler returns the HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// nowHours returns the virtualized algorithm time.
+func (s *Server) nowHours() float64 {
+	return time.Since(s.start).Seconds() * s.cfg.TimeScale
+}
+
+func decode[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
+	var v T
+	if err := json.NewDecoder(r.Body).Decode(&v); err != nil {
+		http.Error(w, "bad request: "+err.Error(), http.StatusBadRequest)
+		return v, false
+	}
+	return v, true
+}
+
+func reply(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[transport.RegisterRelayRequest](w, r)
+	if !ok {
+		return
+	}
+	if req.Addr == "" {
+		http.Error(w, "missing addr", http.StatusBadRequest)
+		return
+	}
+	s.mu.Lock()
+	s.relays[req.RelayID] = req.Addr
+	s.relaySeen[req.RelayID] = time.Now()
+	s.mu.Unlock()
+	reply(w, transport.RegisterRelayResponse{OK: true})
+}
+
+func (s *Server) handleRelays(w http.ResponseWriter, _ *http.Request) {
+	now := time.Now()
+	s.mu.RLock()
+	out := make([]transport.RelayInfo, 0, len(s.relays))
+	for id, addr := range s.relays {
+		if s.cfg.RelayTTL > 0 && now.Sub(s.relaySeen[id]) > s.cfg.RelayTTL {
+			continue // heartbeat lapsed: treat the relay as dead
+		}
+		out = append(out, transport.RelayInfo{RelayID: id, Addr: addr})
+	}
+	s.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].RelayID < out[j].RelayID })
+	reply(w, transport.RelayListResponse{Relays: out})
+}
+
+func (s *Server) handleChoose(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[transport.ChooseRequest](w, r)
+	if !ok {
+		return
+	}
+	cands := make([]netsim.Option, len(req.Candidates))
+	for i, c := range req.Candidates {
+		cands[i] = c.Option()
+	}
+	call := core.Call{
+		Src:    netsim.ASID(req.Src),
+		Dst:    netsim.ASID(req.Dst),
+		THours: s.nowHours(),
+	}
+	opt := s.cfg.Strategy.Choose(call, cands)
+	s.chooses.Add(1)
+	reply(w, transport.ChooseResponse{Option: transport.ToWireOption(opt)})
+}
+
+func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	req, ok := decode[transport.ReportRequest](w, r)
+	if !ok {
+		return
+	}
+	m := req.Metrics.Metrics()
+	if !m.Valid() {
+		http.Error(w, "invalid metrics", http.StatusBadRequest)
+		return
+	}
+	call := core.Call{
+		Src:    netsim.ASID(req.Src),
+		Dst:    netsim.ASID(req.Dst),
+		THours: s.nowHours(),
+	}
+	s.cfg.Strategy.Observe(call, req.Option.Option(), m)
+	s.reports.Add(1)
+	reply(w, transport.ReportResponse{OK: true})
+}
+
+// handleTopK exposes the strategy's pruned candidate set for a pair — the
+// operator's window into why calls route where they do. Only available when
+// the strategy is the full Via algorithm.
+func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
+	via, ok := s.cfg.Strategy.(*core.Via)
+	if !ok {
+		http.Error(w, "strategy does not expose top-k", http.StatusNotFound)
+		return
+	}
+	src, err1 := strconv.Atoi(r.URL.Query().Get("src"))
+	dst, err2 := strconv.Atoi(r.URL.Query().Get("dst"))
+	if err1 != nil || err2 != nil {
+		http.Error(w, "src and dst are required integers", http.StatusBadRequest)
+		return
+	}
+	call := core.Call{Src: netsim.ASID(src), Dst: netsim.ASID(dst), THours: s.nowHours()}
+	// Candidate set: every registered relay as bounce plus direct (the
+	// operator can also pass explicit candidates via /v1/choose).
+	s.mu.RLock()
+	cands := []netsim.Option{netsim.DirectOption()}
+	for id := range s.relays {
+		cands = append(cands, netsim.BounceOption(id))
+	}
+	s.mu.RUnlock()
+	sort.Slice(cands[1:], func(i, j int) bool { return cands[i+1].R1 < cands[j+1].R1 })
+
+	topk := via.TopKFor(call, cands)
+	resp := transport.TopKResponse{Src: int32(src), Dst: int32(dst), Metric: via.Metric().String()}
+	for _, c := range topk {
+		m := via.Metric()
+		resp.TopK = append(resp.TopK, transport.TopKEntry{
+			Option:  transport.ToWireOption(c.Option),
+			Mean:    c.Pred.Mean[m],
+			SEM:     c.Pred.SEM[m],
+			Samples: c.Pred.N,
+			Tomo:    c.Pred.Tomo,
+		})
+	}
+	reply(w, resp)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	s.mu.RLock()
+	n := len(s.relays)
+	s.mu.RUnlock()
+	reply(w, transport.StatsResponse{
+		Relays:  n,
+		Reports: s.reports.Load(),
+		Chooses: s.chooses.Load(),
+	})
+}

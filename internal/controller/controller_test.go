@@ -1,0 +1,268 @@
+package controller
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/quality"
+	"repro/internal/transport"
+)
+
+// recordingStrategy remembers what it was asked and told.
+type recordingStrategy struct {
+	chooseCalls  []core.Call
+	chooseCands  [][]netsim.Option
+	observeCalls []core.Call
+	observeOpts  []netsim.Option
+	observeM     []quality.Metrics
+	ret          netsim.Option
+}
+
+func (r *recordingStrategy) Name() string { return "recording" }
+func (r *recordingStrategy) Choose(c core.Call, cands []netsim.Option) netsim.Option {
+	r.chooseCalls = append(r.chooseCalls, c)
+	r.chooseCands = append(r.chooseCands, cands)
+	return r.ret
+}
+func (r *recordingStrategy) Observe(c core.Call, o netsim.Option, m quality.Metrics) {
+	r.observeCalls = append(r.observeCalls, c)
+	r.observeOpts = append(r.observeOpts, o)
+	r.observeM = append(r.observeM, m)
+}
+
+func testServer(t *testing.T, strat core.Strategy) (*Server, *Client) {
+	t.Helper()
+	s := New(Config{Strategy: strat, TimeScale: 3600}) // 1s = 1h
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(ts.Close)
+	return s, NewClient(ts.URL)
+}
+
+func TestRegisterAndListRelays(t *testing.T) {
+	_, c := testServer(t, &recordingStrategy{})
+	if err := c.RegisterRelay(3, "127.0.0.1:5003"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterRelay(1, "127.0.0.1:5001"); err != nil {
+		t.Fatal(err)
+	}
+	// Re-registration overwrites.
+	if err := c.RegisterRelay(1, "127.0.0.1:6001"); err != nil {
+		t.Fatal(err)
+	}
+	relays, err := c.Relays()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(relays) != 2 || relays[1] != "127.0.0.1:6001" || relays[3] != "127.0.0.1:5003" {
+		t.Errorf("relays = %v", relays)
+	}
+}
+
+func TestChooseRoundTrip(t *testing.T) {
+	strat := &recordingStrategy{ret: netsim.TransitOption(2, 5)}
+	_, c := testServer(t, strat)
+	cands := []netsim.Option{netsim.DirectOption(), netsim.BounceOption(1), netsim.TransitOption(2, 5)}
+	got, err := c.Choose(10, 20, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != netsim.TransitOption(2, 5) {
+		t.Errorf("chose %v", got)
+	}
+	if len(strat.chooseCalls) != 1 {
+		t.Fatalf("strategy saw %d choose calls", len(strat.chooseCalls))
+	}
+	if strat.chooseCalls[0].Src != 10 || strat.chooseCalls[0].Dst != 20 {
+		t.Errorf("call = %+v", strat.chooseCalls[0])
+	}
+	if len(strat.chooseCands[0]) != 3 || strat.chooseCands[0][2] != netsim.TransitOption(2, 5) {
+		t.Errorf("candidates = %v", strat.chooseCands[0])
+	}
+}
+
+func TestReportRoundTrip(t *testing.T) {
+	strat := &recordingStrategy{}
+	_, c := testServer(t, strat)
+	m := quality.Metrics{RTTMs: 222, LossRate: 0.02, JitterMs: 7}
+	if err := c.Report(10, 20, netsim.BounceOption(4), m); err != nil {
+		t.Fatal(err)
+	}
+	if len(strat.observeCalls) != 1 {
+		t.Fatalf("strategy saw %d observes", len(strat.observeCalls))
+	}
+	if strat.observeOpts[0] != netsim.BounceOption(4) || strat.observeM[0] != m {
+		t.Errorf("observed %v %v", strat.observeOpts[0], strat.observeM[0])
+	}
+}
+
+func TestReportRejectsInvalidMetrics(t *testing.T) {
+	strat := &recordingStrategy{}
+	_, c := testServer(t, strat)
+	err := c.Report(1, 2, netsim.DirectOption(), quality.Metrics{RTTMs: -5})
+	if err == nil {
+		t.Fatal("invalid metrics accepted")
+	}
+	if len(strat.observeCalls) != 0 {
+		t.Error("invalid report reached the strategy")
+	}
+}
+
+func TestStats(t *testing.T) {
+	strat := &recordingStrategy{ret: netsim.DirectOption()}
+	_, c := testServer(t, strat)
+	c.RegisterRelay(1, "a:1")
+	c.Choose(1, 2, []netsim.Option{netsim.DirectOption()})
+	c.Report(1, 2, netsim.DirectOption(), quality.Metrics{RTTMs: 10})
+	c.Report(1, 2, netsim.DirectOption(), quality.Metrics{RTTMs: 10})
+	st, err := c.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Relays != 1 || st.Chooses != 1 || st.Reports != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestBadJSONRejected(t *testing.T) {
+	s := New(Config{Strategy: &recordingStrategy{}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Post(ts.URL+"/v1/choose", "application/json", strings.NewReader("{nope"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("status = %d", resp.StatusCode)
+	}
+}
+
+func TestRegisterRequiresAddr(t *testing.T) {
+	_, c := testServer(t, &recordingStrategy{})
+	if err := c.RegisterRelay(1, ""); err == nil {
+		t.Error("empty addr accepted")
+	}
+}
+
+func TestTimeScaleAdvancesVirtualClock(t *testing.T) {
+	strat := &recordingStrategy{ret: netsim.DirectOption()}
+	_, c := testServer(t, strat) // 1s real = 1h virtual
+	c.Choose(1, 2, []netsim.Option{netsim.DirectOption()})
+	if len(strat.chooseCalls) != 1 {
+		t.Fatal("no choose")
+	}
+	if h := strat.chooseCalls[0].THours; h < 0 || h > 24 {
+		t.Errorf("virtual hours = %v; expected under a virtual day just after start", h)
+	}
+}
+
+func TestWithRealViaStrategy(t *testing.T) {
+	// End-to-end: controller + real Via strategy, feed reports, choose.
+	via := core.NewVia(core.DefaultViaConfig(quality.RTT), nil)
+	_, c := testServer(t, via)
+	cands := []netsim.Option{netsim.DirectOption(), netsim.BounceOption(1), netsim.BounceOption(2)}
+	good := quality.Metrics{RTTMs: 50, LossRate: 0.001, JitterMs: 1}
+	for i := 0; i < 30; i++ {
+		if err := c.Report(1, 2, netsim.BounceOption(1), good); err != nil {
+			t.Fatal(err)
+		}
+	}
+	opt, err := c.Choose(1, 2, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Any valid candidate is acceptable; the point is no panic and a
+	// well-formed response through the whole stack.
+	found := false
+	for _, cd := range cands {
+		if cd == opt {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("chose %v, not among candidates", opt)
+	}
+}
+
+func TestNewPanicsWithoutStrategy(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("nil strategy accepted")
+		}
+	}()
+	New(Config{})
+}
+
+func TestRelayTTLExpiry(t *testing.T) {
+	s := New(Config{Strategy: &recordingStrategy{}, RelayTTL: 50 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	if err := c.RegisterRelay(1, "127.0.0.1:9001"); err != nil {
+		t.Fatal(err)
+	}
+	if relays, _ := c.Relays(); len(relays) != 1 {
+		t.Fatalf("fresh relay missing: %v", relays)
+	}
+	time.Sleep(80 * time.Millisecond)
+	if relays, _ := c.Relays(); len(relays) != 0 {
+		t.Errorf("expired relay still listed: %v", relays)
+	}
+	// A heartbeat (re-registration) revives it.
+	if err := c.RegisterRelay(1, "127.0.0.1:9001"); err != nil {
+		t.Fatal(err)
+	}
+	if relays, _ := c.Relays(); len(relays) != 1 {
+		t.Error("revived relay missing")
+	}
+}
+
+func TestTopKEndpoint(t *testing.T) {
+	via := core.NewVia(core.DefaultViaConfig(quality.RTT), nil)
+	_, c := testServer(t, via)
+	c.RegisterRelay(1, "127.0.0.1:9001")
+	c.RegisterRelay(2, "127.0.0.1:9002")
+	// Feed enough history for predictions.
+	for i := 0; i < 30; i++ {
+		c.Report(1, 2, netsim.BounceOption(1), quality.Metrics{RTTMs: 80, LossRate: 0.001, JitterMs: 1})
+		c.Report(1, 2, netsim.DirectOption(), quality.Metrics{RTTMs: 200, LossRate: 0.005, JitterMs: 3})
+	}
+	// Advance past an epoch so the predictor trains (1s real = 1h virtual;
+	// epochs are 24h → use choose to trigger... instead verify the endpoint
+	// shape, which works regardless of training state).
+	resp, err := http.Get(c.Base + "/v1/topk?src=1&dst=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	var tk transport.TopKResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tk); err != nil {
+		t.Fatal(err)
+	}
+	if tk.Src != 1 || tk.Dst != 2 || tk.Metric != "rtt" {
+		t.Errorf("topk response = %+v", tk)
+	}
+
+	// Bad params and wrong strategy type.
+	resp2, _ := http.Get(c.Base + "/v1/topk?src=x&dst=2")
+	resp2.Body.Close()
+	if resp2.StatusCode != http.StatusBadRequest {
+		t.Errorf("bad params status %d", resp2.StatusCode)
+	}
+	_, c2 := testServer(t, &recordingStrategy{})
+	resp3, _ := http.Get(c2.Base + "/v1/topk?src=1&dst=2")
+	resp3.Body.Close()
+	if resp3.StatusCode != http.StatusNotFound {
+		t.Errorf("non-via strategy status %d", resp3.StatusCode)
+	}
+}

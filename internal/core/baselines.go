@@ -1,0 +1,249 @@
+package core
+
+import (
+	"sync"
+
+	"repro/internal/history"
+	"repro/internal/netsim"
+	"repro/internal/quality"
+	"repro/internal/stats"
+)
+
+// DefaultStrategy always uses the default (BGP) path — the paper's
+// "default strategy" baseline.
+type DefaultStrategy struct{}
+
+// Name implements Strategy.
+func (DefaultStrategy) Name() string { return "default" }
+
+// Choose implements Strategy.
+func (DefaultStrategy) Choose(Call, []netsim.Option) netsim.Option {
+	return netsim.DirectOption()
+}
+
+// Observe implements Strategy.
+func (DefaultStrategy) Observe(Call, netsim.Option, quality.Metrics) {}
+
+// Oracle picks the option with the best ground-truth window mean on the
+// target metric — the benefit-of-foresight bound of §3.2. With a budget
+// below 1 it gates on the true relative benefit percentile, giving the
+// oracle curve of Fig. 16.
+type Oracle struct {
+	World  *netsim.World
+	Metric quality.Metric
+	Budget float64 // >= 1 disables
+
+	mu      sync.Mutex
+	benefit *stats.P2
+	relayed int64
+	total   int64
+}
+
+// NewOracle builds an unbudgeted oracle.
+func NewOracle(w *netsim.World, m quality.Metric) *Oracle {
+	return NewBudgetedOracle(w, m, 1)
+}
+
+// NewBudgetedOracle builds an oracle limited to relaying at most budget of
+// calls, preferring the calls with the largest true benefit.
+func NewBudgetedOracle(w *netsim.World, m quality.Metric, budget float64) *Oracle {
+	o := &Oracle{World: w, Metric: m, Budget: budget}
+	if budget > 0 && budget < 1 {
+		o.benefit = stats.NewP2(clamp01(1-budget, 0.001, 0.999))
+	}
+	return o
+}
+
+// Name implements Strategy.
+func (o *Oracle) Name() string {
+	if o.Budget > 0 && o.Budget < 1 {
+		return "oracle-budget"
+	}
+	return "oracle"
+}
+
+// Choose implements Strategy.
+func (o *Oracle) Choose(c Call, cands []netsim.Option) netsim.Option {
+	if len(cands) == 0 {
+		return netsim.DirectOption()
+	}
+	window := netsim.WindowOf(c.THours)
+	best, bestV := o.World.BestOption(c.Src, c.Dst, cands, window, o.Metric)
+	if !best.IsRelayed() {
+		return best
+	}
+	if o.benefit != nil {
+		direct := o.World.WindowMean(c.Src, c.Dst, netsim.DirectOption(), window).Get(o.Metric)
+		var b float64
+		if direct > 0 {
+			b = (direct - bestV) / direct
+		}
+		o.mu.Lock()
+		defer o.mu.Unlock()
+		o.total++
+		o.benefit.Add(b)
+		if float64(o.relayed) >= o.Budget*float64(o.total) {
+			return netsim.DirectOption()
+		}
+		if o.benefit.N() >= 20 && b < o.benefit.Value() {
+			return netsim.DirectOption()
+		}
+		o.relayed++
+	}
+	return best
+}
+
+// Observe implements Strategy.
+func (o *Oracle) Observe(Call, netsim.Option, quality.Metrics) {}
+
+// PredictOnly is Strawman I (§4.2): pick the option with the best predicted
+// mean from the previous period's history; no exploration, no confidence
+// intervals. Its history comes only from its own (greedy) assignments plus
+// whatever seeded samples the environment provides, so its coverage decays —
+// exactly the failure mode the paper describes.
+type PredictOnly struct {
+	Metric       quality.Metric
+	RefreshHours float64
+	PredCfg      PredictorConfig
+
+	bb    BackboneSource
+	store *history.Store
+
+	mu       sync.Mutex
+	curEpoch int
+	pred     *Predictor
+}
+
+// NewPredictOnly builds Strawman I for a target metric. Per §4.2 the
+// strawman predicts "based just on history": it gets no tomography-based
+// coverage expansion (that is a Via contribution, stage 2 of Figure 10).
+func NewPredictOnly(m quality.Metric, bb BackboneSource) *PredictOnly {
+	cfg := DefaultPredictorConfig()
+	cfg.DisableTomography = true
+	return &PredictOnly{
+		Metric:       m,
+		RefreshHours: 24,
+		PredCfg:      cfg,
+		bb:           bb,
+		store:        history.NewStore(),
+		curEpoch:     -1,
+	}
+}
+
+// Name implements Strategy.
+func (p *PredictOnly) Name() string { return "predict-only" }
+
+// Choose implements Strategy.
+func (p *PredictOnly) Choose(c Call, cands []netsim.Option) netsim.Option {
+	if len(cands) == 0 {
+		return netsim.DirectOption()
+	}
+	epoch := int(c.THours / p.RefreshHours)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if epoch != p.curEpoch {
+		p.curEpoch = epoch
+		p.pred = BuildPredictor(p.store, epoch-1, p.bb, p.PredCfg)
+		for _, w := range p.store.Windows() {
+			if w < epoch-2 {
+				p.store.Drop(w)
+			}
+		}
+	}
+	best := netsim.DirectOption()
+	bestV := 0.0
+	found := false
+	for _, opt := range cands {
+		copt := canonOpt(int32(c.Src), int32(c.Dst), opt)
+		pred, ok := p.pred.Predict(int32(c.Src), int32(c.Dst), copt)
+		if !ok {
+			continue
+		}
+		if !found || pred.Mean[p.Metric] < bestV {
+			best, bestV, found = opt, pred.Mean[p.Metric], true
+		}
+	}
+	return best
+}
+
+// Observe implements Strategy.
+func (p *PredictOnly) Observe(c Call, opt netsim.Option, m quality.Metrics) {
+	bucket := int(c.THours / p.RefreshHours)
+	p.store.Add(c.Src, c.Dst, opt, bucket, m)
+}
+
+// ExploreOnly is Strawman II (§4.2): ε-greedy over the full, unpruned
+// option set using only empirical means — no prediction, no tomography, no
+// confidence-based pruning. With ~20 options per pair and high variance it
+// converges slowly, as the paper observes.
+type ExploreOnly struct {
+	Metric  quality.Metric
+	Epsilon float64
+
+	mu    sync.Mutex
+	rng   *stats.RNG
+	pairs map[groupPair]*ucbState
+}
+
+// NewExploreOnly builds Strawman II.
+func NewExploreOnly(m quality.Metric, epsilon float64, seed uint64) *ExploreOnly {
+	if epsilon <= 0 {
+		epsilon = 0.10
+	}
+	return &ExploreOnly{
+		Metric:  m,
+		Epsilon: epsilon,
+		rng:     stats.NewRNG(seed).Split("explore-only"),
+		pairs:   make(map[groupPair]*ucbState),
+	}
+}
+
+// Name implements Strategy.
+func (e *ExploreOnly) Name() string { return "explore-only" }
+
+func (e *ExploreOnly) state(src, dst netsim.ASID) *ucbState {
+	gp := groupPair{int32(src), int32(dst)}
+	if gp.a > gp.b {
+		gp.a, gp.b = gp.b, gp.a
+	}
+	s := e.pairs[gp]
+	if s == nil {
+		s = newUCBState()
+		e.pairs[gp] = s
+	}
+	return s
+}
+
+// Choose implements Strategy.
+func (e *ExploreOnly) Choose(c Call, cands []netsim.Option) netsim.Option {
+	if len(cands) == 0 {
+		return netsim.DirectOption()
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.rng.Float64() < e.Epsilon {
+		return cands[e.rng.IntN(len(cands))]
+	}
+	s := e.state(c.Src, c.Dst)
+	best := netsim.DirectOption()
+	bestV := 0.0
+	found := false
+	for _, opt := range cands {
+		copt := canonOpt(int32(c.Src), int32(c.Dst), opt)
+		v, ok := s.empiricalMean(copt)
+		if !ok {
+			continue
+		}
+		if !found || v < bestV {
+			best, bestV, found = opt, v, true
+		}
+	}
+	return best
+}
+
+// Observe implements Strategy.
+func (e *ExploreOnly) Observe(c Call, opt netsim.Option, m quality.Metrics) {
+	e.mu.Lock()
+	e.state(c.Src, c.Dst).observe(canonOpt(int32(c.Src), int32(c.Dst), opt), m.Get(e.Metric))
+	e.mu.Unlock()
+}

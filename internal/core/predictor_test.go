@@ -1,0 +1,222 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/history"
+	"repro/internal/netsim"
+	"repro/internal/quality"
+	"repro/internal/stats"
+)
+
+func addSamples(h *history.Store, src, dst netsim.ASID, opt netsim.Option, bucket int, rtt float64, n int, rng *stats.RNG) {
+	for i := 0; i < n; i++ {
+		m := quality.Metrics{
+			RTTMs:    rtt * rng.LogNormal(0, 0.05),
+			LossRate: 0.005,
+			JitterMs: 4,
+		}
+		h.Add(src, dst, opt, bucket, m)
+	}
+}
+
+func TestPredictorFromHistory(t *testing.T) {
+	h := history.NewStore()
+	rng := stats.NewRNG(1)
+	addSamples(h, 1, 2, netsim.DirectOption(), 0, 200, 30, rng)
+	p := BuildPredictor(h, 0, nil, DefaultPredictorConfig())
+	pred, ok := p.Predict(1, 2, netsim.DirectOption())
+	if !ok {
+		t.Fatal("no prediction from 30 samples")
+	}
+	if math.Abs(pred.Mean[quality.RTT]-200) > 10 {
+		t.Errorf("mean RTT = %v, want ~200", pred.Mean[quality.RTT])
+	}
+	if pred.Tomo {
+		t.Error("history-backed prediction flagged as tomography")
+	}
+	if pred.N != 30 {
+		t.Errorf("N = %d", pred.N)
+	}
+	if pred.SEM[quality.RTT] <= 0 {
+		t.Error("SEM must be positive")
+	}
+	// Reverse direction resolves to the same aggregate.
+	rev, ok := p.Predict(2, 1, netsim.DirectOption())
+	if !ok || rev.Mean != pred.Mean {
+		t.Error("reverse-direction prediction differs")
+	}
+}
+
+func TestPredictorMissing(t *testing.T) {
+	h := history.NewStore()
+	p := BuildPredictor(h, 0, nil, DefaultPredictorConfig())
+	if _, ok := p.Predict(1, 2, netsim.DirectOption()); ok {
+		t.Error("empty history should predict nothing")
+	}
+}
+
+func TestPredictorTomographyFillsHoles(t *testing.T) {
+	// ASes 1,2,3,4 and relay 0: observe 1↔r↔2, 1↔r↔3, 2↔r↔4, then predict
+	// the unseen 3↔r↔4 bounce.
+	h := history.NewStore()
+	rng := stats.NewRNG(2)
+	// Segment truths: acc(1)=30, acc(2)=50, acc(3)=70, acc(4)=90.
+	addSamples(h, 1, 2, netsim.BounceOption(0), 0, 80, 25, rng)
+	addSamples(h, 1, 3, netsim.BounceOption(0), 0, 100, 25, rng)
+	addSamples(h, 2, 4, netsim.BounceOption(0), 0, 140, 25, rng)
+	p := BuildPredictor(h, 0, nil, DefaultPredictorConfig())
+
+	pred, ok := p.Predict(3, 4, netsim.BounceOption(0))
+	if !ok {
+		t.Fatal("tomography did not cover the unseen pair")
+	}
+	if !pred.Tomo {
+		t.Error("prediction should be flagged as tomography")
+	}
+	if math.Abs(pred.Mean[quality.RTT]-160) > 15 {
+		t.Errorf("stitched RTT = %v, want ~160", pred.Mean[quality.RTT])
+	}
+}
+
+type fakeBackbone struct{ m quality.Metrics }
+
+func (f fakeBackbone) BackboneMetrics(r1, r2 netsim.RelayID, window int) quality.Metrics {
+	if r1 == r2 {
+		return quality.Metrics{}
+	}
+	return f.m
+}
+
+func TestPredictorTransitWithBackbone(t *testing.T) {
+	h := history.NewStore()
+	rng := stats.NewRNG(3)
+	bb := fakeBackbone{quality.Metrics{RTTMs: 40, LossRate: 0.0001, JitterMs: 0.5}}
+	// acc(1,r0)=30, acc(2,r1)=60: transit truth = 30+40+60 = 130.
+	// Observed directly:
+	addSamples(h, 1, 2, netsim.TransitOption(0, 1), 0, 130, 25, rng)
+	// Also bounce observations to cover segments for stitching to (3):
+	addSamples(h, 1, 3, netsim.BounceOption(0), 0, 80, 25, rng)  // acc(3,r0)=50
+	addSamples(h, 2, 3, netsim.BounceOption(1), 0, 110, 25, rng) // acc(3,r1)=50
+	p := BuildPredictor(h, 0, bb, DefaultPredictorConfig())
+
+	// Unseen transit 3 -> (r0) -> (r1) -> 2: 50 + 40 + 60 = 150.
+	pred, ok := p.Predict(3, 2, netsim.TransitOption(0, 1))
+	if !ok {
+		t.Fatal("unseen transit not predicted")
+	}
+	if math.Abs(pred.Mean[quality.RTT]-150) > 20 {
+		t.Errorf("transit prediction = %v, want ~150", pred.Mean[quality.RTT])
+	}
+}
+
+func TestPredictorTransitWithoutBackboneSource(t *testing.T) {
+	// With bb == nil the backbone link becomes an unknown; predictions
+	// still work once the link has been observed via some transit path.
+	h := history.NewStore()
+	rng := stats.NewRNG(4)
+	addSamples(h, 1, 2, netsim.TransitOption(0, 1), 0, 130, 25, rng)
+	addSamples(h, 1, 3, netsim.BounceOption(0), 0, 80, 25, rng)
+	addSamples(h, 2, 3, netsim.BounceOption(1), 0, 110, 25, rng)
+	p := BuildPredictor(h, 0, nil, DefaultPredictorConfig())
+	pred, ok := p.Predict(3, 2, netsim.TransitOption(0, 1))
+	if !ok {
+		t.Fatal("unseen transit not predicted without backbone source")
+	}
+	// Same structural answer as above (the solver splits the 40ms backbone
+	// among segments differently, but the path sum is constrained).
+	if pred.Mean[quality.RTT] < 100 || pred.Mean[quality.RTT] > 200 {
+		t.Errorf("transit prediction = %v, want ~150 ± slack", pred.Mean[quality.RTT])
+	}
+}
+
+func TestPredictorThinHistoryFallsBackToTomo(t *testing.T) {
+	h := history.NewStore()
+	rng := stats.NewRNG(5)
+	// Dense bounce observations fix the segments near 80.
+	addSamples(h, 1, 2, netsim.BounceOption(0), 0, 80, 40, rng)
+	// A single wild sample for pair (1,2) via bounce(0) exists in a
+	// *different* pair (3,2): give (3,2) one noisy sample; MinSamples=3
+	// should prefer tomography for it.
+	addSamples(h, 1, 3, netsim.BounceOption(0), 0, 90, 40, rng)
+	h.Add(2, 3, netsim.BounceOption(0), 0, quality.Metrics{RTTMs: 500, LossRate: 0.2, JitterMs: 50})
+	p := BuildPredictor(h, 0, nil, DefaultPredictorConfig())
+	pred, ok := p.Predict(2, 3, netsim.BounceOption(0))
+	if !ok {
+		t.Fatal("no prediction")
+	}
+	if !pred.Tomo {
+		t.Error("1-sample history should defer to tomography")
+	}
+	// Tomography view: acc2 ≈ 80-acc1, acc3 ≈ 90-acc1 → path well under 500.
+	if pred.Mean[quality.RTT] > 300 {
+		t.Errorf("prediction %v follows the outlier sample", pred.Mean[quality.RTT])
+	}
+}
+
+func TestPredictorDisableTomography(t *testing.T) {
+	h := history.NewStore()
+	rng := stats.NewRNG(6)
+	addSamples(h, 1, 2, netsim.BounceOption(0), 0, 80, 25, rng)
+	addSamples(h, 1, 3, netsim.BounceOption(0), 0, 100, 25, rng)
+	cfg := DefaultPredictorConfig()
+	cfg.DisableTomography = true
+	p := BuildPredictor(h, 0, nil, cfg)
+	if _, ok := p.Predict(2, 3, netsim.BounceOption(0)); ok {
+		t.Error("tomography disabled but unseen pair predicted")
+	}
+	// Seen pairs still predict.
+	if _, ok := p.Predict(1, 2, netsim.BounceOption(0)); !ok {
+		t.Error("seen pair should still predict")
+	}
+}
+
+func TestPredictorDirectPathNeverTomo(t *testing.T) {
+	// Direct (BGP) paths cannot be stitched from relay segments.
+	h := history.NewStore()
+	rng := stats.NewRNG(7)
+	addSamples(h, 1, 2, netsim.BounceOption(0), 0, 80, 25, rng)
+	addSamples(h, 1, 3, netsim.BounceOption(0), 0, 100, 25, rng)
+	p := BuildPredictor(h, 0, nil, DefaultPredictorConfig())
+	if _, ok := p.Predict(2, 3, netsim.DirectOption()); ok {
+		t.Error("direct path predicted without direct history")
+	}
+}
+
+func TestPredictorAgainstWorldGroundTruth(t *testing.T) {
+	// End-to-end accuracy check (the §5.3 property at small scale):
+	// generate calls from the world model over one window, train, and
+	// verify most predictions land within 35% of the ground-truth means.
+	w := netsim.New(netsim.DefaultConfig(11))
+	rng := stats.NewRNG(12)
+	h := history.NewStore()
+	pairs := [][2]netsim.ASID{{1, 140}, {5, 120}, {9, 77}, {20, 130}, {33, 99}}
+	for _, pr := range pairs {
+		for _, opt := range w.Options(pr[0], pr[1]) {
+			for i := 0; i < 12; i++ {
+				m := w.SampleCall(pr[0], pr[1], opt, 3.0, rng)
+				h.Add(pr[0], pr[1], opt, 0, m)
+			}
+		}
+	}
+	p := BuildPredictor(h, 0, w, DefaultPredictorConfig())
+	total, close := 0, 0
+	for _, pr := range pairs {
+		for _, opt := range w.Options(pr[0], pr[1]) {
+			pred, ok := p.Predict(int32(pr[0]), int32(pr[1]), opt)
+			if !ok {
+				t.Errorf("no prediction for %v", opt)
+				continue
+			}
+			truth := w.WindowMean(pr[0], pr[1], opt, 0).RTTMs
+			total++
+			if math.Abs(pred.Mean[quality.RTT]-truth)/truth < 0.35 {
+				close++
+			}
+		}
+	}
+	if close*10 < total*7 {
+		t.Errorf("only %d/%d predictions within 35%% of ground truth", close, total)
+	}
+}

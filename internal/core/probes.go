@@ -1,0 +1,95 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/netsim"
+)
+
+// Active measurement support (§7, "Active Measurements"): the controller
+// can orchestrate mock calls to fill holes in the passively collected
+// measurements, making both tomography and the bandit better informed. The
+// environment (simulator or testbed orchestrator) asks the strategy which
+// probes it wants at each window boundary and realizes them; probe results
+// flow back through Observe like any call.
+
+// ProbeRequest asks for one mock call between a pair over an option.
+type ProbeRequest struct {
+	Src, Dst netsim.ASID
+	Option   netsim.Option
+}
+
+// ProbeRequester is implemented by strategies that can direct active
+// measurements.
+type ProbeRequester interface {
+	// ProbeRequests returns up to budget mock calls the strategy wants
+	// placed around the given window. Only meaningful at AS-pair decision
+	// granularity.
+	ProbeRequests(window int, budget int) []ProbeRequest
+}
+
+// ProbeRequests implements ProbeRequester for Via: it walks the pairs it
+// has served, finds candidate options with no samples in the most recent
+// training bucket (the "holes" that force pure-tomography or no
+// predictions), and spreads the probe budget across pairs round-robin.
+func (v *Via) ProbeRequests(window int, budget int) []ProbeRequest {
+	if budget <= 0 {
+		return nil
+	}
+	v.mu.Lock()
+	defer v.mu.Unlock()
+
+	// Deterministic pair order.
+	pairs := make([]groupPair, 0, len(v.pairs))
+	for gp, ps := range v.pairs {
+		if len(ps.cands) > 0 {
+			pairs = append(pairs, gp)
+		}
+	}
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].a != pairs[j].a {
+			return pairs[i].a < pairs[j].a
+		}
+		return pairs[i].b < pairs[j].b
+	})
+
+	// Collect per-pair hole lists.
+	holes := make([][]ProbeRequest, 0, len(pairs))
+	for _, gp := range pairs {
+		ps := v.pairs[gp]
+		var hs []ProbeRequest
+		for _, opt := range ps.cands {
+			agg, ok := v.store.Get(netsim.ASID(gp.a), netsim.ASID(gp.b), opt, window-1)
+			if !ok || agg.N() == 0 {
+				hs = append(hs, ProbeRequest{
+					Src:    netsim.ASID(gp.a),
+					Dst:    netsim.ASID(gp.b),
+					Option: opt,
+				})
+			}
+		}
+		if len(hs) > 0 {
+			holes = append(holes, hs)
+		}
+	}
+
+	// Round-robin across pairs so the budget spreads instead of exhausting
+	// on the first pair's holes.
+	var out []ProbeRequest
+	for depth := 0; len(out) < budget; depth++ {
+		progressed := false
+		for _, hs := range holes {
+			if depth < len(hs) {
+				out = append(out, hs[depth])
+				progressed = true
+				if len(out) >= budget {
+					break
+				}
+			}
+		}
+		if !progressed {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,150 @@
+package core
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/netsim"
+	"repro/internal/quality"
+)
+
+// This file implements the §7 scalability mechanisms:
+//
+//   - Sharded: a C3-style split-control wrapper that partitions the pair
+//     space across independent strategy instances, so a logical controller
+//     can scale across cores or machines ("partitioning techniques provide
+//     a good starting point").
+//
+//   - Cached: a client-side decision cache ("each client could cache the
+//     relaying decisions and refresh periodically"), trading decision
+//     staleness for controller load.
+
+// Sharded partitions calls across shards by canonical pair hash. Each
+// shard is an independent strategy instance, so there is no cross-shard
+// locking — and no cross-shard learning, which is safe because all of
+// Via's state is keyed by pair.
+type Sharded struct {
+	shards []Strategy
+	name   string
+}
+
+// NewSharded builds n shards using the factory (called once per shard with
+// the shard index; use it to vary seeds).
+func NewSharded(n int, factory func(shard int) Strategy) *Sharded {
+	if n <= 0 {
+		n = 1
+	}
+	s := &Sharded{shards: make([]Strategy, n)}
+	for i := range s.shards {
+		s.shards[i] = factory(i)
+	}
+	s.name = "sharded-" + s.shards[0].Name()
+	return s
+}
+
+// shardOf routes a pair to its shard. Both call directions must land on
+// the same shard, so the hash uses the canonical pair.
+func (s *Sharded) shardOf(a, b netsim.ASID) int {
+	if a > b {
+		a, b = b, a
+	}
+	h := uint64(uint32(a))*0x9e3779b97f4a7c15 ^ uint64(uint32(b))*0x2545f4914f6cdd1d
+	h ^= h >> 33
+	return int(h % uint64(len(s.shards)))
+}
+
+// Name implements Strategy.
+func (s *Sharded) Name() string { return s.name }
+
+// Choose implements Strategy.
+func (s *Sharded) Choose(c Call, cands []netsim.Option) netsim.Option {
+	return s.shards[s.shardOf(c.Src, c.Dst)].Choose(c, cands)
+}
+
+// Observe implements Strategy.
+func (s *Sharded) Observe(c Call, opt netsim.Option, m quality.Metrics) {
+	s.shards[s.shardOf(c.Src, c.Dst)].Observe(c, opt, m)
+}
+
+// NumShards returns the shard count.
+func (s *Sharded) NumShards() int { return len(s.shards) }
+
+// Shard exposes one shard (diagnostics).
+func (s *Sharded) Shard(i int) Strategy { return s.shards[i] }
+
+// Cached wraps a strategy with a per-pair decision cache: a pair's choice
+// is reused for TTLHours before the inner strategy is consulted again.
+// Observations always pass through (measurement reports are cheap and keep
+// the history fresh); only the decision round-trips are saved.
+type Cached struct {
+	inner    Strategy
+	ttlHours float64
+
+	mu    sync.Mutex
+	cache map[groupPair]cachedDecision
+
+	hits, misses atomic.Int64
+}
+
+type cachedDecision struct {
+	opt     netsim.Option // canonical orientation
+	expires float64       // tHours
+}
+
+// NewCached wraps inner with a decision cache of the given TTL (hours).
+func NewCached(inner Strategy, ttlHours float64) *Cached {
+	if ttlHours <= 0 {
+		ttlHours = 1
+	}
+	return &Cached{
+		inner:    inner,
+		ttlHours: ttlHours,
+		cache:    make(map[groupPair]cachedDecision),
+	}
+}
+
+// Name implements Strategy.
+func (c *Cached) Name() string { return c.inner.Name() + "+cache" }
+
+// Choose implements Strategy.
+func (c *Cached) Choose(call Call, cands []netsim.Option) netsim.Option {
+	gp := groupPair{int32(call.Src), int32(call.Dst)}
+	flip := gp.a > gp.b
+	if flip {
+		gp.a, gp.b = gp.b, gp.a
+	}
+	c.mu.Lock()
+	if d, ok := c.cache[gp]; ok && call.THours < d.expires {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		opt := d.opt
+		if flip && opt.Kind == netsim.Transit {
+			opt.R1, opt.R2 = opt.R2, opt.R1
+		}
+		return opt
+	}
+	c.mu.Unlock()
+
+	c.misses.Add(1)
+	opt := c.inner.Choose(call, cands)
+	canon := canonOpt(int32(call.Src), int32(call.Dst), opt)
+	c.mu.Lock()
+	c.cache[gp] = cachedDecision{opt: canon, expires: call.THours + c.ttlHours}
+	c.mu.Unlock()
+	return opt
+}
+
+// Observe implements Strategy.
+func (c *Cached) Observe(call Call, opt netsim.Option, m quality.Metrics) {
+	c.inner.Observe(call, opt, m)
+}
+
+// HitRate reports the fraction of decisions served from the cache — the
+// controller-load reduction of §7.
+func (c *Cached) HitRate() float64 {
+	h, m := c.hits.Load(), c.misses.Load()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}

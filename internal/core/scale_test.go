@@ -1,0 +1,197 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/quality"
+)
+
+func TestShardedRouting(t *testing.T) {
+	var mu sync.Mutex
+	counts := make([]int, 4)
+	s := NewSharded(4, func(shard int) Strategy {
+		return &countingStrategy{onChoose: func() {
+			mu.Lock()
+			counts[shard]++
+			mu.Unlock()
+		}}
+	})
+	if s.NumShards() != 4 {
+		t.Fatalf("shards = %d", s.NumShards())
+	}
+	// Same pair (either direction) must always hit the same shard.
+	for i := 0; i < 10; i++ {
+		s.Choose(Call{Src: 3, Dst: 9}, nil)
+		s.Choose(Call{Src: 9, Dst: 3}, nil)
+	}
+	nonzero := 0
+	for _, c := range counts {
+		if c > 0 {
+			nonzero++
+		}
+	}
+	if nonzero != 1 {
+		t.Errorf("one pair spread across %d shards", nonzero)
+	}
+
+	// Many pairs should spread across all shards.
+	for p := 0; p < 200; p++ {
+		s.Choose(Call{Src: netsim.ASID(p), Dst: netsim.ASID(p + 1000)}, nil)
+	}
+	for i, c := range counts {
+		if c == 0 {
+			t.Errorf("shard %d received nothing", i)
+		}
+	}
+}
+
+type countingStrategy struct {
+	onChoose func()
+}
+
+func (c *countingStrategy) Name() string { return "counting" }
+func (c *countingStrategy) Choose(Call, []netsim.Option) netsim.Option {
+	if c.onChoose != nil {
+		c.onChoose()
+	}
+	return netsim.DirectOption()
+}
+func (c *countingStrategy) Observe(Call, netsim.Option, quality.Metrics) {}
+
+func TestShardedObserveRoutesLikeChoose(t *testing.T) {
+	recorders := make([]*recordingObserver, 3)
+	s := NewSharded(3, func(shard int) Strategy {
+		recorders[shard] = &recordingObserver{}
+		return recorders[shard]
+	})
+	s.Observe(Call{Src: 5, Dst: 7}, netsim.DirectOption(), quality.Metrics{})
+	s.Observe(Call{Src: 7, Dst: 5}, netsim.DirectOption(), quality.Metrics{})
+	seen := 0
+	for _, r := range recorders {
+		if r.n == 2 {
+			seen++
+		} else if r.n != 0 {
+			t.Errorf("shard saw %d observes; directions split across shards", r.n)
+		}
+	}
+	if seen != 1 {
+		t.Errorf("%d shards saw the pair", seen)
+	}
+}
+
+type recordingObserver struct{ n int }
+
+func (r *recordingObserver) Name() string                               { return "rec" }
+func (r *recordingObserver) Choose(Call, []netsim.Option) netsim.Option { return netsim.DirectOption() }
+func (r *recordingObserver) Observe(Call, netsim.Option, quality.Metrics) {
+	r.n++
+}
+
+func TestShardedViaEquivalentQuality(t *testing.T) {
+	// A sharded Via must behave like Via on each pair (pair state never
+	// crosses shards). Drive one pair and confirm convergence as in the
+	// unsharded test.
+	s := NewSharded(8, func(shard int) Strategy {
+		cfg := DefaultViaConfig(quality.RTT)
+		cfg.Seed = uint64(shard + 1)
+		return NewVia(cfg, nil)
+	})
+	e := newFakeEnv(21)
+	late := drive(s, e, 3000, 96)
+	best := late[netsim.BounceOption(1)]
+	total := 0
+	for _, n := range late {
+		total += n
+	}
+	if best*2 < total {
+		t.Errorf("sharded via late best-arm share %d/%d", best, total)
+	}
+}
+
+func TestCachedServesFromCache(t *testing.T) {
+	calls := 0
+	inner := &countingStrategy{onChoose: func() { calls++ }}
+	c := NewCached(inner, 2) // 2-hour TTL
+	cands := []netsim.Option{netsim.DirectOption()}
+
+	c.Choose(Call{Src: 1, Dst: 2, THours: 0}, cands)   // miss
+	c.Choose(Call{Src: 1, Dst: 2, THours: 1}, cands)   // hit
+	c.Choose(Call{Src: 2, Dst: 1, THours: 1.5}, cands) // hit (reverse dir)
+	c.Choose(Call{Src: 1, Dst: 2, THours: 2.5}, cands) // expired → miss
+	if calls != 2 {
+		t.Errorf("inner consulted %d times, want 2", calls)
+	}
+	if hr := c.HitRate(); hr != 0.5 {
+		t.Errorf("hit rate = %v, want 0.5", hr)
+	}
+	if c.Name() != "counting+cache" {
+		t.Errorf("name = %q", c.Name())
+	}
+}
+
+func TestCachedFlipsTransitForReverseDirection(t *testing.T) {
+	inner := &fixedStrategy{opt: netsim.TransitOption(1, 2)}
+	c := NewCached(inner, 10)
+	cands := []netsim.Option{netsim.TransitOption(1, 2)}
+	got1 := c.Choose(Call{Src: 1, Dst: 9, THours: 0}, cands)
+	if got1 != netsim.TransitOption(1, 2) {
+		t.Fatalf("first choice %v", got1)
+	}
+	// Reverse direction served from cache must flip the transit route.
+	got2 := c.Choose(Call{Src: 9, Dst: 1, THours: 1}, cands)
+	if got2 != netsim.TransitOption(2, 1) {
+		t.Errorf("reverse cached choice = %v, want transit(2->1)", got2)
+	}
+}
+
+type fixedStrategy struct{ opt netsim.Option }
+
+func (f *fixedStrategy) Name() string { return "fixed" }
+func (f *fixedStrategy) Choose(c Call, _ []netsim.Option) netsim.Option {
+	return canonOpt(int32(c.Src), int32(c.Dst), f.opt)
+}
+func (f *fixedStrategy) Observe(Call, netsim.Option, quality.Metrics) {}
+
+func TestCachedObservePassesThrough(t *testing.T) {
+	rec := &recordingObserver{}
+	c := NewCached(rec, 1)
+	c.Observe(Call{Src: 1, Dst: 2}, netsim.DirectOption(), quality.Metrics{})
+	if rec.n != 1 {
+		t.Error("observe did not pass through")
+	}
+}
+
+func BenchmarkShardedChooseParallel(b *testing.B) {
+	s := NewSharded(8, func(shard int) Strategy {
+		cfg := DefaultViaConfig(quality.RTT)
+		cfg.Seed = uint64(shard + 1)
+		return NewVia(cfg, nil)
+	})
+	cands := []netsim.Option{
+		netsim.DirectOption(), netsim.BounceOption(1), netsim.BounceOption(2),
+	}
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			i++
+			c := Call{Src: netsim.ASID(i % 64), Dst: netsim.ASID(64 + i%64), THours: float64(i % 1000)}
+			opt := s.Choose(c, cands)
+			s.Observe(c, opt, quality.Metrics{RTTMs: 100})
+		}
+	})
+}
+
+func BenchmarkViaChoose(b *testing.B) {
+	v := NewVia(DefaultViaConfig(quality.RTT), nil)
+	cands := []netsim.Option{
+		netsim.DirectOption(), netsim.BounceOption(1), netsim.BounceOption(2),
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := Call{Src: netsim.ASID(i % 64), Dst: netsim.ASID(64 + i%64), THours: float64(i % 1000)}
+		opt := v.Choose(c, cands)
+		v.Observe(c, opt, quality.Metrics{RTTMs: 100})
+	}
+}

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/quality"
+)
+
+// Call carries the per-call context a strategy may use when deciding.
+type Call struct {
+	Src, Dst         netsim.ASID
+	UserSrc, UserDst int64
+	THours           float64 // absolute time, hours since trace epoch
+	DurationSec      float64 // expected talk time; 0 = unknown
+}
+
+// Strategy assigns relaying options to calls and learns from realized
+// performance. Implementations are driven chronologically: Choose is called
+// when a call is placed, Observe when its measurements arrive. A strategy
+// sees only its own observations — each strategy runs in its own
+// counterfactual world.
+type Strategy interface {
+	// Name identifies the strategy in experiment output.
+	Name() string
+	// Choose picks one of the candidate options for the call.
+	Choose(c Call, cands []netsim.Option) netsim.Option
+	// Observe reports the realized call-average performance of the option
+	// that was actually used.
+	Observe(c Call, opt netsim.Option, m quality.Metrics)
+}
+
+// GroupFunc maps a call to the (src, dst) decision-granularity groups —
+// AS pair by default, country pair or sub-AS fragments for the granularity
+// sensitivity analysis (Fig. 17a). Group ids must be stable across calls.
+type GroupFunc func(c Call) (int32, int32)
+
+// ASPairGroups is the paper's default granularity.
+func ASPairGroups(c Call) (int32, int32) {
+	return int32(c.Src), int32(c.Dst)
+}
+
+// CountryGroups aggregates decisions per country pair.
+func CountryGroups(w *netsim.World) GroupFunc {
+	// Map country codes to dense ids once.
+	idx := map[string]int32{}
+	n := int32(0)
+	code := func(a netsim.ASID) int32 {
+		c := w.CountryOf(a)
+		if i, ok := idx[c]; ok {
+			return i
+		}
+		idx[c] = n
+		n++
+		return idx[c]
+	}
+	return func(c Call) (int32, int32) {
+		return code(c.Src), code(c.Dst)
+	}
+}
+
+// SubASGroups splits every AS into fragments keyed by user identity,
+// emulating decisions at a finer-than-AS granularity (e.g. /24 prefixes):
+// the same network, but each fragment only sees 1/fragments of the data.
+func SubASGroups(fragments int) GroupFunc {
+	if fragments < 1 {
+		fragments = 1
+	}
+	f := int64(fragments)
+	return func(c Call) (int32, int32) {
+		return int32(int64(c.Src)*f + (c.UserSrc%f+f)%f),
+			int32(int64(c.Dst)*f + (c.UserDst%f+f)%f)
+	}
+}

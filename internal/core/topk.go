@@ -1,0 +1,99 @@
+package core
+
+import (
+	"sort"
+
+	"repro/internal/netsim"
+	"repro/internal/quality"
+)
+
+// Candidate pairs a relaying option with its prediction.
+type Candidate struct {
+	Option netsim.Option
+	Pred   Prediction
+}
+
+// TopK implements Algorithm 2: the adaptive, confidence-interval-based
+// pruning of the candidate set. It returns the minimal set of options such
+// that the 95% lower confidence bound of every excluded option exceeds the
+// 95% upper confidence bound of every included option — i.e. we are
+// statistically confident every excluded option is worse than every included
+// one. Candidates without predictions must be filtered by the caller.
+//
+// The set is computed as a fixpoint: start from the option with the smallest
+// upper bound (it can never be excluded), then repeatedly pull in any option
+// whose lower bound does not clear the included set's maximum upper bound.
+func TopK(cands []Candidate, m quality.Metric) []Candidate {
+	if len(cands) == 0 {
+		return nil
+	}
+	sorted := make([]Candidate, len(cands))
+	copy(sorted, cands)
+	sort.Slice(sorted, func(i, j int) bool {
+		ui, uj := sorted[i].Pred.Upper(m), sorted[j].Pred.Upper(m)
+		if ui != uj {
+			return ui < uj
+		}
+		return optionLess(sorted[i].Option, sorted[j].Option)
+	})
+
+	// The option with the smallest upper bound can never satisfy the
+	// exclusion condition (its lower bound cannot exceed its own upper
+	// bound), so it seeds the set. Then iterate to a fixpoint: any excluded
+	// option whose lower bound fails to clear the included set's maximum
+	// upper bound must be pulled in, which may in turn raise that maximum.
+	included := make([]bool, len(sorted))
+	included[0] = true
+	maxUpper := sorted[0].Pred.Upper(m)
+	for changed := true; changed; {
+		changed = false
+		for i := 1; i < len(sorted); i++ {
+			if included[i] || sorted[i].Pred.Lower(m) > maxUpper {
+				continue
+			}
+			included[i] = true
+			changed = true
+			if u := sorted[i].Pred.Upper(m); u > maxUpper {
+				maxUpper = u
+			}
+		}
+	}
+	out := sorted[:0]
+	for i, inc := range included {
+		if inc {
+			out = append(out, sorted[i])
+		}
+	}
+	return out
+}
+
+// FixedTopK is the ablation of Figure 15: keep exactly k options ranked by
+// predicted mean, ignoring the confidence intervals.
+func FixedTopK(cands []Candidate, m quality.Metric, k int) []Candidate {
+	if len(cands) == 0 || k <= 0 {
+		return nil
+	}
+	sorted := make([]Candidate, len(cands))
+	copy(sorted, cands)
+	sort.Slice(sorted, func(i, j int) bool {
+		mi, mj := sorted[i].Pred.Mean[m], sorted[j].Pred.Mean[m]
+		if mi != mj {
+			return mi < mj
+		}
+		return optionLess(sorted[i].Option, sorted[j].Option)
+	})
+	if k > len(sorted) {
+		k = len(sorted)
+	}
+	return sorted[:k]
+}
+
+func optionLess(a, b netsim.Option) bool {
+	if a.Kind != b.Kind {
+		return a.Kind < b.Kind
+	}
+	if a.R1 != b.R1 {
+		return a.R1 < b.R1
+	}
+	return a.R2 < b.R2
+}

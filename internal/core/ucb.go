@@ -1,0 +1,176 @@
+package core
+
+import (
+	"math"
+
+	"repro/internal/netsim"
+	"repro/internal/quality"
+)
+
+// ucbArm is the running reward state of one relaying option for one pair.
+type ucbArm struct {
+	count float64 // |C_r|: calls assigned to this option (decays on refresh)
+	sum   float64 // Σ Q(c', r): raw observed metric values
+}
+
+// ucbState is the per-pair exploration-exploitation state used by
+// Algorithm 3.
+type ucbState struct {
+	arms map[netsim.Option]*ucbArm
+	t    float64 // total assignments for this pair (the T of Algorithm 3)
+	maxQ float64 // largest value ever observed (naive-normalization ablation)
+}
+
+func newUCBState() *ucbState {
+	return &ucbState{arms: make(map[netsim.Option]*ucbArm)}
+}
+
+// observe folds one realized metric value into the state.
+func (s *ucbState) observe(opt netsim.Option, q float64) {
+	a := s.arms[opt]
+	if a == nil {
+		a = &ucbArm{}
+		s.arms[opt] = a
+	}
+	a.count++
+	a.sum += q
+	s.t++
+	if q > s.maxQ {
+		s.maxQ = q
+	}
+}
+
+// reseedStale resets arms whose accumulated memory grossly contradicts the
+// fresh prediction: the prediction is built from recent observations, so a
+// large disagreement means the option's reward distribution has shifted and
+// the old samples are misleading (§4.5's drifting-distribution concern).
+// The arm restarts from the prediction as a single virtual sample, so UCB
+// re-explores it promptly.
+func (s *ucbState) reseedStale(topk []Candidate, m quality.Metric) {
+	for _, c := range topk {
+		a := s.arms[c.Option]
+		if a == nil || a.count < 1 {
+			continue
+		}
+		pm := c.Pred.Mean[m]
+		// Require real support behind the prediction and a gross (2.5x)
+		// disagreement; reseeding on prediction noise would throw away
+		// good memory in stationary regimes.
+		if pm <= 0 || c.Pred.N < 3 {
+			continue
+		}
+		emp := a.sum / a.count
+		if emp > 2.5*pm || emp < pm/2.5 {
+			s.t -= a.count - 1
+			a.count = 1
+			a.sum = pm
+		}
+	}
+}
+
+// decay ages the state when the candidate set is refreshed, so stale
+// observations from previous prune epochs lose influence while still
+// seeding the new epoch. factor 1 disables decay; 0 resets.
+func (s *ucbState) decay(factor float64) {
+	if factor >= 1 {
+		return
+	}
+	if factor < 0 {
+		factor = 0
+	}
+	s.t *= factor
+	for _, a := range s.arms {
+		a.count *= factor
+		a.sum *= factor
+	}
+}
+
+// explore implements Algorithm 3: the modified UCB1 over the top-k
+// candidates. Rewards (metric values; lower is better) are normalized by w,
+// the mean of the top-k options' 95% upper confidence bounds — not by the
+// observed range, which outliers would stretch until common-case differences
+// become indistinguishable (§4.5 modification 1). An option never tried in
+// this epoch is chosen immediately (its confidence bound is unbounded).
+// coef is the exploration coefficient (0.1 in the paper's pseudocode).
+func (s *ucbState) explore(topk []Candidate, m quality.Metric, coef float64, naiveNorm bool) netsim.Option {
+	if len(topk) == 0 {
+		return netsim.DirectOption()
+	}
+	// Normalizer: mean of upper confidence bounds of the top-k candidates.
+	var w float64
+	if naiveNorm {
+		// Ablation (Fig. 15): normalize by the full observed value range,
+		// the standard rescaling UCB1 would use to map rewards into [0,1].
+		// Heavy-tailed outliers stretch it, so common-case differences
+		// between options become indistinguishable next to the exploration
+		// term (§4.5).
+		w = s.maxQ
+		for _, c := range topk {
+			if u := c.Pred.Upper(m); u > w {
+				w = u
+			}
+		}
+	} else {
+		for _, c := range topk {
+			w += c.Pred.Upper(m)
+		}
+		w /= float64(len(topk))
+	}
+	if w <= 0 {
+		w = 1
+	}
+
+	t := s.t + 1
+	best := topk[0].Option
+	bestUCB := math.Inf(1)
+	for _, c := range topk {
+		// Prediction-guided prior: an arm with no observations this epoch
+		// is scored as if the prediction were a single sample. This keeps
+		// the survey cost of classic UCB1's mandatory init round from being
+		// paid per pair per epoch — the prediction already is a measurement
+		// of the arm (from other calls, pooled by tomography) — while the
+		// √(ln t / n) term still drives the arm to be tried early.
+		n, sum := 1.0, c.Pred.Mean[m]
+		if a := s.arms[c.Option]; a != nil && a.count >= 1 {
+			n, sum = a.count, a.sum
+		}
+		ucb := sum/(w*n) - math.Sqrt(coef*math.Log(t)/n)
+		if ucb < bestUCB {
+			bestUCB = ucb
+			best = c.Option
+		}
+	}
+	return best
+}
+
+// empiricalMean returns the option's observed mean, if it has any samples.
+// Used by the pure exploration baseline and by budget benefit estimation.
+func (s *ucbState) empiricalMean(opt netsim.Option) (float64, bool) {
+	a := s.arms[opt]
+	if a == nil || a.count < 1 {
+		return 0, false
+	}
+	return a.sum / a.count, true
+}
+
+// incumbent returns the arm with the best (lowest) empirical mean among
+// arms with at least minCount effective samples. The pruning step consults
+// it so a proven arm is never evicted from the candidate set by one noisy
+// prediction refresh.
+func (s *ucbState) incumbent(minCount float64) (netsim.Option, float64, bool) {
+	var best netsim.Option
+	bestV := 0.0
+	found := false
+	for opt, a := range s.arms {
+		if a.count < minCount {
+			continue
+		}
+		v := a.sum / a.count
+		// Deterministic tie-break: map iteration order must not leak into
+		// decisions.
+		if !found || v < bestV || (v == bestV && optionLess(opt, best)) {
+			best, bestV, found = opt, v, true
+		}
+	}
+	return best, bestV, found
+}

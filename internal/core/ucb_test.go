@@ -1,0 +1,191 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/quality"
+	"repro/internal/stats"
+)
+
+func TestUCBPriorSeedsUntriedArms(t *testing.T) {
+	// Untried arms are scored from their prediction as a single virtual
+	// sample. With comparable predicted means, every arm must get pulled
+	// within a modest horizon — the √(ln t / n) term guarantees it.
+	s := newUCBState()
+	topk := []Candidate{
+		cand(netsim.BounceOption(1), 100, 5),
+		cand(netsim.BounceOption(2), 105, 5),
+		cand(netsim.BounceOption(3), 110, 5),
+	}
+	tried := map[netsim.Option]bool{}
+	for i := 0; i < 40; i++ {
+		opt := s.explore(topk, quality.RTT, 0.1, false)
+		tried[opt] = true
+		s.observe(opt, 100)
+	}
+	if len(tried) != 3 {
+		t.Fatalf("only %d/3 arms ever tried", len(tried))
+	}
+}
+
+func TestUCBPriorPrefersBetterPrediction(t *testing.T) {
+	// With no observations at all, the first pull goes to the arm with the
+	// best predicted mean.
+	s := newUCBState()
+	topk := []Candidate{
+		cand(netsim.BounceOption(1), 200, 5),
+		cand(netsim.BounceOption(2), 90, 5),
+	}
+	if got := s.explore(topk, quality.RTT, 0.1, false); got != netsim.BounceOption(2) {
+		t.Errorf("first pull = %v, want the better-predicted arm", got)
+	}
+}
+
+func TestUCBConvergesToBestArm(t *testing.T) {
+	rng := stats.NewRNG(1)
+	s := newUCBState()
+	topk := []Candidate{
+		cand(netsim.BounceOption(1), 100, 10),
+		cand(netsim.BounceOption(2), 100, 10), // same prediction; truth differs
+	}
+	truth := map[netsim.Option]float64{
+		netsim.BounceOption(1): 80,
+		netsim.BounceOption(2): 140,
+	}
+	picks := map[netsim.Option]int{}
+	for i := 0; i < 600; i++ {
+		opt := s.explore(topk, quality.RTT, 0.1, false)
+		picks[opt]++
+		s.observe(opt, truth[opt]*rng.LogNormal(0, 0.1))
+	}
+	if picks[netsim.BounceOption(1)] < 400 {
+		t.Errorf("best arm picked only %d/600 times", picks[netsim.BounceOption(1)])
+	}
+}
+
+func TestUCBNaiveNormExploresMore(t *testing.T) {
+	// With max-based normalization an early outlier stretches the scale so
+	// the exploitation term shrinks; the suboptimal arm keeps being pulled
+	// far longer than with upper-CI normalization. This is the Fig. 15
+	// mechanism.
+	root := stats.NewRNG(3)
+	run := func(naive bool, trial uint64) int {
+		rng := root.SplitN("trial", trial)
+		s := newUCBState()
+		topk := []Candidate{
+			cand(netsim.BounceOption(1), 100, 10),
+			cand(netsim.BounceOption(2), 100, 10),
+		}
+		truth := map[netsim.Option]float64{
+			netsim.BounceOption(1): 80,
+			netsim.BounceOption(2): 130,
+		}
+		badPulls := 0
+		for i := 0; i < 400; i++ {
+			opt := s.explore(topk, quality.RTT, 0.1, naive)
+			if opt == netsim.BounceOption(2) {
+				badPulls++
+			}
+			v := truth[opt] * rng.LogNormal(0, 0.3)
+			if rng.Float64() < 0.02 {
+				v += 300 + rng.Pareto(200, 1.8) // heavy-tailed RTT outlier
+			}
+			s.observe(opt, v)
+		}
+		return badPulls
+	}
+	var good, naive int
+	const trials = 40
+	for tr := uint64(0); tr < trials; tr++ {
+		good += run(false, tr)
+		naive += run(true, tr)
+	}
+	if naive <= good {
+		t.Errorf("naive normalization should waste more pulls on average: naive=%d vs via=%d (over %d trials)", naive, good, trials)
+	}
+}
+
+func TestUCBDecay(t *testing.T) {
+	s := newUCBState()
+	s.observe(netsim.BounceOption(1), 100)
+	s.observe(netsim.BounceOption(1), 100)
+	s.decay(0.5)
+	a := s.arms[netsim.BounceOption(1)]
+	if a.count != 1 || a.sum != 100 {
+		t.Errorf("decayed arm = %+v", a)
+	}
+	if s.t != 1 {
+		t.Errorf("decayed t = %v", s.t)
+	}
+	s.decay(1) // no-op
+	if a.count != 1 {
+		t.Error("decay(1) should be a no-op")
+	}
+	s.decay(-1) // clamps to reset
+	if a.count != 0 {
+		t.Error("negative factor should reset")
+	}
+}
+
+func TestUCBEmptyTopK(t *testing.T) {
+	s := newUCBState()
+	if got := s.explore(nil, quality.RTT, 0.1, false); got != netsim.DirectOption() {
+		t.Errorf("empty top-k should fall back to direct, got %v", got)
+	}
+}
+
+func TestEmpiricalMean(t *testing.T) {
+	s := newUCBState()
+	if _, ok := s.empiricalMean(netsim.BounceOption(1)); ok {
+		t.Error("untried arm should report no mean")
+	}
+	s.observe(netsim.BounceOption(1), 10)
+	s.observe(netsim.BounceOption(1), 20)
+	if v, ok := s.empiricalMean(netsim.BounceOption(1)); !ok || v != 15 {
+		t.Errorf("mean = %v, %v", v, ok)
+	}
+}
+
+func TestReseedStale(t *testing.T) {
+	s := newUCBState()
+	opt := netsim.BounceOption(1)
+	// 10 samples around 700: stale memory.
+	for i := 0; i < 10; i++ {
+		s.observe(opt, 700)
+	}
+	// Fresh prediction says ~60 with solid support: memory must reset.
+	c := cand(opt, 60, 5)
+	c.Pred.N = 10
+	s.reseedStale([]Candidate{c}, quality.RTT)
+	if v, ok := s.empiricalMean(opt); !ok || v != 60 {
+		t.Errorf("reseeded mean = %v, want 60", v)
+	}
+	if s.arms[opt].count != 1 {
+		t.Errorf("reseeded count = %v, want 1", s.arms[opt].count)
+	}
+
+	// Mild disagreement (within 2.5x) must NOT reset.
+	s2 := newUCBState()
+	for i := 0; i < 10; i++ {
+		s2.observe(opt, 100)
+	}
+	c2 := cand(opt, 60, 5)
+	c2.Pred.N = 10
+	s2.reseedStale([]Candidate{c2}, quality.RTT)
+	if s2.arms[opt].count != 10 {
+		t.Error("mild disagreement should keep memory")
+	}
+
+	// Thin prediction support must NOT reset either.
+	s3 := newUCBState()
+	for i := 0; i < 10; i++ {
+		s3.observe(opt, 700)
+	}
+	c3 := cand(opt, 60, 5)
+	c3.Pred.N = 1
+	s3.reseedStale([]Candidate{c3}, quality.RTT)
+	if s3.arms[opt].count != 10 {
+		t.Error("thin prediction should not reset memory")
+	}
+}

@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/quality"
+	"repro/internal/stats"
+)
+
+// BudgetModels evaluates the alternative budget formulations §4.6 names but
+// does not evaluate: a talk-time (bandwidth-proxy) budget instead of a
+// call-count budget, and per-relay load caps.
+func BudgetModels(e *Env) []*stats.Table {
+	m := quality.RTT
+	def := e.Default().PNR.AtLeastOneBadRate()
+
+	t := &stats.Table{
+		Title:   "§4.6 alternative budget models (B=0.15, RTT-optimized)",
+		Headers: []string{"model", "PNR", "reduction", "relayed calls"},
+	}
+	variants := []struct {
+		label string
+		mod   func(*core.ViaConfig)
+	}{
+		{"call-count budget", func(c *core.ViaConfig) { c.Budget = 0.15 }},
+		{"talk-time budget", func(c *core.ViaConfig) { c.Budget = 0.15; c.BudgetByDuration = true }},
+		{"call-count + per-relay cap 2%", func(c *core.ViaConfig) {
+			c.Budget = 0.15
+			c.PerRelayBudget = 0.02
+		}},
+		{"unbudgeted", func(c *core.ViaConfig) {}},
+	}
+	for _, v := range variants {
+		res := e.ViaVariant("bm-"+v.label, m, v.mod)
+		t.AddRow(v.label, fmtPct(res.PNR.AtLeastOneBadRate()),
+			fmt.Sprintf("%.1f%%", reduction(def, res.PNR.AtLeastOneBadRate())),
+			fmtPct(res.RelayedFraction()))
+	}
+
+	// Relay-load concentration with and without the per-relay cap.
+	t2 := &stats.Table{
+		Title:   "per-relay load concentration (share of relayed-call relay touches)",
+		Headers: []string{"model", "top relay", "top 3 relays"},
+	}
+	for _, label := range []string{"call-count budget", "call-count + per-relay cap 2%"} {
+		res := e.ViaVariant("bm-"+label, m, nil) // cached from above
+		if res == nil {
+			continue
+		}
+		t2.AddRow(label, fmtPct(topRelayShare(res.RelayUsage, 1)), fmtPct(topRelayShare(res.RelayUsage, 3)))
+	}
+	return []*stats.Table{t, t2}
+}
+
+// topRelayShare returns the combined share of the k most-used relays.
+func topRelayShare(usage map[netsim.RelayID]int64, k int) float64 {
+	var total int64
+	var tops []int64
+	for _, n := range usage {
+		total += n
+		tops = append(tops, n)
+	}
+	if total == 0 {
+		return 0
+	}
+	// Selection of top-k (tiny n; simple sort).
+	for i := 0; i < len(tops); i++ {
+		for j := i + 1; j < len(tops); j++ {
+			if tops[j] > tops[i] {
+				tops[i], tops[j] = tops[j], tops[i]
+			}
+		}
+	}
+	if k > len(tops) {
+		k = len(tops)
+	}
+	var sum int64
+	for i := 0; i < k; i++ {
+		sum += tops[i]
+	}
+	return float64(sum) / float64(total)
+}

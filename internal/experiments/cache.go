@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/quality"
+	"repro/internal/stats"
+)
+
+// DecisionCaching evaluates the §7 client-side decision cache: clients
+// reuse a pair's relaying decision for a TTL instead of asking the
+// controller per call. The table shows the controller-load saving (cache
+// hit rate) against the staleness cost (PNR), quantifying the paper's
+// claim that caching can cut control traffic with modest quality impact —
+// until the TTL outgrows the timescale on which the best option moves
+// (Fig. 9).
+func DecisionCaching(e *Env) []*stats.Table {
+	m := quality.RTT
+	def := e.Default().PNR.Rate(m)
+	t := &stats.Table{
+		Title:   "§7 extension: client-side decision caching (RTT)",
+		Headers: []string{"cache TTL (h)", "controller-load saved", "PNR", "reduction vs default"},
+	}
+	base := e.ViaFor(m)
+	t.AddRow("none", "0%", fmtPct(base.PNR.Rate(m)),
+		fmt.Sprintf("%.1f%%", reduction(def, base.PNR.Rate(m))))
+	for _, ttl := range []float64{1, 6, 24, 96} {
+		ttl := ttl
+		key := fmt.Sprintf("cache-%v", ttl)
+		var cached *core.Cached
+		res := e.run(key, func() core.Strategy {
+			cached = core.NewCached(core.NewVia(core.DefaultViaConfig(m), e.World), ttl)
+			return cached
+		})
+		saved := "cached"
+		if cached != nil {
+			saved = fmtPct(cached.HitRate())
+		}
+		t.AddRow(ttl, saved, fmtPct(res.PNR.Rate(m)),
+			fmt.Sprintf("%.1f%%", reduction(def, res.PNR.Rate(m))))
+	}
+	return []*stats.Table{t}
+}

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/quality"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+)
+
+// Fig18Config sizes the real-networking deployment experiment.
+type Fig18Config struct {
+	Seed         uint64
+	NumClients   int // client agents (the paper deployed 14 machines)
+	NumRelays    int
+	NumPairs     int // caller-callee pairs (the paper used 18)
+	SurveyRounds int // back-to-back calls per option (the paper: 4-5)
+	EvalCalls    int
+	CallDuration time.Duration
+	PPS          int
+	Parallelism  int
+}
+
+// DefaultFig18Config mirrors §5.5 at a runnable scale.
+func DefaultFig18Config() Fig18Config {
+	return Fig18Config{
+		Seed:         11,
+		NumClients:   10,
+		NumRelays:    8,
+		NumPairs:     18,
+		SurveyRounds: 4,
+		EvalCalls:    12,
+		CallDuration: 400 * time.Millisecond,
+		PPS:          100,
+		Parallelism:  6,
+	}
+}
+
+// QuickFig18Config is a fast smoke-scale configuration for tests and CI.
+func QuickFig18Config() Fig18Config {
+	return Fig18Config{
+		Seed:         11,
+		NumClients:   4,
+		NumRelays:    5,
+		NumPairs:     3,
+		SurveyRounds: 2,
+		EvalCalls:    4,
+		CallDuration: 250 * time.Millisecond,
+		PPS:          100,
+		Parallelism:  3,
+	}
+}
+
+// Fig18 runs the §5.5 controlled deployment on loopback: real controller,
+// relays, clients and media, links shaped from the world model. It reports
+// the CDF of Via's per-call suboptimality vs the measured-best option
+// (paper: within 20% of the oracle for ~70% of calls, exact best picked for
+// no more than ~30%).
+func Fig18(cfg Fig18Config) ([]*stats.Table, error) {
+	wcfg := netsim.DefaultConfig(cfg.Seed)
+	wcfg.NumASes = 60
+	wcfg.NumRelays = cfg.NumRelays
+	wcfg.BounceCandidates = 3
+	wcfg.TransitFan = 2
+	w := netsim.New(wcfg)
+
+	// Spread clients across distinct countries, as the deployment did.
+	var clients []netsim.ASID
+	seen := map[string]bool{}
+	for i := 0; i < w.NumASes() && len(clients) < cfg.NumClients; i++ {
+		id := netsim.ASID(i)
+		c := w.CountryOf(id)
+		if !seen[c] {
+			seen[c] = true
+			clients = append(clients, id)
+		}
+	}
+	var relays []netsim.RelayID
+	for i := 0; i < cfg.NumRelays; i++ {
+		relays = append(relays, netsim.RelayID(i))
+	}
+
+	viaCfg := core.DefaultViaConfig(quality.RTT)
+	viaCfg.Seed = cfg.Seed
+	tb, err := testbed.Start(testbed.Config{
+		Seed:       cfg.Seed,
+		World:      w,
+		ClientASes: clients,
+		RelayIDs:   relays,
+		Strategy:   core.NewVia(viaCfg, nil),
+		TimeScale:  7200,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer tb.Close()
+
+	var pairs [][2]netsim.ASID
+	for i := 0; len(pairs) < cfg.NumPairs; i++ {
+		a := clients[i%len(clients)]
+		b := clients[(i+1+i/len(clients))%len(clients)]
+		if a == b {
+			continue
+		}
+		pairs = append(pairs, [2]netsim.ASID{a, b})
+		if i > cfg.NumPairs*len(clients) {
+			break
+		}
+	}
+
+	res, err := tb.RunDeployment(testbed.DeploymentConfig{
+		Pairs:        pairs,
+		SurveyRounds: cfg.SurveyRounds,
+		EvalCalls:    cfg.EvalCalls,
+		CallDuration: cfg.CallDuration,
+		PPS:          cfg.PPS,
+		Parallelism:  cfg.Parallelism,
+		MaxOptions:   20,
+	}, quality.RTT)
+	if err != nil {
+		return nil, err
+	}
+
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Fig 18: deployment suboptimality CDF (%d pairs, %d calls)", len(res.Pairs), res.TotalCalls),
+		Headers: []string{"statistic", "value", "paper"},
+	}
+	cdf := stats.NewCDF(res.Suboptimality)
+	if cdf.N() == 0 {
+		t.AddRow("no eval calls", "", "")
+		return []*stats.Table{t}, nil
+	}
+	t.AddRow("eval calls", cdf.N(), "~1000 total calls")
+	t.AddRow("suboptimality = 0 (best picked)", fmtPct(res.BestPickedFrac), "<=30%")
+	t.AddRow("within 20% of oracle", fmtPct(1-cdf.FractionAbove(0.20)), "~70%")
+	t.AddRow("within 50% of oracle", fmtPct(1-cdf.FractionAbove(0.50)), "")
+	t.AddRow("p50 suboptimality", cdf.Quantile(0.5), "")
+	t.AddRow("p90 suboptimality", cdf.Quantile(0.9), "")
+	return []*stats.Table{t}, nil
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/stats"
+)
+
+// Experiment is one reproducible table/figure generator.
+type Experiment struct {
+	Name  string
+	Desc  string
+	Run   func(*Env) []*stats.Table
+	Order int
+}
+
+// Registry lists every trace-driven experiment by name (Fig 18 is separate:
+// it runs the real-networking testbed and does not consume an Env).
+func Registry() []Experiment {
+	exps := []Experiment{
+		{"table1", "dataset summary (Table 1)", Table1, 1},
+		{"fig1", "PCR vs network metrics (Fig 1)", Fig1, 2},
+		{"fig2", "metric CDFs and thresholds (Fig 2)", Fig2, 3},
+		{"fig3", "pairwise metric correlation (Fig 3)", Fig3, 4},
+		{"fig4", "international vs domestic (Fig 4)", Fig4, 5},
+		{"fig5", "worst AS-pair contribution (Fig 5)", Fig5, 6},
+		{"fig6", "persistence & prevalence (Fig 6)", Fig6, 7},
+		{"fig8", "oracle potential (Fig 8)", Fig8, 8},
+		{"fig9", "best-option persistence (Fig 9)", Fig9, 9},
+		{"fig12a", "via vs strawmen vs oracle (Fig 12a)", Fig12a, 10},
+		{"fig12b", "percentile improvements (Fig 12b)", Fig12b, 11},
+		{"mix", "option mix & transit value (§5.2)", OptionMix, 12},
+		{"fig13", "intl vs domestic under via (Fig 13)", Fig13, 13},
+		{"fig14", "per-country dissection (Fig 14)", Fig14, 14},
+		{"fig15", "guided-exploration ablation (Fig 15)", Fig15, 15},
+		{"fig16", "budget sweep (Fig 16)", Fig16, 16},
+		{"fig17a", "spatial granularity (Fig 17a)", Fig17a, 17},
+		{"fig17b", "temporal granularity (Fig 17b)", Fig17b, 18},
+		{"fig17c", "relay deployment (Fig 17c)", Fig17c, 19},
+		{"tomo", "tomography prediction accuracy (§5.3)", TomographyAccuracy, 20},
+		{"probes", "active-measurement extension (§7)", ActiveProbes, 21},
+		{"mos", "thresholds vs packet-trace MOS (§2.2)", MOSValidation, 22},
+		{"mosgain", "E-model MOS improvement under via", MOSImprovement, 23},
+		{"coords", "Vivaldi coordinates vs history coverage (§6)", CoordinatesAccuracy, 24},
+		{"cache", "client-side decision caching (§7)", DecisionCaching, 25},
+		{"budgetmodels", "alternative budget models (§4.6)", BudgetModels, 26},
+	}
+	sort.Slice(exps, func(i, j int) bool { return exps[i].Order < exps[j].Order })
+	return exps
+}
+
+// Lookup finds an experiment by name.
+func Lookup(name string) (Experiment, error) {
+	for _, e := range Registry() {
+		if e.Name == name {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("experiments: unknown experiment %q", name)
+}

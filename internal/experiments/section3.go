@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/quality"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Fig8 reproduces the oracle potential (§3.2): per-metric distribution
+// improvements (30-60% at the median, 40-65% at the tail in the paper) and
+// PNR reductions (up to 53% per metric, >30% on at-least-one-bad).
+func Fig8(e *Env) []*stats.Table {
+	def := e.Default()
+
+	a := &stats.Table{
+		Title:   "Fig 8a: oracle improvement on metric percentiles (vs default)",
+		Headers: []string{"metric", "p50 impr", "p90 impr", "p99 impr", "paper p50", "paper tail"},
+	}
+	oracleRuns := map[quality.Metric]*sim.Result{}
+	for _, m := range quality.AllMetrics() {
+		orc := e.OracleFor(m)
+		oracleRuns[m] = orc
+		a.AddRow(m.String(),
+			fmt.Sprintf("%.1f%%", quantileImprovement(def, orc, m, 0.50)),
+			fmt.Sprintf("%.1f%%", quantileImprovement(def, orc, m, 0.90)),
+			fmt.Sprintf("%.1f%%", quantileImprovement(def, orc, m, 0.99)),
+			"30-60%", "40-65%")
+	}
+
+	b := &stats.Table{
+		Title:   "Fig 8b: oracle PNR reduction (vs default)",
+		Headers: []string{"criterion", "default PNR", "oracle PNR", "reduction", "paper"},
+	}
+	for _, m := range quality.AllMetrics() {
+		dv := def.PNR.Rate(m)
+		ov := oracleRuns[m].PNR.Rate(m)
+		b.AddRow(m.String(), fmtPct(dv), fmtPct(ov),
+			fmt.Sprintf("%.1f%%", reduction(dv, ov)), "up to 53%")
+	}
+	dAll := def.PNR.AtLeastOneBadRate()
+	oAll := atLeastOneConservative(oracleRuns)
+	b.AddRow("at-least-one (conservative)", fmtPct(dAll), fmtPct(oAll),
+		fmt.Sprintf("%.1f%%", reduction(dAll, oAll)), ">30%")
+	return []*stats.Table{a, b}
+}
+
+// Fig9 reproduces the best-option persistence distribution: ~30% of AS
+// pairs keep the same best option for under 2 days, only ~20% beyond 20
+// days.
+func Fig9(e *Env) []*stats.Table {
+	per := sim.BestOptionPersistence(e.World, e.Trace, e.Runner, quality.RTT)
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Fig 9: duration the oracle's best option lasts (n=%d pairs, RTT)", len(per)),
+		Headers: []string{"statistic", "value", "paper"},
+	}
+	if len(per) == 0 {
+		t.AddRow("no data", "", "")
+		return []*stats.Table{t}
+	}
+	cdf := stats.NewCDF(per)
+	t.AddRow("median best-option run <2 days", fmtPct(1-cdf.FractionAtOrAbove(2)), "~30%")
+	t.AddRow("median best-option run <=3 days", fmtPct(1-cdf.FractionAbove(3)), "")
+	t.AddRow(">20 days", fmtPct(cdf.FractionAbove(20)), "~20%")
+	t.AddRow("p50 run length (days)", cdf.Quantile(0.5), "")
+	t.AddRow("p90 run length (days)", cdf.Quantile(0.9), "")
+	return []*stats.Table{t}
+}

@@ -1,0 +1,405 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/quality"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+// Fig12a reproduces the headline comparison: PNR reduction of Via vs the
+// two strawmen and the oracle, per metric and on the conservative
+// at-least-one-bad criterion. Paper: Via 39-45% per metric (oracle 53%),
+// 23% at-least-one (oracle 30%), strawmen well below.
+func Fig12a(e *Env) []*stats.Table {
+	def := e.Default()
+	t := &stats.Table{
+		Title:   "Fig 12a: PNR reduction vs default",
+		Headers: []string{"criterion", "strawman-I", "strawman-II", "via", "oracle", "paper via", "paper oracle"},
+	}
+	families := map[string]func(quality.Metric) *sim.Result{
+		"strawman-I":  e.PredictOnlyFor,
+		"strawman-II": e.ExploreOnlyFor,
+		"via":         e.ViaFor,
+		"oracle":      e.OracleFor,
+	}
+	perMetricPaper := map[quality.Metric]string{
+		quality.RTT: "45%", quality.Loss: "39%", quality.Jitter: "45%",
+	}
+	for _, m := range quality.AllMetrics() {
+		base := def.PNR.Rate(m)
+		row := []any{m.String()}
+		for _, name := range []string{"strawman-I", "strawman-II", "via", "oracle"} {
+			r := families[name](m)
+			row = append(row, fmt.Sprintf("%.1f%%", reduction(base, r.PNR.Rate(m))))
+		}
+		row = append(row, perMetricPaper[m], "up to 53%")
+		t.AddRow(row...)
+	}
+	// Conservative at-least-one.
+	base := def.PNR.AtLeastOneBadRate()
+	row := []any{"at-least-one"}
+	for _, name := range []string{"strawman-I", "strawman-II", "via", "oracle"} {
+		runs := map[quality.Metric]*sim.Result{}
+		for _, m := range quality.AllMetrics() {
+			runs[m] = families[name](m)
+		}
+		row = append(row, fmt.Sprintf("%.1f%%", reduction(base, atLeastOneConservative(runs))))
+	}
+	row = append(row, "23%", "30%")
+	t.AddRow(row...)
+	return []*stats.Table{t}
+}
+
+// Fig12b reproduces the percentile-vs-percentile improvements of Via over
+// the default strategy (paper: 20-58% at the median, 20-57% at p90).
+func Fig12b(e *Env) []*stats.Table {
+	def := e.Default()
+	t := &stats.Table{
+		Title:   "Fig 12b: via improvement on percentiles (vs default)",
+		Headers: []string{"metric", "p50", "p75", "p90", "p99", "paper p50", "paper p90"},
+	}
+	for _, m := range quality.AllMetrics() {
+		via := e.ViaFor(m)
+		t.AddRow(m.String(),
+			fmt.Sprintf("%.1f%%", quantileImprovement(def, via, m, 0.50)),
+			fmt.Sprintf("%.1f%%", quantileImprovement(def, via, m, 0.75)),
+			fmt.Sprintf("%.1f%%", quantileImprovement(def, via, m, 0.90)),
+			fmt.Sprintf("%.1f%%", quantileImprovement(def, via, m, 0.99)),
+			"20-58%", "20-57%")
+	}
+	return []*stats.Table{t}
+}
+
+// OptionMix reproduces the §5.2 in-text statistics: Via's split across
+// bounce/transit/direct (paper: ~54% bounce, 38% transit, 8% direct) and
+// the benefit of having transit relays at all.
+func OptionMix(e *Env) []*stats.Table {
+	t := &stats.Table{
+		Title:   "§5.2: via option mix over eligible calls",
+		Headers: []string{"metric optimized", "direct", "bounce", "transit", "paper"},
+	}
+	for _, m := range quality.AllMetrics() {
+		via := e.ViaFor(m)
+		d, b, tr := via.OptionShare()
+		t.AddRow(m.String(), fmtPct(d), fmtPct(b), fmtPct(tr), "8% / 54% / 38%")
+	}
+
+	// Transit-vs-bounce: re-run Via with transit options excluded.
+	t2 := &stats.Table{
+		Title:   "§5.2: value of transit relaying (at-least-one-bad PNR)",
+		Headers: []string{"variant", "PNR", "reduction vs default", "paper"},
+	}
+	def := e.Default().PNR.AtLeastOneBadRate()
+	full := e.ViaFor(quality.RTT).PNR.AtLeastOneBadRate()
+	noTransit := e.run("via-notransit/rtt", func() core.Strategy {
+		cfg := core.DefaultViaConfig(quality.RTT)
+		return core.NewVia(cfg, e.World)
+	})
+	_ = noTransit
+	// Exclude transit at the simulator level for a faithful comparison.
+	excl := e.runWithFilter("via-bounceonly/rtt", quality.RTT, func(cands []netsim.Option) []netsim.Option {
+		out := cands[:0:0]
+		for _, o := range cands {
+			if o.Kind != netsim.Transit {
+				out = append(out, o)
+			}
+		}
+		return out
+	})
+	t2.AddRow("bounce+transit", fmtPct(full), fmt.Sprintf("%.1f%%", reduction(def, full)), "")
+	t2.AddRow("bounce only", fmtPct(excl.PNR.AtLeastOneBadRate()),
+		fmt.Sprintf("%.1f%%", reduction(def, excl.PNR.AtLeastOneBadRate())),
+		"transit+bounce has ~50% lower PNR on pairs using both")
+	return []*stats.Table{t, t2}
+}
+
+// Fig13 reproduces the international/domestic split under default, Via and
+// oracle (Via helps international calls slightly more).
+func Fig13(e *Env) []*stats.Table {
+	m := quality.RTT
+	def, via, orc := e.Default(), e.ViaFor(m), e.OracleFor(m)
+	t := &stats.Table{
+		Title:   "Fig 13: at-least-one-bad PNR by call class (RTT-optimized)",
+		Headers: []string{"class", "default", "via", "oracle", "via reduction"},
+	}
+	add := func(name string, d, v, o float64) {
+		t.AddRow(name, fmtPct(d), fmtPct(v), fmtPct(o), fmt.Sprintf("%.1f%%", reduction(d, v)))
+	}
+	add("international",
+		def.International.AtLeastOneBadRate(),
+		via.International.AtLeastOneBadRate(),
+		orc.International.AtLeastOneBadRate())
+	add("domestic",
+		def.Domestic.AtLeastOneBadRate(),
+		via.Domestic.AtLeastOneBadRate(),
+		orc.Domestic.AtLeastOneBadRate())
+	return []*stats.Table{t}
+}
+
+// Fig14 dissects PNR by the worst countries: the paper's point is that Via
+// lands closer to the oracle than to the default for most of them.
+func Fig14(e *Env) []*stats.Table {
+	var out []*stats.Table
+	for _, m := range quality.AllMetrics() {
+		def, via, orc := e.Default(), e.ViaFor(m), e.OracleFor(m)
+		type row struct {
+			c       string
+			d, v, o float64
+			calls   int64
+		}
+		var rows []row
+		for c, p := range def.ByCountry {
+			if p.Total < 800 {
+				continue
+			}
+			vp, op := via.ByCountry[c], orc.ByCountry[c]
+			if vp == nil || op == nil {
+				continue
+			}
+			rows = append(rows, row{c, p.Rate(m), vp.Rate(m), op.Rate(m), p.Total})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].d > rows[j].d })
+		t := &stats.Table{
+			Title:   fmt.Sprintf("Fig 14 (%s): worst countries, default vs via vs oracle PNR", m),
+			Headers: []string{"country", "calls", "default", "via", "oracle", "via closer to"},
+		}
+		closerOracle := 0
+		n := 0
+		for i, r := range rows {
+			if i >= 10 {
+				break
+			}
+			closer := "default"
+			if r.d-r.v > r.v-r.o {
+				closer = "oracle"
+				closerOracle++
+			}
+			n++
+			t.AddRow(r.c, r.calls, fmtPct(r.d), fmtPct(r.v), fmtPct(r.o), closer)
+		}
+		if n > 0 {
+			t.AddRow("closer-to-oracle", fmt.Sprintf("%d/%d", closerOracle, n), "", "", "", "paper: most")
+		}
+		out = append(out, t)
+	}
+	return out
+}
+
+// Fig15 reproduces the design-choice ablation: adaptive CI-based top-k and
+// upper-CI reward normalization each contribute (paper: at-least-one 24% vs
+// 15% with fixed top-2; loss 44% vs 26%).
+func Fig15(e *Env) []*stats.Table {
+	def := e.Default()
+	t := &stats.Table{
+		Title:   "Fig 15: guided-exploration ablation (PNR reduction vs default)",
+		Headers: []string{"criterion", "fixed-k2+naive-norm", "fixed-k2", "naive-norm", "via (adaptive+normalized)"},
+	}
+	variants := []struct {
+		label string
+		mod   func(*core.ViaConfig)
+	}{
+		{"fixedk2-naivenorm", func(c *core.ViaConfig) { c.FixedK = 2; c.NaiveNorm = true }},
+		{"fixedk2", func(c *core.ViaConfig) { c.FixedK = 2 }},
+		{"naivenorm", func(c *core.ViaConfig) { c.NaiveNorm = true }},
+		{"full", func(c *core.ViaConfig) {}},
+	}
+	for _, m := range quality.AllMetrics() {
+		base := def.PNR.Rate(m)
+		row := []any{m.String()}
+		for _, v := range variants {
+			r := e.ViaVariant("f15-"+v.label, m, v.mod)
+			row = append(row, fmt.Sprintf("%.1f%%", reduction(base, r.PNR.Rate(m))))
+		}
+		t.AddRow(row...)
+	}
+	base := def.PNR.AtLeastOneBadRate()
+	row := []any{"at-least-one"}
+	for _, v := range variants {
+		runs := map[quality.Metric]*sim.Result{}
+		for _, m := range quality.AllMetrics() {
+			runs[m] = e.ViaVariant("f15-"+v.label, m, v.mod)
+		}
+		row = append(row, fmt.Sprintf("%.1f%%", reduction(base, atLeastOneConservative(runs))))
+	}
+	t.AddRow(row...)
+	return []*stats.Table{t}
+}
+
+// Fig16 reproduces the budget sweep: budget-aware Via uses the budget far
+// more efficiently than budget-unaware, reaching about half the full
+// benefit at a 30% budget.
+func Fig16(e *Env) []*stats.Table {
+	m := quality.RTT
+	def := e.Default().PNR.AtLeastOneBadRate()
+	orc := e.OracleFor(m).PNR.AtLeastOneBadRate()
+	budgets := []float64{0.05, 0.1, 0.2, 0.3, 0.5, 0.75, 1.0}
+	t := &stats.Table{
+		Title:   "Fig 16: at-least-one-bad PNR vs relaying budget (RTT-optimized)",
+		Headers: []string{"budget", "budget-aware PNR", "aware relayed", "budget-unaware PNR", "unaware relayed", "oracle PNR"},
+	}
+	for _, b := range budgets {
+		bb := b
+		aware := e.ViaVariant(fmt.Sprintf("f16-aware-%.2f", b), m, func(c *core.ViaConfig) {
+			c.Budget = bb
+			c.BudgetAware = true
+		})
+		unaware := e.ViaVariant(fmt.Sprintf("f16-unaware-%.2f", b), m, func(c *core.ViaConfig) {
+			c.Budget = bb
+			c.BudgetAware = false
+		})
+		t.AddRow(b,
+			fmtPct(aware.PNR.AtLeastOneBadRate()), fmtPct(aware.RelayedFraction()),
+			fmtPct(unaware.PNR.AtLeastOneBadRate()), fmtPct(unaware.RelayedFraction()),
+			fmtPct(orc))
+	}
+	t.AddRow("default", fmtPct(def), "", fmtPct(def), "", fmtPct(orc))
+	return []*stats.Table{t}
+}
+
+// Fig17a reproduces the spatial granularity sweep: coarser than AS pair
+// loses benefit; finer than AS pair gains nothing (coverage shrinks).
+func Fig17a(e *Env) []*stats.Table {
+	m := quality.RTT
+	def := e.Default().PNR.Rate(m)
+	t := &stats.Table{
+		Title:   "Fig 17a: impact of spatial decision granularity (RTT)",
+		Headers: []string{"granularity", "PNR", "reduction"},
+	}
+	world := e.World
+	levels := []struct {
+		label  string
+		groups core.GroupFunc
+	}{
+		{"country-pair", core.CountryGroups(world)},
+		{"as-pair (paper default)", core.ASPairGroups},
+		{"sub-as x4", core.SubASGroups(4)},
+		{"sub-as x16", core.SubASGroups(16)},
+	}
+	for _, l := range levels {
+		g := l.groups
+		r := e.ViaVariant("f17a-"+l.label, m, func(c *core.ViaConfig) { c.Groups = g })
+		t.AddRow(l.label, fmtPct(r.PNR.Rate(m)), fmt.Sprintf("%.1f%%", reduction(def, r.PNR.Rate(m))))
+	}
+	return []*stats.Table{t}
+}
+
+// Fig17b reproduces the temporal granularity sweep: T=24h is near-optimal;
+// much longer refresh goes stale.
+func Fig17b(e *Env) []*stats.Table {
+	m := quality.RTT
+	def := e.Default().PNR.Rate(m)
+	t := &stats.Table{
+		Title:   "Fig 17b: impact of refresh period T (RTT)",
+		Headers: []string{"T (hours)", "PNR", "reduction"},
+	}
+	for _, T := range []float64{6, 12, 24, 72, 168} {
+		tt := T
+		r := e.ViaVariant(fmt.Sprintf("f17b-%v", T), m, func(c *core.ViaConfig) { c.RefreshHours = tt })
+		t.AddRow(T, fmtPct(r.PNR.Rate(m)), fmt.Sprintf("%.1f%%", reduction(def, r.PNR.Rate(m))))
+	}
+	return []*stats.Table{t}
+}
+
+// Fig17c reproduces the relay deployment sweep: removing the least-used
+// half of the relays barely dents the benefit.
+func Fig17c(e *Env) []*stats.Table {
+	m := quality.RTT
+	def := e.Default().PNR.Rate(m)
+	full := e.ViaFor(m)
+
+	// Rank relays by usage in the full run.
+	type usage struct {
+		id netsim.RelayID
+		n  int64
+	}
+	var ranked []usage
+	for i := 0; i < e.World.NumRelays(); i++ {
+		id := netsim.RelayID(i)
+		ranked = append(ranked, usage{id, full.RelayUsage[id]})
+	}
+	sort.Slice(ranked, func(i, j int) bool { return ranked[i].n < ranked[j].n })
+
+	t := &stats.Table{
+		Title:   "Fig 17c: PNR when the least-used relays are removed (RTT)",
+		Headers: []string{"relays removed", "PNR", "reduction", "paper"},
+	}
+	t.AddRow("0%", fmtPct(full.PNR.Rate(m)), fmt.Sprintf("%.1f%%", reduction(def, full.PNR.Rate(m))), "")
+	for _, frac := range []float64{0.25, 0.50, 0.75} {
+		k := int(frac * float64(len(ranked)))
+		excl := map[netsim.RelayID]bool{}
+		for i := 0; i < k; i++ {
+			excl[ranked[i].id] = true
+		}
+		r := e.runExcluding(fmt.Sprintf("f17c-%.0f", frac*100), m, excl)
+		paper := ""
+		if frac == 0.50 {
+			paper = "little drop"
+		}
+		t.AddRow(fmtPct(frac), fmtPct(r.PNR.Rate(m)), fmt.Sprintf("%.1f%%", reduction(def, r.PNR.Rate(m))), paper)
+	}
+	return []*stats.Table{t}
+}
+
+// TomographyAccuracy reproduces the §5.3 in-text statistic: ~71% of
+// predictions within 20% of actual, ~14% off by ≥50%.
+func TomographyAccuracy(e *Env) []*stats.Table {
+	// Build one window of realistic (sparse, few-sample) history: only 40%
+	// of each pair's options get 2 samples each, the rest are coverage
+	// holes tomography must stitch. Train the predictor on it, and compare
+	// its predictions against the NEXT window's ground truth (prediction
+	// is always about the future, so drift contributes to error).
+	pairs := e.Runner.EligiblePairs()
+	if len(pairs) > 150 {
+		pairs = pairs[:150]
+	}
+	h := historyFromSparseSurvey(e, pairs, 1, 2, 0.4)
+	pcfg := core.DefaultPredictorConfig()
+	pcfg.TrainBuckets = 1
+	pred := core.BuildPredictor(h, 1, e.World, pcfg)
+
+	t := &stats.Table{
+		Title:   "§5.3: tomography-based prediction accuracy (next-day RTT)",
+		Headers: []string{"statistic", "value", "paper"},
+	}
+	total, within20, off50 := 0, 0, 0
+	for _, pk := range pairs {
+		for _, opt := range e.World.Options(pk.A, pk.B) {
+			p, ok := pred.Predict(int32(pk.A), int32(pk.B), opt)
+			if !ok {
+				continue
+			}
+			truth := e.World.WindowMean(pk.A, pk.B, opt, 2).RTTMs
+			if truth <= 0 {
+				continue
+			}
+			relErr := abs(p.Mean[quality.RTT]-truth) / truth
+			total++
+			if relErr <= 0.20 {
+				within20++
+			}
+			if relErr >= 0.50 {
+				off50++
+			}
+		}
+	}
+	if total == 0 {
+		t.AddRow("no predictions", "", "")
+		return []*stats.Table{t}
+	}
+	t.AddRow("predictions evaluated", total, "")
+	t.AddRow("within 20% of actual", fmtPct(float64(within20)/float64(total)), "71%")
+	t.AddRow("error >= 50%", fmtPct(float64(off50)/float64(total)), "14%")
+	return []*stats.Table{t}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}

@@ -1,0 +1,167 @@
+// Package geo provides the geographic substrate for the synthetic Internet
+// model: a set of countries with representative coordinates, datacenter
+// sites for the managed overlay's relays, great-circle distance, and
+// nearest-K queries. Distances feed the propagation-delay component of the
+// path performance model in internal/netsim.
+package geo
+
+import (
+	"math"
+	"sort"
+)
+
+// Point is a location on the globe in degrees.
+type Point struct {
+	Lat, Lon float64
+}
+
+const earthRadiusKm = 6371.0
+
+// DistanceKm returns the great-circle distance between two points using the
+// haversine formula.
+func DistanceKm(a, b Point) float64 {
+	la1 := a.Lat * math.Pi / 180
+	la2 := b.Lat * math.Pi / 180
+	dla := (b.Lat - a.Lat) * math.Pi / 180
+	dlo := (b.Lon - a.Lon) * math.Pi / 180
+	h := math.Sin(dla/2)*math.Sin(dla/2) +
+		math.Cos(la1)*math.Cos(la2)*math.Sin(dlo/2)*math.Sin(dlo/2)
+	return 2 * earthRadiusKm * math.Asin(math.Min(1, math.Sqrt(h)))
+}
+
+// PropagationRTTMs returns the theoretical round-trip time in milliseconds
+// over a fiber path of the given great-circle length: light in fiber travels
+// at roughly 2/3 c, i.e. ~200 km/ms one way, so RTT ≈ distance / 100 km/ms.
+func PropagationRTTMs(distanceKm float64) float64 {
+	return distanceKm / 100.0
+}
+
+// Country is a country or region participating in the synthetic world.
+type Country struct {
+	Code   string // ISO-like two-letter code
+	Name   string
+	Center Point
+	// Weight biases how much call traffic originates here (relative units).
+	Weight float64
+}
+
+// Countries returns the built-in country set, ordered by code. The set spans
+// every inhabited continent so that international paths cover the full range
+// of distances the paper's dataset saw (126 countries; we model a
+// representative 36 — the algorithms only ever see AS identifiers, so the
+// country count affects diversity, not correctness).
+func Countries() []Country {
+	out := make([]Country, len(builtinCountries))
+	copy(out, builtinCountries)
+	return out
+}
+
+var builtinCountries = []Country{
+	{"AR", "Argentina", Point{-34.6, -58.4}, 1.0},
+	{"AU", "Australia", Point{-33.9, 151.2}, 1.5},
+	{"BR", "Brazil", Point{-23.5, -46.6}, 2.5},
+	{"CA", "Canada", Point{43.7, -79.4}, 1.8},
+	{"CL", "Chile", Point{-33.4, -70.7}, 0.6},
+	{"CN", "China", Point{31.2, 121.5}, 3.0},
+	{"DE", "Germany", Point{52.5, 13.4}, 3.0},
+	{"EG", "Egypt", Point{30.0, 31.2}, 1.0},
+	{"ES", "Spain", Point{40.4, -3.7}, 1.6},
+	{"FR", "France", Point{48.9, 2.3}, 2.4},
+	{"GB", "United Kingdom", Point{51.5, -0.1}, 3.0},
+	{"ID", "Indonesia", Point{-6.2, 106.8}, 1.6},
+	{"IN", "India", Point{19.1, 72.9}, 4.0},
+	{"IT", "Italy", Point{41.9, 12.5}, 1.6},
+	{"JP", "Japan", Point{35.7, 139.7}, 2.2},
+	{"KE", "Kenya", Point{-1.3, 36.8}, 0.6},
+	{"KR", "South Korea", Point{37.6, 127.0}, 1.4},
+	{"LK", "Sri Lanka", Point{6.9, 79.9}, 0.5},
+	{"MX", "Mexico", Point{19.4, -99.1}, 1.5},
+	{"MY", "Malaysia", Point{3.1, 101.7}, 0.9},
+	{"NG", "Nigeria", Point{6.5, 3.4}, 1.2},
+	{"NL", "Netherlands", Point{52.4, 4.9}, 1.3},
+	{"PH", "Philippines", Point{14.6, 121.0}, 1.4},
+	{"PK", "Pakistan", Point{24.9, 67.0}, 1.4},
+	{"PL", "Poland", Point{52.2, 21.0}, 1.1},
+	{"RU", "Russia", Point{55.8, 37.6}, 2.0},
+	{"SA", "Saudi Arabia", Point{24.7, 46.7}, 0.9},
+	{"SE", "Sweden", Point{59.3, 18.1}, 0.8},
+	{"SG", "Singapore", Point{1.35, 103.8}, 1.0},
+	{"TH", "Thailand", Point{13.8, 100.5}, 1.1},
+	{"TR", "Turkey", Point{41.0, 29.0}, 1.3},
+	{"UA", "Ukraine", Point{50.5, 30.5}, 0.9},
+	{"US", "United States", Point{40.7, -74.0}, 5.0},
+	{"VN", "Vietnam", Point{10.8, 106.7}, 1.0},
+	{"ZA", "South Africa", Point{-26.2, 28.0}, 0.9},
+	{"AE", "United Arab Emirates", Point{25.2, 55.3}, 0.8},
+}
+
+// DatacenterSite is a location hosting a managed-overlay relay.
+type DatacenterSite struct {
+	Name   string
+	Center Point
+}
+
+// DatacenterSites returns the built-in relay site set: two dozen locations
+// mirroring where the large cloud providers operate regions, all treated as
+// belonging to one AS connected by a private backbone (as in the paper,
+// where all Skype relays live in a single AS).
+func DatacenterSites() []DatacenterSite {
+	out := make([]DatacenterSite, len(builtinSites))
+	copy(out, builtinSites)
+	return out
+}
+
+var builtinSites = []DatacenterSite{
+	{"us-east", Point{38.9, -77.0}},
+	{"us-west", Point{37.4, -122.1}},
+	{"us-central", Point{41.9, -87.6}},
+	{"us-south", Point{29.4, -98.5}},
+	{"canada-central", Point{43.7, -79.4}},
+	{"brazil-south", Point{-23.5, -46.6}},
+	{"europe-west", Point{52.4, 4.9}},
+	{"europe-north", Point{53.3, -6.3}},
+	{"uk-south", Point{51.5, -0.1}},
+	{"france-central", Point{48.9, 2.3}},
+	{"germany-west", Point{50.1, 8.7}},
+	{"sweden-central", Point{59.3, 18.1}},
+	{"uae-north", Point{25.2, 55.3}},
+	{"southafrica-north", Point{-26.2, 28.0}},
+	{"india-west", Point{19.1, 72.9}},
+	{"india-south", Point{13.1, 80.3}},
+	{"southeastasia", Point{1.35, 103.8}},
+	{"eastasia", Point{22.3, 114.2}},
+	{"japan-east", Point{35.7, 139.7}},
+	{"korea-central", Point{37.6, 127.0}},
+	{"australia-east", Point{-33.9, 151.2}},
+	{"australia-southeast", Point{-37.8, 145.0}},
+	{"israel-central", Point{32.1, 34.8}},
+	{"mexico-central", Point{19.4, -99.1}},
+}
+
+// NearestK returns the indices of the k sites closest to p, ordered from
+// nearest to farthest. If k exceeds the site count, all indices are
+// returned.
+func NearestK(p Point, sites []DatacenterSite, k int) []int {
+	type cand struct {
+		idx  int
+		dist float64
+	}
+	cands := make([]cand, len(sites))
+	for i, s := range sites {
+		cands[i] = cand{i, DistanceKm(p, s.Center)}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].dist != cands[j].dist {
+			return cands[i].dist < cands[j].dist
+		}
+		return cands[i].idx < cands[j].idx
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		out[i] = cands[i].idx
+	}
+	return out
+}

@@ -1,0 +1,136 @@
+package geo
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDistanceKnownPairs(t *testing.T) {
+	ny := Point{40.7, -74.0}
+	london := Point{51.5, -0.1}
+	// NYC-London great circle is about 5570 km.
+	if d := DistanceKm(ny, london); math.Abs(d-5570) > 100 {
+		t.Errorf("NYC-London = %v km, want ~5570", d)
+	}
+	sg := Point{1.35, 103.8}
+	syd := Point{-33.9, 151.2}
+	// Singapore-Sydney is about 6300 km.
+	if d := DistanceKm(sg, syd); math.Abs(d-6300) > 150 {
+		t.Errorf("SIN-SYD = %v km, want ~6300", d)
+	}
+}
+
+func TestDistanceProperties(t *testing.T) {
+	a := Point{10, 20}
+	b := Point{-30, 140}
+	if d := DistanceKm(a, a); d != 0 {
+		t.Errorf("self distance = %v", d)
+	}
+	if DistanceKm(a, b) != DistanceKm(b, a) {
+		t.Error("distance not symmetric")
+	}
+	// Antipodal points: half the circumference, ~20015 km.
+	if d := DistanceKm(Point{0, 0}, Point{0, 180}); math.Abs(d-20015) > 50 {
+		t.Errorf("antipodal = %v", d)
+	}
+}
+
+func TestDistanceTriangleInequality(t *testing.T) {
+	pts := []Point{{40.7, -74}, {51.5, -0.1}, {1.35, 103.8}, {-33.9, 151.2}, {35.7, 139.7}}
+	for _, a := range pts {
+		for _, b := range pts {
+			for _, c := range pts {
+				if DistanceKm(a, c) > DistanceKm(a, b)+DistanceKm(b, c)+1e-6 {
+					t.Fatalf("triangle inequality violated for %v %v %v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestPropagationRTT(t *testing.T) {
+	// 5570 km (NYC-London) should give ~56 ms theoretical RTT.
+	if rtt := PropagationRTTMs(5570); math.Abs(rtt-55.7) > 0.1 {
+		t.Errorf("propagation RTT = %v", rtt)
+	}
+	if PropagationRTTMs(0) != 0 {
+		t.Error("zero distance should give zero RTT")
+	}
+}
+
+func TestCountriesWellFormed(t *testing.T) {
+	cs := Countries()
+	if len(cs) < 30 {
+		t.Fatalf("only %d countries", len(cs))
+	}
+	seen := map[string]bool{}
+	for _, c := range cs {
+		if len(c.Code) != 2 {
+			t.Errorf("bad code %q", c.Code)
+		}
+		if seen[c.Code] {
+			t.Errorf("duplicate code %q", c.Code)
+		}
+		seen[c.Code] = true
+		if c.Weight <= 0 {
+			t.Errorf("%s: nonpositive weight", c.Code)
+		}
+		if c.Center.Lat < -90 || c.Center.Lat > 90 || c.Center.Lon < -180 || c.Center.Lon > 180 {
+			t.Errorf("%s: bad coordinates %+v", c.Code, c.Center)
+		}
+	}
+}
+
+func TestCountriesReturnsCopy(t *testing.T) {
+	a := Countries()
+	a[0].Code = "XX"
+	b := Countries()
+	if b[0].Code == "XX" {
+		t.Error("Countries returned shared state")
+	}
+}
+
+func TestDatacenterSitesWellFormed(t *testing.T) {
+	sites := DatacenterSites()
+	if len(sites) < 20 {
+		t.Fatalf("only %d sites", len(sites))
+	}
+	seen := map[string]bool{}
+	for _, s := range sites {
+		if s.Name == "" || seen[s.Name] {
+			t.Errorf("bad/duplicate site name %q", s.Name)
+		}
+		seen[s.Name] = true
+	}
+}
+
+func TestNearestKOrderingAndBounds(t *testing.T) {
+	sites := DatacenterSites()
+	p := Point{51.5, -0.1} // London
+	got := NearestK(p, sites, 4)
+	if len(got) != 4 {
+		t.Fatalf("got %d results", len(got))
+	}
+	if sites[got[0]].Name != "uk-south" {
+		t.Errorf("nearest to London = %s", sites[got[0]].Name)
+	}
+	for i := 1; i < len(got); i++ {
+		d0 := DistanceKm(p, sites[got[i-1]].Center)
+		d1 := DistanceKm(p, sites[got[i]].Center)
+		if d1 < d0 {
+			t.Error("NearestK not ordered by distance")
+		}
+	}
+	all := NearestK(p, sites, 1000)
+	if len(all) != len(sites) {
+		t.Errorf("oversized k returned %d, want %d", len(all), len(sites))
+	}
+}
+
+func TestNearestKSingapore(t *testing.T) {
+	sites := DatacenterSites()
+	got := NearestK(Point{1.35, 103.8}, sites, 1)
+	if sites[got[0]].Name != "southeastasia" {
+		t.Errorf("nearest to Singapore = %s", sites[got[0]].Name)
+	}
+}

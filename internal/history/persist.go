@@ -1,0 +1,102 @@
+package history
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"repro/internal/netsim"
+	"repro/internal/quality"
+	"repro/internal/stats"
+)
+
+// Persistence lets a controller survive restarts without losing its learned
+// history (§7: the control platform is long-lived state). The format is a
+// versioned gob stream of flattened aggregate records.
+
+const snapshotVersion = 1
+
+// snapshotHeader leads the stream.
+type snapshotHeader struct {
+	Version int
+	Entries int
+}
+
+// snapshotEntry is one (window, pair, option) aggregate in exported form.
+type snapshotEntry struct {
+	Window  int
+	A, B    netsim.ASID
+	Opt     netsim.Option
+	Metrics [quality.NumMetrics]stats.Welford
+	PNR     quality.PNR
+}
+
+// Save writes the store's full contents.
+func (s *Store) Save(w io.Writer) error {
+	var entries []snapshotEntry
+	for _, win := range s.Windows() {
+		s.EachOpt(win, func(pk PairKey, opt netsim.Option, a *Agg) {
+			entries = append(entries, snapshotEntry{
+				Window:  win,
+				A:       pk.A,
+				B:       pk.B,
+				Opt:     opt,
+				Metrics: a.Metrics,
+				PNR:     a.PNR,
+			})
+		})
+	}
+	enc := gob.NewEncoder(w)
+	if err := enc.Encode(snapshotHeader{Version: snapshotVersion, Entries: len(entries)}); err != nil {
+		return fmt.Errorf("history: encode header: %w", err)
+	}
+	for i := range entries {
+		if err := enc.Encode(&entries[i]); err != nil {
+			return fmt.Errorf("history: encode entry %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Load reads a snapshot produced by Save, merging it into the store
+// (normally called on an empty store at startup).
+func (s *Store) Load(r io.Reader) error {
+	dec := gob.NewDecoder(r)
+	var h snapshotHeader
+	if err := dec.Decode(&h); err != nil {
+		return fmt.Errorf("history: decode header: %w", err)
+	}
+	if h.Version != snapshotVersion {
+		return fmt.Errorf("history: snapshot version %d, want %d", h.Version, snapshotVersion)
+	}
+	for i := 0; i < h.Entries; i++ {
+		var e snapshotEntry
+		if err := dec.Decode(&e); err != nil {
+			return fmt.Errorf("history: decode entry %d: %w", i, err)
+		}
+		s.merge(e)
+	}
+	return nil
+}
+
+// merge folds one snapshot entry into the live maps.
+func (s *Store) merge(e snapshotEntry) {
+	cs, cd, copt := netsim.CanonicalPair(e.A, e.B, e.Opt)
+	k := optKey{PairKey{cs, cd}, copt}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	wd := s.windows[e.Window]
+	if wd == nil {
+		wd = &windowData{byOpt: make(map[optKey]*Agg)}
+		s.windows[e.Window] = wd
+	}
+	a := wd.byOpt[k]
+	if a == nil {
+		a = &Agg{}
+		wd.byOpt[k] = a
+	}
+	for _, m := range quality.AllMetrics() {
+		a.Metrics[m].Merge(e.Metrics[m])
+	}
+	a.PNR.Merge(e.PNR)
+}

@@ -1,0 +1,103 @@
+package history
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/quality"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	s := NewStore()
+	s.Add(1, 2, netsim.DirectOption(), 0, q(100, 0.01, 5))
+	s.Add(1, 2, netsim.DirectOption(), 0, q(200, 0.02, 7))
+	s.Add(5, 9, netsim.TransitOption(1, 2), 3, q(400, 0.05, 30))
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	restored := NewStore()
+	if err := restored.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+
+	a, ok := restored.Get(1, 2, netsim.DirectOption(), 0)
+	if !ok || a.N() != 2 {
+		t.Fatalf("restored agg: %+v ok=%v", a, ok)
+	}
+	if a.Metrics[quality.RTT].Mean != 150 {
+		t.Errorf("restored mean = %v", a.Metrics[quality.RTT].Mean)
+	}
+	if a.Metrics[quality.RTT].SEM() <= 0 {
+		t.Error("restored variance lost")
+	}
+	b, ok := restored.Get(9, 5, netsim.TransitOption(2, 1), 3)
+	if !ok || b.N() != 1 || b.PNR.AnyuB != 1 {
+		t.Errorf("restored transit agg: %+v ok=%v", b, ok)
+	}
+	if ws := restored.Windows(); len(ws) != 2 {
+		t.Errorf("restored windows: %v", ws)
+	}
+}
+
+func TestSaveEmptyStore(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NewStore().Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewStore()
+	if err := restored.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(restored.Windows()) != 0 {
+		t.Error("empty snapshot produced windows")
+	}
+}
+
+func TestLoadMergesIntoExisting(t *testing.T) {
+	s := NewStore()
+	s.Add(1, 2, netsim.DirectOption(), 0, q(100, 0, 0))
+	var buf bytes.Buffer
+	s.Save(&buf)
+
+	other := NewStore()
+	other.Add(1, 2, netsim.DirectOption(), 0, q(300, 0, 0))
+	if err := other.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a, _ := other.Get(1, 2, netsim.DirectOption(), 0)
+	if a.N() != 2 || a.Metrics[quality.RTT].Mean != 200 {
+		t.Errorf("merge result: N=%d mean=%v", a.N(), a.Metrics[quality.RTT].Mean)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	s := NewStore()
+	if err := s.Load(bytes.NewReader([]byte("not a gob stream"))); err == nil {
+		t.Error("garbage accepted")
+	}
+	if err := s.Load(bytes.NewReader(nil)); err == nil {
+		t.Error("empty stream accepted")
+	}
+}
+
+func TestSnapshotDeterministic(t *testing.T) {
+	mk := func() *bytes.Buffer {
+		s := NewStore()
+		for i := 0; i < 20; i++ {
+			s.Add(netsim.ASID(i%5), netsim.ASID(10+i%3), netsim.BounceOption(netsim.RelayID(i%4)), i%2, q(float64(50+i), 0.001, 2))
+		}
+		var buf bytes.Buffer
+		if err := s.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return &buf
+	}
+	a, b := mk(), mk()
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Error("snapshot bytes differ across identical stores")
+	}
+}

@@ -1,0 +1,169 @@
+package netsim
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/quality"
+	"repro/internal/stats"
+)
+
+// HoursPerWindow is the length of the model's ground-truth aggregation
+// window — the paper evaluates relaying options at a one-day granularity
+// (§3.2, §5.1).
+const HoursPerWindow = 24
+
+// WindowOf returns the 24-hour window index containing an absolute time in
+// hours since the trace epoch.
+func WindowOf(tHours float64) int {
+	return int(math.Floor(tHours / HoursPerWindow))
+}
+
+type pathKey struct {
+	src, dst ASID
+	opt      Option
+	window   int32
+}
+
+type pathCache struct {
+	mu sync.RWMutex
+	m  map[pathKey]quality.Metrics
+}
+
+func newPathCache() *pathCache {
+	return &pathCache{m: make(map[pathKey]quality.Metrics)}
+}
+
+// CanonicalPair maps (src, dst, opt) to a direction-independent form:
+// performance is symmetric, so a call d→s over transit(b,a) sees the same
+// path as s→d over transit(a,b). History aggregation uses this form so both
+// call directions pool their samples.
+func CanonicalPair(src, dst ASID, opt Option) (ASID, ASID, Option) {
+	if src > dst {
+		src, dst = dst, src
+		if opt.Kind == Transit {
+			opt.R1, opt.R2 = opt.R2, opt.R1
+		}
+	}
+	return src, dst, opt
+}
+
+func canonicalPath(src, dst ASID, opt Option, window int) pathKey {
+	src, dst, opt = CanonicalPair(src, dst, opt)
+	return pathKey{src, dst, opt, int32(window)}
+}
+
+// WindowMean returns the ground-truth mean performance of a relaying option
+// for calls between src and dst during the given 24-hour window. This is
+// what the oracle consults; real strategies must estimate it from samples.
+func (w *World) WindowMean(src, dst ASID, opt Option, window int) quality.Metrics {
+	k := canonicalPath(src, dst, opt, window)
+	w.paths.mu.RLock()
+	m, ok := w.paths.m[k]
+	w.paths.mu.RUnlock()
+	if ok {
+		return m
+	}
+	m = w.composePath(ASID(k.src), ASID(k.dst), k.opt, window)
+	w.paths.mu.Lock()
+	w.paths.m[k] = m
+	w.paths.mu.Unlock()
+	return m
+}
+
+// composePath combines segment window-means into an end-to-end path mean.
+// RTT adds; loss combines multiplicatively (independent segments); jitter
+// adds (the linearization the paper's tomography assumes, §4.4).
+func (w *World) composePath(src, dst ASID, opt Option, window int) quality.Metrics {
+	var segs [3]segKey
+	n := 0
+	switch opt.Kind {
+	case Direct:
+		segs[0] = directSeg(src, dst)
+		n = 1
+	case Bounce:
+		segs[0] = accessSeg(src, opt.R1)
+		segs[1] = accessSeg(dst, opt.R1)
+		n = 2
+	case Transit:
+		segs[0] = accessSeg(src, opt.R1)
+		segs[1] = backboneSeg(opt.R1, opt.R2)
+		segs[2] = accessSeg(dst, opt.R2)
+		n = 3
+	default:
+		panic("netsim: unknown option kind")
+	}
+	var rtt, jit float64
+	pass := 1.0
+	for i := 0; i < n; i++ {
+		m := w.segmentWindowMean(segs[i], window)
+		rtt += m.RTTMs
+		jit += m.JitterMs
+		pass *= 1 - m.LossRate
+	}
+	return quality.Metrics{RTTMs: rtt, LossRate: 1 - pass, JitterMs: jit}
+}
+
+// BackboneMetrics returns the ground-truth inter-relay performance for a
+// window. The paper's controller has this information from the provider's
+// own backbone telemetry ("we also have information from Skype on the RTT,
+// loss and jitter between their relay nodes", §3.2), so prediction code may
+// consult it directly.
+func (w *World) BackboneMetrics(r1, r2 RelayID, window int) quality.Metrics {
+	if r1 == r2 {
+		return quality.Metrics{}
+	}
+	return w.segmentWindowMean(backboneSeg(r1, r2), window)
+}
+
+// AccessMetrics returns the ground-truth mean performance of the access
+// segment between an AS and a relay for a window. The loopback testbed uses
+// it to derive per-link impairment parameters.
+func (w *World) AccessMetrics(a ASID, r RelayID, window int) quality.Metrics {
+	return w.segmentWindowMean(accessSeg(a, r), window)
+}
+
+// SampleCall draws the realized average metrics of one call placed at
+// absolute time tHours between src and dst over the given option. The draw
+// is the window's ground-truth mean perturbed by heavy-tailed per-call noise
+// and a diurnal load factor; randomness comes from the caller's rng so
+// different consumers (trace generation, simulation) stay independent.
+func (w *World) SampleCall(src, dst ASID, opt Option, tHours float64, rng *stats.RNG) quality.Metrics {
+	mean := w.WindowMean(src, dst, opt, WindowOf(tHours))
+
+	// Diurnal load: loss and jitter swell in the local evening of the
+	// endpoints. Use the midpoint longitude to estimate local time.
+	lon := (w.ases[src].Loc.Lon + w.ases[dst].Loc.Lon) / 2
+	localHour := math.Mod(tHours+lon/15+48*24, 24)
+	diurnal := 1 + 0.25*math.Sin(2*math.Pi*(localHour-14)/24)
+
+	rtt := mean.RTTMs * rng.LogNormal(0, 0.18)
+	if rng.Float64() < 0.03 {
+		rtt += minF(rng.Pareto(25, 1.6), 350) // transient routing/queueing spike
+	}
+	loss := mean.LossRate * diurnal * rng.LogNormal(0, 0.7)
+	jit := mean.JitterMs * diurnal * rng.LogNormal(0, 0.55)
+
+	return quality.Metrics{
+		RTTMs:    rtt,
+		LossRate: clampLoss(loss),
+		JitterMs: minF(jit, 300),
+	}
+}
+
+// BestOption returns the option among cands with the lowest ground-truth
+// window mean on the given metric — the oracle's choice — along with its
+// mean value. It panics on an empty candidate set.
+func (w *World) BestOption(src, dst ASID, cands []Option, window int, m quality.Metric) (Option, float64) {
+	if len(cands) == 0 {
+		panic("netsim: no candidate options")
+	}
+	best := cands[0]
+	bestV := w.WindowMean(src, dst, best, window).Get(m)
+	for _, o := range cands[1:] {
+		if v := w.WindowMean(src, dst, o, window).Get(m); v < bestV {
+			best, bestV = o, v
+		}
+	}
+	return best, bestV
+}

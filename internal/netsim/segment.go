@@ -1,0 +1,260 @@
+package netsim
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/geo"
+	"repro/internal/quality"
+	"repro/internal/stats"
+)
+
+// A segment is the unit of the ground-truth performance model: a direct
+// AS↔AS path, an access leg between an AS and a relay, or a private
+// backbone link between two relays. Direct and backbone segments are
+// symmetric and stored under a canonical (low, high) key.
+type segKind uint8
+
+const (
+	segDirect segKind = iota
+	segAccess
+	segBackbone
+)
+
+type segKey struct {
+	kind segKind
+	a, b int32 // direct: AS,AS (a<=b); access: AS,relay; backbone: relay,relay (a<=b)
+}
+
+// id packs the key into a uint64 for deterministic RNG splitting.
+func (k segKey) id() uint64 {
+	return uint64(k.kind)<<60 | uint64(uint32(k.a))<<30 | uint64(uint32(k.b))
+}
+
+func directSeg(a, b ASID) segKey {
+	if a > b {
+		a, b = b, a
+	}
+	return segKey{segDirect, int32(a), int32(b)}
+}
+
+func accessSeg(a ASID, r RelayID) segKey {
+	return segKey{segAccess, int32(a), int32(r)}
+}
+
+func backboneSeg(r1, r2 RelayID) segKey {
+	if r1 > r2 {
+		r1, r2 = r2, r1
+	}
+	return segKey{segBackbone, int32(r1), int32(r2)}
+}
+
+// segParams are the static (time-invariant) characteristics of a segment.
+type segParams struct {
+	baseRTT    float64 // ms, calm window mean
+	baseLoss   float64 // fraction
+	baseJitter float64 // ms
+	pBad       float64 // probability a persistence block is congested
+	blockLen   int     // persistence block length in days (>=1)
+	driftSigma float64 // week-scale lognormal drift on loss/jitter
+}
+
+type segmentCache struct {
+	mu      sync.RWMutex
+	static  map[segKey]segParams
+	windows map[segWindowKey]quality.Metrics
+}
+
+type segWindowKey struct {
+	seg    segKey
+	window int32
+}
+
+func newSegmentCache() *segmentCache {
+	return &segmentCache{
+		static:  make(map[segKey]segParams),
+		windows: make(map[segWindowKey]quality.Metrics),
+	}
+}
+
+// staticParams returns (computing and caching on first use) the static
+// characteristics of a segment.
+func (w *World) staticParams(k segKey) segParams {
+	w.segs.mu.RLock()
+	p, ok := w.segs.static[k]
+	w.segs.mu.RUnlock()
+	if ok {
+		return p
+	}
+	p = w.computeStatic(k)
+	w.segs.mu.Lock()
+	w.segs.static[k] = p
+	w.segs.mu.Unlock()
+	return p
+}
+
+func (w *World) computeStatic(k segKey) segParams {
+	r := w.root.Split("seg-static").SplitN("seg", k.id())
+	switch k.kind {
+	case segDirect:
+		a, b := w.ases[k.a], w.ases[k.b]
+		dist := geo.DistanceKm(a.Loc, b.Loc)
+		prop := geo.PropagationRTTMs(dist)
+		// BGP route inflation: heavy-tailed, worse across borders. The tail
+		// is what produces the ≥320ms RTT mass of Fig. 2.
+		infl := 1.35 + r.Pareto(0.22, 1.6)
+		if infl > 5.0 {
+			infl = 5.0
+		}
+		if a.Country != b.Country {
+			infl *= 1.18
+		}
+		// Pathological routing: a small fraction of BGP paths detour
+		// through a far-away exchange regardless of endpoint distance —
+		// this is what makes even domestic calls RTT-poor sometimes.
+		patho := 0.0
+		if r.Float64() < 0.04 {
+			patho = 180 + minF(r.Pareto(100, 1.6), 700)
+		}
+		distKk := dist / 1000
+		return segParams{
+			baseRTT:    prop*infl + a.accessRTTMs + b.accessRTTMs + patho,
+			baseLoss:   clampLoss(a.lossBase + b.lossBase + 0.0004*distKk*r.LogNormal(0, 0.8)),
+			baseJitter: a.jitterBase + b.jitterBase + 0.35*distKk*r.LogNormal(0, 0.7),
+			pBad:       pickPBad(r, true),
+			blockLen:   1 + r.IntN(6),
+			driftSigma: 0.30,
+		}
+	case segAccess:
+		a, rl := w.ases[k.a], w.relays[k.b]
+		dist := geo.DistanceKm(a.Loc, rl.Loc)
+		prop := geo.PropagationRTTMs(dist)
+		// Client-to-datacenter paths are usually less inflated than
+		// arbitrary client-to-client BGP paths (cloud providers peer
+		// widely), but they still traverse the public Internet and still
+		// see heavy-tailed detours.
+		infl := 1.25 + r.Pareto(0.12, 1.9)
+		if infl > 3.2 {
+			infl = 3.2
+		}
+		patho := 0.0
+		if r.Float64() < 0.02 {
+			patho = 80 + minF(r.Pareto(40, 1.8), 250)
+		}
+		distKk := dist / 1000
+		return segParams{
+			baseRTT:    prop*infl + a.accessRTTMs + 1 + patho, // +1ms relay processing
+			baseLoss:   clampLoss(a.lossBase + 0.00015*distKk*r.LogNormal(0, 0.8)),
+			baseJitter: a.jitterBase + 0.25*distKk*r.LogNormal(0, 0.7) + 0.2,
+			pBad:       pickPBad(r, true),
+			blockLen:   1 + r.IntN(6),
+			driftSigma: 0.30,
+		}
+	case segBackbone:
+		r1, r2 := w.relays[k.a], w.relays[k.b]
+		dist := geo.DistanceKm(r1.Loc, r2.Loc)
+		prop := geo.PropagationRTTMs(dist)
+		infl := 1.10 + 0.08*r.Float64()
+		return segParams{
+			baseRTT:    prop*infl + 1,
+			baseLoss:   0.0001 * r.LogNormal(0, 0.3),
+			baseJitter: 0.3 + 0.1*dist/1000,
+			pBad:       0.01,
+			blockLen:   1,
+			driftSigma: 0.05,
+		}
+	default:
+		panic("netsim: unknown segment kind")
+	}
+}
+
+// pickPBad draws a segment's congestion propensity. A small fraction of
+// public segments are chronically bad (high-PNR "always" pairs in Fig. 6);
+// the rest see intermittent episodes.
+func pickPBad(r *stats.RNG, public bool) float64 {
+	if !public {
+		return 0.01
+	}
+	if r.Float64() < 0.06 {
+		return 0.70 + 0.25*r.Float64() // chronic
+	}
+	return 0.04 + 0.10*r.Float64() // intermittent
+}
+
+func clampLoss(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 0.5 {
+		return 0.5
+	}
+	return v
+}
+
+// segmentWindowMean returns the ground-truth mean metrics of a segment over
+// a 24-hour window, including congestion state and slow drift.
+func (w *World) segmentWindowMean(k segKey, window int) quality.Metrics {
+	wk := segWindowKey{k, int32(window)}
+	w.segs.mu.RLock()
+	m, ok := w.segs.windows[wk]
+	w.segs.mu.RUnlock()
+	if ok {
+		return m
+	}
+	m = w.computeSegmentWindow(k, window)
+	w.segs.mu.Lock()
+	w.segs.windows[wk] = m
+	w.segs.mu.Unlock()
+	return m
+}
+
+func (w *World) computeSegmentWindow(k segKey, window int) quality.Metrics {
+	p := w.staticParams(k)
+
+	rtt, loss, jit := p.baseRTT, p.baseLoss, p.baseJitter
+
+	// Week-scale drift: per-epoch Gaussian field, linearly interpolated
+	// between epochs so consecutive windows are correlated. This is what
+	// makes the best relaying option change on a timescale of days (Fig. 9).
+	const epochDays = 7
+	epoch := window / epochDays
+	frac := float64(window%epochDays) / epochDays
+	g0 := w.root.Split("drift").SplitN("seg", k.id()).SplitN("e", uint64(int64(epoch)+1<<20)).NormFloat64()
+	g1 := w.root.Split("drift").SplitN("seg", k.id()).SplitN("e", uint64(int64(epoch)+1+1<<20)).NormFloat64()
+	g := g0*(1-frac) + g1*frac
+	loss *= math.Exp(p.driftSigma * g)
+	jit *= math.Exp(p.driftSigma * g)
+	rtt *= clampF(1+0.06*g, 0.85, 1.25)
+
+	// Congestion: the time axis is divided into persistence blocks of the
+	// segment's characteristic length; each block is independently
+	// congested with probability pBad, with episode severity drawn per
+	// block. Chronic segments (high pBad) are bad most days; others see
+	// short episodes.
+	block := window / p.blockLen
+	br := w.root.Split("cong").SplitN("seg", k.id()).SplitN("b", uint64(int64(block)+1<<20))
+	if br.Float64() < p.pBad {
+		rtt += 15 + minF(br.Pareto(10, 1.7), 120)
+		loss *= 2.5 + 3.5*br.Float64()
+		jit *= 1.8 + 2.2*br.Float64()
+	}
+
+	return quality.Metrics{RTTMs: rtt, LossRate: clampLoss(loss), JitterMs: minF(jit, 300)}
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+func minF(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,187 @@
+package quality
+
+import "math"
+
+// The E-model MOS calculator follows Cole & Rosenbluth, "Voice over IP
+// Performance Monitoring" (ACM CCR 2001) — reference [17] of the paper —
+// which reduces the ITU-T G.107 E-model to a function of one-way delay and
+// loss for a given codec.
+
+// Codec selects the impairment curve used by the E-model's equipment
+// impairment factor.
+type Codec int
+
+const (
+	// G711 is the 64 kb/s PCM codec: Ie = 0 + 30·ln(1 + 15e).
+	G711 Codec = iota
+	// G729a is the 8 kb/s CS-ACELP codec with VAD: Ie = 11 + 40·ln(1 + 10e).
+	G729a
+)
+
+// EModelConfig parameterizes the MOS computation.
+type EModelConfig struct {
+	Codec Codec
+	// CodecDelayMs is the fixed encoding+packetization delay added to the
+	// network one-way delay (Cole–Rosenbluth use 25 ms).
+	CodecDelayMs float64
+	// JitterBufferMs is the de-jitter buffer depth added to the mouth-to-ear
+	// delay. Packets delayed beyond the buffer are counted as late losses.
+	JitterBufferMs float64
+}
+
+// DefaultEModel returns the configuration used in the paper era: G.729a with
+// a 25 ms codec delay and a 60 ms jitter buffer.
+func DefaultEModel() EModelConfig {
+	return EModelConfig{Codec: G729a, CodecDelayMs: 25, JitterBufferMs: 60}
+}
+
+// RFactor computes the E-model transmission rating R from per-call average
+// network metrics. Delay impairment uses the Cole–Rosenbluth piecewise
+// linear approximation; loss impairment uses the codec's logarithmic curve.
+// Jitter contributes in two ways: it inflates mouth-to-ear delay through the
+// jitter buffer, and any jitter exceeding the buffer produces late-loss
+// discards (approximated with an exponential tail).
+func (c EModelConfig) RFactor(q Metrics) float64 {
+	// Mouth-to-ear one-way delay.
+	d := q.RTTMs/2 + c.CodecDelayMs + c.JitterBufferMs
+	id := 0.024 * d
+	if d > 177.3 {
+		id += 0.11 * (d - 177.3)
+	}
+
+	// Effective loss: network loss plus late arrivals discarded by the
+	// jitter buffer. Model interarrival deviations as exponential with mean
+	// equal to the measured jitter; a packet is discarded when its deviation
+	// exceeds the buffer depth.
+	e := q.LossRate
+	if q.JitterMs > 0 {
+		late := math.Exp(-c.JitterBufferMs / q.JitterMs)
+		e = e + (1-e)*late
+	}
+	if e > 1 {
+		e = 1
+	}
+
+	var ie float64
+	switch c.Codec {
+	case G711:
+		ie = 0 + 30*math.Log(1+15*e)
+	case G729a:
+		ie = 11 + 40*math.Log(1+10*e)
+	default:
+		panic("quality: unknown codec")
+	}
+
+	return 94.2 - id - ie
+}
+
+// MOS converts network metrics to a Mean Opinion Score on the 1–4.5 scale
+// using the standard R→MOS mapping.
+func (c EModelConfig) MOS(q Metrics) float64 {
+	return RToMOS(c.RFactor(q))
+}
+
+// RToMOS maps an E-model R factor to MOS: 1 for R ≤ 0, 4.5 for R ≥ 100, and
+// the cubic interpolation 1 + 0.035R + 7·10⁻⁶·R(R−60)(100−R) between.
+func RToMOS(r float64) float64 {
+	switch {
+	case r <= 0:
+		return 1
+	case r >= 100:
+		return 4.5
+	default:
+		// The cubic dips fractionally below 1 for tiny positive R; clamp so
+		// the MOS scale's bounds hold exactly.
+		return math.Max(1, math.Min(4.5, 1+0.035*r+7e-6*r*(r-60)*(100-r)))
+	}
+}
+
+// RatingModel generates synthetic 5-point user ratings from network metrics,
+// standing in for Skype's user feedback. Its single behavioural requirement
+// — the one Figure 1 depends on — is that the probability of a poor rating
+// (1 or 2 stars) rises monotonically across the whole range of each metric.
+// We use a logistic link over normalized metric exceedances, with a floor
+// reflecting non-network causes of poor ratings.
+type RatingModel struct {
+	// Base is the probability of a poor rating on a perfect network
+	// (audio-device problems, user error, ...).
+	Base float64
+	// WRTT, WLoss, WJitter weight the normalized metrics inside the link.
+	WRTT, WLoss, WJitter float64
+	// Bias shifts the logistic; more negative means fewer poor ratings at
+	// moderate metric values.
+	Bias float64
+}
+
+// DefaultRatingModel returns weights calibrated so that the synthetic PCR
+// roughly doubles from the good to the poor region of each metric, matching
+// the qualitative shape of Figure 1.
+func DefaultRatingModel() RatingModel {
+	return RatingModel{
+		Base:    0.02,
+		WRTT:    1.4,
+		WLoss:   1.8,
+		WJitter: 1.2,
+		Bias:    -3.4,
+	}
+}
+
+// PoorProb returns the probability that a user rates a call with these
+// average metrics as poor (1 or 2 stars).
+func (rm RatingModel) PoorProb(q Metrics) float64 {
+	// Normalize each metric by its poor threshold; sublinear exponents keep
+	// sensitivity across the whole range rather than only near thresholds.
+	x := rm.Bias +
+		rm.WRTT*math.Pow(q.RTTMs/PoorRTTMs, 0.8) +
+		rm.WLoss*math.Pow(q.LossRate/PoorLossRate, 0.7) +
+		rm.WJitter*math.Pow(q.JitterMs/PoorJitterMs, 0.7)
+	p := 1 / (1 + math.Exp(-x))
+	return rm.Base + (1-rm.Base)*p
+}
+
+// Rate draws a 1–5 star rating given metrics and a uniform random sample
+// u ∈ [0,1). Ratings 1–2 are "poor"; the split among the remaining stars is
+// cosmetic but deterministic in u.
+func (rm RatingModel) Rate(q Metrics, u float64) int {
+	p := rm.PoorProb(q)
+	if u < p {
+		if u < p/2 {
+			return 1
+		}
+		return 2
+	}
+	// Spread the non-poor mass across 3..5, better networks earn more 5s.
+	rest := (u - p) / (1 - p)
+	mos := DefaultEModel().MOS(q)
+	fiveShare := math.Max(0.2, math.Min(0.8, (mos-2)/2.5))
+	switch {
+	case rest < fiveShare:
+		return 5
+	case rest < fiveShare+(1-fiveShare)*0.6:
+		return 4
+	default:
+		return 3
+	}
+}
+
+// PCR accumulates the Poor Call Rate — the fraction of rated calls with a 1
+// or 2 star rating.
+type PCR struct {
+	Total, Poor int64
+}
+
+// Add counts one rating.
+func (p *PCR) Add(rating int) {
+	p.Total++
+	if rating <= 2 {
+		p.Poor++
+	}
+}
+
+// Rate returns the poor call rate, or 0 with no ratings.
+func (p *PCR) Rate() float64 {
+	if p.Total == 0 {
+		return 0
+	}
+	return float64(p.Poor) / float64(p.Total)
+}

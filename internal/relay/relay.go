@@ -1,0 +1,139 @@
+// Package relay implements a managed-overlay relay node: a UDP forwarder
+// that pops the next hop off each frame's source route and sends it onward
+// (bounce = one relay, transit = ingress relay → backbone → egress relay).
+// Relays keep per-session byte accounting — the managed network's operators
+// need it for budgeting — but, as in the paper, have no measurement or
+// selection intelligence of their own: all smarts live in the controller
+// and clients (§4.4: "the relays in Skype were only designed to forward
+// traffic").
+package relay
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/netsim"
+	"repro/internal/transport"
+)
+
+// Node is one relay.
+type Node struct {
+	id   netsim.RelayID
+	conn net.PacketConn
+
+	packets atomic.Int64
+	bytes   atomic.Int64
+	dropped atomic.Int64
+
+	mu       sync.Mutex
+	sessions map[uint64]*SessionStats
+	closed   bool
+}
+
+// SessionStats is the per-session accounting a relay keeps.
+type SessionStats struct {
+	Packets int64
+	Bytes   int64
+}
+
+// New builds a relay node on an already-bound PacketConn (which may be a
+// wan.Shaper for impaired testbeds).
+func New(id netsim.RelayID, conn net.PacketConn) *Node {
+	return &Node{
+		id:       id,
+		conn:     conn,
+		sessions: make(map[uint64]*SessionStats),
+	}
+}
+
+// ID returns the relay's identity.
+func (n *Node) ID() netsim.RelayID { return n.id }
+
+// Addr returns the relay's bound media address.
+func (n *Node) Addr() net.Addr { return n.conn.LocalAddr() }
+
+// Serve forwards frames until the connection is closed. It returns nil on
+// orderly shutdown.
+func (n *Node) Serve() error {
+	buf := make([]byte, 64*1024)
+	out := make([]byte, 0, 64*1024)
+	for {
+		sz, _, err := n.conn.ReadFrom(buf)
+		if err != nil {
+			if errors.Is(err, net.ErrClosed) {
+				return nil
+			}
+			n.mu.Lock()
+			closed := n.closed
+			n.mu.Unlock()
+			if closed {
+				return nil
+			}
+			return err
+		}
+		n.handle(buf[:sz], &out)
+	}
+}
+
+func (n *Node) handle(pkt []byte, out *[]byte) {
+	var f transport.Frame
+	if err := f.Unmarshal(pkt); err != nil {
+		n.dropped.Add(1)
+		return
+	}
+	next := f.NextHop()
+	if next == nil {
+		// A frame with an exhausted route landed on a relay: misrouted.
+		n.dropped.Add(1)
+		return
+	}
+	f.PopHop()
+
+	n.packets.Add(1)
+	n.bytes.Add(int64(len(pkt)))
+	n.mu.Lock()
+	ss := n.sessions[f.Session]
+	if ss == nil {
+		ss = &SessionStats{}
+		n.sessions[f.Session] = ss
+	}
+	ss.Packets++
+	ss.Bytes += int64(len(pkt))
+	n.mu.Unlock()
+
+	*out = f.Marshal((*out)[:0])
+	_, _ = n.conn.WriteTo(*out, next)
+}
+
+// Close shuts the relay down; Serve returns after Close.
+func (n *Node) Close() error {
+	n.mu.Lock()
+	n.closed = true
+	n.mu.Unlock()
+	return n.conn.Close()
+}
+
+// Stats returns totals since start.
+func (n *Node) Stats() (packets, bytes, dropped int64) {
+	return n.packets.Load(), n.bytes.Load(), n.dropped.Load()
+}
+
+// Session returns a copy of one session's accounting.
+func (n *Node) Session(id uint64) (SessionStats, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ss := n.sessions[id]
+	if ss == nil {
+		return SessionStats{}, false
+	}
+	return *ss, true
+}
+
+// Sessions returns the number of distinct sessions seen.
+func (n *Node) Sessions() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.sessions)
+}

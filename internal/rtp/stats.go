@@ -1,0 +1,164 @@
+package rtp
+
+import (
+	"math"
+
+	"repro/internal/quality"
+)
+
+// ClockRate is the media clock used for RTP timestamps (90 kHz, the
+// conventional rate for timestamp arithmetic).
+const ClockRate = 90000
+
+// JitterEstimator implements the RFC 3550 §6.4.1 interarrival jitter
+// estimator: J(i) = J(i−1) + (|D(i−1,i)| − J(i−1))/16, where D compares the
+// spacing of arrival times against the spacing of RTP timestamps.
+type JitterEstimator struct {
+	init        bool
+	lastTS      uint32  // RTP timestamp of previous packet (media clock)
+	lastArrival int64   // arrival time of previous packet, nanoseconds
+	jitter      float64 // in media clock units
+}
+
+// Observe folds one packet arrival into the estimate.
+func (j *JitterEstimator) Observe(rtpTS uint32, arrivalNanos int64) {
+	if !j.init {
+		j.init = true
+		j.lastTS = rtpTS
+		j.lastArrival = arrivalNanos
+		return
+	}
+	// Arrival delta in media clock units.
+	arrDelta := float64(arrivalNanos-j.lastArrival) * ClockRate / 1e9
+	tsDelta := float64(int32(rtpTS - j.lastTS)) // handles wraparound
+	d := math.Abs(arrDelta - tsDelta)
+	j.jitter += (d - j.jitter) / 16
+	j.lastTS = rtpTS
+	j.lastArrival = arrivalNanos
+}
+
+// Millis returns the current jitter estimate in milliseconds.
+func (j *JitterEstimator) Millis() float64 {
+	return j.jitter * 1000 / ClockRate
+}
+
+// Micros returns the current jitter estimate in microseconds.
+func (j *JitterEstimator) Micros() uint32 {
+	return uint32(j.jitter * 1e6 / ClockRate)
+}
+
+// LossTracker counts lost packets from RTP sequence numbers, tolerating
+// reordering within a small window and 16-bit wraparound (RFC 3550
+// Appendix A.1 style extended sequence numbers).
+type LossTracker struct {
+	init     bool
+	maxExt   uint32 // extended highest sequence number seen
+	received uint64
+	baseExt  uint32
+	cycles   uint32
+}
+
+// Observe folds one received sequence number into the tracker.
+func (l *LossTracker) Observe(seq uint16) {
+	ext := l.extend(seq)
+	if !l.init {
+		l.init = true
+		l.baseExt = ext
+		l.maxExt = ext
+	} else if ext > l.maxExt {
+		l.maxExt = ext
+	}
+	l.received++
+}
+
+// extend maps a 16-bit sequence number to the extended space.
+func (l *LossTracker) extend(seq uint16) uint32 {
+	if !l.init {
+		return uint32(seq)
+	}
+	maxSeq := uint16(l.maxExt & 0xffff)
+	// A jump "backwards" past half the space means the counter wrapped.
+	if seq < maxSeq && maxSeq-seq > 0x8000 {
+		l.cycles++
+	}
+	// A small backwards step (reordering) must not borrow a cycle.
+	cycles := l.cycles
+	if seq > maxSeq && seq-maxSeq > 0x8000 && cycles > 0 {
+		cycles-- // late packet from before the wrap
+	}
+	return cycles<<16 | uint32(seq)
+}
+
+// Expected returns how many packets should have arrived so far.
+func (l *LossTracker) Expected() uint64 {
+	if !l.init {
+		return 0
+	}
+	return uint64(l.maxExt-l.baseExt) + 1
+}
+
+// Received returns the packets actually seen (duplicates count once each).
+func (l *LossTracker) Received() uint64 { return l.received }
+
+// Lost returns the cumulative loss count (clamped at zero when duplicates
+// outnumber gaps).
+func (l *LossTracker) Lost() uint64 {
+	exp := l.Expected()
+	if l.received >= exp {
+		return 0
+	}
+	return exp - l.received
+}
+
+// LossRate returns the loss fraction in [0, 1].
+func (l *LossTracker) LossRate() float64 {
+	exp := l.Expected()
+	if exp == 0 {
+		return 0
+	}
+	return float64(l.Lost()) / float64(exp)
+}
+
+// HighestExt returns the extended highest sequence number received.
+func (l *LossTracker) HighestExt() uint32 { return l.maxExt }
+
+// FlowStats aggregates one media flow's receive-side measurements and the
+// sender-side RTT samples, producing the call-average quality.Metrics the
+// controller consumes.
+type FlowStats struct {
+	Jitter JitterEstimator
+	Loss   LossTracker
+
+	rttSum   float64
+	rttCount int64
+}
+
+// ObservePacket records a media packet arrival.
+func (f *FlowStats) ObservePacket(p *Packet, arrivalNanos int64) {
+	f.Loss.Observe(p.Seq)
+	f.Jitter.Observe(p.Timestamp, arrivalNanos)
+}
+
+// ObserveRTT records one round-trip sample in nanoseconds.
+func (f *FlowStats) ObserveRTT(nanos int64) {
+	if nanos < 0 {
+		return
+	}
+	f.rttSum += float64(nanos) / 1e6
+	f.rttCount++
+}
+
+// RTTSamples returns how many RTT samples were recorded.
+func (f *FlowStats) RTTSamples() int64 { return f.rttCount }
+
+// Metrics returns the call-average metric triple.
+func (f *FlowStats) Metrics() quality.Metrics {
+	m := quality.Metrics{
+		LossRate: f.Loss.LossRate(),
+		JitterMs: f.Jitter.Millis(),
+	}
+	if f.rttCount > 0 {
+		m.RTTMs = f.rttSum / float64(f.rttCount)
+	}
+	return m
+}

@@ -1,0 +1,323 @@
+// Package sim is the trace-driven simulator of §5.1: it replays a call
+// workload in chronological order against one or more relay-selection
+// strategies, realizes each assigned call's performance from the
+// ground-truth world model (the analogue of sampling a random call between
+// the same AS pair over the same option in the same 24-hour window), feeds
+// the measurements back to the strategy, and accounts PNR, metric
+// distributions, option mix, and per-class/per-country breakdowns.
+//
+// Common random numbers: the realized performance of (call, option) is a
+// deterministic function of the call id and option, so two strategies that
+// make the same decision for a call observe the same outcome — the fair
+// comparison the paper's pool-sampling methodology provides.
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/netsim"
+	"repro/internal/quality"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Config parameterizes a simulation run.
+type Config struct {
+	Seed uint64
+	// MinCallsPerWindow is the §5.1 eligibility filter: only calls on AS
+	// pairs with at least this many calls in the 24-hour window are
+	// evaluated (strategies still see and learn from the rest).
+	MinCallsPerWindow int
+	// MinOptions is the second §5.1 filter: the pair must have at least
+	// this many relaying options available.
+	MinOptions int
+	// SeedFraction diverts a small fraction of calls to a uniformly random
+	// relaying option regardless of strategy — the stand-in for the real
+	// dataset's connectivity-relayed calls (NAT/firewall traversal), which
+	// give every approach baseline coverage of relay paths.
+	SeedFraction float64
+	// CollectValues keeps per-call metric values for percentile analyses
+	// (Figs. 8a, 12b). Costs memory proportional to eligible calls.
+	CollectValues bool
+	// ExcludeRelays removes relays from every candidate set — the relay
+	// deployment sensitivity analysis of Fig. 17c.
+	ExcludeRelays map[netsim.RelayID]bool
+	// ActiveProbesPerWindow lets strategies implementing
+	// core.ProbeRequester place that many mock calls at each 24-hour
+	// window boundary (§7's active-measurement extension). Probe results
+	// feed the strategy's history but are not evaluated calls.
+	ActiveProbesPerWindow int
+}
+
+// DefaultConfig returns the evaluation configuration.
+func DefaultConfig(seed uint64) Config {
+	return Config{
+		Seed:              seed,
+		MinCallsPerWindow: 10,
+		MinOptions:        5,
+		SeedFraction:      0.02,
+		CollectValues:     true,
+	}
+}
+
+// Result aggregates one strategy's outcomes over the eligible calls.
+type Result struct {
+	Name     string
+	Eligible int64
+	PNR      quality.PNR
+
+	// Values[m] holds per-call realized values of metric m (eligible calls
+	// only), present when Config.CollectValues is set.
+	Values [quality.NumMetrics][]float64
+
+	// Option mix over eligible calls.
+	Direct, Bounce, Transit int64
+
+	// Class breakdowns.
+	International, Domestic quality.PNR
+	// ByCountry accumulates PNR per country for calls with at least one
+	// endpoint in that country (Figs. 4b, 14).
+	ByCountry map[string]*quality.PNR
+	// RelayUsage counts eligible calls touching each relay (transit calls
+	// count both endpoints' relays) — Fig. 17c's usage ranking.
+	RelayUsage map[netsim.RelayID]int64
+	// Probes counts the active measurements placed on the strategy's
+	// behalf (its §7 measurement cost).
+	Probes int64
+}
+
+// RelayedFraction is the share of eligible calls sent through the overlay.
+func (r *Result) RelayedFraction() float64 {
+	if r.Eligible == 0 {
+		return 0
+	}
+	return float64(r.Bounce+r.Transit) / float64(r.Eligible)
+}
+
+// OptionShare returns the fraction of eligible calls using each kind.
+func (r *Result) OptionShare() (direct, bounce, transit float64) {
+	if r.Eligible == 0 {
+		return 0, 0, 0
+	}
+	n := float64(r.Eligible)
+	return float64(r.Direct) / n, float64(r.Bounce) / n, float64(r.Transit) / n
+}
+
+// Runner replays traces against strategies.
+type Runner struct {
+	World *netsim.World
+	Cfg   Config
+
+	root *stats.RNG
+	// eligible[pairKey][window] — precomputed §5.1 filter.
+	eligible map[history.PairKey]map[int]bool
+}
+
+// NewRunner builds a runner for a world.
+func NewRunner(w *netsim.World, cfg Config) *Runner {
+	if cfg.MinCallsPerWindow <= 0 {
+		cfg.MinCallsPerWindow = 10
+	}
+	if cfg.MinOptions <= 0 {
+		cfg.MinOptions = 5
+	}
+	return &Runner{
+		World: w,
+		Cfg:   cfg,
+		root:  stats.NewRNG(cfg.Seed).Split("sim"),
+	}
+}
+
+// Prepare precomputes the eligibility filter for a trace. It must be called
+// (directly or via Run) before RunOne.
+func (r *Runner) Prepare(recs []trace.CallRecord) {
+	counts := make(map[history.PairKey]map[int]int)
+	for _, c := range recs {
+		pk := history.MakePairKey(c.Src, c.Dst)
+		byW := counts[pk]
+		if byW == nil {
+			byW = make(map[int]int)
+			counts[pk] = byW
+		}
+		byW[c.Window()]++
+	}
+	r.eligible = make(map[history.PairKey]map[int]bool, len(counts))
+	for pk, byW := range counts {
+		opts := r.World.Options(pk.A, pk.B)
+		if len(opts) < r.Cfg.MinOptions {
+			continue
+		}
+		for w, n := range byW {
+			if n >= r.Cfg.MinCallsPerWindow {
+				m := r.eligible[pk]
+				if m == nil {
+					m = make(map[int]bool)
+					r.eligible[pk] = m
+				}
+				m[w] = true
+			}
+		}
+	}
+}
+
+// IsEligible reports whether a call participates in evaluation.
+func (r *Runner) IsEligible(c trace.CallRecord) bool {
+	byW := r.eligible[history.MakePairKey(c.Src, c.Dst)]
+	return byW != nil && byW[c.Window()]
+}
+
+// realize draws the realized performance of assigning option opt to call c.
+// It is deterministic in (call id, option): common random numbers across
+// strategies.
+func (r *Runner) realize(c trace.CallRecord, opt netsim.Option) quality.Metrics {
+	key := uint64(c.ID)*0x9e3779b97f4a7c15 ^
+		uint64(opt.Kind)<<62 ^ uint64(uint32(opt.R1))<<31 ^ uint64(uint32(opt.R2))
+	rng := r.root.SplitN("realize", key)
+	return r.World.SampleCall(c.Src, c.Dst, opt, c.THours, rng)
+}
+
+// seedDecision returns, deterministically per call, whether this call is a
+// connectivity-relayed (seeded) call and which candidate index it uses.
+func (r *Runner) seedDecision(c trace.CallRecord, nCands int) (bool, int) {
+	if r.Cfg.SeedFraction <= 0 || nCands == 0 {
+		return false, 0
+	}
+	rng := r.root.SplitN("seed", uint64(c.ID))
+	if rng.Float64() >= r.Cfg.SeedFraction {
+		return false, 0
+	}
+	return true, rng.IntN(nCands)
+}
+
+// RunOne replays the trace against a single strategy. Prepare must have
+// been called with the same trace.
+func (r *Runner) RunOne(s core.Strategy, recs []trace.CallRecord) *Result {
+	if r.eligible == nil {
+		r.Prepare(recs)
+	}
+	res := &Result{
+		Name:       s.Name(),
+		ByCountry:  make(map[string]*quality.PNR),
+		RelayUsage: make(map[netsim.RelayID]int64),
+	}
+	prober, _ := s.(core.ProbeRequester)
+	lastWindow := -1
+	for _, rec := range recs {
+		// Active measurements fire at window boundaries, before the
+		// window's calls (the controller schedules them off-peak).
+		if w := rec.Window(); w != lastWindow {
+			lastWindow = w
+			if prober != nil && r.Cfg.ActiveProbesPerWindow > 0 {
+				res.Probes += r.placeProbes(prober, s, w, rec.THours)
+			}
+		}
+		cands := r.World.Options(rec.Src, rec.Dst)
+		if len(r.Cfg.ExcludeRelays) > 0 {
+			cands = filterOptions(cands, r.Cfg.ExcludeRelays)
+		}
+		call := core.Call{
+			Src: rec.Src, Dst: rec.Dst,
+			UserSrc: rec.UserSrc, UserDst: rec.UserDst,
+			THours:      rec.THours,
+			DurationSec: rec.Duration,
+		}
+
+		var opt netsim.Option
+		if seeded, idx := r.seedDecision(rec, len(cands)); seeded {
+			opt = cands[idx]
+		} else {
+			opt = s.Choose(call, cands)
+		}
+		m := r.realize(rec, opt)
+		s.Observe(call, opt, m)
+
+		if !r.IsEligible(rec) {
+			continue
+		}
+		res.Eligible++
+		res.PNR.Add(m)
+		switch opt.Kind {
+		case netsim.Direct:
+			res.Direct++
+		case netsim.Bounce:
+			res.Bounce++
+			res.RelayUsage[opt.R1]++
+		case netsim.Transit:
+			res.Transit++
+			res.RelayUsage[opt.R1]++
+			res.RelayUsage[opt.R2]++
+		}
+		if r.Cfg.CollectValues {
+			for _, met := range quality.AllMetrics() {
+				res.Values[met] = append(res.Values[met], m.Get(met))
+			}
+		}
+		if r.World.International(rec.Src, rec.Dst) {
+			res.International.Add(m)
+		} else {
+			res.Domestic.Add(m)
+		}
+		for _, country := range r.callCountries(rec) {
+			pnr := res.ByCountry[country]
+			if pnr == nil {
+				pnr = &quality.PNR{}
+				res.ByCountry[country] = pnr
+			}
+			pnr.Add(m)
+		}
+	}
+	return res
+}
+
+func (r *Runner) callCountries(c trace.CallRecord) []string {
+	a := r.World.CountryOf(c.Src)
+	b := r.World.CountryOf(c.Dst)
+	if a == b {
+		return []string{a}
+	}
+	return []string{a, b}
+}
+
+// placeProbes realizes a strategy's active-measurement requests for a
+// window and feeds the results back through Observe.
+func (r *Runner) placeProbes(p core.ProbeRequester, s core.Strategy, window int, tHours float64) int64 {
+	reqs := p.ProbeRequests(window, r.Cfg.ActiveProbesPerWindow)
+	for i, req := range reqs {
+		key := uint64(window)<<32 ^ uint64(i)*0x9e3779b97f4a7c15 ^ 0xabcdef
+		rng := r.root.SplitN("probe", key)
+		m := r.World.SampleCall(req.Src, req.Dst, req.Option, tHours, rng)
+		s.Observe(core.Call{Src: req.Src, Dst: req.Dst, THours: tHours}, req.Option, m)
+	}
+	return int64(len(reqs))
+}
+
+// filterOptions drops options touching excluded relays, always keeping the
+// direct path.
+func filterOptions(cands []netsim.Option, excluded map[netsim.RelayID]bool) []netsim.Option {
+	out := make([]netsim.Option, 0, len(cands))
+	for _, o := range cands {
+		switch o.Kind {
+		case netsim.Bounce:
+			if excluded[o.R1] {
+				continue
+			}
+		case netsim.Transit:
+			if excluded[o.R1] || excluded[o.R2] {
+				continue
+			}
+		}
+		out = append(out, o)
+	}
+	return out
+}
+
+// Run replays the trace against each strategy in turn and returns results
+// in the same order.
+func (r *Runner) Run(strategies []core.Strategy, recs []trace.CallRecord) []*Result {
+	r.Prepare(recs)
+	out := make([]*Result, len(strategies))
+	for i, s := range strategies {
+		out[i] = r.RunOne(s, recs)
+	}
+	return out
+}

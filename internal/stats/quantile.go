@@ -1,0 +1,160 @@
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// P2 is the Jain–Chlamtac P² streaming quantile estimator: it tracks a single
+// quantile of an unbounded stream in O(1) space without storing samples.
+// Via's budget gate (§4.6) uses it to maintain the B-th percentile of
+// predicted relaying benefit over the call history.
+type P2 struct {
+	p   float64    // target quantile in (0, 1)
+	n   int        // observations seen
+	q   [5]float64 // marker heights
+	pos [5]float64 // marker positions (1-based)
+	des [5]float64 // desired positions
+	inc [5]float64 // desired position increments
+}
+
+// NewP2 returns an estimator for the p-th quantile, p in (0, 1).
+func NewP2(p float64) *P2 {
+	if p <= 0 || p >= 1 {
+		panic("stats: P2 quantile must be in (0,1)")
+	}
+	e := &P2{p: p}
+	e.des = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+	e.inc = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+	return e
+}
+
+// Add incorporates one observation.
+func (e *P2) Add(x float64) {
+	if e.n < 5 {
+		e.q[e.n] = x
+		e.n++
+		if e.n == 5 {
+			sort.Float64s(e.q[:])
+			for i := range e.pos {
+				e.pos[i] = float64(i + 1)
+			}
+		}
+		return
+	}
+	e.n++
+
+	// Find cell k containing x and update extreme markers.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x < e.q[1]:
+		k = 0
+	case x < e.q[2]:
+		k = 1
+	case x < e.q[3]:
+		k = 2
+	case x <= e.q[4]:
+		k = 3
+	default:
+		e.q[4] = x
+		k = 3
+	}
+
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := range e.des {
+		e.des[i] += e.inc[i]
+	}
+
+	// Adjust interior markers toward their desired positions.
+	for i := 1; i <= 3; i++ {
+		d := e.des[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			qn := e.parabolic(i, s)
+			if e.q[i-1] < qn && qn < e.q[i+1] {
+				e.q[i] = qn
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.pos[i] += s
+		}
+	}
+}
+
+func (e *P2) parabolic(i int, s float64) float64 {
+	num1 := e.pos[i] - e.pos[i-1] + s
+	num2 := e.pos[i+1] - e.pos[i] - s
+	den := e.pos[i+1] - e.pos[i-1]
+	a := (e.q[i+1] - e.q[i]) / (e.pos[i+1] - e.pos[i])
+	b := (e.q[i] - e.q[i-1]) / (e.pos[i] - e.pos[i-1])
+	return e.q[i] + s/den*(num1*a+num2*b)
+}
+
+func (e *P2) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return e.q[i] + s*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+// N returns the number of observations seen.
+func (e *P2) N() int { return e.n }
+
+// Value returns the current quantile estimate. With fewer than five
+// observations it falls back to the exact quantile of what has been seen,
+// and returns 0 for an empty stream.
+func (e *P2) Value() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	if e.n < 5 {
+		buf := make([]float64, e.n)
+		copy(buf, e.q[:e.n])
+		sort.Float64s(buf)
+		return QuantileSorted(buf, e.p)
+	}
+	return e.q[2]
+}
+
+// Quantile returns the q-th quantile (q in [0,1]) of xs using linear
+// interpolation. xs need not be sorted; it is not modified.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	buf := make([]float64, len(xs))
+	copy(buf, xs)
+	sort.Float64s(buf)
+	return QuantileSorted(buf, q)
+}
+
+// QuantileSorted returns the q-th quantile of an already sorted slice using
+// linear interpolation between closest ranks.
+func QuantileSorted(sorted []float64, q float64) float64 {
+	n := len(sorted)
+	if n == 0 {
+		return math.NaN()
+	}
+	if n == 1 {
+		return sorted[0]
+	}
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[n-1]
+	}
+	pos := q * float64(n-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= n {
+		return sorted[n-1]
+	}
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
+}

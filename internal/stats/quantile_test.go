@@ -1,0 +1,142 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestQuantileSortedBasics(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	cases := []struct {
+		q, want float64
+	}{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4}, {-0.5, 1}, {1.5, 5},
+	}
+	for _, c := range cases {
+		if got := QuantileSorted(xs, c.q); !almostEq(got, c.want, 1e-12) {
+			t.Errorf("QuantileSorted(q=%v) = %v, want %v", c.q, got, c.want)
+		}
+	}
+}
+
+func TestQuantileInterpolates(t *testing.T) {
+	xs := []float64{0, 10}
+	if got := QuantileSorted(xs, 0.3); !almostEq(got, 3, 1e-12) {
+		t.Errorf("interpolated quantile = %v, want 3", got)
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	if !math.IsNaN(QuantileSorted(nil, 0.5)) {
+		t.Error("empty slice should give NaN")
+	}
+	if got := QuantileSorted([]float64{7}, 0.9); got != 7 {
+		t.Errorf("single element = %v", got)
+	}
+}
+
+func TestQuantileDoesNotModifyInput(t *testing.T) {
+	xs := []float64{5, 1, 3}
+	_ = Quantile(xs, 0.5)
+	if xs[0] != 5 || xs[1] != 1 || xs[2] != 3 {
+		t.Error("Quantile modified its input")
+	}
+}
+
+func TestP2AgainstExact(t *testing.T) {
+	r := NewRNG(1)
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.95} {
+		est := NewP2(p)
+		xs := make([]float64, 50000)
+		for i := range xs {
+			xs[i] = r.LogNormal(0, 1) // skewed, stresses the estimator
+			est.Add(xs[i])
+		}
+		sort.Float64s(xs)
+		exact := QuantileSorted(xs, p)
+		got := est.Value()
+		if math.Abs(got-exact) > 0.05*exact+0.05 {
+			t.Errorf("P2(p=%v) = %v, exact %v", p, got, exact)
+		}
+	}
+}
+
+func TestP2SmallStreams(t *testing.T) {
+	est := NewP2(0.5)
+	if est.Value() != 0 {
+		t.Error("empty P2 should report 0")
+	}
+	est.Add(10)
+	if est.Value() != 10 {
+		t.Errorf("one-sample P2 = %v", est.Value())
+	}
+	est.Add(20)
+	est.Add(30)
+	if v := est.Value(); !almostEq(v, 20, 1e-9) {
+		t.Errorf("three-sample median = %v, want 20", v)
+	}
+	if est.N() != 3 {
+		t.Errorf("N = %d", est.N())
+	}
+}
+
+func TestP2MonotoneQuantiles(t *testing.T) {
+	// For the same stream, the p=0.9 estimate must exceed the p=0.1 estimate.
+	r := NewRNG(2)
+	lo, hi := NewP2(0.1), NewP2(0.9)
+	for i := 0; i < 20000; i++ {
+		v := r.Normal(100, 25)
+		lo.Add(v)
+		hi.Add(v)
+	}
+	if lo.Value() >= hi.Value() {
+		t.Errorf("p10=%v >= p90=%v", lo.Value(), hi.Value())
+	}
+}
+
+func TestP2PanicsOnBadQuantile(t *testing.T) {
+	for _, p := range []float64{0, 1, -0.2, 1.3} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewP2(%v) did not panic", p)
+				}
+			}()
+			NewP2(p)
+		}()
+	}
+}
+
+func TestP2UniformStream(t *testing.T) {
+	// A constant stream should estimate the constant at any quantile.
+	est := NewP2(0.75)
+	for i := 0; i < 1000; i++ {
+		est.Add(42)
+	}
+	if !almostEq(est.Value(), 42, 1e-9) {
+		t.Errorf("constant stream estimate = %v", est.Value())
+	}
+}
+
+// Property: P2 estimate always lies within the observed min/max.
+func TestP2WithinRange(t *testing.T) {
+	root := NewRNG(3)
+	f := func(seed uint32) bool {
+		r := root.SplitN("p2", uint64(seed))
+		est := NewP2(0.5)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i := 0; i < 500; i++ {
+			v := r.Pareto(1, 1.2)
+			est.Add(v)
+			lo = math.Min(lo, v)
+			hi = math.Max(hi, v)
+		}
+		v := est.Value()
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

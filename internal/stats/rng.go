@@ -1,0 +1,193 @@
+// Package stats provides the statistical substrate used throughout the Via
+// reproduction: deterministic splittable random number generation, streaming
+// moment and quantile estimators, histogram and CDF construction, correlation,
+// and the heavy-tailed samplers used by the synthetic Internet model.
+//
+// Everything here is allocation-conscious and safe to call from hot
+// simulation loops. None of it uses wall-clock time; all randomness flows
+// from explicit seeds so experiments are reproducible bit-for-bit.
+package stats
+
+import (
+	"hash/fnv"
+	"math"
+	"math/rand/v2"
+)
+
+// RNG is a deterministic random number generator that supports hierarchical
+// splitting: a child generator derived via Split(label) is statistically
+// independent of its parent and of children split under different labels.
+// This lets each subsystem (trace generator, congestion processes, strategy
+// exploration, ...) own an independent stream derived from one master seed,
+// so adding randomness consumption in one subsystem never perturbs another.
+type RNG struct {
+	src *rand.Rand
+	// seed material retained so Split can derive children deterministically.
+	hi, lo uint64
+}
+
+// NewRNG returns a generator seeded from the given master seed.
+func NewRNG(seed uint64) *RNG {
+	return newRNGFromState(seed, 0x9e3779b97f4a7c15)
+}
+
+func newRNGFromState(hi, lo uint64) *RNG {
+	return &RNG{
+		src: rand.New(rand.NewPCG(hi, lo)),
+		hi:  hi,
+		lo:  lo,
+	}
+}
+
+// Split derives an independent child generator identified by label.
+// Splitting with the same label always yields the same child stream.
+func (r *RNG) Split(label string) *RNG {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(label))
+	mix := h.Sum64()
+	return newRNGFromState(r.hi^mix, r.lo+mix*0x2545f4914f6cdd1d+1)
+}
+
+// SplitN derives an independent child generator identified by an integer,
+// useful for per-entity streams (per AS pair, per relay, ...).
+func (r *RNG) SplitN(label string, n uint64) *RNG {
+	h := fnv.New64a()
+	_, _ = h.Write([]byte(label))
+	mix := h.Sum64() ^ (n*0x9e3779b97f4a7c15 + 0x632be59bd9b4e019)
+	return newRNGFromState(r.hi^mix, r.lo+mix*0x2545f4914f6cdd1d+1)
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (r *RNG) Float64() float64 { return r.src.Float64() }
+
+// IntN returns a uniform sample in [0, n). It panics if n <= 0.
+func (r *RNG) IntN(n int) int { return r.src.IntN(n) }
+
+// Uint64 returns a uniform 64-bit sample.
+func (r *RNG) Uint64() uint64 { return r.src.Uint64() }
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int { return r.src.Perm(n) }
+
+// Shuffle pseudo-randomizes the order of n elements using swap.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) { r.src.Shuffle(n, swap) }
+
+// NormFloat64 returns a standard normal sample.
+func (r *RNG) NormFloat64() float64 { return r.src.NormFloat64() }
+
+// ExpFloat64 returns a rate-1 exponential sample.
+func (r *RNG) ExpFloat64() float64 { return r.src.ExpFloat64() }
+
+// Normal returns a Gaussian sample with the given mean and standard
+// deviation.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	return mean + stddev*r.src.NormFloat64()
+}
+
+// LogNormal returns a sample whose logarithm is Normal(mu, sigma).
+// The distribution's median is exp(mu).
+func (r *RNG) LogNormal(mu, sigma float64) float64 {
+	return math.Exp(mu + sigma*r.src.NormFloat64())
+}
+
+// Exponential returns an exponential sample with the given mean.
+func (r *RNG) Exponential(mean float64) float64 {
+	return mean * r.src.ExpFloat64()
+}
+
+// Pareto returns a Pareto(xm, alpha) sample: heavy-tailed with minimum xm.
+// Smaller alpha means heavier tail; the mean is finite only for alpha > 1.
+func (r *RNG) Pareto(xm, alpha float64) float64 {
+	u := r.src.Float64()
+	// Guard against u == 0 which would produce +Inf.
+	if u < 1e-300 {
+		u = 1e-300
+	}
+	return xm / math.Pow(u, 1/alpha)
+}
+
+// Bernoulli returns true with probability p.
+func (r *RNG) Bernoulli(p float64) bool {
+	return r.src.Float64() < p
+}
+
+// Poisson returns a Poisson(lambda) sample. For large lambda it uses the
+// normal approximation, which is accurate enough for workload generation.
+func (r *RNG) Poisson(lambda float64) int {
+	if lambda <= 0 {
+		return 0
+	}
+	if lambda > 64 {
+		n := int(math.Round(r.Normal(lambda, math.Sqrt(lambda))))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	}
+	// Knuth's algorithm.
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= r.src.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// Zipf samples from a finite Zipf distribution over {0, ..., n-1} with
+// exponent s: P(k) ∝ 1/(k+1)^s. It precomputes the CDF once, so sampling is
+// a binary search. Use NewZipf to build one.
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf builds a finite Zipf sampler over n items with exponent s > 0.
+// The sampler draws from rng.
+func NewZipf(rng *RNG, n int, s float64) *Zipf {
+	if n <= 0 {
+		panic("stats: Zipf needs n > 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += 1 / math.Pow(float64(k+1), s)
+		cdf[k] = sum
+	}
+	for k := range cdf {
+		cdf[k] /= sum
+	}
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// N returns the number of items the sampler draws over.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Sample returns a rank in [0, n), with rank 0 the most popular.
+func (z *Zipf) Sample() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Prob returns the probability mass of rank k.
+func (z *Zipf) Prob(k int) float64 {
+	if k < 0 || k >= len(z.cdf) {
+		return 0
+	}
+	if k == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[k] - z.cdf[k-1]
+}

@@ -1,0 +1,259 @@
+package testbed
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/netsim"
+	"repro/internal/quality"
+)
+
+// DeploymentConfig drives the §5.5 controlled experiment: back-to-back
+// calls between caller-callee pairs over every relaying option (building
+// dense ground truth), then evaluation calls routed by the controller's
+// strategy.
+type DeploymentConfig struct {
+	// Pairs are the caller→callee AS pairs (the paper used 18).
+	Pairs [][2]netsim.ASID
+	// SurveyRounds is how many times each option is called back-to-back
+	// (the paper used 4-5).
+	SurveyRounds int
+	// EvalCalls is how many strategy-routed calls to place per pair.
+	EvalCalls int
+	// CallDuration and PPS shape each call's media stream.
+	CallDuration time.Duration
+	PPS          int
+	// Parallelism bounds concurrently running pairs.
+	Parallelism int
+	// IncludeDirect keeps the direct path among the options (the paper's
+	// deployment omitted it "for simplicity").
+	IncludeDirect bool
+	// MaxOptions caps the per-pair option count (paper: 9-20).
+	MaxOptions int
+}
+
+// PairOutcome is the per-pair result.
+type PairOutcome struct {
+	Src, Dst      netsim.ASID
+	Options       int
+	SurveyCalls   int
+	EvalCalls     int
+	BestOption    netsim.Option
+	Suboptimality []float64 // one per eval call
+	BestPicked    int       // eval calls where the measured-best was chosen
+}
+
+// DeploymentResult aggregates the experiment (Figure 18).
+type DeploymentResult struct {
+	Pairs          []PairOutcome
+	Suboptimality  []float64 // pooled, sorted ascending
+	BestPickedFrac float64
+	TotalCalls     int
+}
+
+// RunDeployment performs the controlled experiment, optimizing the given
+// metric. It requires the testbed's controller strategy to be optimizing
+// the same metric for meaningful results.
+func (tb *Testbed) RunDeployment(cfg DeploymentConfig, metric quality.Metric) (*DeploymentResult, error) {
+	if cfg.SurveyRounds <= 0 {
+		cfg.SurveyRounds = 4
+	}
+	if cfg.EvalCalls <= 0 {
+		cfg.EvalCalls = 10
+	}
+	if cfg.CallDuration <= 0 {
+		cfg.CallDuration = 500 * time.Millisecond
+	}
+	if cfg.PPS <= 0 {
+		cfg.PPS = 100
+	}
+	if cfg.Parallelism <= 0 {
+		cfg.Parallelism = 4
+	}
+	if cfg.MaxOptions <= 0 {
+		cfg.MaxOptions = 20
+	}
+
+	sem := make(chan struct{}, cfg.Parallelism)
+	var wg sync.WaitGroup
+	outcomes := make([]PairOutcome, len(cfg.Pairs))
+	errs := make([]error, len(cfg.Pairs))
+	for i, pair := range cfg.Pairs {
+		wg.Add(1)
+		go func(i int, src, dst netsim.ASID) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			out, err := tb.runPair(cfg, src, dst, metric)
+			outcomes[i] = out
+			errs[i] = err
+		}(i, pair[0], pair[1])
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	res := &DeploymentResult{Pairs: outcomes}
+	best, evals := 0, 0
+	for _, o := range outcomes {
+		res.Suboptimality = append(res.Suboptimality, o.Suboptimality...)
+		best += o.BestPicked
+		evals += o.EvalCalls
+		res.TotalCalls += o.SurveyCalls + o.EvalCalls
+	}
+	sort.Float64s(res.Suboptimality)
+	if evals > 0 {
+		res.BestPickedFrac = float64(best) / float64(evals)
+	}
+	return res, nil
+}
+
+// availableOptions lists candidate options restricted to relays actually
+// running in this testbed.
+func (tb *Testbed) availableOptions(src, dst netsim.ASID, includeDirect bool, max int) []netsim.Option {
+	running := map[netsim.RelayID]bool{}
+	for _, r := range tb.Relays {
+		running[r.ID()] = true
+	}
+	var out []netsim.Option
+	for _, o := range tb.World.Options(src, dst) {
+		switch o.Kind {
+		case netsim.Direct:
+			if includeDirect {
+				out = append(out, o)
+			}
+		case netsim.Bounce:
+			if running[o.R1] {
+				out = append(out, o)
+			}
+		case netsim.Transit:
+			if running[o.R1] && running[o.R2] {
+				out = append(out, o)
+			}
+		}
+		if len(out) >= max {
+			break
+		}
+	}
+	return out
+}
+
+func (tb *Testbed) runPair(cfg DeploymentConfig, src, dst netsim.ASID, metric quality.Metric) (PairOutcome, error) {
+	out := PairOutcome{Src: src, Dst: dst}
+	caller := tb.Client(src)
+	callee := tb.Client(dst)
+	if caller == nil || callee == nil {
+		return out, fmt.Errorf("testbed: pair %d-%d has no deployed client", src, dst)
+	}
+	options := tb.availableOptions(src, dst, cfg.IncludeDirect, cfg.MaxOptions)
+	if len(options) < 2 {
+		return out, fmt.Errorf("testbed: pair %d-%d has %d options", src, dst, len(options))
+	}
+	out.Options = len(options)
+
+	place := func(opt netsim.Option) (quality.Metrics, error) {
+		m, err := caller.Agent.Call(client.CallSpec{
+			Peer:     callee.Agent.Addr(),
+			Option:   opt,
+			Duration: cfg.CallDuration,
+			PPS:      cfg.PPS,
+		})
+		if err != nil {
+			return m, err
+		}
+		// Push the measurement to the controller, as production clients do.
+		if rerr := tb.Ctrl.Report(int32(src), int32(dst), opt, m); rerr != nil {
+			return m, rerr
+		}
+		return m, nil
+	}
+
+	// Survey: back-to-back calls over every option, 4-5 times each,
+	// giving high-density ground truth (§5.5).
+	sums := make(map[netsim.Option]float64, len(options))
+	counts := make(map[netsim.Option]int, len(options))
+	for round := 0; round < cfg.SurveyRounds; round++ {
+		for _, opt := range options {
+			m, err := place(opt)
+			if err == client.ErrNoFeedback {
+				continue // a fully dead path contributes no ground truth
+			}
+			if err != nil {
+				return out, err
+			}
+			sums[opt] += m.Get(metric)
+			counts[opt]++
+			out.SurveyCalls++
+		}
+	}
+	meanOf := func(opt netsim.Option) (float64, bool) {
+		n := counts[opt]
+		if n == 0 {
+			return 0, false
+		}
+		return sums[opt] / float64(n), true
+	}
+	bestV := 0.0
+	found := false
+	for _, opt := range options {
+		v, ok := meanOf(opt)
+		if !ok {
+			continue
+		}
+		if !found || v < bestV {
+			out.BestOption, bestV, found = opt, v, true
+		}
+	}
+	if !found {
+		return out, fmt.Errorf("testbed: pair %d-%d measured nothing", src, dst)
+	}
+
+	// Evaluation: the controller's strategy routes; suboptimality compares
+	// the chosen option's measured performance to the best option's.
+	for i := 0; i < cfg.EvalCalls; i++ {
+		choice, err := tb.Ctrl.Choose(int32(src), int32(dst), options)
+		if err != nil {
+			return out, err
+		}
+		if _, err := place(choice); err != nil && err != client.ErrNoFeedback {
+			return out, err
+		}
+		out.EvalCalls++
+		v, ok := meanOf(choice)
+		if !ok {
+			// The strategy picked an option the survey never measured
+			// (dead path): charge it the worst observed performance.
+			v = worst(sums, counts)
+		}
+		sub := 0.0
+		if bestV > 0 {
+			sub = (v - bestV) / bestV
+		}
+		if sub < 0 {
+			sub = 0
+		}
+		out.Suboptimality = append(out.Suboptimality, sub)
+		if choice == out.BestOption {
+			out.BestPicked++
+		}
+	}
+	return out, nil
+}
+
+func worst(sums map[netsim.Option]float64, counts map[netsim.Option]int) float64 {
+	w := 0.0
+	for opt, s := range sums {
+		if n := counts[opt]; n > 0 {
+			if v := s / float64(n); v > w {
+				w = v
+			}
+		}
+	}
+	return w
+}

@@ -1,0 +1,208 @@
+// Package testbed assembles the real-networking deployment of §5.5 on
+// loopback: a controller (HTTP), relay nodes (UDP forwarders), and client
+// agents, with every link shaped by the wan package using one-way
+// parameters derived from the same synthetic world model the trace-driven
+// experiments use. The paper ran this with modified Skype clients on 14
+// machines across five countries; here the machines are goroutines and the
+// WAN is the impairment layer, but the control protocol, media path, and
+// measurement pipeline are all real.
+package testbed
+
+import (
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+
+	"repro/internal/client"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/quality"
+	"repro/internal/relay"
+	"repro/internal/wan"
+)
+
+// Config parameterizes the deployment.
+type Config struct {
+	Seed uint64
+	// World supplies link characteristics and candidate options.
+	World *netsim.World
+	// ClientASes places one client agent in each listed AS.
+	ClientASes []netsim.ASID
+	// RelayIDs lists which of the world's relays to start.
+	RelayIDs []netsim.RelayID
+	// Strategy runs inside the controller (default: Via optimizing RTT).
+	Strategy core.Strategy
+	// TimeScale is the controller's virtual hours per wall second
+	// (default 7200: one second = two hours, so a 24h prediction epoch
+	// rolls every 12 seconds).
+	TimeScale float64
+}
+
+// ClientNode is one deployed agent.
+type ClientNode struct {
+	AS     netsim.ASID
+	Agent  *client.Agent
+	Shaper *wan.Shaper
+}
+
+// Testbed is a running deployment. Close it when done.
+type Testbed struct {
+	World   *netsim.World
+	Ctrl    *controller.Client
+	CtrlURL string
+	Clients []*ClientNode
+	Relays  []*relay.Node
+
+	ctrlServer   *http.Server
+	ctrlListener net.Listener
+	relayShapers []*wan.Shaper
+}
+
+// Start brings up the controller, relays, and clients, registers relays,
+// distributes the relay directory, and configures link impairments.
+func Start(cfg Config) (*Testbed, error) {
+	if cfg.World == nil {
+		return nil, fmt.Errorf("testbed: World is required")
+	}
+	if len(cfg.ClientASes) < 2 {
+		return nil, fmt.Errorf("testbed: need at least two client ASes")
+	}
+	if cfg.Strategy == nil {
+		cfg.Strategy = core.NewVia(core.DefaultViaConfig(quality.RTT), nil)
+	}
+	if cfg.TimeScale <= 0 {
+		cfg.TimeScale = 7200
+	}
+
+	tb := &Testbed{World: cfg.World}
+	ok := false
+	defer func() {
+		if !ok {
+			tb.Close()
+		}
+	}()
+
+	// Controller.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return nil, err
+	}
+	tb.ctrlListener = ln
+	srv := controller.New(controller.Config{Strategy: cfg.Strategy, TimeScale: cfg.TimeScale})
+	tb.ctrlServer = &http.Server{Handler: srv.Handler()}
+	go tb.ctrlServer.Serve(ln)
+	tb.CtrlURL = "http://" + ln.Addr().String()
+	tb.Ctrl = controller.NewClient(tb.CtrlURL)
+
+	// Relays.
+	for _, id := range cfg.RelayIDs {
+		pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		sh := wan.Wrap(pc, cfg.Seed^uint64(id)<<8)
+		node := relay.New(id, sh)
+		go node.Serve()
+		tb.Relays = append(tb.Relays, node)
+		tb.relayShapers = append(tb.relayShapers, sh)
+		if err := tb.Ctrl.RegisterRelay(id, node.Addr().String()); err != nil {
+			return nil, err
+		}
+	}
+
+	// Clients.
+	for i, as := range cfg.ClientASes {
+		pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		sh := wan.Wrap(pc, cfg.Seed^uint64(as)<<16^uint64(i))
+		ag := client.New(int32(as), sh, cfg.Seed+uint64(i)*7919)
+		tb.Clients = append(tb.Clients, &ClientNode{AS: as, Agent: ag, Shaper: sh})
+	}
+
+	// Relay directory to every client.
+	dir, err := tb.Ctrl.Relays()
+	if err != nil {
+		return nil, err
+	}
+	for _, c := range tb.Clients {
+		if err := c.Agent.SetRelays(dir); err != nil {
+			return nil, err
+		}
+	}
+
+	tb.configureLinks(cfg.RelayIDs)
+	ok = true
+	return tb, nil
+}
+
+// oneWay converts a segment's round-trip characteristics into one direction
+// of link impairment.
+func oneWay(m quality.Metrics) wan.LinkParams {
+	return wan.LinkParams{
+		DelayMs:  m.RTTMs / 2,
+		JitterMs: m.JitterMs / 2,
+		LossRate: 1 - math.Sqrt(1-math.Min(m.LossRate, 0.99)),
+	}
+}
+
+// configureLinks derives every node-to-node impairment from the world's
+// window-0 ground truth.
+func (tb *Testbed) configureLinks(relayIDs []netsim.RelayID) {
+	const window = 0
+	w := tb.World
+	// Client links.
+	for _, c := range tb.Clients {
+		for i, rid := range relayIDs {
+			p := oneWay(w.AccessMetrics(c.AS, rid, window))
+			addr := tb.Relays[i].Addr().String()
+			c.Shaper.SetLink(addr, p)
+			tb.relayShapers[i].SetLink(c.Agent.Addr().String(), p)
+		}
+		for _, other := range tb.Clients {
+			if other == c {
+				continue
+			}
+			p := oneWay(w.WindowMean(c.AS, other.AS, netsim.DirectOption(), window))
+			c.Shaper.SetLink(other.Agent.Addr().String(), p)
+		}
+	}
+	// Backbone links.
+	for i, r1 := range relayIDs {
+		for j, r2 := range relayIDs {
+			if i == j {
+				continue
+			}
+			p := oneWay(w.BackboneMetrics(r1, r2, window))
+			tb.relayShapers[i].SetLink(tb.Relays[j].Addr().String(), p)
+		}
+	}
+}
+
+// Client returns the node for an AS, or nil.
+func (tb *Testbed) Client(as netsim.ASID) *ClientNode {
+	for _, c := range tb.Clients {
+		if c.AS == as {
+			return c
+		}
+	}
+	return nil
+}
+
+// Close tears everything down.
+func (tb *Testbed) Close() {
+	for _, c := range tb.Clients {
+		if c != nil && c.Agent != nil {
+			c.Agent.Close()
+		}
+	}
+	for _, r := range tb.Relays {
+		r.Close()
+	}
+	if tb.ctrlServer != nil {
+		tb.ctrlServer.Close()
+	}
+}

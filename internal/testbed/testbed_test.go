@@ -1,0 +1,159 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/quality"
+)
+
+func smallWorld() *netsim.World {
+	cfg := netsim.DefaultConfig(1)
+	cfg.NumASes = 40
+	cfg.NumRelays = 6
+	cfg.BounceCandidates = 2
+	cfg.TransitFan = 2
+	return netsim.New(cfg)
+}
+
+func startSmall(t *testing.T, strat core.Strategy) *Testbed {
+	t.Helper()
+	w := smallWorld()
+	tb, err := Start(Config{
+		Seed:       2,
+		World:      w,
+		ClientASes: []netsim.ASID{0, 10, 20, 30},
+		RelayIDs:   []netsim.RelayID{0, 1, 2, 3, 4, 5},
+		Strategy:   strat,
+		TimeScale:  7200,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Close)
+	return tb
+}
+
+func TestStartWiresEverything(t *testing.T) {
+	tb := startSmall(t, nil)
+	if len(tb.Relays) != 6 || len(tb.Clients) != 4 {
+		t.Fatalf("relays=%d clients=%d", len(tb.Relays), len(tb.Clients))
+	}
+	dir, err := tb.Ctrl.Relays()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(dir) != 6 {
+		t.Errorf("controller knows %d relays", len(dir))
+	}
+	if tb.Client(10) == nil || tb.Client(99) != nil {
+		t.Error("Client lookup broken")
+	}
+	// Impairments must be configured: the client→relay link should carry
+	// the world's access characteristics.
+	c := tb.Client(0)
+	p := c.Shaper.Link(tb.Relays[0].Addr().String())
+	want := tb.World.AccessMetrics(0, tb.Relays[0].ID(), 0)
+	if p.DelayMs <= 0 || p.DelayMs > want.RTTMs {
+		t.Errorf("link delay %v vs segment RTT %v", p.DelayMs, want.RTTMs)
+	}
+}
+
+func TestStartValidation(t *testing.T) {
+	if _, err := Start(Config{}); err == nil {
+		t.Error("nil world accepted")
+	}
+	if _, err := Start(Config{World: smallWorld(), ClientASes: []netsim.ASID{1}}); err == nil {
+		t.Error("single client accepted")
+	}
+}
+
+func TestAvailableOptions(t *testing.T) {
+	tb := startSmall(t, nil)
+	opts := tb.availableOptions(0, 30, false, 20)
+	if len(opts) == 0 {
+		t.Fatal("no options")
+	}
+	for _, o := range opts {
+		if o.Kind == netsim.Direct {
+			t.Error("direct included despite includeDirect=false")
+		}
+		if o.Kind == netsim.Bounce && o.R1 > 5 {
+			t.Errorf("option %v uses a relay not deployed", o)
+		}
+	}
+	withDirect := tb.availableOptions(0, 30, true, 20)
+	if withDirect[0] != netsim.DirectOption() {
+		t.Error("direct missing despite includeDirect=true")
+	}
+	capped := tb.availableOptions(0, 30, true, 3)
+	if len(capped) != 3 {
+		t.Errorf("MaxOptions not applied: %d", len(capped))
+	}
+}
+
+func TestDeploymentEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("testbed deployment is slow")
+	}
+	via := core.NewVia(core.DefaultViaConfig(quality.RTT), nil)
+	tb := startSmall(t, via)
+	res, err := tb.RunDeployment(DeploymentConfig{
+		Pairs:        [][2]netsim.ASID{{0, 30}, {10, 20}},
+		SurveyRounds: 2,
+		EvalCalls:    4,
+		CallDuration: 250 * time.Millisecond,
+		PPS:          100,
+		Parallelism:  2,
+		MaxOptions:   6,
+	}, quality.RTT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 2 {
+		t.Fatalf("pair outcomes = %d", len(res.Pairs))
+	}
+	if len(res.Suboptimality) != 8 {
+		t.Errorf("suboptimality samples = %d, want 8", len(res.Suboptimality))
+	}
+	for _, s := range res.Suboptimality {
+		if s < 0 {
+			t.Errorf("negative suboptimality %v", s)
+		}
+	}
+	// Sorted ascending.
+	for i := 1; i < len(res.Suboptimality); i++ {
+		if res.Suboptimality[i] < res.Suboptimality[i-1] {
+			t.Error("suboptimality not sorted")
+		}
+	}
+	if res.TotalCalls == 0 {
+		t.Error("no calls counted")
+	}
+	// The controller must have seen the survey reports.
+	st, err := tb.Ctrl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Reports < int64(res.TotalCalls)/2 {
+		t.Errorf("controller saw %d reports for %d calls", st.Reports, res.TotalCalls)
+	}
+	if st.Chooses < 8 {
+		t.Errorf("controller made %d choices", st.Chooses)
+	}
+}
+
+func TestRunPairUnknownClient(t *testing.T) {
+	tb := startSmall(t, nil)
+	_, err := tb.RunDeployment(DeploymentConfig{
+		Pairs:        [][2]netsim.ASID{{0, 5}}, // AS 5 has no client
+		SurveyRounds: 1,
+		EvalCalls:    1,
+		CallDuration: 100 * time.Millisecond,
+	}, quality.RTT)
+	if err == nil {
+		t.Error("pair without deployed client accepted")
+	}
+}

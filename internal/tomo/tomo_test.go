@@ -1,0 +1,236 @@
+package tomo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/stats"
+)
+
+func TestLinearizeLossRoundTrip(t *testing.T) {
+	for _, p := range []float64{0, 0.001, 0.012, 0.1, 0.5, 0.9} {
+		x := LinearizeLoss(p)
+		back := DelinearizeLoss(x)
+		if math.Abs(back-p) > 1e-12 {
+			t.Errorf("round trip %v -> %v -> %v", p, x, back)
+		}
+	}
+}
+
+func TestLinearizeLossAdditive(t *testing.T) {
+	// Two independent segments with losses p1, p2 compose to
+	// 1-(1-p1)(1-p2); the linearized values must add exactly.
+	p1, p2 := 0.02, 0.05
+	composed := 1 - (1-p1)*(1-p2)
+	if got := LinearizeLoss(p1) + LinearizeLoss(p2); math.Abs(got-LinearizeLoss(composed)) > 1e-12 {
+		t.Errorf("linearized losses do not add: %v vs %v", got, LinearizeLoss(composed))
+	}
+}
+
+func TestLinearizeLossClamps(t *testing.T) {
+	if LinearizeLoss(-0.5) != 0 {
+		t.Error("negative loss should clamp to 0")
+	}
+	if v := LinearizeLoss(1.5); math.IsInf(v, 0) || math.IsNaN(v) {
+		t.Error("loss >= 1 should stay finite")
+	}
+	if DelinearizeLoss(-3) != 0 {
+		t.Error("negative linearized value should clamp")
+	}
+}
+
+func TestSolverExactSystem(t *testing.T) {
+	// Three segments, exact observations: x0+x1=5, x1+x2=7, x0+x2=6
+	// → x = (2, 3, 4).
+	s := NewSolver(3)
+	s.AddObservation([]int{0, 1}, 5, 1)
+	s.AddObservation([]int{1, 2}, 7, 1)
+	s.AddObservation([]int{0, 2}, 6, 1)
+	r := s.Solve(200, 1e-12)
+	want := []float64{2, 3, 4}
+	for j, w := range want {
+		if math.Abs(r.Estimate[j]-w) > 1e-6 {
+			t.Errorf("x[%d] = %v, want %v", j, r.Estimate[j], w)
+		}
+	}
+	if r.MeanAbsResid > 1e-6 {
+		t.Errorf("residual = %v on an exact system", r.MeanAbsResid)
+	}
+}
+
+func TestSolverFigure11Stitching(t *testing.T) {
+	// The paper's Figure 11: estimate RTT(AS3↔AS4) through relay RN having
+	// seen AS1↔RN↔AS4, AS2↔RN↔AS3 and AS1↔RN↔AS2. Segments: AS1-RN=10,
+	// AS2-RN=20, AS3-RN=30, AS4-RN=40.
+	s := NewSolver(4)
+	s.AddObservation([]int{0, 3}, 50, 5) // AS1↔RN↔AS4
+	s.AddObservation([]int{1, 2}, 50, 5) // AS2↔RN↔AS3
+	s.AddObservation([]int{0, 1}, 30, 5) // AS1↔RN↔AS2
+	r := s.Solve(300, 1e-12)
+	// The unseen path AS3↔RN↔AS4 should predict 30+40=70 = 50+50-30.
+	v, _, ok := r.PredictPath([]int{2, 3})
+	if !ok {
+		t.Fatal("path should be covered")
+	}
+	if math.Abs(v-70) > 1e-6 {
+		t.Errorf("stitched AS3↔AS4 = %v, want 70", v)
+	}
+}
+
+func TestSolverNoisyOverdetermined(t *testing.T) {
+	rng := stats.NewRNG(1)
+	const n = 10
+	truth := make([]float64, n)
+	for j := range truth {
+		truth[j] = 5 + 20*rng.Float64()
+	}
+	s := NewSolver(n)
+	for i := 0; i < 600; i++ {
+		a, b := rng.IntN(n), rng.IntN(n)
+		if a == b {
+			continue
+		}
+		v := truth[a] + truth[b] + rng.Normal(0, 0.5)
+		s.AddObservation([]int{a, b}, v, 1)
+	}
+	r := s.Solve(300, 1e-10)
+	for j := range truth {
+		if math.Abs(r.Estimate[j]-truth[j]) > 0.5 {
+			t.Errorf("x[%d] = %v, want ~%v", j, r.Estimate[j], truth[j])
+		}
+		if r.SEM[j] <= 0 || r.SEM[j] > 2 {
+			t.Errorf("SEM[%d] = %v, unreasonable", j, r.SEM[j])
+		}
+	}
+}
+
+func TestSolverWeightsMatter(t *testing.T) {
+	// Two contradictory single-segment observations: heavy weight wins.
+	s := NewSolver(1)
+	s.AddObservation([]int{0}, 10, 100)
+	s.AddObservation([]int{0}, 20, 1)
+	r := s.Solve(100, 1e-12)
+	if math.Abs(r.Estimate[0]-10.1) > 0.05 {
+		t.Errorf("weighted estimate = %v, want ~10.1", r.Estimate[0])
+	}
+}
+
+func TestSolverNonNegativity(t *testing.T) {
+	// Observations implying a negative segment must clamp to 0.
+	s := NewSolver(2)
+	s.AddObservation([]int{0}, 10, 1)
+	s.AddObservation([]int{0, 1}, 8, 1) // implies x1 = -2
+	r := s.Solve(200, 1e-12)
+	if r.Estimate[1] < 0 {
+		t.Errorf("negative estimate %v", r.Estimate[1])
+	}
+}
+
+func TestSolverUncoveredSegments(t *testing.T) {
+	s := NewSolver(3)
+	s.AddObservation([]int{0}, 5, 1)
+	r := s.Solve(10, 1e-9)
+	if !r.Covered[0] || r.Covered[1] || r.Covered[2] {
+		t.Errorf("coverage = %v", r.Covered)
+	}
+	if _, _, ok := r.PredictPath([]int{0, 1}); ok {
+		t.Error("path with uncovered segment should not predict")
+	}
+	if _, _, ok := r.PredictPath([]int{0}); !ok {
+		t.Error("covered path should predict")
+	}
+	if _, _, ok := r.PredictPath([]int{7}); ok {
+		t.Error("out-of-range segment should not predict")
+	}
+}
+
+func TestSolverSingleObservationSEM(t *testing.T) {
+	s := NewSolver(1)
+	s.AddObservation([]int{0}, 12, 3)
+	r := s.Solve(10, 1e-9)
+	// With one observation the SEM must be conservative (the estimate
+	// itself), not zero.
+	if r.SEM[0] != r.Estimate[0] {
+		t.Errorf("single-observation SEM = %v, want %v", r.SEM[0], r.Estimate[0])
+	}
+}
+
+func TestSolverPanicsOnBadInput(t *testing.T) {
+	cases := []func(){
+		func() { NewSolver(0) },
+		func() { NewSolver(2).AddObservation([]int{5}, 1, 1) },
+		func() { NewSolver(2).AddObservation([]int{0}, 1, 0) },
+		func() { NewSolver(2).AddObservation([]int{0}, math.NaN(), 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestSolverCopiesSegments(t *testing.T) {
+	s := NewSolver(2)
+	segs := []int{0, 1}
+	s.AddObservation(segs, 5, 1)
+	segs[0] = 1 // mutate caller slice
+	r := s.Solve(100, 1e-12)
+	if !r.Covered[0] {
+		t.Error("solver aliased the caller's segment slice")
+	}
+}
+
+func TestSolverEarlyStop(t *testing.T) {
+	s := NewSolver(1)
+	s.AddObservation([]int{0}, 5, 1)
+	r := s.Solve(1000, 1e-6)
+	if r.Iterations >= 1000 {
+		t.Errorf("no early stop: %d iterations", r.Iterations)
+	}
+}
+
+// Property: for any consistent two-segment system the solver recovers an
+// exact solution with zero residual.
+func TestSolverConsistencyProperty(t *testing.T) {
+	f := func(a, b uint8) bool {
+		x0, x1 := float64(a)+1, float64(b)+1
+		s := NewSolver(2)
+		s.AddObservation([]int{0}, x0, 2)
+		s.AddObservation([]int{1}, x1, 2)
+		s.AddObservation([]int{0, 1}, x0+x1, 2)
+		r := s.Solve(300, 1e-12)
+		return math.Abs(r.Estimate[0]-x0) < 1e-6 && math.Abs(r.Estimate[1]-x1) < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkSolve(b *testing.B) {
+	rng := stats.NewRNG(2)
+	const n = 200
+	truth := make([]float64, n)
+	for j := range truth {
+		truth[j] = 5 + 20*rng.Float64()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		s := NewSolver(n)
+		for k := 0; k < 2000; k++ {
+			a, c := rng.IntN(n), rng.IntN(n)
+			if a == c {
+				continue
+			}
+			s.AddObservation([]int{a, c}, truth[a]+truth[c]+rng.Normal(0, 0.5), 1)
+		}
+		b.StartTimer()
+		s.Solve(100, 1e-8)
+	}
+}

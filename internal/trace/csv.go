@@ -1,0 +1,147 @@
+package trace
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+
+	"repro/internal/netsim"
+	"repro/internal/quality"
+)
+
+// CSV persistence turns a generated workload into a shareable dataset
+// artifact (and back), so experiments can run against a frozen trace
+// instead of regenerating one — the closest analogue to the paper's fixed
+// 430M-call sample.
+
+var csvHeader = []string{
+	"id", "t_hours", "src", "dst",
+	"opt_kind", "r1", "r2",
+	"rtt_ms", "loss_rate", "jitter_ms",
+	"duration_sec", "rating", "user_src", "user_dst",
+}
+
+// WriteCSV streams records to w in the canonical column order.
+func WriteCSV(w io.Writer, recs []CallRecord) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(csvHeader); err != nil {
+		return err
+	}
+	row := make([]string, len(csvHeader))
+	for _, c := range recs {
+		row[0] = strconv.FormatInt(c.ID, 10)
+		row[1] = strconv.FormatFloat(c.THours, 'g', -1, 64)
+		row[2] = strconv.Itoa(int(c.Src))
+		row[3] = strconv.Itoa(int(c.Dst))
+		row[4] = strconv.Itoa(int(c.Option.Kind))
+		row[5] = strconv.Itoa(int(c.Option.R1))
+		row[6] = strconv.Itoa(int(c.Option.R2))
+		row[7] = strconv.FormatFloat(c.Metrics.RTTMs, 'g', -1, 64)
+		row[8] = strconv.FormatFloat(c.Metrics.LossRate, 'g', -1, 64)
+		row[9] = strconv.FormatFloat(c.Metrics.JitterMs, 'g', -1, 64)
+		row[10] = strconv.FormatFloat(c.Duration, 'g', -1, 64)
+		row[11] = strconv.Itoa(c.Rating)
+		row[12] = strconv.FormatInt(c.UserSrc, 10)
+		row[13] = strconv.FormatInt(c.UserDst, 10)
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV parses a trace written by WriteCSV, validating the header and
+// every record's invariants (chronological order, valid metrics).
+func ReadCSV(r io.Reader) ([]CallRecord, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = len(csvHeader)
+	head, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("trace: read header: %w", err)
+	}
+	for i, h := range csvHeader {
+		if head[i] != h {
+			return nil, fmt.Errorf("trace: header column %d is %q, want %q", i, head[i], h)
+		}
+	}
+	var out []CallRecord
+	lastT := -1.0
+	for line := 2; ; line++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		rec, err := parseRow(row)
+		if err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		if rec.THours < lastT {
+			return nil, fmt.Errorf("trace: line %d: timestamps not chronological", line)
+		}
+		lastT = rec.THours
+		out = append(out, rec)
+	}
+	return out, nil
+}
+
+func parseRow(row []string) (CallRecord, error) {
+	var c CallRecord
+	var err error
+	geti := func(s string) int64 {
+		if err != nil {
+			return 0
+		}
+		var v int64
+		v, err = strconv.ParseInt(s, 10, 64)
+		return v
+	}
+	getf := func(s string) float64 {
+		if err != nil {
+			return 0
+		}
+		var v float64
+		v, err = strconv.ParseFloat(s, 64)
+		return v
+	}
+	c.ID = geti(row[0])
+	c.THours = getf(row[1])
+	c.Src = netsim.ASID(geti(row[2]))
+	c.Dst = netsim.ASID(geti(row[3]))
+	kind := netsim.OptionKind(geti(row[4]))
+	r1 := netsim.RelayID(geti(row[5]))
+	r2 := netsim.RelayID(geti(row[6]))
+	switch kind {
+	case netsim.Direct:
+		c.Option = netsim.DirectOption()
+	case netsim.Bounce:
+		c.Option = netsim.BounceOption(r1)
+	case netsim.Transit:
+		c.Option = netsim.TransitOption(r1, r2)
+	default:
+		return c, fmt.Errorf("unknown option kind %d", kind)
+	}
+	c.Metrics = quality.Metrics{
+		RTTMs:    getf(row[7]),
+		LossRate: getf(row[8]),
+		JitterMs: getf(row[9]),
+	}
+	c.Duration = getf(row[10])
+	c.Rating = int(geti(row[11]))
+	c.UserSrc = geti(row[12])
+	c.UserDst = geti(row[13])
+	if err != nil {
+		return c, err
+	}
+	if !c.Metrics.Valid() {
+		return c, fmt.Errorf("invalid metrics %+v", c.Metrics)
+	}
+	if c.Rating < 0 || c.Rating > 5 {
+		return c, fmt.Errorf("invalid rating %d", c.Rating)
+	}
+	return c, nil
+}

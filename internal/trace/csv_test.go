@@ -1,0 +1,94 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/quality"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	w := netsim.New(netsim.DefaultConfig(1))
+	recs := NewGenerator(w, DefaultConfig(2, 2000)).GenerateSlice()
+
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(recs) {
+		t.Fatalf("got %d records, want %d", len(back), len(recs))
+	}
+	for i := range recs {
+		if back[i] != recs[i] {
+			t.Fatalf("record %d differs:\n  %+v\n  %+v", i, recs[i], back[i])
+		}
+	}
+}
+
+func TestCSVEmptyTrace(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 0 {
+		t.Errorf("empty trace read back %d records", len(back))
+	}
+}
+
+func TestReadCSVRejectsBadInput(t *testing.T) {
+	cases := map[string]string{
+		"empty":        "",
+		"wrong header": "a,b,c\n",
+		"bad kind": "id,t_hours,src,dst,opt_kind,r1,r2,rtt_ms,loss_rate,jitter_ms,duration_sec,rating,user_src,user_dst\n" +
+			"0,1,1,2,9,0,0,100,0.01,5,60,0,1,2\n",
+		"bad metrics": "id,t_hours,src,dst,opt_kind,r1,r2,rtt_ms,loss_rate,jitter_ms,duration_sec,rating,user_src,user_dst\n" +
+			"0,1,1,2,0,-1,-1,-5,0.01,5,60,0,1,2\n",
+		"bad rating": "id,t_hours,src,dst,opt_kind,r1,r2,rtt_ms,loss_rate,jitter_ms,duration_sec,rating,user_src,user_dst\n" +
+			"0,1,1,2,0,-1,-1,100,0.01,5,60,9,1,2\n",
+		"non-chronological": "id,t_hours,src,dst,opt_kind,r1,r2,rtt_ms,loss_rate,jitter_ms,duration_sec,rating,user_src,user_dst\n" +
+			"0,5,1,2,0,-1,-1,100,0.01,5,60,0,1,2\n" +
+			"1,4,1,2,0,-1,-1,100,0.01,5,60,0,1,2\n",
+		"not a number": "id,t_hours,src,dst,opt_kind,r1,r2,rtt_ms,loss_rate,jitter_ms,duration_sec,rating,user_src,user_dst\n" +
+			"x,1,1,2,0,-1,-1,100,0.01,5,60,0,1,2\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestCSVPreservesOptions(t *testing.T) {
+	recs := []CallRecord{
+		{ID: 0, THours: 1, Option: netsim.DirectOption(), Metrics: q(100, 0.01, 5), Duration: 1},
+		{ID: 1, THours: 2, Option: netsim.BounceOption(7), Metrics: q(100, 0.01, 5), Duration: 1},
+		{ID: 2, THours: 3, Option: netsim.TransitOption(3, 9), Metrics: q(100, 0.01, 5), Duration: 1},
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range recs {
+		if back[i].Option != recs[i].Option {
+			t.Errorf("option %d: %v != %v", i, back[i].Option, recs[i].Option)
+		}
+	}
+}
+
+func q(rtt, loss, jit float64) quality.Metrics {
+	return quality.Metrics{RTTMs: rtt, LossRate: loss, JitterMs: jit}
+}

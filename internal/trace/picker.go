@@ -1,0 +1,43 @@
+package trace
+
+import (
+	"sort"
+
+	"repro/internal/netsim"
+	"repro/internal/stats"
+)
+
+// weightedPicker samples ASes proportionally to their traffic weight using a
+// precomputed cumulative distribution and binary search.
+type weightedPicker struct {
+	ids []netsim.ASID
+	cdf []float64
+}
+
+func newWeightedPicker(w *netsim.World) *weightedPicker {
+	n := w.NumASes()
+	p := &weightedPicker{
+		ids: make([]netsim.ASID, n),
+		cdf: make([]float64, n),
+	}
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		id := netsim.ASID(i)
+		p.ids[i] = id
+		sum += w.AS(id).Weight
+		p.cdf[i] = sum
+	}
+	for i := range p.cdf {
+		p.cdf[i] /= sum
+	}
+	return p
+}
+
+func (p *weightedPicker) pick(r *stats.RNG) netsim.ASID {
+	u := r.Float64()
+	i := sort.SearchFloat64s(p.cdf, u)
+	if i >= len(p.ids) {
+		i = len(p.ids) - 1
+	}
+	return p.ids[i]
+}

@@ -1,0 +1,134 @@
+package transport
+
+import (
+	"repro/internal/netsim"
+	"repro/internal/quality"
+)
+
+// The controller's HTTP API (JSON over POST unless noted):
+//
+//	POST /v1/relays/register — RegisterRelayRequest → RegisterRelayResponse
+//	GET  /v1/relays          — RelayListResponse
+//	POST /v1/choose          — ChooseRequest → ChooseResponse
+//	POST /v1/report          — ReportRequest → ReportResponse
+//	GET  /v1/stats           — StatsResponse
+
+// RegisterRelayRequest announces a relay's media address to the controller.
+type RegisterRelayRequest struct {
+	RelayID netsim.RelayID `json:"relay_id"`
+	Addr    string         `json:"addr"` // host:port of the relay's UDP socket
+}
+
+// RegisterRelayResponse acknowledges registration.
+type RegisterRelayResponse struct {
+	OK bool `json:"ok"`
+}
+
+// RelayInfo describes one registered relay.
+type RelayInfo struct {
+	RelayID netsim.RelayID `json:"relay_id"`
+	Addr    string         `json:"addr"`
+}
+
+// RelayListResponse lists registered relays.
+type RelayListResponse struct {
+	Relays []RelayInfo `json:"relays"`
+}
+
+// WireOption is netsim.Option in JSON-friendly form.
+type WireOption struct {
+	Kind string         `json:"kind"` // "direct" | "bounce" | "transit"
+	R1   netsim.RelayID `json:"r1,omitempty"`
+	R2   netsim.RelayID `json:"r2,omitempty"`
+}
+
+// ToWireOption converts an option for the wire.
+func ToWireOption(o netsim.Option) WireOption {
+	w := WireOption{Kind: o.Kind.String()}
+	switch o.Kind {
+	case netsim.Bounce:
+		w.R1 = o.R1
+	case netsim.Transit:
+		w.R1, w.R2 = o.R1, o.R2
+	}
+	return w
+}
+
+// Option converts back from wire form. Unknown kinds map to direct.
+func (w WireOption) Option() netsim.Option {
+	switch w.Kind {
+	case "bounce":
+		return netsim.BounceOption(w.R1)
+	case "transit":
+		return netsim.TransitOption(w.R1, w.R2)
+	default:
+		return netsim.DirectOption()
+	}
+}
+
+// ChooseRequest asks the controller to pick a relaying option for a call.
+type ChooseRequest struct {
+	Src        int32        `json:"src"` // caller's group (AS analogue)
+	Dst        int32        `json:"dst"`
+	Candidates []WireOption `json:"candidates"`
+}
+
+// ChooseResponse carries the controller's decision.
+type ChooseResponse struct {
+	Option WireOption `json:"option"`
+}
+
+// WireMetrics is quality.Metrics for the wire.
+type WireMetrics struct {
+	RTTMs    float64 `json:"rtt_ms"`
+	LossRate float64 `json:"loss_rate"`
+	JitterMs float64 `json:"jitter_ms"`
+}
+
+// ToWireMetrics converts metrics for the wire.
+func ToWireMetrics(m quality.Metrics) WireMetrics {
+	return WireMetrics{RTTMs: m.RTTMs, LossRate: m.LossRate, JitterMs: m.JitterMs}
+}
+
+// Metrics converts back.
+func (w WireMetrics) Metrics() quality.Metrics {
+	return quality.Metrics{RTTMs: w.RTTMs, LossRate: w.LossRate, JitterMs: w.JitterMs}
+}
+
+// ReportRequest pushes one call's measured performance to the controller.
+type ReportRequest struct {
+	Src     int32       `json:"src"`
+	Dst     int32       `json:"dst"`
+	Option  WireOption  `json:"option"`
+	Metrics WireMetrics `json:"metrics"`
+}
+
+// ReportResponse acknowledges a report.
+type ReportResponse struct {
+	OK bool `json:"ok"`
+}
+
+// StatsResponse summarizes the controller's state (diagnostics).
+type StatsResponse struct {
+	Relays  int   `json:"relays"`
+	Reports int64 `json:"reports"`
+	Chooses int64 `json:"chooses"`
+}
+
+// TopKEntry is one pruned candidate with its prediction (diagnostics).
+type TopKEntry struct {
+	Option  WireOption `json:"option"`
+	Mean    float64    `json:"mean"`
+	SEM     float64    `json:"sem"`
+	Samples int64      `json:"samples"`
+	Tomo    bool       `json:"tomography"`
+}
+
+// TopKResponse is the controller's current pruned candidate set for a pair
+// (GET /v1/topk?src=..&dst=..&metric=..).
+type TopKResponse struct {
+	Src    int32       `json:"src"`
+	Dst    int32       `json:"dst"`
+	Metric string      `json:"metric"`
+	TopK   []TopKEntry `json:"topk"`
+}

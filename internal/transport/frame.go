@@ -1,0 +1,205 @@
+// Package transport defines the wire formats shared by the testbed's media
+// and control planes:
+//
+//   - Frame: the media-plane source-routing envelope. The caller writes the
+//     full relay route (zero hops = direct, one = bounce, two = transit)
+//     plus the reply route the callee should use; each relay pops the next
+//     hop and forwards. This is how Via's clients reach a *specific*
+//     relay (§3.1: "the caller can reach these relays by explicitly
+//     addressing the particular relay(s)").
+//
+//   - The JSON request/response types of the controller's HTTP API
+//     (measurement reports in, relay selections out — the two exchanges
+//     §7 budgets per call).
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+)
+
+// frameMagic guards against stray datagrams.
+const frameMagic = 0x5641 // "VA"
+
+// MaxHops bounds the route length (direct=0, bounce=1, transit=2).
+const MaxHops = 4
+
+// Frame is the media envelope: the remaining forward route, the route the
+// peer should use to reply, and the opaque payload (an RTP packet or a
+// receiver report).
+type Frame struct {
+	Session uint64
+	Kind    uint8 // application-defined payload discriminator
+	// Route holds the remaining forwarding targets. The packet's next stop
+	// is Route[0]; a relay pops it and sends the rest onward. Empty means
+	// the packet is at its final destination.
+	Route []netip
+	// Reply is the route the receiver should use for traffic back to the
+	// sender (already oriented from the receiver's perspective).
+	Reply []netip
+	// Payload aliases the decode buffer.
+	Payload []byte
+}
+
+// PayloadKind values used by the testbed clients.
+const (
+	KindMedia  = 1 // RTP media packet
+	KindReport = 2 // receiver report
+)
+
+// netip is a compact IPv4 address + port.
+type netip struct {
+	IP   [4]byte
+	Port uint16
+}
+
+const netipLen = 6
+
+// ErrFrame reports a malformed frame.
+var ErrFrame = errors.New("transport: malformed frame")
+
+// ToWireAddr converts a *net.UDPAddr (IPv4) into wire form.
+func ToWireAddr(a *net.UDPAddr) ([6]byte, error) {
+	var out [6]byte
+	ip4 := a.IP.To4()
+	if ip4 == nil {
+		return out, fmt.Errorf("transport: %v is not IPv4", a.IP)
+	}
+	copy(out[:4], ip4)
+	binary.BigEndian.PutUint16(out[4:], uint16(a.Port))
+	return out, nil
+}
+
+// FromWireAddr converts wire form back into a UDP address.
+func FromWireAddr(b [6]byte) *net.UDPAddr {
+	return &net.UDPAddr{
+		IP:   net.IPv4(b[0], b[1], b[2], b[3]),
+		Port: int(binary.BigEndian.Uint16(b[4:])),
+	}
+}
+
+// SetRoute assigns the forward route from UDP addresses.
+func (f *Frame) SetRoute(addrs []*net.UDPAddr) error {
+	return setHops(&f.Route, addrs)
+}
+
+// SetReply assigns the reply route from UDP addresses.
+func (f *Frame) SetReply(addrs []*net.UDPAddr) error {
+	return setHops(&f.Reply, addrs)
+}
+
+func setHops(dst *[]netip, addrs []*net.UDPAddr) error {
+	if len(addrs) > MaxHops {
+		return fmt.Errorf("transport: %d hops exceeds max %d", len(addrs), MaxHops)
+	}
+	out := make([]netip, len(addrs))
+	for i, a := range addrs {
+		w, err := ToWireAddr(a)
+		if err != nil {
+			return err
+		}
+		copy(out[i].IP[:], w[:4])
+		out[i].Port = binary.BigEndian.Uint16(w[4:])
+	}
+	*dst = out
+	return nil
+}
+
+// NextHop returns the next forwarding target, or nil if the frame is at its
+// final destination.
+func (f *Frame) NextHop() *net.UDPAddr {
+	if len(f.Route) == 0 {
+		return nil
+	}
+	h := f.Route[0]
+	return &net.UDPAddr{IP: net.IPv4(h.IP[0], h.IP[1], h.IP[2], h.IP[3]), Port: int(h.Port)}
+}
+
+// PopHop removes the next forwarding target (relay-side).
+func (f *Frame) PopHop() {
+	if len(f.Route) > 0 {
+		f.Route = f.Route[1:]
+	}
+}
+
+// ReplyAddrs returns the reply route as UDP addresses.
+func (f *Frame) ReplyAddrs() []*net.UDPAddr {
+	out := make([]*net.UDPAddr, len(f.Reply))
+	for i, h := range f.Reply {
+		out[i] = &net.UDPAddr{IP: net.IPv4(h.IP[0], h.IP[1], h.IP[2], h.IP[3]), Port: int(h.Port)}
+	}
+	return out
+}
+
+// Marshal appends the frame's wire form to dst.
+// Layout: magic(2) session(8) kind(1) nRoute(1) route(6·n) nReply(1)
+// reply(6·n) payload.
+func (f *Frame) Marshal(dst []byte) []byte {
+	var h [12]byte
+	binary.BigEndian.PutUint16(h[0:2], frameMagic)
+	binary.BigEndian.PutUint64(h[2:10], f.Session)
+	h[10] = f.Kind
+	h[11] = byte(len(f.Route))
+	dst = append(dst, h[:]...)
+	for _, hop := range f.Route {
+		dst = append(dst, hop.IP[:]...)
+		dst = binary.BigEndian.AppendUint16(dst, hop.Port)
+	}
+	dst = append(dst, byte(len(f.Reply)))
+	for _, hop := range f.Reply {
+		dst = append(dst, hop.IP[:]...)
+		dst = binary.BigEndian.AppendUint16(dst, hop.Port)
+	}
+	return append(dst, f.Payload...)
+}
+
+// Unmarshal decodes a frame. Payload aliases buf.
+func (f *Frame) Unmarshal(buf []byte) error {
+	if len(buf) < 12 {
+		return ErrFrame
+	}
+	if binary.BigEndian.Uint16(buf[0:2]) != frameMagic {
+		return ErrFrame
+	}
+	f.Session = binary.BigEndian.Uint64(buf[2:10])
+	f.Kind = buf[10]
+	nRoute := int(buf[11])
+	if nRoute > MaxHops {
+		return ErrFrame
+	}
+	off := 12
+	var err error
+	f.Route, off, err = parseHops(buf, off, nRoute)
+	if err != nil {
+		return err
+	}
+	if off >= len(buf) {
+		return ErrFrame
+	}
+	nReply := int(buf[off])
+	if nReply > MaxHops {
+		return ErrFrame
+	}
+	off++
+	f.Reply, off, err = parseHops(buf, off, nReply)
+	if err != nil {
+		return err
+	}
+	f.Payload = buf[off:]
+	return nil
+}
+
+func parseHops(buf []byte, off, n int) ([]netip, int, error) {
+	if off+n*netipLen > len(buf) {
+		return nil, 0, ErrFrame
+	}
+	hops := make([]netip, n)
+	for i := 0; i < n; i++ {
+		copy(hops[i].IP[:], buf[off:off+4])
+		hops[i].Port = binary.BigEndian.Uint16(buf[off+4 : off+6])
+		off += netipLen
+	}
+	return hops, off, nil
+}

@@ -1,0 +1,151 @@
+package transport
+
+import (
+	"net"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/netsim"
+	"repro/internal/quality"
+)
+
+func udp(ip string, port int) *net.UDPAddr {
+	return &net.UDPAddr{IP: net.ParseIP(ip), Port: port}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	f := Frame{Session: 0xCAFEBABE, Kind: KindMedia, Payload: []byte("media")}
+	if err := f.SetRoute([]*net.UDPAddr{udp("127.0.0.1", 5000), udp("10.0.0.2", 6000)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetReply([]*net.UDPAddr{udp("192.168.1.1", 7000)}); err != nil {
+		t.Fatal(err)
+	}
+	wire := f.Marshal(nil)
+	var g Frame
+	if err := g.Unmarshal(wire); err != nil {
+		t.Fatal(err)
+	}
+	if g.Session != f.Session || g.Kind != f.Kind || string(g.Payload) != "media" {
+		t.Errorf("mismatch: %+v", g)
+	}
+	if got := g.NextHop().String(); got != "127.0.0.1:5000" {
+		t.Errorf("next hop = %s", got)
+	}
+	g.PopHop()
+	if got := g.NextHop().String(); got != "10.0.0.2:6000" {
+		t.Errorf("second hop = %s", got)
+	}
+	g.PopHop()
+	if g.NextHop() != nil {
+		t.Error("exhausted route should have nil next hop")
+	}
+	g.PopHop() // must not panic on empty route
+	reply := g.ReplyAddrs()
+	if len(reply) != 1 || reply[0].String() != "192.168.1.1:7000" {
+		t.Errorf("reply route = %v", reply)
+	}
+}
+
+func TestFrameDirectNoHops(t *testing.T) {
+	f := Frame{Session: 1, Kind: KindReport, Payload: []byte{1, 2, 3}}
+	var g Frame
+	if err := g.Unmarshal(f.Marshal(nil)); err != nil {
+		t.Fatal(err)
+	}
+	if g.NextHop() != nil || len(g.ReplyAddrs()) != 0 {
+		t.Error("direct frame should have empty routes")
+	}
+}
+
+func TestFrameRejectsGarbage(t *testing.T) {
+	var f Frame
+	cases := [][]byte{
+		nil,
+		make([]byte, 5),
+		[]byte("not a frame at all"),
+		func() []byte { // bad hop count
+			g := Frame{Session: 1}
+			w := g.Marshal(nil)
+			w[11] = 200
+			return w
+		}(),
+		func() []byte { // truncated route
+			g := Frame{Session: 1}
+			g.SetRoute([]*net.UDPAddr{udp("1.2.3.4", 5)})
+			return g.Marshal(nil)[:14]
+		}(),
+	}
+	for i, c := range cases {
+		if err := f.Unmarshal(c); err == nil {
+			t.Errorf("case %d accepted garbage", i)
+		}
+	}
+}
+
+func TestFrameTooManyHops(t *testing.T) {
+	var f Frame
+	hops := make([]*net.UDPAddr, MaxHops+1)
+	for i := range hops {
+		hops[i] = udp("127.0.0.1", 1000+i)
+	}
+	if err := f.SetRoute(hops); err == nil {
+		t.Error("oversized route accepted")
+	}
+}
+
+func TestFrameIPv6Rejected(t *testing.T) {
+	var f Frame
+	if err := f.SetRoute([]*net.UDPAddr{udp("::1", 80)}); err == nil {
+		t.Error("IPv6 hop accepted by IPv4 wire format")
+	}
+}
+
+func TestWireAddrRoundTrip(t *testing.T) {
+	a := udp("203.0.113.9", 12345)
+	w, err := ToWireAddr(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := FromWireAddr(w)
+	if back.String() != a.String() {
+		t.Errorf("round trip: %s vs %s", back, a)
+	}
+}
+
+func TestFrameRoundTripProperty(t *testing.T) {
+	f := func(session uint64, kind uint8, payload []byte) bool {
+		in := Frame{Session: session, Kind: kind, Payload: payload}
+		var out Frame
+		if err := out.Unmarshal(in.Marshal(nil)); err != nil {
+			return false
+		}
+		return out.Session == session && out.Kind == kind && string(out.Payload) == string(payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWireOptionRoundTrip(t *testing.T) {
+	opts := []netsim.Option{
+		netsim.DirectOption(),
+		netsim.BounceOption(7),
+		netsim.TransitOption(3, 9),
+	}
+	for _, o := range opts {
+		if got := ToWireOption(o).Option(); got != o {
+			t.Errorf("round trip %v -> %v", o, got)
+		}
+	}
+	if (WireOption{Kind: "???"}).Option() != netsim.DirectOption() {
+		t.Error("unknown kind should map to direct")
+	}
+}
+
+func TestWireMetricsRoundTrip(t *testing.T) {
+	m := quality.Metrics{RTTMs: 123.4, LossRate: 0.05, JitterMs: 9.1}
+	if got := ToWireMetrics(m).Metrics(); got != m {
+		t.Errorf("round trip %+v -> %+v", m, got)
+	}
+}

@@ -1,0 +1,148 @@
+// Package wan emulates wide-area link characteristics in userspace: a
+// net.PacketConn wrapper that applies configurable per-destination
+// propagation delay, jitter, and random loss to outgoing datagrams. The
+// testbed (§5.5) runs clients, relays, and the controller on loopback and
+// uses this shaper in place of the real WAN, with link parameters derived
+// from the same synthetic world model as the trace-driven experiments.
+package wan
+
+import (
+	"math"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// LinkParams describes one direction of a link.
+type LinkParams struct {
+	DelayMs  float64 // one-way base delay
+	JitterMs float64 // mean absolute per-packet delay variation
+	LossRate float64 // independent drop probability in [0, 1]
+}
+
+// Shaper wraps a PacketConn, impairing writes per destination address.
+// Reads pass through untouched. It implements net.PacketConn.
+type Shaper struct {
+	conn net.PacketConn
+
+	mu      sync.Mutex
+	links   map[string]LinkParams
+	def     LinkParams
+	rng     *stats.RNG
+	closed  bool
+	pending sync.WaitGroup
+}
+
+// Wrap builds a shaper around conn. With no configured links, packets pass
+// through unimpaired.
+func Wrap(conn net.PacketConn, seed uint64) *Shaper {
+	return &Shaper{
+		conn:  conn,
+		links: make(map[string]LinkParams),
+		rng:   stats.NewRNG(seed).Split("wan"),
+	}
+}
+
+// SetLink configures impairment for datagrams sent to dst (addr.String()
+// form).
+func (s *Shaper) SetLink(dst string, p LinkParams) {
+	s.mu.Lock()
+	s.links[dst] = p
+	s.mu.Unlock()
+}
+
+// SetDefault configures impairment for destinations with no explicit link.
+func (s *Shaper) SetDefault(p LinkParams) {
+	s.mu.Lock()
+	s.def = p
+	s.mu.Unlock()
+}
+
+// Link returns the impairment configured for dst (or the default).
+func (s *Shaper) Link(dst string) LinkParams {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if p, ok := s.links[dst]; ok {
+		return p
+	}
+	return s.def
+}
+
+// WriteTo impairs and forwards one datagram. Dropped packets still report
+// success — the network ate them, not the caller.
+func (s *Shaper) WriteTo(b []byte, addr net.Addr) (int, error) {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return 0, net.ErrClosed
+	}
+	p, ok := s.links[addr.String()]
+	if !ok {
+		p = s.def
+	}
+	drop := p.LossRate > 0 && s.rng.Float64() < p.LossRate
+	var delay time.Duration
+	if !drop && (p.DelayMs > 0 || p.JitterMs > 0) {
+		d := p.DelayMs
+		if p.JitterMs > 0 {
+			d += math.Abs(s.rng.Normal(0, p.JitterMs*math.Sqrt(math.Pi/2)))
+		}
+		delay = time.Duration(d * float64(time.Millisecond))
+	}
+	s.mu.Unlock()
+
+	if drop {
+		return len(b), nil
+	}
+	if delay <= 0 {
+		return s.conn.WriteTo(b, addr)
+	}
+	// Deliver later; the caller's buffer may be reused, so copy.
+	buf := make([]byte, len(b))
+	copy(buf, b)
+	s.pending.Add(1)
+	time.AfterFunc(delay, func() {
+		defer s.pending.Done()
+		s.mu.Lock()
+		closed := s.closed
+		s.mu.Unlock()
+		if !closed {
+			_, _ = s.conn.WriteTo(buf, addr)
+		}
+	})
+	return len(b), nil
+}
+
+// ReadFrom passes through to the underlying conn.
+func (s *Shaper) ReadFrom(b []byte) (int, net.Addr, error) {
+	return s.conn.ReadFrom(b)
+}
+
+// Close marks the shaper closed, waits for in-flight delayed packets to
+// resolve, and closes the underlying conn.
+func (s *Shaper) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	err := s.conn.Close()
+	s.pending.Wait()
+	return err
+}
+
+// LocalAddr returns the underlying conn's address.
+func (s *Shaper) LocalAddr() net.Addr { return s.conn.LocalAddr() }
+
+// SetDeadline passes through.
+func (s *Shaper) SetDeadline(t time.Time) error { return s.conn.SetDeadline(t) }
+
+// SetReadDeadline passes through.
+func (s *Shaper) SetReadDeadline(t time.Time) error { return s.conn.SetReadDeadline(t) }
+
+// SetWriteDeadline passes through.
+func (s *Shaper) SetWriteDeadline(t time.Time) error { return s.conn.SetWriteDeadline(t) }

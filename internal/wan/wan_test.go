@@ -1,0 +1,198 @@
+package wan
+
+import (
+	"net"
+	"testing"
+	"time"
+)
+
+func udpPair(t *testing.T) (net.PacketConn, net.PacketConn) {
+	t.Helper()
+	a, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestPassThroughNoImpairment(t *testing.T) {
+	a, b := udpPair(t)
+	s := Wrap(a, 1)
+	msg := []byte("hello")
+	start := time.Now()
+	if _, err := s.WriteTo(msg, b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	b.SetReadDeadline(time.Now().Add(time.Second))
+	n, _, err := b.ReadFrom(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:n]) != "hello" {
+		t.Errorf("got %q", buf[:n])
+	}
+	if time.Since(start) > 100*time.Millisecond {
+		t.Error("unimpaired delivery took too long")
+	}
+}
+
+func TestDelayApplied(t *testing.T) {
+	a, b := udpPair(t)
+	s := Wrap(a, 2)
+	s.SetLink(b.LocalAddr().String(), LinkParams{DelayMs: 80})
+	start := time.Now()
+	if _, err := s.WriteTo([]byte("x"), b.LocalAddr()); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	b.SetReadDeadline(time.Now().Add(2 * time.Second))
+	if _, _, err := b.ReadFrom(buf); err != nil {
+		t.Fatal(err)
+	}
+	if got := time.Since(start); got < 70*time.Millisecond {
+		t.Errorf("packet arrived after %v, want >= ~80ms", got)
+	}
+}
+
+func TestLossApplied(t *testing.T) {
+	a, b := udpPair(t)
+	s := Wrap(a, 3)
+	s.SetLink(b.LocalAddr().String(), LinkParams{LossRate: 0.5})
+	const n = 400
+	for i := 0; i < n; i++ {
+		if _, err := s.WriteTo([]byte{byte(i)}, b.LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	received := 0
+	buf := make([]byte, 16)
+	for {
+		b.SetReadDeadline(time.Now().Add(150 * time.Millisecond))
+		if _, _, err := b.ReadFrom(buf); err != nil {
+			break
+		}
+		received++
+	}
+	if received < n/4 || received > 3*n/4 {
+		t.Errorf("received %d/%d with 50%% loss", received, n)
+	}
+}
+
+func TestFullLossDropsEverything(t *testing.T) {
+	a, b := udpPair(t)
+	s := Wrap(a, 4)
+	s.SetLink(b.LocalAddr().String(), LinkParams{LossRate: 1})
+	for i := 0; i < 10; i++ {
+		n, err := s.WriteTo([]byte("x"), b.LocalAddr())
+		if err != nil || n != 1 {
+			t.Fatal("drop should still report success")
+		}
+	}
+	buf := make([]byte, 16)
+	b.SetReadDeadline(time.Now().Add(100 * time.Millisecond))
+	if _, _, err := b.ReadFrom(buf); err == nil {
+		t.Error("packet leaked through 100% loss")
+	}
+}
+
+func TestDefaultLink(t *testing.T) {
+	a, _ := udpPair(t)
+	s := Wrap(a, 5)
+	s.SetDefault(LinkParams{DelayMs: 10})
+	if got := s.Link("1.2.3.4:99"); got.DelayMs != 10 {
+		t.Errorf("default link = %+v", got)
+	}
+	s.SetLink("1.2.3.4:99", LinkParams{DelayMs: 50})
+	if got := s.Link("1.2.3.4:99"); got.DelayMs != 50 {
+		t.Errorf("specific link = %+v", got)
+	}
+}
+
+func TestJitterVariesDelay(t *testing.T) {
+	a, b := udpPair(t)
+	s := Wrap(a, 6)
+	s.SetLink(b.LocalAddr().String(), LinkParams{DelayMs: 5, JitterMs: 15})
+	// Send paced packets; arrival spacing should vary noticeably.
+	go func() {
+		for i := 0; i < 40; i++ {
+			s.WriteTo([]byte{byte(i)}, b.LocalAddr())
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	var arrivals []time.Time
+	buf := make([]byte, 16)
+	for i := 0; i < 40; i++ {
+		b.SetReadDeadline(time.Now().Add(time.Second))
+		if _, _, err := b.ReadFrom(buf); err != nil {
+			break
+		}
+		arrivals = append(arrivals, time.Now())
+	}
+	if len(arrivals) < 30 {
+		t.Fatalf("only %d arrivals", len(arrivals))
+	}
+	varied := 0
+	for i := 1; i < len(arrivals); i++ {
+		gap := arrivals[i].Sub(arrivals[i-1])
+		if gap < 2*time.Millisecond || gap > 8*time.Millisecond {
+			varied++
+		}
+	}
+	if varied < 5 {
+		t.Errorf("arrival spacing too regular for 15ms jitter (%d varied gaps)", varied)
+	}
+}
+
+func TestWriteAfterClose(t *testing.T) {
+	a, b := udpPair(t)
+	s := Wrap(a, 7)
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.WriteTo([]byte("x"), b.LocalAddr()); err == nil {
+		t.Error("write after close should fail")
+	}
+	if err := s.Close(); err != nil {
+		t.Error("double close should be a no-op")
+	}
+}
+
+func TestCloseWaitsForPending(t *testing.T) {
+	a, b := udpPair(t)
+	s := Wrap(a, 8)
+	s.SetLink(b.LocalAddr().String(), LinkParams{DelayMs: 30})
+	s.WriteTo([]byte("x"), b.LocalAddr())
+	done := make(chan struct{})
+	go func() {
+		s.Close()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Close hung")
+	}
+}
+
+func TestLocalAddrAndDeadlines(t *testing.T) {
+	a, _ := udpPair(t)
+	s := Wrap(a, 9)
+	if s.LocalAddr() == nil {
+		t.Error("nil local addr")
+	}
+	if err := s.SetDeadline(time.Now().Add(time.Second)); err != nil {
+		t.Error(err)
+	}
+	if err := s.SetReadDeadline(time.Now().Add(time.Second)); err != nil {
+		t.Error(err)
+	}
+	if err := s.SetWriteDeadline(time.Now().Add(time.Second)); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,60 @@
+package via_test
+
+import (
+	"fmt"
+
+	"repro/via"
+)
+
+// Classify a call's network performance against the paper's thresholds.
+func ExampleMetrics_PoorOn() {
+	m := via.Metrics{RTTMs: 350, LossRate: 0.004, JitterMs: 3}
+	fmt.Println("poor on RTT:", m.PoorOn(via.RTT))
+	fmt.Println("poor on loss:", m.PoorOn(via.Loss))
+	fmt.Println("at least one bad:", m.AtLeastOneBad())
+	// Output:
+	// poor on RTT: true
+	// poor on loss: false
+	// at least one bad: true
+}
+
+// Relaying options are direct, bounce (one relay), or transit (a relay
+// pair crossing the private backbone).
+func ExampleTransitOption() {
+	direct := via.DirectOption()
+	bounce := via.BounceOption(3)
+	transit := via.TransitOption(3, 7)
+	fmt.Println(direct, direct.IsRelayed())
+	fmt.Println(bounce, bounce.IsRelayed())
+	fmt.Println(transit, transit.IsRelayed())
+	// Output:
+	// direct false
+	// bounce(3) true
+	// transit(3->7) true
+}
+
+// Reduction is the paper's relative-improvement statistic: a PNR going from
+// 20% to 11% is a 45% reduction.
+func ExampleReduction() {
+	fmt.Printf("%.0f%%\n", via.Reduction(0.20, 0.11))
+	// Output:
+	// 45%
+}
+
+// The selector is driven per call: Choose picks an option, Observe feeds
+// the measured outcome back. With no history and no exploration it stays on
+// the default path.
+func ExampleNewSelector() {
+	cfg := via.DefaultSelectorConfig(via.RTT)
+	cfg.Epsilon = 0 // deterministic for the example
+	s := via.NewSelector(cfg, nil)
+
+	call := via.Call{Src: 1, Dst: 2, THours: 0.5}
+	cands := []via.Option{via.DirectOption(), via.BounceOption(0)}
+	opt := s.Choose(call, cands)
+	fmt.Println("cold start:", opt)
+
+	s.Observe(call, opt, via.Metrics{RTTMs: 250, LossRate: 0.01, JitterMs: 8})
+	// Output:
+	// cold start: direct
+}

@@ -1,0 +1,62 @@
+package via
+
+import (
+	"repro/internal/experiments"
+	"repro/internal/stats"
+)
+
+// ExperimentEnv is a shared environment (world + trace + simulator + run
+// cache) for regenerating the paper's tables and figures.
+type ExperimentEnv = experiments.Env
+
+// ResultTable is an aligned text table (with CSV rendering) holding one
+// reproduced figure or table.
+type ResultTable = stats.Table
+
+// NewExperimentEnv builds an experiment environment at the given workload
+// scale.
+func NewExperimentEnv(seed uint64, calls int) *ExperimentEnv {
+	return experiments.NewEnv(seed, calls)
+}
+
+// Experiments lists the available trace-driven experiment names in paper
+// order (table1, fig1..fig17c, mix, tomo).
+func Experiments() []string {
+	var names []string
+	for _, e := range experiments.Registry() {
+		names = append(names, e.Name)
+	}
+	return names
+}
+
+// RunExperiment regenerates one table/figure by name against an
+// environment. Fig 18 (the real-networking deployment) is run separately
+// via RunDeploymentExperiment.
+func RunExperiment(env *ExperimentEnv, name string) ([]*ResultTable, error) {
+	exp, err := experiments.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return exp.Run(env), nil
+}
+
+// DeploymentScale selects the size of the §5.5 deployment experiment.
+type DeploymentScale int
+
+// Deployment scales.
+const (
+	// DeploymentQuick is a CI-friendly smoke scale.
+	DeploymentQuick DeploymentScale = iota
+	// DeploymentFull mirrors the paper's 18-pair deployment.
+	DeploymentFull
+)
+
+// RunDeploymentExperiment runs the §5.5 controlled deployment (Fig. 18) on
+// loopback with real sockets and returns its result table.
+func RunDeploymentExperiment(scale DeploymentScale) ([]*ResultTable, error) {
+	cfg := experiments.QuickFig18Config()
+	if scale == DeploymentFull {
+		cfg = experiments.DefaultFig18Config()
+	}
+	return experiments.Fig18(cfg)
+}
