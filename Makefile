@@ -1,0 +1,34 @@
+# Verification entry points. `make verify` is the tier-1 gate: build,
+# vet, full tests, and the race detector (the testbed is heavily
+# concurrent — controller HTTP handlers, relay forwarders, shapers, and
+# fault injection all share state).
+
+GO ?= go
+
+.PHONY: verify build vet test race short fuzz chaos
+
+verify: build vet test race
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Fast subset: skips the slow end-to-end deployment and chaos runs.
+short:
+	$(GO) test -short ./...
+
+# Short fuzz session over the wire-format decoder.
+fuzz:
+	$(GO) test -run=NONE -fuzz=FuzzFrameUnmarshal -fuzztime=30s ./internal/transport/
+
+# Smoke-scale fault-injection benchmark.
+chaos:
+	$(GO) run ./cmd/viabench -quick chaos

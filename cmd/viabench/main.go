@@ -6,6 +6,7 @@
 //	viabench [flags] all            run every trace-driven experiment
 //	viabench [flags] <name>...      run specific experiments (see -list)
 //	viabench [flags] fig18          run the loopback deployment (§5.5)
+//	viabench [flags] chaos          run the fault-injection benchmark
 //	viabench -list                  list experiment names
 //
 // Flags:
@@ -13,7 +14,7 @@
 //	-seed N     master seed (default 1)
 //	-calls N    trace size in calls (default 200000)
 //	-csv        also emit CSV after each table
-//	-quick      shrink fig18 to smoke-test scale
+//	-quick      shrink fig18/chaos to smoke-test scale
 package main
 
 import (
@@ -39,6 +40,7 @@ func main() {
 			fmt.Printf("%-8s %s\n", e.Name, e.Desc)
 		}
 		fmt.Printf("%-8s %s\n", "fig18", "real-networking deployment (§5.5)")
+		fmt.Printf("%-8s %s\n", "chaos", "fault-injection benchmark (relay death + controller flap)")
 		return
 	}
 	args := flag.Args()
@@ -53,7 +55,7 @@ func main() {
 		for _, e := range experiments.Registry() {
 			names = append(names, e.Name)
 		}
-		names = append(names, "fig18")
+		names = append(names, "fig18", "chaos")
 	}
 
 	var env *experiments.Env
@@ -72,6 +74,21 @@ func main() {
 			}
 			emit(tables, *csv)
 			fmt.Printf("[fig18 done in %s]\n\n", time.Since(start).Round(time.Millisecond))
+			continue
+		}
+		if name == "chaos" {
+			cfg := experiments.DefaultChaosConfig()
+			if *quick {
+				cfg = experiments.QuickChaosConfig()
+			}
+			cfg.Seed = *seed + 16
+			tables, err := experiments.Chaos(cfg)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
+				os.Exit(1)
+			}
+			emit(tables, *csv)
+			fmt.Printf("[chaos done in %s]\n\n", time.Since(start).Round(time.Millisecond))
 			continue
 		}
 		exp, err := experiments.Lookup(name)

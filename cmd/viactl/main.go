@@ -11,12 +11,15 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"net/http"
 	"os"
 	"os/signal"
+	"syscall"
+	"time"
 
 	"repro/internal/controller"
 	"repro/internal/core"
@@ -30,6 +33,7 @@ func main() {
 	timescale := flag.Float64("timescale", 0, "virtual hours per wall second (0 = real time)")
 	seed := flag.Uint64("seed", 1, "strategy seed")
 	state := flag.String("state", "", "history snapshot file: loaded at start, saved on SIGINT")
+	relayTTL := flag.Duration("relay-ttl", 0, "expire relays whose heartbeat lapsed this long (0 = never)")
 	flag.Parse()
 
 	var m quality.Metric
@@ -59,10 +63,37 @@ func main() {
 		} else if !os.IsNotExist(err) {
 			log.Fatalf("open state: %v", err)
 		}
-		sig := make(chan os.Signal, 1)
-		signal.Notify(sig, os.Interrupt)
-		go func() {
-			<-sig
+	}
+
+	srv := controller.New(controller.Config{
+		Strategy:  strat,
+		TimeScale: *timescale,
+		RelayTTL:  *relayTTL,
+	})
+
+	hs := &http.Server{
+		Addr:    *addr,
+		Handler: srv.Handler(),
+		// Misbehaving or stalled clients must not pin handler goroutines:
+		// every control RPC is a small JSON body, so generous-but-finite
+		// read bounds cost nothing in the happy path.
+		ReadHeaderTimeout: 2 * time.Second,
+		ReadTimeout:       5 * time.Second,
+	}
+
+	// On SIGINT/SIGTERM: stop admitting requests, drain in-flight
+	// choose/report calls (so no measurement is lost), persist history if
+	// asked, then close the listener.
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("drain: %v", err)
+		}
+		if *state != "" {
 			f, err := os.Create(*state)
 			if err == nil {
 				err = strat.SaveHistory(f)
@@ -73,15 +104,12 @@ func main() {
 			} else {
 				fmt.Printf("\nsaved history to %s\n", *state)
 			}
-			os.Exit(0)
-		}()
-	}
-
-	srv := controller.New(controller.Config{
-		Strategy:  strat,
-		TimeScale: *timescale,
-	})
+		}
+		hs.Close()
+	}()
 
 	fmt.Printf("via controller listening on %s (metric=%s budget=%.2f)\n", *addr, m, *budget)
-	log.Fatal(http.ListenAndServe(*addr, srv.Handler()))
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		log.Fatal(err)
+	}
 }

@@ -12,6 +12,7 @@ import (
 	"fmt"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/netsim"
@@ -33,14 +34,21 @@ type Agent struct {
 	closed   bool
 	rng      *stats.RNG
 
+	failovers atomic.Int64 // mid-call repaths across all calls
+
 	wg sync.WaitGroup
 }
 
+// Failovers returns how many mid-call repaths this agent has performed —
+// nonzero means paths died under live calls and the agent recovered.
+func (a *Agent) Failovers() int64 { return a.failovers.Load() }
+
 // outCall is caller-side per-call state.
 type outCall struct {
-	mu     sync.Mutex
-	flow   rtp.FlowStats
-	lastRR *rtp.ReceiverReport
+	mu       sync.Mutex
+	flow     rtp.FlowStats
+	lastRR   *rtp.ReceiverReport
+	lastRRAt time.Time // arrival time of lastRR (failover liveness signal)
 }
 
 // inCall is callee-side per-call state.
@@ -129,6 +137,39 @@ type CallSpec struct {
 	// for the duration of the call, so both directions are measured (real
 	// calls are two-way; the paper's metrics are round-trip/average).
 	Duplex bool
+	// Failover lists fallback options tried in order when the active path
+	// goes dead mid-call: receiver reports stop arriving for FailoverAfter
+	// (§3.1 — the relays send heartbeats, but only end-to-end feedback
+	// proves a *path* alive). The caller repaths without tearing the call
+	// down; the abandoned option is recorded so its failure can be
+	// reported to the controller.
+	Failover []netsim.Option
+	// FailoverAfter is the no-feedback deadline before repathing. The
+	// default is four receiver-report intervals (rrEvery packets each),
+	// floored at 250ms — several consecutive missing reports, not one
+	// late one.
+	FailoverAfter time.Duration
+}
+
+// CallOutcome is the result of a resilient call: the measured metrics,
+// the option that was carrying media when the call ended, and every
+// option abandoned mid-call. Failed options should be reported to the
+// controller as dead (see DeadPathMetrics) so selection learns.
+type CallOutcome struct {
+	Metrics quality.Metrics
+	Used    netsim.Option
+	Failed  []netsim.Option
+}
+
+// Failovers reports how many times the call repathed.
+func (o CallOutcome) Failovers() int { return len(o.Failed) }
+
+// DeadPathMetrics is the punitive measurement reported for a path that
+// died mid-call: total loss and a pessimal RTT/jitter, so every metric's
+// predictor learns to avoid the path (a zero RTT would read as *good* to
+// an RTT-optimizing strategy).
+func DeadPathMetrics() quality.Metrics {
+	return quality.Metrics{RTTMs: 2000, LossRate: 1, JitterMs: 100}
 }
 
 // ErrNoFeedback reports a call that received no receiver reports — the
@@ -138,6 +179,19 @@ var ErrNoFeedback = errors.New("client: no receiver reports (path dead?)")
 // Call streams media to the peer through the given relaying option for the
 // spec's duration and returns the measured call-average metrics.
 func (a *Agent) Call(spec CallSpec) (quality.Metrics, error) {
+	out, err := a.CallResilient(spec)
+	return out.Metrics, err
+}
+
+// CallResilient streams media like Call, and additionally survives the
+// active path dying mid-call: when receiver reports stop arriving for
+// FailoverAfter, the caller repaths in place to the next resolvable
+// option from spec.Failover (the media session, sequence space, and
+// measurement state continue — the loss burst during the dead window
+// stays in the call's metrics, exactly what the controller should learn).
+// The outcome records the option that finished the call and every
+// abandoned one.
+func (a *Agent) CallResilient(spec CallSpec) (CallOutcome, error) {
 	if spec.PPS <= 0 {
 		spec.PPS = 50
 	}
@@ -147,9 +201,48 @@ func (a *Agent) Call(spec CallSpec) (quality.Metrics, error) {
 	if spec.Duration <= 0 {
 		spec.Duration = time.Second
 	}
-	sendTo, route, reply, err := a.routes(spec.Option, spec.Peer)
+	interval := time.Second / time.Duration(spec.PPS)
+	if spec.FailoverAfter <= 0 {
+		spec.FailoverAfter = 4 * rrEvery * interval
+		if spec.FailoverAfter < 250*time.Millisecond {
+			spec.FailoverAfter = 250 * time.Millisecond
+		}
+	}
+
+	out := CallOutcome{Used: spec.Option}
+	pending := append([]netsim.Option(nil), spec.Failover...)
+
+	// nextOption pops the first pending candidate that differs from the
+	// current option and whose relays resolve in the directory.
+	nextOption := func(cur netsim.Option) (netsim.Option, *routeSet, bool) {
+		for len(pending) > 0 {
+			cand := pending[0]
+			pending = pending[1:]
+			if cand == cur {
+				continue
+			}
+			if rs, err := a.routeSet(cand, spec.Peer); err == nil {
+				return cand, rs, true
+			}
+			// Unresolvable (relay gone from the directory): dead too.
+			out.Failed = append(out.Failed, cand)
+		}
+		return netsim.Option{}, nil, false
+	}
+
+	cur := spec.Option
+	rs, err := a.routeSet(cur, spec.Peer)
 	if err != nil {
-		return quality.Metrics{}, err
+		// The primary option is unusable before any media flows (its
+		// relay vanished from the directory); fail over immediately.
+		out.Failed = append(out.Failed, cur)
+		var ok bool
+		if cur, rs, ok = nextOption(cur); !ok {
+			out.Used = spec.Option
+			return out, err
+		}
+		a.failovers.Add(1)
+		out.Used = cur
 	}
 
 	session := a.newSession()
@@ -166,14 +259,13 @@ func (a *Agent) Call(spec CallSpec) (quality.Metrics, error) {
 	var f transport.Frame
 	f.Session = session
 	f.Kind = transport.KindMedia
-	if err := f.SetRoute(route); err != nil {
-		return quality.Metrics{}, err
+	if err := f.SetRoute(rs.route); err != nil {
+		return out, err
 	}
-	if err := f.SetReply(reply); err != nil {
-		return quality.Metrics{}, err
+	if err := f.SetReply(rs.reply); err != nil {
+		return out, err
 	}
 
-	interval := time.Second / time.Duration(spec.PPS)
 	total := int(spec.Duration / interval)
 	if total < 2 {
 		total = 2
@@ -185,6 +277,7 @@ func (a *Agent) Call(spec CallSpec) (quality.Metrics, error) {
 	ticker := time.NewTicker(interval)
 	defer ticker.Stop()
 	tsStep := uint32(rtp.ClockRate / spec.PPS)
+	activated := time.Now() // when the current path started carrying media
 	for i := 0; i < total; i++ {
 		pt := uint8(ptSimplex)
 		if spec.Duplex {
@@ -201,11 +294,40 @@ func (a *Agent) Call(spec CallSpec) (quality.Metrics, error) {
 		f.Payload = pkt.Marshal(buf[:0])
 		// The frame wraps the RTP packet; reuse buffers to avoid churn.
 		wire := f.Marshal(nil)
-		if _, err := a.conn.WriteTo(wire, sendTo); err != nil {
-			return quality.Metrics{}, err
+		if _, err := a.conn.WriteTo(wire, rs.sendTo); err != nil {
+			return out, err
 		}
 		if i < total-1 {
 			<-ticker.C
+		}
+
+		// Liveness: the path is alive while receiver reports keep coming.
+		// No report for FailoverAfter after the path activated (several
+		// consecutive reports missing, not one late one) means the path
+		// is dead — repath in place if a candidate remains.
+		oc.mu.Lock()
+		lastRRAt := oc.lastRRAt
+		oc.mu.Unlock()
+		progress := activated
+		if lastRRAt.After(progress) {
+			progress = lastRRAt
+		}
+		if time.Since(progress) > spec.FailoverAfter {
+			next, nrs, ok := nextOption(cur)
+			if !ok {
+				continue // nothing left; ride the dead path out
+			}
+			out.Failed = append(out.Failed, cur)
+			cur, rs = next, nrs
+			out.Used = cur
+			if err := f.SetRoute(rs.route); err != nil {
+				return out, err
+			}
+			if err := f.SetReply(rs.reply); err != nil {
+				return out, err
+			}
+			activated = time.Now()
+			a.failovers.Add(1)
 		}
 	}
 
@@ -237,7 +359,7 @@ func (a *Agent) Call(spec CallSpec) (quality.Metrics, error) {
 	oc.mu.Lock()
 	defer oc.mu.Unlock()
 	if oc.lastRR == nil {
-		return quality.Metrics{}, ErrNoFeedback
+		return out, ErrNoFeedback
 	}
 	m := quality.Metrics{
 		JitterMs: float64(oc.lastRR.JitterMicros) / 1000,
@@ -255,7 +377,8 @@ func (a *Agent) Call(spec CallSpec) (quality.Metrics, error) {
 	if m.LossRate > 1 {
 		m.LossRate = 1
 	}
-	return m, nil
+	out.Metrics = m
+	return out, nil
 }
 
 // CallDuplex places a two-way call: the callee streams media back over the
@@ -342,6 +465,23 @@ func (a *Agent) newSession() uint64 {
 			return s
 		}
 	}
+}
+
+// routeSet bundles the resolved addressing for one option so a mid-call
+// failover can swap the whole path atomically.
+type routeSet struct {
+	sendTo *net.UDPAddr
+	route  []*net.UDPAddr
+	reply  []*net.UDPAddr
+}
+
+// routeSet resolves an option into a routeSet (see routes).
+func (a *Agent) routeSet(opt netsim.Option, peer *net.UDPAddr) (*routeSet, error) {
+	sendTo, route, reply, err := a.routes(opt, peer)
+	if err != nil {
+		return nil, err
+	}
+	return &routeSet{sendTo: sendTo, route: route, reply: reply}, nil
 }
 
 // routes derives the datagram target, forward route, and reply route for an
@@ -554,5 +694,6 @@ func (a *Agent) handleReport(f *transport.Frame) {
 	oc.flow.ObserveRTT(rttNanos)
 	cp := rr
 	oc.lastRR = &cp
+	oc.lastRRAt = time.Now()
 	oc.mu.Unlock()
 }

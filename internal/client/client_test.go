@@ -369,3 +369,124 @@ func TestDuplexReverseStreamImpaired(t *testing.T) {
 		t.Errorf("reverse loss = %v, want ~0.35", rev.LossRate)
 	}
 }
+
+func TestCallResilientFailsOverMidCall(t *testing.T) {
+	// Kill the relay path 300ms into a 1.5s call by blackholing the
+	// caller→relay segment. Receiver reports stop; the agent must repath
+	// to direct and finish the call.
+	r := startRelay(t, 9)
+	caller, sh := newShapedAgent(t, 1, 60)
+	callee := newAgent(t, 2, 61)
+	caller.SetRelays(relayDir(r))
+
+	go func() {
+		time.Sleep(300 * time.Millisecond)
+		sh.SetBlackhole(r.Addr().String(), true)
+	}()
+	out, err := caller.CallResilient(CallSpec{
+		Peer:     callee.Addr(),
+		Option:   netsim.BounceOption(9),
+		Failover: []netsim.Option{netsim.DirectOption()},
+		Duration: 1500 * time.Millisecond,
+		PPS:      100,
+	})
+	if err != nil {
+		t.Fatalf("resilient call failed: %v", err)
+	}
+	if out.Used != netsim.DirectOption() {
+		t.Errorf("finished on %v, want direct after failover", out.Used)
+	}
+	if out.Failovers() != 1 {
+		t.Errorf("failovers = %d, want 1", out.Failovers())
+	}
+	if len(out.Failed) != 1 || out.Failed[0] != netsim.BounceOption(9) {
+		t.Errorf("failed options = %v, want [bounce 9]", out.Failed)
+	}
+	if caller.Failovers() != 1 {
+		t.Errorf("agent failover counter = %d, want 1", caller.Failovers())
+	}
+	// The dead window shows up as loss in the call's own metrics.
+	if out.Metrics.LossRate <= 0 {
+		t.Error("dead window left no loss in metrics")
+	}
+}
+
+func TestCallResilientUnresolvablePrimary(t *testing.T) {
+	// The primary option's relay is not in the directory at all: fail over
+	// before any media flows, without waiting out a liveness deadline.
+	caller := newAgent(t, 1, 62)
+	callee := newAgent(t, 2, 63)
+	start := time.Now()
+	out, err := caller.CallResilient(CallSpec{
+		Peer:     callee.Addr(),
+		Option:   netsim.BounceOption(42),
+		Failover: []netsim.Option{netsim.DirectOption()},
+		Duration: 200 * time.Millisecond,
+		PPS:      100,
+	})
+	if err != nil {
+		t.Fatalf("resilient call failed: %v", err)
+	}
+	if out.Used != netsim.DirectOption() {
+		t.Errorf("finished on %v, want direct", out.Used)
+	}
+	if out.Failovers() != 1 {
+		t.Errorf("failovers = %d, want 1", out.Failovers())
+	}
+	if time.Since(start) > time.Second {
+		t.Error("unresolvable primary waited out a liveness deadline")
+	}
+}
+
+func TestCallResilientNoFailoverOnHealthyPath(t *testing.T) {
+	r := startRelay(t, 11)
+	caller := newAgent(t, 1, 64)
+	callee := newAgent(t, 2, 65)
+	caller.SetRelays(relayDir(r))
+	out, err := caller.CallResilient(CallSpec{
+		Peer:     callee.Addr(),
+		Option:   netsim.BounceOption(11),
+		Failover: []netsim.Option{netsim.DirectOption()},
+		Duration: 600 * time.Millisecond,
+		PPS:      100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Used != netsim.BounceOption(11) {
+		t.Errorf("healthy path abandoned for %v", out.Used)
+	}
+	if out.Failovers() != 0 {
+		t.Errorf("failovers = %d on a healthy path", out.Failovers())
+	}
+}
+
+func TestCallResilientRidesOutWithNoCandidates(t *testing.T) {
+	// No failover candidates: a dead path ends in ErrNoFeedback exactly as
+	// a plain Call would, with the failed attempt visible in the outcome.
+	caller, sh := newShapedAgent(t, 1, 66)
+	callee := newAgent(t, 2, 67)
+	sh.SetBlackhole(callee.Addr().String(), true)
+	out, err := caller.CallResilient(CallSpec{
+		Peer:     callee.Addr(),
+		Option:   netsim.DirectOption(),
+		Duration: 300 * time.Millisecond,
+		PPS:      50,
+	})
+	if err != ErrNoFeedback {
+		t.Errorf("err = %v, want ErrNoFeedback", err)
+	}
+	if out.Failovers() != 0 {
+		t.Errorf("failovers = %d with no candidates", out.Failovers())
+	}
+}
+
+func TestDeadPathMetricsValidAndPunitive(t *testing.T) {
+	m := DeadPathMetrics()
+	if !m.Valid() {
+		t.Fatal("DeadPathMetrics must pass controller validation")
+	}
+	if m.LossRate != 1 || m.RTTMs < 1000 {
+		t.Errorf("DeadPathMetrics = %+v; want total loss and pessimal RTT", m)
+	}
+}

@@ -1,0 +1,140 @@
+package client
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/quality"
+)
+
+// fakeControl is a scriptable ControlPlane: fail toggles controller
+// reachability, and every accepted report is recorded.
+type fakeControl struct {
+	mu      sync.Mutex
+	fail    bool
+	answer  netsim.Option
+	reports []netsim.Option
+	metrics []quality.Metrics
+}
+
+var errCtrlDown = errors.New("controller unreachable")
+
+func (f *fakeControl) setFail(on bool) {
+	f.mu.Lock()
+	f.fail = on
+	f.mu.Unlock()
+}
+
+func (f *fakeControl) Choose(src, dst int32, cands []netsim.Option) (netsim.Option, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail {
+		return netsim.DirectOption(), errCtrlDown
+	}
+	return f.answer, nil
+}
+
+func (f *fakeControl) Report(src, dst int32, opt netsim.Option, m quality.Metrics) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.fail {
+		return errCtrlDown
+	}
+	f.reports = append(f.reports, opt)
+	f.metrics = append(f.metrics, m)
+	return nil
+}
+
+func TestSelectorCachesFreshDecisions(t *testing.T) {
+	fc := &fakeControl{answer: netsim.BounceOption(3)}
+	s := NewSelector(fc)
+	cands := []netsim.Option{netsim.DirectOption(), netsim.BounceOption(3)}
+
+	opt, fresh := s.Choose(1, 2, cands)
+	if !fresh || opt != netsim.BounceOption(3) {
+		t.Fatalf("fresh choose = %v fresh=%v", opt, fresh)
+	}
+	if s.Stale() != 0 {
+		t.Errorf("stale = %d after a fresh decision", s.Stale())
+	}
+
+	// Controller goes away: the cached decision keeps serving.
+	fc.setFail(true)
+	opt, fresh = s.Choose(1, 2, cands)
+	if fresh {
+		t.Error("degraded decision reported as fresh")
+	}
+	if opt != netsim.BounceOption(3) {
+		t.Errorf("degraded choose = %v, want cached bounce 3", opt)
+	}
+	if s.Stale() != 1 {
+		t.Errorf("stale = %d, want 1", s.Stale())
+	}
+}
+
+func TestSelectorDegradesToDirectWithoutCache(t *testing.T) {
+	fc := &fakeControl{answer: netsim.BounceOption(3), fail: true}
+	s := NewSelector(fc)
+	opt, fresh := s.Choose(1, 2, []netsim.Option{netsim.BounceOption(3)})
+	if fresh || opt != netsim.DirectOption() {
+		t.Errorf("cold degraded choose = %v fresh=%v, want direct", opt, fresh)
+	}
+	if s.Stale() != 1 {
+		t.Errorf("stale = %d, want 1", s.Stale())
+	}
+}
+
+func TestSelectorIgnoresCacheOutsideCandidates(t *testing.T) {
+	fc := &fakeControl{answer: netsim.BounceOption(3)}
+	s := NewSelector(fc)
+	s.Choose(1, 2, []netsim.Option{netsim.BounceOption(3)})
+	fc.setFail(true)
+	// The cached bounce-3 is no longer a candidate (relay fell out of the
+	// directory): degrade to direct, not to a route that cannot resolve.
+	opt, _ := s.Choose(1, 2, []netsim.Option{netsim.DirectOption(), netsim.BounceOption(5)})
+	if opt != netsim.DirectOption() {
+		t.Errorf("degraded choose = %v, want direct", opt)
+	}
+}
+
+func TestSelectorCountsLostReports(t *testing.T) {
+	fc := &fakeControl{fail: true}
+	s := NewSelector(fc)
+	s.Report(1, 2, netsim.DirectOption(), quality.Metrics{RTTMs: 10})
+	if s.LostReports() != 1 {
+		t.Errorf("lost reports = %d, want 1", s.LostReports())
+	}
+}
+
+func TestSelectorReportFailureEvictsAndReports(t *testing.T) {
+	fc := &fakeControl{answer: netsim.BounceOption(7)}
+	s := NewSelector(fc)
+	cands := []netsim.Option{netsim.DirectOption(), netsim.BounceOption(7)}
+	s.Choose(1, 2, cands)
+
+	s.ReportFailure(1, 2, netsim.BounceOption(7))
+	fc.mu.Lock()
+	nReports := len(fc.reports)
+	var reported netsim.Option
+	var m quality.Metrics
+	if nReports > 0 {
+		reported = fc.reports[0]
+		m = fc.metrics[0]
+	}
+	fc.mu.Unlock()
+	if nReports != 1 || reported != netsim.BounceOption(7) {
+		t.Fatalf("failure report = %v (n=%d), want bounce 7", reported, nReports)
+	}
+	if m != DeadPathMetrics() {
+		t.Errorf("failure metrics = %+v, want DeadPathMetrics", m)
+	}
+
+	// The dead option must not be served from cache in degraded mode.
+	fc.setFail(true)
+	opt, _ := s.Choose(1, 2, cands)
+	if opt != netsim.DirectOption() {
+		t.Errorf("degraded choose after failure = %v, want direct", opt)
+	}
+}

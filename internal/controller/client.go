@@ -2,25 +2,159 @@ package controller
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/netsim"
 	"repro/internal/quality"
+	"repro/internal/stats"
 	"repro/internal/transport"
 )
 
-// Client is the HTTP client the relays and call agents use to talk to the
-// controller.
-type Client struct {
-	Base string // e.g. "http://127.0.0.1:8080"
-	HTTP *http.Client
+// RetryPolicy bounds how hard the client tries before giving up. Control
+// RPCs are small and idempotent (a duplicate report is one extra sample;
+// a duplicate choose is a second read), so retrying is always safe — the
+// policy only caps how much call-setup latency a flaky control plane may
+// add before the agent falls back to a cached decision.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries per request (min 1).
+	MaxAttempts int
+	// BaseDelay is the backoff before the second attempt; it doubles per
+	// retry, with full jitter, up to MaxDelay.
+	BaseDelay time.Duration
+	// MaxDelay caps a single backoff sleep.
+	MaxDelay time.Duration
+	// Timeout is the per-attempt request deadline.
+	Timeout time.Duration
 }
 
-// NewClient builds a client for a controller base URL.
+// DefaultRetryPolicy suits a controller a WAN round-trip away: three
+// attempts inside ~1s keep call setup snappy while riding out a flapped
+// listener or a lost datagram on the control path.
+func DefaultRetryPolicy() RetryPolicy {
+	return RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   50 * time.Millisecond,
+		MaxDelay:    500 * time.Millisecond,
+		Timeout:     2 * time.Second,
+	}
+}
+
+// Client is the HTTP client the relays and call agents use to talk to the
+// controller. Every request carries a deadline and is retried with
+// exponential backoff and jitter under the Retry policy; a zero-valued
+// policy field falls back to its default.
+type Client struct {
+	Base  string // e.g. "http://127.0.0.1:8080"
+	HTTP  *http.Client
+	Retry RetryPolicy
+
+	rngMu   sync.Mutex
+	rng     *stats.RNG
+	retries atomic.Int64 // extra attempts beyond the first, across calls
+}
+
+// NewClient builds a client for a controller base URL with the default
+// retry policy and jitter seed.
 func NewClient(base string) *Client {
-	return &Client{Base: base, HTTP: &http.Client{}}
+	return &Client{
+		Base:  base,
+		HTTP:  &http.Client{},
+		Retry: DefaultRetryPolicy(),
+		rng:   stats.NewRNG(1).Split("ctrl-client"),
+	}
+}
+
+// Retries returns how many extra attempts (beyond each request's first)
+// the client has made — a cheap health signal for the control path.
+func (c *Client) Retries() int64 { return c.retries.Load() }
+
+// policy returns the retry policy with zero fields defaulted.
+func (c *Client) policy() RetryPolicy {
+	p := c.Retry
+	d := DefaultRetryPolicy()
+	if p.MaxAttempts < 1 {
+		p.MaxAttempts = d.MaxAttempts
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = d.BaseDelay
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = d.MaxDelay
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = d.Timeout
+	}
+	return p
+}
+
+// retryable reports whether a status code is worth another attempt:
+// transient server conditions, not client mistakes.
+func retryable(status int) bool {
+	switch status {
+	case http.StatusRequestTimeout, http.StatusTooManyRequests,
+		http.StatusInternalServerError, http.StatusBadGateway,
+		http.StatusServiceUnavailable, http.StatusGatewayTimeout:
+		return true
+	}
+	return false
+}
+
+// do runs one HTTP exchange with retries; makeReq builds a fresh request
+// per attempt (bodies are not rewindable across attempts).
+func (c *Client) do(path string, makeReq func(ctx context.Context) (*http.Request, error), resp any) error {
+	p := c.policy()
+	var lastErr error
+	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			c.retries.Add(1)
+			backoff := p.BaseDelay << (attempt - 1)
+			if backoff > p.MaxDelay {
+				backoff = p.MaxDelay
+			}
+			// Jittered: sleep uniform in (0.1, 1]×backoff so synchronized
+			// clients don't hammer a recovering controller in lockstep.
+			c.rngMu.Lock()
+			u := c.rng.Float64()
+			c.rngMu.Unlock()
+			time.Sleep(time.Duration(float64(backoff) * (0.1 + 0.9*u)))
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), p.Timeout)
+		req, err := makeReq(ctx)
+		if err != nil {
+			cancel()
+			return err // request construction never recovers by retrying
+		}
+		r, err := c.HTTP.Do(req)
+		if err != nil {
+			cancel()
+			lastErr = err
+			continue
+		}
+		if r.StatusCode != http.StatusOK {
+			r.Body.Close()
+			cancel()
+			lastErr = fmt.Errorf("controller: %s returned %s", path, r.Status)
+			if !retryable(r.StatusCode) {
+				return lastErr
+			}
+			continue
+		}
+		err = json.NewDecoder(r.Body).Decode(resp)
+		r.Body.Close()
+		cancel()
+		if err != nil {
+			lastErr = fmt.Errorf("controller: %s decode: %w", path, err)
+			continue // truncated body: transient, retry
+		}
+		return nil
+	}
+	return lastErr
 }
 
 func (c *Client) post(path string, req, resp any) error {
@@ -28,27 +162,20 @@ func (c *Client) post(path string, req, resp any) error {
 	if err != nil {
 		return err
 	}
-	r, err := c.HTTP.Post(c.Base+path, "application/json", bytes.NewReader(body))
-	if err != nil {
-		return err
-	}
-	defer r.Body.Close()
-	if r.StatusCode != http.StatusOK {
-		return fmt.Errorf("controller: %s returned %s", path, r.Status)
-	}
-	return json.NewDecoder(r.Body).Decode(resp)
+	return c.do(path, func(ctx context.Context) (*http.Request, error) {
+		hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(body))
+		if err != nil {
+			return nil, err
+		}
+		hr.Header.Set("Content-Type", "application/json")
+		return hr, nil
+	}, resp)
 }
 
 func (c *Client) get(path string, resp any) error {
-	r, err := c.HTTP.Get(c.Base + path)
-	if err != nil {
-		return err
-	}
-	defer r.Body.Close()
-	if r.StatusCode != http.StatusOK {
-		return fmt.Errorf("controller: %s returned %s", path, r.Status)
-	}
-	return json.NewDecoder(r.Body).Decode(resp)
+	return c.do(path, func(ctx context.Context) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	}, resp)
 }
 
 // RegisterRelay announces a relay's media address.
@@ -98,5 +225,12 @@ func (c *Client) Report(src, dst int32, opt netsim.Option, m quality.Metrics) er
 func (c *Client) Stats() (transport.StatsResponse, error) {
 	var resp transport.StatsResponse
 	err := c.get("/v1/stats", &resp)
+	return resp, err
+}
+
+// Health fetches the controller's liveness probe.
+func (c *Client) Health() (transport.HealthResponse, error) {
+	var resp transport.HealthResponse
+	err := c.get("/v1/health", &resp)
 	return resp, err
 }

@@ -12,8 +12,10 @@
 package controller
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
+	"runtime/debug"
 	"sort"
 	"strconv"
 	"sync"
@@ -42,6 +44,13 @@ type Config struct {
 }
 
 // Server is the controller service. Mount Handler on an http.Server.
+//
+// The server is hardened against misbehaving clients and operational
+// faults: a panic in any handler (a bad request tripping a strategy edge
+// case) is recovered per-request instead of killing selection for
+// everyone, /v1/health reports liveness for load balancers and the fault
+// harness, and Shutdown drains in-flight choose/report requests before
+// returning so restarts lose no measurements.
 type Server struct {
 	cfg   Config
 	start time.Time
@@ -50,8 +59,16 @@ type Server struct {
 	relays    map[netsim.RelayID]string
 	relaySeen map[netsim.RelayID]time.Time
 
-	reports atomic.Int64
-	chooses atomic.Int64
+	reports   atomic.Int64
+	chooses   atomic.Int64
+	panics    atomic.Int64
+	lastPanic atomic.Value // string: stack of the most recent panic
+
+	draining atomic.Bool
+	// inflight counts requests currently inside Handler. A plain counter,
+	// not a WaitGroup: requests keep arriving (and must be 503ed) while
+	// Shutdown waits, and WaitGroup.Add concurrent with Wait is misuse.
+	inflight atomic.Int64
 
 	mux *http.ServeMux
 }
@@ -77,11 +94,58 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("POST /v1/report", s.handleReport)
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
+	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
 	return s
 }
 
-// Handler returns the HTTP handler.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the HTTP handler: the API mux wrapped in panic
+// recovery and in-flight accounting (for graceful shutdown).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Count in before checking the drain flag: a request admitted
+		// here is either rejected below or fully drained by Shutdown.
+		s.inflight.Add(1)
+		defer s.inflight.Add(-1)
+		if s.draining.Load() {
+			http.Error(w, "controller draining", http.StatusServiceUnavailable)
+			return
+		}
+		defer func() {
+			if rec := recover(); rec != nil {
+				s.panics.Add(1)
+				s.lastPanic.Store(string(debug.Stack()))
+				http.Error(w, "internal error", http.StatusInternalServerError)
+			}
+		}()
+		s.mux.ServeHTTP(w, r)
+	})
+}
+
+// Shutdown drains the server: new requests are rejected with 503 while
+// in-flight choose/report calls finish. It returns nil once drained, or
+// the context's error if the deadline expires first.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.draining.Store(true)
+	tick := time.NewTicker(2 * time.Millisecond)
+	defer tick.Stop()
+	for {
+		if s.inflight.Load() == 0 {
+			return nil
+		}
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// Panics returns how many handler panics have been recovered, and the
+// stack of the most recent one.
+func (s *Server) Panics() (int64, string) {
+	stack, _ := s.lastPanic.Load().(string)
+	return s.panics.Load(), stack
+}
 
 // nowHours returns the virtualized algorithm time.
 func (s *Server) nowHours() float64 {
@@ -111,9 +175,21 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing addr", http.StatusBadRequest)
 		return
 	}
+	now := time.Now()
 	s.mu.Lock()
 	s.relays[req.RelayID] = req.Addr
-	s.relaySeen[req.RelayID] = time.Now()
+	s.relaySeen[req.RelayID] = now
+	// Registration is the natural sweep point: drop entries whose
+	// heartbeat lapsed long ago so the directory maps cannot grow without
+	// bound as relays churn.
+	if s.cfg.RelayTTL > 0 {
+		for id, seen := range s.relaySeen {
+			if now.Sub(seen) > 2*s.cfg.RelayTTL {
+				delete(s.relays, id)
+				delete(s.relaySeen, id)
+			}
+		}
+	}
 	s.mu.Unlock()
 	reply(w, transport.RegisterRelayResponse{OK: true})
 }
@@ -136,6 +212,14 @@ func (s *Server) handleRelays(w http.ResponseWriter, _ *http.Request) {
 func (s *Server) handleChoose(w http.ResponseWriter, r *http.Request) {
 	req, ok := decode[transport.ChooseRequest](w, r)
 	if !ok {
+		return
+	}
+	if len(req.Candidates) == 0 {
+		// An empty candidate set has exactly one answer — the default
+		// path. Answer it directly rather than handing strategies a nil
+		// slice to index.
+		s.chooses.Add(1)
+		reply(w, transport.ChooseResponse{Option: transport.ToWireOption(netsim.DirectOption())})
 		return
 	}
 	cands := make([]netsim.Option, len(req.Candidates))
@@ -188,11 +272,17 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	call := core.Call{Src: netsim.ASID(src), Dst: netsim.ASID(dst), THours: s.nowHours()}
-	// Candidate set: every registered relay as bounce plus direct (the
-	// operator can also pass explicit candidates via /v1/choose).
+	// Candidate set: every *live* registered relay as bounce plus direct
+	// (the operator can also pass explicit candidates via /v1/choose).
+	// Heartbeat-lapsed relays are excluded exactly as in /v1/relays, so
+	// the diagnostic view never recommends a path through a dead relay.
+	now := time.Now()
 	s.mu.RLock()
 	cands := []netsim.Option{netsim.DirectOption()}
 	for id := range s.relays {
+		if s.cfg.RelayTTL > 0 && now.Sub(s.relaySeen[id]) > s.cfg.RelayTTL {
+			continue
+		}
 		cands = append(cands, netsim.BounceOption(id))
 	}
 	s.mu.RUnlock()
@@ -221,5 +311,26 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		Relays:  n,
 		Reports: s.reports.Load(),
 		Chooses: s.chooses.Load(),
+		Panics:  s.panics.Load(),
+	})
+}
+
+// handleHealth is the liveness probe: cheap, no strategy involvement.
+func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	now := time.Now()
+	live := 0
+	s.mu.RLock()
+	for id := range s.relays {
+		if s.cfg.RelayTTL > 0 && now.Sub(s.relaySeen[id]) > s.cfg.RelayTTL {
+			continue
+		}
+		live++
+	}
+	s.mu.RUnlock()
+	reply(w, transport.HealthResponse{
+		OK:        true,
+		Relays:    live,
+		UptimeSec: time.Since(s.start).Seconds(),
+		Draining:  s.draining.Load(),
 	})
 }

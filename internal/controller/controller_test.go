@@ -1,10 +1,12 @@
 package controller
 
 import (
+	"context"
 	"encoding/json"
 	"net/http"
 	"net/http/httptest"
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -264,5 +266,307 @@ func TestTopKEndpoint(t *testing.T) {
 	resp3.Body.Close()
 	if resp3.StatusCode != http.StatusNotFound {
 		t.Errorf("non-via strategy status %d", resp3.StatusCode)
+	}
+}
+
+// panicStrategy blows up on demand — the bad-request-takes-down-selection
+// scenario the recovery middleware exists for.
+type panicStrategy struct{ recordingStrategy }
+
+func (p *panicStrategy) Choose(core.Call, []netsim.Option) netsim.Option {
+	panic("strategy edge case")
+}
+
+func TestHealthEndpoint(t *testing.T) {
+	_, c := testServer(t, &recordingStrategy{})
+	c.RegisterRelay(1, "127.0.0.1:9001")
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h.OK || h.Relays != 1 || h.Draining {
+		t.Errorf("health = %+v", h)
+	}
+	if h.UptimeSec < 0 {
+		t.Errorf("uptime = %v", h.UptimeSec)
+	}
+}
+
+func TestHealthCountsOnlyLiveRelays(t *testing.T) {
+	s := New(Config{Strategy: &recordingStrategy{}, RelayTTL: 40 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.RegisterRelay(1, "127.0.0.1:9001")
+	time.Sleep(60 * time.Millisecond)
+	h, err := c.Health()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Relays != 0 {
+		t.Errorf("health counts lapsed relay: %+v", h)
+	}
+}
+
+func TestPanicRecoveryIsolatesBadRequest(t *testing.T) {
+	s, c := testServer(t, &panicStrategy{})
+	// The panicking request must come back as a 500, not kill the server.
+	_, err := c.Choose(1, 2, []netsim.Option{netsim.BounceOption(1)})
+	if err == nil {
+		t.Fatal("panicking choose reported success")
+	}
+	if n, stack := s.Panics(); n == 0 || stack == "" {
+		t.Errorf("panic not recorded: n=%d stack=%q", n, stack)
+	}
+	// The server must still answer other traffic.
+	if _, err := c.Stats(); err != nil {
+		t.Errorf("server dead after recovered panic: %v", err)
+	}
+}
+
+func TestChooseEmptyCandidatesReturnsDirect(t *testing.T) {
+	strat := &recordingStrategy{ret: netsim.BounceOption(9)}
+	_, c := testServer(t, strat)
+	opt, err := c.Choose(1, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt != netsim.DirectOption() {
+		t.Errorf("empty candidates chose %v, want direct", opt)
+	}
+	if len(strat.chooseCalls) != 0 {
+		t.Error("strategy saw an empty candidate set")
+	}
+}
+
+func TestShutdownDrainsInflight(t *testing.T) {
+	release := make(chan struct{})
+	strat := &recordingStrategy{ret: netsim.DirectOption()}
+	s := New(Config{Strategy: &slowStrategy{inner: strat, release: release}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL)
+
+	// Start a request that blocks inside the strategy.
+	started := make(chan struct{})
+	errc := make(chan error, 1)
+	go func() {
+		close(started)
+		_, err := c.Choose(1, 2, []netsim.Option{netsim.DirectOption()})
+		errc <- err
+	}()
+	<-started
+	time.Sleep(30 * time.Millisecond) // let the request reach the strategy
+
+	// Shutdown must wait for it.
+	done := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+		defer cancel()
+		done <- s.Shutdown(ctx)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Shutdown returned while a request was in flight")
+	case <-time.After(50 * time.Millisecond):
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := <-errc; err != nil {
+		t.Errorf("in-flight choose failed during drain: %v", err)
+	}
+
+	// New requests are refused while draining.
+	if _, err := c.Stats(); err == nil {
+		t.Error("request accepted after shutdown")
+	}
+}
+
+// slowStrategy blocks Choose until released, to hold a request in flight.
+type slowStrategy struct {
+	inner   core.Strategy
+	release chan struct{}
+}
+
+func (s *slowStrategy) Name() string { return "slow" }
+func (s *slowStrategy) Choose(c core.Call, cands []netsim.Option) netsim.Option {
+	<-s.release
+	return s.inner.Choose(c, cands)
+}
+func (s *slowStrategy) Observe(c core.Call, o netsim.Option, m quality.Metrics) {
+	s.inner.Observe(c, o, m)
+}
+
+func TestShutdownTimesOutOnStuckRequest(t *testing.T) {
+	release := make(chan struct{})
+	s := New(Config{Strategy: &slowStrategy{inner: &recordingStrategy{ret: netsim.DirectOption()}, release: release}})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	// Unblock the stuck handler before ts.Close waits on it (defers LIFO).
+	defer close(release)
+	c := NewClient(ts.URL)
+	c.Retry.Timeout = 5 * time.Second // outlive the shutdown deadline
+	go c.Choose(1, 2, []netsim.Option{netsim.DirectOption()})
+	time.Sleep(30 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	if err := s.Shutdown(ctx); err == nil {
+		t.Error("Shutdown returned nil with a stuck request")
+	}
+}
+
+func TestClientRetriesTransientFailure(t *testing.T) {
+	// Fail the first two attempts with 503, then succeed: the client's
+	// bounded retry budget must ride it out.
+	var hits atomic.Int32
+	inner := New(Config{Strategy: &recordingStrategy{ret: netsim.BounceOption(2)}})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if hits.Add(1) <= 2 {
+			http.Error(w, "flap", http.StatusServiceUnavailable)
+			return
+		}
+		inner.Handler().ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.Retry.BaseDelay = 5 * time.Millisecond
+	opt, err := c.Choose(1, 2, []netsim.Option{netsim.BounceOption(2)})
+	if err != nil {
+		t.Fatalf("choose through flap: %v", err)
+	}
+	if opt != netsim.BounceOption(2) {
+		t.Errorf("chose %v", opt)
+	}
+	if c.Retries() != 2 {
+		t.Errorf("retries = %d, want 2", c.Retries())
+	}
+}
+
+func TestClientExhaustsRetryBudget(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.Retry = RetryPolicy{MaxAttempts: 3, BaseDelay: time.Millisecond, MaxDelay: 5 * time.Millisecond, Timeout: time.Second}
+	_, err := c.Choose(1, 2, []netsim.Option{netsim.DirectOption()})
+	if err == nil {
+		t.Fatal("choose succeeded against a dead controller")
+	}
+	if c.Retries() != 2 {
+		t.Errorf("retries = %d, want 2 (3 attempts)", c.Retries())
+	}
+}
+
+func TestClientDoesNotRetryBadRequest(t *testing.T) {
+	var hits atomic.Int32
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		hits.Add(1)
+		http.Error(w, "nope", http.StatusBadRequest)
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	if _, err := c.Choose(1, 2, []netsim.Option{netsim.DirectOption()}); err == nil {
+		t.Fatal("bad request reported success")
+	}
+	if hits.Load() != 1 {
+		t.Errorf("client retried a 400: %d attempts", hits.Load())
+	}
+}
+
+func TestClientTimeoutAppliesPerAttempt(t *testing.T) {
+	block := make(chan struct{})
+	ts := httptest.NewServer(http.HandlerFunc(func(http.ResponseWriter, *http.Request) {
+		<-block
+	}))
+	defer ts.Close()
+	// Unblock the stuck handler before ts.Close waits on it (defers LIFO).
+	defer close(block)
+	c := NewClient(ts.URL)
+	c.Retry = RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond, MaxDelay: time.Millisecond, Timeout: 50 * time.Millisecond}
+	start := time.Now()
+	_, err := c.Stats()
+	if err == nil {
+		t.Fatal("hung server reported success")
+	}
+	if el := time.Since(start); el > time.Second {
+		t.Errorf("deadline not applied: took %s", el)
+	}
+}
+
+func TestRelayTTLReRegistrationLoop(t *testing.T) {
+	// A relay heartbeating faster than the TTL stays continuously listed;
+	// the instant heartbeats stop it lapses; a late heartbeat revives it
+	// with a fresh address.
+	s := New(Config{Strategy: &recordingStrategy{}, RelayTTL: 60 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL)
+
+	for i := 0; i < 4; i++ {
+		if err := c.RegisterRelay(7, "127.0.0.1:9007"); err != nil {
+			t.Fatal(err)
+		}
+		time.Sleep(20 * time.Millisecond)
+		if relays, _ := c.Relays(); len(relays) != 1 {
+			t.Fatalf("heartbeating relay lapsed at beat %d", i)
+		}
+	}
+	time.Sleep(90 * time.Millisecond)
+	if relays, _ := c.Relays(); len(relays) != 0 {
+		t.Fatal("relay survived heartbeat stop")
+	}
+	// Revival re-announces a new media address (a restarted process).
+	if err := c.RegisterRelay(7, "127.0.0.1:9107"); err != nil {
+		t.Fatal(err)
+	}
+	relays, _ := c.Relays()
+	if relays[7] != "127.0.0.1:9107" {
+		t.Errorf("revived relay addr = %v", relays)
+	}
+}
+
+func TestRegisterSweepsLongLapsedRelays(t *testing.T) {
+	s := New(Config{Strategy: &recordingStrategy{}, RelayTTL: 20 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.RegisterRelay(1, "127.0.0.1:9001")
+	time.Sleep(50 * time.Millisecond) // > 2×TTL
+	c.RegisterRelay(2, "127.0.0.1:9002")
+	s.mu.RLock()
+	_, stale := s.relays[1]
+	n := len(s.relays)
+	s.mu.RUnlock()
+	if stale || n != 1 {
+		t.Errorf("lapsed relay not swept: relays=%d stale=%v", n, stale)
+	}
+}
+
+func TestTopKExcludesLapsedRelays(t *testing.T) {
+	via := core.NewVia(core.DefaultViaConfig(quality.RTT), nil)
+	s := New(Config{Strategy: via, RelayTTL: 40 * time.Millisecond})
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.RegisterRelay(1, "127.0.0.1:9001")
+	time.Sleep(60 * time.Millisecond) // relay 1 lapses
+	c.RegisterRelay(2, "127.0.0.1:9002")
+
+	resp, err := http.Get(c.Base + "/v1/topk?src=1&dst=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var tk transport.TopKResponse
+	if err := json.NewDecoder(resp.Body).Decode(&tk); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tk.TopK {
+		if e.Option.Kind == "bounce" && e.Option.R1 == 1 {
+			t.Error("topk recommends a lapsed relay")
+		}
 	}
 }

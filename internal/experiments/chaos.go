@@ -1,0 +1,189 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/netsim"
+	"repro/internal/quality"
+	"repro/internal/stats"
+	"repro/internal/testbed"
+)
+
+// ChaosConfig sizes the fault-injection benchmark: a loopback deployment
+// placing controller-routed calls while a seeded fault plan kills a relay
+// mid-run, flaps the controller, and revives the relay near the end.
+type ChaosConfig struct {
+	Seed           uint64
+	NumClients     int
+	NumRelays      int
+	Calls          int
+	CallDuration   time.Duration
+	PPS            int
+	RelayTTL       time.Duration
+	HeartbeatEvery time.Duration
+}
+
+// DefaultChaosConfig is a one-minute-class chaos run.
+func DefaultChaosConfig() ChaosConfig {
+	return ChaosConfig{
+		Seed:           17,
+		NumClients:     6,
+		NumRelays:      5,
+		Calls:          40,
+		CallDuration:   500 * time.Millisecond,
+		PPS:            100,
+		RelayTTL:       500 * time.Millisecond,
+		HeartbeatEvery: 100 * time.Millisecond,
+	}
+}
+
+// QuickChaosConfig is smoke-test scale.
+func QuickChaosConfig() ChaosConfig {
+	return ChaosConfig{
+		Seed:           17,
+		NumClients:     3,
+		NumRelays:      3,
+		Calls:          10,
+		CallDuration:   300 * time.Millisecond,
+		PPS:            100,
+		RelayTTL:       400 * time.Millisecond,
+		HeartbeatEvery: 100 * time.Millisecond,
+	}
+}
+
+// Chaos runs the resilience benchmark: every call must complete (possibly
+// degraded to the direct path) while the fault plan runs, and the report
+// shows how often the system leaned on each resilience mechanism —
+// mid-call failover, cached decisions, retries, heartbeat-driven
+// directory expiry.
+func Chaos(cfg ChaosConfig) ([]*stats.Table, error) {
+	wcfg := netsim.DefaultConfig(cfg.Seed)
+	wcfg.NumASes = 60
+	wcfg.NumRelays = cfg.NumRelays
+	wcfg.BounceCandidates = 3
+	wcfg.TransitFan = 2
+	w := netsim.New(wcfg)
+
+	var clients []netsim.ASID
+	for i := 0; len(clients) < cfg.NumClients && i < w.NumASes(); i += w.NumASes() / cfg.NumClients {
+		clients = append(clients, netsim.ASID(i))
+	}
+	var relays []netsim.RelayID
+	for i := 0; i < cfg.NumRelays; i++ {
+		relays = append(relays, netsim.RelayID(i))
+	}
+
+	viaCfg := core.DefaultViaConfig(quality.RTT)
+	viaCfg.Seed = cfg.Seed
+	tb, err := testbed.Start(testbed.Config{
+		Seed:       cfg.Seed,
+		World:      w,
+		ClientASes: clients,
+		RelayIDs:   relays,
+		Strategy:   core.NewVia(viaCfg, nil),
+		TimeScale:  7200,
+		RelayTTL:   cfg.RelayTTL,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer tb.Close()
+	tb.StartHeartbeats(cfg.HeartbeatEvery)
+	sel := client.NewSelector(tb.Ctrl)
+
+	// The fault plan, scheduled against the run's rough wall-clock length:
+	// kill a relay a quarter in, flap the controller twice around the
+	// middle, revive the relay at three quarters.
+	victim := relays[0]
+	est := time.Duration(cfg.Calls) * (cfg.CallDuration + 200*time.Millisecond)
+	plan := faults.NewPlan(cfg.Seed).
+		KillRelayAt(est/4, victim).
+		FlapController(est/2, est/8, est/16, 2).
+		ReviveRelayAt(3*est/4, victim)
+	sched := faults.NewScheduler(plan, tb)
+	sched.Start()
+
+	// Candidate sets come from the directory; a fetch that fails under
+	// partition reuses the previous set (the client's cached view).
+	cands := []netsim.Option{netsim.DirectOption()}
+	refresh := func() {
+		dir, derr := tb.Ctrl.Relays()
+		if derr != nil {
+			return
+		}
+		next := []netsim.Option{netsim.DirectOption()}
+		for id := range dir {
+			next = append(next, netsim.BounceOption(id))
+		}
+		cands = next
+	}
+	refresh()
+
+	completed, failed := 0, 0
+	for i := 0; i < cfg.Calls; i++ {
+		if i%5 == 0 {
+			refresh()
+		}
+		caller := tb.Clients[i%len(tb.Clients)]
+		callee := tb.Clients[(i+1)%len(tb.Clients)]
+		src, dst := int32(caller.AS), int32(callee.AS)
+		opt, _ := sel.Choose(src, dst, cands)
+		out, cerr := caller.Agent.CallResilient(client.CallSpec{
+			Peer:     callee.Agent.Addr(),
+			Option:   opt,
+			Failover: []netsim.Option{netsim.DirectOption()},
+			Duration: cfg.CallDuration,
+			PPS:      cfg.PPS,
+		})
+		for _, dead := range out.Failed {
+			sel.ReportFailure(src, dst, dead)
+		}
+		if cerr != nil {
+			failed++
+			continue
+		}
+		completed++
+		sel.Report(src, dst, out.Used, out.Metrics)
+	}
+	sched.Stop()
+	// Deterministic cleanup for the final accounting, whatever the plan
+	// got through before the run ended.
+	tb.SetControlPartitioned(false)
+	if !tb.RelayAlive(victim) {
+		if rerr := tb.ReviveRelay(victim); rerr != nil {
+			return nil, rerr
+		}
+	}
+
+	var failovers int64
+	for _, c := range tb.Clients {
+		failovers += c.Agent.Failovers()
+	}
+	st, err := tb.Ctrl.Stats()
+	if err != nil {
+		return nil, err
+	}
+	h, err := tb.Ctrl.Health()
+	if err != nil {
+		return nil, err
+	}
+
+	t := &stats.Table{
+		Title:   fmt.Sprintf("Chaos: %d calls under relay death + controller flap (seed %d)", cfg.Calls, cfg.Seed),
+		Headers: []string{"metric", "value", "note"},
+	}
+	t.AddRow("calls completed", completed, fmt.Sprintf("of %d placed", cfg.Calls))
+	t.AddRow("calls failed", failed, "no path at all")
+	t.AddRow("mid-call failovers", failovers, "repaths without dropping the call")
+	t.AddRow("stale decisions", sel.Stale(), "served from cache/direct, controller down")
+	t.AddRow("lost reports", sel.LostReports(), "absorbed, not fatal")
+	t.AddRow("control retries", tb.Ctrl.Retries(), "extra attempts beyond the first")
+	t.AddRow("fault events fired", sched.Fired(), fmt.Sprintf("of %d planned", len(plan.Events)))
+	t.AddRow("controller panics", st.Panics, "must be 0")
+	t.AddRow("live relays at end", h.Relays, fmt.Sprintf("of %d deployed", cfg.NumRelays))
+	return []*stats.Table{t}, nil
+}

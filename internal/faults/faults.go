@@ -1,0 +1,365 @@
+// Package faults is the testbed's fault-injection subsystem: a
+// deterministic, seeded scheduler that drives failures into a running
+// deployment — relay death and revival (process-level), blackholed
+// src↔relay segments (packet-level, via wan.Shaper), and control-plane
+// impairment (dropped, delayed, or fully partitioned controller RPCs, via
+// FlakyTransport).
+//
+// The paper's premise (§3.1, §4.4) is that paths fail and drift: relays
+// die, heartbeats lapse, and the controller must keep learning from
+// end-to-end measurements. This package turns those failure modes into
+// first-class, replayable scenarios. A Plan is a small scenario DSL — an
+// ordered list of timed events built fluently:
+//
+//	plan := faults.NewPlan(1).
+//	    KillRelayAt(300*time.Millisecond, 3).
+//	    PartitionControllerAt(500*time.Millisecond).
+//	    HealControllerAt(900*time.Millisecond).
+//	    ReviveRelayAt(2*time.Second, 3)
+//
+// A Scheduler fires the plan's events against any Target (the testbed
+// implements it) in real time; tests that want virtual time can call
+// Plan.Apply to fire every event synchronously, or Event.Apply one at a
+// time. Everything probabilistic (control-RPC drop decisions) flows from
+// the plan's seed, so a scenario replays identically.
+package faults
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// Kind enumerates the fault taxonomy.
+type Kind uint8
+
+const (
+	// KillRelay stops a relay process; its socket closes and its
+	// heartbeats cease, so it ages out of the controller directory.
+	KillRelay Kind = iota
+	// ReviveRelay restarts a previously killed relay on its old address
+	// and re-registers it.
+	ReviveRelay
+	// Blackhole silently drops every packet on a segment (both
+	// directions) — the failure a dead middlebox or route withdrawal
+	// produces, invisible to the sender.
+	Blackhole
+	// Heal removes a blackhole.
+	Heal
+	// PartitionController makes every control RPC fail fast — the agent
+	// cannot reach the controller at all.
+	PartitionController
+	// HealController removes a partition.
+	HealController
+	// DropControl drops a fraction of control RPCs (lossy control path).
+	DropControl
+	// DelayControl adds fixed latency to every control RPC.
+	DelayControl
+)
+
+// String names the fault kind.
+func (k Kind) String() string {
+	switch k {
+	case KillRelay:
+		return "kill-relay"
+	case ReviveRelay:
+		return "revive-relay"
+	case Blackhole:
+		return "blackhole"
+	case Heal:
+		return "heal"
+	case PartitionController:
+		return "partition-controller"
+	case HealController:
+		return "heal-controller"
+	case DropControl:
+		return "drop-control"
+	case DelayControl:
+		return "delay-control"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
+
+// EndpointKind distinguishes segment endpoints.
+type EndpointKind uint8
+
+const (
+	// ClientEndpoint is a client agent, identified by its AS.
+	ClientEndpoint EndpointKind = iota
+	// RelayEndpoint is a relay node, identified by its RelayID.
+	RelayEndpoint
+)
+
+// Endpoint names one end of a blackholed segment.
+type Endpoint struct {
+	Kind  EndpointKind
+	AS    netsim.ASID    // when Kind == ClientEndpoint
+	Relay netsim.RelayID // when Kind == RelayEndpoint
+}
+
+// ClientEnd names a client endpoint by AS.
+func ClientEnd(as netsim.ASID) Endpoint { return Endpoint{Kind: ClientEndpoint, AS: as} }
+
+// RelayEnd names a relay endpoint.
+func RelayEnd(id netsim.RelayID) Endpoint { return Endpoint{Kind: RelayEndpoint, Relay: id} }
+
+// String renders the endpoint compactly.
+func (e Endpoint) String() string {
+	if e.Kind == RelayEndpoint {
+		return fmt.Sprintf("relay(%d)", e.Relay)
+	}
+	return fmt.Sprintf("as(%d)", e.AS)
+}
+
+// Event is one scheduled fault.
+type Event struct {
+	At    time.Duration // offset from scheduler start
+	Kind  Kind
+	Relay netsim.RelayID // KillRelay / ReviveRelay
+	A, B  Endpoint       // Blackhole / Heal segment ends
+	Rate  float64        // DropControl probability in [0, 1]
+	Delay time.Duration  // DelayControl added latency
+}
+
+// String renders the event for logs and errors.
+func (e Event) String() string {
+	switch e.Kind {
+	case KillRelay, ReviveRelay:
+		return fmt.Sprintf("%s@%s relay=%d", e.Kind, e.At, e.Relay)
+	case Blackhole, Heal:
+		return fmt.Sprintf("%s@%s %s<->%s", e.Kind, e.At, e.A, e.B)
+	case DropControl:
+		return fmt.Sprintf("%s@%s rate=%.2f", e.Kind, e.At, e.Rate)
+	case DelayControl:
+		return fmt.Sprintf("%s@%s delay=%s", e.Kind, e.At, e.Delay)
+	default:
+		return fmt.Sprintf("%s@%s", e.Kind, e.At)
+	}
+}
+
+// Target is what a fault plan acts on. The testbed implements it; unit
+// tests use lightweight fakes.
+type Target interface {
+	// KillRelay stops the relay process.
+	KillRelay(id netsim.RelayID) error
+	// ReviveRelay restarts a killed relay on its original address.
+	ReviveRelay(id netsim.RelayID) error
+	// Blackhole drops all packets between the two endpoints (both
+	// directions) until healed.
+	Blackhole(a, b Endpoint) error
+	// Heal removes a blackhole.
+	Heal(a, b Endpoint) error
+	// SetControlPartitioned makes all control RPCs fail fast while true.
+	SetControlPartitioned(on bool)
+	// SetControlDropRate drops the given fraction of control RPCs.
+	SetControlDropRate(rate float64)
+	// SetControlDelay adds fixed latency to control RPCs.
+	SetControlDelay(d time.Duration)
+}
+
+// Apply fires the event against the target.
+func (e Event) Apply(t Target) error {
+	switch e.Kind {
+	case KillRelay:
+		return t.KillRelay(e.Relay)
+	case ReviveRelay:
+		return t.ReviveRelay(e.Relay)
+	case Blackhole:
+		return t.Blackhole(e.A, e.B)
+	case Heal:
+		return t.Heal(e.A, e.B)
+	case PartitionController:
+		t.SetControlPartitioned(true)
+	case HealController:
+		t.SetControlPartitioned(false)
+	case DropControl:
+		t.SetControlDropRate(e.Rate)
+	case DelayControl:
+		t.SetControlDelay(e.Delay)
+	default:
+		return fmt.Errorf("faults: unknown event kind %v", e.Kind)
+	}
+	return nil
+}
+
+// Plan is a replayable fault scenario: a seed (consumed by probabilistic
+// fault machinery such as FlakyTransport) and an ordered event list.
+type Plan struct {
+	Seed   uint64
+	Events []Event
+}
+
+// NewPlan starts an empty plan.
+func NewPlan(seed uint64) *Plan { return &Plan{Seed: seed} }
+
+// add appends and returns the plan for chaining.
+func (p *Plan) add(e Event) *Plan {
+	p.Events = append(p.Events, e)
+	return p
+}
+
+// KillRelayAt schedules a relay death.
+func (p *Plan) KillRelayAt(at time.Duration, id netsim.RelayID) *Plan {
+	return p.add(Event{At: at, Kind: KillRelay, Relay: id})
+}
+
+// ReviveRelayAt schedules a relay revival.
+func (p *Plan) ReviveRelayAt(at time.Duration, id netsim.RelayID) *Plan {
+	return p.add(Event{At: at, Kind: ReviveRelay, Relay: id})
+}
+
+// BlackholeAt schedules a segment blackhole.
+func (p *Plan) BlackholeAt(at time.Duration, a, b Endpoint) *Plan {
+	return p.add(Event{At: at, Kind: Blackhole, A: a, B: b})
+}
+
+// HealAt schedules a segment heal.
+func (p *Plan) HealAt(at time.Duration, a, b Endpoint) *Plan {
+	return p.add(Event{At: at, Kind: Heal, A: a, B: b})
+}
+
+// PartitionControllerAt schedules a full control-plane partition.
+func (p *Plan) PartitionControllerAt(at time.Duration) *Plan {
+	return p.add(Event{At: at, Kind: PartitionController})
+}
+
+// HealControllerAt schedules the partition's end.
+func (p *Plan) HealControllerAt(at time.Duration) *Plan {
+	return p.add(Event{At: at, Kind: HealController})
+}
+
+// DropControlAt schedules probabilistic control-RPC loss.
+func (p *Plan) DropControlAt(at time.Duration, rate float64) *Plan {
+	return p.add(Event{At: at, Kind: DropControl, Rate: rate})
+}
+
+// DelayControlAt schedules fixed control-RPC latency.
+func (p *Plan) DelayControlAt(at time.Duration, d time.Duration) *Plan {
+	return p.add(Event{At: at, Kind: DelayControl, Delay: d})
+}
+
+// FlapController schedules `times` partition/heal cycles starting at
+// `start`: partitioned for `down`, healed for `up`, repeated.
+func (p *Plan) FlapController(start, down, up time.Duration, times int) *Plan {
+	at := start
+	for i := 0; i < times; i++ {
+		p.PartitionControllerAt(at)
+		p.HealControllerAt(at + down)
+		at += down + up
+	}
+	return p
+}
+
+// Sorted returns the events in firing order (stable by At, preserving
+// insertion order for ties).
+func (p *Plan) Sorted() []Event {
+	out := append([]Event(nil), p.Events...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	return out
+}
+
+// Duration returns the offset of the last event.
+func (p *Plan) Duration() time.Duration {
+	var d time.Duration
+	for _, e := range p.Events {
+		if e.At > d {
+			d = e.At
+		}
+	}
+	return d
+}
+
+// Apply fires every event in order immediately (virtual time), collecting
+// per-event errors. Tests use this to exercise targets without waiting.
+func (p *Plan) Apply(t Target) []error {
+	var errs []error
+	for _, e := range p.Sorted() {
+		if err := e.Apply(t); err != nil {
+			errs = append(errs, fmt.Errorf("%s: %w", e, err))
+		}
+	}
+	return errs
+}
+
+// Scheduler fires a plan against a target in real time.
+type Scheduler struct {
+	events []Event
+	target Target
+
+	mu    sync.Mutex
+	fired int
+	errs  []error
+
+	stop chan struct{}
+	done chan struct{}
+	once sync.Once
+}
+
+// NewScheduler builds a scheduler; call Start to begin firing.
+func NewScheduler(p *Plan, t Target) *Scheduler {
+	return &Scheduler{
+		events: p.Sorted(),
+		target: t,
+		stop:   make(chan struct{}),
+		done:   make(chan struct{}),
+	}
+}
+
+// Start launches the firing goroutine. Event times are offsets from the
+// moment Start is called.
+func (s *Scheduler) Start() {
+	go func() {
+		defer close(s.done)
+		start := time.Now()
+		for _, e := range s.events {
+			wait := e.At - time.Since(start)
+			if wait > 0 {
+				select {
+				case <-time.After(wait):
+				case <-s.stop:
+					return
+				}
+			} else {
+				select {
+				case <-s.stop:
+					return
+				default:
+				}
+			}
+			err := e.Apply(s.target)
+			s.mu.Lock()
+			s.fired++
+			if err != nil {
+				s.errs = append(s.errs, fmt.Errorf("%s: %w", e, err))
+			}
+			s.mu.Unlock()
+		}
+	}()
+}
+
+// Wait blocks until every event has fired (or Stop was called).
+func (s *Scheduler) Wait() { <-s.done }
+
+// Stop cancels events that have not fired yet.
+func (s *Scheduler) Stop() {
+	s.once.Do(func() { close(s.stop) })
+	<-s.done
+}
+
+// Fired returns how many events have fired so far.
+func (s *Scheduler) Fired() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.fired
+}
+
+// Errors returns the per-event errors collected so far.
+func (s *Scheduler) Errors() []error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return append([]error(nil), s.errs...)
+}

@@ -1,0 +1,99 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// ErrInjected marks a control RPC failed by fault injection, so retry
+// logic and tests can distinguish injected faults from real ones.
+var ErrInjected = errors.New("faults: injected control-plane failure")
+
+// FlakyTransport is an http.RoundTripper that injects control-plane
+// faults in front of a real transport: a full partition (every request
+// fails fast), probabilistic request drops, and fixed added latency. It
+// is the packet-level counterpart of wan.Shaper for the HTTP control
+// plane, and the knob PartitionController / DropControl / DelayControl
+// events turn. Drop decisions are driven by a seeded RNG, so a plan
+// replays identically.
+type FlakyTransport struct {
+	base http.RoundTripper
+
+	mu          sync.Mutex
+	partitioned bool
+	dropRate    float64
+	delay       time.Duration
+	rng         *stats.RNG
+
+	injected atomic.Int64 // requests failed by injection
+	delayed  atomic.Int64 // requests delayed by injection
+}
+
+// NewFlakyTransport wraps base (nil means http.DefaultTransport). With no
+// faults configured it is transparent.
+func NewFlakyTransport(base http.RoundTripper, seed uint64) *FlakyTransport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &FlakyTransport{
+		base: base,
+		rng:  stats.NewRNG(seed).Split("faults-control"),
+	}
+}
+
+// SetPartitioned turns the full partition on or off.
+func (t *FlakyTransport) SetPartitioned(on bool) {
+	t.mu.Lock()
+	t.partitioned = on
+	t.mu.Unlock()
+}
+
+// SetDropRate drops the given fraction of requests (0 disables).
+func (t *FlakyTransport) SetDropRate(rate float64) {
+	t.mu.Lock()
+	t.dropRate = rate
+	t.mu.Unlock()
+}
+
+// SetDelay adds fixed latency to every request (0 disables).
+func (t *FlakyTransport) SetDelay(d time.Duration) {
+	t.mu.Lock()
+	t.delay = d
+	t.mu.Unlock()
+}
+
+// Injected returns how many requests fault injection has failed.
+func (t *FlakyTransport) Injected() int64 { return t.injected.Load() }
+
+// RoundTrip applies the configured faults, then delegates.
+func (t *FlakyTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	t.mu.Lock()
+	fail := t.partitioned
+	if !fail && t.dropRate > 0 {
+		fail = t.rng.Float64() < t.dropRate
+	}
+	delay := t.delay
+	t.mu.Unlock()
+
+	if fail {
+		t.injected.Add(1)
+		return nil, fmt.Errorf("%w: %s %s", ErrInjected, req.Method, req.URL.Path)
+	}
+	if delay > 0 {
+		t.delayed.Add(1)
+		timer := time.NewTimer(delay)
+		select {
+		case <-timer.C:
+		case <-req.Context().Done():
+			timer.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	return t.base.RoundTrip(req)
+}

@@ -13,9 +13,21 @@ import (
 	"net"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/netsim"
 	"repro/internal/transport"
+)
+
+// Session-table bounds: calls end silently (a relay never sees teardown),
+// so entries are evicted once idle for sessionIdleTTL, swept opportunistically
+// every sweepEvery handled packets. maxSessions is a hard cap — a flood of
+// fresh session ids (bug or abuse) evicts the longest-idle entries rather
+// than growing the map without bound.
+const (
+	sessionIdleTTL = 2 * time.Minute
+	maxSessions    = 8192
+	sweepEvery     = 1024
 )
 
 // Node is one relay.
@@ -26,10 +38,14 @@ type Node struct {
 	packets atomic.Int64
 	bytes   atomic.Int64
 	dropped atomic.Int64
+	evicted atomic.Int64
 
-	mu       sync.Mutex
-	sessions map[uint64]*SessionStats
-	closed   bool
+	mu         sync.Mutex
+	sessions   map[uint64]*sessionEntry
+	sinceSweep int
+	idleTTL    time.Duration
+	maxSess    int
+	closed     bool
 }
 
 // SessionStats is the per-session accounting a relay keeps.
@@ -38,14 +54,35 @@ type SessionStats struct {
 	Bytes   int64
 }
 
+// sessionEntry is SessionStats plus the liveness stamp eviction keys on.
+type sessionEntry struct {
+	SessionStats
+	lastSeen time.Time
+}
+
 // New builds a relay node on an already-bound PacketConn (which may be a
 // wan.Shaper for impaired testbeds).
 func New(id netsim.RelayID, conn net.PacketConn) *Node {
 	return &Node{
 		id:       id,
 		conn:     conn,
-		sessions: make(map[uint64]*SessionStats),
+		sessions: make(map[uint64]*sessionEntry),
+		idleTTL:  sessionIdleTTL,
+		maxSess:  maxSessions,
 	}
+}
+
+// SetSessionLimits overrides the session-table bounds (testing and tuning).
+// Zero values keep the current setting.
+func (n *Node) SetSessionLimits(idleTTL time.Duration, maxSess int) {
+	n.mu.Lock()
+	if idleTTL > 0 {
+		n.idleTTL = idleTTL
+	}
+	if maxSess > 0 {
+		n.maxSess = maxSess
+	}
+	n.mu.Unlock()
 }
 
 // ID returns the relay's identity.
@@ -93,19 +130,65 @@ func (n *Node) handle(pkt []byte, out *[]byte) {
 
 	n.packets.Add(1)
 	n.bytes.Add(int64(len(pkt)))
+	now := time.Now()
 	n.mu.Lock()
 	ss := n.sessions[f.Session]
 	if ss == nil {
-		ss = &SessionStats{}
+		if len(n.sessions) >= n.maxSess {
+			n.evictOldestLocked(now)
+		}
+		ss = &sessionEntry{}
 		n.sessions[f.Session] = ss
 	}
 	ss.Packets++
 	ss.Bytes += int64(len(pkt))
+	ss.lastSeen = now
+	n.sinceSweep++
+	if n.sinceSweep >= sweepEvery {
+		n.sinceSweep = 0
+		n.sweepIdleLocked(now)
+	}
 	n.mu.Unlock()
 
 	*out = f.Marshal((*out)[:0])
 	_, _ = n.conn.WriteTo(*out, next)
 }
+
+// sweepIdleLocked drops sessions idle past the TTL. Caller holds n.mu.
+func (n *Node) sweepIdleLocked(now time.Time) {
+	for id, ss := range n.sessions {
+		if now.Sub(ss.lastSeen) > n.idleTTL {
+			delete(n.sessions, id)
+			n.evicted.Add(1)
+		}
+	}
+}
+
+// evictOldestLocked makes room at the hard cap: first an idle sweep, then
+// (if the table is full of live sessions) the longest-idle entry goes.
+// Caller holds n.mu.
+func (n *Node) evictOldestLocked(now time.Time) {
+	n.sweepIdleLocked(now)
+	if len(n.sessions) < n.maxSess {
+		return
+	}
+	var oldest uint64
+	var oldestSeen time.Time
+	first := true
+	for id, ss := range n.sessions {
+		if first || ss.lastSeen.Before(oldestSeen) {
+			oldest, oldestSeen, first = id, ss.lastSeen, false
+		}
+	}
+	if !first {
+		delete(n.sessions, oldest)
+		n.evicted.Add(1)
+	}
+}
+
+// Evicted returns how many session entries have been evicted (idle TTL or
+// table cap) — accounting lost to churn, not forwarding failures.
+func (n *Node) Evicted() int64 { return n.evicted.Load() }
 
 // Close shuts the relay down; Serve returns after Close.
 func (n *Node) Close() error {
@@ -128,7 +211,7 @@ func (n *Node) Session(id uint64) (SessionStats, bool) {
 	if ss == nil {
 		return SessionStats{}, false
 	}
-	return *ss, true
+	return ss.SessionStats, true
 }
 
 // Sessions returns the number of distinct sessions seen.

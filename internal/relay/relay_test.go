@@ -178,3 +178,85 @@ func TestRelayCloseStopsServe(t *testing.T) {
 		t.Fatal("Serve did not return after Close")
 	}
 }
+
+func TestSessionTableCapEvictsOldest(t *testing.T) {
+	r := startRelay(t, 1)
+	r.SetSessionLimits(time.Hour, 4) // TTL never fires; only the cap does
+	src, dst := listen(t), listen(t)
+	defer src.Close()
+	defer dst.Close()
+
+	send := func(session uint64) {
+		f := transport.Frame{Session: session, Payload: []byte("x")}
+		f.SetRoute([]*net.UDPAddr{udpAddr(dst.LocalAddr())})
+		src.WriteTo(f.Marshal(nil), r.Addr())
+	}
+	for s := uint64(1); s <= 10; s++ {
+		send(s)
+		// Serialize arrivals so lastSeen ordering is deterministic.
+		deadline := time.Now().Add(time.Second)
+		for time.Now().Before(deadline) {
+			if p, _, _ := r.Stats(); p >= int64(s) {
+				break
+			}
+			time.Sleep(2 * time.Millisecond)
+		}
+	}
+	if n := r.Sessions(); n > 4 {
+		t.Errorf("session table = %d entries, cap is 4", n)
+	}
+	if r.Evicted() < 6 {
+		t.Errorf("evicted = %d, want >= 6", r.Evicted())
+	}
+	// The most recent session survived; the earliest did not.
+	if _, ok := r.Session(10); !ok {
+		t.Error("newest session evicted")
+	}
+	if _, ok := r.Session(1); ok {
+		t.Error("oldest session still present past the cap")
+	}
+}
+
+func TestSessionIdleSweep(t *testing.T) {
+	r := startRelay(t, 1)
+	r.SetSessionLimits(30*time.Millisecond, 2) // tiny TTL, tiny cap
+	src, dst := listen(t), listen(t)
+	defer src.Close()
+	defer dst.Close()
+
+	send := func(session uint64) {
+		f := transport.Frame{Session: session, Payload: []byte("x")}
+		f.SetRoute([]*net.UDPAddr{udpAddr(dst.LocalAddr())})
+		src.WriteTo(f.Marshal(nil), r.Addr())
+	}
+	send(1)
+	send(2)
+	deadline := time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if r.Sessions() == 2 {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	time.Sleep(60 * time.Millisecond) // both sessions go idle past the TTL
+
+	// A new session hits the cap, which sweeps the idle entries instead of
+	// evicting anything live.
+	send(3)
+	deadline = time.Now().Add(time.Second)
+	for time.Now().Before(deadline) {
+		if _, ok := r.Session(3); ok {
+			break
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	if _, ok := r.Session(3); !ok {
+		t.Fatal("new session not accounted")
+	}
+	if _, ok := r.Session(1); ok {
+		t.Error("idle session survived the sweep")
+	}
+	if r.Evicted() == 0 {
+		t.Error("no evictions recorded after idle sweep")
+	}
+}

@@ -1,0 +1,222 @@
+package testbed
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/netsim"
+	"repro/internal/relay"
+	"repro/internal/wan"
+)
+
+// The Testbed implements faults.Target, so a faults.Plan (via Apply or a
+// real-time Scheduler) drives failures straight into the deployment:
+// relay death/revival at the process level, blackholes at the wan.Shaper
+// level, and control-plane impairment through the FlakyTransport under
+// tb.Ctrl.
+var _ faults.Target = (*Testbed)(nil)
+
+// relayIndex maps a relay id to its slot. Caller holds tb.mu.
+func (tb *Testbed) relayIndexLocked(id netsim.RelayID) (int, error) {
+	for i, rid := range tb.cfg.RelayIDs {
+		if rid == id {
+			return i, nil
+		}
+	}
+	return 0, fmt.Errorf("testbed: relay %d is not part of this deployment", id)
+}
+
+// KillRelay stops a relay process: its socket closes mid-stream (in-flight
+// calls lose the hop silently) and its heartbeats cease, so with a RelayTTL
+// configured it ages out of the controller directory.
+func (tb *Testbed) KillRelay(id netsim.RelayID) error {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	i, err := tb.relayIndexLocked(id)
+	if err != nil {
+		return err
+	}
+	if tb.deadRelays[id] {
+		return fmt.Errorf("testbed: relay %d is already dead", id)
+	}
+	tb.deadRelays[id] = true
+	return tb.Relays[i].Close()
+}
+
+// ReviveRelay restarts a killed relay on its original address (so every
+// shaper link keyed by that address still applies), re-applies its
+// outgoing impairments, and re-registers it with the controller.
+func (tb *Testbed) ReviveRelay(id netsim.RelayID) error {
+	tb.mu.Lock()
+	i, err := tb.relayIndexLocked(id)
+	if err != nil {
+		tb.mu.Unlock()
+		return err
+	}
+	if !tb.deadRelays[id] {
+		tb.mu.Unlock()
+		return fmt.Errorf("testbed: relay %d is not dead", id)
+	}
+	addr := tb.relayAddrs[i]
+	pc, err := net.ListenPacket("udp", addr)
+	if err != nil {
+		tb.mu.Unlock()
+		return fmt.Errorf("testbed: rebind relay %d on %s: %w", id, addr, err)
+	}
+	sh := wan.Wrap(pc, tb.cfg.Seed^uint64(id)<<8)
+	node := relay.New(id, sh)
+	go node.Serve()
+	tb.Relays[i] = node
+	tb.relayShapers[i] = sh
+	delete(tb.deadRelays, id)
+	tb.applyRelayLinksLocked(i)
+	tb.mu.Unlock()
+	return tb.adminCtrl.RegisterRelay(id, addr)
+}
+
+// applyRelayLinksLocked re-derives relay i's outgoing link impairments
+// from the world model (the inbound direction lives on other shapers,
+// keyed by this relay's stable address, and needs no touch-up). Caller
+// holds tb.mu.
+func (tb *Testbed) applyRelayLinksLocked(i int) {
+	const window = 0
+	w := tb.World
+	rid := tb.cfg.RelayIDs[i]
+	sh := tb.relayShapers[i]
+	for _, c := range tb.Clients {
+		sh.SetLink(c.Agent.Addr().String(), oneWay(w.AccessMetrics(c.AS, rid, window)))
+	}
+	for j, other := range tb.cfg.RelayIDs {
+		if j == i {
+			continue
+		}
+		sh.SetLink(tb.relayAddrs[j], oneWay(w.BackboneMetrics(rid, other, window)))
+	}
+}
+
+// RelayAlive reports whether a relay process is currently running.
+func (tb *Testbed) RelayAlive(id netsim.RelayID) bool {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return !tb.deadRelays[id]
+}
+
+// endpointLocked resolves a fault endpoint to its shaper and stable
+// address. Caller holds tb.mu.
+func (tb *Testbed) endpointLocked(e faults.Endpoint) (*wan.Shaper, string, error) {
+	switch e.Kind {
+	case faults.ClientEndpoint:
+		for _, c := range tb.Clients {
+			if c.AS == e.AS {
+				return c.Shaper, c.Agent.Addr().String(), nil
+			}
+		}
+		return nil, "", fmt.Errorf("testbed: no client in AS %d", e.AS)
+	case faults.RelayEndpoint:
+		i, err := tb.relayIndexLocked(e.Relay)
+		if err != nil {
+			return nil, "", err
+		}
+		return tb.relayShapers[i], tb.relayAddrs[i], nil
+	default:
+		return nil, "", fmt.Errorf("testbed: unknown endpoint kind %d", e.Kind)
+	}
+}
+
+// Blackhole silently drops every packet between the two endpoints, both
+// directions — the route-withdrawal failure a sender cannot see.
+func (tb *Testbed) Blackhole(a, b faults.Endpoint) error {
+	return tb.setBlackhole(a, b, true)
+}
+
+// Heal removes a blackhole.
+func (tb *Testbed) Heal(a, b faults.Endpoint) error {
+	return tb.setBlackhole(a, b, false)
+}
+
+func (tb *Testbed) setBlackhole(a, b faults.Endpoint, on bool) error {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	shA, addrA, err := tb.endpointLocked(a)
+	if err != nil {
+		return err
+	}
+	shB, addrB, err := tb.endpointLocked(b)
+	if err != nil {
+		return err
+	}
+	shA.SetBlackhole(addrB, on)
+	shB.SetBlackhole(addrA, on)
+	return nil
+}
+
+// SetControlPartitioned fails every experiment control RPC fast while on.
+func (tb *Testbed) SetControlPartitioned(on bool) { tb.Flaky.SetPartitioned(on) }
+
+// SetControlDropRate drops the given fraction of experiment control RPCs.
+func (tb *Testbed) SetControlDropRate(rate float64) { tb.Flaky.SetDropRate(rate) }
+
+// SetControlDelay adds fixed latency to experiment control RPCs.
+func (tb *Testbed) SetControlDelay(d time.Duration) { tb.Flaky.SetDelay(d) }
+
+// StartHeartbeats re-registers every live relay with the controller at
+// the given period, over the pristine admin client (a flapping control
+// plane must not evict relays that are in fact alive — only death, which
+// stops the heartbeat, should). Call once; Close stops it.
+func (tb *Testbed) StartHeartbeats(every time.Duration) {
+	if every <= 0 {
+		every = 100 * time.Millisecond
+	}
+	tb.hbWG.Add(1)
+	go func() {
+		defer tb.hbWG.Done()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-tb.hbStop:
+				return
+			case <-tick.C:
+			}
+			tb.mu.Lock()
+			type beat struct {
+				id   netsim.RelayID
+				addr string
+			}
+			var beats []beat
+			for i, id := range tb.cfg.RelayIDs {
+				if !tb.deadRelays[id] {
+					beats = append(beats, beat{id, tb.relayAddrs[i]})
+				}
+			}
+			tb.mu.Unlock()
+			for _, b := range beats {
+				_ = tb.adminCtrl.RegisterRelay(b.id, b.addr) // retried next tick
+			}
+		}
+	}()
+}
+
+// StopHeartbeats halts the heartbeat loop (idempotent; Close calls it).
+func (tb *Testbed) StopHeartbeats() {
+	tb.hbOnce.Do(func() { close(tb.hbStop) })
+	tb.hbWG.Wait()
+}
+
+// RefreshDirectories re-fetches the relay directory over the pristine
+// admin path and installs it on every agent — the periodic directory pull
+// production clients would do.
+func (tb *Testbed) RefreshDirectories() error {
+	dir, err := tb.adminCtrl.Relays()
+	if err != nil {
+		return err
+	}
+	for _, c := range tb.Clients {
+		if err := c.Agent.SetRelays(dir); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -13,10 +13,13 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"sync"
+	"time"
 
 	"repro/internal/client"
 	"repro/internal/controller"
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/quality"
 	"repro/internal/relay"
@@ -38,6 +41,13 @@ type Config struct {
 	// (default 7200: one second = two hours, so a 24h prediction epoch
 	// rolls every 12 seconds).
 	TimeScale float64
+	// RelayTTL expires relays whose heartbeats lapse (see
+	// controller.Config.RelayTTL). Pair with StartHeartbeats so live
+	// relays stay registered; 0 disables expiry.
+	RelayTTL time.Duration
+	// ControlRetry overrides the shared control client's retry policy
+	// (zero value: controller.DefaultRetryPolicy).
+	ControlRetry controller.RetryPolicy
 }
 
 // ClientNode is one deployed agent.
@@ -48,16 +58,36 @@ type ClientNode struct {
 }
 
 // Testbed is a running deployment. Close it when done.
+//
+// The testbed doubles as the fault-injection target (faults.Target): a
+// fault plan can kill and revive relays, blackhole segments, and impair
+// the control plane of a live deployment. Control RPCs issued through
+// Ctrl traverse a faults.FlakyTransport, so control-plane faults hit the
+// experiment's traffic but not the testbed's own plumbing (heartbeats and
+// fault bookkeeping use a private pristine client).
 type Testbed struct {
 	World   *netsim.World
 	Ctrl    *controller.Client
+	CtrlSrv *controller.Server
 	CtrlURL string
 	Clients []*ClientNode
 	Relays  []*relay.Node
+	// Flaky is the fault-injectable transport under Ctrl.
+	Flaky *faults.FlakyTransport
 
+	cfg          Config
 	ctrlServer   *http.Server
 	ctrlListener net.Listener
+	adminCtrl    *controller.Client // pristine path for heartbeats/admin
+
+	mu           sync.Mutex
 	relayShapers []*wan.Shaper
+	relayAddrs   []string // stable across kill/revive (rebound in place)
+	deadRelays   map[netsim.RelayID]bool
+
+	hbStop chan struct{}
+	hbOnce sync.Once
+	hbWG   sync.WaitGroup
 }
 
 // Start brings up the controller, relays, and clients, registers relays,
@@ -76,7 +106,12 @@ func Start(cfg Config) (*Testbed, error) {
 		cfg.TimeScale = 7200
 	}
 
-	tb := &Testbed{World: cfg.World}
+	tb := &Testbed{
+		World:      cfg.World,
+		cfg:        cfg,
+		deadRelays: make(map[netsim.RelayID]bool),
+		hbStop:     make(chan struct{}),
+	}
 	ok := false
 	defer func() {
 		if !ok {
@@ -90,11 +125,19 @@ func Start(cfg Config) (*Testbed, error) {
 		return nil, err
 	}
 	tb.ctrlListener = ln
-	srv := controller.New(controller.Config{Strategy: cfg.Strategy, TimeScale: cfg.TimeScale})
-	tb.ctrlServer = &http.Server{Handler: srv.Handler()}
+	tb.CtrlSrv = controller.New(controller.Config{
+		Strategy: cfg.Strategy, TimeScale: cfg.TimeScale, RelayTTL: cfg.RelayTTL,
+	})
+	tb.ctrlServer = &http.Server{Handler: tb.CtrlSrv.Handler()}
 	go tb.ctrlServer.Serve(ln)
 	tb.CtrlURL = "http://" + ln.Addr().String()
+	// The experiment's control path goes through the fault-injectable
+	// transport; testbed plumbing gets its own clean client.
+	tb.Flaky = faults.NewFlakyTransport(nil, cfg.Seed)
 	tb.Ctrl = controller.NewClient(tb.CtrlURL)
+	tb.Ctrl.HTTP = &http.Client{Transport: tb.Flaky}
+	tb.Ctrl.Retry = cfg.ControlRetry
+	tb.adminCtrl = controller.NewClient(tb.CtrlURL)
 
 	// Relays.
 	for _, id := range cfg.RelayIDs {
@@ -107,7 +150,8 @@ func Start(cfg Config) (*Testbed, error) {
 		go node.Serve()
 		tb.Relays = append(tb.Relays, node)
 		tb.relayShapers = append(tb.relayShapers, sh)
-		if err := tb.Ctrl.RegisterRelay(id, node.Addr().String()); err != nil {
+		tb.relayAddrs = append(tb.relayAddrs, node.Addr().String())
+		if err := tb.adminCtrl.RegisterRelay(id, node.Addr().String()); err != nil {
 			return nil, err
 		}
 	}
@@ -124,7 +168,7 @@ func Start(cfg Config) (*Testbed, error) {
 	}
 
 	// Relay directory to every client.
-	dir, err := tb.Ctrl.Relays()
+	dir, err := tb.adminCtrl.Relays()
 	if err != nil {
 		return nil, err
 	}
@@ -194,12 +238,16 @@ func (tb *Testbed) Client(as netsim.ASID) *ClientNode {
 
 // Close tears everything down.
 func (tb *Testbed) Close() {
+	tb.StopHeartbeats()
 	for _, c := range tb.Clients {
 		if c != nil && c.Agent != nil {
 			c.Agent.Close()
 		}
 	}
-	for _, r := range tb.Relays {
+	tb.mu.Lock()
+	relays := append([]*relay.Node(nil), tb.Relays...)
+	tb.mu.Unlock()
+	for _, r := range relays {
 		r.Close()
 	}
 	if tb.ctrlServer != nil {

@@ -12,6 +12,7 @@ import (
 //	POST /v1/choose          — ChooseRequest → ChooseResponse
 //	POST /v1/report          — ReportRequest → ReportResponse
 //	GET  /v1/stats           — StatsResponse
+//	GET  /v1/health          — HealthResponse
 
 // RegisterRelayRequest announces a relay's media address to the controller.
 type RegisterRelayRequest struct {
@@ -113,6 +114,15 @@ type StatsResponse struct {
 	Relays  int   `json:"relays"`
 	Reports int64 `json:"reports"`
 	Chooses int64 `json:"chooses"`
+	Panics  int64 `json:"panics,omitempty"` // recovered handler panics
+}
+
+// HealthResponse is the controller's liveness probe (GET /v1/health).
+type HealthResponse struct {
+	OK        bool    `json:"ok"`
+	Relays    int     `json:"relays"` // live (heartbeat-fresh) relays
+	UptimeSec float64 `json:"uptime_sec"`
+	Draining  bool    `json:"draining"`
 }
 
 // TopKEntry is one pruned candidate with its prediction (diagnostics).

@@ -10,6 +10,7 @@ import (
 	"math"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/stats"
@@ -24,24 +25,33 @@ type LinkParams struct {
 
 // Shaper wraps a PacketConn, impairing writes per destination address.
 // Reads pass through untouched. It implements net.PacketConn.
+//
+// Beyond statistical impairment, a shaper supports fault injection: a
+// blackholed destination silently eats every datagram (the packet-level
+// failure a dead route produces), per destination or for all traffic.
 type Shaper struct {
 	conn net.PacketConn
 
-	mu      sync.Mutex
-	links   map[string]LinkParams
-	def     LinkParams
-	rng     *stats.RNG
-	closed  bool
-	pending sync.WaitGroup
+	mu        sync.Mutex
+	links     map[string]LinkParams
+	def       LinkParams
+	blackhole map[string]bool
+	blackAll  bool
+	rng       *stats.RNG
+	closed    bool
+	pending   sync.WaitGroup
+
+	faultDrops atomic.Int64
 }
 
 // Wrap builds a shaper around conn. With no configured links, packets pass
 // through unimpaired.
 func Wrap(conn net.PacketConn, seed uint64) *Shaper {
 	return &Shaper{
-		conn:  conn,
-		links: make(map[string]LinkParams),
-		rng:   stats.NewRNG(seed).Split("wan"),
+		conn:      conn,
+		links:     make(map[string]LinkParams),
+		blackhole: make(map[string]bool),
+		rng:       stats.NewRNG(seed).Split("wan"),
 	}
 }
 
@@ -60,6 +70,36 @@ func (s *Shaper) SetDefault(p LinkParams) {
 	s.mu.Unlock()
 }
 
+// SetBlackhole turns the fault-injection blackhole for dst on or off:
+// while on, every datagram to dst is silently dropped.
+func (s *Shaper) SetBlackhole(dst string, on bool) {
+	s.mu.Lock()
+	if on {
+		s.blackhole[dst] = true
+	} else {
+		delete(s.blackhole, dst)
+	}
+	s.mu.Unlock()
+}
+
+// SetBlackholeAll blackholes every destination (a full partition of this
+// node) until turned off.
+func (s *Shaper) SetBlackholeAll(on bool) {
+	s.mu.Lock()
+	s.blackAll = on
+	s.mu.Unlock()
+}
+
+// Blackholed reports whether dst is currently blackholed.
+func (s *Shaper) Blackholed(dst string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.blackAll || s.blackhole[dst]
+}
+
+// FaultDrops returns how many datagrams blackholes have eaten.
+func (s *Shaper) FaultDrops() int64 { return s.faultDrops.Load() }
+
 // Link returns the impairment configured for dst (or the default).
 func (s *Shaper) Link(dst string) LinkParams {
 	s.mu.Lock()
@@ -77,6 +117,11 @@ func (s *Shaper) WriteTo(b []byte, addr net.Addr) (int, error) {
 	if s.closed {
 		s.mu.Unlock()
 		return 0, net.ErrClosed
+	}
+	if s.blackAll || s.blackhole[addr.String()] {
+		s.mu.Unlock()
+		s.faultDrops.Add(1)
+		return len(b), nil // the network ate it; senders cannot tell
 	}
 	p, ok := s.links[addr.String()]
 	if !ok {
