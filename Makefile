@@ -5,15 +5,27 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race short fuzz chaos
+.PHONY: verify build vet lint test race short fuzz chaos
 
-verify: build vet test race
+verify: build vet lint test race
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Project-specific invariants (cmd/vialint): determinism (no wall clock /
+# global rand in simulation packages), lockcheck (`// guarded by <mu>`
+# annotations), errwrap (%w + justified error discards), ctxtimeout
+# (HTTP clients/dialers carry deadlines), deadstore. See DESIGN.md §9.
+lint:
+	$(GO) run ./cmd/vialint ./...
+
+# Same analyzers through the go vet driver (exercises the vettool path).
+lint-vet:
+	$(GO) build -o bin/vialint ./cmd/vialint
+	$(GO) vet -vettool=bin/vialint ./...
 
 test:
 	$(GO) test ./...

@@ -1,0 +1,201 @@
+// Command vialint is the multichecker for the repository's invariant
+// analyzers (determinism, lockcheck, errwrap, ctxtimeout, deadstore — see
+// internal/analysis). It runs two ways:
+//
+// Standalone, over package patterns:
+//
+//	go run ./cmd/vialint ./...
+//	go run ./cmd/vialint -only determinism,lockcheck ./internal/...
+//
+// As a `go vet` tool, speaking cmd/go's vet config protocol:
+//
+//	go build -o /tmp/vialint ./cmd/vialint
+//	go vet -vettool=/tmp/vialint ./...
+//
+// Exit status: 0 clean, 1 usage or load failure, 2 diagnostics found
+// (matching x/tools' unitchecker convention so `go vet` integrates).
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/vialint"
+)
+
+func main() {
+	// cmd/go probes a vettool before use: `-V=full` asks for a version
+	// fingerprint (cache key), `-flags` for the tool's supported flags.
+	if len(os.Args) == 2 && strings.HasPrefix(os.Args[1], "-V") {
+		// The output is cmd/go's cache key for vet results, so it must
+		// change whenever the tool's behavior does: fingerprint the binary.
+		fmt.Printf("vialint version %s\n", selfFingerprint())
+		return
+	}
+	if len(os.Args) == 2 && os.Args[1] == "-flags" {
+		fmt.Println("[]")
+		return
+	}
+	for _, arg := range os.Args[1:] {
+		if strings.HasSuffix(arg, ".cfg") {
+			os.Exit(vetMode(arg))
+		}
+	}
+	os.Exit(standalone())
+}
+
+// selfFingerprint hashes the running executable so rebuilt tools get fresh
+// vet caches.
+func selfFingerprint() string {
+	exe, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	data, err := os.ReadFile(exe)
+	if err != nil {
+		return "unknown"
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:8])
+}
+
+func standalone() int {
+	var (
+		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list = flag.Bool("list", false, "list analyzers and exit")
+	)
+	flag.Parse()
+	analyzers := vialint.All()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		var unknown []string
+		analyzers, unknown = vialint.Select(strings.Split(*only, ","))
+		if len(unknown) > 0 {
+			fmt.Fprintf(os.Stderr, "vialint: unknown analyzers: %s\n", strings.Join(unknown, ", "))
+			return 1
+		}
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := driver.Load("", patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vialint:", err)
+		return 1
+	}
+	diags, err := driver.Run(pkgs, analyzers)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vialint:", err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	// One shared FileSet across packages: resolve positions from any pkg.
+	fset := pkgs[0].Fset
+	for _, d := range diags {
+		fmt.Printf("%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	fmt.Fprintf(os.Stderr, "vialint: %d finding(s)\n", len(diags))
+	return 2
+}
+
+// vetConfig is the JSON cmd/go writes for each package when driving a
+// vettool (the x/tools unitchecker.Config shape; unknown fields ignored).
+type vetConfig struct {
+	ID                        string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func vetMode(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vialint:", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintln(os.Stderr, "vialint: parsing vet config:", err)
+		return 1
+	}
+	// Facts file: this suite exports none, but cmd/go requires the file.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, "vialint:", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly || strings.HasSuffix(cfg.ID, ".test") {
+		return 0
+	}
+	// Match standalone-mode policy: test files are not analyzed (they
+	// legitimately use wall clocks and discard errors in teardown). When a
+	// package has tests, cmd/go vets the test compilation ("p [p.test]")
+	// instead of the base unit, so drop the _test.go files and analyze the
+	// remaining production sources — a valid package on their own, since
+	// in-package test files may reference base declarations but never the
+	// reverse. External test units ("p_test") end up with no files; skip.
+	prodFiles := cfg.GoFiles[:0]
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			prodFiles = append(prodFiles, f)
+		}
+	}
+	cfg.GoFiles = prodFiles
+	if len(cfg.GoFiles) == 0 {
+		return 0
+	}
+	pkg, err := loadVetPackage(&cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintln(os.Stderr, "vialint:", err)
+		return 1
+	}
+	diags, err := driver.Run([]*driver.Package{pkg}, vialint.All())
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vialint:", err)
+		return 1
+	}
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return 2
+}
+
+// loadVetPackage type-checks one package from a vet config, resolving
+// imports through the export files cmd/go listed.
+func loadVetPackage(cfg *vetConfig) (*driver.Package, error) {
+	exports := make(map[string]string, len(cfg.PackageFile)+len(cfg.ImportMap))
+	for path, file := range cfg.PackageFile {
+		exports[path] = file
+	}
+	for src, canonical := range cfg.ImportMap {
+		if file, ok := cfg.PackageFile[canonical]; ok {
+			exports[src] = file
+		}
+	}
+	return driver.LoadSingle(cfg.ImportPath, cfg.GoFiles, exports)
+}

@@ -1,3 +1,12 @@
 module repro
 
 go 1.22
+
+// cmd/vialint deliberately does NOT import golang.org/x/tools: the build
+// image is offline, so internal/analysis ships a minimal stdlib-only
+// driver (go list -export + go/importer) and speaks go vet's vettool
+// protocol itself. The version below pins the x/tools release the
+// analyzers are API-compatible with (framework.Analyzer/Pass mirror
+// analysis.Analyzer/Pass), so a future migration is a mechanical swap.
+// Nothing imports it, so the module is never fetched (pruned graph).
+require golang.org/x/tools v0.24.0

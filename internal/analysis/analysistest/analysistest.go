@@ -1,0 +1,183 @@
+// Package analysistest runs a vialint analyzer over fixture packages and
+// compares its diagnostics against `// want` expectations, mirroring the
+// golang.org/x/tools/go/analysis/analysistest contract:
+//
+//	rand.Int() // want `ambient source`
+//
+// means line must produce exactly one diagnostic matching the backquoted
+// (or double-quoted) regular expression; multiple expectations on one line
+// must all match, in order of the diagnostics' positions; any diagnostic on
+// a line without a matching expectation is an error, as is an expectation
+// with no diagnostic.
+//
+// Fixture layout follows the x/tools convention: Run(t, dir, a, "a")
+// analyzes the package in <dir>/src/a. Fixtures may import the standard
+// library only; type information is resolved through export data from
+// `go list -export` (fully offline, see internal/analysis/driver).
+// //vialint:ignore directives are honored exactly as in production runs,
+// so suppression behavior is testable in fixtures too.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/driver"
+	"repro/internal/analysis/framework"
+)
+
+// wantRe matches one expectation inside a want comment: a regexp in
+// backquotes or double quotes.
+var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
+
+// Run analyzes each named fixture package under dir/src and reports
+// mismatches through t.
+func Run(t *testing.T, dir string, a *framework.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		runOne(t, filepath.Join(dir, "src", pkg), pkg, a)
+	}
+}
+
+func runOne(t *testing.T, dir, pkgPath string, a *framework.Analyzer) {
+	t.Helper()
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	imports := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+		for _, imp := range f.Imports {
+			imports[strings.Trim(imp.Path.Value, `"`)] = true
+		}
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	paths := make([]string, 0, len(imports))
+	for p := range imports {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	exports, err := driver.StdExports(paths)
+	if err != nil {
+		t.Fatalf("resolving fixture imports: %v", err)
+	}
+	info := driver.NewInfo()
+	conf := types.Config{Importer: driver.ExportImporter(fset, exports)}
+	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", pkgPath, err)
+	}
+
+	if !framework.AppliesTo(a.Targets, pkgPath) {
+		t.Fatalf("analyzer %s does not target fixture package %q; construct a test instance with New([]string{%q})", a.Name, pkgPath, pkgPath)
+	}
+
+	ignores := driver.CollectIgnores(fset, files)
+	var diags []framework.Diagnostic
+	pass := framework.NewPass(a, fset, files, tpkg, info, func(d framework.Diagnostic) {
+		if !ignores.Suppresses(fset, d) {
+			diags = append(diags, d)
+		}
+	})
+	if err := a.Run(pass); err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	diags = append(diags, ignores.Malformed...)
+	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+
+	check(t, fset, files, diags)
+}
+
+// expectation is one want regexp at a file line.
+type expectation struct {
+	re  *regexp.Regexp
+	raw string
+}
+
+// check compares diagnostics against want comments.
+func check(t *testing.T, fset *token.FileSet, files []*ast.File, diags []framework.Diagnostic) {
+	t.Helper()
+	wants := map[string][]expectation{} // "file:line" → expectations
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(strings.TrimPrefix(c.Text, "//"), "/*"))
+				if !strings.HasPrefix(text, "want ") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				for _, m := range wantRe.FindAllStringSubmatch(text[len("want "):], -1) {
+					raw := m[1]
+					if raw == "" {
+						raw = m[2]
+					}
+					re, err := regexp.Compile(raw)
+					if err != nil {
+						t.Errorf("%s: bad want regexp %q: %v", key, raw, err)
+						continue
+					}
+					wants[key] = append(wants[key], expectation{re: re, raw: raw})
+				}
+			}
+		}
+	}
+
+	got := map[string][]framework.Diagnostic{}
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		got[key] = append(got[key], d)
+	}
+
+	for key, exps := range wants {
+		ds := got[key]
+		if len(ds) != len(exps) {
+			t.Errorf("%s: want %d diagnostic(s), got %d: %s", key, len(exps), len(ds), messages(ds))
+			continue
+		}
+		for i, exp := range exps {
+			if !exp.re.MatchString(ds[i].Message) {
+				t.Errorf("%s: diagnostic %q does not match want %q", key, ds[i].Message, exp.raw)
+			}
+		}
+	}
+	for key, ds := range got {
+		if _, expected := wants[key]; !expected {
+			t.Errorf("%s: unexpected diagnostic(s): %s", key, messages(ds))
+		}
+	}
+}
+
+func messages(ds []framework.Diagnostic) string {
+	if len(ds) == 0 {
+		return "(none)"
+	}
+	var parts []string
+	for _, d := range ds {
+		parts = append(parts, fmt.Sprintf("[%s] %s", d.Analyzer, d.Message))
+	}
+	return strings.Join(parts, "; ")
+}

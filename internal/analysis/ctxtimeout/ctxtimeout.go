@@ -1,0 +1,127 @@
+// Package ctxtimeout enforces deadlines on the live-network paths: an
+// http.Client or net.Dialer built without a Timeout, or a bare
+// context.Background() flowing into request handling, turns a flapped
+// controller or a black-holed relay into an unbounded hang. PR 1's fault
+// harness (listener flaps, handler stalls) makes this concrete: every
+// outbound control RPC and every dial must carry a bound.
+//
+// Three checks inside the targeted packages:
+//
+//  1. composite literals of type net/http.Client must set Timeout (the
+//     per-attempt context deadline pattern is still encouraged, but the
+//     client-level timeout is the backstop when a caller forgets);
+//  2. composite literals of type net.Dialer must set Timeout;
+//  3. context.Background()/context.TODO() must be immediately wrapped by
+//     context.WithTimeout or context.WithDeadline — a bare background
+//     context in a request path is an unbounded wait.
+package ctxtimeout
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// DefaultTargets: packages that open sockets or issue RPCs on live
+// networks. The simulator never dials, and tests are not analyzed.
+var DefaultTargets = []string{
+	"repro/internal/controller",
+	"repro/internal/client",
+	"repro/internal/relay",
+	"repro/internal/wan",
+	"repro/internal/testbed",
+	"repro/internal/faults",
+	"repro/cmd",
+	"repro/examples",
+}
+
+// New builds the analyzer for the given package targets.
+func New(targets []string) *framework.Analyzer {
+	return &framework.Analyzer{
+		Name:    "ctxtimeout",
+		Doc:     "require Timeout on http.Client/net.Dialer literals and a WithTimeout/WithDeadline wrapper on context.Background in request paths",
+		Targets: targets,
+		Run:     run,
+	}
+}
+
+// Analyzer is the production instance.
+var Analyzer = New(DefaultTargets)
+
+func run(pass *framework.Pass) error {
+	framework.WalkStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+		switch n := n.(type) {
+		case *ast.CompositeLit:
+			checkLiteral(pass, n)
+		case *ast.CallExpr:
+			checkBackground(pass, n, stack)
+		}
+	})
+	return nil
+}
+
+// isNamed reports whether t is the named type pkgPath.name.
+func isNamed(t types.Type, pkgPath, name string) bool {
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
+}
+
+// checkLiteral flags http.Client / net.Dialer literals without a Timeout
+// field. Unkeyed literals are skipped (none exist for these types in
+// practice; keyed form is required to set Timeout anyway).
+func checkLiteral(pass *framework.Pass, lit *ast.CompositeLit) {
+	t := pass.TypesInfo.Types[lit].Type
+	if t == nil {
+		return
+	}
+	var what string
+	switch {
+	case isNamed(t, "net/http", "Client"):
+		what = "http.Client"
+	case isNamed(t, "net", "Dialer"):
+		what = "net.Dialer"
+	default:
+		return
+	}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			return // unkeyed literal: field coverage is positional, skip
+		}
+		if key, ok := kv.Key.(*ast.Ident); ok && key.Name == "Timeout" {
+			return
+		}
+	}
+	pass.Reportf(lit.Pos(),
+		"%s constructed without a Timeout: a stalled peer hangs this path forever; set Timeout (or justify with //vialint:ignore ctxtimeout)", what)
+}
+
+// checkBackground flags context.Background()/TODO() calls that are not the
+// direct argument of a deadline-attaching wrapper.
+func checkBackground(pass *framework.Pass, call *ast.CallExpr, stack []ast.Node) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	pkgPath, name, ok := framework.PkgFunc(pass.TypesInfo, sel)
+	if !ok || pkgPath != "context" || (name != "Background" && name != "TODO") {
+		return
+	}
+	if len(stack) > 0 {
+		if parent, ok := stack[len(stack)-1].(*ast.CallExpr); ok {
+			if psel, ok := parent.Fun.(*ast.SelectorExpr); ok {
+				if ppkg, pname, ok := framework.PkgFunc(pass.TypesInfo, psel); ok &&
+					ppkg == "context" && (pname == "WithTimeout" || pname == "WithDeadline") {
+					return
+				}
+			}
+		}
+	}
+	pass.Reportf(call.Pos(),
+		"context.%s without a deadline in a request path; wrap it in context.WithTimeout/WithDeadline so a dead peer cannot hang the call", name)
+}

@@ -1,0 +1,12 @@
+package ctxtimeout_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/ctxtimeout"
+)
+
+func TestCtxtimeout(t *testing.T) {
+	analysistest.Run(t, "testdata", ctxtimeout.New([]string{"a"}), "a")
+}

@@ -1,0 +1,45 @@
+// Fixture for the ctxtimeout analyzer: network clients need timeouts,
+// request-path contexts need deadlines.
+package a
+
+import (
+	"context"
+	"net"
+	"net/http"
+	"time"
+)
+
+var bounded = &http.Client{Timeout: 5 * time.Second} // ok
+
+var unbounded = &http.Client{} // want `without a Timeout`
+
+var transportOnly = &http.Client{ // want `without a Timeout`
+	Transport: http.DefaultTransport,
+}
+
+//vialint:ignore ctxtimeout fixture: per-request context deadlines cover this client
+var audited = &http.Client{}
+
+func dialers() (net.Conn, error) {
+	good := net.Dialer{Timeout: time.Second}
+	bad := net.Dialer{KeepAlive: time.Minute} // want `without a Timeout`
+	if c, err := good.Dial("tcp", "localhost:9"); err == nil {
+		return c, nil
+	}
+	return bad.Dial("tcp", "localhost:9")
+}
+
+func sink(ctx context.Context) { _ = ctx.Err() }
+
+func contexts() {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Second) // ok: wrapped
+	defer cancel()
+	sink(ctx)
+
+	dl, cancel2 := context.WithDeadline(context.Background(), time.Unix(1, 0)) // ok: wrapped
+	defer cancel2()
+	sink(dl)
+
+	sink(context.Background()) // want `without a deadline`
+	sink(context.TODO())       // want `without a deadline`
+}

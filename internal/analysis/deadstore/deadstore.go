@@ -1,0 +1,76 @@
+// Package deadstore flags assignments of side-effect-free expressions to
+// the blank identifier: `_ = d` where d is a plain variable, field chain,
+// or literal. Such a statement does nothing — it is usually a leftover
+// from a refactor (the case that motivated this analyzer lived in
+// internal/packets) or a stale "unused variable" silencer that now hides a
+// value the code forgot to use.
+//
+// Only provably pure right-hand sides are flagged: identifiers, selector
+// chains rooted at an identifier, and basic literals. Calls, channel
+// receives, index expressions (which may carry an intentional bounds
+// check), and conversions all stay legal, as does the declaration form
+// `var _ T = v` used for compile-time interface assertions.
+package deadstore
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"repro/internal/analysis/framework"
+)
+
+// New builds the analyzer (nil targets = every package).
+func New(targets []string) *framework.Analyzer {
+	return &framework.Analyzer{
+		Name:    "deadstore",
+		Doc:     "flag `_ = x` assignments of pure expressions — they have no effect and usually mark leftover code",
+		Targets: targets,
+		Run:     run,
+	}
+}
+
+// Analyzer is the production instance.
+var Analyzer = New(nil)
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			as, ok := n.(*ast.AssignStmt)
+			if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+				return true
+			}
+			id, ok := as.Lhs[0].(*ast.Ident)
+			if !ok || id.Name != "_" {
+				return true
+			}
+			if pure(pass.TypesInfo, as.Rhs[0]) {
+				pass.Reportf(as.Pos(),
+					"dead store: `_ = %s` has no effect; delete it (or use the value)", types.ExprString(as.Rhs[0]))
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// pure reports whether evaluating e can have no side effect and no panic.
+func pure(info *types.Info, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident:
+		// Referencing a variable or constant is pure; a bare func ident is
+		// also pure (it is a value, not a call).
+		return e.Name != "_"
+	case *ast.BasicLit:
+		return true
+	case *ast.ParenExpr:
+		return pure(info, e.X)
+	case *ast.SelectorExpr:
+		// x.f on an identifier chain: pure unless x involves a call. A
+		// selector through a pointer could in principle be nil — but so
+		// could any later use; treat it as pure like staticcheck does.
+		return pure(info, e.X)
+	default:
+		return false
+	}
+}

@@ -1,0 +1,12 @@
+package deadstore_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/deadstore"
+)
+
+func TestDeadstore(t *testing.T) {
+	analysistest.Run(t, "testdata", deadstore.Analyzer, "a")
+}

@@ -1,0 +1,39 @@
+// Fixture for the deadstore analyzer: blank-assigning a pure expression is
+// dead; calls, index expressions, and declaration-form assertions survive.
+package a
+
+import "io"
+
+type point struct{ x, y int }
+
+type box struct{ p point }
+
+func compute() int { return 1 }
+
+func f(b box) int {
+	d := b.p.x
+	_ = d     // want `dead store`
+	_ = b.p.y // want `dead store`
+	_ = 3     // want `dead store`
+
+	_ = compute() // ok: the call may have side effects
+
+	s := []int{1, 2}
+	_ = s[1] // ok: index kept legal (intentional bounds-check idiom)
+
+	ch := make(chan int, 1)
+	ch <- 9
+	_ = <-ch // ok: receive has an effect
+
+	//vialint:ignore deadstore fixture: demonstrating an audited leftover
+	_ = d
+
+	return d
+}
+
+// Compile-time interface assertion: declaration form, never flagged.
+var _ io.Reader = (*sectionReader)(nil)
+
+type sectionReader struct{}
+
+func (*sectionReader) Read([]byte) (int, error) { return 0, io.EOF }

@@ -1,0 +1,103 @@
+// Package determinism forbids wall-clock and ambient-randomness escapes in
+// the simulation and experiment packages.
+//
+// The Via reproduction's results (Algorithm 2 pruning, modified UCB1, §4.6
+// budget curves) are only trustworthy if a run is bit-for-bit reproducible
+// under a seed. Inside the model, time must flow from the virtual clock
+// (trace hours threaded through core.Call.THours) and randomness from
+// internal/stats.RNG labeled streams split off one master seed. A single
+// time.Now() or global math/rand call silently breaks replayability, so
+// this analyzer makes the escape a build-time error rather than a
+// review-time hope.
+package determinism
+
+import (
+	"go/ast"
+
+	"repro/internal/analysis/framework"
+)
+
+// DefaultTargets lists the packages that must stay deterministic: the
+// synthetic Internet model, the discrete-event simulator, the experiment
+// harness, the selection algorithms, and every statistical helper they
+// draw from. Wall-clock use stays legal in the live-network packages
+// (controller, relay, client, wan, faults, testbed) where real time is the
+// point.
+var DefaultTargets = []string{
+	"repro/internal/netsim",
+	"repro/internal/sim",
+	"repro/internal/experiments",
+	"repro/internal/core",
+	"repro/internal/trace",
+	"repro/internal/stats",
+	"repro/internal/coords",
+	"repro/internal/tomo",
+	"repro/internal/quality",
+	"repro/internal/geo",
+	"repro/internal/history",
+	"repro/internal/packets",
+	"repro/via",
+}
+
+// forbiddenTime are the time functions that read the wall clock. Duration
+// arithmetic and time.Time values remain fine — only sampling "now" is
+// banned.
+var forbiddenTime = map[string]bool{
+	"Now":   true,
+	"Since": true, // time.Since(t) is time.Now().Sub(t)
+	"Until": true, // time.Until(t) is t.Sub(time.Now())
+}
+
+// allowedRand are the math/rand{,/v2} package-level constructors that build
+// explicitly-seeded generators; everything else at package level draws from
+// the shared global source and is banned.
+var allowedRand = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewPCG":     true,
+	"NewChaCha8": true,
+	"NewZipf":    true,
+}
+
+// New builds the analyzer restricted to the given package targets; tests
+// point it at fixture paths.
+func New(targets []string) *framework.Analyzer {
+	return &framework.Analyzer{
+		Name:    "determinism",
+		Doc:     "forbid time.Now/Since/Until and global math/rand in simulation packages; use the virtual clock and stats.RNG labeled streams",
+		Targets: targets,
+		Run:     run,
+	}
+}
+
+// Analyzer is the production instance.
+var Analyzer = New(DefaultTargets)
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			pkgPath, name, ok := framework.PkgFunc(pass.TypesInfo, sel)
+			if !ok {
+				return true
+			}
+			switch pkgPath {
+			case "time":
+				if forbiddenTime[name] {
+					pass.Reportf(sel.Pos(),
+						"time.%s reads the wall clock and breaks seeded reproducibility; thread the virtual clock (core.Call.THours / netsim window time) instead", name)
+				}
+			case "math/rand", "math/rand/v2":
+				if !allowedRand[name] {
+					pass.Reportf(sel.Pos(),
+						"global rand.%s draws from the shared ambient source; use a labeled stream from internal/stats.RNG (Split/SplitN) so streams stay independent and replayable", name)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}

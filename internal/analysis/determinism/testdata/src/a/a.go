@@ -1,0 +1,43 @@
+// Fixture for the determinism analyzer: wall-clock reads and ambient
+// randomness are flagged; explicit seeding and duration arithmetic pass.
+package a
+
+import (
+	"math/rand"
+	randv2 "math/rand/v2"
+	"time"
+)
+
+var epoch = time.Unix(0, 0)
+
+func wallClock() time.Duration {
+	t := time.Now()      // want `reads the wall clock`
+	d := time.Since(epoch) // want `reads the wall clock`
+	d += time.Until(epoch) // want `reads the wall clock`
+	return d + t.Sub(epoch)
+}
+
+func durationsAreFine(step time.Duration) time.Duration {
+	return 3*step + 250*time.Millisecond // ok: no clock read
+}
+
+func globalV1() int {
+	return rand.Intn(10) // want `ambient source`
+}
+
+func globalV2() float64 {
+	return randv2.Float64() // want `ambient source`
+}
+
+func seededV1() *rand.Rand {
+	return rand.New(rand.NewSource(7)) // ok: explicit constructor
+}
+
+func seededV2() *randv2.Rand {
+	return randv2.New(randv2.NewPCG(1, 2)) // ok: explicit constructor
+}
+
+func justified() time.Time {
+	//vialint:ignore determinism fixture: demonstrates an audited wall-clock read
+	return time.Now()
+}

@@ -1,0 +1,291 @@
+// Package driver loads type-checked packages for the vialint analyzers and
+// runs them, applying //vialint:ignore suppression directives.
+//
+// Loading deliberately avoids golang.org/x/tools/go/packages (unavailable
+// offline): it shells out to `go list -export -deps -json`, which compiles
+// nothing beyond what the build cache already holds and yields gc export
+// data for every dependency — stdlib and module-local alike. Source files
+// of the matched packages are then parsed and type-checked against that
+// export data via go/importer's gc importer. Test files are not analyzed
+// (tests legitimately use wall-clock deadlines and loopback sockets).
+package driver
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Package is one loaded, type-checked package ready for analysis.
+type Package struct {
+	Path  string
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// listedPkg is the subset of `go list -json` output the driver consumes.
+type listedPkg struct {
+	Dir        string
+	ImportPath string
+	Name       string
+	Export     string
+	GoFiles    []string
+	DepOnly    bool
+	Error      *struct{ Err string }
+}
+
+// goList runs `go list -export -deps -json` over patterns in dir and
+// decodes the JSON stream.
+func goList(dir string, patterns []string) ([]listedPkg, error) {
+	args := append([]string{
+		"list", "-e", "-export", "-deps",
+		"-json=Dir,ImportPath,Name,Export,GoFiles,DepOnly,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("driver: go list: %w\n%s", err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("driver: decoding go list output: %w", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// ExportImporter returns a types.Importer that resolves import paths
+// through the given map of import path → gc export data file.
+func ExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+// StdExports resolves export-data files for the given import paths (and all
+// their dependencies) by invoking go list. Used by the analysistest harness
+// to type-check fixture packages that import only the standard library.
+func StdExports(paths []string) (map[string]string, error) {
+	if len(paths) == 0 {
+		return map[string]string{}, nil
+	}
+	pkgs, err := goList("", paths)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(pkgs))
+	for _, p := range pkgs {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+	}
+	return exports, nil
+}
+
+// NewInfo returns a types.Info with every map analyzers rely on populated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+}
+
+// Load type-checks the packages matched by patterns (e.g. "./..."),
+// resolved relative to dir ("" for the current directory). Packages that
+// are only dependencies of the match are consumed as export data, not
+// analyzed.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(listed))
+	var targets []listedPkg
+	for _, p := range listed {
+		if p.Error != nil {
+			return nil, fmt.Errorf("driver: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if !p.DepOnly && p.Name != "" {
+			targets = append(targets, p)
+		}
+	}
+
+	fset := token.NewFileSet()
+	imp := ExportImporter(fset, exports)
+	var out []*Package
+	for _, p := range targets {
+		files := make([]*ast.File, 0, len(p.GoFiles))
+		for _, name := range p.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("driver: parsing %s: %w", name, err)
+			}
+			files = append(files, f)
+		}
+		info := NewInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("driver: type-checking %s: %w", p.ImportPath, err)
+		}
+		out = append(out, &Package{Path: p.ImportPath, Fset: fset, Files: files, Pkg: tpkg, Info: info})
+	}
+	return out, nil
+}
+
+// LoadSingle type-checks one package from explicit source files and an
+// import-path → export-data-file map. The `go vet -vettool` shim uses it:
+// cmd/go has already resolved every dependency's export file in vet.cfg,
+// so no `go list` round-trip is needed.
+func LoadSingle(importPath string, goFiles []string, exports map[string]string) (*Package, error) {
+	fset := token.NewFileSet()
+	files := make([]*ast.File, 0, len(goFiles))
+	for _, name := range goFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
+		if err != nil {
+			return nil, fmt.Errorf("driver: parsing %s: %w", name, err)
+		}
+		files = append(files, f)
+	}
+	info := NewInfo()
+	conf := types.Config{Importer: ExportImporter(fset, exports)}
+	tpkg, err := conf.Check(importPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("driver: type-checking %s: %w", importPath, err)
+	}
+	return &Package{Path: importPath, Fset: fset, Files: files, Pkg: tpkg, Info: info}, nil
+}
+
+// Run applies every analyzer to every package it targets and returns the
+// surviving diagnostics, sorted by position, with //vialint:ignore
+// directives applied. Analyzer errors abort the run.
+func Run(pkgs []*Package, analyzers []*framework.Analyzer) ([]framework.Diagnostic, error) {
+	var diags []framework.Diagnostic
+	for _, pkg := range pkgs {
+		ignores := CollectIgnores(pkg.Fset, pkg.Files)
+		report := func(d framework.Diagnostic) {
+			if !ignores.Suppresses(pkg.Fset, d) {
+				diags = append(diags, d)
+			}
+		}
+		for _, a := range analyzers {
+			if !framework.AppliesTo(a.Targets, pkg.Path) {
+				continue
+			}
+			pass := framework.NewPass(a, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info, report)
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("driver: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		diags = append(diags, ignores.Malformed...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		if diags[i].Pos != diags[j].Pos {
+			return diags[i].Pos < diags[j].Pos
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}
+
+// ignoreKey identifies one suppressed (file line, analyzer) cell; analyzer
+// "" means the directive suppresses every analyzer on that line.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// Ignores indexes //vialint:ignore directives for one package.
+//
+// A directive has the form
+//
+//	//vialint:ignore <analyzer>[,<analyzer>...] <justification>
+//
+// and suppresses the named analyzers (or "all") on the directive's own line
+// and on the following line — so it works both trailing a statement and as
+// a standalone comment above one. The justification is mandatory: a bare
+// directive is itself reported, so suppressions stay auditable.
+type Ignores struct {
+	cells map[ignoreKey]bool
+	// Malformed holds diagnostics for directives missing a justification.
+	Malformed []framework.Diagnostic
+}
+
+const ignorePrefix = "//vialint:ignore"
+
+// CollectIgnores scans file comments for suppression directives.
+func CollectIgnores(fset *token.FileSet, files []*ast.File) *Ignores {
+	ig := &Ignores{cells: make(map[ignoreKey]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				names, justification, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				if names == "" || strings.TrimSpace(justification) == "" {
+					ig.Malformed = append(ig.Malformed, framework.Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "vialint",
+						Message:  "malformed //vialint:ignore: need analyzer name(s) and a justification",
+					})
+					continue
+				}
+				for _, name := range strings.Split(names, ",") {
+					if name == "all" {
+						name = ""
+					}
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						ig.cells[ignoreKey{pos.Filename, line, name}] = true
+					}
+				}
+			}
+		}
+	}
+	return ig
+}
+
+// Suppresses reports whether a diagnostic is covered by a directive.
+func (ig *Ignores) Suppresses(fset *token.FileSet, d framework.Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	return ig.cells[ignoreKey{pos.Filename, pos.Line, d.Analyzer}] ||
+		ig.cells[ignoreKey{pos.Filename, pos.Line, ""}]
+}

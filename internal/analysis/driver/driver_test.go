@@ -1,0 +1,164 @@
+package driver
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/framework"
+)
+
+func mustParse(t *testing.T, src string) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+func TestIgnoreDirectives(t *testing.T) {
+	fset, f := mustParse(t, `package p
+
+func f() {
+	x := 1 //vialint:ignore deadstore trailing justification
+	_ = x
+	//vialint:ignore errwrap,lockcheck standalone covers the next line
+	y := 2
+	_ = y
+}
+`)
+	ig := CollectIgnores(fset, []*ast.File{f})
+	if len(ig.Malformed) != 0 {
+		t.Fatalf("unexpected malformed directives: %v", ig.Malformed)
+	}
+	at := func(line int, analyzer string) bool {
+		pos := fset.File(f.Pos()).LineStart(line)
+		return ig.Suppresses(fset, framework.Diagnostic{Pos: pos, Analyzer: analyzer})
+	}
+	if !at(4, "deadstore") || !at(5, "deadstore") {
+		t.Error("trailing directive should cover its own line and the next")
+	}
+	if at(6, "deadstore") {
+		t.Error("directive must not leak past the following line")
+	}
+	if !at(7, "errwrap") || !at(7, "lockcheck") {
+		t.Error("comma-separated names should all be suppressed")
+	}
+	if at(7, "deadstore") {
+		t.Error("unlisted analyzer must not be suppressed")
+	}
+}
+
+func TestIgnoreAll(t *testing.T) {
+	fset, f := mustParse(t, `package p
+
+//vialint:ignore all generated stanza, audited separately
+var x = 1
+`)
+	ig := CollectIgnores(fset, []*ast.File{f})
+	pos := fset.File(f.Pos()).LineStart(4)
+	for _, a := range []string{"deadstore", "errwrap", "anything"} {
+		if !ig.Suppresses(fset, framework.Diagnostic{Pos: pos, Analyzer: a}) {
+			t.Errorf("ignore all should suppress %s", a)
+		}
+	}
+}
+
+func TestMalformedIgnore(t *testing.T) {
+	fset, f := mustParse(t, `package p
+
+//vialint:ignore errwrap
+func f() {}
+`)
+	ig := CollectIgnores(fset, []*ast.File{f})
+	if len(ig.Malformed) != 1 {
+		t.Fatalf("want 1 malformed-directive diagnostic, got %d", len(ig.Malformed))
+	}
+	if !strings.Contains(ig.Malformed[0].Message, "justification") {
+		t.Errorf("malformed message should demand a justification: %q", ig.Malformed[0].Message)
+	}
+	pos := fset.File(f.Pos()).LineStart(4)
+	if ig.Suppresses(fset, framework.Diagnostic{Pos: pos, Analyzer: "errwrap"}) {
+		t.Error("malformed directive suppressed a diagnostic")
+	}
+}
+
+// TestLoadRepoPackage exercises the full offline loading path (go list
+// -export, gc importer, type-check) against a real module package.
+func TestLoadRepoPackage(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	pkgs, err := Load("../../..", []string{"./internal/quality"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("want 1 package, got %d", len(pkgs))
+	}
+	p := pkgs[0]
+	if p.Path != "repro/internal/quality" {
+		t.Errorf("path = %q", p.Path)
+	}
+	if len(p.Files) == 0 || p.Pkg == nil || len(p.Info.Defs) == 0 {
+		t.Error("package loaded without syntax or type information")
+	}
+}
+
+// TestRunDetectsInjectedViolation is the issue's acceptance check in
+// miniature: a deliberately inserted time.Now() must fail the run, and the
+// same code under a justified suppression must pass.
+func TestRunDetectsInjectedViolation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	check := func(src string) []framework.Diagnostic {
+		t.Helper()
+		fset, f := mustParse(t, src)
+		exports, err := StdExports([]string{"time"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		info := NewInfo()
+		conf := types.Config{Importer: ExportImporter(fset, exports)}
+		tpkg, err := conf.Check("p", fset, []*ast.File{f}, info)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pkg := &Package{Path: "p", Fset: fset, Files: []*ast.File{f}, Pkg: tpkg, Info: info}
+		diags, err := Run([]*Package{pkg}, []*framework.Analyzer{determinism.New([]string{"p"})})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return diags
+	}
+
+	violating := `package p
+
+import "time"
+
+func Bad() time.Time { return time.Now() }
+`
+	if diags := check(violating); len(diags) != 1 || !strings.Contains(diags[0].Message, "wall clock") {
+		t.Fatalf("injected time.Now() not flagged: %v", diags)
+	}
+
+	suppressed := `package p
+
+import "time"
+
+func Audited() time.Time {
+	//vialint:ignore determinism test: justified wall-clock read
+	return time.Now()
+}
+`
+	if diags := check(suppressed); len(diags) != 0 {
+		t.Fatalf("justified suppression not honored: %v", diags)
+	}
+}

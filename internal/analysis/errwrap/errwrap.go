@@ -1,0 +1,138 @@
+// Package errwrap enforces the error-handling contract on the control- and
+// data-plane packages: RPC paths wrap causes with %w so callers can
+// errors.Is/As through retries and failover, and no error return is
+// silently discarded — every intentional discard carries a
+// //vialint:ignore errwrap <reason> justification.
+//
+// Three checks:
+//
+//  1. fmt.Errorf calls that format an error value without %w lose the
+//     chain (a retry loop can no longer distinguish net.ErrClosed from a
+//     controller 503); they are flagged.
+//  2. Assignments that discard an error into the blank identifier
+//     (`_, _ = conn.WriteTo(...)`) are flagged unless justified. Packages
+//     like wan and relay legitimately drop send errors — best-effort UDP
+//     media forwarding — but the justification must be written down.
+//  3. Statement-position calls returning exactly one error
+//     (`resp.Body.Close()`) are flagged the same way; multi-result calls
+//     in statement position (fmt.Fprintf) stay idiomatic and are left
+//     alone.
+package errwrap
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// DefaultTargets: the controller RPC client/server, the call agent, and
+// the forwarding planes the satellite audit names (wan shaper, relay,
+// stats hashing). Pure-math packages are exempt — they return no errors.
+var DefaultTargets = []string{
+	"repro/internal/controller",
+	"repro/internal/client",
+	"repro/internal/relay",
+	"repro/internal/wan",
+	"repro/internal/transport",
+	"repro/internal/stats",
+	"repro/internal/testbed",
+}
+
+// New builds the analyzer for the given package targets.
+func New(targets []string) *framework.Analyzer {
+	return &framework.Analyzer{
+		Name:    "errwrap",
+		Doc:     "require %w when fmt.Errorf formats an error; flag discarded error returns lacking a //vialint:ignore errwrap justification",
+		Targets: targets,
+		Run:     run,
+	}
+}
+
+// Analyzer is the production instance.
+var Analyzer = New(DefaultTargets)
+
+func run(pass *framework.Pass) error {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkErrorf(pass, n)
+			case *ast.AssignStmt:
+				checkBlankAssign(pass, n)
+			case *ast.ExprStmt:
+				checkExprStmt(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkErrorf flags fmt.Errorf("...: %v", err) — an error formatted
+// without %w, severing the unwrap chain.
+func checkErrorf(pass *framework.Pass, call *ast.CallExpr) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	pkgPath, name, ok := framework.PkgFunc(pass.TypesInfo, sel)
+	if !ok || pkgPath != "fmt" || name != "Errorf" || len(call.Args) < 2 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok || strings.Contains(lit.Value, "%w") {
+		return // non-literal formats are out of scope; %w present is fine
+	}
+	for _, arg := range call.Args[1:] {
+		if framework.IsErrorType(pass.TypesInfo.Types[arg].Type) {
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf formats an error without %%w, breaking errors.Is/As for callers; wrap the cause with %%w or return a sentinel")
+			return
+		}
+	}
+}
+
+// checkBlankAssign flags `_ = f()` / `_, _ = f()` where a discarded value
+// is an error.
+func checkBlankAssign(pass *framework.Pass, as *ast.AssignStmt) {
+	discardedTypes := func(i int) types.Type {
+		if len(as.Rhs) == len(as.Lhs) {
+			return pass.TypesInfo.Types[as.Rhs[i]].Type
+		}
+		// Multi-assign from a single tuple-returning call.
+		tuple, ok := pass.TypesInfo.Types[as.Rhs[0]].Type.(*types.Tuple)
+		if !ok || i >= tuple.Len() {
+			return nil
+		}
+		return tuple.At(i).Type()
+	}
+	for i, lhs := range as.Lhs {
+		id, ok := lhs.(*ast.Ident)
+		if !ok || id.Name != "_" {
+			continue
+		}
+		if framework.IsErrorType(discardedTypes(i)) {
+			pass.Reportf(as.Pos(),
+				"error result discarded; handle it or justify the discard with //vialint:ignore errwrap <reason>")
+			return
+		}
+	}
+}
+
+// checkExprStmt flags statement-position calls whose sole result is an
+// error, the classic silent Close() discard.
+func checkExprStmt(pass *framework.Pass, st *ast.ExprStmt) {
+	call, ok := st.X.(*ast.CallExpr)
+	if !ok {
+		return
+	}
+	t := pass.TypesInfo.Types[call].Type
+	if t == nil || !framework.IsErrorType(t) {
+		return // void, non-error, or multi-result (a *types.Tuple, not error)
+	}
+	pass.Reportf(st.Pos(),
+		"%s returns an error that is silently discarded; handle it or justify with //vialint:ignore errwrap <reason>",
+		types.ExprString(call.Fun))
+}

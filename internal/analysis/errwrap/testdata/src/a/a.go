@@ -1,0 +1,42 @@
+// Fixture for the errwrap analyzer: error chains must survive wrapping,
+// and discarded errors need an audited justification.
+package a
+
+import (
+	"errors"
+	"fmt"
+	"os"
+)
+
+var errBudget = errors.New("budget exhausted")
+
+func wrapped(err error) error {
+	return fmt.Errorf("choose rpc: %w", err) // ok: chain preserved
+}
+
+func severed(err error) error {
+	return fmt.Errorf("choose rpc: %v", err) // want `without %w`
+}
+
+func sentinel(n int) error {
+	if n <= 0 {
+		return fmt.Errorf("invalid budget %d: %w", n, errBudget) // ok
+	}
+	return fmt.Errorf("no error args here, n=%d", n) // ok
+}
+
+func discards(f *os.File) {
+	_ = f.Close()       // want `error result discarded`
+	_, _ = f.Write(nil) // want `error result discarded`
+
+	//vialint:ignore errwrap fixture: best-effort close on teardown
+	_ = f.Close() // ok: justified
+
+	f.Close() // want `silently discarded`
+
+	fmt.Println("multi-result statement calls stay idiomatic") // ok
+
+	if err := f.Sync(); err != nil { // ok: handled
+		fmt.Println("sync:", err)
+	}
+}

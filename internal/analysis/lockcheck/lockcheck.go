@@ -1,0 +1,187 @@
+// Package lockcheck enforces `// guarded by <mu>` annotations on struct
+// fields: any read or write of an annotated field must happen inside a
+// function that locks that mutex.
+//
+// PR 1 made the testbed heavily concurrent — controller shutdown draining,
+// relay session eviction, shaper teardown, mid-call failover — and every
+// one of those paths shares struct state under a sync.Mutex/RWMutex. The
+// convention is documented in DESIGN.md: write
+//
+//	mu       sync.Mutex
+//	sessions map[uint64]*entry // guarded by mu
+//
+// and lockcheck flags accesses of `sessions` from any function whose body
+// never calls <something>.mu.Lock() or .RLock().
+//
+// Granularity is deliberately per-function, not flow-sensitive: a function
+// that locks the right mutex anywhere is accepted (the race detector covers
+// the ordering), while a function that never touches the mutex at all is
+// the bug class this catches. Two escapes exist: functions whose name ends
+// in "Locked" assert that the caller holds the lock (the existing
+// convention in internal/relay), and //vialint:ignore lockcheck <reason>
+// for the rare single-threaded construction windows.
+package lockcheck
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// guardRe extracts the mutex field name from an annotation comment.
+var guardRe = regexp.MustCompile(`guarded by (\w+)`)
+
+// guard records one annotated field.
+type guard struct {
+	structName string
+	mu         string
+}
+
+// New builds the analyzer for the given package targets (nil = all).
+func New(targets []string) *framework.Analyzer {
+	return &framework.Analyzer{
+		Name:    "lockcheck",
+		Doc:     "accesses of fields annotated `// guarded by <mu>` must occur in functions that lock that mutex (or be named *Locked)",
+		Targets: targets,
+		Run:     run,
+	}
+}
+
+// Analyzer is the production instance; annotations apply wherever they are
+// written, so there is no package gating.
+var Analyzer = New(nil)
+
+func run(pass *framework.Pass) error {
+	guarded := collectGuards(pass)
+	if len(guarded) == 0 {
+		return nil
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			holdsAll := strings.HasSuffix(fd.Name.Name, "Locked")
+			checkScope(pass, guarded, fd.Body, map[string]bool{}, holdsAll)
+		}
+	}
+	return nil
+}
+
+// collectGuards scans struct declarations for annotated fields, keyed by
+// the field's types.Var so accesses resolve regardless of spelling.
+func collectGuards(pass *framework.Pass) map[*types.Var]guard {
+	guarded := make(map[*types.Var]guard)
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, field := range st.Fields.List {
+				mu := guardAnnotation(field)
+				if mu == "" {
+					continue
+				}
+				for _, name := range field.Names {
+					if v, ok := pass.TypesInfo.Defs[name].(*types.Var); ok {
+						guarded[v] = guard{structName: ts.Name.Name, mu: mu}
+					}
+				}
+			}
+			return true
+		})
+	}
+	return guarded
+}
+
+// guardAnnotation returns the mutex name named by a field's doc or line
+// comment, or "".
+func guardAnnotation(field *ast.Field) string {
+	for _, cg := range []*ast.CommentGroup{field.Doc, field.Comment} {
+		if cg == nil {
+			continue
+		}
+		if m := guardRe.FindStringSubmatch(cg.Text()); m != nil {
+			return m[1]
+		}
+	}
+	return ""
+}
+
+// checkScope verifies guarded-field accesses within one function scope.
+// locked carries mutex names locked by enclosing scopes; nested function
+// literals inherit them (a closure running under the caller's lock, e.g. a
+// sort.Slice comparator) but locks taken inside a literal do not leak out.
+func checkScope(pass *framework.Pass, guarded map[*types.Var]guard, body ast.Node, locked map[string]bool, holdsAll bool) {
+	here := make(map[string]bool, len(locked))
+	for mu := range locked {
+		here[mu] = true
+	}
+	for mu := range locksTaken(body) {
+		here[mu] = true
+	}
+
+	ast.Inspect(body, func(n ast.Node) bool {
+		if lit, ok := n.(*ast.FuncLit); ok && n != body {
+			checkScope(pass, guarded, lit.Body, here, holdsAll)
+			return false
+		}
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		selection, ok := pass.TypesInfo.Selections[sel]
+		if !ok || selection.Kind() != types.FieldVal {
+			return true
+		}
+		v, ok := selection.Obj().(*types.Var)
+		if !ok {
+			return true
+		}
+		g, ok := guarded[v]
+		if !ok || holdsAll || here[g.mu] {
+			return true
+		}
+		pass.Reportf(sel.Sel.Pos(),
+			"%s.%s is guarded by %s but this function never locks it; hold %s.Lock/RLock around the access, rename the function *Locked if the caller holds it, or justify with //vialint:ignore lockcheck",
+			g.structName, v.Name(), g.mu, g.mu)
+		return true
+	})
+}
+
+// locksTaken returns the mutex field names m for which a call
+// <expr>.m.Lock() or <expr>.m.RLock() appears in the scope, not descending
+// into nested function literals.
+func locksTaken(body ast.Node) map[string]bool {
+	taken := make(map[string]bool)
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n != body {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+			return true
+		}
+		switch mu := sel.X.(type) {
+		case *ast.SelectorExpr:
+			taken[mu.Sel.Name] = true // x.mu.Lock() or deeper: x.y.mu.Lock()
+		case *ast.Ident:
+			taken[mu.Name] = true // mu.Lock() on a local or package-level mutex
+		}
+		return true
+	})
+	return taken
+}

@@ -1,0 +1,68 @@
+// Fixture for the lockcheck analyzer: fields annotated `// guarded by mu`
+// must be touched only by functions that lock mu, are named *Locked, or
+// carry an audited suppression.
+package a
+
+import "sync"
+
+type counter struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+	// hint is advisory only and may be read racily.
+	hint int
+}
+
+func (c *counter) Inc() {
+	c.mu.Lock()
+	c.n++ // ok: mu held
+	c.mu.Unlock()
+}
+
+func (c *counter) Racy() int {
+	return c.n // want `guarded by mu`
+}
+
+func (c *counter) Hint() int {
+	return c.hint // ok: unannotated field
+}
+
+func (c *counter) bumpLocked(by int) {
+	c.n += by // ok: *Locked convention asserts the caller holds mu
+}
+
+func (c *counter) UnderLockClosure() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	add := func() { c.n++ } // ok: closure inherits the enclosing lock
+	add()
+}
+
+func (c *counter) EscapedClosure() {
+	go func() {
+		c.n++ // want `guarded by mu`
+	}()
+}
+
+func (c *counter) reset() {
+	//vialint:ignore lockcheck fixture: single-threaded construction window
+	c.n = 0
+}
+
+type table struct {
+	mu sync.RWMutex
+	m  map[string]int // guarded by mu
+}
+
+func (t *table) Get(k string) int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.m[k] // ok: read lock counts
+}
+
+func (t *table) Len() int {
+	return len(t.m) // want `guarded by mu`
+}
+
+func newTable() *table {
+	return &table{m: make(map[string]int)} // ok: composite literal construction
+}

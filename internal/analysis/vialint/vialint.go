@@ -1,0 +1,44 @@
+// Package vialint assembles the production analyzer suite. cmd/vialint
+// (standalone multichecker and `go vet -vettool` shim) and any future CI
+// embedding import this one registry so the set of enforced invariants has
+// a single definition.
+package vialint
+
+import (
+	"repro/internal/analysis/ctxtimeout"
+	"repro/internal/analysis/deadstore"
+	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/errwrap"
+	"repro/internal/analysis/framework"
+	"repro/internal/analysis/lockcheck"
+)
+
+// All returns the full production suite, in stable order.
+func All() []*framework.Analyzer {
+	return []*framework.Analyzer{
+		ctxtimeout.Analyzer,
+		deadstore.Analyzer,
+		determinism.Analyzer,
+		errwrap.Analyzer,
+		lockcheck.Analyzer,
+	}
+}
+
+// Select returns the analyzers whose names appear in names; unknown names
+// are reported so typos in -only flags fail loudly.
+func Select(names []string) ([]*framework.Analyzer, []string) {
+	byName := make(map[string]*framework.Analyzer)
+	for _, a := range All() {
+		byName[a.Name] = a
+	}
+	var picked []*framework.Analyzer
+	var unknown []string
+	for _, n := range names {
+		if a, ok := byName[n]; ok {
+			picked = append(picked, a)
+		} else {
+			unknown = append(unknown, n)
+		}
+	}
+	return picked, unknown
+}

@@ -611,6 +611,7 @@ func (a *Agent) handleMedia(f *transport.Frame) {
 			return
 		}
 		out.Payload = rr.Marshal(nil)
+		//vialint:ignore errwrap best-effort receiver report: a lost RR is one missing sample, repaired by the next interval
 		_, _ = a.conn.WriteTo(out.Marshal(nil), replyRoute[0])
 	}
 }

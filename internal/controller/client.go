@@ -55,7 +55,7 @@ type Client struct {
 	Retry RetryPolicy
 
 	rngMu   sync.Mutex
-	rng     *stats.RNG
+	rng     *stats.RNG   // guarded by rngMu
 	retries atomic.Int64 // extra attempts beyond the first, across calls
 }
 
@@ -63,8 +63,11 @@ type Client struct {
 // retry policy and jitter seed.
 func NewClient(base string) *Client {
 	return &Client{
-		Base:  base,
-		HTTP:  &http.Client{},
+		Base: base,
+		// Per-attempt deadlines come from the retry policy's context; the
+		// client-level Timeout is the backstop if a caller swaps in a
+		// policy with a zero Timeout.
+		HTTP:  &http.Client{Timeout: 30 * time.Second},
 		Retry: DefaultRetryPolicy(),
 		rng:   stats.NewRNG(1).Split("ctrl-client"),
 	}
@@ -137,7 +140,7 @@ func (c *Client) do(path string, makeReq func(ctx context.Context) (*http.Reques
 			continue
 		}
 		if r.StatusCode != http.StatusOK {
-			r.Body.Close()
+			r.Body.Close() //vialint:ignore errwrap error-path close; the status is already the failure being handled
 			cancel()
 			lastErr = fmt.Errorf("controller: %s returned %s", path, r.Status)
 			if !retryable(r.StatusCode) {
@@ -146,7 +149,7 @@ func (c *Client) do(path string, makeReq func(ctx context.Context) (*http.Reques
 			continue
 		}
 		err = json.NewDecoder(r.Body).Decode(resp)
-		r.Body.Close()
+		r.Body.Close() //vialint:ignore errwrap body fully consumed by the decoder; close failures have no recovery
 		cancel()
 		if err != nil {
 			lastErr = fmt.Errorf("controller: %s decode: %w", path, err)

@@ -56,8 +56,8 @@ type Server struct {
 	start time.Time
 
 	mu        sync.RWMutex
-	relays    map[netsim.RelayID]string
-	relaySeen map[netsim.RelayID]time.Time
+	relays    map[netsim.RelayID]string    // guarded by mu
+	relaySeen map[netsim.RelayID]time.Time // guarded by mu
 
 	reports   atomic.Int64
 	chooses   atomic.Int64
@@ -163,6 +163,7 @@ func decode[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
 
 func reply(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	//vialint:ignore errwrap an encode failure means the client hung up; there is no one left to tell
 	_ = json.NewEncoder(w).Encode(v)
 }
 

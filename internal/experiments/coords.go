@@ -3,7 +3,6 @@ package experiments
 import (
 	"repro/internal/coords"
 	"repro/internal/netsim"
-	"repro/internal/quality"
 	"repro/internal/stats"
 )
 
@@ -81,6 +80,5 @@ func CoordinatesAccuracy(e *Env) []*stats.Table {
 	t.AddRow("observed pairs (in-sample)", inN, fmtPct(in20), fmtPct(in50))
 	t.AddRow("held-out pairs (never observed)", outN, fmtPct(out20), fmtPct(out50))
 	t.AddRow("history-only predictor on held-out", outN, "0% (no coverage)", "0% (no coverage)")
-	_ = quality.RTT
 	return []*stats.Table{t}
 }

@@ -96,11 +96,6 @@ func OptionMix(e *Env) []*stats.Table {
 	}
 	def := e.Default().PNR.AtLeastOneBadRate()
 	full := e.ViaFor(quality.RTT).PNR.AtLeastOneBadRate()
-	noTransit := e.run("via-notransit/rtt", func() core.Strategy {
-		cfg := core.DefaultViaConfig(quality.RTT)
-		return core.NewVia(cfg, e.World)
-	})
-	_ = noTransit
 	// Exclude transit at the simulator level for a faithful comparison.
 	excl := e.runWithFilter("via-bounceonly/rtt", quality.RTT, func(cands []netsim.Option) []netsim.Option {
 		out := cands[:0:0]

@@ -27,7 +27,7 @@ type pathKey struct {
 
 type pathCache struct {
 	mu sync.RWMutex
-	m  map[pathKey]quality.Metrics
+	m  map[pathKey]quality.Metrics // guarded by mu
 }
 
 func newPathCache() *pathCache {

@@ -210,7 +210,6 @@ func Playout(tr *Trace, bufferMs float64, codec quality.EModelConfig) PlayoutRes
 			played++
 			sumDelay += deadline // played at the buffer deadline
 		}
-		_ = d
 	}
 	res := PlayoutResult{
 		NetworkLoss: float64(netLost) / float64(n),

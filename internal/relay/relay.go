@@ -41,11 +41,11 @@ type Node struct {
 	evicted atomic.Int64
 
 	mu         sync.Mutex
-	sessions   map[uint64]*sessionEntry
-	sinceSweep int
-	idleTTL    time.Duration
-	maxSess    int
-	closed     bool
+	sessions   map[uint64]*sessionEntry // guarded by mu
+	sinceSweep int                      // guarded by mu
+	idleTTL    time.Duration            // guarded by mu
+	maxSess    int                      // guarded by mu
+	closed     bool                     // guarded by mu
 }
 
 // SessionStats is the per-session accounting a relay keeps.
@@ -151,6 +151,7 @@ func (n *Node) handle(pkt []byte, out *[]byte) {
 	n.mu.Unlock()
 
 	*out = f.Marshal((*out)[:0])
+	//vialint:ignore errwrap best-effort UDP forwarding: a failed send is equivalent to loss, which the media layer absorbs
 	_, _ = n.conn.WriteTo(*out, next)
 }
 

@@ -177,7 +177,7 @@ func (t *Table) String() string {
 			}
 			fmt.Fprintf(&b, "%-*s", widths[min(i, len(widths)-1)], cell)
 		}
-		b.WriteByte('\n')
+		b.WriteString("\n")
 	}
 	writeRow(t.Headers)
 	for i, w := range widths {
@@ -186,7 +186,7 @@ func (t *Table) String() string {
 		}
 		b.WriteString(strings.Repeat("-", w))
 	}
-	b.WriteByte('\n')
+	b.WriteString("\n")
 	for _, row := range t.Rows {
 		writeRow(row)
 	}
@@ -197,10 +197,10 @@ func (t *Table) String() string {
 func (t *Table) CSV() string {
 	var b strings.Builder
 	b.WriteString(strings.Join(t.Headers, ","))
-	b.WriteByte('\n')
+	b.WriteString("\n")
 	for _, row := range t.Rows {
 		b.WriteString(strings.Join(row, ","))
-		b.WriteByte('\n')
+		b.WriteString("\n")
 	}
 	return b.String()
 }

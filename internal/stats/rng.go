@@ -43,7 +43,7 @@ func newRNGFromState(hi, lo uint64) *RNG {
 // Splitting with the same label always yields the same child stream.
 func (r *RNG) Split(label string) *RNG {
 	h := fnv.New64a()
-	_, _ = h.Write([]byte(label))
+	_, _ = h.Write([]byte(label)) //vialint:ignore errwrap hash.Hash.Write is documented to never return an error
 	mix := h.Sum64()
 	return newRNGFromState(r.hi^mix, r.lo+mix*0x2545f4914f6cdd1d+1)
 }
@@ -52,7 +52,7 @@ func (r *RNG) Split(label string) *RNG {
 // useful for per-entity streams (per AS pair, per relay, ...).
 func (r *RNG) SplitN(label string, n uint64) *RNG {
 	h := fnv.New64a()
-	_, _ = h.Write([]byte(label))
+	_, _ = h.Write([]byte(label)) //vialint:ignore errwrap hash.Hash.Write is documented to never return an error
 	mix := h.Sum64() ^ (n*0x9e3779b97f4a7c15 + 0x632be59bd9b4e019)
 	return newRNGFromState(r.hi^mix, r.lo+mix*0x2545f4914f6cdd1d+1)
 }

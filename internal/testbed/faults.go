@@ -193,7 +193,7 @@ func (tb *Testbed) StartHeartbeats(every time.Duration) {
 			}
 			tb.mu.Unlock()
 			for _, b := range beats {
-				_ = tb.adminCtrl.RegisterRelay(b.id, b.addr) // retried next tick
+				_ = tb.adminCtrl.RegisterRelay(b.id, b.addr) //vialint:ignore errwrap heartbeat is periodic; a missed beat is retried next tick
 			}
 		}
 	}()

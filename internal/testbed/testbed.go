@@ -135,7 +135,9 @@ func Start(cfg Config) (*Testbed, error) {
 	// transport; testbed plumbing gets its own clean client.
 	tb.Flaky = faults.NewFlakyTransport(nil, cfg.Seed)
 	tb.Ctrl = controller.NewClient(tb.CtrlURL)
-	tb.Ctrl.HTTP = &http.Client{Transport: tb.Flaky}
+	// Timeout backstops the per-attempt retry deadlines; generous so the
+	// injected stalls under test still hit the retry policy first.
+	tb.Ctrl.HTTP = &http.Client{Transport: tb.Flaky, Timeout: 30 * time.Second}
 	tb.Ctrl.Retry = cfg.ControlRetry
 	tb.adminCtrl = controller.NewClient(tb.CtrlURL)
 
@@ -241,16 +243,16 @@ func (tb *Testbed) Close() {
 	tb.StopHeartbeats()
 	for _, c := range tb.Clients {
 		if c != nil && c.Agent != nil {
-			c.Agent.Close()
+			c.Agent.Close() //vialint:ignore errwrap teardown: agents may already be closed by the scenario under test
 		}
 	}
 	tb.mu.Lock()
 	relays := append([]*relay.Node(nil), tb.Relays...)
 	tb.mu.Unlock()
 	for _, r := range relays {
-		r.Close()
+		r.Close() //vialint:ignore errwrap teardown: fault scenarios kill relays mid-run, double close is expected
 	}
 	if tb.ctrlServer != nil {
-		tb.ctrlServer.Close()
+		tb.ctrlServer.Close() //vialint:ignore errwrap teardown: listener may already be flapped down by the fault harness
 	}
 }

@@ -33,12 +33,12 @@ type Shaper struct {
 	conn net.PacketConn
 
 	mu        sync.Mutex
-	links     map[string]LinkParams
-	def       LinkParams
-	blackhole map[string]bool
-	blackAll  bool
-	rng       *stats.RNG
-	closed    bool
+	links     map[string]LinkParams // guarded by mu
+	def       LinkParams            // guarded by mu
+	blackhole map[string]bool       // guarded by mu
+	blackAll  bool                  // guarded by mu
+	rng       *stats.RNG            // guarded by mu
+	closed    bool                  // guarded by mu
 	pending   sync.WaitGroup
 
 	faultDrops atomic.Int64
@@ -154,6 +154,7 @@ func (s *Shaper) WriteTo(b []byte, addr net.Addr) (int, error) {
 		closed := s.closed
 		s.mu.Unlock()
 		if !closed {
+			//vialint:ignore errwrap best-effort delayed delivery: the socket may close between the check and the send, which is exactly a dropped packet
 			_, _ = s.conn.WriteTo(buf, addr)
 		}
 	})
