@@ -5,7 +5,12 @@
 
 GO ?= go
 
-.PHONY: verify build vet lint test race short fuzz chaos
+# Benchmark-regression knobs (see README "Benchmarking & profiling").
+BENCH_SEED ?= 1
+BENCH_CALLS ?= 120000
+VIABENCH_CALLS ?= 20000
+
+.PHONY: verify build vet lint test race short fuzz chaos bench bench-json bench-smoke
 
 verify: build vet lint test race
 
@@ -44,3 +49,21 @@ fuzz:
 # Smoke-scale fault-injection benchmark.
 chaos:
 	$(GO) run ./cmd/viabench -quick chaos
+
+# Go benchmark suite (per-figure testing.B benchmarks).
+bench:
+	$(GO) test -run=NONE -bench=. -benchmem .
+
+# Benchmark-regression harness: replays the experiment suite sequentially
+# (per-experiment ns/op + allocs/op) and in parallel (suite wall clock /
+# speedup), then writes BENCH_$(BENCH_SEED).json. Commit the refreshed
+# baseline when a perf change lands.
+bench-json:
+	$(GO) run ./cmd/viabench -seed $(BENCH_SEED) -calls $(BENCH_CALLS) bench
+
+# CI gate: small-scale sequential pass compared against the committed
+# BENCH_ci.json baseline; fails on >25% regression in allocs/op or in an
+# experiment's normalized share of suite wall time.
+bench-smoke:
+	$(GO) run ./cmd/viabench -seed 1 -calls $(VIABENCH_CALLS) -modes seq \
+		-benchout bench-ci-current.json -baseline BENCH_ci.json -tolerance 0.25 bench

@@ -10,9 +10,10 @@
 //
 // Environment knobs:
 //
-//	VIABENCH_CALLS  trace size (default 120000)
-//	VIABENCH_SEED   master seed (default 1)
-//	VIABENCH_FIG18  quick | full | skip (default quick)
+//	VIABENCH_CALLS    trace size (default 120000)
+//	VIABENCH_SEED     master seed (default 1)
+//	VIABENCH_FIG18    quick | full | skip (default quick)
+//	VIABENCH_WORKERS  simulator strategy workers (default GOMAXPROCS)
 package repro
 
 import (
@@ -40,6 +41,7 @@ func benchEnv(b *testing.B) *experiments.Env {
 		calls := envInt("VIABENCH_CALLS", 120000)
 		fmt.Printf("[bench env: seed=%d calls=%d]\n", seed, calls)
 		benchEnvV = experiments.NewEnv(seed, calls)
+		benchEnvV.Runner.Cfg.Workers = envInt("VIABENCH_WORKERS", 0)
 	}
 	return benchEnvV
 }
@@ -113,6 +115,29 @@ func BenchmarkMOSImprovement(b *testing.B)     { runExperiment(b, "mosgain") }
 func BenchmarkCoordinates(b *testing.B)        { runExperiment(b, "coords") }
 func BenchmarkDecisionCaching(b *testing.B)    { runExperiment(b, "cache") }
 func BenchmarkBudgetModels(b *testing.B)       { runExperiment(b, "budgetmodels") }
+
+// BenchmarkAllExperiments regenerates the whole evaluation with
+// independent experiments fanned out concurrently — the `viabench all`
+// execution shape. The environment's singleflight run cache deduplicates
+// shared counterfactuals across figures, so the first iteration pays for
+// every distinct strategy run and later iterations measure the cached
+// path.
+func BenchmarkAllExperiments(b *testing.B) {
+	env := benchEnv(b)
+	reg := experiments.Registry()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for _, exp := range reg {
+			wg.Add(1)
+			go func(exp experiments.Experiment) {
+				defer wg.Done()
+				exp.Run(env)
+			}(exp)
+		}
+		wg.Wait()
+	}
+}
 
 // BenchmarkFig18 runs the real-networking deployment (§5.5). It uses real
 // sockets, timers, and wall-clock pacing, so its "time/op" is dominated by

@@ -7,32 +7,62 @@
 //	viabench [flags] <name>...      run specific experiments (see -list)
 //	viabench [flags] fig18          run the loopback deployment (§5.5)
 //	viabench [flags] chaos          run the fault-injection benchmark
+//	viabench [flags] bench          benchmark-regression harness (BENCH_<seed>.json)
 //	viabench -list                  list experiment names
 //
 // Flags:
 //
-//	-seed N     master seed (default 1)
-//	-calls N    trace size in calls (default 200000)
-//	-csv        also emit CSV after each table
-//	-quick      shrink fig18/chaos to smoke-test scale
+//	-seed N          master seed (default 1)
+//	-calls N         trace size in calls (default 200000)
+//	-csv             also emit CSV after each table
+//	-quick           shrink fig18/chaos to smoke-test scale
+//	-jobs N          concurrent experiments (0 = GOMAXPROCS)
+//	-workers N       simulator strategy-fan-out workers (0 = GOMAXPROCS, 1 = sequential)
+//	-cpuprofile F    write a CPU profile to F
+//	-memprofile F    write an allocation profile to F on exit
+//	-benchout F      bench: output path (default BENCH_<seed>.json)
+//	-baseline F      bench: compare against a committed baseline, exit 1 on regression
+//	-tolerance T     bench: allowed fractional regression (default 0.25)
+//	-modes M         bench: comma-separated passes, seq and/or par (default "seq,par")
+//
+// Independent experiments under `all` run concurrently against the shared
+// environment (its run cache has singleflight semantics), while output is
+// streamed in registry order. fig18 and chaos pace themselves on real
+// sockets and timers, so they always run sequentially at the end.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
+	"strings"
 	"time"
 
+	"repro/internal/benchharness"
 	"repro/internal/experiments"
 	"repro/internal/stats"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	seed := flag.Uint64("seed", 1, "master seed")
 	calls := flag.Int("calls", 200000, "trace size in calls")
 	csv := flag.Bool("csv", false, "also emit CSV")
-	quick := flag.Bool("quick", false, "shrink fig18 to smoke scale")
+	quick := flag.Bool("quick", false, "shrink fig18/chaos to smoke scale")
 	list := flag.Bool("list", false, "list experiments")
+	jobs := flag.Int("jobs", 0, "concurrent experiments (0 = GOMAXPROCS)")
+	workers := flag.Int("workers", 0, "simulator strategy workers (0 = GOMAXPROCS, 1 = sequential)")
+	cpuprofile := flag.String("cpuprofile", "", "write CPU profile to file")
+	memprofile := flag.String("memprofile", "", "write allocation profile to file on exit")
+	benchOut := flag.String("benchout", "", "bench: output JSON path (default BENCH_<seed>.json)")
+	baseline := flag.String("baseline", "", "bench: baseline JSON to compare against")
+	tolerance := flag.Float64("tolerance", 0.25, "bench: allowed fractional regression")
+	modes := flag.String("modes", "seq,par", "bench: comma-separated seq,par")
 	flag.Parse()
 
 	if *list {
@@ -41,12 +71,34 @@ func main() {
 		}
 		fmt.Printf("%-8s %s\n", "fig18", "real-networking deployment (§5.5)")
 		fmt.Printf("%-8s %s\n", "chaos", "fault-injection benchmark (relay death + controller flap)")
-		return
+		fmt.Printf("%-8s %s\n", "bench", "benchmark-regression harness (writes BENCH_<seed>.json)")
+		return 0
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: viabench [flags] all | fig18 | <experiment>... (use -list)")
-		os.Exit(2)
+		fmt.Fprintln(os.Stderr, "usage: viabench [flags] all | bench | fig18 | <experiment>... (use -list)")
+		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer f.Close() //vialint:ignore errwrap best-effort close of profile file on exit
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "cpuprofile: %v\n", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer writeMemProfile(*memprofile)
+	}
+
+	if len(args) == 1 && args[0] == "bench" {
+		return runBench(*seed, *calls, *modes, *benchOut, *baseline, *tolerance)
 	}
 
 	names := args
@@ -58,51 +110,169 @@ func main() {
 		names = append(names, "fig18", "chaos")
 	}
 
-	var env *experiments.Env
+	// Split the env-driven experiments (safe to run concurrently) from the
+	// real-time testbed modes, preserving the requested order within each.
+	var envNames, liveNames []string
 	for _, name := range names {
+		if name == "fig18" || name == "chaos" {
+			liveNames = append(liveNames, name)
+		} else {
+			envNames = append(envNames, name)
+		}
+	}
+
+	if len(envNames) > 0 {
+		for _, name := range envNames {
+			if _, err := experiments.Lookup(name); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+		}
+		fmt.Printf("[building environment: seed=%d calls=%d]\n", *seed, *calls)
+		env := experiments.NewEnv(*seed, *calls)
+		env.Runner.Cfg.Workers = *workers
+		if err := runConcurrent(env, envNames, *jobs, *csv); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+	}
+
+	for _, name := range liveNames {
 		start := time.Now()
-		if name == "fig18" {
+		var tables []*stats.Table
+		var err error
+		switch name {
+		case "fig18":
 			cfg := experiments.DefaultFig18Config()
 			if *quick {
 				cfg = experiments.QuickFig18Config()
 			}
 			cfg.Seed = *seed + 10
-			tables, err := experiments.Fig18(cfg)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "fig18: %v\n", err)
-				os.Exit(1)
-			}
-			emit(tables, *csv)
-			fmt.Printf("[fig18 done in %s]\n\n", time.Since(start).Round(time.Millisecond))
-			continue
-		}
-		if name == "chaos" {
+			tables, err = experiments.Fig18(cfg)
+		case "chaos":
 			cfg := experiments.DefaultChaosConfig()
 			if *quick {
 				cfg = experiments.QuickChaosConfig()
 			}
 			cfg.Seed = *seed + 16
-			tables, err := experiments.Chaos(cfg)
-			if err != nil {
-				fmt.Fprintf(os.Stderr, "chaos: %v\n", err)
-				os.Exit(1)
-			}
-			emit(tables, *csv)
-			fmt.Printf("[chaos done in %s]\n\n", time.Since(start).Round(time.Millisecond))
-			continue
+			tables, err = experiments.Chaos(cfg)
 		}
-		exp, err := experiments.Lookup(name)
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(2)
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			return 1
 		}
-		if env == nil {
-			fmt.Printf("[building environment: seed=%d calls=%d]\n", *seed, *calls)
-			env = experiments.NewEnv(*seed, *calls)
-		}
-		emit(exp.Run(env), *csv)
+		emit(tables, *csv)
 		fmt.Printf("[%s done in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	return 0
+}
+
+// runConcurrent fans the named experiments across a bounded pool and
+// streams their rendered tables to stdout in the requested order.
+func runConcurrent(env *experiments.Env, names []string, jobs int, csv bool) error {
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	type result struct {
+		text string
+		dur  time.Duration
+		err  error
+	}
+	ready := make([]chan result, len(names))
+	for i := range ready {
+		ready[i] = make(chan result, 1)
+	}
+	sem := make(chan struct{}, jobs)
+	for i, name := range names {
+		go func(i int, name string) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			exp, err := experiments.Lookup(name)
+			if err != nil {
+				ready[i] <- result{err: err}
+				return
+			}
+			var sb strings.Builder
+			for _, t := range exp.Run(env) {
+				sb.WriteString(t.String())
+				sb.WriteByte('\n')
+				if csv {
+					sb.WriteString(t.CSV())
+					sb.WriteByte('\n')
+				}
+			}
+			ready[i] <- result{text: sb.String(), dur: time.Since(start)}
+		}(i, name)
+	}
+	var firstErr error
+	for i, name := range names {
+		r := <-ready[i]
+		if r.err != nil {
+			if firstErr == nil {
+				firstErr = r.err
+			}
+			continue
+		}
+		fmt.Print(r.text)
+		fmt.Printf("[%s done in %s]\n\n", name, r.dur.Round(time.Millisecond))
+	}
+	return firstErr
+}
+
+// runBench drives the benchmark-regression harness.
+func runBench(seed uint64, calls int, modes, out, baseline string, tolerance float64) int {
+	var modeList []string
+	for _, m := range strings.Split(modes, ",") {
+		if m = strings.TrimSpace(m); m != "" {
+			modeList = append(modeList, m)
+		}
+	}
+	rep, err := benchharness.Run(benchharness.Config{
+		Seed:  seed,
+		Calls: calls,
+		Modes: modeList,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 1
+	}
+	if out == "" {
+		out = benchharness.DefaultPath(seed)
+	}
+	if err := benchharness.WriteJSON(rep, out); err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 1
+	}
+	fmt.Printf("[bench report written to %s]\n", out)
+	if rep.SpeedupParOverSeq > 0 {
+		fmt.Printf("[bench speedup par/seq: %.2fx at GOMAXPROCS=%d]\n", rep.SpeedupParOverSeq, rep.GOMAXPROCS)
+	}
+	if baseline == "" {
+		return 0
+	}
+	base, err := benchharness.ReadJSON(baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 1
+	}
+	regressions, err := benchharness.Compare(rep, base, tolerance)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "bench: %v\n", err)
+		return 1
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "bench: %d regression(s) vs %s:\n", len(regressions), baseline)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		return 1
+	}
+	fmt.Printf("[bench: no regressions vs %s at tolerance %.0f%%]\n", baseline, 100*tolerance)
+	return 0
 }
 
 func emit(tables []*stats.Table, csv bool) {
@@ -111,5 +281,18 @@ func emit(tables []*stats.Table, csv bool) {
 		if csv {
 			fmt.Println(t.CSV())
 		}
+	}
+}
+
+func writeMemProfile(path string) {
+	f, err := os.Create(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
+		return
+	}
+	defer f.Close() //vialint:ignore errwrap best-effort close of profile file on exit
+	runtime.GC() // materialize up-to-date allocation stats
+	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
+		fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
 	}
 }

@@ -1,0 +1,106 @@
+package benchharness
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func twoModeReport() *Report {
+	return &Report{
+		Seed: 1, Calls: 1000, GOMAXPROCS: 4,
+		Modes: []ModeStat{
+			{Mode: ModeSequential, WallNs: 1000, Experiments: []ExpStat{
+				{Name: "a", NsPerOp: 600, AllocsPerOp: 100, BytesPerOp: 1 << 20},
+				{Name: "b", NsPerOp: 400, AllocsPerOp: 50, BytesPerOp: 1 << 19},
+			}},
+			{Mode: ModeParallel, WallNs: 400},
+		},
+		SpeedupParOverSeq: 2.5,
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	rep := twoModeReport()
+	path := filepath.Join(t.TempDir(), "BENCH_1.json")
+	if err := WriteJSON(rep, path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != rep.Seed || got.Calls != rep.Calls || len(got.Modes) != 2 {
+		t.Fatalf("round trip mangled report: %+v", got)
+	}
+	if got.Modes[0].Experiments[0] != rep.Modes[0].Experiments[0] {
+		t.Fatalf("experiment stats mangled: %+v", got.Modes[0].Experiments[0])
+	}
+}
+
+func TestCompareNoRegression(t *testing.T) {
+	base, cur := twoModeReport(), twoModeReport()
+	regs, err := Compare(cur, base, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("identical reports flagged: %v", regs)
+	}
+}
+
+func TestCompareFlagsAllocRegression(t *testing.T) {
+	base, cur := twoModeReport(), twoModeReport()
+	cur.Modes[0].Experiments[0].AllocsPerOp = 200 // +100% vs 100
+	regs, err := Compare(cur, base, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 1 || !strings.Contains(regs[0], "allocs/op") {
+		t.Fatalf("want one allocs/op regression, got %v", regs)
+	}
+}
+
+func TestCompareFlagsNormalizedTimeRegression(t *testing.T) {
+	base, cur := twoModeReport(), twoModeReport()
+	// Experiment b slows 3x while a is unchanged: b's share of the suite
+	// rises from 40% to 75% — a relative regression no uniform machine
+	// speed change could produce.
+	cur.Modes[0].Experiments[1].NsPerOp = 1200
+	regs, err := Compare(cur, base, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range regs {
+		if strings.HasPrefix(r, "b:") && strings.Contains(r, "share") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("want normalized-share regression for b, got %v", regs)
+	}
+}
+
+func TestCompareIgnoresUniformSlowdown(t *testing.T) {
+	base, cur := twoModeReport(), twoModeReport()
+	// Twice-as-slow machine: every ns doubles, shares unchanged.
+	for i := range cur.Modes[0].Experiments {
+		cur.Modes[0].Experiments[i].NsPerOp *= 2
+	}
+	regs, err := Compare(cur, base, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(regs) != 0 {
+		t.Fatalf("uniform slowdown flagged: %v", regs)
+	}
+}
+
+func TestCompareRejectsMismatchedEnv(t *testing.T) {
+	base, cur := twoModeReport(), twoModeReport()
+	cur.Calls = 999
+	if _, err := Compare(cur, base, 0.25); err == nil {
+		t.Fatal("mismatched calls accepted")
+	}
+}

@@ -22,6 +22,11 @@ import (
 // Env is the shared experimental environment: one world, one trace, one
 // simulator, plus a cache of strategy runs so figures that need the same
 // counterfactual (e.g. "via optimizing RTT") don't recompute it.
+//
+// The cache has singleflight semantics: concurrent requests for the same
+// key block on one in-flight computation, while requests for different
+// keys proceed in parallel. Env.mu only guards the entry map — never a
+// strategy replay — so independent experiments overlap fully.
 type Env struct {
 	Seed  uint64
 	Calls int
@@ -31,7 +36,15 @@ type Env struct {
 	Runner *sim.Runner
 
 	mu    sync.Mutex
-	cache map[string]*sim.Result
+	cache map[string]*cacheEntry // guarded by mu
+}
+
+// cacheEntry is one singleflight slot: the first requester runs the
+// strategy inside once; later requesters block on the same Once and then
+// read res, which Once's happens-before edge publishes.
+type cacheEntry struct {
+	once sync.Once
+	res  *sim.Result
 }
 
 // NewEnv builds the default environment: the standard world (150 ASes, 24
@@ -48,25 +61,36 @@ func NewEnv(seed uint64, calls int) *Env {
 		World:  w,
 		Trace:  recs,
 		Runner: r,
-		cache:  make(map[string]*sim.Result),
+		cache:  make(map[string]*cacheEntry),
 	}
 }
 
-// run executes (or returns the cached result of) a strategy labeled by key.
-// The factory is invoked only on a cache miss — strategies are stateful and
-// must be fresh per run.
-func (e *Env) run(key string, mk func() core.Strategy) *sim.Result {
+// runCustom executes (or returns the cached result of) an arbitrary
+// computation labeled by key with singleflight semantics: compute is
+// invoked exactly once per key, and concurrent callers of the same key
+// wait on that single in-flight run instead of recomputing or serializing
+// unrelated work behind Env.mu.
+func (e *Env) runCustom(key string, compute func() *sim.Result) *sim.Result {
 	e.mu.Lock()
-	if r, ok := e.cache[key]; ok {
-		e.mu.Unlock()
-		return r
+	ent, ok := e.cache[key]
+	if !ok {
+		ent = &cacheEntry{}
+		e.cache[key] = ent
 	}
 	e.mu.Unlock()
-	res := e.Runner.RunOne(mk(), e.Trace)
-	e.mu.Lock()
-	e.cache[key] = res
-	e.mu.Unlock()
-	return res
+	ent.once.Do(func() {
+		ent.res = compute()
+	})
+	return ent.res
+}
+
+// run executes (or returns the cached result of) a strategy labeled by key.
+// The factory is invoked exactly once per key — strategies are stateful and
+// must be fresh per run.
+func (e *Env) run(key string, mk func() core.Strategy) *sim.Result {
+	return e.runCustom(key, func() *sim.Result {
+		return e.Runner.RunOne(mk(), e.Trace)
+	})
 }
 
 // Default returns the always-direct baseline run.

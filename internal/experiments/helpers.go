@@ -41,21 +41,13 @@ func (e *Env) runWithFilter(key string, m quality.Metric, filter func([]netsim.O
 // runExcluding runs Via on a simulator whose candidate sets exclude the
 // given relays (Fig. 17c).
 func (e *Env) runExcluding(key string, m quality.Metric, excluded map[netsim.RelayID]bool) *sim.Result {
-	e.mu.Lock()
-	if r, ok := e.cache[key]; ok {
-		e.mu.Unlock()
-		return r
-	}
-	e.mu.Unlock()
-	cfg := e.Runner.Cfg
-	cfg.ExcludeRelays = excluded
-	runner := sim.NewRunner(e.World, cfg)
-	runner.Prepare(e.Trace)
-	res := runner.RunOne(core.NewVia(core.DefaultViaConfig(m), e.World), e.Trace)
-	e.mu.Lock()
-	e.cache[key] = res
-	e.mu.Unlock()
-	return res
+	return e.runCustom(key, func() *sim.Result {
+		cfg := e.Runner.Cfg
+		cfg.ExcludeRelays = excluded
+		runner := sim.NewRunner(e.World, cfg)
+		runner.Prepare(e.Trace)
+		return runner.RunOne(core.NewVia(core.DefaultViaConfig(m), e.World), e.Trace)
+	})
 }
 
 // historyFromSurvey builds a history bucket with k samples of every

@@ -30,19 +30,11 @@ func ActiveProbes(e *Env) []*stats.Table {
 
 // runProbes runs Via on a simulator with an active-probe budget.
 func (e *Env) runProbes(key string, m quality.Metric, probesPerWindow int) *sim.Result {
-	e.mu.Lock()
-	if r, ok := e.cache[key]; ok {
-		e.mu.Unlock()
-		return r
-	}
-	e.mu.Unlock()
-	cfg := e.Runner.Cfg
-	cfg.ActiveProbesPerWindow = probesPerWindow
-	runner := sim.NewRunner(e.World, cfg)
-	runner.Prepare(e.Trace)
-	res := runner.RunOne(core.NewVia(core.DefaultViaConfig(m), e.World), e.Trace)
-	e.mu.Lock()
-	e.cache[key] = res
-	e.mu.Unlock()
-	return res
+	return e.runCustom(key, func() *sim.Result {
+		cfg := e.Runner.Cfg
+		cfg.ActiveProbesPerWindow = probesPerWindow
+		runner := sim.NewRunner(e.World, cfg)
+		runner.Prepare(e.Trace)
+		return runner.RunOne(core.NewVia(core.DefaultViaConfig(m), e.World), e.Trace)
+	})
 }

@@ -25,13 +25,57 @@ type pathKey struct {
 	window   int32
 }
 
-type pathCache struct {
+// hash mixes every key field into a well-distributed 64-bit value used to
+// pick a cache shard. A cheap multiply-xorshift (splitmix-style finalizer)
+// is enough: keys differ in low bits (AS ids, relay ids, window).
+func (k pathKey) hash() uint64 {
+	h := uint64(uint32(k.src))<<32 | uint64(uint32(k.dst))
+	h ^= uint64(k.opt.Kind)<<58 ^ uint64(uint32(k.opt.R1))<<40 ^
+		uint64(uint32(k.opt.R2))<<16 ^ uint64(uint32(k.window))
+	h *= 0x9e3779b97f4a7c15
+	h ^= h >> 32
+	return h
+}
+
+// pathShards is the shard count of the path cache. Power of two so the
+// shard index is a mask; 64 shards keep contention negligible even with
+// GOMAXPROCS-many runners hammering SampleCall.
+const pathShards = 64
+
+type pathShard struct {
 	mu sync.RWMutex
 	m  map[pathKey]quality.Metrics // guarded by mu
 }
 
-func newPathCache() *pathCache {
-	return &pathCache{m: make(map[pathKey]quality.Metrics)}
+// pathCache memoizes end-to-end window means. It is sharded by key hash so
+// parallel strategy runs (sim.Runner.Run) don't serialize on one mutex:
+// every SampleCall hits this cache. Values are pure functions of the key,
+// so a racing duplicate compute stores an identical value — last write
+// wins harmlessly.
+type pathCache struct {
+	shards [pathShards]pathShard
+}
+
+func newPathCache() *pathCache { return &pathCache{} }
+
+func (c *pathCache) shard(k pathKey) *pathShard {
+	return &c.shards[k.hash()&(pathShards-1)]
+}
+
+func (s *pathShard) get(k pathKey) (quality.Metrics, bool) {
+	s.mu.RLock()
+	m, ok := s.m[k] // reads of a nil map are legal: miss
+	s.mu.RUnlock()
+	return m, ok
+}
+
+func (s *pathShard) put(k pathKey, m quality.Metrics) {
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[pathKey]quality.Metrics)
+	}
+	s.m[k] = m
+	s.mu.Unlock()
 }
 
 // CanonicalPair maps (src, dst, opt) to a direction-independent form:
@@ -58,16 +102,12 @@ func canonicalPath(src, dst ASID, opt Option, window int) pathKey {
 // what the oracle consults; real strategies must estimate it from samples.
 func (w *World) WindowMean(src, dst ASID, opt Option, window int) quality.Metrics {
 	k := canonicalPath(src, dst, opt, window)
-	w.paths.mu.RLock()
-	m, ok := w.paths.m[k]
-	w.paths.mu.RUnlock()
-	if ok {
+	s := w.paths.shard(k)
+	if m, ok := s.get(k); ok {
 		return m
 	}
-	m = w.composePath(ASID(k.src), ASID(k.dst), k.opt, window)
-	w.paths.mu.Lock()
-	w.paths.m[k] = m
-	w.paths.mu.Unlock()
+	m := w.composePath(ASID(k.src), ASID(k.dst), k.opt, window)
+	s.put(k, m)
 	return m
 }
 

@@ -59,10 +59,28 @@ type segParams struct {
 	driftSigma float64 // week-scale lognormal drift on loss/jitter
 }
 
+// segShards is the shard count of both segment caches (static params and
+// per-window means). Power of two so the shard index is a mask. Segment
+// lookups sit on the pathCache miss path, which parallel strategy runs
+// exercise concurrently during warmup.
+const segShards = 32
+
+type segStaticShard struct {
+	mu sync.RWMutex
+	m  map[segKey]segParams // guarded by mu
+}
+
+type segWindowShard struct {
+	mu sync.RWMutex
+	m  map[segWindowKey]quality.Metrics // guarded by mu
+}
+
+// segmentCache memoizes per-segment state, sharded by key hash so parallel
+// runners don't contend. Both maps hold pure functions of their keys, so
+// racing duplicate computes store identical values.
 type segmentCache struct {
-	mu      sync.RWMutex
-	static  map[segKey]segParams
-	windows map[segWindowKey]quality.Metrics
+	static  [segShards]segStaticShard
+	windows [segShards]segWindowShard
 }
 
 type segWindowKey struct {
@@ -70,26 +88,66 @@ type segWindowKey struct {
 	window int32
 }
 
-func newSegmentCache() *segmentCache {
-	return &segmentCache{
-		static:  make(map[segKey]segParams),
-		windows: make(map[segWindowKey]quality.Metrics),
+// hash finalizes the packed segment/window identity into shard-index bits.
+func (k segWindowKey) hash() uint64 {
+	h := k.seg.id() ^ uint64(uint32(k.window))<<61 ^ uint64(uint32(k.window))
+	h *= 0x9e3779b97f4a7c15
+	h ^= h >> 32
+	return h
+}
+
+func newSegmentCache() *segmentCache { return &segmentCache{} }
+
+func (c *segmentCache) staticShard(k segKey) *segStaticShard {
+	h := k.id() * 0x9e3779b97f4a7c15
+	return &c.static[(h>>32)&(segShards-1)]
+}
+
+func (c *segmentCache) windowShard(k segWindowKey) *segWindowShard {
+	return &c.windows[k.hash()&(segShards-1)]
+}
+
+func (s *segStaticShard) get(k segKey) (segParams, bool) {
+	s.mu.RLock()
+	p, ok := s.m[k] // reads of a nil map are legal: miss
+	s.mu.RUnlock()
+	return p, ok
+}
+
+func (s *segStaticShard) put(k segKey, p segParams) {
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[segKey]segParams)
 	}
+	s.m[k] = p
+	s.mu.Unlock()
+}
+
+func (s *segWindowShard) get(k segWindowKey) (quality.Metrics, bool) {
+	s.mu.RLock()
+	m, ok := s.m[k] // reads of a nil map are legal: miss
+	s.mu.RUnlock()
+	return m, ok
+}
+
+func (s *segWindowShard) put(k segWindowKey, m quality.Metrics) {
+	s.mu.Lock()
+	if s.m == nil {
+		s.m = make(map[segWindowKey]quality.Metrics)
+	}
+	s.m[k] = m
+	s.mu.Unlock()
 }
 
 // staticParams returns (computing and caching on first use) the static
 // characteristics of a segment.
 func (w *World) staticParams(k segKey) segParams {
-	w.segs.mu.RLock()
-	p, ok := w.segs.static[k]
-	w.segs.mu.RUnlock()
-	if ok {
+	sh := w.segs.staticShard(k)
+	if p, ok := sh.get(k); ok {
 		return p
 	}
-	p = w.computeStatic(k)
-	w.segs.mu.Lock()
-	w.segs.static[k] = p
-	w.segs.mu.Unlock()
+	p := w.computeStatic(k)
+	sh.put(k, p)
 	return p
 }
 
@@ -195,16 +253,12 @@ func clampLoss(v float64) float64 {
 // a 24-hour window, including congestion state and slow drift.
 func (w *World) segmentWindowMean(k segKey, window int) quality.Metrics {
 	wk := segWindowKey{k, int32(window)}
-	w.segs.mu.RLock()
-	m, ok := w.segs.windows[wk]
-	w.segs.mu.RUnlock()
-	if ok {
+	sh := w.segs.windowShard(wk)
+	if m, ok := sh.get(wk); ok {
 		return m
 	}
-	m = w.computeSegmentWindow(k, window)
-	w.segs.mu.Lock()
-	w.segs.windows[wk] = m
-	w.segs.mu.Unlock()
+	m := w.computeSegmentWindow(k, window)
+	sh.put(wk, m)
 	return m
 }
 

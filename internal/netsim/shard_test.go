@@ -1,0 +1,86 @@
+package netsim
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestWindowMeanConcurrentConsistent hammers the sharded path/segment
+// caches from many goroutines and checks every observer sees the same
+// value a cold single-threaded world computes: cache values are pure
+// functions of their keys, so racing duplicate fills must be harmless.
+func TestWindowMeanConcurrentConsistent(t *testing.T) {
+	cfg := DefaultConfig(7)
+	cfg.NumASes = 40
+	hot := New(cfg)
+	cold := New(cfg)
+
+	type probe struct {
+		src, dst ASID
+		opt      Option
+		window   int
+	}
+	var probes []probe
+	for src := ASID(0); src < 8; src++ {
+		for dst := ASID(8); dst < 12; dst++ {
+			for _, opt := range hot.Options(src, dst) {
+				for w := 0; w < 3; w++ {
+					probes = append(probes, probe{src, dst, opt, w})
+				}
+			}
+		}
+	}
+
+	const workers = 8
+	var wg sync.WaitGroup
+	for g := 0; g < workers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Each goroutine walks the probes from a different offset so
+			// shard fills race in different orders.
+			for i := range probes {
+				p := probes[(i+g*137)%len(probes)]
+				hot.WindowMean(p.src, p.dst, p.opt, p.window)
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for _, p := range probes {
+		got := hot.WindowMean(p.src, p.dst, p.opt, p.window)
+		want := cold.WindowMean(p.src, p.dst, p.opt, p.window)
+		if got != want {
+			t.Fatalf("WindowMean(%v,%v,%v,%d) = %v after concurrent fill, want %v",
+				p.src, p.dst, p.opt, p.window, got, want)
+		}
+	}
+}
+
+// TestPathKeyHashSpreads sanity-checks the shard hash: realistic keys must
+// not collapse onto a few shards, or the sharding buys nothing.
+func TestPathKeyHashSpreads(t *testing.T) {
+	counts := make(map[uint64]int)
+	n := 0
+	for src := ASID(0); src < 24; src++ {
+		for dst := src + 1; dst < 24; dst++ {
+			for _, kind := range []OptionKind{Direct, Bounce, Transit} {
+				k := pathKey{src, dst, Option{Kind: kind, R1: RelayID(src % 5), R2: RelayID(dst % 5)}, int32(src+dst) % 28}
+				counts[k.hash()&(pathShards-1)]++
+				n++
+			}
+		}
+	}
+	if len(counts) < pathShards/2 {
+		t.Errorf("only %d of %d shards used over %d keys", len(counts), pathShards, n)
+	}
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max > 4*(n/pathShards+1) {
+		t.Errorf("hot shard holds %d of %d keys; hash too skewed", max, n)
+	}
+}

@@ -14,21 +14,12 @@ import (
 // option stays the same (Figure 9). The returned slice has one entry per
 // pair with at least two eligible windows.
 func BestOptionPersistence(w *netsim.World, recs []trace.CallRecord, r *Runner, m quality.Metric) []float64 {
-	if r.eligible == nil {
-		r.Prepare(recs)
-	}
+	r.ensurePrepared(recs)
 	var out []float64
-	for pk, byW := range r.eligible {
-		windows := make([]int, 0, len(byW))
-		for win, ok := range byW {
-			if ok {
-				windows = append(windows, win)
-			}
-		}
+	for pk, windows := range r.pairWindows {
 		if len(windows) < 2 {
 			continue
 		}
-		sort.Ints(windows)
 		cands := w.Options(pk.A, pk.B)
 		var runs []float64
 		run := 1
@@ -53,8 +44,8 @@ func BestOptionPersistence(w *netsim.World, recs []trace.CallRecord, r *Runner, 
 
 // EligiblePairs returns the pairs passing the §5.1 filters in any window.
 func (r *Runner) EligiblePairs() []history.PairKey {
-	out := make([]history.PairKey, 0, len(r.eligible))
-	for pk := range r.eligible {
+	out := make([]history.PairKey, 0, len(r.pairWindows))
+	for pk := range r.pairWindows {
 		out = append(out, pk)
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -68,13 +59,8 @@ func (r *Runner) EligiblePairs() []history.PairKey {
 
 // EligibleWindows returns the eligible windows for one pair, ascending.
 func (r *Runner) EligibleWindows(pk history.PairKey) []int {
-	byW := r.eligible[pk]
-	out := make([]int, 0, len(byW))
-	for w, ok := range byW {
-		if ok {
-			out = append(out, w)
-		}
-	}
-	sort.Ints(out)
+	ws := r.pairWindows[pk]
+	out := make([]int, len(ws))
+	copy(out, ws)
 	return out
 }

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/history"
+	"repro/internal/netsim"
+	"repro/internal/trace"
+)
+
+// benchFixture builds one shared world/trace/runner for the eligibility
+// benchmarks (construction dominates otherwise).
+var benchFix struct {
+	w    *netsim.World
+	recs []trace.CallRecord
+	r    *Runner
+}
+
+func benchSetup(b *testing.B) {
+	b.Helper()
+	if benchFix.r == nil {
+		benchFix.w = netsim.New(netsim.DefaultConfig(1))
+		benchFix.recs = trace.NewGenerator(benchFix.w, trace.DefaultConfig(2, 60000)).GenerateSlice()
+		benchFix.r = NewRunner(benchFix.w, DefaultConfig(3))
+		benchFix.r.Prepare(benchFix.recs)
+	}
+}
+
+// BenchmarkEligibilityFlat measures the production per-call filter check:
+// one flat pairWindowKey map hash per lookup.
+func BenchmarkEligibilityFlat(b *testing.B) {
+	benchSetup(b)
+	r, recs := benchFix.r, benchFix.recs
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		if r.IsEligible(recs[i%len(recs)]) {
+			hits++
+		}
+	}
+	sinkInt = hits
+}
+
+// BenchmarkEligibilityNested measures the pre-optimization shape — nested
+// map[pair]map[window] with two chained hashes per lookup — as the
+// comparison baseline for the flat-key change.
+func BenchmarkEligibilityNested(b *testing.B) {
+	benchSetup(b)
+	r, recs := benchFix.r, benchFix.recs
+	nested := nestedEligibility(benchFix.w, r.Cfg, recs)
+	b.ResetTimer()
+	hits := 0
+	for i := 0; i < b.N; i++ {
+		c := recs[i%len(recs)]
+		byW := nested[history.MakePairKey(c.Src, c.Dst)]
+		if byW != nil && byW[c.Window()] {
+			hits++
+		}
+	}
+	sinkInt = hits
+}
+
+// BenchmarkRunOneDefault measures a full single-strategy replay (the unit
+// the parallel fan-out distributes), including the per-call allocation
+// profile RunOne's preallocation work targets.
+func BenchmarkRunOneDefault(b *testing.B) {
+	benchSetup(b)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		benchFix.r.RunOne(core.DefaultStrategy{}, benchFix.recs)
+	}
+}
+
+// sinkInt defeats dead-code elimination in benchmarks.
+var sinkInt int

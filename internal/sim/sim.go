@@ -13,6 +13,9 @@
 package sim
 
 import (
+	"runtime"
+	"sync"
+
 	"repro/internal/core"
 	"repro/internal/history"
 	"repro/internal/netsim"
@@ -47,6 +50,12 @@ type Config struct {
 	// window boundary (§7's active-measurement extension). Probe results
 	// feed the strategy's history but are not evaluated calls.
 	ActiveProbesPerWindow int
+	// Workers bounds how many strategies Run replays concurrently.
+	// 0 means GOMAXPROCS; 1 forces the sequential path. Because every
+	// realized outcome is a pure function of (call id, option) — the
+	// common-random-numbers design — results are bit-identical at any
+	// worker count.
+	Workers int
 }
 
 // DefaultConfig returns the evaluation configuration.
@@ -103,14 +112,37 @@ func (r *Result) OptionShare() (direct, bounce, transit float64) {
 	return float64(r.Direct) / n, float64(r.Bounce) / n, float64(r.Transit) / n
 }
 
-// Runner replays traces against strategies.
+// pairWindowKey identifies one (AS pair, 24h window) cell of the §5.1
+// eligibility filter. Keeping the pair and window in one flat key means
+// the per-call IsEligible check costs a single map hash instead of the
+// two chained lookups a nested map[pair]map[window] needs.
+type pairWindowKey struct {
+	pair   history.PairKey
+	window int32
+}
+
+// Runner replays traces against strategies. After Prepare returns, all
+// Runner state is read-only (the RNG root is split, never consumed), so
+// any number of RunOne calls may proceed concurrently.
 type Runner struct {
 	World *netsim.World
 	Cfg   Config
 
 	root *stats.RNG
-	// eligible[pairKey][window] — precomputed §5.1 filter.
-	eligible map[history.PairKey]map[int]bool
+
+	// prepMu serializes Prepare against concurrent lazy preparation; the
+	// fields below are written only under it and are immutable once
+	// Prepare returns, so the per-call hot path reads them without locks.
+	prepMu sync.Mutex
+	// eligibleSet is the flat §5.1 filter: membership means the (pair,
+	// window) cell is evaluated.
+	eligibleSet map[pairWindowKey]struct{}
+	// pairWindows lists each eligible pair's eligible windows in
+	// ascending order — the iteration form the analyses consume.
+	pairWindows map[history.PairKey][]int
+	// eligibleCalls counts trace records that pass the filter, giving
+	// RunOne the exact capacity for Result.Values.
+	eligibleCalls int
 }
 
 // NewRunner builds a runner for a world.
@@ -129,8 +161,15 @@ func NewRunner(w *netsim.World, cfg Config) *Runner {
 }
 
 // Prepare precomputes the eligibility filter for a trace. It must be called
-// (directly or via Run) before RunOne.
+// (directly or via Run) before RunOne, and must not run concurrently with
+// RunOne: it replaces the read-only state RunOne's hot path consumes.
 func (r *Runner) Prepare(recs []trace.CallRecord) {
+	r.prepMu.Lock()
+	defer r.prepMu.Unlock()
+	r.prepareLocked(recs)
+}
+
+func (r *Runner) prepareLocked(recs []trace.CallRecord) {
 	counts := make(map[history.PairKey]map[int]int)
 	for _, c := range recs {
 		pk := history.MakePairKey(c.Src, c.Dst)
@@ -141,7 +180,9 @@ func (r *Runner) Prepare(recs []trace.CallRecord) {
 		}
 		byW[c.Window()]++
 	}
-	r.eligible = make(map[history.PairKey]map[int]bool, len(counts))
+	set := make(map[pairWindowKey]struct{}, len(counts))
+	pairWindows := make(map[history.PairKey][]int, len(counts))
+	eligibleCalls := 0
 	for pk, byW := range counts {
 		opts := r.World.Options(pk.A, pk.B)
 		if len(opts) < r.Cfg.MinOptions {
@@ -149,22 +190,50 @@ func (r *Runner) Prepare(recs []trace.CallRecord) {
 		}
 		for w, n := range byW {
 			if n >= r.Cfg.MinCallsPerWindow {
-				m := r.eligible[pk]
-				if m == nil {
-					m = make(map[int]bool)
-					r.eligible[pk] = m
-				}
-				m[w] = true
+				set[pairWindowKey{pk, int32(w)}] = struct{}{}
+				pairWindows[pk] = insertSorted(pairWindows[pk], w)
+				eligibleCalls += n
 			}
 		}
 	}
+	r.eligibleSet = set
+	r.pairWindows = pairWindows
+	r.eligibleCalls = eligibleCalls
+}
+
+// ensurePrepared lazily prepares the runner for callers that skip Prepare.
+// It always takes prepMu (once per run, not per call) so concurrent first
+// uses synchronize; after it returns the eligibility state is immutable
+// and the per-call hot path reads it without locks.
+func (r *Runner) ensurePrepared(recs []trace.CallRecord) {
+	r.prepMu.Lock()
+	defer r.prepMu.Unlock()
+	if r.eligibleSet == nil {
+		r.prepareLocked(recs)
+	}
+}
+
+// insertSorted inserts w into an ascending slice, keeping it sorted.
+func insertSorted(ws []int, w int) []int {
+	i := len(ws)
+	for i > 0 && ws[i-1] > w {
+		i--
+	}
+	ws = append(ws, 0)
+	copy(ws[i+1:], ws[i:])
+	ws[i] = w
+	return ws
 }
 
 // IsEligible reports whether a call participates in evaluation.
 func (r *Runner) IsEligible(c trace.CallRecord) bool {
-	byW := r.eligible[history.MakePairKey(c.Src, c.Dst)]
-	return byW != nil && byW[c.Window()]
+	_, ok := r.eligibleSet[pairWindowKey{history.MakePairKey(c.Src, c.Dst), int32(c.Window())}]
+	return ok
 }
+
+// EligibleCalls returns the number of trace records passing the §5.1
+// filter in the prepared trace.
+func (r *Runner) EligibleCalls() int { return r.eligibleCalls }
 
 // realize draws the realized performance of assigning option opt to call c.
 // It is deterministic in (call id, option): common random numbers across
@@ -192,14 +261,23 @@ func (r *Runner) seedDecision(c trace.CallRecord, nCands int) (bool, int) {
 // RunOne replays the trace against a single strategy. Prepare must have
 // been called with the same trace.
 func (r *Runner) RunOne(s core.Strategy, recs []trace.CallRecord) *Result {
-	if r.eligible == nil {
-		r.Prepare(recs)
-	}
+	r.ensurePrepared(recs)
 	res := &Result{
 		Name:       s.Name(),
 		ByCountry:  make(map[string]*quality.PNR),
 		RelayUsage: make(map[netsim.RelayID]int64),
 	}
+	if r.Cfg.CollectValues {
+		// Exact-capacity preallocation from the Prepare precount: the
+		// values slices are the dominant per-run allocation and must
+		// never regrow mid-replay.
+		for _, met := range quality.AllMetrics() {
+			res.Values[met] = make([]float64, 0, r.eligibleCalls)
+		}
+	}
+	// scratch is reused across calls by filterOptions; strategies receive
+	// it read-only for the duration of Choose and never retain it.
+	var scratch []netsim.Option
 	prober, _ := s.(core.ProbeRequester)
 	lastWindow := -1
 	for _, rec := range recs {
@@ -213,7 +291,8 @@ func (r *Runner) RunOne(s core.Strategy, recs []trace.CallRecord) *Result {
 		}
 		cands := r.World.Options(rec.Src, rec.Dst)
 		if len(r.Cfg.ExcludeRelays) > 0 {
-			cands = filterOptions(cands, r.Cfg.ExcludeRelays)
+			scratch = filterOptions(scratch[:0], cands, r.Cfg.ExcludeRelays)
+			cands = scratch
 		}
 		call := core.Call{
 			Src: rec.Src, Dst: rec.Dst,
@@ -257,7 +336,8 @@ func (r *Runner) RunOne(s core.Strategy, recs []trace.CallRecord) *Result {
 		} else {
 			res.Domestic.Add(m)
 		}
-		for _, country := range r.callCountries(rec) {
+		countries, nc := r.callCountries(rec)
+		for _, country := range countries[:nc] {
 			pnr := res.ByCountry[country]
 			if pnr == nil {
 				pnr = &quality.PNR{}
@@ -269,13 +349,15 @@ func (r *Runner) RunOne(s core.Strategy, recs []trace.CallRecord) *Result {
 	return res
 }
 
-func (r *Runner) callCountries(c trace.CallRecord) []string {
+// callCountries returns the distinct endpoint countries of a call in a
+// fixed-size array (allocation-free: this runs once per eligible call).
+func (r *Runner) callCountries(c trace.CallRecord) ([2]string, int) {
 	a := r.World.CountryOf(c.Src)
 	b := r.World.CountryOf(c.Dst)
 	if a == b {
-		return []string{a}
+		return [2]string{a}, 1
 	}
-	return []string{a, b}
+	return [2]string{a, b}, 2
 }
 
 // placeProbes realizes a strategy's active-measurement requests for a
@@ -291,10 +373,10 @@ func (r *Runner) placeProbes(p core.ProbeRequester, s core.Strategy, window int,
 	return int64(len(reqs))
 }
 
-// filterOptions drops options touching excluded relays, always keeping the
-// direct path.
-func filterOptions(cands []netsim.Option, excluded map[netsim.RelayID]bool) []netsim.Option {
-	out := make([]netsim.Option, 0, len(cands))
+// filterOptions appends the options not touching excluded relays to dst
+// (the direct path always survives) and returns the extended slice. dst is
+// a caller-owned scratch buffer, reused across calls.
+func filterOptions(dst, cands []netsim.Option, excluded map[netsim.RelayID]bool) []netsim.Option {
 	for _, o := range cands {
 		switch o.Kind {
 		case netsim.Bounce:
@@ -306,18 +388,53 @@ func filterOptions(cands []netsim.Option, excluded map[netsim.RelayID]bool) []ne
 				continue
 			}
 		}
-		out = append(out, o)
+		dst = append(dst, o)
 	}
-	return out
+	return dst
 }
 
-// Run replays the trace against each strategy in turn and returns results
-// in the same order.
-func (r *Runner) Run(strategies []core.Strategy, recs []trace.CallRecord) []*Result {
-	r.Prepare(recs)
-	out := make([]*Result, len(strategies))
-	for i, s := range strategies {
-		out[i] = r.RunOne(s, recs)
+// workers resolves the configured run parallelism.
+func (r *Runner) workers() int {
+	if r.Cfg.Workers > 0 {
+		return r.Cfg.Workers
 	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Run replays the trace against each strategy and returns results in the
+// same order. Independent strategies are dispatched across a bounded
+// worker pool (Config.Workers, default GOMAXPROCS); because realized
+// outcomes are pure functions of (call id, option) — common random
+// numbers — and each strategy observes only its own counterfactual, the
+// results are bit-identical to a sequential replay.
+func (r *Runner) Run(strategies []core.Strategy, recs []trace.CallRecord) []*Result {
+	r.ensurePrepared(recs)
+	out := make([]*Result, len(strategies))
+	workers := r.workers()
+	if workers > len(strategies) {
+		workers = len(strategies)
+	}
+	if workers <= 1 {
+		for i, s := range strategies {
+			out[i] = r.RunOne(s, recs)
+		}
+		return out
+	}
+	var wg sync.WaitGroup
+	jobs := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				out[i] = r.RunOne(strategies[i], recs)
+			}
+		}()
+	}
+	for i := range strategies {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
 	return out
 }
