@@ -10,7 +10,15 @@ BENCH_SEED ?= 1
 BENCH_CALLS ?= 120000
 VIABENCH_CALLS ?= 20000
 
-.PHONY: verify build vet lint test race short fuzz chaos bench bench-json bench-smoke
+# Fuzz session length (CI uses a ~20s smoke; longer locally finds more).
+FUZZTIME ?= 30s
+
+# Coverage gate: `make cover` fails if total statement coverage over the
+# internal packages drops below this floor (baseline at the gate's
+# introduction: 77.7%).
+COVER_FLOOR ?= 75.0
+
+.PHONY: verify build vet lint test race short fuzz chaos bench bench-json bench-smoke cover
 
 verify: build vet lint test race
 
@@ -44,7 +52,16 @@ short:
 
 # Short fuzz session over the wire-format decoder.
 fuzz:
-	$(GO) test -run=NONE -fuzz=FuzzFrameUnmarshal -fuzztime=30s ./internal/transport/
+	$(GO) test -run=NONE -fuzz=FuzzFrameUnmarshal -fuzztime=$(FUZZTIME) ./internal/transport/
+
+# Coverage with a floor: writes coverage.out (CI archives it) and fails
+# below COVER_FLOOR percent total statement coverage.
+cover:
+	$(GO) test -coverprofile=coverage.out -covermode=atomic ./...
+	@total=$$($(GO) tool cover -func=coverage.out | awk '/^total:/ {sub(/%/, "", $$3); print $$3}'); \
+	echo "total coverage: $$total% (floor $(COVER_FLOOR)%)"; \
+	awk -v t="$$total" -v f="$(COVER_FLOOR)" 'BEGIN { exit (t+0 < f+0) ? 1 : 0 }' || \
+		{ echo "coverage $$total% is below the $(COVER_FLOOR)% floor" >&2; exit 1; }
 
 # Smoke-scale fault-injection benchmark.
 chaos:

@@ -24,6 +24,10 @@
 //	-baseline F      bench: compare against a committed baseline, exit 1 on regression
 //	-tolerance T     bench: allowed fractional regression (default 0.25)
 //	-modes M         bench: comma-separated passes, seq and/or par (default "seq,par")
+//	-metricsout F    fig18/chaos: write the final metrics snapshot as JSON to F
+//
+// When GITHUB_STEP_SUMMARY is set (GitHub Actions), bench appends a
+// one-line result to the job summary.
 //
 // Independent experiments under `all` run concurrently against the shared
 // environment (its run cache has singleflight semantics), while output is
@@ -32,6 +36,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -42,6 +47,7 @@ import (
 
 	"repro/internal/benchharness"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -63,6 +69,7 @@ func run() int {
 	baseline := flag.String("baseline", "", "bench: baseline JSON to compare against")
 	tolerance := flag.Float64("tolerance", 0.25, "bench: allowed fractional regression")
 	modes := flag.String("modes", "seq,par", "bench: comma-separated seq,par")
+	metricsOut := flag.String("metricsout", "", "fig18/chaos: write final metrics snapshot JSON to file")
 	flag.Parse()
 
 	if *list {
@@ -137,6 +144,12 @@ func run() int {
 		}
 	}
 
+	// One registry spans every live mode in the invocation, so the dumped
+	// snapshot reflects the whole run.
+	var liveReg *obs.Registry
+	if *metricsOut != "" && len(liveNames) > 0 {
+		liveReg = obs.NewRegistry()
+	}
 	for _, name := range liveNames {
 		start := time.Now()
 		var tables []*stats.Table
@@ -148,6 +161,7 @@ func run() int {
 				cfg = experiments.QuickFig18Config()
 			}
 			cfg.Seed = *seed + 10
+			cfg.Metrics = liveReg
 			tables, err = experiments.Fig18(cfg)
 		case "chaos":
 			cfg := experiments.DefaultChaosConfig()
@@ -155,6 +169,7 @@ func run() int {
 				cfg = experiments.QuickChaosConfig()
 			}
 			cfg.Seed = *seed + 16
+			cfg.Metrics = liveReg
 			tables, err = experiments.Chaos(cfg)
 		}
 		if err != nil {
@@ -164,7 +179,23 @@ func run() int {
 		emit(tables, *csv)
 		fmt.Printf("[%s done in %s]\n\n", name, time.Since(start).Round(time.Millisecond))
 	}
+	if liveReg != nil {
+		if err := writeMetricsSnapshot(liveReg, *metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "metricsout: %v\n", err)
+			return 1
+		}
+		fmt.Printf("[metrics snapshot written to %s]\n", *metricsOut)
+	}
 	return 0
+}
+
+// writeMetricsSnapshot dumps a registry's final state as JSON.
+func writeMetricsSnapshot(reg *obs.Registry, path string) error {
+	buf, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
 }
 
 // runConcurrent fans the named experiments across a bounded pool and
@@ -251,6 +282,7 @@ func runBench(seed uint64, calls int, modes, out, baseline string, tolerance flo
 	if rep.SpeedupParOverSeq > 0 {
 		fmt.Printf("[bench speedup par/seq: %.2fx at GOMAXPROCS=%d]\n", rep.SpeedupParOverSeq, rep.GOMAXPROCS)
 	}
+	appendStepSummary(benchSummaryLine(rep))
 	if baseline == "" {
 		return 0
 	}
@@ -273,6 +305,38 @@ func runBench(seed uint64, calls int, modes, out, baseline string, tolerance flo
 	}
 	fmt.Printf("[bench: no regressions vs %s at tolerance %.0f%%]\n", baseline, 100*tolerance)
 	return 0
+}
+
+// benchSummaryLine renders the one-line markdown result for the CI job
+// summary: per-mode wall times plus the parallel speedup when both ran.
+func benchSummaryLine(rep *benchharness.Report) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "**bench** seed=%d calls=%d GOMAXPROCS=%d:", rep.Seed, rep.Calls, rep.GOMAXPROCS)
+	for _, m := range rep.Modes {
+		fmt.Fprintf(&sb, " %s=%s", m.Mode, time.Duration(m.WallNs).Round(time.Millisecond))
+	}
+	if rep.SpeedupParOverSeq > 0 {
+		fmt.Fprintf(&sb, " (par/seq %.2fx)", rep.SpeedupParOverSeq)
+	}
+	return sb.String()
+}
+
+// appendStepSummary appends one markdown line to the GitHub Actions job
+// summary when running under CI; a no-op elsewhere.
+func appendStepSummary(line string) {
+	path := os.Getenv("GITHUB_STEP_SUMMARY")
+	if path == "" {
+		return
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "step summary: %v\n", err)
+		return
+	}
+	defer f.Close() //vialint:ignore errwrap best-effort append to the CI job summary
+	if _, err := fmt.Fprintln(f, line); err != nil {
+		fmt.Fprintf(os.Stderr, "step summary: %v\n", err)
+	}
 }
 
 func emit(tables []*stats.Table, csv bool) {

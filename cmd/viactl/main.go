@@ -7,7 +7,10 @@
 //	viactl -addr :8080 -metric rtt
 //
 // Relays register with POST /v1/relays/register; clients call POST
-// /v1/choose and POST /v1/report. GET /v1/stats reports counters.
+// /v1/choose and POST /v1/report. GET /v1/stats reports counters, and
+// GET /metrics serves the full registry (request latency histogram,
+// decision outcomes, live relays, ...) in Prometheus text format — see
+// the README "Observability" section for every exported series.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 
 	"repro/internal/controller"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/quality"
 )
 
@@ -48,9 +52,11 @@ func main() {
 		log.Fatalf("unknown metric %q (want rtt, loss, or jitter)", *metric)
 	}
 
+	reg := obs.NewRegistry()
 	cfg := core.DefaultViaConfig(m)
 	cfg.Budget = *budget
 	cfg.Seed = *seed
+	cfg.Metrics = reg
 	strat := core.NewVia(cfg, nil)
 
 	if *state != "" {
@@ -69,6 +75,7 @@ func main() {
 		Strategy:  strat,
 		TimeScale: *timescale,
 		RelayTTL:  *relayTTL,
+		Metrics:   reg,
 	})
 
 	hs := &http.Server{

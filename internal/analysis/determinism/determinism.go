@@ -19,10 +19,12 @@ import (
 
 // DefaultTargets lists the packages that must stay deterministic: the
 // synthetic Internet model, the discrete-event simulator, the experiment
-// harness, the selection algorithms, and every statistical helper they
-// draw from. Wall-clock use stays legal in the live-network packages
-// (controller, relay, client, wan, faults, testbed) where real time is the
-// point.
+// harness, the selection algorithms, every statistical helper they draw
+// from, and the metrics layer (obs) — which instruments deterministic
+// packages and therefore must never sample a clock itself; timestamps are
+// passed in by callers. Wall-clock use stays legal in the live-network
+// packages (controller, relay, client, wan, faults, testbed) where real
+// time is the point.
 var DefaultTargets = []string{
 	"repro/internal/netsim",
 	"repro/internal/sim",
@@ -36,6 +38,7 @@ var DefaultTargets = []string{
 	"repro/internal/geo",
 	"repro/internal/history",
 	"repro/internal/packets",
+	"repro/internal/obs",
 	"repro/via",
 }
 

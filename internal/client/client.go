@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/quality"
 	"repro/internal/rtp"
 	"repro/internal/stats"
@@ -42,6 +43,13 @@ type Agent struct {
 // Failovers returns how many mid-call repaths this agent has performed —
 // nonzero means paths died under live calls and the agent recovered.
 func (a *Agent) Failovers() int64 { return a.failovers.Load() }
+
+// RegisterMetrics publishes the agent's failover counter on a shared
+// registry, labeled per client.
+func (a *Agent) RegisterMetrics(reg *obs.Registry, client string) {
+	reg.GaugeFunc(obs.L("via_client_failovers", "client", client),
+		func() float64 { return float64(a.Failovers()) })
+}
 
 // outCall is caller-side per-call state.
 type outCall struct {

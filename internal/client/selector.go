@@ -5,6 +5,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/quality"
 )
 
@@ -29,6 +30,7 @@ type Selector struct {
 
 	stale       atomic.Int64 // decisions served from cache or defaulted
 	lostReports atomic.Int64 // reports the controller never received
+	deadPaths   atomic.Int64 // mid-call path deaths reported upstream
 }
 
 // NewSelector builds a Selector over a control plane.
@@ -42,6 +44,22 @@ func (s *Selector) Stale() int64 { return s.stale.Load() }
 
 // LostReports returns how many measurement reports failed delivery.
 func (s *Selector) LostReports() int64 { return s.lostReports.Load() }
+
+// DeadPathReports returns how many mid-call path deaths this selector has
+// pushed to the controller.
+func (s *Selector) DeadPathReports() int64 { return s.deadPaths.Load() }
+
+// RegisterMetrics publishes the selector's degradation counters on a
+// shared registry, labeled per client. GaugeFunc replace semantics make a
+// restarted client's re-registration under the same label safe.
+func (s *Selector) RegisterMetrics(reg *obs.Registry, client string) {
+	reg.GaugeFunc(obs.L("via_client_stale_decisions", "client", client),
+		func() float64 { return float64(s.Stale()) })
+	reg.GaugeFunc(obs.L("via_client_lost_reports", "client", client),
+		func() float64 { return float64(s.LostReports()) })
+	reg.GaugeFunc(obs.L("via_client_dead_path_reports", "client", client),
+		func() float64 { return float64(s.DeadPathReports()) })
+}
 
 // Choose asks the controller for a decision; on failure it degrades to
 // the last cached decision for the pair (if it is still a candidate) or
@@ -79,6 +97,7 @@ func (s *Selector) Report(src, dst int32, opt netsim.Option, m quality.Metrics) 
 // the pair's cache — degraded mode must not keep resurrecting a path that
 // just killed a call.
 func (s *Selector) ReportFailure(src, dst int32, opt netsim.Option) {
+	s.deadPaths.Add(1)
 	key := [2]int32{src, dst}
 	s.mu.Lock()
 	if s.cached[key] == opt {

@@ -24,6 +24,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -41,6 +42,13 @@ type Config struct {
 	// end-to-end measurements already reflect degradation; the TTL covers
 	// outright death).
 	RelayTTL time.Duration
+	// Metrics, when set, receives the controller's operational telemetry
+	// (request latency, choose/report/panic counts, live relays) and is
+	// served on GET /metrics in Prometheus text format. Share one registry
+	// across controller, strategy, relays, and clients to get a single
+	// fleet-wide scrape endpoint. Nil disables both collection and the
+	// endpoint's content (the route still answers, empty).
+	Metrics *obs.Registry
 }
 
 // Server is the controller service. Mount Handler on an http.Server.
@@ -70,6 +78,14 @@ type Server struct {
 	// Shutdown waits, and WaitGroup.Add concurrent with Wait is misuse.
 	inflight atomic.Int64
 
+	// Telemetry handles, pre-resolved at construction so the request path
+	// pays one atomic per event. All are valid no-op instruments when
+	// Config.Metrics is nil.
+	mLatency *obs.Histogram
+	mChooses *obs.Counter
+	mReports *obs.Counter
+	mPanics  *obs.Counter
+
 	mux *http.ServeMux
 }
 
@@ -95,6 +111,19 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
 	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
 	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+
+	m := cfg.Metrics
+	s.mLatency = m.Histogram("via_controller_request_seconds", obs.LatencyBuckets())
+	s.mChooses = m.Counter("via_controller_chooses_total")
+	s.mReports = m.Counter("via_controller_reports_total")
+	s.mPanics = m.Counter("via_controller_panics_total")
+	m.GaugeFunc("via_controller_inflight_requests", func() float64 {
+		return float64(s.inflight.Load())
+	})
+	m.GaugeFunc("via_controller_live_relays", func() float64 {
+		return float64(s.liveRelays())
+	})
 	return s
 }
 
@@ -110,12 +139,15 @@ func (s *Server) Handler() http.Handler {
 			http.Error(w, "controller draining", http.StatusServiceUnavailable)
 			return
 		}
+		start := time.Now()
 		defer func() {
 			if rec := recover(); rec != nil {
 				s.panics.Add(1)
+				s.mPanics.Inc()
 				s.lastPanic.Store(string(debug.Stack()))
 				http.Error(w, "internal error", http.StatusInternalServerError)
 			}
+			s.mLatency.Observe(time.Since(start).Seconds())
 		}()
 		s.mux.ServeHTTP(w, r)
 	})
@@ -220,6 +252,7 @@ func (s *Server) handleChoose(w http.ResponseWriter, r *http.Request) {
 		// path. Answer it directly rather than handing strategies a nil
 		// slice to index.
 		s.chooses.Add(1)
+		s.mChooses.Inc()
 		reply(w, transport.ChooseResponse{Option: transport.ToWireOption(netsim.DirectOption())})
 		return
 	}
@@ -234,6 +267,7 @@ func (s *Server) handleChoose(w http.ResponseWriter, r *http.Request) {
 	}
 	opt := s.cfg.Strategy.Choose(call, cands)
 	s.chooses.Add(1)
+	s.mChooses.Inc()
 	reply(w, transport.ChooseResponse{Option: transport.ToWireOption(opt)})
 }
 
@@ -254,6 +288,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 	}
 	s.cfg.Strategy.Observe(call, req.Option.Option(), m)
 	s.reports.Add(1)
+	s.mReports.Inc()
 	reply(w, transport.ReportResponse{OK: true})
 }
 
@@ -318,6 +353,16 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 
 // handleHealth is the liveness probe: cheap, no strategy involvement.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
+	reply(w, transport.HealthResponse{
+		OK:        true,
+		Relays:    s.liveRelays(),
+		UptimeSec: time.Since(s.start).Seconds(),
+		Draining:  s.draining.Load(),
+	})
+}
+
+// liveRelays counts registered relays whose heartbeat has not lapsed.
+func (s *Server) liveRelays() int {
 	now := time.Now()
 	live := 0
 	s.mu.RLock()
@@ -328,10 +373,14 @@ func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 		live++
 	}
 	s.mu.RUnlock()
-	reply(w, transport.HealthResponse{
-		OK:        true,
-		Relays:    live,
-		UptimeSec: time.Since(s.start).Seconds(),
-		Draining:  s.draining.Load(),
-	})
+	return live
+}
+
+// handleMetrics serves the shared registry in Prometheus text exposition
+// format. With no registry configured the body is empty — still a 200, so
+// scrapers distinguish "no telemetry" from "controller down".
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	//vialint:ignore errwrap a failed write means the scraper hung up; nothing to do about it here
+	_ = s.cfg.Metrics.WriteText(w)
 }

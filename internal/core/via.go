@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/history"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/quality"
 	"repro/internal/stats"
 )
@@ -64,6 +65,17 @@ type ViaConfig struct {
 	Predictor PredictorConfig
 	// Seed drives the strategy's own randomness (ε draws).
 	Seed uint64
+	// Metrics, when set, receives the strategy's decision telemetry:
+	// per-outcome counters (via_decision_total{outcome=...}), the top-k
+	// size distribution, and observation counts. Nil (the default, and
+	// what every simulation experiment uses) makes instrumentation
+	// zero-cost. The strategy never reads a clock through this — all
+	// values are counts, so determinism is preserved.
+	Metrics *obs.Registry
+	// Spans, when set, receives one structured decision trace per Choose
+	// call (predict → prune → budget gate → ε-explore/UCB pick), stamped
+	// with the call's virtual time. Nil disables.
+	Spans *obs.SpanSink
 }
 
 // DefaultViaConfig returns the paper's operating point for a target metric.
@@ -83,6 +95,64 @@ func DefaultViaConfig(m quality.Metric) ViaConfig {
 	}
 }
 
+// Decision outcomes — the label values of via_decision_total and the
+// terminal `outcome` field of a via.choose span. One per return path of
+// Choose, so the counters partition every decision made.
+const (
+	// OutcomeNoCandidates: the caller offered nothing to choose between.
+	OutcomeNoCandidates = "no-candidates"
+	// OutcomeBootstrapExplore: no usable predictions yet; the ε slice (or
+	// the absence of a direct path) sent the call to a random option to
+	// seed coverage.
+	OutcomeBootstrapExplore = "bootstrap-explore"
+	// OutcomeNoPredictions: no usable predictions and the ε draw kept the
+	// call on the default path.
+	OutcomeNoPredictions = "no-predictions"
+	// OutcomeBudgetExhausted: the hard relaying cap (§4.6) is spent.
+	OutcomeBudgetExhausted = "budget-exhausted"
+	// OutcomeEpsilonExplore: the ε general-exploration slice fired.
+	OutcomeEpsilonExplore = "epsilon-explore"
+	// OutcomeBenefitGated: predicted benefit below the gate (percentile
+	// under a budget, MinBenefit without one).
+	OutcomeBenefitGated = "benefit-gated"
+	// OutcomeRelayCapped: every top-k relay is at its per-relay cap.
+	OutcomeRelayCapped = "relay-capped"
+	// OutcomeUCBPick: the modified UCB1 exploited the top-k.
+	OutcomeUCBPick = "ucb-pick"
+)
+
+// viaObs caches the strategy's metric handles so the per-decision cost
+// when telemetry is on is an atomic add, and exactly zero when off.
+type viaObs struct {
+	enabled      bool
+	spans        *obs.SpanSink
+	reg          *obs.Registry
+	topkSize     *obs.Histogram
+	observations *obs.Counter
+}
+
+// count increments the outcome's decision counter. Registry lookups are a
+// sharded RLock + map hit — fine at control-plane rates (the simulator
+// runs with telemetry off).
+func (o *viaObs) count(outcome string) {
+	if !o.enabled {
+		return
+	}
+	o.reg.Counter(obs.L("via_decision_total", "outcome", outcome)).Inc()
+}
+
+// decide stamps the span's terminal state, emits it, counts the outcome,
+// and passes the option through — the single exit point of Choose.
+func (o *viaObs) decide(trace *obs.Span, outcome string, opt netsim.Option) netsim.Option {
+	o.count(outcome)
+	if trace != nil {
+		trace.Outcome = outcome
+		trace.Option = opt.String()
+		o.spans.Emit(trace)
+	}
+	return opt
+}
+
 type groupPair struct{ a, b int32 }
 
 type pairState struct {
@@ -100,6 +170,7 @@ type Via struct {
 	bb    BackboneSource
 	store *history.Store
 	rng   *stats.RNG
+	obs   viaObs
 
 	mu       sync.Mutex
 	curEpoch int
@@ -152,6 +223,19 @@ func NewVia(cfg ViaConfig, bb BackboneSource) *Via {
 	}
 	if cfg.Budget < 1 {
 		v.benefit = stats.NewP2(clamp01(1-cfg.Budget, 0.001, 0.999))
+	}
+	v.obs = viaObs{enabled: cfg.Metrics != nil, spans: cfg.Spans, reg: cfg.Metrics}
+	if v.obs.enabled {
+		name := v.Name()
+		v.obs.topkSize = cfg.Metrics.Histogram(
+			obs.L("via_topk_size", "strategy", name), obs.CountBuckets())
+		v.obs.observations = cfg.Metrics.Counter(
+			obs.L("via_observations_total", "strategy", name))
+		// GaugeFunc so the live relayed fraction shows up on /metrics
+		// without the strategy pushing anything; replace semantics let a
+		// restarted strategy under the same name rebind cleanly.
+		cfg.Metrics.GaugeFunc(
+			obs.L("via_strategy_relayed_fraction", "strategy", name), v.RelayedFraction)
 	}
 	return v
 }
@@ -251,10 +335,17 @@ func (v *Via) ensureEpoch(epoch int) {
 // Choose implements Algorithm 1 for one call.
 func (v *Via) Choose(c Call, cands []netsim.Option) netsim.Option {
 	if len(cands) == 0 {
-		return netsim.DirectOption()
+		return v.obs.decide(nil, OutcomeNoCandidates, netsim.DirectOption())
 	}
 	g1, g2 := v.cfg.Groups(c)
 	epoch := v.epochOf(c.THours)
+
+	// Span construction is gated on the sink, never on the decision path:
+	// with tracing off this allocates nothing and draws no randomness.
+	var trace *obs.Span
+	if v.cfg.Spans.Enabled() {
+		trace = &obs.Span{Name: "via.choose", THours: c.THours, Src: g1, Dst: g2}
+	}
 
 	v.mu.Lock()
 	defer v.mu.Unlock()
@@ -299,6 +390,13 @@ func (v *Via) Choose(c Call, cands []netsim.Option) netsim.Option {
 			}
 		}
 		ps.topkEpoch = epoch
+		if v.obs.topkSize != nil {
+			v.obs.topkSize.Observe(float64(len(ps.topk)))
+		}
+	}
+	if trace != nil {
+		trace.AddStage("predict", map[string]float64{"candidates": float64(len(cands))}).
+			AddStage("prune", map[string]float64{"topk": float64(len(ps.topk))})
 	}
 
 	v.total++
@@ -324,9 +422,10 @@ func (v *Via) Choose(c Call, cands []netsim.Option) netsim.Option {
 	// ε general-exploration slice, which is what bootstraps coverage.
 	if len(ps.topk) == 0 {
 		if !hasDirect || v.rng.Float64() < v.cfg.Epsilon {
-			return v.accountLocked(v.pickRandomLocked(v.relayAllowedLocked(cands)), sec)
+			return v.obs.decide(trace, OutcomeBootstrapExplore,
+				v.accountLocked(v.pickRandomLocked(v.relayAllowedLocked(cands)), sec))
 		}
-		return netsim.DirectOption()
+		return v.obs.decide(trace, OutcomeNoPredictions, netsim.DirectOption())
 	}
 
 	if hasDirect {
@@ -334,7 +433,7 @@ func (v *Via) Choose(c Call, cands []netsim.Option) netsim.Option {
 		// talk-time under BudgetByDuration) reaches the budget, everything
 		// (including exploration) goes direct.
 		if v.cfg.Budget < 1 && v.budgetSpentLocked() {
-			return netsim.DirectOption()
+			return v.obs.decide(trace, OutcomeBudgetExhausted, netsim.DirectOption())
 		}
 	}
 
@@ -343,7 +442,8 @@ func (v *Via) Choose(c Call, cands []netsim.Option) netsim.Option {
 	// the budget is spent keeping the history fresh, without which the
 	// gate would starve its own predictor.
 	if v.rng.Float64() < v.cfg.Epsilon {
-		return v.accountLocked(v.pickRandomLocked(v.relayAllowedLocked(cands)), sec)
+		return v.obs.decide(trace.AddStage("epsilon", nil), OutcomeEpsilonExplore,
+			v.accountLocked(v.pickRandomLocked(v.relayAllowedLocked(cands)), sec))
 	}
 
 	// §4.6 budget gate: relay only when the predicted benefit is in the
@@ -356,26 +456,29 @@ func (v *Via) Choose(c Call, cands []netsim.Option) netsim.Option {
 	if v.benefit != nil {
 		v.benefit.Add(benefit)
 	}
+	if trace != nil {
+		trace.AddStage("budget-gate", map[string]float64{"benefit": benefit})
+	}
 	switch {
 	case !hasDirect:
 		// No default path to prefer: proceed straight to exploitation.
 	case budgeted && v.cfg.BudgetAware:
 		if v.benefit.N() >= 20 && benefit < v.benefit.Value() {
-			return netsim.DirectOption()
+			return v.obs.decide(trace, OutcomeBenefitGated, netsim.DirectOption())
 		}
 	case budgeted && !v.cfg.BudgetAware:
 		// The paper's budget-unaware baseline: relay whenever there is any
 		// potential benefit, first-come first-served — so the budget gets
 		// used up by calls with only small benefit (§5.4).
 		if benefit <= 0 {
-			return netsim.DirectOption()
+			return v.obs.decide(trace, OutcomeBenefitGated, netsim.DirectOption())
 		}
 	default:
 		// Unbudgeted: selective relaying — without a clear predicted
 		// benefit, stay on the default path (ε exploration above still
 		// samples relays, so the history keeps refreshing).
 		if v.cfg.MinBenefit > 0 && benefit < v.cfg.MinBenefit {
-			return netsim.DirectOption()
+			return v.obs.decide(trace, OutcomeBenefitGated, netsim.DirectOption())
 		}
 	}
 
@@ -385,14 +488,15 @@ func (v *Via) Choose(c Call, cands []netsim.Option) netsim.Option {
 	if v.cfg.PerRelayBudget > 0 && v.cfg.PerRelayBudget < 1 {
 		topk = v.filterTopKLocked(topk)
 		if len(topk) == 0 {
-			return netsim.DirectOption()
+			return v.obs.decide(trace, OutcomeRelayCapped, netsim.DirectOption())
 		}
 	}
 	opt := ps.ucb.explore(topk, v.cfg.Metric, v.cfg.UCBCoef, v.cfg.NaiveNorm)
 	if flip && opt.Kind == netsim.Transit {
 		opt.R1, opt.R2 = opt.R2, opt.R1
 	}
-	return v.accountLocked(opt, sec)
+	return v.obs.decide(trace.AddStage("ucb-pick", nil), OutcomeUCBPick,
+		v.accountLocked(opt, sec))
 }
 
 // pruneLocked builds predictions for the candidates and applies Algorithm 2
@@ -565,6 +669,9 @@ func (v *Via) Observe(c Call, opt netsim.Option, m quality.Metrics) {
 	}
 	ps.ucb.observe(copt, m.Get(v.cfg.Metric))
 	v.mu.Unlock()
+	if v.obs.observations != nil {
+		v.obs.observations.Inc()
+	}
 }
 
 // RelayedFraction reports the fraction of calls this strategy sent through

@@ -2,9 +2,12 @@ package core
 
 import (
 	"bytes"
+	"encoding/json"
+	"strings"
 	"testing"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/quality"
 	"repro/internal/stats"
 )
@@ -503,5 +506,102 @@ func TestViaEpsilonTracksDrift(t *testing.T) {
 	}
 	if withEps > 150 {
 		t.Errorf("with ε, final-decile RTT %.0f; never found the drifted-in best", withEps)
+	}
+}
+
+// TestViaMetricsAndSpans drives an instrumented Via and checks the
+// telemetry contract: one via_decision_total increment and one JSONL span
+// per Choose, outcome strings agreeing between the two, observations
+// counted, and the gauge surfaced through the registry.
+func TestViaMetricsAndSpans(t *testing.T) {
+	reg := obs.NewRegistry()
+	var spanBuf bytes.Buffer
+	cfg := DefaultViaConfig(quality.RTT)
+	cfg.Metrics = reg
+	cfg.Spans = obs.NewSpanSink(&spanBuf)
+	v := NewVia(cfg, nil)
+	e := newFakeEnv(40)
+
+	const n = 600
+	for i := 0; i < n; i++ {
+		c := Call{Src: 3, Dst: 9, THours: 48 * float64(i) / n}
+		opt := v.Choose(c, e.options())
+		v.Observe(c, opt, e.sample(opt))
+	}
+
+	snap := reg.Snapshot()
+	var decisions float64
+	for name, val := range snap {
+		if strings.HasPrefix(name, "via_decision_total{") {
+			decisions += val
+		}
+	}
+	if decisions != n {
+		t.Errorf("via_decision_total sums to %v, want %d", decisions, n)
+	}
+	if got := snap[obs.L("via_observations_total", "strategy", "via")]; got != n {
+		t.Errorf("via_observations_total = %v, want %d", got, n)
+	}
+	if _, ok := snap[obs.L("via_strategy_relayed_fraction", "strategy", "via")]; !ok {
+		t.Error("via_strategy_relayed_fraction gauge missing from snapshot")
+	}
+	if got := snap[obs.L("via_topk_size_count", "strategy", "via")]; got < 1 {
+		t.Errorf("via_topk_size_count = %v, want >= 1 epoch refresh", got)
+	}
+
+	// Every span line decodes, names the decision, and its outcome matches
+	// a counted outcome; spans and decisions tally 1:1.
+	lines := strings.Split(strings.TrimSpace(spanBuf.String()), "\n")
+	if len(lines) != n {
+		t.Fatalf("emitted %d spans, want %d", len(lines), n)
+	}
+	outcomes := map[string]int{}
+	for i, line := range lines {
+		var sp obs.Span
+		if err := json.Unmarshal([]byte(line), &sp); err != nil {
+			t.Fatalf("span line %d: %v", i, err)
+		}
+		if sp.Name != "via.choose" || sp.Outcome == "" || sp.Option == "" {
+			t.Fatalf("span line %d malformed: %+v", i, sp)
+		}
+		outcomes[sp.Outcome]++
+	}
+	for outcome, count := range outcomes {
+		if got := snap[obs.L("via_decision_total", "outcome", outcome)]; got != float64(count) {
+			t.Errorf("outcome %q: %d spans vs counter %v", outcome, count, got)
+		}
+	}
+	if got := cfg.Spans.Emitted(); got != n {
+		t.Errorf("sink emitted %d, want %d", got, n)
+	}
+}
+
+// TestViaInstrumentationIsInert asserts the zero-cost invariant behind the
+// parallel runner's bit-identity: attaching metrics and spans must not
+// change a single decision, because instrumentation draws no randomness
+// and never feeds back into the algorithm.
+func TestViaInstrumentationIsInert(t *testing.T) {
+	run := func(instrument bool) []netsim.Option {
+		cfg := DefaultViaConfig(quality.RTT)
+		if instrument {
+			cfg.Metrics = obs.NewRegistry()
+			cfg.Spans = obs.NewSpanSink(&bytes.Buffer{})
+		}
+		v := NewVia(cfg, nil)
+		e := newFakeEnv(41)
+		picks := make([]netsim.Option, 0, 800)
+		for i := 0; i < 800; i++ {
+			c := Call{Src: 1, Dst: 2, THours: 96 * float64(i) / 800}
+			opt := v.Choose(c, e.options())
+			picks = append(picks, opt)
+			v.Observe(c, opt, e.sample(opt))
+		}
+		return picks
+	}
+	plain, instrumented := run(false), run(true)
+	for i := range plain {
+		if plain[i] != instrumented[i] {
+			t.Fatalf("decision %d differs with instrumentation attached", i)
+		}
 	}
 }

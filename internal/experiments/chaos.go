@@ -2,12 +2,14 @@ package experiments
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"repro/internal/client"
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/quality"
 	"repro/internal/stats"
 	"repro/internal/testbed"
@@ -25,6 +27,11 @@ type ChaosConfig struct {
 	PPS            int
 	RelayTTL       time.Duration
 	HeartbeatEvery time.Duration
+	// Metrics optionally supplies the registry the whole deployment
+	// (strategy, controller, relays, clients, fault scheduler) publishes
+	// into, so the caller can snapshot it after the run. Nil: a private
+	// registry is created and discarded with the testbed.
+	Metrics *obs.Registry
 }
 
 // DefaultChaosConfig is a one-minute-class chaos run.
@@ -77,8 +84,13 @@ func Chaos(cfg ChaosConfig) ([]*stats.Table, error) {
 		relays = append(relays, netsim.RelayID(i))
 	}
 
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	viaCfg := core.DefaultViaConfig(quality.RTT)
 	viaCfg.Seed = cfg.Seed
+	viaCfg.Metrics = reg
 	tb, err := testbed.Start(testbed.Config{
 		Seed:       cfg.Seed,
 		World:      w,
@@ -87,6 +99,7 @@ func Chaos(cfg ChaosConfig) ([]*stats.Table, error) {
 		Strategy:   core.NewVia(viaCfg, nil),
 		TimeScale:  7200,
 		RelayTTL:   cfg.RelayTTL,
+		Metrics:    reg,
 	})
 	if err != nil {
 		return nil, err
@@ -94,6 +107,7 @@ func Chaos(cfg ChaosConfig) ([]*stats.Table, error) {
 	defer tb.Close()
 	tb.StartHeartbeats(cfg.HeartbeatEvery)
 	sel := client.NewSelector(tb.Ctrl)
+	sel.RegisterMetrics(reg, "chaos")
 
 	// The fault plan, scheduled against the run's rough wall-clock length:
 	// kill a relay a quarter in, flap the controller twice around the
@@ -105,6 +119,7 @@ func Chaos(cfg ChaosConfig) ([]*stats.Table, error) {
 		FlapController(est/2, est/8, est/16, 2).
 		ReviveRelayAt(3*est/4, victim)
 	sched := faults.NewScheduler(plan, tb)
+	sched.SetMetrics(reg)
 	sched.Start()
 
 	// Candidate sets come from the directory; a fetch that fails under
@@ -185,5 +200,24 @@ func Chaos(cfg ChaosConfig) ([]*stats.Table, error) {
 	t.AddRow("fault events fired", sched.Fired(), fmt.Sprintf("of %d planned", len(plan.Events)))
 	t.AddRow("controller panics", st.Panics, "must be 0")
 	t.AddRow("live relays at end", h.Relays, fmt.Sprintf("of %d deployed", cfg.NumRelays))
+	snap := reg.Snapshot()
+	t.AddRow("fault injections (metrics)", int64(sumPrefix(snap, "via_faults_injected_total")),
+		"via_faults_injected_total across kinds")
+	t.AddRow("dead-path reports (metrics)", int64(sumPrefix(snap, "via_client_dead_path_reports")),
+		"clients flagging broken relays")
+	t.AddRow("strategy decisions (metrics)", int64(sumPrefix(snap, "via_decision_total")),
+		"via_decision_total across outcomes")
 	return []*stats.Table{t}, nil
+}
+
+// sumPrefix totals every series in a snapshot whose name is exactly base or
+// base plus a label set ("base{...}").
+func sumPrefix(snap map[string]float64, base string) float64 {
+	var sum float64
+	for name, v := range snap {
+		if name == base || strings.HasPrefix(name, base+"{") {
+			sum += v
+		}
+	}
+	return sum
 }

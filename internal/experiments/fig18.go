@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/quality"
 	"repro/internal/stats"
 	"repro/internal/testbed"
@@ -22,6 +23,9 @@ type Fig18Config struct {
 	CallDuration time.Duration
 	PPS          int
 	Parallelism  int
+	// Metrics optionally supplies the deployment-wide registry (see
+	// ChaosConfig.Metrics). Nil: a private one is created and discarded.
+	Metrics *obs.Registry
 }
 
 // DefaultFig18Config mirrors §5.5 at a runnable scale.
@@ -85,6 +89,7 @@ func Fig18(cfg Fig18Config) ([]*stats.Table, error) {
 
 	viaCfg := core.DefaultViaConfig(quality.RTT)
 	viaCfg.Seed = cfg.Seed
+	viaCfg.Metrics = cfg.Metrics
 	tb, err := testbed.Start(testbed.Config{
 		Seed:       cfg.Seed,
 		World:      w,
@@ -92,6 +97,7 @@ func Fig18(cfg Fig18Config) ([]*stats.Table, error) {
 		RelayIDs:   relays,
 		Strategy:   core.NewVia(viaCfg, nil),
 		TimeScale:  7200,
+		Metrics:    cfg.Metrics,
 	})
 	if err != nil {
 		return nil, err

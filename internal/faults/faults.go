@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // Kind enumerates the fault taxonomy.
@@ -287,8 +288,9 @@ func (p *Plan) Apply(t Target) []error {
 
 // Scheduler fires a plan against a target in real time.
 type Scheduler struct {
-	events []Event
-	target Target
+	events  []Event
+	target  Target
+	metrics *obs.Registry // nil disables; set before Start
 
 	mu    sync.Mutex
 	fired int
@@ -298,6 +300,12 @@ type Scheduler struct {
 	done chan struct{}
 	once sync.Once
 }
+
+// SetMetrics attaches a registry: every fired event increments
+// via_faults_injected_total{kind=...} (and _errors_total on failure), so
+// the chaos harness can assert injections happened from the same snapshot
+// it asserts recovery from. Call before Start.
+func (s *Scheduler) SetMetrics(reg *obs.Registry) { s.metrics = reg }
 
 // NewScheduler builds a scheduler; call Start to begin firing.
 func NewScheduler(p *Plan, t Target) *Scheduler {
@@ -337,6 +345,12 @@ func (s *Scheduler) Start() {
 				s.errs = append(s.errs, fmt.Errorf("%s: %w", e, err))
 			}
 			s.mu.Unlock()
+			if s.metrics != nil {
+				s.metrics.Counter(obs.L("via_faults_injected_total", "kind", e.Kind.String())).Inc()
+				if err != nil {
+					s.metrics.Counter("via_faults_errors_total").Inc()
+				}
+			}
 		}
 	}()
 }

@@ -3,6 +3,7 @@ package netsim
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/quality"
 	"repro/internal/stats"
@@ -51,9 +52,12 @@ type pathShard struct {
 // parallel strategy runs (sim.Runner.Run) don't serialize on one mutex:
 // every SampleCall hits this cache. Values are pure functions of the key,
 // so a racing duplicate compute stores an identical value — last write
-// wins harmlessly.
+// wins harmlessly. The hit/miss tallies are observability only (see
+// World.CacheStats) and never feed back into the model.
 type pathCache struct {
 	shards [pathShards]pathShard
+	hits   atomic.Int64
+	misses atomic.Int64
 }
 
 func newPathCache() *pathCache { return &pathCache{} }
@@ -104,8 +108,10 @@ func (w *World) WindowMean(src, dst ASID, opt Option, window int) quality.Metric
 	k := canonicalPath(src, dst, opt, window)
 	s := w.paths.shard(k)
 	if m, ok := s.get(k); ok {
+		w.paths.hits.Add(1)
 		return m
 	}
+	w.paths.misses.Add(1)
 	m := w.composePath(ASID(k.src), ASID(k.dst), k.opt, window)
 	s.put(k, m)
 	return m

@@ -3,6 +3,7 @@ package netsim
 import (
 	"math"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/geo"
 	"repro/internal/quality"
@@ -77,10 +78,14 @@ type segWindowShard struct {
 
 // segmentCache memoizes per-segment state, sharded by key hash so parallel
 // runners don't contend. Both maps hold pure functions of their keys, so
-// racing duplicate computes store identical values.
+// racing duplicate computes store identical values. Hit/miss tallies are
+// observability only (World.CacheStats), covering the window-mean map (the
+// hot one; static params converge to all-hits immediately).
 type segmentCache struct {
 	static  [segShards]segStaticShard
 	windows [segShards]segWindowShard
+	hits    atomic.Int64
+	misses  atomic.Int64
 }
 
 type segWindowKey struct {
@@ -255,8 +260,10 @@ func (w *World) segmentWindowMean(k segKey, window int) quality.Metrics {
 	wk := segWindowKey{k, int32(window)}
 	sh := w.segs.windowShard(wk)
 	if m, ok := sh.get(wk); ok {
+		w.segs.hits.Add(1)
 		return m
 	}
+	w.segs.misses.Add(1)
 	m := w.computeSegmentWindow(k, window)
 	sh.put(wk, m)
 	return m

@@ -99,6 +99,24 @@ type World struct {
 	paths *pathCache
 }
 
+// CacheStats reports the sharded memo caches' hit/miss tallies — the
+// telemetry the experiment engine surfaces per run. Pure observation: the
+// counts never influence what the caches return.
+type CacheStats struct {
+	PathHits, PathMisses       int64
+	SegmentHits, SegmentMisses int64
+}
+
+// CacheStats returns a snapshot of the world's cache counters.
+func (w *World) CacheStats() CacheStats {
+	return CacheStats{
+		PathHits:      w.paths.hits.Load(),
+		PathMisses:    w.paths.misses.Load(),
+		SegmentHits:   w.segs.hits.Load(),
+		SegmentMisses: w.segs.misses.Load(),
+	}
+}
+
 // New builds a world from cfg. Construction is deterministic in cfg.Seed.
 func New(cfg Config) *World {
 	if cfg.NumASes < 4 {

@@ -1,0 +1,94 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteText renders every registered metric in Prometheus-compatible
+// text exposition format, sorted by name (deterministic output: two
+// snapshots of identical state are byte-identical). Histograms expand to
+// `_bucket{le=...}` cumulative series plus `_count`, `_sum`, and the
+// non-standard but diff-friendly `_p50`/`_p95`/`_p99` quantile gauges.
+func (r *Registry) WriteText(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var err error
+	typed := make(map[string]bool) // bases with an emitted # TYPE line
+	emit := func(format string, args ...any) {
+		if err != nil {
+			return
+		}
+		_, err = fmt.Fprintf(w, format, args...)
+	}
+	typeLine := func(base, typ string) {
+		if !typed[base] {
+			typed[base] = true
+			emit("# TYPE %s %s\n", base, typ)
+		}
+	}
+	r.each(func(name string, e *entry) {
+		base, labels := splitLabels(name)
+		switch e.kind {
+		case kindCounter:
+			typeLine(base, "counter")
+			emit("%s %d\n", name, e.c.Value())
+		case kindGauge:
+			typeLine(base, "gauge")
+			emit("%s %s\n", name, formatFloat(e.g.Value()))
+		case kindGaugeFunc:
+			typeLine(base, "gauge")
+			emit("%s %s\n", name, formatFloat(e.f()))
+		case kindHistogram:
+			typeLine(base, "histogram")
+			writeHistogram(emit, base, labels, e.h)
+		}
+	})
+	return err
+}
+
+// writeHistogram renders one histogram's series set.
+func writeHistogram(emit func(string, ...any), base, labels string, h *Histogram) {
+	counts := h.BucketCounts()
+	var cum int64
+	for i, bound := range h.Bounds() {
+		cum += counts[i]
+		emit("%s %d\n", bucketSeries(base, labels, formatFloat(bound)), cum)
+	}
+	cum += counts[len(counts)-1]
+	emit("%s %d\n", bucketSeries(base, labels, "+Inf"), cum)
+	emit("%s %d\n", joinLabels(base+"_count", labels), h.Count())
+	emit("%s %s\n", joinLabels(base+"_sum", labels), formatFloat(h.Sum()))
+	for _, q := range []struct {
+		suffix string
+		q      float64
+	}{{"_p50", 0.5}, {"_p95", 0.95}, {"_p99", 0.99}} {
+		if v, ok := h.Quantile(q.q); ok {
+			emit("%s %s\n", joinLabels(base+q.suffix, labels), formatFloat(v))
+		}
+	}
+}
+
+// bucketSeries builds `base_bucket{<labels,>le="bound"}`.
+func bucketSeries(base, labels, bound string) string {
+	var b strings.Builder
+	b.WriteString(base)
+	b.WriteString("_bucket{")
+	if labels != "" {
+		b.WriteString(labels)
+		b.WriteByte(',')
+	}
+	b.WriteString(`le="`)
+	b.WriteString(bound)
+	b.WriteString(`"}`)
+	return b.String()
+}
+
+// formatFloat renders a float compactly: integers without a decimal
+// point, everything else with minimal digits.
+func formatFloat(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"sort"
+	"sync/atomic"
+)
+
+// Histogram is a fixed-bucket histogram: cumulative counts per upper
+// bound plus an implicit +Inf overflow bucket, a total count, and a sum.
+// Observations are lock-free atomic adds, so GOMAXPROCS-many goroutines
+// can feed one histogram without serializing; quantiles are estimated by
+// linear interpolation inside the covering bucket.
+//
+// Bounds are immutable after construction and must be ascending. The
+// package ships two standard layouts: LatencyBuckets (seconds, control
+// RPC scale) and CountBuckets (small cardinalities like top-k sizes).
+type Histogram struct {
+	bounds []float64 // ascending upper bounds; +Inf bucket is implicit
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    Gauge
+}
+
+// LatencyBuckets spans 1ms..10s exponentially — control RPC handling and
+// call setup live comfortably inside it.
+func LatencyBuckets() []float64 {
+	return []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10}
+}
+
+// CountBuckets suits small integer distributions (top-k sizes, candidate
+// set sizes).
+func CountBuckets() []float64 {
+	return []float64{0, 1, 2, 3, 4, 6, 8, 12, 16, 24, 32, 48, 64}
+}
+
+// NewHistogram builds a histogram with the given ascending upper bounds.
+// Nil or empty bounds fall back to LatencyBuckets.
+func NewHistogram(bounds []float64) *Histogram {
+	if len(bounds) == 0 {
+		bounds = LatencyBuckets()
+	}
+	b := append([]float64(nil), bounds...)
+	for i := 1; i < len(b); i++ {
+		if b[i] <= b[i-1] {
+			panic("obs: histogram bounds must be strictly ascending")
+		}
+	}
+	return &Histogram{
+		bounds: b,
+		counts: make([]atomic.Int64, len(b)+1),
+	}
+}
+
+// Observe folds one sample in.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return h.sum.Value() }
+
+// Bounds returns the bucket upper bounds (shared; callers must not
+// mutate).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// BucketCounts returns a snapshot of per-bucket (non-cumulative) counts,
+// the last entry being the +Inf overflow bucket. Concurrent observers may
+// land between reads; the snapshot is approximate under load, exact at
+// rest.
+func (h *Histogram) BucketCounts() []int64 {
+	out := make([]int64, len(h.counts))
+	for i := range h.counts {
+		out[i] = h.counts[i].Load()
+	}
+	return out
+}
+
+// Quantile estimates the q-quantile (q in [0, 1]) by linear interpolation
+// within the covering bucket. It reports ok=false on an empty histogram.
+// A sample in the overflow bucket pins the estimate to the largest finite
+// bound (there is no upper edge to interpolate toward); a single sample
+// yields its bucket's interpolated midpoint-by-rank, which for bucket 0
+// interpolates from the bucket's lower edge (0 for the standard layouts —
+// all exported metrics are nonnegative).
+func (h *Histogram) Quantile(q float64) (float64, bool) {
+	total := h.count.Load()
+	if total == 0 {
+		return 0, false
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := q * float64(total)
+	if rank < 1 {
+		rank = 1 // the q-quantile of any sample set contains at least one sample
+	}
+	var cum float64
+	for i := range h.counts {
+		n := float64(h.counts[i].Load())
+		if n == 0 {
+			continue
+		}
+		if cum+n < rank {
+			cum += n
+			continue
+		}
+		if i == len(h.bounds) {
+			// Overflow bucket: clamp to the largest finite bound.
+			return h.bounds[len(h.bounds)-1], true
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = h.bounds[i-1]
+		}
+		hi := h.bounds[i]
+		return lo + (rank-cum)/n*(hi-lo), true
+	}
+	// Unreachable when count > 0, but keep a sane answer under racing
+	// observers.
+	return h.bounds[len(h.bounds)-1], true
+}

@@ -1,0 +1,122 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestHistogramBucketAssignment(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	// On-boundary values land in the bucket whose upper bound equals them
+	// (le semantics), overflow lands in the +Inf bucket.
+	for _, v := range []float64{0.5, 1.0, 1.5, 2.0, 3.9, 4.0, 4.1, 100} {
+		h.Observe(v)
+	}
+	got := h.BucketCounts()
+	want := []int64{2, 2, 2, 2} // [<=1]=0.5,1 [<=2]=1.5,2 [<=4]=3.9,4 [+Inf]=4.1,100
+	if len(got) != len(want) {
+		t.Fatalf("bucket count: got %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("bucket %d: got %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+	if h.Count() != 8 {
+		t.Errorf("count = %d, want 8", h.Count())
+	}
+	if wantSum := 0.5 + 1 + 1.5 + 2 + 3.9 + 4 + 4.1 + 100; math.Abs(h.Sum()-wantSum) > 1e-9 {
+		t.Errorf("sum = %v, want %v", h.Sum(), wantSum)
+	}
+}
+
+func TestHistogramQuantileEmpty(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	if v, ok := h.Quantile(0.5); ok {
+		t.Errorf("empty histogram returned quantile %v, want ok=false", v)
+	}
+}
+
+func TestHistogramQuantileSingleSample(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	h.Observe(1.5)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		v, ok := h.Quantile(q)
+		if !ok {
+			t.Fatalf("q=%v: ok=false with one sample", q)
+		}
+		// The single sample sits in (1, 2]; every quantile must resolve
+		// inside that bucket.
+		if v <= 1 || v > 2 {
+			t.Errorf("q=%v = %v, want in (1, 2]", q, v)
+		}
+	}
+}
+
+func TestHistogramQuantileInterpolation(t *testing.T) {
+	h := NewHistogram([]float64{10, 20, 30})
+	// 10 samples in (10, 20]: the median interpolates to the bucket middle.
+	for i := 0; i < 10; i++ {
+		h.Observe(15)
+	}
+	v, ok := h.Quantile(0.5)
+	if !ok {
+		t.Fatal("ok=false")
+	}
+	if want := 15.0; math.Abs(v-want) > 1e-9 {
+		t.Errorf("p50 = %v, want %v (rank 5 of 10 in bucket (10,20])", v, want)
+	}
+	// Skewed mass: 9 samples <= 10, 1 sample in (20, 30]. p99 must reach
+	// the top bucket, p50 must stay in the bottom one.
+	h2 := NewHistogram([]float64{10, 20, 30})
+	for i := 0; i < 9; i++ {
+		h2.Observe(5)
+	}
+	h2.Observe(25)
+	if v, _ := h2.Quantile(0.5); v > 10 {
+		t.Errorf("p50 = %v, want <= 10", v)
+	}
+	if v, _ := h2.Quantile(0.99); v <= 20 || v > 30 {
+		t.Errorf("p99 = %v, want in (20, 30]", v)
+	}
+}
+
+func TestHistogramQuantileOverflowClamps(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(50)
+	h.Observe(60)
+	v, ok := h.Quantile(0.5)
+	if !ok || v != 2 {
+		t.Errorf("overflow quantile = %v ok=%v, want clamp to largest bound 2", v, ok)
+	}
+}
+
+func TestHistogramQuantileClampsQ(t *testing.T) {
+	h := NewHistogram([]float64{1})
+	h.Observe(0.5)
+	lo, _ := h.Quantile(-3)
+	hi, _ := h.Quantile(7)
+	if lo <= 0 || lo > 1 || hi <= 0 || hi > 1 {
+		t.Errorf("out-of-range q: lo=%v hi=%v, want both in (0, 1]", lo, hi)
+	}
+}
+
+func TestHistogramRejectsUnsortedBounds(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("descending bounds accepted")
+		}
+	}()
+	NewHistogram([]float64{2, 1})
+}
+
+func TestHistogramDefaultBounds(t *testing.T) {
+	h := NewHistogram(nil)
+	if len(h.Bounds()) == 0 {
+		t.Fatal("nil bounds produced no buckets")
+	}
+	h.Observe(0.003)
+	if h.Count() != 1 {
+		t.Errorf("count = %d, want 1", h.Count())
+	}
+}

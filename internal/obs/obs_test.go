@@ -1,0 +1,242 @@
+package obs
+
+import (
+	"bytes"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("via_test_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if again := r.Counter("via_test_total"); again != c {
+		t.Error("second Counter call returned a different instance")
+	}
+
+	g := r.Gauge("via_test_gauge")
+	g.Set(2.5)
+	g.Add(-0.5)
+	if got := g.Value(); got != 2.0 {
+		t.Errorf("gauge = %v, want 2", got)
+	}
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("x").Inc()
+	r.Gauge("y").Set(1)
+	r.GaugeFunc("z", func() float64 { return 1 })
+	r.Histogram("h", nil).Observe(1)
+	if err := r.WriteText(&bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	if snap := r.Snapshot(); snap != nil {
+		t.Errorf("nil registry snapshot = %v, want nil", snap)
+	}
+}
+
+func TestKindConflictPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("via_conflict")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter name as a gauge did not panic")
+		}
+	}()
+	r.Gauge("via_conflict")
+}
+
+func TestGaugeFuncReplaces(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeFunc("via_live", func() float64 { return 1 })
+	r.GaugeFunc("via_live", func() float64 { return 2 }) // revived component re-registers
+	if got := r.Snapshot()["via_live"]; got != 2 {
+		t.Errorf("gaugefunc = %v, want the replacement's 2", got)
+	}
+}
+
+func TestLabelRendering(t *testing.T) {
+	if got, want := L("x_total", "relay", "3"), `x_total{relay="3"}`; got != want {
+		t.Errorf("L = %q, want %q", got, want)
+	}
+	if got, want := L("x", "a", "1", "b", `q"u`), `x{a="1",b="q\"u"}`; got != want {
+		t.Errorf("L = %q, want %q", got, want)
+	}
+	if got := L("bare"); got != "bare" {
+		t.Errorf("L with no labels = %q, want bare name", got)
+	}
+}
+
+func TestWriteTextFormat(t *testing.T) {
+	r := NewRegistry()
+	r.Counter(`via_pkts_total{relay="1"}`).Add(7)
+	r.Counter(`via_pkts_total{relay="0"}`).Add(3)
+	r.Gauge("via_sessions").Set(2)
+	h := r.Histogram("via_lat_seconds", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"# TYPE via_pkts_total counter",
+		`via_pkts_total{relay="0"} 3`,
+		`via_pkts_total{relay="1"} 7`,
+		"# TYPE via_sessions gauge",
+		"via_sessions 2",
+		"# TYPE via_lat_seconds histogram",
+		`via_lat_seconds_bucket{le="0.1"} 1`,
+		`via_lat_seconds_bucket{le="1"} 2`,
+		`via_lat_seconds_bucket{le="+Inf"} 3`,
+		"via_lat_seconds_count 3",
+		"via_lat_seconds_p50",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per base name, not one per labeled series.
+	if n := strings.Count(out, "# TYPE via_pkts_total"); n != 1 {
+		t.Errorf("TYPE lines for via_pkts_total = %d, want 1", n)
+	}
+	// Deterministic: a second render is byte-identical.
+	var buf2 bytes.Buffer
+	if err := r.WriteText(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if buf2.String() != out {
+		t.Error("two renders of identical state differ")
+	}
+	// Labeled series sort within the output.
+	if i0, i1 := strings.Index(out, `{relay="0"}`), strings.Index(out, `{relay="1"}`); i0 > i1 {
+		t.Error("labeled series not sorted")
+	}
+}
+
+func TestSnapshotFlattensHistograms(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram(`via_lat{kind="a"}`, []float64{1, 2})
+	h.Observe(1.5)
+	snap := r.Snapshot()
+	if got := snap[`via_lat_count{kind="a"}`]; got != 1 {
+		t.Errorf("count = %v, want 1", got)
+	}
+	if v, ok := snap[`via_lat_p95{kind="a"}`]; !ok || v <= 1 || v > 2 {
+		t.Errorf("p95 = %v ok=%v, want in (1, 2]", v, ok)
+	}
+}
+
+// TestCounterRace hammers one counter from GOMAXPROCS goroutines; run
+// under -race (make race) this is the lock-freedom proof, and in any mode
+// it checks no increment is lost.
+func TestCounterRace(t *testing.T) {
+	r := NewRegistry()
+	workers := runtime.GOMAXPROCS(0)
+	const perWorker = 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			// Fetch by name every iteration: the lookup path is the hot
+			// path instrumented code uses.
+			for i := 0; i < perWorker; i++ {
+				r.Counter("via_race_total").Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got, want := r.Counter("via_race_total").Value(), int64(workers*perWorker); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+}
+
+func TestHistogramRace(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("via_race_hist", []float64{1, 2, 4})
+	workers := runtime.GOMAXPROCS(0)
+	const perWorker = 5000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				h.Observe(float64(w%5) + 0.5)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got, want := h.Count(), int64(workers*perWorker); got != want {
+		t.Errorf("count = %d, want %d", got, want)
+	}
+}
+
+func TestSpanSink(t *testing.T) {
+	var buf bytes.Buffer
+	sink := NewSpanSink(&buf)
+	sp := &Span{Name: "via.choose", THours: 1.5, Src: 3, Dst: 41, Outcome: "ucb-pick", Option: "bounce(7)"}
+	sp.AddStage("predict", map[string]float64{"candidates": 12}).
+		AddStage("prune", map[string]float64{"topk": 4})
+	sink.Emit(sp)
+	sink.Emit(&Span{Name: "via.choose", Outcome: "direct-default"})
+	if sink.Emitted() != 2 {
+		t.Errorf("emitted = %d, want 2", sink.Emitted())
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("lines = %d, want 2 (JSONL: one span per line)", len(lines))
+	}
+	for _, want := range []string{
+		`"span":"via.choose"`, `"t_hours":1.5`, `"stage":"predict"`,
+		`"candidates":12`, `"outcome":"ucb-pick"`, `"option":"bounce(7)"`,
+	} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("span line missing %q: %s", want, lines[0])
+		}
+	}
+}
+
+func TestSpanSinkNilSafe(t *testing.T) {
+	var sink *SpanSink
+	if sink.Enabled() {
+		t.Error("nil sink reports enabled")
+	}
+	sink.Emit(&Span{Name: "x"}) // must not panic
+	var sp *Span
+	if sp.AddStage("s", nil) != nil {
+		t.Error("nil span AddStage did not stay nil")
+	}
+	if sink.Emitted() != 0 || sink.Errors() != 0 {
+		t.Error("nil sink counters nonzero")
+	}
+}
+
+func TestSpanSinkCountsWriteErrors(t *testing.T) {
+	sink := NewSpanSink(failWriter{})
+	sink.Emit(&Span{Name: "x"})
+	if sink.Errors() != 1 || sink.Emitted() != 0 {
+		t.Errorf("errors=%d emitted=%d, want 1/0", sink.Errors(), sink.Emitted())
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errFail }
+
+var errFail = &writeErr{}
+
+type writeErr struct{}
+
+func (*writeErr) Error() string { return "injected write failure" }

@@ -11,11 +11,13 @@ package relay
 import (
 	"errors"
 	"net"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/transport"
 )
 
@@ -220,4 +222,22 @@ func (n *Node) Sessions() int {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	return len(n.sessions)
+}
+
+// RegisterMetrics publishes the relay's counters on a shared registry as
+// per-relay labeled series, read lazily at scrape time. GaugeFunc replace
+// semantics make re-registering a revived relay under the same id safe —
+// the fresh node's closures displace the dead one's.
+func (n *Node) RegisterMetrics(reg *obs.Registry) {
+	id := strconv.Itoa(int(n.id))
+	reg.GaugeFunc(obs.L("via_relay_forwarded_packets", "relay", id),
+		func() float64 { return float64(n.packets.Load()) })
+	reg.GaugeFunc(obs.L("via_relay_forwarded_bytes", "relay", id),
+		func() float64 { return float64(n.bytes.Load()) })
+	reg.GaugeFunc(obs.L("via_relay_dropped_packets", "relay", id),
+		func() float64 { return float64(n.dropped.Load()) })
+	reg.GaugeFunc(obs.L("via_relay_evicted_sessions", "relay", id),
+		func() float64 { return float64(n.Evicted()) })
+	reg.GaugeFunc(obs.L("via_relay_active_sessions", "relay", id),
+		func() float64 { return float64(n.Sessions()) })
 }

@@ -19,6 +19,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/history"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/quality"
 	"repro/internal/stats"
 	"repro/internal/trace"
@@ -56,6 +57,12 @@ type Config struct {
 	// common-random-numbers design — results are bit-identical at any
 	// worker count.
 	Workers int
+	// Metrics, when set, receives per-run telemetry: per-strategy call
+	// throughput counters (folded in once at the end of each RunOne, never
+	// on the per-call path) and the world's cache hit/miss gauges. The
+	// registry only counts — it draws no randomness and reads no clock —
+	// so instrumented runs stay bit-identical to uninstrumented ones.
+	Metrics *obs.Registry
 }
 
 // DefaultConfig returns the evaluation configuration.
@@ -153,11 +160,24 @@ func NewRunner(w *netsim.World, cfg Config) *Runner {
 	if cfg.MinOptions <= 0 {
 		cfg.MinOptions = 5
 	}
-	return &Runner{
+	r := &Runner{
 		World: w,
 		Cfg:   cfg,
 		root:  stats.NewRNG(cfg.Seed).Split("sim"),
 	}
+	if cfg.Metrics != nil {
+		// Cache telemetry is read lazily at scrape/snapshot time from the
+		// world's atomics — registering costs the replay loop nothing.
+		cfg.Metrics.GaugeFunc("via_netsim_path_cache_hits",
+			func() float64 { return float64(w.CacheStats().PathHits) })
+		cfg.Metrics.GaugeFunc("via_netsim_path_cache_misses",
+			func() float64 { return float64(w.CacheStats().PathMisses) })
+		cfg.Metrics.GaugeFunc("via_netsim_segment_cache_hits",
+			func() float64 { return float64(w.CacheStats().SegmentHits) })
+		cfg.Metrics.GaugeFunc("via_netsim_segment_cache_misses",
+			func() float64 { return float64(w.CacheStats().SegmentMisses) })
+	}
+	return r
 }
 
 // Prepare precomputes the eligibility filter for a trace. It must be called
@@ -345,6 +365,13 @@ func (r *Runner) RunOne(s core.Strategy, recs []trace.CallRecord) *Result {
 			}
 			pnr.Add(m)
 		}
+	}
+	if reg := r.Cfg.Metrics; reg != nil {
+		// One fold-in per run keeps telemetry off the per-call path.
+		reg.Counter(obs.L("via_sim_calls_total", "strategy", res.Name)).Add(int64(len(recs)))
+		reg.Counter(obs.L("via_sim_eligible_total", "strategy", res.Name)).Add(res.Eligible)
+		reg.Counter(obs.L("via_sim_relayed_total", "strategy", res.Name)).Add(res.Bounce + res.Transit)
+		reg.Counter(obs.L("via_sim_probes_total", "strategy", res.Name)).Add(res.Probes)
 	}
 	return res
 }

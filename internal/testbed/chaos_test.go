@@ -1,6 +1,11 @@
 package testbed
 
 import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"os"
+	"strings"
 	"testing"
 	"time"
 
@@ -8,6 +13,7 @@ import (
 	"repro/internal/controller"
 	"repro/internal/faults"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 )
 
 // TestChaosCallsSurviveFaults is the end-to-end resilience scenario: a
@@ -43,6 +49,7 @@ func TestChaosCallsSurviveFaults(t *testing.T) {
 	caller := tb.Client(0)
 	callee := tb.Client(30)
 	sel := client.NewSelector(tb.Ctrl)
+	sel.RegisterMetrics(tb.Metrics, "0")
 	const victim = netsim.RelayID(0)
 	liveCands := []netsim.Option{
 		netsim.DirectOption(), netsim.BounceOption(1), netsim.BounceOption(2),
@@ -67,6 +74,7 @@ func TestChaosCallsSurviveFaults(t *testing.T) {
 	// The real-time scheduler drives the plan against the live testbed.
 	plan := faults.NewPlan(7).KillRelayAt(300*time.Millisecond, victim)
 	sched := faults.NewScheduler(plan, tb)
+	sched.SetMetrics(tb.Metrics)
 	sched.Start()
 	out, err := caller.Agent.CallResilient(client.CallSpec{
 		Peer:     callee.Agent.Addr(),
@@ -201,6 +209,129 @@ func TestChaosCallsSurviveFaults(t *testing.T) {
 	}
 	if m.RTTMs <= 0 {
 		t.Error("revived relay carried no measurable media")
+	}
+
+	// The deployment-wide registry saw it all: the mid-call failover, the
+	// scheduler's injected kill, and the dead-path reports the selector
+	// forwarded. These are the counters CI archives as an artifact.
+	snap := tb.Metrics.Snapshot()
+	if v := snap[obs.L("via_client_failovers", "client", "0")]; v < 1 {
+		t.Errorf("via_client_failovers{client=0} = %v, want >= 1", v)
+	}
+	if v := sumSeries(snap, "via_faults_injected_total"); v < 1 {
+		t.Errorf("via_faults_injected_total = %v, want >= 1 (scheduler kill)", v)
+	}
+	if v := sumSeries(snap, "via_client_dead_path_reports"); v < 1 {
+		t.Errorf("via_client_dead_path_reports = %v, want >= 1", v)
+	}
+	if v := snap["via_controller_panics_total"]; v != 0 {
+		t.Errorf("via_controller_panics_total = %v, want 0", v)
+	}
+	writeMetricsArtifact(t, snap)
+}
+
+// sumSeries totals every series whose name is base or base{labels}.
+func sumSeries(snap map[string]float64, base string) float64 {
+	var sum float64
+	for name, v := range snap {
+		if name == base || strings.HasPrefix(name, base+"{") {
+			sum += v
+		}
+	}
+	return sum
+}
+
+// writeMetricsArtifact dumps the final snapshot as JSON to the path named
+// by CHAOS_METRICS_OUT, when set — CI uploads it as a workflow artifact so
+// a failed chaos run leaves its telemetry behind.
+func writeMetricsArtifact(t *testing.T, snap map[string]float64) {
+	t.Helper()
+	path := os.Getenv("CHAOS_METRICS_OUT")
+	if path == "" {
+		return
+	}
+	buf, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal metrics snapshot: %v", err)
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		t.Fatalf("write metrics snapshot: %v", err)
+	}
+	t.Logf("metrics snapshot (%d series) written to %s", len(snap), path)
+}
+
+// TestMetricsEndpointSpansSubsystems scrapes GET /metrics on a live
+// deployment and checks the exposition covers the whole stack: at least a
+// dozen distinct series, spanning controller, strategy, relay, client, and
+// WAN namespaces, in Prometheus text format.
+func TestMetricsEndpointSpansSubsystems(t *testing.T) {
+	if testing.Short() {
+		t.Skip("testbed e2e is slow")
+	}
+	tb := startSmall(t, nil)
+	caller := tb.Client(0)
+	callee := tb.Client(10)
+
+	// Drive one controller-routed call so request/decision counters move.
+	cands := []netsim.Option{netsim.DirectOption(), netsim.BounceOption(0)}
+	opt, err := tb.Ctrl.Choose(0, 10, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := caller.Agent.Call(client.CallSpec{
+		Peer: callee.Agent.Addr(), Option: opt,
+		Duration: 300 * time.Millisecond, PPS: 100,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Ctrl.Report(0, 10, opt, m); err != nil {
+		t.Fatal(err)
+	}
+
+	resp, err := http.Get(tb.CtrlURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Errorf("Content-Type = %q, want text/plain exposition", ct)
+	}
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	series := make(map[string]bool)
+	for _, line := range strings.Split(string(body), "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		name, _, ok := strings.Cut(line, " ")
+		if !ok {
+			t.Fatalf("malformed exposition line: %q", line)
+		}
+		series[name] = true
+	}
+	if len(series) < 12 {
+		t.Errorf("/metrics exposed %d series, want >= 12:\n%s", len(series), body)
+	}
+	for _, prefix := range []string{
+		"via_controller_", "via_decision_total", "via_relay_", "via_client_", "via_wan_",
+	} {
+		found := false
+		for name := range series {
+			if strings.HasPrefix(name, prefix) {
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("/metrics has no series with prefix %q", prefix)
+		}
 	}
 }
 

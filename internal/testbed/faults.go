@@ -67,6 +67,9 @@ func (tb *Testbed) ReviveRelay(id netsim.RelayID) error {
 	}
 	sh := wan.Wrap(pc, tb.cfg.Seed^uint64(id)<<8)
 	node := relay.New(id, sh)
+	// Rebind the relay's labeled series to the fresh node (GaugeFunc
+	// replace semantics); the dead process's totals are gone with it.
+	node.RegisterMetrics(tb.Metrics)
 	go node.Serve()
 	tb.Relays[i] = node
 	tb.relayShapers[i] = sh

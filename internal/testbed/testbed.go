@@ -13,6 +13,7 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/faults"
 	"repro/internal/netsim"
+	"repro/internal/obs"
 	"repro/internal/quality"
 	"repro/internal/relay"
 	"repro/internal/wan"
@@ -48,6 +50,11 @@ type Config struct {
 	// ControlRetry overrides the shared control client's retry policy
 	// (zero value: controller.DefaultRetryPolicy).
 	ControlRetry controller.RetryPolicy
+	// Metrics optionally supplies the deployment-wide registry, so a
+	// caller can pre-wire its own strategy (core.ViaConfig.Metrics) into
+	// the same one the testbed publishes to. Nil creates a fresh registry;
+	// either way it ends up on Testbed.Metrics and GET /metrics.
+	Metrics *obs.Registry
 }
 
 // ClientNode is one deployed agent.
@@ -74,6 +81,11 @@ type Testbed struct {
 	Relays  []*relay.Node
 	// Flaky is the fault-injectable transport under Ctrl.
 	Flaky *faults.FlakyTransport
+	// Metrics is the deployment-wide registry: controller, strategy,
+	// relays, clients, and WAN shapers all publish into it, and the
+	// controller serves it on GET /metrics. Attach it to a faults.Scheduler
+	// (SetMetrics) to count injections in the same place.
+	Metrics *obs.Registry
 
 	cfg          Config
 	ctrlServer   *http.Server
@@ -99,8 +111,14 @@ func Start(cfg Config) (*Testbed, error) {
 	if len(cfg.ClientASes) < 2 {
 		return nil, fmt.Errorf("testbed: need at least two client ASes")
 	}
+	reg := cfg.Metrics
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
 	if cfg.Strategy == nil {
-		cfg.Strategy = core.NewVia(core.DefaultViaConfig(quality.RTT), nil)
+		vcfg := core.DefaultViaConfig(quality.RTT)
+		vcfg.Metrics = reg
+		cfg.Strategy = core.NewVia(vcfg, nil)
 	}
 	if cfg.TimeScale <= 0 {
 		cfg.TimeScale = 7200
@@ -108,6 +126,7 @@ func Start(cfg Config) (*Testbed, error) {
 
 	tb := &Testbed{
 		World:      cfg.World,
+		Metrics:    reg,
 		cfg:        cfg,
 		deadRelays: make(map[netsim.RelayID]bool),
 		hbStop:     make(chan struct{}),
@@ -127,6 +146,7 @@ func Start(cfg Config) (*Testbed, error) {
 	tb.ctrlListener = ln
 	tb.CtrlSrv = controller.New(controller.Config{
 		Strategy: cfg.Strategy, TimeScale: cfg.TimeScale, RelayTTL: cfg.RelayTTL,
+		Metrics: reg,
 	})
 	tb.ctrlServer = &http.Server{Handler: tb.CtrlSrv.Handler()}
 	go tb.ctrlServer.Serve(ln)
@@ -140,6 +160,16 @@ func Start(cfg Config) (*Testbed, error) {
 	tb.Ctrl.HTTP = &http.Client{Transport: tb.Flaky, Timeout: 30 * time.Second}
 	tb.Ctrl.Retry = cfg.ControlRetry
 	tb.adminCtrl = controller.NewClient(tb.CtrlURL)
+	reg.GaugeFunc("via_client_control_retries",
+		func() float64 { return float64(tb.Ctrl.Retries()) })
+	// WAN telemetry aggregates across every shaper in the deployment; the
+	// closures read live so revived relays' fresh shapers are included.
+	reg.GaugeFunc("via_wan_fault_drops",
+		func() float64 { return tb.wanTotal((*wan.Shaper).FaultDrops) })
+	reg.GaugeFunc("via_wan_loss_drops",
+		func() float64 { return tb.wanTotal((*wan.Shaper).LossDrops) })
+	reg.GaugeFunc("via_wan_delayed_packets",
+		func() float64 { return tb.wanTotal((*wan.Shaper).Delayed) })
 
 	// Relays.
 	for _, id := range cfg.RelayIDs {
@@ -149,6 +179,7 @@ func Start(cfg Config) (*Testbed, error) {
 		}
 		sh := wan.Wrap(pc, cfg.Seed^uint64(id)<<8)
 		node := relay.New(id, sh)
+		node.RegisterMetrics(reg)
 		go node.Serve()
 		tb.Relays = append(tb.Relays, node)
 		tb.relayShapers = append(tb.relayShapers, sh)
@@ -166,6 +197,7 @@ func Start(cfg Config) (*Testbed, error) {
 		}
 		sh := wan.Wrap(pc, cfg.Seed^uint64(as)<<16^uint64(i))
 		ag := client.New(int32(as), sh, cfg.Seed+uint64(i)*7919)
+		ag.RegisterMetrics(reg, strconv.Itoa(int(as)))
 		tb.Clients = append(tb.Clients, &ClientNode{AS: as, Agent: ag, Shaper: sh})
 	}
 
@@ -226,6 +258,21 @@ func (tb *Testbed) configureLinks(relayIDs []netsim.RelayID) {
 			tb.relayShapers[i].SetLink(tb.Relays[j].Addr().String(), p)
 		}
 	}
+}
+
+// wanTotal sums one shaper counter across the whole deployment (clients
+// and whichever relay shapers are currently live).
+func (tb *Testbed) wanTotal(read func(*wan.Shaper) int64) float64 {
+	var sum int64
+	tb.mu.Lock()
+	for _, sh := range tb.relayShapers {
+		sum += read(sh)
+	}
+	tb.mu.Unlock()
+	for _, c := range tb.Clients {
+		sum += read(c.Shaper)
+	}
+	return float64(sum)
 }
 
 // Client returns the node for an AS, or nil.

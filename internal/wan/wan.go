@@ -42,6 +42,8 @@ type Shaper struct {
 	pending   sync.WaitGroup
 
 	faultDrops atomic.Int64
+	lossDrops  atomic.Int64
+	delayed    atomic.Int64
 }
 
 // Wrap builds a shaper around conn. With no configured links, packets pass
@@ -100,6 +102,13 @@ func (s *Shaper) Blackholed(dst string) bool {
 // FaultDrops returns how many datagrams blackholes have eaten.
 func (s *Shaper) FaultDrops() int64 { return s.faultDrops.Load() }
 
+// LossDrops returns how many datagrams statistical loss has eaten
+// (impairment, as opposed to injected blackholes).
+func (s *Shaper) LossDrops() int64 { return s.lossDrops.Load() }
+
+// Delayed returns how many datagrams were delivered late (delay/jitter).
+func (s *Shaper) Delayed() int64 { return s.delayed.Load() }
+
 // Link returns the impairment configured for dst (or the default).
 func (s *Shaper) Link(dst string) LinkParams {
 	s.mu.Lock()
@@ -139,12 +148,14 @@ func (s *Shaper) WriteTo(b []byte, addr net.Addr) (int, error) {
 	s.mu.Unlock()
 
 	if drop {
+		s.lossDrops.Add(1)
 		return len(b), nil
 	}
 	if delay <= 0 {
 		return s.conn.WriteTo(b, addr)
 	}
 	// Deliver later; the caller's buffer may be reused, so copy.
+	s.delayed.Add(1)
 	buf := make([]byte, len(b))
 	copy(buf, b)
 	s.pending.Add(1)
