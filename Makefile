@@ -18,7 +18,7 @@ FUZZTIME ?= 30s
 # introduction: 77.7%).
 COVER_FLOOR ?= 75.0
 
-.PHONY: verify build vet lint test race short fuzz chaos bench bench-json bench-smoke cover
+.PHONY: verify build vet lint test race short fuzz chaos chaos-ha bench bench-json bench-smoke cover
 
 verify: build vet lint test race
 
@@ -50,9 +50,11 @@ race:
 short:
 	$(GO) test -short ./...
 
-# Short fuzz session over the wire-format decoder.
+# Short fuzz sessions over the two byte-level decoders fed by
+# crash-recovery and the wire: the media frame and the WAL frame.
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzFrameUnmarshal -fuzztime=$(FUZZTIME) ./internal/transport/
+	$(GO) test -run=NONE -fuzz=FuzzWALDecode -fuzztime=$(FUZZTIME) ./internal/wal/
 
 # Coverage with a floor: writes coverage.out (CI archives it) and fails
 # below COVER_FLOOR percent total statement coverage.
@@ -66,6 +68,11 @@ cover:
 # Smoke-scale fault-injection benchmark.
 chaos:
 	$(GO) run ./cmd/viabench -quick chaos
+
+# Durable-controller variant: same scenario plus an abrupt controller
+# crash and a WAL-recovery restart mid-run.
+chaos-ha:
+	$(GO) run ./cmd/viabench -quick -waldir $$(mktemp -d) chaos
 
 # Go benchmark suite (per-figure testing.B benchmarks).
 bench:

@@ -25,6 +25,8 @@
 //	-tolerance T     bench: allowed fractional regression (default 0.25)
 //	-modes M         bench: comma-separated passes, seq and/or par (default "seq,par")
 //	-metricsout F    fig18/chaos: write the final metrics snapshot as JSON to F
+//	-waldir D        chaos: run the controller durably (WAL + snapshots in D;
+//	                 the fault plan gains an abrupt crash + WAL-recovery restart)
 //
 // When GITHUB_STEP_SUMMARY is set (GitHub Actions), bench appends a
 // one-line result to the job summary.
@@ -70,6 +72,7 @@ func run() int {
 	tolerance := flag.Float64("tolerance", 0.25, "bench: allowed fractional regression")
 	modes := flag.String("modes", "seq,par", "bench: comma-separated seq,par")
 	metricsOut := flag.String("metricsout", "", "fig18/chaos: write final metrics snapshot JSON to file")
+	walDir := flag.String("waldir", "", "chaos: run the controller durably (WAL+snapshots here; adds crash/WAL-restart faults)")
 	flag.Parse()
 
 	if *list {
@@ -170,6 +173,7 @@ func run() int {
 			}
 			cfg.Seed = *seed + 16
 			cfg.Metrics = liveReg
+			cfg.WALDir = *walDir
 			tables, err = experiments.Chaos(cfg)
 		}
 		if err != nil {
@@ -355,7 +359,7 @@ func writeMemProfile(path string) {
 		return
 	}
 	defer f.Close() //vialint:ignore errwrap best-effort close of profile file on exit
-	runtime.GC() // materialize up-to-date allocation stats
+	runtime.GC()    // materialize up-to-date allocation stats
 	if err := pprof.Lookup("allocs").WriteTo(f, 0); err != nil {
 		fmt.Fprintf(os.Stderr, "memprofile: %v\n", err)
 	}

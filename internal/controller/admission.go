@@ -1,0 +1,115 @@
+package controller
+
+import (
+	"net/http"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Admission control (§7 scalability): the strategy serializes decisions
+// behind one mutex, so under overload every goroutine in the process piles
+// up on that lock and p99 grows without bound. A bounded work queue per hot
+// endpoint keeps the pile-up finite: up to MaxConcurrent requests run, up
+// to MaxWaiting queue briefly, everything beyond that is shed immediately
+// with 503 + Retry-After so callers fall back to their cached-decision
+// Selector (the paper's default-path degradation) instead of timing out.
+
+// AdmissionConfig bounds per-endpoint concurrency on the decision endpoints
+// (/v1/choose, /v1/report). The zero value disables admission control.
+type AdmissionConfig struct {
+	// MaxConcurrent is the number of requests allowed inside the handler at
+	// once, per endpoint. 0 disables admission control entirely.
+	MaxConcurrent int
+	// MaxWaiting bounds the queue behind the concurrency slots; a request
+	// arriving with the queue full is shed immediately. Default: 4×
+	// MaxConcurrent.
+	MaxWaiting int
+	// QueueTimeout caps how long a queued request waits for a slot before
+	// being shed. Default: 100ms — less than a retry's backoff, so shedding
+	// is always cheaper for the caller than queueing would have been.
+	QueueTimeout time.Duration
+}
+
+func (a AdmissionConfig) withDefaults() AdmissionConfig {
+	if a.MaxConcurrent > 0 {
+		if a.MaxWaiting <= 0 {
+			a.MaxWaiting = 4 * a.MaxConcurrent
+		}
+		if a.QueueTimeout <= 0 {
+			a.QueueTimeout = 100 * time.Millisecond
+		}
+	}
+	return a
+}
+
+// limiter is one endpoint's bounded work queue.
+type limiter struct {
+	sem        chan struct{}
+	waiting    atomic.Int64
+	maxWaiting int64
+	timeout    time.Duration
+	shed       *obs.Counter
+}
+
+func newLimiter(cfg AdmissionConfig, shed *obs.Counter) *limiter {
+	cfg = cfg.withDefaults()
+	if cfg.MaxConcurrent <= 0 {
+		return nil
+	}
+	return &limiter{
+		sem:        make(chan struct{}, cfg.MaxConcurrent),
+		maxWaiting: int64(cfg.MaxWaiting),
+		timeout:    cfg.QueueTimeout,
+		shed:       shed,
+	}
+}
+
+// acquire takes a slot, queueing up to the configured bound and timeout.
+// Returns false when the request should be shed.
+func (l *limiter) acquire(done <-chan struct{}) bool {
+	select {
+	case l.sem <- struct{}{}:
+		return true
+	default:
+	}
+	if l.waiting.Add(1) > l.maxWaiting {
+		l.waiting.Add(-1)
+		return false
+	}
+	defer l.waiting.Add(-1)
+	t := time.NewTimer(l.timeout)
+	defer t.Stop()
+	select {
+	case l.sem <- struct{}{}:
+		return true
+	case <-t.C:
+		return false
+	case <-done:
+		return false // caller hung up while queued
+	}
+}
+
+func (l *limiter) release() { <-l.sem }
+
+// admit wraps a handler in the endpoint's limiter. With admission control
+// off (nil limiter) it is the handler unchanged.
+func (s *Server) admit(l *limiter, h http.HandlerFunc) http.HandlerFunc {
+	if l == nil {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		if !l.acquire(r.Context().Done()) {
+			l.shed.Inc()
+			// Retry-After tells well-behaved clients to back off a beat;
+			// the controller.Client treats 503 as retryable with jittered
+			// backoff already, and its circuit breaker opens under a streak.
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, "controller overloaded, request shed", http.StatusServiceUnavailable)
+			return
+		}
+		defer l.release()
+		h(w, r)
+	}
+}

@@ -48,15 +48,27 @@ func DefaultRetryPolicy() RetryPolicy {
 // Client is the HTTP client the relays and call agents use to talk to the
 // controller. Every request carries a deadline and is retried with
 // exponential backoff and jitter under the Retry policy; a zero-valued
-// policy field falls back to its default.
+// policy field falls back to its default. With Replicas set the client
+// fails over between controller endpoints (see failover.go), and a
+// circuit breaker fails fast once the whole control plane looks down.
 type Client struct {
 	Base  string // e.g. "http://127.0.0.1:8080"
 	HTTP  *http.Client
 	Retry RetryPolicy
+	// Replicas are additional controller endpoints (warm standbys) tried
+	// when the current endpoint fails. Set before the first request.
+	Replicas []string
+	// Breaker tunes the circuit breaker; zero value = defaults, negative
+	// Threshold disables it. Set before the first request.
+	Breaker BreakerConfig
 
-	rngMu   sync.Mutex
-	rng     *stats.RNG   // guarded by rngMu
-	retries atomic.Int64 // extra attempts beyond the first, across calls
+	rngMu     sync.Mutex
+	rng       *stats.RNG   // guarded by rngMu
+	retries   atomic.Int64 // extra attempts beyond the first, across calls
+	cursor    atomic.Int32 // sticky index into endpoints()
+	failovers atomic.Int64 // endpoint switches
+	brkOnce   sync.Once
+	brk       *breaker // initialized by breakerState
 }
 
 // NewClient builds a client for a controller base URL with the default
@@ -109,8 +121,16 @@ func retryable(status int) bool {
 }
 
 // do runs one HTTP exchange with retries; makeReq builds a fresh request
-// per attempt (bodies are not rewindable across attempts).
-func (c *Client) do(path string, makeReq func(ctx context.Context) (*http.Request, error), resp any) error {
+// per attempt against the current failover endpoint (bodies are not
+// rewindable across attempts). An endpoint-level failure — connection
+// error or a retryable status, including the 503 a standby answers —
+// advances the failover cursor before the next attempt, so one request's
+// retry budget already spans multiple replicas.
+func (c *Client) do(path string, makeReq func(ctx context.Context, base string) (*http.Request, error), resp any) error {
+	brk := c.breakerState()
+	if !brk.allow() {
+		return ErrCircuitOpen
+	}
 	p := c.policy()
 	var lastErr error
 	for attempt := 0; attempt < p.MaxAttempts; attempt++ {
@@ -127,16 +147,19 @@ func (c *Client) do(path string, makeReq func(ctx context.Context) (*http.Reques
 			c.rngMu.Unlock()
 			time.Sleep(time.Duration(float64(backoff) * (0.1 + 0.9*u)))
 		}
+		eps, cur := c.endpoint()
 		ctx, cancel := context.WithTimeout(context.Background(), p.Timeout)
-		req, err := makeReq(ctx)
+		req, err := makeReq(ctx, eps[cur])
 		if err != nil {
 			cancel()
+			brk.failure()
 			return err // request construction never recovers by retrying
 		}
 		r, err := c.HTTP.Do(req)
 		if err != nil {
 			cancel()
 			lastErr = err
+			c.failover(cur)
 			continue
 		}
 		if r.StatusCode != http.StatusOK {
@@ -144,8 +167,10 @@ func (c *Client) do(path string, makeReq func(ctx context.Context) (*http.Reques
 			cancel()
 			lastErr = fmt.Errorf("controller: %s returned %s", path, r.Status)
 			if !retryable(r.StatusCode) {
+				brk.failure()
 				return lastErr
 			}
+			c.failover(cur)
 			continue
 		}
 		err = json.NewDecoder(r.Body).Decode(resp)
@@ -155,8 +180,10 @@ func (c *Client) do(path string, makeReq func(ctx context.Context) (*http.Reques
 			lastErr = fmt.Errorf("controller: %s decode: %w", path, err)
 			continue // truncated body: transient, retry
 		}
+		brk.success()
 		return nil
 	}
+	brk.failure()
 	return lastErr
 }
 
@@ -165,8 +192,8 @@ func (c *Client) post(path string, req, resp any) error {
 	if err != nil {
 		return err
 	}
-	return c.do(path, func(ctx context.Context) (*http.Request, error) {
-		hr, err := http.NewRequestWithContext(ctx, http.MethodPost, c.Base+path, bytes.NewReader(body))
+	return c.do(path, func(ctx context.Context, base string) (*http.Request, error) {
+		hr, err := http.NewRequestWithContext(ctx, http.MethodPost, base+path, bytes.NewReader(body))
 		if err != nil {
 			return nil, err
 		}
@@ -176,8 +203,8 @@ func (c *Client) post(path string, req, resp any) error {
 }
 
 func (c *Client) get(path string, resp any) error {
-	return c.do(path, func(ctx context.Context) (*http.Request, error) {
-		return http.NewRequestWithContext(ctx, http.MethodGet, c.Base+path, nil)
+	return c.do(path, func(ctx context.Context, base string) (*http.Request, error) {
+		return http.NewRequestWithContext(ctx, http.MethodGet, base+path, nil)
 	}, resp)
 }
 

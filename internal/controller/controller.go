@@ -14,6 +14,7 @@ package controller
 import (
 	"context"
 	"encoding/json"
+	"fmt"
 	"net/http"
 	"runtime/debug"
 	"sort"
@@ -26,11 +27,14 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/transport"
+	"repro/internal/wal"
 )
 
 // Config parameterizes the controller.
 type Config struct {
-	// Strategy makes the relaying decisions. Required.
+	// Strategy makes the relaying decisions. Required. Durability (WALDir)
+	// and standby operation additionally require it to implement
+	// StatefulStrategy (core.Via does).
 	Strategy core.Strategy
 	// TimeScale converts wall-clock seconds to algorithm hours. 0 means
 	// real time (1 hour per hour).
@@ -49,7 +53,55 @@ type Config struct {
 	// fleet-wide scrape endpoint. Nil disables both collection and the
 	// endpoint's content (the route still answers, empty).
 	Metrics *obs.Registry
+
+	// WALDir enables durability: every choose/report is appended to a
+	// write-ahead log there before it reaches the strategy, and snapshots
+	// land in WALDir/snapshots. Use Open (not New) when set. Empty disables
+	// durability (the pre-existing in-memory mode).
+	WALDir string
+	// WALSyncInterval is the WAL group-commit window (see wal.Options).
+	// 0 = the wal package default; negative = fsync per append.
+	WALSyncInterval time.Duration
+	// SnapshotEvery takes a background snapshot after this many applied
+	// records, then truncates the covered WAL prefix. 0 = default 4096;
+	// negative disables automatic snapshots (forced ones still work).
+	SnapshotEvery int
+
+	// StandbyOf, when non-empty, starts the server as a warm standby
+	// tailing the primary controller at this base URL: it replicates the
+	// primary's WAL into its own, applies every record, and refuses
+	// decision traffic until promoted.
+	StandbyOf string
+	// LeaseTimeout is how long the standby tolerates silence from the
+	// primary (no records, no heartbeats) before the lease is considered
+	// lapsed. Default 2s.
+	LeaseTimeout time.Duration
+	// HeartbeatInterval is how often the primary's WAL stream emits a
+	// heartbeat when idle. Default LeaseTimeout/4.
+	HeartbeatInterval time.Duration
+	// AutoPromote lets the standby promote itself when the lease lapses.
+	// Without it, promotion requires POST /v1/promote (or viactl promote).
+	AutoPromote bool
+
+	// Admission bounds concurrency on /v1/choose and /v1/report; excess
+	// load is shed with 503 + Retry-After. Zero value = no limits.
+	Admission AdmissionConfig
+
+	// Clock supplies wall time (nil = time.Now). Injected by tests that
+	// need a controlled virtual clock; replay never consults it —
+	// timestamps replayed from the WAL come from the records themselves.
+	Clock func() time.Time
 }
+
+// Server states (readiness) and roles (lease).
+const (
+	StateReplaying = "replaying" // restoring snapshot / replaying WAL
+	StateStandby   = "standby"   // warm replica, refusing decision traffic
+	StateReady     = "ready"     // serving decisions
+
+	RolePrimary = "primary"
+	RoleStandby = "standby"
+)
 
 // Server is the controller service. Mount Handler on an http.Server.
 //
@@ -61,7 +113,7 @@ type Config struct {
 // returning so restarts lose no measurements.
 type Server struct {
 	cfg   Config
-	start time.Time
+	clock func() time.Time
 
 	mu        sync.RWMutex
 	relays    map[netsim.RelayID]string    // guarded by mu
@@ -78,53 +130,211 @@ type Server struct {
 	// Shutdown waits, and WaitGroup.Add concurrent with Wait is misuse.
 	inflight atomic.Int64
 
+	// Virtual clock: nowHours = baseHours + elapsed-since-baseTime ×
+	// TimeScale. Recovery and promotion reset the pair so algorithm time
+	// resumes from the last WAL record instead of rewinding to zero.
+	clockMu   sync.RWMutex
+	baseHours float64   // guarded by clockMu
+	baseTime  time.Time // guarded by clockMu
+	start     time.Time // process start, for uptime reporting only
+
+	// Durability. walMu serializes WAL append + strategy apply so log
+	// order is apply order — the invariant deterministic replay rests on.
+	wlog          *wal.Log
+	walMu         sync.Mutex
+	lastTHours    float64 // guarded by walMu — newest record timestamp
+	sinceSnapshot int     // guarded by walMu — applied records since last snapshot
+	appliedLSN    atomic.Uint64
+	snapshotting  atomic.Bool
+
+	// HA / lease.
+	term      atomic.Uint64
+	roleVal   atomic.Value // string: RolePrimary | RoleStandby
+	stateVal  atomic.Value // string: StateReplaying | StateStandby | StateReady
+	standby   *standbyRunner
+	promoteMu sync.Mutex // serializes role transitions
+
+	// Admission control.
+	limChoose *limiter
+	limReport *limiter
+
 	// Telemetry handles, pre-resolved at construction so the request path
 	// pays one atomic per event. All are valid no-op instruments when
 	// Config.Metrics is nil.
-	mLatency *obs.Histogram
-	mChooses *obs.Counter
-	mReports *obs.Counter
-	mPanics  *obs.Counter
+	mLatency          *obs.Histogram
+	mChooses          *obs.Counter
+	mReports          *obs.Counter
+	mPanics           *obs.Counter
+	mSnapshotBytes    *obs.Gauge
+	mLeaseTransitions *obs.Counter
 
 	mux *http.ServeMux
 }
 
-// New builds a controller.
+// New builds an in-memory controller (no durability). It starts ready, as
+// primary. For a durable or standby controller use Open.
 func New(cfg Config) *Server {
+	s := newServer(cfg)
+	s.stateVal.Store(StateReady)
+	return s
+}
+
+// Open builds a durable controller: it opens the WAL in cfg.WALDir,
+// restores the latest snapshot, replays the log tail (reaching the exact
+// state of the pre-crash process), and then either assumes the primary
+// role under a fresh term or — when cfg.StandbyOf is set — starts tailing
+// that primary as a warm standby. Callers must Close the server to release
+// the WAL.
+func Open(cfg Config) (*Server, error) {
+	if cfg.WALDir == "" {
+		return nil, fmt.Errorf("controller: Open requires WALDir")
+	}
+	if _, ok := cfg.Strategy.(StatefulStrategy); !ok && cfg.Strategy != nil {
+		return nil, fmt.Errorf("controller: strategy %q does not implement StatefulStrategy; durability needs snapshot support", cfg.Strategy.Name())
+	}
+	s := newServer(cfg)
+	wlog, err := wal.Open(cfg.WALDir, wal.Options{
+		SyncInterval: cfg.WALSyncInterval,
+		Metrics:      cfg.Metrics,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.wlog = wlog
+	if err := s.recoverFromWAL(); err != nil {
+		wlog.Close() //vialint:ignore errwrap error path; the recovery failure is already being returned
+		return nil, err
+	}
+	// Algorithm time resumes from the newest restored record.
+	s.walMu.Lock()
+	restored := s.lastTHours
+	s.walMu.Unlock()
+	s.clockMu.Lock()
+	s.baseHours = restored
+	s.baseTime = s.clock()
+	s.clockMu.Unlock()
+
+	if cfg.StandbyOf != "" {
+		s.roleVal.Store(RoleStandby)
+		s.stateVal.Store(StateStandby)
+		s.standby = newStandbyRunner(s, cfg.StandbyOf)
+		go s.standby.run()
+		return s, nil
+	}
+	// Assume leadership: a new term marks this incarnation in the log so
+	// replicas replaying it agree on who led when.
+	term := s.term.Load() + 1
+	s.term.Store(term)
+	if err := s.appendTerm(term); err != nil {
+		wlog.Close() //vialint:ignore errwrap error path; the append failure is already being returned
+		return nil, err
+	}
+	if err := wlog.Sync(); err != nil {
+		wlog.Close() //vialint:ignore errwrap error path; the sync failure is already being returned
+		return nil, err
+	}
+	s.stateVal.Store(StateReady)
+	return s, nil
+}
+
+// newServer wires routes and telemetry; the caller decides the initial
+// state (New → ready; Open → replaying until recovery finishes).
+func newServer(cfg Config) *Server {
 	if cfg.Strategy == nil {
 		panic("controller: Strategy is required")
 	}
 	if cfg.TimeScale <= 0 {
 		cfg.TimeScale = 1.0 / 3600 // real time: seconds → hours
 	}
+	if cfg.SnapshotEvery == 0 {
+		cfg.SnapshotEvery = 4096
+	}
+	if cfg.LeaseTimeout <= 0 {
+		cfg.LeaseTimeout = 2 * time.Second
+	}
+	if cfg.HeartbeatInterval <= 0 {
+		cfg.HeartbeatInterval = cfg.LeaseTimeout / 4
+	}
+	clock := cfg.Clock
+	if clock == nil {
+		clock = time.Now
+	}
+	now := clock()
 	s := &Server{
 		cfg:       cfg,
-		start:     time.Now(),
+		clock:     clock,
+		start:     now,
+		baseTime:  now,
 		relays:    make(map[netsim.RelayID]string),
 		relaySeen: make(map[netsim.RelayID]time.Time),
 		mux:       http.NewServeMux(),
 	}
-	s.mux.HandleFunc("POST /v1/relays/register", s.handleRegister)
-	s.mux.HandleFunc("GET /v1/relays", s.handleRelays)
-	s.mux.HandleFunc("POST /v1/choose", s.handleChoose)
-	s.mux.HandleFunc("POST /v1/report", s.handleReport)
-	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
-	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
-	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
-	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.roleVal.Store(RolePrimary)
+	s.stateVal.Store(StateReplaying)
 
 	m := cfg.Metrics
 	s.mLatency = m.Histogram("via_controller_request_seconds", obs.LatencyBuckets())
 	s.mChooses = m.Counter("via_controller_chooses_total")
 	s.mReports = m.Counter("via_controller_reports_total")
 	s.mPanics = m.Counter("via_controller_panics_total")
+	s.mSnapshotBytes = m.Gauge("via_controller_snapshot_bytes")
+	s.mLeaseTransitions = m.Counter("via_controller_lease_transitions_total")
 	m.GaugeFunc("via_controller_inflight_requests", func() float64 {
 		return float64(s.inflight.Load())
 	})
 	m.GaugeFunc("via_controller_live_relays", func() float64 {
 		return float64(s.liveRelays())
 	})
+
+	s.limChoose = newLimiter(cfg.Admission,
+		m.Counter(obs.L("via_controller_shed_requests_total", "endpoint", "choose")))
+	s.limReport = newLimiter(cfg.Admission,
+		m.Counter(obs.L("via_controller_shed_requests_total", "endpoint", "report")))
+
+	s.mux.HandleFunc("POST /v1/relays/register", s.handleRegister)
+	s.mux.HandleFunc("GET /v1/relays", s.handleRelays)
+	s.mux.HandleFunc("POST /v1/choose", s.admit(s.limChoose, s.handleChoose))
+	s.mux.HandleFunc("POST /v1/report", s.admit(s.limReport, s.handleReport))
+	s.mux.HandleFunc("GET /v1/stats", s.handleStats)
+	s.mux.HandleFunc("GET /v1/topk", s.handleTopK)
+	s.mux.HandleFunc("GET /v1/health", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/livez", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/readyz", s.handleReadyz)
+	s.mux.HandleFunc("GET /v1/lease", s.handleLease)
+	s.mux.HandleFunc("GET /v1/wal/stream", s.handleWALStream)
+	s.mux.HandleFunc("GET /v1/wal/snapshot", s.handleWALSnapshot)
+	s.mux.HandleFunc("POST /v1/admin/snapshot", s.handleAdminSnapshot)
+	s.mux.HandleFunc("POST /v1/promote", s.handlePromote)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
+}
+
+// State returns the readiness state (replaying / standby / ready).
+func (s *Server) State() string { st, _ := s.stateVal.Load().(string); return st }
+
+// Role returns the lease role (primary / standby).
+func (s *Server) Role() string { r, _ := s.roleVal.Load().(string); return r }
+
+// Term returns the current leadership term.
+func (s *Server) Term() uint64 { return s.term.Load() }
+
+// AppliedLSN returns the LSN of the newest record applied to the strategy
+// (0 when durability is off or nothing is logged yet).
+func (s *Server) AppliedLSN() uint64 { return s.appliedLSN.Load() }
+
+// Close releases durability resources: it waits out an in-flight
+// background snapshot, stops the standby tailer, and closes the WAL.
+// Callers that want zero loss should Shutdown (drain) first.
+func (s *Server) Close() error {
+	if s.standby != nil {
+		s.standby.requestStop()
+		<-s.standby.done
+	}
+	if s.wlog == nil {
+		return nil
+	}
+	s.waitSnapshots(2 * time.Second)
+	return s.wlog.Close()
 }
 
 // Handler returns the HTTP handler: the API mux wrapped in panic
@@ -179,9 +389,26 @@ func (s *Server) Panics() (int64, string) {
 	return s.panics.Load(), stack
 }
 
-// nowHours returns the virtualized algorithm time.
+// nowHours returns the virtualized algorithm time: the restored base plus
+// scaled wall time since the base was set. Fresh servers have base 0, so
+// this reduces to the original elapsed×TimeScale; recovered or promoted
+// servers continue from the newest WAL record instead of rewinding.
 func (s *Server) nowHours() float64 {
-	return time.Since(s.start).Seconds() * s.cfg.TimeScale
+	s.clockMu.RLock()
+	base, since := s.baseHours, s.clock().Sub(s.baseTime)
+	s.clockMu.RUnlock()
+	return base + since.Seconds()*s.cfg.TimeScale
+}
+
+// requireReady gates decision endpoints: a replaying or standby controller
+// must not serve (or log) decisions. Returns false after writing the 503.
+func (s *Server) requireReady(w http.ResponseWriter) bool {
+	if st := s.State(); st != StateReady {
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, "controller not ready: "+st, http.StatusServiceUnavailable)
+		return false
+	}
+	return true
 }
 
 func decode[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
@@ -195,6 +422,15 @@ func decode[T any](w http.ResponseWriter, r *http.Request) (T, bool) {
 
 func reply(w http.ResponseWriter, v any) {
 	w.Header().Set("Content-Type", "application/json")
+	//vialint:ignore errwrap an encode failure means the client hung up; there is no one left to tell
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// replyStatus is reply with an explicit status code (readiness 503s carry
+// a JSON body too).
+func replyStatus(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
 	//vialint:ignore errwrap an encode failure means the client hung up; there is no one left to tell
 	_ = json.NewEncoder(w).Encode(v)
 }
@@ -243,6 +479,9 @@ func (s *Server) handleRelays(w http.ResponseWriter, _ *http.Request) {
 }
 
 func (s *Server) handleChoose(w http.ResponseWriter, r *http.Request) {
+	if !s.requireReady(w) {
+		return
+	}
 	req, ok := decode[transport.ChooseRequest](w, r)
 	if !ok {
 		return
@@ -250,7 +489,8 @@ func (s *Server) handleChoose(w http.ResponseWriter, r *http.Request) {
 	if len(req.Candidates) == 0 {
 		// An empty candidate set has exactly one answer — the default
 		// path. Answer it directly rather than handing strategies a nil
-		// slice to index.
+		// slice to index. Nothing reaches the strategy, so nothing needs
+		// the WAL either.
 		s.chooses.Add(1)
 		s.mChooses.Inc()
 		reply(w, transport.ChooseResponse{Option: transport.ToWireOption(netsim.DirectOption())})
@@ -265,13 +505,22 @@ func (s *Server) handleChoose(w http.ResponseWriter, r *http.Request) {
 		Dst:    netsim.ASID(req.Dst),
 		THours: s.nowHours(),
 	}
-	opt := s.cfg.Strategy.Choose(call, cands)
+	opt, err := s.applyChoose(call, cands)
+	if err != nil {
+		// The decision could not be made durable; pretending otherwise
+		// would hand out state the log cannot reproduce.
+		http.Error(w, "durability failure: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
 	s.chooses.Add(1)
 	s.mChooses.Inc()
 	reply(w, transport.ChooseResponse{Option: transport.ToWireOption(opt)})
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
+	if !s.requireReady(w) {
+		return
+	}
 	req, ok := decode[transport.ReportRequest](w, r)
 	if !ok {
 		return
@@ -286,7 +535,10 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		Dst:    netsim.ASID(req.Dst),
 		THours: s.nowHours(),
 	}
-	s.cfg.Strategy.Observe(call, req.Option.Option(), m)
+	if err := s.applyReport(call, req.Option.Option(), req.Metrics); err != nil {
+		http.Error(w, "durability failure: "+err.Error(), http.StatusInternalServerError)
+		return
+	}
 	s.reports.Add(1)
 	s.mReports.Inc()
 	reply(w, transport.ReportResponse{OK: true})
@@ -351,14 +603,35 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	})
 }
 
-// handleHealth is the liveness probe: cheap, no strategy involvement.
+// handleHealth is the liveness probe (/v1/health and /v1/livez): cheap, no
+// strategy involvement, answers in every state — a replaying or standby
+// process is alive, just not ready.
 func (s *Server) handleHealth(w http.ResponseWriter, _ *http.Request) {
 	reply(w, transport.HealthResponse{
 		OK:        true,
 		Relays:    s.liveRelays(),
 		UptimeSec: time.Since(s.start).Seconds(),
 		Draining:  s.draining.Load(),
+		State:     s.State(),
 	})
+}
+
+// handleReadyz is the readiness probe: 200 only once decision traffic can
+// be served, 503 with the state (replaying / standby) otherwise, so load
+// balancers and the testbed never route to a controller mid-recovery.
+func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	st := s.State()
+	resp := transport.ReadyResponse{
+		OK:         st == StateReady,
+		State:      st,
+		Term:       s.term.Load(),
+		AppliedLSN: s.appliedLSN.Load(),
+	}
+	code := http.StatusOK
+	if !resp.OK {
+		code = http.StatusServiceUnavailable
+	}
+	replyStatus(w, code, resp)
 }
 
 // liveRelays counts registered relays whose heartbeat has not lapsed.

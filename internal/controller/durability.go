@@ -1,0 +1,343 @@
+package controller
+
+import (
+	"bytes"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"path/filepath"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/transport"
+	"repro/internal/wal"
+)
+
+// Durability: every state-bearing request is appended to the WAL before it
+// is applied to the strategy, under one mutex, so log order IS apply order.
+// Replaying the log therefore reproduces the exact state sequence —
+// including the strategy's internal RNG draws, because choose records are
+// re-executed (and their results discarded) rather than patched in.
+//
+// Timestamps in replay come from the records, never from the wall clock:
+// the virtual call time (THours) is computed once, on the live request
+// path, written into the record, and read back verbatim on replay. The
+// virtual clock itself resumes from the last record's timestamp (plus the
+// snapshot's), so restarts never rewind algorithm time.
+
+// StatefulStrategy is a strategy whose full decision state can be captured
+// and restored — what snapshots persist. core.Via implements it.
+type StatefulStrategy interface {
+	core.Strategy
+	SaveState(w io.Writer) error
+	LoadState(r io.Reader) error
+}
+
+// WAL record types.
+const (
+	recChoose wal.Type = 1
+	recReport wal.Type = 2
+	recTerm   wal.Type = 3
+)
+
+// walChoose is the durable form of one /v1/choose decision input.
+type walChoose struct {
+	THours float64                `json:"t_hours"`
+	Src    int32                  `json:"src"`
+	Dst    int32                  `json:"dst"`
+	Cands  []transport.WireOption `json:"cands"`
+}
+
+// walReport is the durable form of one /v1/report observation.
+type walReport struct {
+	THours  float64               `json:"t_hours"`
+	Src     int32                 `json:"src"`
+	Dst     int32                 `json:"dst"`
+	Option  transport.WireOption  `json:"option"`
+	Metrics transport.WireMetrics `json:"metrics"`
+}
+
+// walTerm marks a leadership acquisition: every boot-as-primary and every
+// promotion appends one, so replicas replaying the log always agree on the
+// current term.
+type walTerm struct {
+	Term uint64 `json:"term"`
+}
+
+const ctrlSnapshotVersion = 1
+
+// ctrlSnapshot is the controller-level snapshot payload: the strategy's
+// full state plus the controller state replay cannot rebuild once the
+// covered WAL prefix is truncated.
+type ctrlSnapshot struct {
+	Version   int
+	Term      uint64
+	BaseHours float64 // virtual-clock position at capture
+	Strategy  []byte  // StatefulStrategy.SaveState output
+}
+
+func snapDir(walDir string) string { return filepath.Join(walDir, "snapshots") }
+
+// appendRecord marshals and appends one record. Caller holds s.walMu.
+func (s *Server) appendRecordLocked(typ wal.Type, v any) (uint64, error) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		return 0, fmt.Errorf("controller: marshal wal record: %w", err)
+	}
+	lsn, err := s.wlog.Append(wal.Record{Type: typ, Data: data})
+	if err != nil {
+		return 0, err
+	}
+	s.appliedLSN.Store(lsn)
+	return lsn, nil
+}
+
+// applyChoose runs one choose decision, writing it to the WAL first when
+// durability is on. The append and the strategy call share walMu so a
+// concurrent request cannot interleave between them — WAL order must equal
+// apply order or replay diverges.
+func (s *Server) applyChoose(call core.Call, cands []netsim.Option) (netsim.Option, error) {
+	if s.wlog == nil {
+		return s.cfg.Strategy.Choose(call, cands), nil
+	}
+	rec := walChoose{THours: call.THours, Src: int32(call.Src), Dst: int32(call.Dst)}
+	for _, o := range cands {
+		rec.Cands = append(rec.Cands, transport.ToWireOption(o))
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if _, err := s.appendRecordLocked(recChoose, rec); err != nil {
+		return netsim.DirectOption(), err
+	}
+	s.noteTHoursLocked(call.THours)
+	opt := s.cfg.Strategy.Choose(call, cands)
+	s.maybeSnapshotLocked()
+	return opt, nil
+}
+
+// applyReport folds one observation in, WAL-first like applyChoose. wm is
+// the report's wire-form metrics — the exact bytes replay will see.
+func (s *Server) applyReport(call core.Call, opt netsim.Option, wm transport.WireMetrics) error {
+	if s.wlog == nil {
+		s.cfg.Strategy.Observe(call, opt, wm.Metrics())
+		return nil
+	}
+	rec := walReport{
+		THours: call.THours, Src: int32(call.Src), Dst: int32(call.Dst),
+		Option: transport.ToWireOption(opt), Metrics: wm,
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	if _, err := s.appendRecordLocked(recReport, rec); err != nil {
+		return err
+	}
+	s.noteTHoursLocked(call.THours)
+	s.cfg.Strategy.Observe(call, opt, wm.Metrics())
+	s.maybeSnapshotLocked()
+	return nil
+}
+
+// appendTerm records a leadership acquisition.
+func (s *Server) appendTerm(term uint64) error {
+	if s.wlog == nil {
+		return nil
+	}
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	_, err := s.appendRecordLocked(recTerm, walTerm{Term: term})
+	return err
+}
+
+// noteTHoursLocked tracks the newest record timestamp for snapshot
+// BaseHours. Caller holds s.walMu.
+func (s *Server) noteTHoursLocked(th float64) {
+	if th > s.lastTHours {
+		s.lastTHours = th
+	}
+}
+
+// applyRecord replays one WAL record into the strategy — the shared apply
+// path of boot recovery and the standby tailer. Decision results are
+// discarded: the point is the state transition (history, UCB arms, budget
+// counters, RNG position), which re-execution reproduces exactly.
+// Timestamps come from the record. Caller holds s.walMu (or is
+// single-threaded recovery).
+func (s *Server) applyRecordLocked(rec wal.Record) error {
+	switch rec.Type {
+	case recChoose:
+		var r walChoose
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return fmt.Errorf("controller: decode choose record: %w", err)
+		}
+		cands := make([]netsim.Option, len(r.Cands))
+		for i, c := range r.Cands {
+			cands[i] = c.Option()
+		}
+		call := core.Call{Src: netsim.ASID(r.Src), Dst: netsim.ASID(r.Dst), THours: r.THours}
+		s.cfg.Strategy.Choose(call, cands)
+		s.noteTHoursLocked(r.THours)
+	case recReport:
+		var r walReport
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return fmt.Errorf("controller: decode report record: %w", err)
+		}
+		call := core.Call{Src: netsim.ASID(r.Src), Dst: netsim.ASID(r.Dst), THours: r.THours}
+		s.cfg.Strategy.Observe(call, r.Option.Option(), r.Metrics.Metrics())
+		s.noteTHoursLocked(r.THours)
+	case recTerm:
+		var r walTerm
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return fmt.Errorf("controller: decode term record: %w", err)
+		}
+		s.term.Store(r.Term)
+	default:
+		return fmt.Errorf("controller: unknown wal record type %d", rec.Type)
+	}
+	return nil
+}
+
+// DescribeRecord renders one controller WAL record for humans — the
+// viactl wal-dump subcommand. The payload of every controller record is
+// JSON, so the description is the type's name plus the payload verbatim.
+func DescribeRecord(rec wal.Record) string {
+	switch rec.Type {
+	case recChoose:
+		return fmt.Sprintf("choose %s", rec.Data)
+	case recReport:
+		return fmt.Sprintf("report %s", rec.Data)
+	case recTerm:
+		return fmt.Sprintf("term   %s", rec.Data)
+	default:
+		return fmt.Sprintf("unknown(type=%d) %d bytes", rec.Type, len(rec.Data))
+	}
+}
+
+// recoverFromWAL restores the latest snapshot and replays the WAL tail.
+// Runs once, from Open, before the server accepts decision traffic — but
+// it mutates walMu-guarded state, so it holds the (uncontended) lock.
+func (s *Server) recoverFromWAL() error {
+	s.walMu.Lock()
+	defer s.walMu.Unlock()
+	stateful, _ := s.cfg.Strategy.(StatefulStrategy)
+	from := uint64(1)
+	lsn, payload, ok, err := wal.LatestSnapshot(snapDir(s.cfg.WALDir))
+	if err != nil {
+		return err
+	}
+	if ok {
+		if stateful == nil {
+			return fmt.Errorf("controller: snapshot present but strategy %q cannot restore state", s.cfg.Strategy.Name())
+		}
+		var snap ctrlSnapshot
+		if err := gob.NewDecoder(bytes.NewReader(payload)).Decode(&snap); err != nil {
+			return fmt.Errorf("controller: decode snapshot: %w", err)
+		}
+		if snap.Version != ctrlSnapshotVersion {
+			return fmt.Errorf("controller: snapshot version %d, want %d", snap.Version, ctrlSnapshotVersion)
+		}
+		if err := stateful.LoadState(bytes.NewReader(snap.Strategy)); err != nil {
+			return fmt.Errorf("controller: restore strategy state: %w", err)
+		}
+		s.term.Store(snap.Term)
+		s.lastTHours = snap.BaseHours
+		s.appliedLSN.Store(lsn)
+		from = lsn + 1
+	}
+	replayed := 0
+	err = s.wlog.Replay(from, func(l uint64, rec wal.Record) error {
+		if err := s.applyRecordLocked(rec); err != nil {
+			return fmt.Errorf("lsn %d: %w", l, err)
+		}
+		s.appliedLSN.Store(l)
+		replayed++
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("controller: wal replay: %w", err)
+	}
+	s.sinceSnapshot = replayed
+	return nil
+}
+
+// captureSnapshotLocked serializes the controller snapshot payload at the
+// current applied LSN. Caller holds s.walMu, so no apply can slide in
+// between reading the LSN and capturing the state.
+func (s *Server) captureSnapshotLocked() (uint64, []byte, error) {
+	stateful, ok := s.cfg.Strategy.(StatefulStrategy)
+	if !ok {
+		return 0, nil, fmt.Errorf("controller: strategy %q does not support snapshots", s.cfg.Strategy.Name())
+	}
+	var state bytes.Buffer
+	if err := stateful.SaveState(&state); err != nil {
+		return 0, nil, fmt.Errorf("controller: capture strategy state: %w", err)
+	}
+	snap := ctrlSnapshot{
+		Version:   ctrlSnapshotVersion,
+		Term:      s.term.Load(),
+		BaseHours: s.lastTHours,
+		Strategy:  state.Bytes(),
+	}
+	var payload bytes.Buffer
+	if err := gob.NewEncoder(&payload).Encode(&snap); err != nil {
+		return 0, nil, fmt.Errorf("controller: encode snapshot: %w", err)
+	}
+	return s.appliedLSN.Load(), payload.Bytes(), nil
+}
+
+// Snapshot forces a durable snapshot now and truncates the WAL prefix it
+// covers. Returns the covered LSN and the snapshot size in bytes.
+func (s *Server) Snapshot() (uint64, int64, error) {
+	if s.wlog == nil {
+		return 0, 0, fmt.Errorf("controller: durability not enabled")
+	}
+	// Everything the snapshot covers must be on disk before the covering
+	// prefix becomes eligible for truncation.
+	if err := s.wlog.Sync(); err != nil {
+		return 0, 0, err
+	}
+	s.walMu.Lock()
+	lsn, payload, err := s.captureSnapshotLocked()
+	s.sinceSnapshot = 0
+	s.walMu.Unlock()
+	if err != nil {
+		return 0, 0, err
+	}
+	if _, err := wal.WriteSnapshot(snapDir(s.cfg.WALDir), lsn, payload); err != nil {
+		return 0, 0, err
+	}
+	s.mSnapshotBytes.Set(float64(len(payload)))
+	if err := s.wlog.TruncateBefore(lsn + 1); err != nil {
+		return 0, 0, err
+	}
+	return lsn, int64(len(payload)), nil
+}
+
+// maybeSnapshotLocked kicks off a background snapshot once enough records
+// have been applied since the last one. Caller holds s.walMu; the actual
+// capture re-acquires it from the goroutine, so the triggering request
+// doesn't pay the capture cost.
+func (s *Server) maybeSnapshotLocked() {
+	s.sinceSnapshot++
+	if s.cfg.SnapshotEvery <= 0 || s.sinceSnapshot < s.cfg.SnapshotEvery {
+		return
+	}
+	if !s.snapshotting.CompareAndSwap(false, true) {
+		return // one at a time
+	}
+	s.sinceSnapshot = 0
+	go func() {
+		defer s.snapshotting.Store(false)
+		//vialint:ignore errwrap background snapshot failure must not crash serving; the next trigger retries and the error surfaces in the snapshot-age metric staying flat
+		_, _, _ = s.Snapshot()
+	}()
+}
+
+// waitSnapshots lets Close wait for an in-flight background snapshot.
+func (s *Server) waitSnapshots(timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for s.snapshotting.Load() && time.Now().Before(deadline) {
+		time.Sleep(time.Millisecond)
+	}
+}

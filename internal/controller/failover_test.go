@@ -1,0 +1,185 @@
+package controller
+
+import (
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/netsim"
+	"repro/internal/quality"
+)
+
+// fastRetry keeps failover tests quick: one extra attempt, tiny backoff.
+func fastRetry() RetryPolicy {
+	return RetryPolicy{MaxAttempts: 2, BaseDelay: time.Millisecond,
+		MaxDelay: 2 * time.Millisecond, Timeout: time.Second}
+}
+
+// TestClientFailsOverToReplica: when the primary endpoint refuses (503, as
+// a standby or shedding controller does), the request's own retry budget
+// lands it on a replica, and the cursor sticks there for later requests.
+func TestClientFailsOverToReplica(t *testing.T) {
+	var deadHits atomic.Int64
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		deadHits.Add(1)
+		http.Error(w, "standby", http.StatusServiceUnavailable)
+	}))
+	defer dead.Close()
+
+	live := New(Config{Strategy: &recordingStrategy{ret: netsim.BounceOption(1)}})
+	liveTS := httptest.NewServer(live.Handler())
+	defer liveTS.Close()
+
+	c := NewClient(dead.URL)
+	c.Replicas = []string{liveTS.URL}
+	c.Retry = fastRetry()
+
+	cands := []netsim.Option{netsim.DirectOption(), netsim.BounceOption(1)}
+	opt, err := c.Choose(1, 2, cands)
+	if err != nil {
+		t.Fatalf("choose across failover: %v", err)
+	}
+	if opt != netsim.BounceOption(1) {
+		t.Fatalf("chose %v", opt)
+	}
+	if c.Failovers() == 0 {
+		t.Fatal("no failover recorded")
+	}
+	hitsAfterFailover := deadHits.Load()
+
+	// Sticky: subsequent requests go straight to the replica.
+	for i := 0; i < 5; i++ {
+		if _, err := c.Choose(1, 2, cands); err != nil {
+			t.Fatalf("post-failover choose %d: %v", i, err)
+		}
+	}
+	if got := deadHits.Load(); got != hitsAfterFailover {
+		t.Fatalf("dead endpoint hit %d more times after failover", got-hitsAfterFailover)
+	}
+}
+
+// TestClientBreakerOpensFailsFastAndRecovers: a down control plane trips
+// the breaker after Threshold consecutive request failures; while open,
+// calls fail in microseconds with ErrCircuitOpen (no network, no retry
+// sleeps); after Cooldown a half-open probe finds the recovered controller
+// and closes the circuit.
+func TestClientBreakerOpensFailsFastAndRecovers(t *testing.T) {
+	var healthy atomic.Bool
+	inner := New(Config{Strategy: &recordingStrategy{ret: netsim.DirectOption()}})
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if !healthy.Load() {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		inner.Handler().ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	c := NewClient(ts.URL)
+	c.Retry = fastRetry()
+	c.Breaker = BreakerConfig{Threshold: 2, Cooldown: 50 * time.Millisecond}
+
+	cands := []netsim.Option{netsim.DirectOption()}
+	for i := 0; i < 2; i++ {
+		if _, err := c.Choose(1, 2, cands); err == nil {
+			t.Fatalf("request %d against down controller succeeded", i)
+		}
+	}
+	if open, trips := c.BreakerOpen(); !open || trips != 1 {
+		t.Fatalf("after threshold failures: open=%v trips=%d", open, trips)
+	}
+
+	// Open circuit: fail fast, no I/O.
+	start := time.Now()
+	if _, err := c.Choose(1, 2, cands); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("open-circuit error = %v", err)
+	}
+	if d := time.Since(start); d > 20*time.Millisecond {
+		t.Fatalf("open-circuit request took %v; should not touch the network", d)
+	}
+
+	// A probe against a still-down controller re-opens the circuit.
+	time.Sleep(60 * time.Millisecond)
+	if _, err := c.Choose(1, 2, cands); err == nil || errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("half-open probe error = %v", err)
+	}
+	if _, err := c.Choose(1, 2, cands); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("post-failed-probe error = %v", err)
+	}
+
+	// Recovery: probe succeeds, circuit closes, traffic flows.
+	healthy.Store(true)
+	time.Sleep(60 * time.Millisecond)
+	if _, err := c.Choose(1, 2, cands); err != nil {
+		t.Fatalf("probe against recovered controller: %v", err)
+	}
+	if open, _ := c.BreakerOpen(); open {
+		t.Fatal("breaker still open after successful probe")
+	}
+	if err := c.Report(1, 2, netsim.DirectOption(), quality.Metrics{RTTMs: 50, LossRate: 0, JitterMs: 1}); err != nil {
+		t.Fatalf("report after recovery: %v", err)
+	}
+}
+
+// TestClientBreakerDisabled: Threshold < 0 never opens the circuit no
+// matter how many failures accumulate.
+func TestClientBreakerDisabled(t *testing.T) {
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		http.Error(w, "down", http.StatusServiceUnavailable)
+	}))
+	defer ts.Close()
+	c := NewClient(ts.URL)
+	c.Retry = fastRetry()
+	c.Breaker = BreakerConfig{Threshold: -1}
+	for i := 0; i < 10; i++ {
+		if _, err := c.Choose(1, 2, []netsim.Option{netsim.DirectOption()}); errors.Is(err, ErrCircuitOpen) {
+			t.Fatalf("disabled breaker opened on request %d", i)
+		}
+	}
+	if open, trips := c.BreakerOpen(); open || trips != 0 {
+		t.Fatalf("disabled breaker: open=%v trips=%d", open, trips)
+	}
+}
+
+// TestClientFailoverWithPromotion: the end-to-end client story — primary
+// dies, standby is promoted, and the same Client object keeps serving
+// decisions because its cursor walks to the promoted replica.
+func TestClientFailoverWithPromotion(t *testing.T) {
+	clk := newFakeClock()
+	p, pts, pc := startPrimary(t, t.TempDir(), clk, -1)
+	drive20(t, clk, pc)
+
+	sb := startStandby(t, t.TempDir(), pts.URL, clk, false)
+	defer sb.Close()
+	sts := httptest.NewServer(sb.Handler())
+	defer sts.Close()
+	waitFor(t, 5*time.Second, "standby catch-up", func() bool {
+		return sb.AppliedLSN() == p.AppliedLSN()
+	})
+
+	c := NewClient(pts.URL)
+	c.Replicas = []string{sts.URL}
+	c.Retry = fastRetry()
+	cands := testCands()
+	if _, err := c.Choose(3, 9, cands); err != nil {
+		t.Fatalf("choose via primary: %v", err)
+	}
+
+	pts.Close()
+	if err := p.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sb.Promote(); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(97 * time.Millisecond)
+	if _, err := c.Choose(3, 9, cands); err != nil {
+		t.Fatalf("choose after failover to promoted standby: %v", err)
+	}
+	if c.Failovers() == 0 {
+		t.Fatal("client never failed over")
+	}
+}

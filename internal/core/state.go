@@ -1,0 +1,214 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/history"
+	"repro/internal/netsim"
+	"repro/internal/stats"
+)
+
+// Full-state persistence for Via — the controller's snapshot payload.
+//
+// SaveHistory/LoadHistory (persist.go-era API) only carry the call history,
+// which is NOT enough for crash recovery with bit-identical behavior: the
+// budget counters, the per-pair top-k caches, the UCB arm memory (which
+// decays and reseeds — both history-dependent and order-dependent), the
+// benefit percentile estimator, and the ε-draw RNG position all influence
+// Choose. SaveState captures every one of those; LoadState restores them
+// and deterministically rebuilds the predictor from the restored history,
+// so a controller restored from a snapshot (plus WAL replay of the tail)
+// continues the exact decision stream of an uninterrupted run.
+//
+// The config is deliberately NOT serialized: the operator's config is the
+// source of truth, and restoring state under a changed config (say, a new
+// Budget) must honor the new config, not resurrect the old one.
+
+const viaStateVersion = 1
+
+// viaArmRec is one UCB arm in exported, ordered form.
+type viaArmRec struct {
+	Opt   netsim.Option
+	Count float64
+	Sum   float64
+}
+
+// viaPairRec is one pair's decision state.
+type viaPairRec struct {
+	A, B      int32
+	TopkEpoch int
+	Topk      []Candidate
+	Cands     []netsim.Option
+	UCBT      float64
+	UCBMaxQ   float64
+	Arms      []viaArmRec
+}
+
+// viaRelayUseRec is one relay's budget-usage count. A slice (not a map)
+// so the gob bytes are reproducible — gob serializes maps in iteration
+// order, which would make two captures of identical state differ.
+type viaRelayUseRec struct {
+	Relay netsim.RelayID
+	Count int64
+}
+
+// viaState is the full serialized form.
+type viaState struct {
+	Version    int
+	History    []byte // history.Store.Save stream, embedded whole
+	CurEpoch   int
+	Pairs      []viaPairRec
+	HasBenefit bool
+	Benefit    stats.P2State
+	Relayed    int64
+	Total      int64
+	RelayedSec float64
+	TotalSec   float64
+	RelayUse   []viaRelayUseRec // sorted by relay ID
+	RelayCalls int64
+	RNG        stats.RNGState
+}
+
+// SaveState writes the strategy's complete decision state. Safe to call
+// concurrently with Choose/Observe; the captured state is a consistent
+// point-in-time cut.
+func (v *Via) SaveState(w io.Writer) error {
+	var hist bytes.Buffer
+	if err := v.store.Save(&hist); err != nil {
+		return fmt.Errorf("core: save history: %w", err)
+	}
+
+	v.mu.Lock()
+	st := viaState{
+		Version:    viaStateVersion,
+		History:    hist.Bytes(),
+		CurEpoch:   v.curEpoch,
+		HasBenefit: v.benefit != nil,
+		Relayed:    v.relayed,
+		Total:      v.total,
+		RelayedSec: v.relayedSec,
+		TotalSec:   v.totalSec,
+		RelayUse:   make([]viaRelayUseRec, 0, len(v.relayUse)),
+		RelayCalls: v.relayCalls,
+	}
+	if v.benefit != nil {
+		st.Benefit = v.benefit.State()
+	}
+	for r, n := range v.relayUse {
+		st.RelayUse = append(st.RelayUse, viaRelayUseRec{Relay: r, Count: n})
+	}
+	sort.Slice(st.RelayUse, func(i, j int) bool { return st.RelayUse[i].Relay < st.RelayUse[j].Relay })
+	rngState, err := v.rng.State()
+	if err != nil {
+		v.mu.Unlock()
+		return fmt.Errorf("core: save rng: %w", err)
+	}
+	st.RNG = rngState
+	for gp, ps := range v.pairs {
+		rec := viaPairRec{
+			A:         gp.a,
+			B:         gp.b,
+			TopkEpoch: ps.topkEpoch,
+			Topk:      append([]Candidate(nil), ps.topk...),
+			Cands:     append([]netsim.Option(nil), ps.cands...),
+			UCBT:      ps.ucb.t,
+			UCBMaxQ:   ps.ucb.maxQ,
+		}
+		for opt, a := range ps.ucb.arms {
+			rec.Arms = append(rec.Arms, viaArmRec{Opt: opt, Count: a.count, Sum: a.sum})
+		}
+		// Arms live in a map; order them so the byte stream is reproducible.
+		sort.Slice(rec.Arms, func(i, j int) bool { return optionLess(rec.Arms[i].Opt, rec.Arms[j].Opt) })
+		st.Pairs = append(st.Pairs, rec)
+	}
+	v.mu.Unlock()
+
+	sort.Slice(st.Pairs, func(i, j int) bool {
+		if st.Pairs[i].A != st.Pairs[j].A {
+			return st.Pairs[i].A < st.Pairs[j].A
+		}
+		return st.Pairs[i].B < st.Pairs[j].B
+	})
+
+	if err := gob.NewEncoder(w).Encode(&st); err != nil {
+		return fmt.Errorf("core: encode state: %w", err)
+	}
+	return nil
+}
+
+// LoadState restores a SaveState capture into a freshly constructed Via
+// (same config). The predictor is rebuilt deterministically from the
+// restored history — it is a pure function of (history, epoch, backbone,
+// predictor config), so it is not serialized.
+func (v *Via) LoadState(r io.Reader) error {
+	var st viaState
+	if err := gob.NewDecoder(r).Decode(&st); err != nil {
+		return fmt.Errorf("core: decode state: %w", err)
+	}
+	if st.Version != viaStateVersion {
+		return fmt.Errorf("core: state version %d, want %d", st.Version, viaStateVersion)
+	}
+
+	store := history.NewStore()
+	if len(st.History) > 0 {
+		if err := store.Load(bytes.NewReader(st.History)); err != nil {
+			return fmt.Errorf("core: load history: %w", err)
+		}
+	}
+	rng, err := stats.RestoreRNG(st.RNG)
+	if err != nil {
+		return fmt.Errorf("core: restore rng: %w", err)
+	}
+	var benefit *stats.P2
+	if st.HasBenefit {
+		benefit, err = stats.RestoreP2(st.Benefit)
+		if err != nil {
+			return fmt.Errorf("core: restore benefit estimator: %w", err)
+		}
+	}
+	pairs := make(map[groupPair]*pairState, len(st.Pairs))
+	for _, rec := range st.Pairs {
+		ucb := newUCBState()
+		ucb.t = rec.UCBT
+		ucb.maxQ = rec.UCBMaxQ
+		for _, a := range rec.Arms {
+			ucb.arms[a.Opt] = &ucbArm{count: a.Count, sum: a.Sum}
+		}
+		pairs[groupPair{rec.A, rec.B}] = &pairState{
+			topkEpoch: rec.TopkEpoch,
+			topk:      rec.Topk,
+			cands:     rec.Cands,
+			ucb:       ucb,
+		}
+	}
+
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	v.store = store
+	v.rng = rng
+	v.benefit = benefit
+	v.curEpoch = st.CurEpoch
+	v.pairs = pairs
+	v.relayed = st.Relayed
+	v.total = st.Total
+	v.relayedSec = st.RelayedSec
+	v.totalSec = st.TotalSec
+	v.relayCalls = st.RelayCalls
+	v.relayUse = make(map[netsim.RelayID]int64, len(st.RelayUse))
+	for _, ru := range st.RelayUse {
+		v.relayUse[ru.Relay] = ru.Count
+	}
+	// Rebuild the predictor exactly as ensureEpoch would have at this epoch.
+	// The decay/reseed side effects of ensureEpoch are NOT re-run: their
+	// results are already baked into the restored arms and top-k caches.
+	if st.CurEpoch >= 0 {
+		v.pred = BuildPredictor(v.store, st.CurEpoch-1, v.bb, v.cfg.Predictor)
+	} else {
+		v.pred = nil
+	}
+	return nil
+}

@@ -32,6 +32,10 @@ type ChaosConfig struct {
 	// into, so the caller can snapshot it after the run. Nil: a private
 	// registry is created and discarded with the testbed.
 	Metrics *obs.Registry
+	// WALDir non-empty runs the controller durably (WAL + snapshots in
+	// this directory) and extends the fault plan with an abrupt crash and
+	// a WAL-recovery restart of the controller mid-run.
+	WALDir string
 }
 
 // DefaultChaosConfig is a one-minute-class chaos run.
@@ -91,7 +95,7 @@ func Chaos(cfg ChaosConfig) ([]*stats.Table, error) {
 	viaCfg := core.DefaultViaConfig(quality.RTT)
 	viaCfg.Seed = cfg.Seed
 	viaCfg.Metrics = reg
-	tb, err := testbed.Start(testbed.Config{
+	tbCfg := testbed.Config{
 		Seed:       cfg.Seed,
 		World:      w,
 		ClientASes: clients,
@@ -100,7 +104,15 @@ func Chaos(cfg ChaosConfig) ([]*stats.Table, error) {
 		TimeScale:  7200,
 		RelayTTL:   cfg.RelayTTL,
 		Metrics:    reg,
-	})
+	}
+	if cfg.WALDir != "" {
+		tbCfg.WALDir = cfg.WALDir
+		// Restart must rebuild the strategy from scratch and recover its
+		// state purely from the WAL — a fresh instance per boot, exactly
+		// like a real process restart.
+		tbCfg.NewStrategy = func() core.Strategy { return core.NewVia(viaCfg, nil) }
+	}
+	tb, err := testbed.Start(tbCfg)
 	if err != nil {
 		return nil, err
 	}
@@ -118,6 +130,12 @@ func Chaos(cfg ChaosConfig) ([]*stats.Table, error) {
 		KillRelayAt(est/4, victim).
 		FlapController(est/2, est/8, est/16, 2).
 		ReviveRelayAt(3*est/4, victim)
+	if cfg.WALDir != "" {
+		// Durable mode adds the harsher controller lifecycle: an abrupt
+		// crash (connection resets, no drain) followed by a cold restart
+		// that must recover every decision from the WAL.
+		plan.CrashControllerAt(3 * est / 8).RestartControllerAt(5 * est / 8)
+	}
 	sched := faults.NewScheduler(plan, tb)
 	sched.SetMetrics(reg)
 	sched.Start()
@@ -168,6 +186,11 @@ func Chaos(cfg ChaosConfig) ([]*stats.Table, error) {
 	// Deterministic cleanup for the final accounting, whatever the plan
 	// got through before the run ended.
 	tb.SetControlPartitioned(false)
+	if tb.ControllerDown() {
+		if rerr := tb.RestartController(); rerr != nil {
+			return nil, rerr
+		}
+	}
 	if !tb.RelayAlive(victim) {
 		if rerr := tb.ReviveRelay(victim); rerr != nil {
 			return nil, rerr
@@ -187,8 +210,12 @@ func Chaos(cfg ChaosConfig) ([]*stats.Table, error) {
 		return nil, err
 	}
 
+	scenario := "relay death + controller flap"
+	if cfg.WALDir != "" {
+		scenario = "relay death + controller flap + crash/WAL-restart"
+	}
 	t := &stats.Table{
-		Title:   fmt.Sprintf("Chaos: %d calls under relay death + controller flap (seed %d)", cfg.Calls, cfg.Seed),
+		Title:   fmt.Sprintf("Chaos: %d calls under %s (seed %d)", cfg.Calls, scenario, cfg.Seed),
 		Headers: []string{"metric", "value", "note"},
 	}
 	t.AddRow("calls completed", completed, fmt.Sprintf("of %d placed", cfg.Calls))
@@ -200,6 +227,10 @@ func Chaos(cfg ChaosConfig) ([]*stats.Table, error) {
 	t.AddRow("fault events fired", sched.Fired(), fmt.Sprintf("of %d planned", len(plan.Events)))
 	t.AddRow("controller panics", st.Panics, "must be 0")
 	t.AddRow("live relays at end", h.Relays, fmt.Sprintf("of %d deployed", cfg.NumRelays))
+	if cfg.WALDir != "" {
+		t.AddRow("wal lsn applied", int64(tb.CtrlSrv.AppliedLSN()), "decision records durable and applied")
+		t.AddRow("controller term", int64(tb.CtrlSrv.Term()), ">= 2: leadership re-acquired after crash")
+	}
 	snap := reg.Snapshot()
 	t.AddRow("fault injections (metrics)", int64(sumPrefix(snap, "via_faults_injected_total")),
 		"via_faults_injected_total across kinds")

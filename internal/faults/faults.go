@@ -59,6 +59,15 @@ const (
 	DropControl
 	// DelayControl adds fixed latency to every control RPC.
 	DelayControl
+	// CrashController kills the controller process abruptly — no drain, no
+	// handover; in-flight RPCs die with their connections. Durable state
+	// survives only through the WAL.
+	CrashController
+	// RestartController brings a crashed controller back on its original
+	// address, recovering its state from snapshot + WAL replay.
+	RestartController
+	// PromoteStandby promotes the deployment's warm standby to primary.
+	PromoteStandby
 )
 
 // String names the fault kind.
@@ -80,6 +89,12 @@ func (k Kind) String() string {
 		return "drop-control"
 	case DelayControl:
 		return "delay-control"
+	case CrashController:
+		return "crash-controller"
+	case RestartController:
+		return "restart-controller"
+	case PromoteStandby:
+		return "promote-standby"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -160,6 +175,13 @@ type Target interface {
 	SetControlDropRate(rate float64)
 	// SetControlDelay adds fixed latency to control RPCs.
 	SetControlDelay(d time.Duration)
+	// CrashController kills the controller process abruptly (no drain).
+	CrashController() error
+	// RestartController restarts a crashed controller on its original
+	// address, recovering from its durable state.
+	RestartController() error
+	// PromoteStandby promotes the warm standby controller to primary.
+	PromoteStandby() error
 }
 
 // Apply fires the event against the target.
@@ -181,6 +203,12 @@ func (e Event) Apply(t Target) error {
 		t.SetControlDropRate(e.Rate)
 	case DelayControl:
 		t.SetControlDelay(e.Delay)
+	case CrashController:
+		return t.CrashController()
+	case RestartController:
+		return t.RestartController()
+	case PromoteStandby:
+		return t.PromoteStandby()
 	default:
 		return fmt.Errorf("faults: unknown event kind %v", e.Kind)
 	}
@@ -241,6 +269,23 @@ func (p *Plan) DropControlAt(at time.Duration, rate float64) *Plan {
 // DelayControlAt schedules fixed control-RPC latency.
 func (p *Plan) DelayControlAt(at time.Duration, d time.Duration) *Plan {
 	return p.add(Event{At: at, Kind: DelayControl, Delay: d})
+}
+
+// CrashControllerAt schedules an abrupt controller death (kill -9: no
+// drain, no handover).
+func (p *Plan) CrashControllerAt(at time.Duration) *Plan {
+	return p.add(Event{At: at, Kind: CrashController})
+}
+
+// RestartControllerAt schedules a crashed controller's restart, recovering
+// state from its WAL.
+func (p *Plan) RestartControllerAt(at time.Duration) *Plan {
+	return p.add(Event{At: at, Kind: RestartController})
+}
+
+// PromoteStandbyAt schedules the warm standby's promotion to primary.
+func (p *Plan) PromoteStandbyAt(at time.Duration) *Plan {
+	return p.add(Event{At: at, Kind: PromoteStandby})
 }
 
 // FlapController schedules `times` partition/heal cycles starting at

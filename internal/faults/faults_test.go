@@ -66,6 +66,18 @@ func (f *fakeTarget) SetControlDelay(d time.Duration) {
 	f.mu.Unlock()
 	f.record(fmt.Sprintf("delay %s", d))
 }
+func (f *fakeTarget) CrashController() error {
+	f.record("crash-controller")
+	return nil
+}
+func (f *fakeTarget) RestartController() error {
+	f.record("restart-controller")
+	return nil
+}
+func (f *fakeTarget) PromoteStandby() error {
+	f.record("promote-standby")
+	return nil
+}
 
 func (f *fakeTarget) events() []string {
 	f.mu.Lock()
@@ -165,10 +177,34 @@ func TestEventStrings(t *testing.T) {
 		{Kind: PartitionController},
 		{Kind: DropControl, Rate: 0.5},
 		{Kind: DelayControl, Delay: time.Second},
+		{Kind: CrashController},
+		{Kind: RestartController},
+		{Kind: PromoteStandby},
 	}
 	for _, e := range cases {
 		if e.String() == "" {
 			t.Errorf("empty string for %v", e.Kind)
+		}
+	}
+}
+
+func TestControllerLifecyclePlan(t *testing.T) {
+	p := NewPlan(1).
+		RestartControllerAt(30 * time.Millisecond).
+		CrashControllerAt(10 * time.Millisecond).
+		PromoteStandbyAt(20 * time.Millisecond)
+	ft := &fakeTarget{}
+	if errs := p.Apply(ft); len(errs) != 0 {
+		t.Fatalf("apply errors: %v", errs)
+	}
+	want := []string{"crash-controller", "promote-standby", "restart-controller"}
+	got := ft.events()
+	if len(got) != len(want) {
+		t.Fatalf("events = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("event[%d] = %q, want %q", i, got[i], want[i])
 		}
 	}
 }

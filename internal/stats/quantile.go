@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"fmt"
 	"math"
 	"sort"
 )
@@ -105,6 +106,36 @@ func (e *P2) linear(i int, s float64) float64 {
 
 // N returns the number of observations seen.
 func (e *P2) N() int { return e.n }
+
+// P2State is the complete serializable state of a P2 estimator, used by
+// controller snapshots to persist the budget gate's benefit percentile
+// across restarts.
+type P2State struct {
+	P   float64
+	N   int
+	Q   [5]float64
+	Pos [5]float64
+	Des [5]float64
+	Inc [5]float64
+}
+
+// State captures the estimator's exact state.
+func (e *P2) State() P2State {
+	return P2State{P: e.p, N: e.n, Q: e.q, Pos: e.pos, Des: e.des, Inc: e.inc}
+}
+
+// RestoreP2 rebuilds an estimator from captured state; feeding both the
+// original and the restored estimator the same further observations yields
+// identical estimates.
+func RestoreP2(s P2State) (*P2, error) {
+	if s.P <= 0 || s.P >= 1 {
+		return nil, fmt.Errorf("stats: P2 state has quantile %v outside (0,1)", s.P)
+	}
+	if s.N < 0 {
+		return nil, fmt.Errorf("stats: P2 state has negative count %d", s.N)
+	}
+	return &P2{p: s.P, n: s.N, q: s.Q, pos: s.Pos, des: s.Des, inc: s.Inc}, nil
+}
 
 // Value returns the current quantile estimate. With fewer than five
 // observations it falls back to the exact quantile of what has been seen,

@@ -9,6 +9,7 @@
 package stats
 
 import (
+	"fmt"
 	"hash/fnv"
 	"math"
 	"math/rand/v2"
@@ -22,6 +23,7 @@ import (
 // so adding randomness consumption in one subsystem never perturbs another.
 type RNG struct {
 	src *rand.Rand
+	pcg *rand.PCG // the src's source, retained so State can marshal the exact position
 	// seed material retained so Split can derive children deterministically.
 	hi, lo uint64
 }
@@ -32,11 +34,42 @@ func NewRNG(seed uint64) *RNG {
 }
 
 func newRNGFromState(hi, lo uint64) *RNG {
+	pcg := rand.NewPCG(hi, lo)
 	return &RNG{
-		src: rand.New(rand.NewPCG(hi, lo)),
+		src: rand.New(pcg),
+		pcg: pcg,
 		hi:  hi,
 		lo:  lo,
 	}
+}
+
+// RNGState is the serializable position of a generator: the seed material
+// (so Split keeps deriving the same children after a restore) plus the
+// exact PCG stream position. It exists so long-lived learned state — the
+// controller's strategy — can snapshot its randomness and resume the very
+// same stream after a crash, keeping replayed decisions bit-identical.
+type RNGState struct {
+	Hi, Lo uint64
+	PCG    []byte
+}
+
+// State captures the generator's exact current position.
+func (r *RNG) State() (RNGState, error) {
+	buf, err := r.pcg.MarshalBinary()
+	if err != nil {
+		return RNGState{}, fmt.Errorf("stats: marshal PCG state: %w", err)
+	}
+	return RNGState{Hi: r.hi, Lo: r.lo, PCG: buf}, nil
+}
+
+// RestoreRNG rebuilds a generator at the captured position: it produces the
+// same future sample sequence the captured generator would have.
+func RestoreRNG(s RNGState) (*RNG, error) {
+	r := newRNGFromState(s.Hi, s.Lo)
+	if err := r.pcg.UnmarshalBinary(s.PCG); err != nil {
+		return nil, fmt.Errorf("stats: restore PCG state: %w", err)
+	}
+	return r, nil
 }
 
 // Split derives an independent child generator identified by label.

@@ -3,8 +3,10 @@ package testbed
 import (
 	"fmt"
 	"net"
+	"net/http"
 	"time"
 
+	"repro/internal/controller"
 	"repro/internal/faults"
 	"repro/internal/netsim"
 	"repro/internal/relay"
@@ -153,6 +155,70 @@ func (tb *Testbed) setBlackhole(a, b faults.Endpoint, on bool) error {
 	shA.SetBlackhole(addrB, on)
 	shB.SetBlackhole(addrA, on)
 	return nil
+}
+
+// CrashController kills the primary controller abruptly: the listener
+// closes mid-request (in-flight RPCs see connection resets) and the
+// server's durability resources are released so a later restart can
+// reopen the WAL. No drain, no flush beyond what the WAL's group commit
+// already made durable — that asymmetry is the fault being injected.
+func (tb *Testbed) CrashController() error {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if tb.ctrlDown {
+		return fmt.Errorf("testbed: controller is already down")
+	}
+	tb.ctrlDown = true
+	tb.ctrlServer.Close() //vialint:ignore errwrap crash is abrupt by design; the reset connections are the fault
+	return tb.CtrlSrv.Close()
+}
+
+// RestartController boots a fresh controller on the crashed primary's
+// address: a new strategy instance (from Config.NewStrategy), state
+// recovered entirely from the WAL on disk, and the same URL so clients
+// and the standby reconnect without reconfiguration.
+func (tb *Testbed) RestartController() error {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	if !tb.ctrlDown {
+		return fmt.Errorf("testbed: controller is not down")
+	}
+	if tb.cfg.WALDir == "" || tb.cfg.NewStrategy == nil {
+		return fmt.Errorf("testbed: restart requires WALDir and NewStrategy")
+	}
+	ln, err := net.Listen("tcp", tb.ctrlAddr)
+	if err != nil {
+		return fmt.Errorf("testbed: rebind controller on %s: %w", tb.ctrlAddr, err)
+	}
+	srv, err := controller.Open(tb.primaryConfig(tb.cfg.NewStrategy()))
+	if err != nil {
+		ln.Close() //vialint:ignore errwrap cleanup of a listener whose server never started
+		return fmt.Errorf("testbed: reopen controller: %w", err)
+	}
+	tb.CtrlSrv = srv
+	tb.ctrlListener = ln
+	tb.ctrlServer = &http.Server{Handler: srv.Handler()}
+	go tb.ctrlServer.Serve(ln)
+	tb.ctrlDown = false
+	return nil
+}
+
+// PromoteStandby promotes the warm standby to primary — the operator's
+// failover action when the primary is gone for good.
+func (tb *Testbed) PromoteStandby() error {
+	if tb.StandbySrv == nil {
+		return fmt.Errorf("testbed: no standby deployed")
+	}
+	_, err := tb.StandbySrv.Promote()
+	return err
+}
+
+// ControllerDown reports whether the primary controller is currently
+// crashed (between a crash-controller and a restart-controller fault).
+func (tb *Testbed) ControllerDown() bool {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	return tb.ctrlDown
 }
 
 // SetControlPartitioned fails every experiment control RPC fast while on.

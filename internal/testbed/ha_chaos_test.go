@@ -1,0 +1,338 @@
+package testbed
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/client"
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/faults"
+	"repro/internal/netsim"
+	"repro/internal/quality"
+)
+
+// freshVia is the strategy factory a durable deployment needs: every
+// controller boot (initial, restart, standby) gets its own instance, so
+// recovered state provably comes from the WAL and not a shared object.
+func freshVia() core.Strategy {
+	return core.NewVia(core.DefaultViaConfig(quality.RTT), nil)
+}
+
+func waitUntil(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+func fastControlRetry() controller.RetryPolicy {
+	return controller.RetryPolicy{
+		MaxAttempts: 3,
+		BaseDelay:   10 * time.Millisecond,
+		MaxDelay:    40 * time.Millisecond,
+		Timeout:     time.Second,
+	}
+}
+
+// TestChaosPrimaryCrashStandbyPromotes is the HA end-to-end scenario: a
+// durable primary with a warm standby serves a live deployment; the
+// primary is killed abruptly mid-report-stream; the standby notices the
+// lapsed lease and promotes itself within the lease timeout; and through
+// it all not a single call drops — the media path never depended on the
+// controller, and the selector degrades to cached decisions until the
+// client's failover cursor lands on the promoted replica.
+func TestChaosPrimaryCrashStandbyPromotes(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos e2e is slow")
+	}
+	w := smallWorld()
+	tb, err := Start(Config{
+		Seed:          11,
+		World:         w,
+		ClientASes:    []netsim.ASID{0, 30},
+		RelayIDs:      []netsim.RelayID{0, 1, 2},
+		NewStrategy:   freshVia,
+		WALDir:        t.TempDir(),
+		StandbyWALDir: t.TempDir(),
+		LeaseTimeout:  2 * time.Second,
+		AutoPromote:   true,
+		ControlRetry:  fastControlRetry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Close)
+	tb.StartHeartbeats(100 * time.Millisecond)
+
+	if tb.StandbySrv == nil || tb.StandbyURL == "" {
+		t.Fatal("standby was not deployed")
+	}
+	if got := tb.StandbySrv.State(); got != controller.StateStandby {
+		t.Fatalf("standby state = %q, want %q", got, controller.StateStandby)
+	}
+
+	caller := tb.Client(0)
+	callee := tb.Client(30)
+	sel := client.NewSelector(tb.Ctrl)
+	sel.RegisterMetrics(tb.Metrics, "0")
+	liveCands := []netsim.Option{
+		netsim.DirectOption(), netsim.BounceOption(1), netsim.BounceOption(2),
+	}
+
+	// Baseline: a few controller-routed calls so the WAL has records to
+	// replicate and the selector a cache to degrade to.
+	for i := 0; i < 3; i++ {
+		opt, fresh := sel.Choose(0, 30, liveCands)
+		if !fresh {
+			t.Fatalf("baseline choose %d was degraded", i)
+		}
+		m, err := caller.Agent.Call(client.CallSpec{
+			Peer: callee.Agent.Addr(), Option: opt,
+			Duration: 200 * time.Millisecond, PPS: 100,
+		})
+		if err != nil {
+			t.Fatalf("baseline call %d over %v: %v", i, opt, err)
+		}
+		sel.Report(0, 30, opt, m)
+	}
+	waitUntil(t, 5*time.Second, "standby catch-up", func() bool {
+		return tb.StandbySrv.AppliedLSN() == tb.CtrlSrv.AppliedLSN() &&
+			tb.CtrlSrv.AppliedLSN() > 0
+	})
+
+	// Chaos: kill -9 the primary 300ms into a call, mid-report-stream. The
+	// call spans the crash instant and must complete anyway — the media
+	// path never touches the controller.
+	plan := faults.NewPlan(11).CrashControllerAt(300 * time.Millisecond)
+	sched := faults.NewScheduler(plan, tb)
+	sched.SetMetrics(tb.Metrics)
+	crashAt := time.Now().Add(300 * time.Millisecond)
+	sched.Start()
+	// Watch for the promotion from a tight loop so its latency is measured
+	// from the crash instant, not from wherever the test happens to be.
+	promoted := make(chan time.Duration, 1)
+	go func() {
+		deadline := time.Now().Add(10 * time.Second)
+		for time.Now().Before(deadline) {
+			if tb.StandbySrv.Role() == controller.RolePrimary &&
+				tb.StandbySrv.State() == controller.StateReady {
+				promoted <- time.Since(crashAt)
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		promoted <- -1
+	}()
+	opt, _ := sel.Choose(0, 30, liveCands)
+	out, err := caller.Agent.CallResilient(client.CallSpec{
+		Peer:     callee.Agent.Addr(),
+		Option:   opt,
+		Failover: []netsim.Option{netsim.DirectOption()},
+		Duration: 600 * time.Millisecond,
+		PPS:      100,
+	})
+	sched.Wait()
+	if errs := sched.Errors(); len(errs) > 0 {
+		t.Fatalf("fault plan errors: %v", errs)
+	}
+	if err != nil {
+		t.Fatalf("call spanning the primary crash dropped: %v", err)
+	}
+	if !tb.ControllerDown() {
+		t.Error("controller not marked down after crash fault")
+	}
+	sel.Report(0, 30, out.Used, out.Metrics) // lost: primary is gone
+
+	// We are now inside the outage window: the primary is dead and the
+	// standby's lease has not lapsed yet (heartbeat gaps mean up to
+	// ~2×HeartbeatInterval of silence was already accrued at the crash, but
+	// that still leaves well over a second of the 2s lease), so it refuses
+	// decision traffic. Decisions degrade to the cache; calls keep
+	// completing.
+	var drops, completed int
+	for i := 0; i < 2; i++ {
+		opt, _ := sel.Choose(0, 30, liveCands)
+		m, err := caller.Agent.Call(client.CallSpec{
+			Peer: callee.Agent.Addr(), Option: opt,
+			Duration: 150 * time.Millisecond, PPS: 100,
+		})
+		if err != nil {
+			drops++
+			continue
+		}
+		completed++
+		sel.Report(0, 30, opt, m)
+	}
+	if drops != 0 {
+		t.Errorf("%d calls dropped during the outage (completed %d)", drops, completed)
+	}
+	if sel.Stale() == 0 {
+		t.Error("selector served no cached decisions during the outage")
+	}
+
+	// The standby's lease lapses within LeaseTimeout of the crash (silence
+	// only accrues — the last heartbeat predates the crash — so promotion
+	// comes early, never late); it promotes itself and serves decisions.
+	d := <-promoted
+	if d < 0 {
+		t.Fatal("standby never auto-promoted")
+	}
+	if d > 3*time.Second {
+		t.Errorf("promotion took %s after the crash, want <= lease timeout (2s) + slack", d)
+	}
+	if term := tb.StandbySrv.Term(); term < 2 {
+		t.Errorf("promoted term = %d, want >= 2 (advanced past the dead primary's)", term)
+	}
+	if tb.StandbySrv.AppliedLSN() == 0 {
+		t.Error("promoted standby has no replicated state")
+	}
+
+	// The same client object recovers fresh decisions: its failover cursor
+	// walks to the promoted replica (and the circuit breaker, if it opened
+	// during the outage, closes after its half-open probe succeeds).
+	waitUntil(t, 5*time.Second, "fresh decision from promoted standby", func() bool {
+		_, fresh := sel.Choose(0, 30, liveCands)
+		return fresh
+	})
+	if tb.Ctrl.Failovers() == 0 {
+		t.Error("client never failed over to the replica")
+	}
+
+	// Heartbeats re-register the relays with the promoted controller (the
+	// relay directory is soft state, rebuilt by heartbeats, not the WAL);
+	// then a controller-routed call completes end to end on the new primary.
+	waitUntil(t, 3*time.Second, "relay directory on promoted controller", func() bool {
+		dir, derr := tb.Ctrl.Relays()
+		return derr == nil && len(dir) == 3
+	})
+	opt, fresh := sel.Choose(0, 30, liveCands)
+	if !fresh {
+		t.Fatal("post-failover choose still degraded")
+	}
+	m, err := caller.Agent.Call(client.CallSpec{
+		Peer: callee.Agent.Addr(), Option: opt,
+		Duration: 200 * time.Millisecond, PPS: 100,
+	})
+	if err != nil {
+		t.Fatalf("call routed by promoted controller: %v", err)
+	}
+	sel.Report(0, 30, opt, m)
+
+	// Zero panics anywhere in the story.
+	st, err := tb.Ctrl.Stats()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Panics != 0 {
+		t.Errorf("promoted controller recovered %d panics", st.Panics)
+	}
+	writeMetricsArtifact(t, tb.Metrics.Snapshot())
+}
+
+// TestChaosCrashRestartRecoversWAL exercises the single-node durability
+// path through the fault DSL: crash the durable controller abruptly, then
+// restart it on the same address with a brand-new strategy instance; the
+// recovered process must carry the pre-crash WAL state forward.
+func TestChaosCrashRestartRecoversWAL(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos e2e is slow")
+	}
+	w := smallWorld()
+	tb, err := Start(Config{
+		Seed:         13,
+		World:        w,
+		ClientASes:   []netsim.ASID{0, 30},
+		RelayIDs:     []netsim.RelayID{0, 1, 2},
+		NewStrategy:  freshVia,
+		WALDir:       t.TempDir(),
+		ControlRetry: fastControlRetry(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(tb.Close)
+	tb.StartHeartbeats(100 * time.Millisecond)
+
+	cands := []netsim.Option{
+		netsim.DirectOption(), netsim.BounceOption(1), netsim.BounceOption(2),
+	}
+	for i := 0; i < 20; i++ {
+		opt, err := tb.Ctrl.Choose(0, 30, cands)
+		if err != nil {
+			t.Fatalf("choose %d: %v", i, err)
+		}
+		if err := tb.Ctrl.Report(0, 30, opt, quality.Metrics{
+			RTTMs: 80 + float64(i), LossRate: 0.01, JitterMs: 3,
+		}); err != nil {
+			t.Fatalf("report %d: %v", i, err)
+		}
+	}
+	preLSN := tb.CtrlSrv.AppliedLSN()
+	if preLSN == 0 {
+		t.Fatal("durable controller applied no records")
+	}
+
+	plan := faults.NewPlan(13).
+		CrashControllerAt(0).
+		RestartControllerAt(100 * time.Millisecond)
+	if errs := plan.Apply(tb); len(errs) > 0 {
+		t.Fatalf("crash-restart plan: %v", errs)
+	}
+	if tb.ControllerDown() {
+		t.Fatal("controller still marked down after restart")
+	}
+	if got := tb.CtrlSrv.AppliedLSN(); got < preLSN {
+		t.Errorf("recovered LSN %d < pre-crash %d: WAL state lost", got, preLSN)
+	}
+	if tb.CtrlSrv.State() != controller.StateReady || tb.CtrlSrv.Role() != controller.RolePrimary {
+		t.Errorf("recovered controller state=%q role=%q", tb.CtrlSrv.State(), tb.CtrlSrv.Role())
+	}
+	if term := tb.CtrlSrv.Term(); term < 2 {
+		t.Errorf("recovered term = %d, want >= 2 (each boot acquires a new term)", term)
+	}
+
+	// Same URL, so the untouched client keeps working, and new records
+	// append past the recovered LSN.
+	opt, err := tb.Ctrl.Choose(0, 30, cands)
+	if err != nil {
+		t.Fatalf("choose after restart: %v", err)
+	}
+	if err := tb.Ctrl.Report(0, 30, opt, quality.Metrics{RTTMs: 85, LossRate: 0.01, JitterMs: 3}); err != nil {
+		t.Fatalf("report after restart: %v", err)
+	}
+	if got := tb.CtrlSrv.AppliedLSN(); got <= preLSN {
+		t.Errorf("post-restart LSN %d did not advance past %d", got, preLSN)
+	}
+}
+
+// TestControllerFaultValidation covers the controller fault target's
+// error paths on a non-durable deployment.
+func TestControllerFaultValidation(t *testing.T) {
+	tb := startSmall(t, nil)
+	if err := tb.PromoteStandby(); err == nil {
+		t.Error("promote with no standby accepted")
+	}
+	if err := tb.RestartController(); err == nil {
+		t.Error("restart of a live controller accepted")
+	}
+	if tb.ControllerDown() {
+		t.Error("fresh deployment reports controller down")
+	}
+	if err := tb.CrashController(); err != nil {
+		t.Fatalf("crash: %v", err)
+	}
+	if !tb.ControllerDown() {
+		t.Error("crashed controller not reported down")
+	}
+	if err := tb.CrashController(); err == nil {
+		t.Error("double crash accepted")
+	}
+	if err := tb.RestartController(); err == nil {
+		t.Error("restart without WALDir accepted")
+	}
+}

@@ -55,6 +55,29 @@ type Config struct {
 	// the same one the testbed publishes to. Nil creates a fresh registry;
 	// either way it ends up on Testbed.Metrics and GET /metrics.
 	Metrics *obs.Registry
+
+	// WALDir enables controller durability: the controller is built with
+	// controller.Open, logging every decision and report so the
+	// crash-restart fault kinds recover state from disk.
+	WALDir string
+	// NewStrategy builds a fresh strategy instance per controller boot.
+	// Required with WALDir: RestartController must prove recovery comes
+	// from the WAL, so it cannot reuse the crashed process's in-memory
+	// strategy. When set it supersedes Strategy for the primary.
+	NewStrategy func() core.Strategy
+	// StandbyWALDir, when non-empty (requires WALDir), deploys a warm
+	// standby controller tailing the primary's WAL; tb.Ctrl and the admin
+	// client learn it as a failover replica.
+	StandbyWALDir string
+	// LeaseTimeout bounds how long the standby tolerates primary silence
+	// before the lease lapses (0 = controller default, 2s).
+	LeaseTimeout time.Duration
+	// AutoPromote lets the standby promote itself when the lease lapses;
+	// otherwise promotion takes the promote-standby fault (or viactl).
+	AutoPromote bool
+	// Admission forwards overload-protection limits to the primary
+	// controller (zero value: no limits).
+	Admission controller.AdmissionConfig
 }
 
 // ClientNode is one deployed agent.
@@ -86,13 +109,20 @@ type Testbed struct {
 	// controller serves it on GET /metrics. Attach it to a faults.Scheduler
 	// (SetMetrics) to count injections in the same place.
 	Metrics *obs.Registry
+	// StandbySrv and StandbyURL are the warm standby deployment; nil/""
+	// unless Config.StandbyWALDir is set.
+	StandbySrv *controller.Server
+	StandbyURL string
 
-	cfg          Config
-	ctrlServer   *http.Server
-	ctrlListener net.Listener
-	adminCtrl    *controller.Client // pristine path for heartbeats/admin
+	cfg           Config
+	ctrlServer    *http.Server
+	ctrlListener  net.Listener
+	ctrlAddr      string // stable: crash-restart rebinds here
+	standbyServer *http.Server
+	adminCtrl     *controller.Client // pristine path for heartbeats/admin
 
 	mu           sync.Mutex
+	ctrlDown     bool // guarded by mu — controller crashed, not yet restarted
 	relayShapers []*wan.Shaper
 	relayAddrs   []string // stable across kill/revive (rebound in place)
 	deadRelays   map[netsim.RelayID]bool
@@ -115,10 +145,19 @@ func Start(cfg Config) (*Testbed, error) {
 	if reg == nil {
 		reg = obs.NewRegistry()
 	}
+	if cfg.NewStrategy != nil {
+		cfg.Strategy = cfg.NewStrategy()
+	}
 	if cfg.Strategy == nil {
 		vcfg := core.DefaultViaConfig(quality.RTT)
 		vcfg.Metrics = reg
 		cfg.Strategy = core.NewVia(vcfg, nil)
+	}
+	if cfg.WALDir != "" && cfg.NewStrategy == nil {
+		return nil, fmt.Errorf("testbed: WALDir requires NewStrategy (restart must rebuild the strategy from the WAL)")
+	}
+	if cfg.StandbyWALDir != "" && cfg.WALDir == "" {
+		return nil, fmt.Errorf("testbed: StandbyWALDir requires WALDir")
 	}
 	if cfg.TimeScale <= 0 {
 		cfg.TimeScale = 7200
@@ -144,13 +183,47 @@ func Start(cfg Config) (*Testbed, error) {
 		return nil, err
 	}
 	tb.ctrlListener = ln
-	tb.CtrlSrv = controller.New(controller.Config{
-		Strategy: cfg.Strategy, TimeScale: cfg.TimeScale, RelayTTL: cfg.RelayTTL,
-		Metrics: reg,
-	})
+	tb.ctrlAddr = ln.Addr().String()
+	if cfg.WALDir != "" {
+		srv, err := controller.Open(tb.primaryConfig(cfg.Strategy))
+		if err != nil {
+			return nil, err
+		}
+		tb.CtrlSrv = srv
+	} else {
+		tb.CtrlSrv = controller.New(controller.Config{
+			Strategy: cfg.Strategy, TimeScale: cfg.TimeScale, RelayTTL: cfg.RelayTTL,
+			Metrics: reg, Admission: cfg.Admission,
+		})
+	}
 	tb.ctrlServer = &http.Server{Handler: tb.CtrlSrv.Handler()}
 	go tb.ctrlServer.Serve(ln)
-	tb.CtrlURL = "http://" + ln.Addr().String()
+	tb.CtrlURL = "http://" + tb.ctrlAddr
+
+	// Warm standby: a second durable controller tails the primary's WAL
+	// over HTTP. It shares the deployment's clock scale but not its metrics
+	// registry (controller gauges are singletons per registry).
+	if cfg.StandbyWALDir != "" {
+		sln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			return nil, err
+		}
+		sb, err := controller.Open(controller.Config{
+			Strategy: cfg.NewStrategy(), TimeScale: cfg.TimeScale, RelayTTL: cfg.RelayTTL,
+			WALDir: cfg.StandbyWALDir, StandbyOf: tb.CtrlURL,
+			LeaseTimeout: cfg.LeaseTimeout, AutoPromote: cfg.AutoPromote,
+			Admission: cfg.Admission,
+		})
+		if err != nil {
+			sln.Close() //vialint:ignore errwrap cleanup of a listener whose server never started
+			return nil, err
+		}
+		tb.StandbySrv = sb
+		tb.standbyServer = &http.Server{Handler: sb.Handler()}
+		go tb.standbyServer.Serve(sln)
+		tb.StandbyURL = "http://" + sln.Addr().String()
+	}
+
 	// The experiment's control path goes through the fault-injectable
 	// transport; testbed plumbing gets its own clean client.
 	tb.Flaky = faults.NewFlakyTransport(nil, cfg.Seed)
@@ -160,6 +233,10 @@ func Start(cfg Config) (*Testbed, error) {
 	tb.Ctrl.HTTP = &http.Client{Transport: tb.Flaky, Timeout: 30 * time.Second}
 	tb.Ctrl.Retry = cfg.ControlRetry
 	tb.adminCtrl = controller.NewClient(tb.CtrlURL)
+	if tb.StandbyURL != "" {
+		tb.Ctrl.Replicas = []string{tb.StandbyURL}
+		tb.adminCtrl.Replicas = []string{tb.StandbyURL}
+	}
 	reg.GaugeFunc("via_client_control_retries",
 		func() float64 { return float64(tb.Ctrl.Retries()) })
 	// WAN telemetry aggregates across every shaper in the deployment; the
@@ -215,6 +292,17 @@ func Start(cfg Config) (*Testbed, error) {
 	tb.configureLinks(cfg.RelayIDs)
 	ok = true
 	return tb, nil
+}
+
+// primaryConfig builds the durable primary's controller config around a
+// given strategy instance — shared by Start and RestartController so a
+// restarted controller boots with exactly the deployment's parameters.
+func (tb *Testbed) primaryConfig(strategy core.Strategy) controller.Config {
+	return controller.Config{
+		Strategy: strategy, TimeScale: tb.cfg.TimeScale, RelayTTL: tb.cfg.RelayTTL,
+		Metrics: tb.Metrics, WALDir: tb.cfg.WALDir,
+		LeaseTimeout: tb.cfg.LeaseTimeout, Admission: tb.cfg.Admission,
+	}
 }
 
 // oneWay converts a segment's round-trip characteristics into one direction
@@ -299,7 +387,16 @@ func (tb *Testbed) Close() {
 	for _, r := range relays {
 		r.Close() //vialint:ignore errwrap teardown: fault scenarios kill relays mid-run, double close is expected
 	}
+	if tb.standbyServer != nil {
+		tb.standbyServer.Close() //vialint:ignore errwrap teardown: standby listener may already be down
+	}
+	if tb.StandbySrv != nil {
+		tb.StandbySrv.Close() //vialint:ignore errwrap teardown: promotion scenarios may have closed it already
+	}
 	if tb.ctrlServer != nil {
 		tb.ctrlServer.Close() //vialint:ignore errwrap teardown: listener may already be flapped down by the fault harness
+	}
+	if tb.CtrlSrv != nil {
+		tb.CtrlSrv.Close() //vialint:ignore errwrap teardown: crash faults close the controller mid-scenario, double close is expected
 	}
 }

@@ -117,12 +117,53 @@ type StatsResponse struct {
 	Panics  int64 `json:"panics,omitempty"` // recovered handler panics
 }
 
-// HealthResponse is the controller's liveness probe (GET /v1/health).
+// HealthResponse is the controller's liveness probe (GET /v1/health and
+// GET /v1/livez).
 type HealthResponse struct {
 	OK        bool    `json:"ok"`
 	Relays    int     `json:"relays"` // live (heartbeat-fresh) relays
 	UptimeSec float64 `json:"uptime_sec"`
 	Draining  bool    `json:"draining"`
+	State     string  `json:"state,omitempty"` // replaying | standby | ready
+}
+
+// ReadyResponse is the readiness probe (GET /v1/readyz). OK is true only in
+// the "ready" state; a controller still replaying its WAL or running as a
+// warm standby answers 503 with the state so load balancers and the testbed
+// don't route decision traffic to it.
+type ReadyResponse struct {
+	OK         bool   `json:"ok"`
+	State      string `json:"state"` // replaying | standby | ready
+	Term       uint64 `json:"term"`
+	AppliedLSN uint64 `json:"applied_lsn"`
+}
+
+// LeaseResponse describes the controller's leadership lease
+// (GET /v1/lease): the current term, role, and WAL positions a standby
+// needs to decide where to tail from.
+type LeaseResponse struct {
+	Term       uint64 `json:"term"`
+	Role       string `json:"role"`  // primary | standby
+	State      string `json:"state"` // replaying | standby | ready
+	FirstLSN   uint64 `json:"first_lsn"`
+	LastLSN    uint64 `json:"last_lsn"`
+	DurableLSN uint64 `json:"durable_lsn"`
+}
+
+// SnapshotResponse acknowledges a forced snapshot (POST /v1/admin/snapshot).
+type SnapshotResponse struct {
+	OK    bool   `json:"ok"`
+	LSN   uint64 `json:"lsn"` // applied LSN the snapshot covers
+	Bytes int64  `json:"bytes"`
+}
+
+// PromoteResponse acknowledges a standby promotion (POST /v1/promote).
+// Promoting a server that is already primary is a no-op and reports the
+// unchanged term.
+type PromoteResponse struct {
+	OK   bool   `json:"ok"`
+	Term uint64 `json:"term"`
+	Role string `json:"role"`
 }
 
 // TopKEntry is one pruned candidate with its prediction (diagnostics).

@@ -1,0 +1,622 @@
+// Package wal is the controller's durability substrate: an append-only,
+// segmented record log with CRC-framed records and batched fsync (group
+// commit), plus atomically-renamed state snapshots (snapshot.go).
+//
+// Via's gains come from a centralized controller holding months of call
+// history and bandit state (§4, Algorithms 2–3); a crash that forgets that
+// state resets the prediction pipeline to cold start. The WAL makes the
+// control plane's learned state durable and replicable: every state-bearing
+// request (choose, report, lease term change) is appended here before it is
+// applied, a warm standby tails the log over HTTP, and on boot the
+// controller restores the latest snapshot and replays the tail.
+//
+// On-disk format. A log is a directory of segment files named
+// %016x.wal, where the hex number is the LSN (1-based record sequence
+// number) of the segment's first record. Each record is framed as
+//
+//	[4B big-endian payload length][4B CRC-32C of payload][payload]
+//	payload = [1B record type][type-specific data]
+//
+// The CRC detects bit flips; the length prefix plus a hard cap detects
+// garbage. A torn final record (partial write at crash) is detected on open
+// and truncated away — everything before it is intact by construction,
+// because records are written strictly append-only.
+//
+// Durability model. Append returns as soon as the record is in the OS
+// buffer; a committer goroutine flushes and fsyncs every SyncInterval
+// (group commit), so the crash-loss window is bounded by the interval, not
+// paid per request. Sync forces a flush for callers that need a floor
+// (snapshots, tests). Readers — boot replay, the standby stream — only see
+// records up to the durable LSN, so a replica can never apply a record the
+// primary could still lose.
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// Type tags a record's payload. The wal package treats payloads as opaque;
+// the controller defines the record vocabulary (see controller.WAL*).
+type Type uint8
+
+// Record is one log entry.
+type Record struct {
+	Type Type
+	Data []byte
+}
+
+// MaxRecordBytes caps a single payload. Anything larger in a length prefix
+// is treated as corruption, so a flipped length byte cannot make the reader
+// attempt a gigabyte allocation.
+const MaxRecordBytes = 16 << 20
+
+// frameHeaderLen is the fixed per-record framing overhead.
+const frameHeaderLen = 8
+
+// castagnoli is the CRC-32C table (hardware-accelerated on amd64/arm64).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// crcChecksum is the package's one checksum function: CRC-32C over b.
+func crcChecksum(b []byte) uint32 { return crc32.Checksum(b, castagnoli) }
+
+// Decode errors. ErrTruncated means the buffer ends mid-frame (a torn tail
+// — benign at the end of a log); ErrCorrupt means the frame is actively
+// wrong (bad length, CRC mismatch, empty payload) and must not be applied.
+var (
+	ErrTruncated = errors.New("wal: truncated frame")
+	ErrCorrupt   = errors.New("wal: corrupt frame")
+)
+
+// EncodeFrame appends the record's wire framing to dst and returns the
+// extended slice.
+func EncodeFrame(dst []byte, rec Record) []byte {
+	payloadLen := 1 + len(rec.Data)
+	var hdr [frameHeaderLen]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(payloadLen))
+	start := len(dst)
+	dst = append(dst, hdr[:]...)
+	dst = append(dst, byte(rec.Type))
+	dst = append(dst, rec.Data...)
+	crc := crc32.Checksum(dst[start+frameHeaderLen:], castagnoli)
+	binary.BigEndian.PutUint32(dst[start+4:start+8], crc)
+	return dst
+}
+
+// DecodeFrame parses the first frame in b. It returns the record, the
+// number of bytes consumed, and an error: ErrTruncated when b ends before
+// the frame does, ErrCorrupt when the frame fails validation. The returned
+// record's Data aliases b.
+func DecodeFrame(b []byte) (Record, int, error) {
+	if len(b) < frameHeaderLen {
+		return Record{}, 0, ErrTruncated
+	}
+	payloadLen := binary.BigEndian.Uint32(b[0:4])
+	if payloadLen == 0 || payloadLen > MaxRecordBytes {
+		return Record{}, 0, fmt.Errorf("%w: payload length %d", ErrCorrupt, payloadLen)
+	}
+	end := frameHeaderLen + int(payloadLen)
+	if len(b) < end {
+		return Record{}, 0, ErrTruncated
+	}
+	want := binary.BigEndian.Uint32(b[4:8])
+	payload := b[frameHeaderLen:end]
+	if crc32.Checksum(payload, castagnoli) != want {
+		return Record{}, 0, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	return Record{Type: Type(payload[0]), Data: payload[1:]}, end, nil
+}
+
+// Options tunes a Log. The zero value gives production defaults.
+type Options struct {
+	// SyncInterval is the group-commit window: how long an acknowledged
+	// append may sit in OS buffers before it is fsynced. 0 means the 2ms
+	// default; negative means fsync synchronously on every append (tests
+	// and strict-durability callers).
+	SyncInterval time.Duration
+	// SegmentBytes rotates the active segment once it exceeds this size
+	// (default 8 MiB), bounding both replay batch size and the granularity
+	// at which TruncateBefore can reclaim space.
+	SegmentBytes int64
+	// Metrics, when set, receives via_wal_appends_total and
+	// via_wal_fsync_seconds.
+	Metrics *obs.Registry
+}
+
+func (o Options) withDefaults() Options {
+	if o.SyncInterval == 0 {
+		o.SyncInterval = 2 * time.Millisecond
+	}
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 8 << 20
+	}
+	return o
+}
+
+// segment is one on-disk log file.
+type segment struct {
+	first uint64 // LSN of the segment's first record
+	path  string
+}
+
+// Log is the append-only record log. Safe for concurrent use.
+type Log struct {
+	dir string
+	opt Options
+
+	mu       sync.Mutex
+	segs     []segment     // guarded by mu — closed segments plus the active one, ascending by first
+	f        *os.File      // guarded by mu — active segment file
+	w        *bufio.Writer // guarded by mu
+	next     uint64        // guarded by mu — LSN the next append receives
+	active   int64         // guarded by mu — bytes written to the active segment
+	dirty    bool          // guarded by mu — unsynced appends pending
+	durable  uint64        // guarded by mu — highest fsynced LSN
+	notify   chan struct{} // guarded by mu — closed and replaced when durable advances
+	closed   bool          // guarded by mu
+	syncStop chan struct{}
+	syncDone chan struct{}
+
+	mAppends *obs.Counter
+	mFsync   *obs.Histogram
+}
+
+// Open opens (or creates) the log in dir, recovering from any torn tail:
+// the last segment is scanned and truncated at the first invalid frame.
+// Corruption in the middle of the log (not at the tail) is an error — that
+// is lost data, not a torn write, and must not be silently skipped.
+func Open(dir string, opt Options) (*Log, error) {
+	opt = opt.withDefaults()
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: create dir: %w", err)
+	}
+	l := &Log{
+		dir:      dir,
+		opt:      opt,
+		next:     1,
+		notify:   make(chan struct{}),
+		syncStop: make(chan struct{}),
+		syncDone: make(chan struct{}),
+	}
+	m := opt.Metrics
+	l.mAppends = m.Counter("via_wal_appends_total")
+	l.mFsync = m.Histogram("via_wal_fsync_seconds", obs.LatencyBuckets())
+
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Single-threaded here (the Log has not escaped yet), but the fields
+	// are mu-guarded, so recovery holds the uncontended lock anyway.
+	l.mu.Lock()
+	rerr := l.recoverLocked(segs)
+	l.mu.Unlock()
+	if rerr != nil {
+		return nil, rerr
+	}
+	if opt.SyncInterval > 0 {
+		go l.committer()
+	} else {
+		close(l.syncDone)
+	}
+	return l, nil
+}
+
+// recoverLocked installs the on-disk segments: verifies contiguity,
+// relies on recoverSegment having truncated any torn tail on the last
+// one, reopens it for append (or opens a fresh first segment), and marks
+// everything recovered as durable. Caller holds l.mu.
+func (l *Log) recoverLocked(segs []segment) error {
+	l.segs = segs
+	for i, s := range segs {
+		last := i == len(segs)-1
+		n, err := recoverSegment(s.path, last)
+		if err != nil {
+			return fmt.Errorf("wal: recover %s: %w", filepath.Base(s.path), err)
+		}
+		if want := l.next; s.first != want {
+			return fmt.Errorf("wal: segment %s starts at LSN %d, want %d (gap or overlap)",
+				filepath.Base(s.path), s.first, want)
+		}
+		l.next += uint64(n)
+	}
+	if len(segs) == 0 {
+		if err := l.openSegmentLocked(l.next); err != nil {
+			return err
+		}
+	} else {
+		active := segs[len(segs)-1]
+		f, err := os.OpenFile(active.path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return fmt.Errorf("wal: reopen active segment: %w", err)
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close() //vialint:ignore errwrap error path; the stat failure is already being returned
+			return fmt.Errorf("wal: stat active segment: %w", err)
+		}
+		l.f = f
+		l.w = bufio.NewWriter(f)
+		l.active = st.Size()
+	}
+	l.durable = l.next - 1 // everything recovered from disk is durable
+	return nil
+}
+
+// listSegments returns the directory's segment files ascending by first LSN.
+func listSegments(dir string) ([]segment, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("wal: read dir: %w", err)
+	}
+	var segs []segment
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".wal") {
+			continue
+		}
+		first, err := strconv.ParseUint(strings.TrimSuffix(name, ".wal"), 16, 64)
+		if err != nil || first == 0 {
+			return nil, fmt.Errorf("wal: malformed segment name %q", name)
+		}
+		segs = append(segs, segment{first: first, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].first < segs[j].first })
+	return segs, nil
+}
+
+// recoverSegment counts the valid records in a segment. For the last (tail)
+// segment, an invalid suffix is truncated away — the torn-write case; for
+// any other segment it is an error.
+func recoverSegment(path string, tail bool) (int, error) {
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		return 0, fmt.Errorf("read segment: %w", err)
+	}
+	n, off := 0, 0
+	for off < len(buf) {
+		_, adv, err := DecodeFrame(buf[off:])
+		if err != nil {
+			if !tail {
+				return 0, fmt.Errorf("record %d at offset %d: %w", n, off, err)
+			}
+			// Torn or corrupt tail: drop it. Records are append-only, so
+			// everything before the bad frame is complete.
+			if terr := os.Truncate(path, int64(off)); terr != nil {
+				return 0, fmt.Errorf("truncate torn tail: %w", terr)
+			}
+			return n, nil
+		}
+		off += adv
+		n++
+	}
+	return n, nil
+}
+
+func segmentPath(dir string, first uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%016x.wal", first))
+}
+
+// openSegmentLocked starts a fresh active segment whose first record will
+// have LSN first. Caller holds l.mu (or is inside Open, pre-publication).
+func (l *Log) openSegmentLocked(first uint64) error {
+	f, err := os.OpenFile(segmentPath(l.dir, first), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: create segment: %w", err)
+	}
+	l.segs = append(l.segs, segment{first: first, path: f.Name()})
+	l.f = f
+	l.w = bufio.NewWriter(f)
+	l.active = 0
+	return nil
+}
+
+// Append writes one record and returns its LSN. The record is durable once
+// the group-commit window closes (or immediately with SyncInterval < 0).
+func (l *Log) Append(rec Record) (uint64, error) {
+	frame := EncodeFrame(nil, rec)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return 0, fmt.Errorf("wal: append on closed log")
+	}
+	if l.active >= l.opt.SegmentBytes {
+		if err := l.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	if _, err := l.w.Write(frame); err != nil {
+		return 0, fmt.Errorf("wal: append: %w", err)
+	}
+	lsn := l.next
+	l.next++
+	l.active += int64(len(frame))
+	l.dirty = true
+	l.mAppends.Inc()
+	if l.opt.SyncInterval < 0 {
+		if err := l.syncLocked(); err != nil {
+			return 0, err
+		}
+	}
+	return lsn, nil
+}
+
+// rotateLocked seals the active segment and starts a new one. Caller holds
+// l.mu.
+func (l *Log) rotateLocked() error {
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: close sealed segment: %w", err)
+	}
+	return l.openSegmentLocked(l.next)
+}
+
+// syncLocked flushes buffered appends and fsyncs the active segment,
+// advancing the durable LSN and waking tailers. Caller holds l.mu.
+func (l *Log) syncLocked() error {
+	if !l.dirty {
+		return nil
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: flush: %w", err)
+	}
+	start := time.Now()
+	if err := l.f.Sync(); err != nil {
+		return fmt.Errorf("wal: fsync: %w", err)
+	}
+	l.mFsync.Observe(time.Since(start).Seconds())
+	l.dirty = false
+	l.durable = l.next - 1
+	close(l.notify)
+	l.notify = make(chan struct{})
+	return nil
+}
+
+// Sync forces buffered appends to disk now.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	return l.syncLocked()
+}
+
+// committer is the group-commit goroutine: it fsyncs pending appends every
+// SyncInterval.
+func (l *Log) committer() {
+	defer close(l.syncDone)
+	tick := time.NewTicker(l.opt.SyncInterval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-l.syncStop:
+			return
+		case <-tick.C:
+		}
+		l.mu.Lock()
+		//vialint:ignore errwrap a failed periodic fsync surfaces on the next Append/Sync/Close; the committer has no caller to return to
+		_ = l.syncLocked()
+		l.mu.Unlock()
+	}
+}
+
+// LastLSN returns the LSN of the most recently appended record (0 = empty).
+func (l *Log) LastLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next - 1
+}
+
+// DurableLSN returns the highest LSN guaranteed on disk.
+func (l *Log) DurableLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.durable
+}
+
+// FirstLSN returns the lowest LSN still present in the log (after
+// truncation), or last+1 when the log holds no records.
+func (l *Log) FirstLSN() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segs[0].first
+}
+
+// DurableNotify returns a channel that is closed the next time the durable
+// LSN advances. Callers re-fetch the channel after each wakeup.
+func (l *Log) DurableNotify() <-chan struct{} {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.notify
+}
+
+// Replay invokes fn for every durable record with LSN in [from, durable],
+// in order. fn's record Data is only valid during the call. Stopping early:
+// return a non-nil error (it is passed through).
+func (l *Log) Replay(from uint64, fn func(lsn uint64, rec Record) error) error {
+	l.mu.Lock()
+	if from < l.segs[0].first {
+		first := l.segs[0].first
+		l.mu.Unlock()
+		return fmt.Errorf("wal: replay from %d: records before %d were truncated away", from, first)
+	}
+	// Flush so the files contain everything durable claims.
+	if err := l.syncLocked(); err != nil {
+		l.mu.Unlock()
+		return err
+	}
+	limit := l.durable
+	segs := append([]segment(nil), l.segs...)
+	l.mu.Unlock()
+
+	for i, s := range segs {
+		// Upper bound on this segment's record span: next segment's first.
+		if i+1 < len(segs) && segs[i+1].first <= from {
+			continue
+		}
+		if s.first > limit {
+			break
+		}
+		if err := replaySegment(s, from, limit, fn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// replaySegment streams one segment's records through fn.
+func replaySegment(s segment, from, limit uint64, fn func(uint64, Record) error) error {
+	f, err := os.Open(s.path)
+	if err != nil {
+		return fmt.Errorf("wal: open segment for replay: %w", err)
+	}
+	defer f.Close() //vialint:ignore errwrap read-only file; close failure cannot lose data
+	r := bufio.NewReaderSize(f, 1<<16)
+	lsn := s.first
+	for lsn <= limit {
+		rec, err := ReadFrame(r)
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("wal: segment %s record %d: %w", filepath.Base(s.path), lsn, err)
+		}
+		if lsn >= from {
+			if err := fn(lsn, rec); err != nil {
+				return err
+			}
+		}
+		lsn++
+	}
+	return nil
+}
+
+// ReadFrame reads one frame from a stream — a segment file or a standby's
+// HTTP tail of the primary's log. io.EOF at a frame boundary means a clean
+// end; a partial frame is ErrTruncated.
+func ReadFrame(r io.Reader) (Record, error) {
+	var hdr [frameHeaderLen]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Record{}, io.EOF
+		}
+		return Record{}, fmt.Errorf("%w: header: %v", ErrTruncated, err) //nolint:errorlint
+	}
+	payloadLen := binary.BigEndian.Uint32(hdr[0:4])
+	if payloadLen == 0 || payloadLen > MaxRecordBytes {
+		return Record{}, fmt.Errorf("%w: payload length %d", ErrCorrupt, payloadLen)
+	}
+	payload := make([]byte, payloadLen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Record{}, fmt.Errorf("%w: body: %v", ErrTruncated, err) //nolint:errorlint
+	}
+	if crc32.Checksum(payload, castagnoli) != binary.BigEndian.Uint32(hdr[4:8]) {
+		return Record{}, fmt.Errorf("%w: CRC mismatch", ErrCorrupt)
+	}
+	return Record{Type: Type(payload[0]), Data: payload[1:]}, nil
+}
+
+// TruncateBefore removes whole segments every one of whose records has
+// LSN < keep — called after a snapshot at keep-1 makes them redundant. The
+// active segment is never removed.
+func (l *Log) TruncateBefore(keep uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	removed := 0
+	for len(l.segs) > 1 && l.segs[1].first <= keep {
+		if err := os.Remove(l.segs[0].path); err != nil {
+			return fmt.Errorf("wal: remove truncated segment: %w", err)
+		}
+		l.segs = l.segs[1:]
+		removed++
+	}
+	if removed > 0 {
+		return syncDir(l.dir)
+	}
+	return nil
+}
+
+// Reset discards the entire log and restarts numbering so the next append
+// receives LSN next. A standby uses it after installing a snapshot from the
+// primary whose covered records it never saw.
+func (l *Log) Reset(next uint64) error {
+	if next == 0 {
+		return fmt.Errorf("wal: reset to LSN 0 (LSNs are 1-based)")
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: reset on closed log")
+	}
+	if err := l.w.Flush(); err != nil {
+		return fmt.Errorf("wal: reset flush: %w", err)
+	}
+	if err := l.f.Close(); err != nil {
+		return fmt.Errorf("wal: reset close active: %w", err)
+	}
+	for _, s := range l.segs {
+		if err := os.Remove(s.path); err != nil {
+			return fmt.Errorf("wal: reset remove segment: %w", err)
+		}
+	}
+	l.segs = nil
+	l.next = next
+	l.durable = next - 1
+	l.dirty = false
+	if err := l.openSegmentLocked(next); err != nil {
+		return err
+	}
+	return syncDir(l.dir)
+}
+
+// Close flushes, fsyncs, and closes the log.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	stopCommitter := l.opt.SyncInterval > 0
+	l.mu.Unlock()
+	if stopCommitter {
+		close(l.syncStop)
+		<-l.syncDone
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	err := l.syncLocked()
+	if cerr := l.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: close active segment: %w", cerr)
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so renames and removals within it are durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: open dir for sync: %w", err)
+	}
+	defer d.Close() //vialint:ignore errwrap read-only directory handle; the Sync result is what matters
+	if err := d.Sync(); err != nil {
+		return fmt.Errorf("wal: sync dir: %w", err)
+	}
+	return nil
+}
