@@ -18,7 +18,7 @@ FUZZTIME ?= 30s
 # introduction: 77.7%).
 COVER_FLOOR ?= 75.0
 
-.PHONY: verify build vet lint test race short fuzz chaos chaos-ha bench bench-json bench-smoke cover
+.PHONY: verify build vet lint test race short fuzz chaos chaos-ha chaos-repair loss-sweep bench bench-json bench-smoke cover
 
 verify: build vet lint test race
 
@@ -50,11 +50,14 @@ race:
 short:
 	$(GO) test -short ./...
 
-# Short fuzz sessions over the two byte-level decoders fed by
-# crash-recovery and the wire: the media frame and the WAL frame.
+# Short fuzz sessions over the byte-level decoders fed by crash-recovery
+# and the wire: the media frame, the WAL frame, and the loss-repair
+# payloads (FEC parity packets and NACK requests).
 fuzz:
 	$(GO) test -run=NONE -fuzz=FuzzFrameUnmarshal -fuzztime=$(FUZZTIME) ./internal/transport/
 	$(GO) test -run=NONE -fuzz=FuzzWALDecode -fuzztime=$(FUZZTIME) ./internal/wal/
+	$(GO) test -run=NONE -fuzz=FuzzFECDecode -fuzztime=$(FUZZTIME) ./internal/rtp/
+	$(GO) test -run=NONE -fuzz=FuzzNACKParse -fuzztime=$(FUZZTIME) ./internal/rtp/
 
 # Coverage with a floor: writes coverage.out (CI archives it) and fails
 # below COVER_FLOOR percent total statement coverage.
@@ -73,6 +76,16 @@ chaos:
 # crash and a WAL-recovery restart mid-run.
 chaos-ha:
 	$(GO) run ./cmd/viabench -quick -waldir $$(mktemp -d) chaos
+
+# Chaos with burst loss on every media segment and NACK repair on every
+# call: the repair counters in the report must move.
+chaos-repair:
+	$(GO) run ./cmd/viabench -quick -repair nack chaos
+
+# Loss-repair sweep: residual loss / MOS / overhead per (regime, scheme)
+# plus the per-regime repair bandit's learned choices.
+loss-sweep:
+	$(GO) run ./cmd/viabench losssweep
 
 # Go benchmark suite (per-figure testing.B benchmarks).
 bench:

@@ -27,6 +27,8 @@
 //	-metricsout F    fig18/chaos: write the final metrics snapshot as JSON to F
 //	-waldir D        chaos: run the controller durably (WAL + snapshots in D;
 //	                 the fault plan gains an abrupt crash + WAL-recovery restart)
+//	-repair S        chaos: place every call with loss-repair scheme S
+//	                 (none | nack | red | fec-K) and add burst loss to the plan
 //
 // When GITHUB_STEP_SUMMARY is set (GitHub Actions), bench appends a
 // one-line result to the job summary.
@@ -73,6 +75,7 @@ func run() int {
 	modes := flag.String("modes", "seq,par", "bench: comma-separated seq,par")
 	metricsOut := flag.String("metricsout", "", "fig18/chaos: write final metrics snapshot JSON to file")
 	walDir := flag.String("waldir", "", "chaos: run the controller durably (WAL+snapshots here; adds crash/WAL-restart faults)")
+	repair := flag.String("repair", "", "chaos: loss-repair scheme on every call (none|nack|red|fec-K; adds burst loss to the fault plan)")
 	flag.Parse()
 
 	if *list {
@@ -174,6 +177,7 @@ func run() int {
 			cfg.Seed = *seed + 16
 			cfg.Metrics = liveReg
 			cfg.WALDir = *walDir
+			cfg.Repair = *repair
 			tables, err = experiments.Chaos(cfg)
 		}
 		if err != nil {

@@ -24,6 +24,7 @@ import (
 	"repro/internal/client"
 	"repro/internal/controller"
 	"repro/internal/netsim"
+	"repro/internal/rtp"
 )
 
 func main() {
@@ -33,6 +34,8 @@ func main() {
 	peer := flag.String("peer", "", "peer media address (call mode)")
 	peerGroup := flag.Int("peer-group", 0, "peer's group id (call mode)")
 	option := flag.String("option", "auto", "auto | direct | bounce:R | transit:R1:R2")
+	repair := flag.String("repair", "none",
+		"loss-repair scheme: none | nack | red | fec-K | auto (controller's bandit picks)")
 	duration := flag.Duration("duration", 3*time.Second, "call length")
 	pps := flag.Int("pps", 50, "media packets per second")
 	seed := flag.Uint64("seed", uint64(time.Now().UnixNano()), "agent seed")
@@ -81,21 +84,49 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("calling %s via %v for %v...\n", *peer, opt, *duration)
+	// Repair scheme: explicit name, or let the controller's per-pair repair
+	// bandit pick one for the chosen path.
+	schemeName := *repair
+	if schemeName == "auto" {
+		if cc == nil {
+			log.Fatal("-repair auto requires -controller")
+		}
+		opt, schemeName, err = cc.ChooseWithRepair(int32(*group), int32(*peerGroup),
+			[]netsim.Option{opt}, []string{"none", "nack", "red", "fec-4"})
+		if err != nil {
+			log.Fatalf("choose repair: %v", err)
+		}
+	}
+	scheme, err := rtp.ParseScheme(schemeName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("calling %s via %v (repair %v) for %v...\n", *peer, opt, scheme, *duration)
 	m, err := agent.Call(client.CallSpec{
 		Peer:     peerAddr,
 		Option:   opt,
 		Duration: *duration,
 		PPS:      *pps,
+		Repair:   scheme,
 	})
 	if err != nil {
 		log.Fatalf("call: %v", err)
 	}
 	fmt.Printf("measured: rtt=%.1fms loss=%.2f%% jitter=%.2fms\n",
 		m.RTTMs, 100*m.LossRate, m.JitterMs)
+	if agent.RepairDowngrades() > 0 {
+		fmt.Println("peer did not confirm the repair scheme; ran plain forwarding")
+	}
 	if cc != nil {
-		if err := cc.Report(int32(*group), int32(*peerGroup), opt, m); err != nil {
-			log.Fatalf("report: %v", err)
+		var rerr error
+		if scheme == rtp.SchemeNone {
+			rerr = cc.Report(int32(*group), int32(*peerGroup), opt, m)
+		} else {
+			rerr = cc.ReportRepair(int32(*group), int32(*peerGroup), opt,
+				scheme.String(), duration.Seconds(), m)
+		}
+		if rerr != nil {
+			log.Fatalf("report: %v", rerr)
 		}
 		fmt.Println("reported to controller")
 	}

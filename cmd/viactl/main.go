@@ -21,6 +21,10 @@
 // (viactl promote) or automatically when the lease lapses (-auto-promote).
 // -max-concurrent enables admission control: excess choose/report load is
 // shed with 503 + Retry-After instead of queueing without bound.
+// -repair-schemes none,nack,red,fec-4 turns on per-pair repair-scheme
+// selection: choose requests that offer repair candidates get a scheme
+// picked by a bandit over (path, repair) arms, with -repair-budget capping
+// the redundant-bandwidth fraction (§4.6 applied to redundancy).
 //
 // Relays register with POST /v1/relays/register; clients call POST
 // /v1/choose and POST /v1/report. GET /v1/stats reports counters, GET
@@ -95,6 +99,10 @@ func serveCmd(args []string) int {
 	addr := fs.String("addr", "127.0.0.1:8080", "HTTP listen address")
 	metric := fs.String("metric", "rtt", "metric to optimize: rtt, loss, jitter")
 	budget := fs.Float64("budget", 1.0, "max fraction of calls relayed (1 = unconstrained)")
+	repairSchemes := fs.String("repair-schemes", "",
+		"comma-separated repair arms offered to the per-pair bandit, e.g. none,nack,red,fec-4 (empty = repair selection off)")
+	repairBudget := fs.Float64("repair-budget", 0,
+		"cap on the talk-time fraction of redundant repair bandwidth per pair (0 = default 0.25, >= 1 = uncapped)")
 	timescale := fs.Float64("timescale", 0, "virtual hours per wall second (0 = real time)")
 	seed := fs.Uint64("seed", 1, "strategy seed")
 	state := fs.String("state", "", "history snapshot file: loaded at start, saved on SIGINT (in-memory mode only)")
@@ -133,6 +141,10 @@ func serveCmd(args []string) int {
 	cfg.Budget = *budget
 	cfg.Seed = *seed
 	cfg.Metrics = reg
+	if *repairSchemes != "" {
+		cfg.RepairSchemes = strings.Split(*repairSchemes, ",")
+		cfg.RepairOverheadBudget = *repairBudget
+	}
 	strat := core.NewVia(cfg, nil)
 
 	if *state != "" {

@@ -20,11 +20,13 @@ import (
 // DefaultTargets lists the packages that must stay deterministic: the
 // synthetic Internet model, the discrete-event simulator, the experiment
 // harness, the selection algorithms, every statistical helper they draw
-// from, and the metrics layer (obs) — which instruments deterministic
-// packages and therefore must never sample a clock itself; timestamps are
-// passed in by callers. Wall-clock use stays legal in the live-network
-// packages (controller, relay, client, wan, faults, testbed) where real
-// time is the point.
+// from, the loss-repair engine (rtp) — whose NACK timers, playout
+// deadlines, and repair simulator all run on caller-supplied nanos, never
+// a sampled clock — and the metrics layer (obs), which instruments
+// deterministic packages and therefore must never sample a clock itself;
+// timestamps are passed in by callers. Wall-clock use stays legal in the
+// live-network packages (controller, relay, client, wan, faults, testbed)
+// where real time is the point.
 var DefaultTargets = []string{
 	"repro/internal/netsim",
 	"repro/internal/sim",
@@ -38,6 +40,7 @@ var DefaultTargets = []string{
 	"repro/internal/geo",
 	"repro/internal/history",
 	"repro/internal/packets",
+	"repro/internal/rtp",
 	"repro/internal/obs",
 	"repro/via",
 }

@@ -37,6 +37,19 @@ type Agent struct {
 
 	failovers atomic.Int64 // mid-call repaths across all calls
 
+	// Loss-repair data-plane counters (see repair.go).
+	nacksSent         atomic.Int64 // NACK seqs requested (receiver side)
+	nacksHonored      atomic.Int64 // retransmits served (sender side)
+	fecRecovered      atomic.Int64 // packets rebuilt from FEC parity
+	redDuplicates     atomic.Int64 // redundant RED copies absorbed
+	rtxDeadlineMisses atomic.Int64 // NACK entries expired unrepaired
+	repairDowngrades  atomic.Int64 // calls that fell back to plain forwarding
+
+	// legacyV1 simulates a pre-repair build: the agent drops any frame
+	// carrying a repair byte (the v2 header an old Unmarshal would reject)
+	// and never negotiates a scheme.
+	legacyV1 atomic.Bool
+
 	wg sync.WaitGroup
 }
 
@@ -44,11 +57,48 @@ type Agent struct {
 // nonzero means paths died under live calls and the agent recovered.
 func (a *Agent) Failovers() int64 { return a.failovers.Load() }
 
-// RegisterMetrics publishes the agent's failover counter on a shared
-// registry, labeled per client.
+// NacksSent returns how many sequence numbers this agent has NACKed.
+func (a *Agent) NacksSent() int64 { return a.nacksSent.Load() }
+
+// NacksHonored returns how many retransmit requests this agent served.
+func (a *Agent) NacksHonored() int64 { return a.nacksHonored.Load() }
+
+// FECRecovered returns how many packets were rebuilt from parity.
+func (a *Agent) FECRecovered() int64 { return a.fecRecovered.Load() }
+
+// REDDuplicates returns how many redundant RED copies were absorbed.
+func (a *Agent) REDDuplicates() int64 { return a.redDuplicates.Load() }
+
+// RtxDeadlineMisses returns how many NACK entries expired unrepaired.
+func (a *Agent) RtxDeadlineMisses() int64 { return a.rtxDeadlineMisses.Load() }
+
+// RepairDowngrades returns how many calls fell back to plain forwarding
+// because the peer never confirmed the repair scheme.
+func (a *Agent) RepairDowngrades() int64 { return a.repairDowngrades.Load() }
+
+// SetLegacyV1 makes the agent behave like a pre-repair build: incoming
+// frames with a repair byte are dropped (an old parser would reject the
+// v2 magic) and no scheme is ever echoed, so a repair-requesting caller
+// must detect the silence and downgrade.
+func (a *Agent) SetLegacyV1(on bool) { a.legacyV1.Store(on) }
+
+// RegisterMetrics publishes the agent's failover and loss-repair counters
+// on a shared registry, labeled per client.
 func (a *Agent) RegisterMetrics(reg *obs.Registry, client string) {
 	reg.GaugeFunc(obs.L("via_client_failovers", "client", client),
 		func() float64 { return float64(a.Failovers()) })
+	reg.GaugeFunc(obs.L("via_client_nacks_sent", "client", client),
+		func() float64 { return float64(a.NacksSent()) })
+	reg.GaugeFunc(obs.L("via_client_nacks_honored", "client", client),
+		func() float64 { return float64(a.NacksHonored()) })
+	reg.GaugeFunc(obs.L("via_client_fec_recoveries", "client", client),
+		func() float64 { return float64(a.FECRecovered()) })
+	reg.GaugeFunc(obs.L("via_client_red_duplicates", "client", client),
+		func() float64 { return float64(a.REDDuplicates()) })
+	reg.GaugeFunc(obs.L("via_client_rtx_deadline_misses", "client", client),
+		func() float64 { return float64(a.RtxDeadlineMisses()) })
+	reg.GaugeFunc(obs.L("via_client_repair_downgrades", "client", client),
+		func() float64 { return float64(a.RepairDowngrades()) })
 }
 
 // outCall is caller-side per-call state.
@@ -57,6 +107,13 @@ type outCall struct {
 	flow     rtp.FlowStats
 	lastRR   *rtp.ReceiverReport
 	lastRRAt time.Time // arrival time of lastRR (failover liveness signal)
+
+	// Sender-side repair state (nil / zero when the call runs no repair).
+	scheme   rtp.Scheme
+	rtx      *rtp.RtxRing // sent wire frames, for NACK retransmits
+	sendTo   *net.UDPAddr // current first hop (retransmit target)
+	echoSeen bool         // a receiver report carried a scheme echo
+	echo     rtp.Scheme   // the scheme the callee confirmed
 }
 
 // inCall is callee-side per-call state.
@@ -68,6 +125,14 @@ type inCall struct {
 	lastSend  int64 // SendNanos of most recent media packet
 	lastArrNs int64 // its arrival time
 	streaming bool  // a duplex return stream is running
+
+	// Receiver-side repair state, built lazily from the first repair byte
+	// seen on the session's frames (see repair.go).
+	scheme  rtp.Scheme
+	gap     *rtp.GapTracker
+	nack    *rtp.NACKGenerator
+	fecDec  *rtp.FECDecoder
+	nackBuf []uint16
 }
 
 // rrEvery is how often (in media packets) the callee emits a report.
@@ -157,6 +222,13 @@ type CallSpec struct {
 	// floored at 250ms — several consecutive missing reports, not one
 	// late one.
 	FailoverAfter time.Duration
+	// Repair selects the in-band loss-repair scheme for the call's media
+	// (negotiated at setup: the scheme rides in every frame's repair byte
+	// and the callee echoes its acceptance on receiver reports). The zero
+	// value (SchemeNone) sends plain v1 frames. If the peer never
+	// confirms the scheme — a pre-repair build — the caller downgrades to
+	// plain forwarding instead of failing the call.
+	Repair rtp.Scheme
 }
 
 // CallOutcome is the result of a resilient call: the measured metrics,
@@ -254,7 +326,19 @@ func (a *Agent) CallResilient(spec CallSpec) (CallOutcome, error) {
 	}
 
 	session := a.newSession()
-	oc := &outCall{}
+	// Repair setup: a legacy build cannot emit v2 frames at all.
+	scheme := spec.Repair
+	if a.legacyV1.Load() {
+		scheme = rtp.SchemeNone
+	}
+	oc := &outCall{scheme: scheme, sendTo: rs.sendTo}
+	if scheme != rtp.SchemeNone {
+		oc.rtx = rtp.NewRtxRing(256)
+	}
+	var fecEnc *rtp.FECEncoder
+	if scheme.IsFEC() {
+		fecEnc = rtp.NewFECEncoder(scheme.FECGroup())
+	}
 	a.mu.Lock()
 	a.outgoing[session] = oc
 	a.mu.Unlock()
@@ -267,11 +351,29 @@ func (a *Agent) CallResilient(spec CallSpec) (CallOutcome, error) {
 	var f transport.Frame
 	f.Session = session
 	f.Kind = transport.KindMedia
+	f.Repair = scheme.Byte()
 	if err := f.SetRoute(rs.route); err != nil {
 		return out, err
 	}
 	if err := f.SetReply(rs.reply); err != nil {
 		return out, err
+	}
+	// Parity frames share the media frame's addressing but carry the XOR
+	// payload under their own kind; relays forward both transparently.
+	var pf transport.Frame
+	setParityRoute := func(r *routeSet) error {
+		pf.Session = session
+		pf.Kind = transport.KindFEC
+		pf.Repair = scheme.Byte()
+		if err := pf.SetRoute(r.route); err != nil {
+			return err
+		}
+		return pf.SetReply(r.reply)
+	}
+	if fecEnc != nil {
+		if err := setParityRoute(rs); err != nil {
+			return out, err
+		}
 	}
 
 	total := int(spec.Duration / interval)
@@ -305,8 +407,52 @@ func (a *Agent) CallResilient(spec CallSpec) (CallOutcome, error) {
 		if _, err := a.conn.WriteTo(wire, rs.sendTo); err != nil {
 			return out, err
 		}
+		if oc.rtx != nil {
+			oc.mu.Lock()
+			oc.rtx.Put(pkt.Seq, wire)
+			oc.mu.Unlock()
+		}
+		switch {
+		case scheme == rtp.SchemeRED:
+			//vialint:ignore errwrap the redundant copy is best-effort by construction
+			_, _ = a.conn.WriteTo(wire, rs.sendTo)
+		case fecEnc != nil:
+			if parity := fecEnc.Add(&pkt); parity != nil {
+				pf.Payload = parity.Marshal(nil)
+				//vialint:ignore errwrap parity is repair data; losing it degrades to plain forwarding
+				_, _ = a.conn.WriteTo(pf.Marshal(nil), rs.sendTo)
+			}
+		}
 		if i < total-1 {
 			<-ticker.C
+		}
+
+		// Repair liveness: the callee confirms the scheme by echoing it on
+		// its receiver reports. A peer that reports without the echo (or
+		// with a different scheme) is a pre-repair build — downgrade to
+		// plain forwarding immediately rather than failing the call. A peer
+		// that stays silent for FailoverAfter gets one downgrade attempt
+		// (maybe it dropped our v2 frames wholesale) before path failover.
+		if scheme != rtp.SchemeNone {
+			oc.mu.Lock()
+			seenRR := oc.lastRR != nil
+			confirmed := oc.echoSeen && oc.echo == scheme
+			oc.mu.Unlock()
+			downgrade := seenRR && !confirmed
+			if !seenRR && time.Since(activated) > spec.FailoverAfter {
+				downgrade = true
+				activated = time.Now() // fresh liveness window for plain media
+			}
+			if downgrade {
+				scheme = rtp.SchemeNone
+				f.Repair = 0
+				fecEnc = nil
+				oc.mu.Lock()
+				oc.scheme = rtp.SchemeNone
+				oc.rtx = nil
+				oc.mu.Unlock()
+				a.repairDowngrades.Add(1)
+			}
 		}
 
 		// Liveness: the path is alive while receiver reports keep coming.
@@ -334,6 +480,14 @@ func (a *Agent) CallResilient(spec CallSpec) (CallOutcome, error) {
 			if err := f.SetReply(rs.reply); err != nil {
 				return out, err
 			}
+			if fecEnc != nil {
+				if err := setParityRoute(rs); err != nil {
+					return out, err
+				}
+			}
+			oc.mu.Lock()
+			oc.sendTo = rs.sendTo
+			oc.mu.Unlock()
 			activated = time.Now()
 			a.failovers.Add(1)
 		}
@@ -546,11 +700,18 @@ func (a *Agent) readLoop() {
 		if f.NextHop() != nil {
 			continue // not at its final destination; misdelivered
 		}
+		if a.legacyV1.Load() && f.Repair != 0 {
+			continue // pre-repair build: the v2 header reads as garbage
+		}
 		switch f.Kind {
 		case transport.KindMedia:
 			a.handleMedia(&f)
 		case transport.KindReport:
 			a.handleReport(&f)
+		case transport.KindNack:
+			a.handleNack(&f)
+		case transport.KindFEC:
+			a.handleFEC(&f)
 		}
 	}
 }
@@ -579,7 +740,33 @@ func (a *Agent) handleMedia(f *transport.Frame) {
 	a.mu.Unlock()
 
 	ic.mu.Lock()
-	ic.flow.ObservePacket(&pkt, now)
+	if ic.scheme == rtp.SchemeNone && f.Repair != 0 {
+		ic.setupRepairLocked(rtp.SchemeFromByte(f.Repair))
+	}
+	arrival := ic.flow.ObservePacket(&pkt, now)
+	if arrival == rtp.ArrivalDuplicate {
+		// RED's second copy (or a retransmit racing its original): already
+		// delivered, so it must not advance packet counts or trigger RRs.
+		if ic.scheme == rtp.SchemeRED {
+			ic.mu.Unlock()
+			a.redDuplicates.Add(1)
+			return
+		}
+		ic.mu.Unlock()
+		return
+	}
+	if ic.nack != nil {
+		ic.gap.Observe(pkt.Seq, func(miss uint16) { ic.nack.Missing(miss, now) })
+		if arrival == rtp.ArrivalReordered {
+			ic.nack.Recovered(pkt.Seq) // late original or honored retransmit
+		}
+	}
+	if ic.fecDec != nil {
+		if rec, ok := ic.fecDec.AddMedia(&pkt); ok {
+			ic.flow.ObserveRecovered(rec.Seq)
+			a.fecRecovered.Add(1)
+		}
+	}
 	ic.pkts++
 	ic.lastSend = getNanos(pkt.Payload)
 	ic.lastArrNs = now
@@ -594,6 +781,7 @@ func (a *Agent) handleMedia(f *transport.Frame) {
 	sendRR := ic.pkts%rrEvery == 0
 	var rr rtp.ReceiverReport
 	var replyRoute []*net.UDPAddr
+	echoScheme := rtp.SchemeNone
 	if sendRR && len(ic.reply) > 0 {
 		rr = rtp.ReceiverReport{
 			SSRC:          pkt.SSRC,
@@ -604,6 +792,27 @@ func (a *Agent) handleMedia(f *transport.Frame) {
 			DelayNanos:    time.Now().UnixNano() - ic.lastArrNs,
 		}
 		replyRoute = ic.reply
+		echoScheme = ic.scheme
+	}
+	// NACK pass: collect overdue gaps for (re)request while the lock is
+	// held, send after release. Runs on every packet, not just RR ticks —
+	// retransmit deadlines are tighter than the report interval.
+	var nackSeqs []uint16
+	if ic.nack != nil && len(ic.reply) > 0 {
+		if ic.nackBuf == nil {
+			ic.nackBuf = make([]uint16, 0, rtp.MaxNACKSeqs)
+		}
+		due, expired := ic.nack.Due(now, ic.nackBuf[:0])
+		ic.nackBuf = due[:0]
+		if expired > 0 {
+			a.rtxDeadlineMisses.Add(int64(expired))
+		}
+		if len(due) > 0 {
+			nackSeqs = append([]uint16(nil), due...)
+			if replyRoute == nil {
+				replyRoute = ic.reply
+			}
+		}
 	}
 	ic.mu.Unlock()
 
@@ -611,7 +820,7 @@ func (a *Agent) handleMedia(f *transport.Frame) {
 		a.wg.Add(1)
 		go a.streamBack(f.Session, ic)
 	}
-	if replyRoute != nil {
+	if sendRR && replyRoute != nil {
 		var out transport.Frame
 		out.Session = f.Session
 		out.Kind = transport.KindReport
@@ -619,8 +828,16 @@ func (a *Agent) handleMedia(f *transport.Frame) {
 			return
 		}
 		out.Payload = rr.Marshal(nil)
+		if echoScheme != rtp.SchemeNone {
+			// Confirm the negotiated scheme: one echo byte after the fixed
+			// report, ignored by pre-repair parsers.
+			out.Payload = append(out.Payload, echoScheme.Byte())
+		}
 		//vialint:ignore errwrap best-effort receiver report: a lost RR is one missing sample, repaired by the next interval
 		_, _ = a.conn.WriteTo(out.Marshal(nil), replyRoute[0])
+	}
+	if len(nackSeqs) > 0 {
+		a.sendNack(f.Session, pkt.SSRC, nackSeqs, replyRoute)
 	}
 }
 
@@ -704,5 +921,10 @@ func (a *Agent) handleReport(f *transport.Frame) {
 	cp := rr
 	oc.lastRR = &cp
 	oc.lastRRAt = time.Now()
+	if len(f.Payload) > rtp.RRLen {
+		// Trailing byte past the fixed report is the callee's scheme echo.
+		oc.echoSeen = true
+		oc.echo = rtp.SchemeFromByte(f.Payload[rtp.RRLen])
+	}
 	oc.mu.Unlock()
 }

@@ -241,6 +241,35 @@ func (c *Client) Choose(src, dst int32, cands []netsim.Option) (netsim.Option, e
 	return resp.Option.Option(), nil
 }
 
+// ChooseWithRepair asks the controller for a relaying option plus a
+// loss-repair scheme from the offered candidate names. A controller (or
+// strategy) without repair support answers with an empty scheme — the
+// caller falls back to plain forwarding.
+func (c *Client) ChooseWithRepair(src, dst int32, cands []netsim.Option, schemes []string) (netsim.Option, string, error) {
+	req := transport.ChooseRequest{Src: src, Dst: dst, RepairCandidates: schemes}
+	for _, o := range cands {
+		req.Candidates = append(req.Candidates, transport.ToWireOption(o))
+	}
+	var resp transport.ChooseResponse
+	if err := c.post("/v1/choose", req, &resp); err != nil {
+		return netsim.DirectOption(), "", err
+	}
+	return resp.Option.Option(), resp.Repair, nil
+}
+
+// ReportRepair pushes one call's measurements along with the repair
+// scheme that ran and the call duration in seconds (0 = unknown).
+func (c *Client) ReportRepair(src, dst int32, opt netsim.Option, scheme string, durSec float64, m quality.Metrics) error {
+	var resp transport.ReportResponse
+	return c.post("/v1/report", transport.ReportRequest{
+		Src: src, Dst: dst,
+		Option:      transport.ToWireOption(opt),
+		Metrics:     transport.ToWireMetrics(m),
+		Repair:      scheme,
+		DurationSec: durSec,
+	}, &resp)
+}
+
 // Report pushes one call's measurements.
 func (c *Client) Report(src, dst int32, opt netsim.Option, m quality.Metrics) error {
 	var resp transport.ReportResponse

@@ -505,7 +505,7 @@ func (s *Server) handleChoose(w http.ResponseWriter, r *http.Request) {
 		Dst:    netsim.ASID(req.Dst),
 		THours: s.nowHours(),
 	}
-	opt, err := s.applyChoose(call, cands)
+	opt, scheme, err := s.applyChoose(call, cands, req.RepairCandidates)
 	if err != nil {
 		// The decision could not be made durable; pretending otherwise
 		// would hand out state the log cannot reproduce.
@@ -514,7 +514,7 @@ func (s *Server) handleChoose(w http.ResponseWriter, r *http.Request) {
 	}
 	s.chooses.Add(1)
 	s.mChooses.Inc()
-	reply(w, transport.ChooseResponse{Option: transport.ToWireOption(opt)})
+	reply(w, transport.ChooseResponse{Option: transport.ToWireOption(opt), Repair: scheme})
 }
 
 func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
@@ -535,7 +535,7 @@ func (s *Server) handleReport(w http.ResponseWriter, r *http.Request) {
 		Dst:    netsim.ASID(req.Dst),
 		THours: s.nowHours(),
 	}
-	if err := s.applyReport(call, req.Option.Option(), req.Metrics); err != nil {
+	if err := s.applyReport(call, req.Option.Option(), req.Metrics, req.Repair, req.DurationSec); err != nil {
 		http.Error(w, "durability failure: "+err.Error(), http.StatusInternalServerError)
 		return
 	}

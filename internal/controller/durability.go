@@ -43,20 +43,31 @@ const (
 )
 
 // walChoose is the durable form of one /v1/choose decision input.
+//
+// Repair carries the caller's offered repair-scheme candidates. The field
+// is versioned by omission: records written before the repair layer (or by
+// clients not offering repair) have no "repair" key, decode to a nil
+// slice, and replay exactly as before — the repair bandit is never
+// consulted, so its RNG stays untouched and legacy logs replay
+// bit-identically.
 type walChoose struct {
 	THours float64                `json:"t_hours"`
 	Src    int32                  `json:"src"`
 	Dst    int32                  `json:"dst"`
 	Cands  []transport.WireOption `json:"cands"`
+	Repair []string               `json:"repair,omitempty"`
 }
 
-// walReport is the durable form of one /v1/report observation.
+// walReport is the durable form of one /v1/report observation. Repair and
+// DurationSec follow the same versioning-by-omission rule as walChoose.
 type walReport struct {
-	THours  float64               `json:"t_hours"`
-	Src     int32                 `json:"src"`
-	Dst     int32                 `json:"dst"`
-	Option  transport.WireOption  `json:"option"`
-	Metrics transport.WireMetrics `json:"metrics"`
+	THours      float64               `json:"t_hours"`
+	Src         int32                 `json:"src"`
+	Dst         int32                 `json:"dst"`
+	Option      transport.WireOption  `json:"option"`
+	Metrics     transport.WireMetrics `json:"metrics"`
+	Repair      string                `json:"repair,omitempty"`
+	DurationSec float64               `json:"duration_sec,omitempty"`
 }
 
 // walTerm marks a leadership acquisition: every boot-as-primary and every
@@ -94,39 +105,74 @@ func (s *Server) appendRecordLocked(typ wal.Type, v any) (uint64, error) {
 	return lsn, nil
 }
 
+// chooseRepairLocked consults the strategy's repair extension for the
+// scheme, when the caller offered candidates and the strategy supports
+// selection. The empty answer means "no repair". Caller holds s.walMu on
+// the durable path (the strategy call must stay inside the log-order
+// critical section).
+func (s *Server) chooseRepairLocked(call core.Call, opt netsim.Option, schemes []string) string {
+	if len(schemes) == 0 {
+		return ""
+	}
+	rs, ok := s.cfg.Strategy.(core.RepairStrategy)
+	if !ok {
+		return ""
+	}
+	return rs.ChooseRepair(call, opt, schemes)
+}
+
+// observeRepairLocked folds a repair observation in, mirroring
+// chooseRepairLocked's gating exactly — replay must make the same calls.
+func (s *Server) observeRepairLocked(call core.Call, opt netsim.Option, scheme string, m transport.WireMetrics) {
+	if scheme == "" {
+		return
+	}
+	if rs, ok := s.cfg.Strategy.(core.RepairStrategy); ok {
+		rs.ObserveRepair(call, opt, scheme, m.Metrics())
+	}
+}
+
 // applyChoose runs one choose decision, writing it to the WAL first when
 // durability is on. The append and the strategy call share walMu so a
 // concurrent request cannot interleave between them — WAL order must equal
-// apply order or replay diverges.
-func (s *Server) applyChoose(call core.Call, cands []netsim.Option) (netsim.Option, error) {
+// apply order or replay diverges. schemes are the caller's offered repair
+// candidates (nil = no repair); the returned scheme is empty when no
+// repair was selected.
+func (s *Server) applyChoose(call core.Call, cands []netsim.Option, schemes []string) (netsim.Option, string, error) {
 	if s.wlog == nil {
-		return s.cfg.Strategy.Choose(call, cands), nil
+		opt := s.cfg.Strategy.Choose(call, cands)
+		return opt, s.chooseRepairLocked(call, opt, schemes), nil
 	}
-	rec := walChoose{THours: call.THours, Src: int32(call.Src), Dst: int32(call.Dst)}
+	rec := walChoose{THours: call.THours, Src: int32(call.Src), Dst: int32(call.Dst), Repair: schemes}
 	for _, o := range cands {
 		rec.Cands = append(rec.Cands, transport.ToWireOption(o))
 	}
 	s.walMu.Lock()
 	defer s.walMu.Unlock()
 	if _, err := s.appendRecordLocked(recChoose, rec); err != nil {
-		return netsim.DirectOption(), err
+		return netsim.DirectOption(), "", err
 	}
 	s.noteTHoursLocked(call.THours)
 	opt := s.cfg.Strategy.Choose(call, cands)
+	scheme := s.chooseRepairLocked(call, opt, schemes)
 	s.maybeSnapshotLocked()
-	return opt, nil
+	return opt, scheme, nil
 }
 
 // applyReport folds one observation in, WAL-first like applyChoose. wm is
 // the report's wire-form metrics — the exact bytes replay will see.
-func (s *Server) applyReport(call core.Call, opt netsim.Option, wm transport.WireMetrics) error {
+// scheme/durSec carry the call's repair outcome ("" = no repair ran).
+func (s *Server) applyReport(call core.Call, opt netsim.Option, wm transport.WireMetrics, scheme string, durSec float64) error {
+	call.DurationSec = durSec
 	if s.wlog == nil {
 		s.cfg.Strategy.Observe(call, opt, wm.Metrics())
+		s.observeRepairLocked(call, opt, scheme, wm)
 		return nil
 	}
 	rec := walReport{
 		THours: call.THours, Src: int32(call.Src), Dst: int32(call.Dst),
 		Option: transport.ToWireOption(opt), Metrics: wm,
+		Repair: scheme, DurationSec: durSec,
 	}
 	s.walMu.Lock()
 	defer s.walMu.Unlock()
@@ -135,6 +181,7 @@ func (s *Server) applyReport(call core.Call, opt netsim.Option, wm transport.Wir
 	}
 	s.noteTHoursLocked(call.THours)
 	s.cfg.Strategy.Observe(call, opt, wm.Metrics())
+	s.observeRepairLocked(call, opt, scheme, wm)
 	s.maybeSnapshotLocked()
 	return nil
 }
@@ -176,15 +223,20 @@ func (s *Server) applyRecordLocked(rec wal.Record) error {
 			cands[i] = c.Option()
 		}
 		call := core.Call{Src: netsim.ASID(r.Src), Dst: netsim.ASID(r.Dst), THours: r.THours}
-		s.cfg.Strategy.Choose(call, cands)
+		opt := s.cfg.Strategy.Choose(call, cands)
+		// Mirror the live path exactly: a record with repair candidates
+		// re-draws the scheme (advancing the repair RNG identically); a
+		// record without never touches the repair bandit.
+		s.chooseRepairLocked(call, opt, r.Repair)
 		s.noteTHoursLocked(r.THours)
 	case recReport:
 		var r walReport
 		if err := json.Unmarshal(rec.Data, &r); err != nil {
 			return fmt.Errorf("controller: decode report record: %w", err)
 		}
-		call := core.Call{Src: netsim.ASID(r.Src), Dst: netsim.ASID(r.Dst), THours: r.THours}
+		call := core.Call{Src: netsim.ASID(r.Src), Dst: netsim.ASID(r.Dst), THours: r.THours, DurationSec: r.DurationSec}
 		s.cfg.Strategy.Observe(call, r.Option.Option(), r.Metrics.Metrics())
+		s.observeRepairLocked(call, r.Option.Option(), r.Repair, r.Metrics)
 		s.noteTHoursLocked(r.THours)
 	case recTerm:
 		var r walTerm

@@ -56,21 +56,45 @@ type viaRelayUseRec struct {
 	Count int64
 }
 
+// viaRepairArmRec is one repair scheme's cost state in exported form.
+type viaRepairArmRec struct {
+	Scheme string
+	Count  float64
+	Sum    float64
+}
+
+// viaRepairPairRec is one pair's repair-bandit state, arms sorted by
+// scheme name for reproducible bytes.
+type viaRepairPairRec struct {
+	A, B        int32
+	T           float64
+	OverheadSec float64
+	TotalSec    float64
+	Arms        []viaRepairArmRec
+}
+
 // viaState is the full serialized form.
+//
+// The repair fields were added after version 1 shipped, without a bump:
+// gob tolerates absent fields, so a pre-repair snapshot decodes with zero
+// RepairRNG/RepairPairs and LoadState falls back to a fresh repair split —
+// exactly the state a pre-repair run had, so replay stays bit-identical.
 type viaState struct {
-	Version    int
-	History    []byte // history.Store.Save stream, embedded whole
-	CurEpoch   int
-	Pairs      []viaPairRec
-	HasBenefit bool
-	Benefit    stats.P2State
-	Relayed    int64
-	Total      int64
-	RelayedSec float64
-	TotalSec   float64
-	RelayUse   []viaRelayUseRec // sorted by relay ID
-	RelayCalls int64
-	RNG        stats.RNGState
+	Version     int
+	History     []byte // history.Store.Save stream, embedded whole
+	CurEpoch    int
+	Pairs       []viaPairRec
+	HasBenefit  bool
+	Benefit     stats.P2State
+	Relayed     int64
+	Total       int64
+	RelayedSec  float64
+	TotalSec    float64
+	RelayUse    []viaRelayUseRec // sorted by relay ID
+	RelayCalls  int64
+	RNG         stats.RNGState
+	RepairRNG   stats.RNGState     // zero (empty PCG) = repair never used
+	RepairPairs []viaRepairPairRec // sorted by (A, B)
 }
 
 // SaveState writes the strategy's complete decision state. Safe to call
@@ -108,6 +132,26 @@ func (v *Via) SaveState(w io.Writer) error {
 		return fmt.Errorf("core: save rng: %w", err)
 	}
 	st.RNG = rngState
+	repairRNGState, err := v.repairRNG.State()
+	if err != nil {
+		v.mu.Unlock()
+		return fmt.Errorf("core: save repair rng: %w", err)
+	}
+	st.RepairRNG = repairRNGState
+	for gp, b := range v.repairPairs {
+		rec := viaRepairPairRec{
+			A:           gp.a,
+			B:           gp.b,
+			T:           b.t,
+			OverheadSec: b.overheadSec,
+			TotalSec:    b.totalSec,
+		}
+		for s, a := range b.arms {
+			rec.Arms = append(rec.Arms, viaRepairArmRec{Scheme: s, Count: a.count, Sum: a.sum})
+		}
+		sort.Slice(rec.Arms, func(i, j int) bool { return rec.Arms[i].Scheme < rec.Arms[j].Scheme })
+		st.RepairPairs = append(st.RepairPairs, rec)
+	}
 	for gp, ps := range v.pairs {
 		rec := viaPairRec{
 			A:         gp.a,
@@ -132,6 +176,12 @@ func (v *Via) SaveState(w io.Writer) error {
 			return st.Pairs[i].A < st.Pairs[j].A
 		}
 		return st.Pairs[i].B < st.Pairs[j].B
+	})
+	sort.Slice(st.RepairPairs, func(i, j int) bool {
+		if st.RepairPairs[i].A != st.RepairPairs[j].A {
+			return st.RepairPairs[i].A < st.RepairPairs[j].A
+		}
+		return st.RepairPairs[i].B < st.RepairPairs[j].B
 	})
 
 	if err := gob.NewEncoder(w).Encode(&st); err != nil {
@@ -170,6 +220,30 @@ func (v *Via) LoadState(r io.Reader) error {
 			return fmt.Errorf("core: restore benefit estimator: %w", err)
 		}
 	}
+	// Pre-repair snapshots carry no repair RNG: fall back to the same
+	// fresh split NewVia would have made, which is exactly the state a
+	// pre-repair run was in.
+	repairRNG := stats.NewRNG(v.cfg.Seed).Split("via-repair")
+	if len(st.RepairRNG.PCG) > 0 {
+		repairRNG, err = stats.RestoreRNG(st.RepairRNG)
+		if err != nil {
+			return fmt.Errorf("core: restore repair rng: %w", err)
+		}
+	}
+	var repairPairs map[groupPair]*RepairBandit
+	if len(st.RepairPairs) > 0 {
+		repairPairs = make(map[groupPair]*RepairBandit, len(st.RepairPairs))
+		for _, rec := range st.RepairPairs {
+			b := NewRepairBandit(v.cfg.Epsilon, v.cfg.UCBCoef, v.cfg.RepairOverheadBudget)
+			b.t = rec.T
+			b.overheadSec = rec.OverheadSec
+			b.totalSec = rec.TotalSec
+			for _, a := range rec.Arms {
+				b.arms[a.Scheme] = &repairArm{count: a.Count, sum: a.Sum}
+			}
+			repairPairs[groupPair{rec.A, rec.B}] = b
+		}
+	}
 	pairs := make(map[groupPair]*pairState, len(st.Pairs))
 	for _, rec := range st.Pairs {
 		ucb := newUCBState()
@@ -190,6 +264,8 @@ func (v *Via) LoadState(r io.Reader) error {
 	defer v.mu.Unlock()
 	v.store = store
 	v.rng = rng
+	v.repairRNG = repairRNG
+	v.repairPairs = repairPairs
 	v.benefit = benefit
 	v.curEpoch = st.CurEpoch
 	v.pairs = pairs

@@ -59,6 +59,16 @@ type ViaConfig struct {
 	// of historical benefits. When false, relaying is first-come
 	// first-served until the cap is hit ("budget-unaware" in Fig. 16).
 	BudgetAware bool
+	// RepairSchemes, when non-empty, extends the option space to
+	// (path, repair) pairs: ChooseRepair offers these scheme names
+	// ("none", "nack", "red", "fec-k") to a per-pair bandit. Empty
+	// disables repair selection (ChooseRepair then echoes from the
+	// caller's candidates only).
+	RepairSchemes []string
+	// RepairOverheadBudget caps the talk-time-weighted fraction of
+	// redundant repair bandwidth per pair (§4.6 applied to redundancy);
+	// 0 defaults to 0.25 when RepairSchemes is set, >= 1 disables.
+	RepairOverheadBudget float64
 	// Groups sets the decision granularity (default: AS pair).
 	Groups GroupFunc
 	// Predictor tunes stage 2-3.
@@ -186,6 +196,11 @@ type Via struct {
 	// Per-relay usage counters (PerRelayBudget); transit counts both ends.
 	relayUse   map[netsim.RelayID]int64
 	relayCalls int64
+
+	// Repair-scheme selection (RepairStrategy). The RNG is a dedicated
+	// split so repair draws never perturb the path ε sequence.
+	repairRNG   *stats.RNG
+	repairPairs map[groupPair]*RepairBandit
 }
 
 // NewVia builds the strategy. bb may be nil (backbone links then become
@@ -212,14 +227,19 @@ func NewVia(cfg ViaConfig, bb BackboneSource) *Via {
 	if cfg.Groups == nil {
 		cfg.Groups = ASPairGroups
 	}
+	validateRepairSchemes(cfg.RepairSchemes)
+	if len(cfg.RepairSchemes) > 0 && cfg.RepairOverheadBudget == 0 {
+		cfg.RepairOverheadBudget = 0.25
+	}
 	v := &Via{
-		cfg:      cfg,
-		bb:       bb,
-		store:    history.NewStore(),
-		rng:      stats.NewRNG(cfg.Seed).Split("via"),
-		curEpoch: -1,
-		pairs:    make(map[groupPair]*pairState),
-		relayUse: make(map[netsim.RelayID]int64),
+		cfg:       cfg,
+		bb:        bb,
+		store:     history.NewStore(),
+		rng:       stats.NewRNG(cfg.Seed).Split("via"),
+		repairRNG: stats.NewRNG(cfg.Seed).Split("via-repair"),
+		curEpoch:  -1,
+		pairs:     make(map[groupPair]*pairState),
+		relayUse:  make(map[netsim.RelayID]int64),
 	}
 	if cfg.Budget < 1 {
 		v.benefit = stats.NewP2(clamp01(1-cfg.Budget, 0.001, 0.999))

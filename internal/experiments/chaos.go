@@ -11,6 +11,7 @@ import (
 	"repro/internal/netsim"
 	"repro/internal/obs"
 	"repro/internal/quality"
+	"repro/internal/rtp"
 	"repro/internal/stats"
 	"repro/internal/testbed"
 )
@@ -36,6 +37,11 @@ type ChaosConfig struct {
 	// this directory) and extends the fault plan with an abrupt crash and
 	// a WAL-recovery restart of the controller mid-run.
 	WALDir string
+	// Repair places every call with this loss-repair scheme ("nack",
+	// "red", "fec-K"; "" or "none" = plain forwarding) and layers
+	// Gilbert-Elliott burst loss on every media segment so the repair
+	// plane has losses to mend. The report gains the repair counters.
+	Repair string
 }
 
 // DefaultChaosConfig is a one-minute-class chaos run.
@@ -72,6 +78,10 @@ func QuickChaosConfig() ChaosConfig {
 // mid-call failover, cached decisions, retries, heartbeat-driven
 // directory expiry.
 func Chaos(cfg ChaosConfig) ([]*stats.Table, error) {
+	scheme, err := rtp.ParseScheme(cfg.Repair)
+	if err != nil {
+		return nil, err
+	}
 	wcfg := netsim.DefaultConfig(cfg.Seed)
 	wcfg.NumASes = 60
 	wcfg.NumRelays = cfg.NumRelays
@@ -136,6 +146,14 @@ func Chaos(cfg ChaosConfig) ([]*stats.Table, error) {
 		// that must recover every decision from the WAL.
 		plan.CrashControllerAt(3 * est / 8).RestartControllerAt(5 * est / 8)
 	}
+	if scheme != rtp.SchemeNone {
+		// Calls pair adjacent clients (caller i, callee i+1), so impairing
+		// every adjacent media segment puts burst loss on every call.
+		for i, as := range clients {
+			plan.BurstLossAt(0, faults.ClientEnd(as),
+				faults.ClientEnd(clients[(i+1)%len(clients)]), 0.15, 3)
+		}
+	}
 	sched := faults.NewScheduler(plan, tb)
 	sched.SetMetrics(reg)
 	sched.Start()
@@ -171,6 +189,7 @@ func Chaos(cfg ChaosConfig) ([]*stats.Table, error) {
 			Failover: []netsim.Option{netsim.DirectOption()},
 			Duration: cfg.CallDuration,
 			PPS:      cfg.PPS,
+			Repair:   scheme,
 		})
 		for _, dead := range out.Failed {
 			sel.ReportFailure(src, dst, dead)
@@ -214,6 +233,9 @@ func Chaos(cfg ChaosConfig) ([]*stats.Table, error) {
 	if cfg.WALDir != "" {
 		scenario = "relay death + controller flap + crash/WAL-restart"
 	}
+	if scheme != rtp.SchemeNone {
+		scenario += fmt.Sprintf(" + burst loss (repair=%v)", scheme)
+	}
 	t := &stats.Table{
 		Title:   fmt.Sprintf("Chaos: %d calls under %s (seed %d)", cfg.Calls, scenario, cfg.Seed),
 		Headers: []string{"metric", "value", "note"},
@@ -238,6 +260,20 @@ func Chaos(cfg ChaosConfig) ([]*stats.Table, error) {
 		"clients flagging broken relays")
 	t.AddRow("strategy decisions (metrics)", int64(sumPrefix(snap, "via_decision_total")),
 		"via_decision_total across outcomes")
+	if scheme != rtp.SchemeNone {
+		t.AddRow("nacks sent (metrics)", int64(sumPrefix(snap, "via_client_nacks_sent")),
+			"repair requests from callees")
+		t.AddRow("nacks honored (metrics)", int64(sumPrefix(snap, "via_client_nacks_honored")),
+			"retransmits served from the rtx ring")
+		t.AddRow("fec recoveries (metrics)", int64(sumPrefix(snap, "via_client_fec_recoveries")),
+			"packets rebuilt from parity")
+		t.AddRow("red duplicates (metrics)", int64(sumPrefix(snap, "via_client_red_duplicates")),
+			"duplicates absorbed at the receiver")
+		t.AddRow("rtx deadline misses (metrics)", int64(sumPrefix(snap, "via_client_rtx_deadline_misses")),
+			"gaps abandoned past retry cap/playout")
+		t.AddRow("repair downgrades (metrics)", int64(sumPrefix(snap, "via_client_repair_downgrades")),
+			"fell back to plain forwarding mid-call")
+	}
 	return []*stats.Table{t}, nil
 }
 

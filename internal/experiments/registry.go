@@ -45,6 +45,7 @@ func Registry() []Experiment {
 		{"coords", "Vivaldi coordinates vs history coverage (§6)", CoordinatesAccuracy, 24},
 		{"cache", "client-side decision caching (§7)", DecisionCaching, 25},
 		{"budgetmodels", "alternative budget models (§4.6)", BudgetModels, 26},
+		{"losssweep", "loss-repair scheme sweep & bandit (NACK/RED/FEC)", LossSweep, 27},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].Order < exps[j].Order })
 	return exps

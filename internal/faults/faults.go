@@ -68,6 +68,11 @@ const (
 	RestartController
 	// PromoteStandby promotes the deployment's warm standby to primary.
 	PromoteStandby
+	// BurstLoss imposes Gilbert-Elliott correlated packet loss on a
+	// segment (both directions) — the bursty congestion the loss-repair
+	// layer exists to survive. Rate carries the stationary loss fraction
+	// and MeanBurst the mean burst length; rate 0 heals the segment.
+	BurstLoss
 )
 
 // String names the fault kind.
@@ -95,6 +100,8 @@ func (k Kind) String() string {
 		return "restart-controller"
 	case PromoteStandby:
 		return "promote-standby"
+	case BurstLoss:
+		return "burst-loss"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -137,8 +144,10 @@ type Event struct {
 	Kind  Kind
 	Relay netsim.RelayID // KillRelay / ReviveRelay
 	A, B  Endpoint       // Blackhole / Heal segment ends
-	Rate  float64        // DropControl probability in [0, 1]
+	Rate  float64        // DropControl probability / BurstLoss stationary loss rate
 	Delay time.Duration  // DelayControl added latency
+	// MeanBurst is the BurstLoss mean burst length in packets.
+	MeanBurst float64
 }
 
 // String renders the event for logs and errors.
@@ -148,6 +157,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s@%s relay=%d", e.Kind, e.At, e.Relay)
 	case Blackhole, Heal:
 		return fmt.Sprintf("%s@%s %s<->%s", e.Kind, e.At, e.A, e.B)
+	case BurstLoss:
+		return fmt.Sprintf("%s@%s %s<->%s rate=%.2f burst=%.1f", e.Kind, e.At, e.A, e.B, e.Rate, e.MeanBurst)
 	case DropControl:
 		return fmt.Sprintf("%s@%s rate=%.2f", e.Kind, e.At, e.Rate)
 	case DelayControl:
@@ -182,6 +193,9 @@ type Target interface {
 	RestartController() error
 	// PromoteStandby promotes the warm standby controller to primary.
 	PromoteStandby() error
+	// SetBurstLoss imposes Gilbert-Elliott loss on a segment (both
+	// directions); rate 0 heals it.
+	SetBurstLoss(a, b Endpoint, rate, meanBurstLen float64) error
 }
 
 // Apply fires the event against the target.
@@ -209,6 +223,8 @@ func (e Event) Apply(t Target) error {
 		return t.RestartController()
 	case PromoteStandby:
 		return t.PromoteStandby()
+	case BurstLoss:
+		return t.SetBurstLoss(e.A, e.B, e.Rate, e.MeanBurst)
 	default:
 		return fmt.Errorf("faults: unknown event kind %v", e.Kind)
 	}
@@ -286,6 +302,17 @@ func (p *Plan) RestartControllerAt(at time.Duration) *Plan {
 // PromoteStandbyAt schedules the warm standby's promotion to primary.
 func (p *Plan) PromoteStandbyAt(at time.Duration) *Plan {
 	return p.add(Event{At: at, Kind: PromoteStandby})
+}
+
+// BurstLossAt schedules Gilbert-Elliott loss on a segment: stationary
+// loss fraction rate with mean burst length meanBurstLen packets.
+func (p *Plan) BurstLossAt(at time.Duration, a, b Endpoint, rate, meanBurstLen float64) *Plan {
+	return p.add(Event{At: at, Kind: BurstLoss, A: a, B: b, Rate: rate, MeanBurst: meanBurstLen})
+}
+
+// HealBurstLossAt schedules the end of a segment's burst loss.
+func (p *Plan) HealBurstLossAt(at time.Duration, a, b Endpoint) *Plan {
+	return p.add(Event{At: at, Kind: BurstLoss, A: a, B: b})
 }
 
 // FlapController schedules `times` partition/heal cycles starting at

@@ -78,6 +78,10 @@ func (f *fakeTarget) PromoteStandby() error {
 	f.record("promote-standby")
 	return nil
 }
+func (f *fakeTarget) SetBurstLoss(a, b Endpoint, rate, mean float64) error {
+	f.record(fmt.Sprintf("burstloss %s %s %.2f %.1f", a, b, rate, mean))
+	return nil
+}
 
 func (f *fakeTarget) events() []string {
 	f.mu.Lock()
@@ -180,11 +184,27 @@ func TestEventStrings(t *testing.T) {
 		{Kind: CrashController},
 		{Kind: RestartController},
 		{Kind: PromoteStandby},
+		{Kind: BurstLoss, A: ClientEnd(1), B: ClientEnd(2), Rate: 0.3, MeanBurst: 4},
 	}
 	for _, e := range cases {
 		if e.String() == "" {
 			t.Errorf("empty string for %v", e.Kind)
 		}
+	}
+}
+
+func TestBurstLossPlan(t *testing.T) {
+	p := NewPlan(1).
+		BurstLossAt(10*time.Millisecond, ClientEnd(1), ClientEnd(2), 0.25, 3).
+		HealBurstLossAt(20*time.Millisecond, ClientEnd(1), ClientEnd(2))
+	ft := &fakeTarget{}
+	if errs := p.Apply(ft); len(errs) != 0 {
+		t.Fatalf("apply errors: %v", errs)
+	}
+	want := []string{"burstloss as(1) as(2) 0.25 3.0", "burstloss as(1) as(2) 0.00 0.0"}
+	got := ft.events()
+	if len(got) != len(want) || got[0] != want[0] || got[1] != want[1] {
+		t.Errorf("events = %v, want %v", got, want)
 	}
 }
 

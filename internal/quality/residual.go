@@ -1,0 +1,118 @@
+package quality
+
+import "sync"
+
+// ResidualLearner learns the post-repair residual-loss mapping per repair
+// scheme: given the raw network loss a call experienced and the scheme it
+// ran, what fraction of packets were still missing at playout? The data
+// plane reports (scheme, pre-repair loss, residual loss) samples; the
+// learner bins them by pre-repair loss and keeps running means, so the
+// control plane can score a (path, scheme) pair's expected MOS before
+// committing a call to it.
+//
+// Schemes are identified by name ("none", "nack", "red", "fec-4") — this
+// package stays below internal/rtp in the dependency order, so it cannot
+// reference the rtp.Scheme type.
+
+// residualBins are the pre-repair loss-rate bin upper bounds. Repair
+// behavior is strongly regime-dependent (NACK repairs everything at 1%
+// loss and little at 30%), so a single global mean would mislead.
+var residualBins = [...]float64{0.02, 0.05, 0.10, 0.20, 1.0}
+
+// NumResidualBins is the number of pre-repair loss bins.
+const NumResidualBins = len(residualBins)
+
+// residualBin maps a pre-repair loss rate to its bin index.
+func residualBin(loss float64) int {
+	for i, hi := range residualBins {
+		if loss <= hi {
+			return i
+		}
+	}
+	return NumResidualBins - 1
+}
+
+type residualCell struct {
+	n   float64
+	sum float64
+}
+
+// ResidualLearner accumulates per-scheme, per-loss-bin residual samples.
+// Safe for concurrent use.
+type ResidualLearner struct {
+	mu      sync.Mutex
+	schemes map[string]*[NumResidualBins]residualCell
+}
+
+// NewResidualLearner builds an empty learner.
+func NewResidualLearner() *ResidualLearner {
+	return &ResidualLearner{schemes: make(map[string]*[NumResidualBins]residualCell)}
+}
+
+// Observe folds one call's (pre-repair loss, post-repair residual) sample
+// for the given scheme. Out-of-range inputs are clamped to [0, 1].
+func (rl *ResidualLearner) Observe(scheme string, preLoss, residual float64) {
+	preLoss = clampUnit(preLoss)
+	residual = clampUnit(residual)
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	cells := rl.schemes[scheme]
+	if cells == nil {
+		cells = new([NumResidualBins]residualCell)
+		rl.schemes[scheme] = cells
+	}
+	c := &cells[residualBin(preLoss)]
+	c.n++
+	c.sum += residual
+}
+
+// Residual predicts the post-repair residual loss for a scheme at the
+// given pre-repair loss rate. With no samples in the bin it falls back to
+// the identity (repair predicts nothing it has not seen), so an unlearned
+// scheme is never scored optimistically.
+func (rl *ResidualLearner) Residual(scheme string, preLoss float64) float64 {
+	preLoss = clampUnit(preLoss)
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	cells := rl.schemes[scheme]
+	if cells == nil {
+		return preLoss
+	}
+	c := cells[residualBin(preLoss)]
+	if c.n == 0 {
+		return preLoss
+	}
+	return c.sum / c.n
+}
+
+// Samples reports how many observations a scheme has in the bin covering
+// the given pre-repair loss rate.
+func (rl *ResidualLearner) Samples(scheme string, preLoss float64) int {
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	cells := rl.schemes[scheme]
+	if cells == nil {
+		return 0
+	}
+	return int(cells[residualBin(clampUnit(preLoss))].n)
+}
+
+// MOSAfterRepair scores a call's expected post-repair MOS: the network
+// metrics with the loss component replaced by the learned residual for
+// the scheme. RTT and jitter pass through — repair spends bandwidth, not
+// latency (NACK recovery latency shows up in the residual itself when
+// retransmits miss the playout deadline).
+func (rl *ResidualLearner) MOSAfterRepair(cfg EModelConfig, scheme string, m Metrics) float64 {
+	m.LossRate = rl.Residual(scheme, m.LossRate)
+	return cfg.MOS(m)
+}
+
+func clampUnit(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,65 @@
+package quality
+
+import "testing"
+
+func TestResidualLearnerFallsBackToIdentity(t *testing.T) {
+	rl := NewResidualLearner()
+	if got := rl.Residual("nack", 0.08); got != 0.08 {
+		t.Errorf("unlearned residual = %v, want identity 0.08", got)
+	}
+	if got := rl.Samples("nack", 0.08); got != 0 {
+		t.Errorf("samples = %d, want 0", got)
+	}
+}
+
+func TestResidualLearnerBinsBySchemeAndLoss(t *testing.T) {
+	rl := NewResidualLearner()
+	// nack at low loss repairs almost everything; at high loss it doesn't.
+	for i := 0; i < 10; i++ {
+		rl.Observe("nack", 0.01, 0.001)
+		rl.Observe("nack", 0.30, 0.15)
+		rl.Observe("none", 0.01, 0.01)
+	}
+	if got := rl.Residual("nack", 0.015); got > 0.005 {
+		t.Errorf("nack low-loss residual = %v, want ~0.001", got)
+	}
+	if got := rl.Residual("nack", 0.25); got < 0.1 {
+		t.Errorf("nack high-loss residual = %v, want ~0.15", got)
+	}
+	if got := rl.Residual("none", 0.015); got < 0.008 || got > 0.012 {
+		t.Errorf("none residual = %v, want ~0.01", got)
+	}
+	// A bin with no samples for a known scheme still falls back.
+	if got := rl.Residual("nack", 0.07); got != 0.07 {
+		t.Errorf("empty-bin residual = %v, want identity", got)
+	}
+	if got := rl.Samples("nack", 0.01); got != 10 {
+		t.Errorf("samples = %d, want 10", got)
+	}
+}
+
+func TestMOSAfterRepairImproves(t *testing.T) {
+	rl := NewResidualLearner()
+	for i := 0; i < 5; i++ {
+		rl.Observe("fec-4", 0.08, 0.005)
+	}
+	cfg := DefaultEModel()
+	m := Metrics{RTTMs: 80, LossRate: 0.08, JitterMs: 4}
+	raw := cfg.MOS(m)
+	repaired := rl.MOSAfterRepair(cfg, "fec-4", m)
+	if repaired <= raw {
+		t.Errorf("post-repair MOS %v not better than raw %v", repaired, raw)
+	}
+	// Unlearned scheme scores exactly the raw MOS.
+	if got := rl.MOSAfterRepair(cfg, "red", m); got != raw {
+		t.Errorf("unlearned scheme MOS = %v, want raw %v", got, raw)
+	}
+}
+
+func TestResidualLearnerClamps(t *testing.T) {
+	rl := NewResidualLearner()
+	rl.Observe("none", -0.5, 2.0)
+	if got := rl.Residual("none", -1); got != 1 {
+		t.Errorf("clamped residual = %v, want 1", got)
+	}
+}

@@ -1,0 +1,106 @@
+package rtp
+
+import "testing"
+
+// The repair data plane runs per media packet at 50–100 pps per call, so
+// its steady state must not touch the heap: the retransmit ring, the FEC
+// encoder/decoder, and the NACK bookkeeping all reuse their backing
+// storage. The benchmarks report allocs/op and the companion test pins
+// them at zero so a regression fails loudly rather than showing up as GC
+// pressure in a profile.
+
+// repairWorkload drives one steady-state iteration of every repair
+// structure: a packet is stored in the rtx ring, folded into an FEC
+// group (with the decoder consuming parity when a group completes), and
+// a NACK generator cycles a gap through Missing → Due → Recovered.
+type repairWorkload struct {
+	ring    *RtxRing
+	enc     *FECEncoder
+	dec     *FECDecoder
+	nack    *NACKGenerator
+	seq     uint16
+	now     int64
+	wire    []byte
+	nackBuf []uint16
+}
+
+func newRepairWorkload() *repairWorkload {
+	w := &repairWorkload{
+		ring:    NewRtxRing(256),
+		enc:     NewFECEncoder(4),
+		dec:     NewFECDecoder(4),
+		nack:    NewNACKGenerator(NACKConfig{}),
+		wire:    make([]byte, 0, 256),
+		nackBuf: make([]uint16, 0, MaxNACKSeqs),
+	}
+	return w
+}
+
+func (w *repairWorkload) step() {
+	p := Packet{Seq: w.seq, Timestamp: uint32(w.seq) * 1800, SSRC: 7, Payload: payloadFor(w.seq)}
+	w.wire = p.Marshal(w.wire[:0])
+	w.ring.Put(p.Seq, w.wire)
+	if _, ok := w.ring.Get(p.Seq); !ok {
+		panic("rtx ring lost the packet it just stored")
+	}
+	if parity := w.enc.Add(&p); parity != nil {
+		// Receiver path: the group's first member was "lost"; the three
+		// survivors plus this parity must rebuild it without allocating.
+		base := parity.BaseSeq
+		for s := base + 1; s != base+4; s++ {
+			sp := Packet{Seq: s, Timestamp: uint32(s) * 1800, SSRC: 7, Payload: payloadFor(s)}
+			w.dec.AddMedia(&sp)
+		}
+		if _, ok := w.dec.AddParity(parity); !ok {
+			panic("fec decoder failed to recover the missing member")
+		}
+	}
+	// One gap per iteration: request it once, then have it recovered.
+	w.nack.Missing(w.seq+1000, w.now)
+	due, _ := w.nack.Due(w.now, w.nackBuf[:0])
+	w.nackBuf = due[:0]
+	w.nack.Recovered(w.seq + 1000)
+	w.seq++
+	w.now += 20e6
+}
+
+// payloadFor returns a fixed-backing payload whose length varies by
+// sequence number, exercising the length-XOR recovery paths.
+func payloadFor(seq uint16) []byte {
+	n := 120 + int(seq%4)*8
+	return benchPayload[:n]
+}
+
+var benchPayload = func() []byte {
+	b := make([]byte, 160)
+	for i := range b {
+		b[i] = byte(i * 31)
+	}
+	return b
+}()
+
+// TestRepairPathZeroAllocs pins the per-packet heap cost of the repair
+// data plane at zero once the structures are warm.
+func TestRepairPathZeroAllocs(t *testing.T) {
+	w := newRepairWorkload()
+	for i := 0; i < 512; i++ {
+		w.step() // warm every reused buffer to its high-water mark
+	}
+	if avg := testing.AllocsPerRun(1000, w.step); avg != 0 {
+		t.Errorf("repair path allocates %.2f times per packet, want 0", avg)
+	}
+}
+
+// BenchmarkRepairPath measures the steady-state per-packet cost of the
+// full repair data plane (rtx ring + FEC encode/decode + NACK cycle).
+func BenchmarkRepairPath(b *testing.B) {
+	w := newRepairWorkload()
+	for i := 0; i < 512; i++ {
+		w.step()
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		w.step()
+	}
+}

@@ -92,6 +92,12 @@ type ReceiverReport struct {
 // rrLen is the receiver report wire size.
 const rrLen = 4 + 4 + 4 + 4 + 8 + 8
 
+// RRLen is the receiver report wire size. Unmarshal ignores bytes past
+// it, so peers may append trailer bytes (the client appends a one-byte
+// repair-scheme echo for capability negotiation) without breaking old
+// receivers.
+const RRLen = rrLen
+
 // Marshal appends the report's wire form to dst.
 func (r *ReceiverReport) Marshal(dst []byte) []byte {
 	var b [rrLen]byte

@@ -1,0 +1,235 @@
+package rtp
+
+import "repro/internal/stats"
+
+// This file is the repair layer's offline twin: a deterministic,
+// virtual-time simulation of one media stream crossing a lossy channel
+// under each repair scheme. The loss-sweep experiment uses it to map out
+// where each scheme pays off (the DESIGN.md §13 selection matrix), and
+// the repair bandit learns over its outputs.
+
+// GEChannel is a two-state Gilbert-Elliott loss process: lossless in the
+// good state, total loss in the bad state, with mean bad-state sojourn
+// MeanBurstLen packets and stationary loss probability LossRate. With
+// MeanBurstLen <= 1 it degenerates to independent (Bernoulli) loss.
+type GEChannel struct {
+	p   float64 // good→bad transition probability
+	r   float64 // bad→good transition probability
+	ind float64 // independent loss rate when not in burst mode (r == 0)
+	bad bool
+}
+
+// NewGEChannel builds a channel with the given stationary loss rate and
+// mean burst length.
+func NewGEChannel(lossRate, meanBurstLen float64) *GEChannel {
+	if lossRate <= 0 {
+		return &GEChannel{}
+	}
+	if lossRate >= 1 {
+		return &GEChannel{ind: 1}
+	}
+	if meanBurstLen <= 1 {
+		return &GEChannel{ind: lossRate}
+	}
+	r := 1 / meanBurstLen
+	return &GEChannel{p: r * lossRate / (1 - lossRate), r: r}
+}
+
+// Lost steps the channel one transmission and reports whether that
+// transmission was lost.
+func (c *GEChannel) Lost(rng *stats.RNG) bool {
+	if c.r == 0 {
+		return c.ind > 0 && rng.Float64() < c.ind
+	}
+	if c.bad {
+		if rng.Float64() < c.r {
+			c.bad = false
+		}
+	} else if rng.Float64() < c.p {
+		c.bad = true
+	}
+	return c.bad
+}
+
+// SimParams configures one simulated stream.
+type SimParams struct {
+	Scheme        Scheme
+	Packets       int     // media packets to send
+	IntervalNanos int64   // media pacing (default 20ms)
+	RTTNanos      int64   // path round-trip time (NACK repair latency)
+	LossRate      float64 // stationary channel loss
+	MeanBurstLen  float64 // mean loss-burst length (<=1 → independent)
+	// PlayoutNanos is the playout buffer depth: a repair that lands later
+	// than this after the loss is a deadline miss (default 150ms).
+	PlayoutNanos int64
+	// NACK bounds the retransmit machinery (zero fields take defaults;
+	// the retry interval defaults to RTT + one packet interval).
+	NACK NACKConfig
+}
+
+// RepairStats summarizes one simulated stream.
+type RepairStats struct {
+	Sent           int     // media packets sent
+	Redundant      int     // parity packets / RED duplicates sent
+	Lost           int     // media packets the channel ate
+	Recovered      int     // losses repaired within the playout deadline
+	Residual       int     // losses still unrepaired at playout
+	NacksSent      int     // retransmit requests issued
+	NacksHonored   int     // retransmits that arrived (in time or not)
+	FECRecovered   int     // losses repaired by parity
+	REDRecovered   int     // losses covered by the duplicate copy
+	DeadlineMisses int64   // gaps abandoned past deadline/retry cap
+	OverheadRatio  float64 // redundant bytes / media bytes actually sent
+}
+
+// ResidualLossRate returns the post-repair loss fraction.
+func (s RepairStats) ResidualLossRate() float64 {
+	if s.Sent == 0 {
+		return 0
+	}
+	return float64(s.Residual) / float64(s.Sent)
+}
+
+// LossRate returns the pre-repair channel loss fraction.
+func (s RepairStats) LossRate() float64 {
+	if s.Sent == 0 {
+		return 0
+	}
+	return float64(s.Lost) / float64(s.Sent)
+}
+
+// SimulateRepair runs one media stream through a Gilbert-Elliott channel
+// under the given repair scheme, entirely in virtual time. The NACK path
+// exercises the real NACKGenerator (retry cap, deadline, pacing);
+// retransmit requests and retransmissions each re-cross the channel.
+func SimulateRepair(p SimParams, rng *stats.RNG) RepairStats {
+	if p.Packets <= 0 {
+		return RepairStats{}
+	}
+	if p.IntervalNanos <= 0 {
+		p.IntervalNanos = 20e6
+	}
+	if p.PlayoutNanos <= 0 {
+		p.PlayoutNanos = 150e6
+	}
+	ch := NewGEChannel(p.LossRate, p.MeanBurstLen)
+	out := RepairStats{Sent: p.Packets}
+
+	switch {
+	case p.Scheme == SchemeRED:
+		simulateRED(p, ch, rng, &out)
+	case p.Scheme.IsFEC():
+		simulateFEC(p, ch, rng, &out)
+	case p.Scheme == SchemeNACK:
+		simulateNACK(p, ch, rng, &out)
+	default:
+		for i := 0; i < p.Packets; i++ {
+			if ch.Lost(rng) {
+				out.Lost++
+			}
+		}
+	}
+	out.Residual = out.Lost - out.Recovered
+	if out.Sent > 0 {
+		out.OverheadRatio = float64(out.Redundant) / float64(out.Sent)
+	}
+	return out
+}
+
+// simulateRED sends every packet twice back-to-back: the duplicate only
+// helps when the burst that ate the original has already ended.
+func simulateRED(p SimParams, ch *GEChannel, rng *stats.RNG, out *RepairStats) {
+	for i := 0; i < p.Packets; i++ {
+		lost := ch.Lost(rng)
+		dupLost := ch.Lost(rng)
+		out.Redundant++
+		if lost {
+			out.Lost++
+			if !dupLost {
+				out.REDRecovered++
+				out.Recovered++
+			}
+		}
+	}
+}
+
+// simulateFEC groups k packets plus one parity: a group with exactly one
+// media loss and a surviving parity recovers, if the parity (sent at
+// group end) still lands within the lost packet's playout window.
+func simulateFEC(p SimParams, ch *GEChannel, rng *stats.RNG, out *RepairStats) {
+	k := p.Scheme.FECGroup()
+	groupLost := 0
+	firstLossAt := int64(0)
+	for i := 0; i < p.Packets; i++ {
+		t := int64(i) * p.IntervalNanos
+		if ch.Lost(rng) {
+			out.Lost++
+			if groupLost == 0 {
+				firstLossAt = t
+			}
+			groupLost++
+		}
+		if (i+1)%k == 0 || i == p.Packets-1 {
+			parityLost := ch.Lost(rng)
+			out.Redundant++
+			parityAt := t + p.IntervalNanos
+			if groupLost == 1 && !parityLost && parityAt-firstLossAt <= p.PlayoutNanos {
+				out.FECRecovered++
+				out.Recovered++
+			}
+			groupLost = 0
+		}
+	}
+}
+
+// simulateNACK drives the real gap tracker and NACK generator: gaps are
+// detected at the next successful arrival, requests re-cross the channel
+// both ways, and only repairs inside the playout window count.
+func simulateNACK(p SimParams, ch *GEChannel, rng *stats.RNG, out *RepairStats) {
+	cfg := p.NACK
+	if cfg.DeadlineNanos <= 0 {
+		cfg.DeadlineNanos = p.PlayoutNanos
+	}
+	if cfg.IntervalNanos <= 0 {
+		cfg.IntervalNanos = p.RTTNanos + p.IntervalNanos
+	}
+	gen := NewNACKGenerator(cfg)
+	var gaps GapTracker
+	lostAt := make(map[uint16]int64, 64)
+	due := make([]uint16, 0, MaxNACKSeqs)
+
+	for i := 0; i < p.Packets; i++ {
+		t := int64(i) * p.IntervalNanos
+		seq := uint16(i)
+		if ch.Lost(rng) {
+			out.Lost++
+			lostAt[seq] = t
+		} else {
+			gaps.Observe(seq, func(s uint16) {
+				gen.Missing(s, t)
+			})
+		}
+		// Receiver tick: issue due requests; each request crosses the
+		// channel twice (NACK up, retransmit down).
+		due, _ = gen.Due(t, due[:0])
+		for _, s := range due {
+			out.NacksSent++
+			nackLost := ch.Lost(rng)
+			if nackLost {
+				continue
+			}
+			out.NacksHonored++ // sender's ring always has it
+			out.Redundant++    // the retransmitted copy is the overhead
+			if ch.Lost(rng) {
+				continue // retransmit itself lost
+			}
+			landAt := t + p.RTTNanos
+			gen.Recovered(s)
+			if first, ok := lostAt[s]; ok && landAt-first <= p.PlayoutNanos {
+				out.Recovered++
+				delete(lostAt, s)
+			}
+		}
+	}
+	out.DeadlineMisses = gen.DeadlineMisses()
+}

@@ -47,28 +47,109 @@ func (j *JitterEstimator) Micros() uint32 {
 	return uint32(j.jitter * 1e6 / ClockRate)
 }
 
+// Arrival classifies one packet arrival relative to the sequence stream.
+type Arrival uint8
+
+const (
+	// ArrivalNew advances the stream: the next in-order packet, or a
+	// forward jump past a gap.
+	ArrivalNew Arrival = iota
+	// ArrivalReordered is a packet that arrived late but had not been seen
+	// before — delivered, not lost. Repair logic must treat it as filling
+	// a gap, never as a fresh loss.
+	ArrivalReordered
+	// ArrivalDuplicate is a packet already delivered (RED's second copy, a
+	// redundant retransmit, or network duplication). It is not counted as
+	// received again, so duplicates can no longer mask real gaps.
+	ArrivalDuplicate
+)
+
+// seenWindow is the dedup window in packets: late arrivals further than
+// this behind the stream head cannot be distinguished from duplicates and
+// are conservatively classified as reordered.
+const seenWindow = 1024
+
+const seenWords = seenWindow / 64
+
 // LossTracker counts lost packets from RTP sequence numbers, tolerating
 // reordering within a small window and 16-bit wraparound (RFC 3550
-// Appendix A.1 style extended sequence numbers).
+// Appendix A.1 style extended sequence numbers). A sliding bitmap over
+// the last seenWindow sequence numbers distinguishes a late-but-delivered
+// packet (reordering) from a second copy of one already delivered
+// (duplicate), so reordering is not booked as loss and duplicates do not
+// inflate the receive count.
 type LossTracker struct {
-	init     bool
-	maxExt   uint32 // extended highest sequence number seen
-	received uint64
-	baseExt  uint32
-	cycles   uint32
+	init      bool
+	maxExt    uint32 // extended highest sequence number seen
+	received  uint64
+	baseExt   uint32
+	cycles    uint32
+	reordered uint64
+	dups      uint64
+	seen      [seenWords]uint64 // bitmap over ext % seenWindow
 }
 
 // Observe folds one received sequence number into the tracker.
 func (l *LossTracker) Observe(seq uint16) {
+	l.ObserveArrival(seq)
+}
+
+// ObserveArrival folds one received sequence number into the tracker and
+// classifies the arrival.
+func (l *LossTracker) ObserveArrival(seq uint16) Arrival {
 	ext := l.extend(seq)
 	if !l.init {
 		l.init = true
 		l.baseExt = ext
 		l.maxExt = ext
-	} else if ext > l.maxExt {
-		l.maxExt = ext
+		l.markSeen(ext)
+		l.received++
+		return ArrivalNew
 	}
+	if ext > l.maxExt {
+		// Advance the window, clearing the bits the head slides over.
+		if ext-l.maxExt >= seenWindow {
+			l.seen = [seenWords]uint64{}
+		} else {
+			for s := l.maxExt + 1; s != ext; s++ {
+				l.clearSeen(s)
+			}
+		}
+		l.maxExt = ext
+		l.markSeen(ext)
+		l.received++
+		return ArrivalNew
+	}
+	if l.maxExt-ext >= seenWindow {
+		// Too far back to dedup; assume delivered-late rather than
+		// double-counting it as a fresh in-order packet.
+		l.reordered++
+		l.received++
+		return ArrivalReordered
+	}
+	if l.isSeen(ext) {
+		l.dups++
+		return ArrivalDuplicate
+	}
+	l.markSeen(ext)
 	l.received++
+	l.reordered++
+	return ArrivalReordered
+}
+
+func (l *LossTracker) markSeen(ext uint32) {
+	i := ext % seenWindow
+	l.seen[i/64] |= 1 << (i % 64)
+}
+
+func (l *LossTracker) clearSeen(ext uint32) {
+	i := ext % seenWindow
+	l.seen[i/64] &^= 1 << (i % 64)
+}
+
+func (l *LossTracker) isSeen(ext uint32) bool {
+	i := ext % seenWindow
+	return l.seen[i/64]&(1<<(i%64)) != 0
 }
 
 // extend maps a 16-bit sequence number to the extended space.
@@ -97,8 +178,16 @@ func (l *LossTracker) Expected() uint64 {
 	return uint64(l.maxExt-l.baseExt) + 1
 }
 
-// Received returns the packets actually seen (duplicates count once each).
+// Received returns the distinct packets actually delivered (duplicates
+// within the dedup window count once).
 func (l *LossTracker) Received() uint64 { return l.received }
+
+// Reordered returns how many packets arrived late but were delivered —
+// filled gaps, distinct from losses.
+func (l *LossTracker) Reordered() uint64 { return l.reordered }
+
+// Duplicates returns how many already-delivered packets arrived again.
+func (l *LossTracker) Duplicates() uint64 { return l.dups }
 
 // Lost returns the cumulative loss count (clamped at zero when duplicates
 // outnumber gaps).
@@ -133,10 +222,23 @@ type FlowStats struct {
 	rttCount int64
 }
 
-// ObservePacket records a media packet arrival.
-func (f *FlowStats) ObservePacket(p *Packet, arrivalNanos int64) {
-	f.Loss.Observe(p.Seq)
-	f.Jitter.Observe(p.Timestamp, arrivalNanos)
+// ObservePacket records a media packet arrival and classifies it.
+// Duplicates are excluded from the jitter estimate — a RED copy or
+// redundant retransmit trails its original by an arbitrary gap that says
+// nothing about path delay variation.
+func (f *FlowStats) ObservePacket(p *Packet, arrivalNanos int64) Arrival {
+	a := f.Loss.ObserveArrival(p.Seq)
+	if a != ArrivalDuplicate {
+		f.Jitter.Observe(p.Timestamp, arrivalNanos)
+	}
+	return a
+}
+
+// ObserveRecovered credits a repair-reconstructed packet (FEC recovery)
+// to the loss ledger without feeding the jitter estimator — its "arrival
+// time" is an artifact of when the parity landed, not of path delay.
+func (f *FlowStats) ObserveRecovered(seq uint16) Arrival {
+	return f.Loss.ObserveArrival(seq)
 }
 
 // ObserveRTT records one round-trip sample in nanoseconds.

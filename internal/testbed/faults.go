@@ -157,6 +157,32 @@ func (tb *Testbed) setBlackhole(a, b faults.Endpoint, on bool) error {
 	return nil
 }
 
+// SetBurstLoss layers Gilbert-Elliott correlated loss onto the segment
+// between two endpoints (both directions), preserving whatever delay,
+// jitter, and independent loss the world model already put on the link.
+// Rate 0 heals the segment.
+func (tb *Testbed) SetBurstLoss(a, b faults.Endpoint, rate, meanBurstLen float64) error {
+	tb.mu.Lock()
+	defer tb.mu.Unlock()
+	shA, addrA, err := tb.endpointLocked(a)
+	if err != nil {
+		return err
+	}
+	shB, addrB, err := tb.endpointLocked(b)
+	if err != nil {
+		return err
+	}
+	set := func(sh *wan.Shaper, dst string) {
+		p := sh.Link(dst)
+		p.BurstLossRate = rate
+		p.MeanBurstLen = meanBurstLen
+		sh.SetLink(dst, p)
+	}
+	set(shA, addrB)
+	set(shB, addrA)
+	return nil
+}
+
 // CrashController kills the primary controller abruptly: the listener
 // closes mid-request (in-flight RPCs see connection resets) and the
 // server's durability resources are released so a later restart can

@@ -72,11 +72,19 @@ type ChooseRequest struct {
 	Src        int32        `json:"src"` // caller's group (AS analogue)
 	Dst        int32        `json:"dst"`
 	Candidates []WireOption `json:"candidates"`
+	// RepairCandidates lists the loss-repair schemes the caller supports
+	// ("none", "nack", "red", "fec-4", ...). Empty means a repair-unaware
+	// client; the controller then skips the repair bandit entirely, which
+	// keeps legacy request streams replaying bit-identically.
+	RepairCandidates []string `json:"repair_candidates,omitempty"`
 }
 
 // ChooseResponse carries the controller's decision.
 type ChooseResponse struct {
 	Option WireOption `json:"option"`
+	// Repair is the loss-repair scheme the bandit picked for this call
+	// (empty when the request offered no repair candidates).
+	Repair string `json:"repair,omitempty"`
 }
 
 // WireMetrics is quality.Metrics for the wire.
@@ -102,6 +110,12 @@ type ReportRequest struct {
 	Dst     int32       `json:"dst"`
 	Option  WireOption  `json:"option"`
 	Metrics WireMetrics `json:"metrics"`
+	// Repair names the loss-repair scheme the call ran with (empty for
+	// repair-unaware clients); the metrics are post-repair residuals.
+	Repair string `json:"repair,omitempty"`
+	// DurationSec is the call length used for redundancy-budget charging
+	// (0 → controller default).
+	DurationSec float64 `json:"duration_sec,omitempty"`
 }
 
 // ReportResponse acknowledges a report.

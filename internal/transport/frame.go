@@ -20,8 +20,14 @@ import (
 	"net"
 )
 
-// frameMagic guards against stray datagrams.
+// frameMagic guards against stray datagrams (wire v1: no repair byte).
 const frameMagic = 0x5641 // "VA"
+
+// frameMagicV2 marks wire v2, which inserts a repair-scheme byte after
+// the kind. v1 frames are decoded unchanged (Repair = 0), and Marshal
+// emits v1 whenever Repair is zero, so a repair-unaware build and this
+// one produce byte-identical traffic for unrepaired calls.
+const frameMagicV2 = 0x5642 // "VB"
 
 // MaxHops bounds the route length (direct=0, bounce=1, transit=2).
 const MaxHops = 4
@@ -29,9 +35,17 @@ const MaxHops = 4
 // Frame is the media envelope: the remaining forward route, the route the
 // peer should use to reply, and the opaque payload (an RTP packet or a
 // receiver report).
+//
+// Unmarshal stores the routes in a fixed backing array inside the Frame,
+// so decoding allocates nothing; consequently a Frame must not be copied
+// by value after Unmarshal (the copy's slices alias the original).
 type Frame struct {
 	Session uint64
 	Kind    uint8 // application-defined payload discriminator
+	// Repair is the loss-repair scheme byte (rtp.Scheme wire form). Zero
+	// means plain forwarding; nonzero values ride the v2 header. Relays
+	// forward it opaquely.
+	Repair uint8
 	// Route holds the remaining forwarding targets. The packet's next stop
 	// is Route[0]; a relay pops it and sends the rest onward. Empty means
 	// the packet is at its final destination.
@@ -41,12 +55,17 @@ type Frame struct {
 	Reply []netip
 	// Payload aliases the decode buffer.
 	Payload []byte
+
+	// hopBuf backs Route (first MaxHops) and Reply (rest) after Unmarshal.
+	hopBuf [2 * MaxHops]netip
 }
 
 // PayloadKind values used by the testbed clients.
 const (
 	KindMedia  = 1 // RTP media packet
 	KindReport = 2 // receiver report
+	KindNack   = 3 // rtp.NACKRequest: retransmit plea, receiver → sender
+	KindFEC    = 4 // rtp.FECPacket: XOR parity over a media group
 )
 
 // netip is a compact IPv4 address + port.
@@ -117,6 +136,24 @@ func (f *Frame) NextHop() *net.UDPAddr {
 	return &net.UDPAddr{IP: net.IPv4(h.IP[0], h.IP[1], h.IP[2], h.IP[3]), Port: int(h.Port)}
 }
 
+// NextHopInto fills a with the next forwarding target, reusing a's IP
+// backing storage so the forwarding hot path allocates nothing. It
+// reports false when the frame is at its final destination.
+func (f *Frame) NextHopInto(a *net.UDPAddr) bool {
+	if len(f.Route) == 0 {
+		return false
+	}
+	h := f.Route[0]
+	if cap(a.IP) < 4 {
+		a.IP = make(net.IP, 4)
+	}
+	a.IP = a.IP[:4]
+	copy(a.IP, h.IP[:])
+	a.Port = int(h.Port)
+	a.Zone = ""
+	return true
+}
+
 // PopHop removes the next forwarding target (relay-side).
 func (f *Frame) PopHop() {
 	if len(f.Route) > 0 {
@@ -134,15 +171,26 @@ func (f *Frame) ReplyAddrs() []*net.UDPAddr {
 }
 
 // Marshal appends the frame's wire form to dst.
-// Layout: magic(2) session(8) kind(1) nRoute(1) route(6·n) nReply(1)
-// reply(6·n) payload.
+// Layout v1: magic(2) session(8) kind(1) nRoute(1) route(6·n) nReply(1)
+// reply(6·n) payload. Layout v2 inserts repair(1) after kind(1) and is
+// emitted only when Repair is nonzero.
 func (f *Frame) Marshal(dst []byte) []byte {
-	var h [12]byte
-	binary.BigEndian.PutUint16(h[0:2], frameMagic)
-	binary.BigEndian.PutUint64(h[2:10], f.Session)
-	h[10] = f.Kind
-	h[11] = byte(len(f.Route))
-	dst = append(dst, h[:]...)
+	var h [13]byte
+	n := 12
+	if f.Repair != 0 {
+		binary.BigEndian.PutUint16(h[0:2], frameMagicV2)
+		binary.BigEndian.PutUint64(h[2:10], f.Session)
+		h[10] = f.Kind
+		h[11] = f.Repair
+		h[12] = byte(len(f.Route))
+		n = 13
+	} else {
+		binary.BigEndian.PutUint16(h[0:2], frameMagic)
+		binary.BigEndian.PutUint64(h[2:10], f.Session)
+		h[10] = f.Kind
+		h[11] = byte(len(f.Route))
+	}
+	dst = append(dst, h[:n]...)
 	for _, hop := range f.Route {
 		dst = append(dst, hop.IP[:]...)
 		dst = binary.BigEndian.AppendUint16(dst, hop.Port)
@@ -155,23 +203,35 @@ func (f *Frame) Marshal(dst []byte) []byte {
 	return append(dst, f.Payload...)
 }
 
-// Unmarshal decodes a frame. Payload aliases buf.
+// Unmarshal decodes a frame (either wire version). Payload aliases buf;
+// Route and Reply alias the frame's internal backing array, so decoding
+// performs no heap allocation — see the Frame doc about copying.
 func (f *Frame) Unmarshal(buf []byte) error {
 	if len(buf) < 12 {
 		return ErrFrame
 	}
-	if binary.BigEndian.Uint16(buf[0:2]) != frameMagic {
-		return ErrFrame
-	}
 	f.Session = binary.BigEndian.Uint64(buf[2:10])
 	f.Kind = buf[10]
-	nRoute := int(buf[11])
+	off := 11
+	switch binary.BigEndian.Uint16(buf[0:2]) {
+	case frameMagic:
+		f.Repair = 0
+	case frameMagicV2:
+		f.Repair = buf[11]
+		off = 12
+	default:
+		return ErrFrame
+	}
+	if off >= len(buf) {
+		return ErrFrame
+	}
+	nRoute := int(buf[off])
 	if nRoute > MaxHops {
 		return ErrFrame
 	}
-	off := 12
+	off++
 	var err error
-	f.Route, off, err = parseHops(buf, off, nRoute)
+	f.Route, off, err = f.parseHops(buf, off, nRoute, 0)
 	if err != nil {
 		return err
 	}
@@ -183,7 +243,7 @@ func (f *Frame) Unmarshal(buf []byte) error {
 		return ErrFrame
 	}
 	off++
-	f.Reply, off, err = parseHops(buf, off, nReply)
+	f.Reply, off, err = f.parseHops(buf, off, nReply, MaxHops)
 	if err != nil {
 		return err
 	}
@@ -191,11 +251,12 @@ func (f *Frame) Unmarshal(buf []byte) error {
 	return nil
 }
 
-func parseHops(buf []byte, off, n int) ([]netip, int, error) {
+// parseHops decodes n hops into the frame's backing array at base.
+func (f *Frame) parseHops(buf []byte, off, n, base int) ([]netip, int, error) {
 	if off+n*netipLen > len(buf) {
 		return nil, 0, ErrFrame
 	}
-	hops := make([]netip, n)
+	hops := f.hopBuf[base : base+n : base+n]
 	for i := 0; i < n; i++ {
 		copy(hops[i].IP[:], buf[off:off+4])
 		hops[i].Port = binary.BigEndian.Uint16(buf[off+4 : off+6])

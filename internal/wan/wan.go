@@ -21,6 +21,40 @@ type LinkParams struct {
 	DelayMs  float64 // one-way base delay
 	JitterMs float64 // mean absolute per-packet delay variation
 	LossRate float64 // independent drop probability in [0, 1]
+	// BurstLossRate adds Gilbert-Elliott correlated loss on top of the
+	// independent loss: the stationary fraction of packets eaten while
+	// the link sits in its bad state.
+	BurstLossRate float64
+	// MeanBurstLen is the mean bad-state sojourn in packets (<= 1 makes
+	// the burst loss effectively independent).
+	MeanBurstLen float64
+}
+
+// geState is the per-destination Gilbert-Elliott chain: lossless in the
+// good state, total loss in bad, stepped once per datagram under s.mu.
+type geState struct {
+	bad bool
+}
+
+// step advances the chain one transmission and reports a burst drop.
+func (g *geState) step(p LinkParams, rng *stats.RNG) bool {
+	pi := p.BurstLossRate
+	if pi <= 0 || pi >= 1 {
+		return pi >= 1
+	}
+	l := p.MeanBurstLen
+	if l <= 1 {
+		return rng.Float64() < pi
+	}
+	r := 1 / l
+	if g.bad {
+		if rng.Float64() < r {
+			g.bad = false
+		}
+	} else if rng.Float64() < r*pi/(1-pi) {
+		g.bad = true
+	}
+	return g.bad
 }
 
 // Shaper wraps a PacketConn, impairing writes per destination address.
@@ -37,6 +71,7 @@ type Shaper struct {
 	def       LinkParams            // guarded by mu
 	blackhole map[string]bool       // guarded by mu
 	blackAll  bool                  // guarded by mu
+	bursts    map[string]*geState   // guarded by mu
 	rng       *stats.RNG            // guarded by mu
 	closed    bool                  // guarded by mu
 	pending   sync.WaitGroup
@@ -53,6 +88,7 @@ func Wrap(conn net.PacketConn, seed uint64) *Shaper {
 		conn:      conn,
 		links:     make(map[string]LinkParams),
 		blackhole: make(map[string]bool),
+		bursts:    make(map[string]*geState),
 		rng:       stats.NewRNG(seed).Split("wan"),
 	}
 }
@@ -132,11 +168,24 @@ func (s *Shaper) WriteTo(b []byte, addr net.Addr) (int, error) {
 		s.faultDrops.Add(1)
 		return len(b), nil // the network ate it; senders cannot tell
 	}
-	p, ok := s.links[addr.String()]
+	dst := addr.String()
+	p, ok := s.links[dst]
 	if !ok {
 		p = s.def
 	}
 	drop := p.LossRate > 0 && s.rng.Float64() < p.LossRate
+	if p.BurstLossRate > 0 {
+		g := s.bursts[dst]
+		if g == nil {
+			g = &geState{}
+			s.bursts[dst] = g
+		}
+		// Step the chain even on an independent drop so burst timing does
+		// not depend on the independent-loss draw outcomes.
+		if g.step(p, s.rng) {
+			drop = true
+		}
+	}
 	var delay time.Duration
 	if !drop && (p.DelayMs > 0 || p.JitterMs > 0) {
 		d := p.DelayMs

@@ -84,6 +84,61 @@ func TestLossApplied(t *testing.T) {
 	}
 }
 
+func TestBurstLossApplied(t *testing.T) {
+	a, b := udpPair(t)
+	s := Wrap(a, 13)
+	s.SetLink(b.LocalAddr().String(), LinkParams{BurstLossRate: 0.3, MeanBurstLen: 4})
+	const n = 600
+	for i := 0; i < n; i++ {
+		if _, err := s.WriteTo([]byte{byte(i)}, b.LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The stationary loss rate must hold, and the drops must be counted as
+	// statistical loss, not fault drops.
+	drops := s.LossDrops()
+	if drops < n/6 || drops > n/2 {
+		t.Errorf("burst drops = %d/%d, want ~30%%", drops, n)
+	}
+	if s.FaultDrops() != 0 {
+		t.Errorf("burst loss booked as fault drops: %d", s.FaultDrops())
+	}
+}
+
+func TestBurstLossIsBursty(t *testing.T) {
+	// With mean burst length 5, consecutive drops must cluster: count the
+	// loss runs and compare against what 600 independent drops would give.
+	a, b := udpPair(t)
+	s := Wrap(a, 14)
+	dst := b.LocalAddr().String()
+	s.SetLink(dst, LinkParams{BurstLossRate: 0.3, MeanBurstLen: 5})
+	const n = 2000
+	runs, dropped := 0, 0
+	inRun := false
+	for i := 0; i < n; i++ {
+		before := s.LossDrops()
+		if _, err := s.WriteTo([]byte{byte(i)}, b.LocalAddr()); err != nil {
+			t.Fatal(err)
+		}
+		if s.LossDrops() > before {
+			dropped++
+			if !inRun {
+				runs++
+				inRun = true
+			}
+		} else {
+			inRun = false
+		}
+	}
+	if dropped == 0 || runs == 0 {
+		t.Fatal("no burst drops observed")
+	}
+	meanRun := float64(dropped) / float64(runs)
+	if meanRun < 2.5 {
+		t.Errorf("mean loss run = %.2f packets, want bursty (~5)", meanRun)
+	}
+}
+
 func TestFullLossDropsEverything(t *testing.T) {
 	a, b := udpPair(t)
 	s := Wrap(a, 4)
