@@ -18,7 +18,11 @@ FUZZTIME ?= 30s
 # introduction: 77.7%).
 COVER_FLOOR ?= 75.0
 
-.PHONY: verify build vet lint test race short fuzz chaos chaos-ha chaos-repair loss-sweep bench bench-json bench-smoke cover
+# Extra vialint flags (CI passes -github for inline PR annotations;
+# -timings prints load + per-analyzer wall time to stderr).
+VIALINT_FLAGS ?=
+
+.PHONY: verify build vet lint lint-fast test race short fuzz chaos chaos-ha chaos-repair loss-sweep bench bench-json bench-smoke cover
 
 verify: build vet lint test race
 
@@ -28,12 +32,26 @@ build:
 vet:
 	$(GO) vet ./...
 
-# Project-specific invariants (cmd/vialint): determinism (no wall clock /
-# global rand in simulation packages), lockcheck (`// guarded by <mu>`
-# annotations), errwrap (%w + justified error discards), ctxtimeout
-# (HTTP clients/dialers carry deadlines), deadstore. See DESIGN.md §9.
+# Project-specific invariants (cmd/vialint): determinism + dettaint (no
+# wall clock / global rand / map-order output, intra- and inter-
+# procedurally), lockcheck (`// guarded by <mu>` annotations), errwrap
+# (%w + justified error discards), ctxtimeout (HTTP clients/dialers carry
+# deadlines), deadstore, noalloc (`//via:noalloc` hot paths verified by
+# escape analysis), walcompat (`//via:walrecord` schema evolution vs
+# committed goldens), metricshygiene (metric naming/labels/registration).
+# See DESIGN.md §9 and §14. The go-list result is cached under .cache/
+# keyed on a source stamp, so a no-change rerun skips the load phase.
 lint:
-	$(GO) run ./cmd/vialint ./...
+	$(GO) run ./cmd/vialint -listcache .cache/vialint-list.json $(VIALINT_FLAGS) ./...
+
+# Changed-packages lint: only packages with Go files touched since HEAD
+# (staged, unstaged, or untracked). Dependencies still load for facts, so
+# interprocedural analyzers stay sound on the narrowed pattern set.
+lint-fast:
+	@changed=$$( (git diff --name-only HEAD -- '*.go'; git ls-files --others --exclude-standard -- '*.go') | grep -v '/testdata/' | sort -u ); \
+	pkgs=$$(for f in $$changed; do [ -f "$$f" ] && dirname "$$f"; done | sort -u | sed 's|^|./|'); \
+	if [ -z "$$pkgs" ]; then echo "lint-fast: no changed Go files"; \
+	else echo "lint-fast: $$pkgs"; $(GO) run ./cmd/vialint -listcache .cache/vialint-list.json $(VIALINT_FLAGS) $$pkgs; fi
 
 # Same analyzers through the go vet driver (exercises the vettool path).
 lint-vet:

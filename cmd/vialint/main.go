@@ -1,16 +1,35 @@
 // Command vialint is the multichecker for the repository's invariant
-// analyzers (determinism, lockcheck, errwrap, ctxtimeout, deadstore — see
-// internal/analysis). It runs two ways:
+// analyzers (determinism, dettaint, lockcheck, errwrap, ctxtimeout,
+// deadstore, metricshygiene, noalloc, walcompat — see internal/analysis).
+// It runs two ways:
 //
 // Standalone, over package patterns:
 //
 //	go run ./cmd/vialint ./...
 //	go run ./cmd/vialint -only determinism,lockcheck ./internal/...
+//	go run ./cmd/vialint -json ./...          # machine-readable findings
+//	go run ./cmd/vialint -github ./...        # GitHub Actions annotations
+//	go run ./cmd/vialint -timings ./...       # per-analyzer wall time
+//	go run ./cmd/vialint -listcache .cache/vialint-list.json ./...
+//	go run ./cmd/vialint -update-wal-schema ./...
+//
+// -listcache persists the `go list -export -deps` result keyed by a
+// source stamp, skipping the list round-trip on warm runs (make lint uses
+// it). -update-wal-schema regenerates the committed golden WAL schemas
+// from source; review the diff. Narrowed patterns stay sound for the
+// cross-package analyzers: module-local dependencies of the requested
+// packages are loaded fact-only, so `vialint ./internal/rtp` sees the same
+// facts a full run would.
 //
 // As a `go vet` tool, speaking cmd/go's vet config protocol:
 //
 //	go build -o /tmp/vialint ./cmd/vialint
 //	go vet -vettool=/tmp/vialint ./...
+//
+// In vet mode, cross-package facts ride in cmd/go's .vetx files: each
+// package invocation merges its dependencies' fact files (PackageVetx)
+// and serializes its own exports to VetxOutput, so interprocedural
+// results match the standalone driver's dependency-ordered run.
 //
 // Exit status: 0 clean, 1 usage or load failure, 2 diagnostics found
 // (matching x/tools' unitchecker convention so `go vet` integrates).
@@ -22,12 +41,20 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"go/token"
 	"os"
+	"sort"
 	"strings"
+	"time"
 
 	"repro/internal/analysis/driver"
+	"repro/internal/analysis/framework"
 	"repro/internal/analysis/vialint"
 )
+
+// modulePrefix identifies this module's packages in vet mode, where the
+// driver's module detection (via go list) is unavailable.
+const modulePrefix = "repro"
 
 func main() {
 	// cmd/go probes a vettool before use: `-V=full` asks for a version
@@ -67,14 +94,19 @@ func selfFingerprint() string {
 
 func standalone() int {
 	var (
-		only = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
-		list = flag.Bool("list", false, "list analyzers and exit")
+		only      = flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+		list      = flag.Bool("list", false, "list analyzers and exit")
+		jsonOut   = flag.Bool("json", false, "emit findings as a JSON array on stdout")
+		github    = flag.Bool("github", false, "emit GitHub Actions ::error annotations alongside findings")
+		timings   = flag.Bool("timings", false, "report load and per-analyzer wall time on stderr")
+		listcache = flag.String("listcache", "", "cache go-list units in this file, keyed by a source stamp")
+		updateWAL = flag.Bool("update-wal-schema", false, "regenerate the committed golden WAL schemas from source and exit")
 	)
 	flag.Parse()
 	analyzers := vialint.All()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			fmt.Printf("%-15s %s\n", a.Name, a.Doc)
 		}
 		return 0
 	}
@@ -86,30 +118,120 @@ func standalone() int {
 			return 1
 		}
 	}
+	if *updateWAL {
+		analyzers = []*framework.Analyzer{vialint.WALSchemaUpdater()}
+	}
 	patterns := flag.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
-	pkgs, err := driver.Load("", patterns)
+
+	start := time.Now()
+	var (
+		pkgs    []*driver.Package
+		cached  bool
+		loadErr error
+	)
+	if *listcache != "" {
+		pkgs, cached, loadErr = driver.LoadCached("", *listcache, patterns)
+	} else {
+		pkgs, loadErr = driver.Load("", patterns)
+	}
+	if loadErr != nil {
+		fmt.Fprintln(os.Stderr, "vialint:", loadErr)
+		return 1
+	}
+	loadTime := time.Since(start)
+
+	perAnalyzer := map[string]float64{}
+	diags, err := driver.RunWithFacts(pkgs, analyzers, framework.NewFacts(), perAnalyzer)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vialint:", err)
 		return 1
 	}
-	diags, err := driver.Run(pkgs, analyzers)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "vialint:", err)
-		return 1
+	if *timings {
+		reportTimings(loadTime, *listcache != "", cached, time.Since(start), perAnalyzer)
 	}
-	if len(diags) == 0 {
+	if *updateWAL {
+		fmt.Fprintf(os.Stderr, "vialint: golden WAL schemas rewritten under %s\n", vialint.SchemaDir())
 		return 0
 	}
+	if len(diags) == 0 {
+		if *jsonOut {
+			fmt.Println("[]")
+		}
+		return 0
+	}
+
 	// One shared FileSet across packages: resolve positions from any pkg.
 	fset := pkgs[0].Fset
-	for _, d := range diags {
-		fmt.Printf("%s: %s (%s)\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	if *jsonOut {
+		printJSON(fset, diags)
+	} else {
+		for _, d := range diags {
+			pos := fset.Position(d.Pos)
+			fmt.Printf("%s: %s (%s)\n", pos, d.Message, d.Analyzer)
+			if *github {
+				fmt.Printf("::error file=%s,line=%d,col=%d,title=vialint %s::%s\n",
+					pos.Filename, pos.Line, pos.Column, d.Analyzer, githubEscape(d.Message))
+			}
+		}
 	}
 	fmt.Fprintf(os.Stderr, "vialint: %d finding(s)\n", len(diags))
 	return 2
+}
+
+// jsonDiag is the -json output element.
+type jsonDiag struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func printJSON(fset *token.FileSet, diags []framework.Diagnostic) {
+	out := make([]jsonDiag, 0, len(diags))
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		out = append(out, jsonDiag{
+			File: pos.Filename, Line: pos.Line, Col: pos.Column,
+			Analyzer: d.Analyzer, Message: d.Message,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	//vialint:ignore errwrap stdout encode of already-validated structs cannot fail meaningfully
+	_ = enc.Encode(out)
+}
+
+// githubEscape encodes the characters the workflow-command parser treats
+// specially in message data.
+func githubEscape(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	return strings.ReplaceAll(s, "\n", "%0A")
+}
+
+// reportTimings summarizes where a lint run spent its time.
+func reportTimings(load time.Duration, cacheEnabled, cacheHit bool, total time.Duration, perAnalyzer map[string]float64) {
+	cacheNote := ""
+	if cacheEnabled {
+		if cacheHit {
+			cacheNote = " (list cache hit)"
+		} else {
+			cacheNote = " (list cache miss)"
+		}
+	}
+	fmt.Fprintf(os.Stderr, "vialint: load %.3fs%s, total %.3fs\n", load.Seconds(), cacheNote, total.Seconds())
+	names := make([]string, 0, len(perAnalyzer))
+	for name := range perAnalyzer {
+		names = append(names, name)
+	}
+	sort.Slice(names, func(i, j int) bool { return perAnalyzer[names[i]] > perAnalyzer[names[j]] })
+	for _, name := range names {
+		fmt.Fprintf(os.Stderr, "vialint:   %-15s %.3fs\n", name, perAnalyzer[name])
+	}
 }
 
 // vetConfig is the JSON cmd/go writes for each package when driving a
@@ -120,9 +242,17 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
+}
+
+// inModule reports whether an import path belongs to this module; only
+// module packages carry facts worth computing (sinks in the stdlib are
+// recognized syntactically, not through summaries).
+func inModule(importPath string) bool {
+	return importPath == modulePrefix || strings.HasPrefix(importPath, modulePrefix+"/")
 }
 
 func vetMode(cfgPath string) int {
@@ -136,15 +266,11 @@ func vetMode(cfgPath string) int {
 		fmt.Fprintln(os.Stderr, "vialint: parsing vet config:", err)
 		return 1
 	}
-	// Facts file: this suite exports none, but cmd/go requires the file.
-	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
-			fmt.Fprintln(os.Stderr, "vialint:", err)
-			return 1
-		}
-	}
-	if cfg.VetxOnly || strings.HasSuffix(cfg.ID, ".test") {
-		return 0
+	// Non-module packages (stdlib) and test binaries export no facts and
+	// get no diagnostics: write an empty fact file to satisfy cmd/go and
+	// move on.
+	if strings.HasSuffix(cfg.ID, ".test") || !inModule(cfg.ImportPath) {
+		return writeFacts(cfg.VetxOutput, framework.NewFacts())
 	}
 	// Match standalone-mode policy: test files are not analyzed (they
 	// legitimately use wall clocks and discard errors in teardown). When a
@@ -161,7 +287,7 @@ func vetMode(cfgPath string) int {
 	}
 	cfg.GoFiles = prodFiles
 	if len(cfg.GoFiles) == 0 {
-		return 0
+		return writeFacts(cfg.VetxOutput, framework.NewFacts())
 	}
 	pkg, err := loadVetPackage(&cfg)
 	if err != nil {
@@ -171,10 +297,31 @@ func vetMode(cfgPath string) int {
 		fmt.Fprintln(os.Stderr, "vialint:", err)
 		return 1
 	}
-	diags, err := driver.Run([]*driver.Package{pkg}, vialint.All())
+	// A VetxOnly unit is a dependency of the requested patterns: analyze
+	// it for facts alone, reporting nothing — the driver's FactsOnly flag
+	// implements exactly that contract.
+	pkg.FactsOnly = pkg.FactsOnly || cfg.VetxOnly
+
+	// Seed this unit's fact store from its dependencies' fact files.
+	facts := framework.NewFacts()
+	for _, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil || len(data) == 0 {
+			continue // empty or pruned fact file: nothing to merge
+		}
+		if err := facts.MergeJSON(data); err != nil {
+			fmt.Fprintln(os.Stderr, "vialint:", err)
+			return 1
+		}
+	}
+
+	diags, err := driver.RunWithFacts([]*driver.Package{pkg}, vialint.All(), facts, nil)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "vialint:", err)
 		return 1
+	}
+	if code := writeFacts(cfg.VetxOutput, facts); code != 0 {
+		return code
 	}
 	if len(diags) == 0 {
 		return 0
@@ -183,6 +330,23 @@ func vetMode(cfgPath string) int {
 		fmt.Fprintf(os.Stderr, "%s: %s (%s)\n", pkg.Fset.Position(d.Pos), d.Message, d.Analyzer)
 	}
 	return 2
+}
+
+// writeFacts serializes a fact store to cmd/go's .vetx slot.
+func writeFacts(path string, facts *framework.Facts) int {
+	if path == "" {
+		return 0
+	}
+	data, err := facts.EncodeJSON()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "vialint:", err)
+		return 1
+	}
+	if err := os.WriteFile(path, data, 0o666); err != nil {
+		fmt.Fprintln(os.Stderr, "vialint:", err)
+		return 1
+	}
+	return 0
 }
 
 // loadVetPackage type-checks one package from a vet config, resolving
@@ -197,5 +361,8 @@ func loadVetPackage(cfg *vetConfig) (*driver.Package, error) {
 			exports[src] = file
 		}
 	}
-	return driver.LoadSingle(cfg.ImportPath, cfg.GoFiles, exports)
+	// Test compilation units are named "p [p.test]"; the bracketed suffix
+	// must not leak into type-checking or the compiler's -p flag.
+	importPath, _, _ := strings.Cut(cfg.ImportPath, " ")
+	return driver.LoadSingle(importPath, cfg.GoFiles, exports)
 }

@@ -12,10 +12,15 @@
 //
 // Fixture layout follows the x/tools convention: Run(t, dir, a, "a")
 // analyzes the package in <dir>/src/a. Fixtures may import the standard
-// library only; type information is resolved through export data from
-// `go list -export` (fully offline, see internal/analysis/driver).
-// //vialint:ignore directives are honored exactly as in production runs,
-// so suppression behavior is testable in fixtures too.
+// library — resolved through export data from `go list -export`, fully
+// offline — and each other: Run(t, dir, a, "a", "b") type-checks the
+// fixtures in argument order within one shared FileSet and fact store, so
+// an `import "a"` inside fixture b resolves to the already-checked fixture
+// a and facts exported while analyzing a are visible while analyzing b.
+// List dependencies before their importers. Each fixture also carries a
+// framework.BuildUnit (sources plus stdlib export data), so NeedsBuild
+// analyzers work in fixtures too. //vialint:ignore directives are honored
+// exactly as in production runs, so suppression behavior is testable.
 package analysistest
 
 import (
@@ -39,33 +44,62 @@ import (
 // backquotes or double quotes.
 var wantRe = regexp.MustCompile("`([^`]*)`|\"([^\"]*)\"")
 
-// Run analyzes each named fixture package under dir/src and reports
-// mismatches through t.
+// Run analyzes the named fixture packages under dir/src, in order, and
+// reports mismatches through t. Fixtures listed earlier are importable by
+// fixtures listed later, and share one fact store across the run.
 func Run(t *testing.T, dir string, a *framework.Analyzer, pkgs ...string) {
 	t.Helper()
+	s := &session{
+		fset:     token.NewFileSet(),
+		facts:    framework.NewFacts(),
+		fixtures: make(map[string]*types.Package),
+	}
 	for _, pkg := range pkgs {
-		runOne(t, filepath.Join(dir, "src", pkg), pkg, a)
+		s.runOne(t, filepath.Join(dir, "src", pkg), pkg, a)
 	}
 }
 
-func runOne(t *testing.T, dir, pkgPath string, a *framework.Analyzer) {
+// session is the state shared across one Run's fixture packages.
+type session struct {
+	fset     *token.FileSet
+	facts    *framework.Facts
+	fixtures map[string]*types.Package // fixture import path → checked package
+}
+
+// chainImporter resolves fixture import paths to already-checked fixture
+// packages and everything else through gc export data.
+type chainImporter struct {
+	fixtures map[string]*types.Package
+	std      types.Importer
+}
+
+func (c chainImporter) Import(path string) (*types.Package, error) {
+	if p, ok := c.fixtures[path]; ok {
+		return p, nil
+	}
+	return c.std.Import(path)
+}
+
+func (s *session) runOne(t *testing.T, dir, pkgPath string, a *framework.Analyzer) {
 	t.Helper()
-	fset := token.NewFileSet()
 	entries, err := os.ReadDir(dir)
 	if err != nil {
 		t.Fatalf("reading fixture dir: %v", err)
 	}
 	var files []*ast.File
+	var goFiles []string
 	imports := map[string]bool{}
 	for _, e := range entries {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
 			continue
 		}
-		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		full := filepath.Join(dir, e.Name())
+		f, err := parser.ParseFile(s.fset, full, nil, parser.ParseComments)
 		if err != nil {
 			t.Fatalf("parsing fixture: %v", err)
 		}
 		files = append(files, f)
+		goFiles = append(goFiles, full)
 		for _, imp := range f.Imports {
 			imports[strings.Trim(imp.Path.Value, `"`)] = true
 		}
@@ -74,40 +108,46 @@ func runOne(t *testing.T, dir, pkgPath string, a *framework.Analyzer) {
 		t.Fatalf("no fixture files in %s", dir)
 	}
 
-	paths := make([]string, 0, len(imports))
+	var stdPaths []string
 	for p := range imports {
-		paths = append(paths, p)
+		if _, isFixture := s.fixtures[p]; !isFixture {
+			stdPaths = append(stdPaths, p)
+		}
 	}
-	sort.Strings(paths)
-	exports, err := driver.StdExports(paths)
+	sort.Strings(stdPaths)
+	exports, err := driver.StdExports(stdPaths)
 	if err != nil {
 		t.Fatalf("resolving fixture imports: %v", err)
 	}
 	info := driver.NewInfo()
-	conf := types.Config{Importer: driver.ExportImporter(fset, exports)}
-	tpkg, err := conf.Check(pkgPath, fset, files, info)
+	imp := chainImporter{fixtures: s.fixtures, std: driver.ExportImporter(s.fset, exports)}
+	conf := types.Config{Importer: imp}
+	tpkg, err := conf.Check(pkgPath, s.fset, files, info)
 	if err != nil {
 		t.Fatalf("type-checking fixture %s: %v", pkgPath, err)
 	}
+	s.fixtures[pkgPath] = tpkg
 
 	if !framework.AppliesTo(a.Targets, pkgPath) {
 		t.Fatalf("analyzer %s does not target fixture package %q; construct a test instance with New([]string{%q})", a.Name, pkgPath, pkgPath)
 	}
 
-	ignores := driver.CollectIgnores(fset, files)
+	ignores := driver.CollectIgnores(s.fset, files)
 	var diags []framework.Diagnostic
-	pass := framework.NewPass(a, fset, files, tpkg, info, func(d framework.Diagnostic) {
-		if !ignores.Suppresses(fset, d) {
+	pass := framework.NewPass(a, s.fset, files, tpkg, info, func(d framework.Diagnostic) {
+		if !ignores.Suppresses(s.fset, d) {
 			diags = append(diags, d)
 		}
 	})
+	pass.SetFacts(s.facts)
+	pass.SetUnit(&framework.BuildUnit{ImportPath: pkgPath, Dir: dir, GoFiles: goFiles, Exports: exports})
 	if err := a.Run(pass); err != nil {
 		t.Fatalf("running %s: %v", a.Name, err)
 	}
 	diags = append(diags, ignores.Malformed...)
 	sort.Slice(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
 
-	check(t, fset, files, diags)
+	check(t, s.fset, files, diags)
 }
 
 // expectation is one want regexp at a file line.

@@ -1,0 +1,408 @@
+// Package dettaint implements interprocedural determinism taint analysis.
+//
+// The intraprocedural determinism analyzer bans direct wall-clock and
+// ambient-RNG use inside the deterministic packages, but a violation one
+// call away — a sim package calling a helper in a live package that reads
+// time.Now — slips through it. dettaint closes that hole: it builds a
+// static call graph over the whole module and flags every determinism
+// *root* (functions in the replay-critical packages: sim, rtp, the WAL
+// replay surface, obs) that transitively reaches one of three sinks:
+//
+//   - wallclock: time.Now / time.Since / time.Until
+//   - globalrand: math/rand{,/v2} package-level draws from the shared
+//     ambient source (explicitly-seeded constructors stay legal)
+//   - maporder: output that depends on map iteration order — a range over
+//     a map that prints, or appends to an outer slice that is never
+//     subsequently sorted
+//
+// Call-graph summaries travel between packages as facts (see
+// framework.Facts): while analyzing a package the analyzer exports, for
+// every function that reaches a sink, the sink kind plus the call chain
+// that reaches it; packages analyzed later import those summaries for
+// their cross-package callees. Only static calls are traced — interface
+// dispatch is invisible to the taint, which keeps the analysis precise
+// (no false aliasing) at the cost of trusting implementations of
+// deterministic interfaces.
+//
+// Findings are reported at the root function's declaration, with the full
+// chain in the message, so one line-scoped //vialint:ignore with a
+// justification covers a function that is live by design (the chaos and
+// fig18 experiment drivers).
+package dettaint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Sink kinds, in report order.
+const (
+	kindWallclock  = "wallclock"
+	kindGlobalrand = "globalrand"
+	kindMaporder   = "maporder"
+)
+
+// forbiddenTime mirrors the determinism analyzer: only sampling "now" is
+// banned, duration arithmetic is fine.
+var forbiddenTime = map[string]bool{"Now": true, "Since": true, "Until": true}
+
+// allowedRand mirrors the determinism analyzer: explicitly-seeded
+// constructors are fine, everything else package-level draws from the
+// shared ambient source.
+var allowedRand = map[string]bool{
+	"New": true, "NewSource": true, "NewPCG": true, "NewChaCha8": true, "NewZipf": true,
+}
+
+// sink is one reachable nondeterminism source: its kind, a human
+// description of the ultimate sink, and the call chain (function keys,
+// nearest callee first) from the summarized function down to the function
+// containing the sink. Empty chain means the sink is in the function
+// itself.
+type sink struct {
+	Kind  string   `json:"kind"`
+	Desc  string   `json:"desc"`
+	Chain []string `json:"chain,omitempty"`
+}
+
+// funcFact is the exported per-function summary.
+type funcFact struct {
+	Sinks []sink `json:"sinks"`
+}
+
+// maxChain bounds recorded call chains; deeper taint still propagates,
+// the rendered path is just truncated.
+const maxChain = 8
+
+// Config selects which functions are determinism roots.
+type Config struct {
+	// Roots maps package path → root function names within it. A nil or
+	// empty name list marks every function in the package as a root.
+	// Method roots are named "(*Recv).Name" / "(Recv).Name".
+	Roots map[string][]string
+	// DeterminismCovered lists packages already policed by the
+	// intraprocedural determinism analyzer; depth-zero wallclock and
+	// globalrand findings there are suppressed to avoid double-reporting
+	// the same call site (maporder has no intraprocedural counterpart and
+	// is always reported).
+	DeterminismCovered []string
+}
+
+// New builds the analyzer. It must run over every module package (facts
+// from non-root packages feed the taint), so Targets stays empty and the
+// Config decides where findings are reported.
+func New(cfg Config) *framework.Analyzer {
+	return &framework.Analyzer{
+		Name:      "dettaint",
+		Doc:       "flag determinism-critical functions that transitively reach time.Now, ambient math/rand, or map-iteration-order-dependent output",
+		UsesFacts: true,
+		Run:       func(pass *framework.Pass) error { return run(pass, cfg) },
+	}
+}
+
+// fnInfo accumulates one function's direct sinks and static callees.
+type fnInfo struct {
+	decl    *ast.FuncDecl
+	key     string
+	sinks   map[string]sink // kind → first sink found
+	callees []string        // FuncKeys, in source order, deduplicated
+}
+
+func run(pass *framework.Pass, cfg Config) error {
+	var fns []*fnInfo
+	byKey := make(map[string]*fnInfo)
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			fi := &fnInfo{decl: fd, key: framework.FuncKey(obj), sinks: make(map[string]sink)}
+			collect(pass, fd, fi)
+			fns = append(fns, fi)
+			byKey[fi.key] = fi
+		}
+	}
+
+	// Propagate callee sinks up the intra-package call graph to a fixed
+	// point; cross-package callees resolve through imported facts, which
+	// are final (dependencies are analyzed first).
+	for changed := true; changed; {
+		changed = false
+		for _, fi := range fns {
+			for _, calleeKey := range fi.callees {
+				for _, s := range calleeSinks(pass, byKey, calleeKey) {
+					if _, have := fi.sinks[s.Kind]; have {
+						continue
+					}
+					chain := append([]string{calleeKey}, s.Chain...)
+					if len(chain) > maxChain {
+						chain = chain[:maxChain]
+					}
+					fi.sinks[s.Kind] = sink{Kind: s.Kind, Desc: s.Desc, Chain: chain}
+					changed = true
+				}
+			}
+		}
+	}
+
+	for _, fi := range fns {
+		if len(fi.sinks) > 0 {
+			pass.ExportFact(fi.key, funcFact{Sinks: sortedSinks(fi.sinks)})
+		}
+	}
+
+	report(pass, cfg, fns)
+	return nil
+}
+
+// calleeSinks resolves a callee's summary: same-package functions from the
+// in-progress graph, everything else from imported facts.
+func calleeSinks(pass *framework.Pass, byKey map[string]*fnInfo, key string) []sink {
+	if fi, ok := byKey[key]; ok {
+		return sortedSinks(fi.sinks)
+	}
+	var ff funcFact
+	if pass.ImportFact(key, &ff) {
+		return ff.Sinks
+	}
+	return nil
+}
+
+func sortedSinks(m map[string]sink) []sink {
+	out := make([]sink, 0, len(m))
+	for _, s := range m {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Kind < out[j].Kind })
+	return out
+}
+
+// collect walks one function body (nested literals included — their sinks
+// and calls are attributed to the enclosing declaration) for direct sinks
+// and static call edges.
+func collect(pass *framework.Pass, fd *ast.FuncDecl, fi *fnInfo) {
+	seen := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SelectorExpr:
+			// Sinks trigger on any reference, not just calls: storing
+			// time.Now into a clock field is as nondeterministic as
+			// calling it.
+			if pkgPath, name, ok := framework.PkgFunc(pass.TypesInfo, n); ok {
+				switch pkgPath {
+				case "time":
+					if forbiddenTime[name] {
+						fi.addSink(kindWallclock, fmt.Sprintf("time.%s (wall clock)", name))
+					}
+				case "math/rand", "math/rand/v2":
+					if !allowedRand[name] {
+						fi.addSink(kindGlobalrand, fmt.Sprintf("rand.%s (ambient math/rand)", name))
+					}
+				}
+			}
+		case *ast.CallExpr:
+			if key, ok := staticCallee(pass.TypesInfo, n); ok && !seen[key] {
+				seen[key] = true
+				fi.callees = append(fi.callees, key)
+			}
+		case *ast.RangeStmt:
+			checkMapRange(pass, fd, n, fi)
+		}
+		return true
+	})
+}
+
+func (fi *fnInfo) addSink(kind, desc string) {
+	if _, have := fi.sinks[kind]; !have {
+		fi.sinks[kind] = sink{Kind: kind, Desc: desc}
+	}
+}
+
+// staticCallee resolves a call expression to a statically-known function
+// or concrete method. Interface dispatch and function values return
+// ok=false.
+func staticCallee(info *types.Info, call *ast.CallExpr) (string, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		if fn, ok := info.Uses[fun].(*types.Func); ok {
+			return framework.FuncKey(fn), true
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[fun]; ok && sel.Kind() == types.MethodVal {
+			fn, ok := sel.Obj().(*types.Func)
+			if !ok {
+				return "", false
+			}
+			if recv := fn.Type().(*types.Signature).Recv(); recv != nil && types.IsInterface(recv.Type()) {
+				return "", false
+			}
+			return framework.FuncKey(fn), true
+		}
+		// Package-qualified function: pkg.Fn(...).
+		if fn, ok := info.Uses[fun.Sel].(*types.Func); ok {
+			if _, isPkg := info.Uses[ident(fun.X)].(*types.PkgName); isPkg {
+				return framework.FuncKey(fn), true
+			}
+		}
+	}
+	return "", false
+}
+
+func ident(e ast.Expr) *ast.Ident {
+	id, _ := ast.Unparen(e).(*ast.Ident)
+	return id
+}
+
+// checkMapRange flags a range over a map whose body makes iteration order
+// observable: printing inside the loop, or appending to a slice declared
+// outside the loop that is never passed to a sort.* / slices.* call later
+// in the function.
+func checkMapRange(pass *framework.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, fi *fnInfo) {
+	tv, ok := pass.TypesInfo.Types[rs.X]
+	if !ok {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+
+	var appendTargets []types.Object
+	printed := false
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if sel, ok := ast.Unparen(n.Fun).(*ast.SelectorExpr); ok {
+				if pkgPath, name, ok := framework.PkgFunc(pass.TypesInfo, sel); ok && pkgPath == "fmt" &&
+					strings.HasPrefix(strings.TrimPrefix(name, "F"), "Print") {
+					printed = true
+				}
+			}
+		case *ast.AssignStmt:
+			// x = append(x, ...) where x is declared outside the loop.
+			for i, rhs := range n.Rhs {
+				call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+				if !ok || len(n.Lhs) <= i {
+					continue
+				}
+				if id := ident(call.Fun); id == nil || id.Name != "append" {
+					continue
+				}
+				lhs := ident(n.Lhs[i])
+				if lhs == nil {
+					continue
+				}
+				obj := pass.TypesInfo.Uses[lhs]
+				if obj == nil {
+					obj = pass.TypesInfo.Defs[lhs]
+				}
+				if obj != nil && obj.Pos() < rs.Pos() {
+					appendTargets = append(appendTargets, obj)
+				}
+			}
+		}
+		return true
+	})
+
+	if printed {
+		fi.addSink(kindMaporder, "map-iteration-order-dependent output (printing inside a map range)")
+		return
+	}
+	for _, obj := range appendTargets {
+		if !sortedAfter(pass, fd, rs, obj) {
+			fi.addSink(kindMaporder, fmt.Sprintf("map-iteration-order-dependent output (appends to %s inside a map range with no later sort)", obj.Name()))
+			return
+		}
+	}
+}
+
+// sortedAfter reports whether obj is passed to a sort.* or slices.* call
+// after the range statement ends.
+func sortedAfter(pass *framework.Pass, fd *ast.FuncDecl, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		pkgPath, _, ok := framework.PkgFunc(pass.TypesInfo, sel)
+		if !ok || (pkgPath != "sort" && pkgPath != "slices") {
+			return true
+		}
+		for _, arg := range call.Args {
+			if id := ident(arg); id != nil && pass.TypesInfo.Uses[id] == obj {
+				found = true
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// report emits diagnostics for tainted root functions, at the function
+// declaration, with the reaching chain in the message.
+func report(pass *framework.Pass, cfg Config, fns []*fnInfo) {
+	rootNames, isRootPkg := cfg.Roots[pass.Pkg.Path()]
+	if !isRootPkg {
+		return
+	}
+	covered := framework.AppliesTo(cfg.DeterminismCovered, pass.Pkg.Path())
+	for _, fi := range fns {
+		local := localName(fi.key)
+		if len(rootNames) > 0 && !contains(rootNames, local) {
+			continue
+		}
+		for _, s := range sortedSinks(fi.sinks) {
+			if len(s.Chain) == 0 && covered && (s.Kind == kindWallclock || s.Kind == kindGlobalrand) {
+				// The determinism analyzer already reports this exact
+				// call site; a second function-level report adds noise.
+				continue
+			}
+			msg := fmt.Sprintf("%s is required to be deterministic but reaches %s", local, s.Desc)
+			if len(s.Chain) > 0 {
+				parts := make([]string, 0, len(s.Chain))
+				for _, key := range s.Chain {
+					parts = append(parts, framework.FuncDisplay(key))
+				}
+				msg += " via " + strings.Join(parts, " → ")
+			}
+			pass.Reportf(fi.decl.Name.Pos(), "%s", msg)
+		}
+	}
+}
+
+// localName strips the package path off a FuncKey: "pkg/path.(*T).M" →
+// "(*T).M", "pkg/path.F" → "F".
+func localName(key string) string {
+	if i := strings.Index(key, ".("); i >= 0 {
+		return key[i+1:]
+	}
+	if i := strings.LastIndex(key, "."); i >= 0 {
+		return key[i+1:]
+	}
+	return key
+}
+
+func contains(names []string, name string) bool {
+	for _, n := range names {
+		if n == name {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,20 @@
+// Package a is a dependency fixture: not a determinism root itself, but
+// its taint summaries must flow to importers through facts.
+package a
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Stamp reaches the wall clock directly.
+func Stamp() int64 { return time.Now().UnixNano() }
+
+// Roll draws from the ambient RNG directly.
+func Roll() int { return rand.Intn(6) }
+
+// Pure is sink-free.
+func Pure(x int) int { return x * 2 }
+
+// Indirect reaches the wall clock one hop deep.
+func Indirect() int64 { return Stamp() }

@@ -1,0 +1,13 @@
+// Package b is a determinism root importing fixture package a: taint must
+// cross the package boundary via facts.
+package b
+
+import "a"
+
+func UseStamp() int64 { return a.Stamp() } // want `UseStamp is required to be deterministic but reaches time.Now \(wall clock\) via a.Stamp`
+
+func UseIndirect() int64 { return a.Indirect() } // want `reaches time.Now \(wall clock\) via a.Indirect → a.Stamp`
+
+func UseRoll() int { return a.Roll() } // want `reaches rand.Intn \(ambient math/rand\) via a.Roll`
+
+func UsePure() int { return a.Pure(3) }

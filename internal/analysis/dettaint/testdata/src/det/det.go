@@ -1,0 +1,73 @@
+// Package det exercises intra-package taint in a package the determinism
+// analyzer already covers: depth-zero wallclock/globalrand findings are its
+// territory and must not be double-reported, transitive ones and map-order
+// findings must.
+package det
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Direct and helper sample the clock at depth zero: the intraprocedural
+// determinism analyzer owns those call sites, so dettaint stays quiet.
+func Direct() int64 { return time.Now().UnixNano() }
+
+func helper() time.Time { return time.Now() }
+
+func Caller() time.Time { return helper() } // want `Caller is required to be deterministic but reaches time.Now \(wall clock\) via det.helper`
+
+func ChainTwo() int64 { return Caller().UnixNano() } // want `reaches time.Now \(wall clock\) via det.Caller → det.helper`
+
+// Ambient draws at depth zero (determinism analyzer territory); UsesAmbient
+// is one hop away and is dettaint's to report.
+func Ambient() int { return rand.Intn(6) }
+
+func UsesAmbient() int { return Ambient() } // want `reaches rand.Intn \(ambient math/rand\) via det.Ambient`
+
+// Seeded uses an explicit source: every call is a concrete method on
+// *rand.Rand, not an ambient package-level draw.
+func Seeded() int {
+	r := rand.New(rand.NewSource(1))
+	return r.Intn(6)
+}
+
+func MapPrint(m map[string]int) { // want `reaches map-iteration-order-dependent output \(printing inside a map range\)`
+	for k := range m {
+		fmt.Println(k)
+	}
+}
+
+func MapUnsorted(m map[string]int) []string { // want `map-iteration-order-dependent output \(appends to out inside a map range with no later sort\)`
+	var out []string
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}
+
+// MapSorted collects then sorts: iteration order is laundered out.
+func MapSorted(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SliceRange is not a map range at all.
+func SliceRange(xs []int) []int {
+	var out []int
+	for _, x := range xs {
+		out = append(out, x*2)
+	}
+	return out
+}
+
+// Justified is live by design: the suppression must silence the finding.
+//
+//vialint:ignore dettaint fixture: wall-clock use is intentional here
+func Justified() time.Time { return helper() }

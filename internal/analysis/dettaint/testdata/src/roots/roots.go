@@ -1,0 +1,12 @@
+// Package roots exercises per-function root selection: only Watched is
+// configured as a root, so tick and Unwatched stay unreported even though
+// both are tainted.
+package roots
+
+import "time"
+
+func Watched() time.Time { return tick() } // want `Watched is required to be deterministic but reaches time.Now \(wall clock\) via roots.tick`
+
+func Unwatched() time.Time { return tick() }
+
+func tick() time.Time { return time.Now() }

@@ -8,6 +8,14 @@
 // of the matched packages are then parsed and type-checked against that
 // export data via go/importer's gc importer. Test files are not analyzed
 // (tests legitimately use wall-clock deadlines and loopback sockets).
+//
+// Packages are analyzed in dependency order (imports before importers)
+// with a shared framework.Facts store, so fact-using analyzers (dettaint,
+// metricshygiene) see their dependencies' summaries. Module-local packages
+// that are only dependencies of the requested patterns are still loaded
+// and run through the fact-using analyzers — with reporting suppressed —
+// so a narrowed pattern (`vialint ./internal/rtp`, the lint-fast mode)
+// keeps cross-package facts sound without reporting outside the request.
 package driver
 
 import (
@@ -24,7 +32,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
-	"strings"
+	"time"
 
 	"repro/internal/analysis/framework"
 )
@@ -36,6 +44,15 @@ type Package struct {
 	Files []*ast.File
 	Pkg   *types.Package
 	Info  *types.Info
+	// Unit is the build-level view for NeedsBuild analyzers.
+	Unit *framework.BuildUnit
+	// Imports lists the package's direct imports (for dependency-order
+	// scheduling).
+	Imports []string
+	// FactsOnly marks a module-local dependency loaded only to seed the
+	// fact store: fact-using analyzers run over it, diagnostics from it
+	// are dropped.
+	FactsOnly bool
 }
 
 // listedPkg is the subset of `go list -json` output the driver consumes.
@@ -45,7 +62,9 @@ type listedPkg struct {
 	Name       string
 	Export     string
 	GoFiles    []string
+	Imports    []string
 	DepOnly    bool
+	Module     *struct{ Path string }
 	Error      *struct{ Err string }
 }
 
@@ -54,7 +73,7 @@ type listedPkg struct {
 func goList(dir string, patterns []string) ([]listedPkg, error) {
 	args := append([]string{
 		"list", "-e", "-export", "-deps",
-		"-json=Dir,ImportPath,Name,Export,GoFiles,DepOnly,Error",
+		"-json=Dir,ImportPath,Name,Export,GoFiles,Imports,DepOnly,Module,Error",
 	}, patterns...)
 	cmd := exec.Command("go", args...)
 	cmd.Dir = dir
@@ -64,6 +83,11 @@ func goList(dir string, patterns []string) ([]listedPkg, error) {
 	if err != nil {
 		return nil, fmt.Errorf("driver: go list: %w\n%s", err, stderr.String())
 	}
+	return decodeList(out)
+}
+
+// decodeList parses a `go list -json` stream.
+func decodeList(out []byte) ([]listedPkg, error) {
 	var pkgs []listedPkg
 	dec := json.NewDecoder(bytes.NewReader(out))
 	for {
@@ -123,16 +147,23 @@ func NewInfo() *types.Info {
 }
 
 // Load type-checks the packages matched by patterns (e.g. "./..."),
-// resolved relative to dir ("" for the current directory). Packages that
-// are only dependencies of the match are consumed as export data, not
-// analyzed.
+// resolved relative to dir ("" for the current directory), plus any
+// module-local packages they depend on (marked FactsOnly). The result is
+// in dependency order: a package appears after every package it imports.
 func Load(dir string, patterns []string) ([]*Package, error) {
 	listed, err := goList(dir, patterns)
 	if err != nil {
 		return nil, err
 	}
+	return buildPackages(listed)
+}
+
+// buildPackages turns a `go list -deps` result into type-checked,
+// dependency-ordered Packages.
+func buildPackages(listed []listedPkg) ([]*Package, error) {
 	exports := make(map[string]string, len(listed))
-	var targets []listedPkg
+	byPath := make(map[string]listedPkg, len(listed))
+	modulePath := ""
 	for _, p := range listed {
 		if p.Error != nil {
 			return nil, fmt.Errorf("driver: %s: %s", p.ImportPath, p.Error.Err)
@@ -140,22 +171,66 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		if p.Export != "" {
 			exports[p.ImportPath] = p.Export
 		}
-		if !p.DepOnly && p.Name != "" {
-			targets = append(targets, p)
+		byPath[p.ImportPath] = p
+		if !p.DepOnly && p.Module != nil {
+			modulePath = p.Module.Path
 		}
+	}
+
+	// The analyzed set: requested packages, plus module-local deps for
+	// fact seeding.
+	analyze := make(map[string]bool)
+	for _, p := range listed {
+		if p.Name == "" {
+			continue
+		}
+		if !p.DepOnly || (modulePath != "" && p.Module != nil && p.Module.Path == modulePath) {
+			analyze[p.ImportPath] = true
+		}
+	}
+
+	// Topological order over the analyzed set (imports first), with a
+	// deterministic tie-break by import path.
+	order := make([]string, 0, len(analyze))
+	state := make(map[string]int, len(analyze)) // 0 unvisited, 1 visiting, 2 done
+	var visit func(path string)
+	visit = func(path string) {
+		if !analyze[path] || state[path] != 0 {
+			return
+		}
+		state[path] = 1
+		imps := append([]string(nil), byPath[path].Imports...)
+		sort.Strings(imps)
+		for _, imp := range imps {
+			visit(imp)
+		}
+		state[path] = 2
+		order = append(order, path)
+	}
+	roots := make([]string, 0, len(analyze))
+	for path := range analyze {
+		roots = append(roots, path)
+	}
+	sort.Strings(roots)
+	for _, path := range roots {
+		visit(path)
 	}
 
 	fset := token.NewFileSet()
 	imp := ExportImporter(fset, exports)
 	var out []*Package
-	for _, p := range targets {
+	for _, path := range order {
+		p := byPath[path]
 		files := make([]*ast.File, 0, len(p.GoFiles))
+		goFiles := make([]string, 0, len(p.GoFiles))
 		for _, name := range p.GoFiles {
-			f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+			full := filepath.Join(p.Dir, name)
+			f, err := parser.ParseFile(fset, full, nil, parser.ParseComments)
 			if err != nil {
 				return nil, fmt.Errorf("driver: parsing %s: %w", name, err)
 			}
 			files = append(files, f)
+			goFiles = append(goFiles, full)
 		}
 		info := NewInfo()
 		conf := types.Config{Importer: imp}
@@ -163,7 +238,21 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 		if err != nil {
 			return nil, fmt.Errorf("driver: type-checking %s: %w", p.ImportPath, err)
 		}
-		out = append(out, &Package{Path: p.ImportPath, Fset: fset, Files: files, Pkg: tpkg, Info: info})
+		out = append(out, &Package{
+			Path:  p.ImportPath,
+			Fset:  fset,
+			Files: files,
+			Pkg:   tpkg,
+			Info:  info,
+			Unit: &framework.BuildUnit{
+				ImportPath: p.ImportPath,
+				Dir:        p.Dir,
+				GoFiles:    goFiles,
+				Exports:    exports,
+			},
+			Imports:   p.Imports,
+			FactsOnly: p.DepOnly,
+		})
 	}
 	return out, nil
 }
@@ -175,12 +264,14 @@ func Load(dir string, patterns []string) ([]*Package, error) {
 func LoadSingle(importPath string, goFiles []string, exports map[string]string) (*Package, error) {
 	fset := token.NewFileSet()
 	files := make([]*ast.File, 0, len(goFiles))
+	dir := ""
 	for _, name := range goFiles {
 		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments)
 		if err != nil {
 			return nil, fmt.Errorf("driver: parsing %s: %w", name, err)
 		}
 		files = append(files, f)
+		dir = filepath.Dir(name)
 	}
 	info := NewInfo()
 	conf := types.Config{Importer: ExportImporter(fset, exports)}
@@ -188,13 +279,23 @@ func LoadSingle(importPath string, goFiles []string, exports map[string]string) 
 	if err != nil {
 		return nil, fmt.Errorf("driver: type-checking %s: %w", importPath, err)
 	}
-	return &Package{Path: importPath, Fset: fset, Files: files, Pkg: tpkg, Info: info}, nil
+	return &Package{
+		Path: importPath, Fset: fset, Files: files, Pkg: tpkg, Info: info,
+		Unit: &framework.BuildUnit{ImportPath: importPath, Dir: dir, GoFiles: goFiles, Exports: exports},
+	}, nil
 }
 
 // Run applies every analyzer to every package it targets and returns the
 // surviving diagnostics, sorted by position, with //vialint:ignore
 // directives applied. Analyzer errors abort the run.
 func Run(pkgs []*Package, analyzers []*framework.Analyzer) ([]framework.Diagnostic, error) {
+	return RunWithFacts(pkgs, analyzers, framework.NewFacts(), nil)
+}
+
+// RunWithFacts is Run with an explicit fact store (pre-seeded by the vet
+// shim from dependency .vetx files) and an optional per-analyzer timing
+// sink (seconds of Run time accumulated under the analyzer's name).
+func RunWithFacts(pkgs []*Package, analyzers []*framework.Analyzer, facts *framework.Facts, timings map[string]float64) ([]framework.Diagnostic, error) {
 	var diags []framework.Diagnostic
 	for _, pkg := range pkgs {
 		ignores := CollectIgnores(pkg.Fset, pkg.Files)
@@ -203,16 +304,30 @@ func Run(pkgs []*Package, analyzers []*framework.Analyzer) ([]framework.Diagnost
 				diags = append(diags, d)
 			}
 		}
+		if pkg.FactsOnly {
+			report = func(framework.Diagnostic) {}
+		}
 		for _, a := range analyzers {
-			if !framework.AppliesTo(a.Targets, pkg.Path) {
+			if pkg.FactsOnly && !a.UsesFacts {
+				continue
+			}
+			if !framework.AppliesTo(a.Targets, pkg.Path) && !a.UsesFacts {
+				continue
+			}
+			if a.NeedsBuild && pkg.Unit == nil {
 				continue
 			}
 			pass := framework.NewPass(a, pkg.Fset, pkg.Files, pkg.Pkg, pkg.Info, report)
-			if err := a.Run(pass); err != nil {
+			pass.SetUnit(pkg.Unit)
+			pass.SetFacts(facts)
+			err := runTimed(a, pass, timings)
+			if err != nil {
 				return nil, fmt.Errorf("driver: %s on %s: %w", a.Name, pkg.Path, err)
 			}
 		}
-		diags = append(diags, ignores.Malformed...)
+		if !pkg.FactsOnly {
+			diags = append(diags, ignores.Malformed...)
+		}
 	}
 	sort.Slice(diags, func(i, j int) bool {
 		if diags[i].Pos != diags[j].Pos {
@@ -223,69 +338,14 @@ func Run(pkgs []*Package, analyzers []*framework.Analyzer) ([]framework.Diagnost
 	return diags, nil
 }
 
-// ignoreKey identifies one suppressed (file line, analyzer) cell; analyzer
-// "" means the directive suppresses every analyzer on that line.
-type ignoreKey struct {
-	file     string
-	line     int
-	analyzer string
-}
-
-// Ignores indexes //vialint:ignore directives for one package.
-//
-// A directive has the form
-//
-//	//vialint:ignore <analyzer>[,<analyzer>...] <justification>
-//
-// and suppresses the named analyzers (or "all") on the directive's own line
-// and on the following line — so it works both trailing a statement and as
-// a standalone comment above one. The justification is mandatory: a bare
-// directive is itself reported, so suppressions stay auditable.
-type Ignores struct {
-	cells map[ignoreKey]bool
-	// Malformed holds diagnostics for directives missing a justification.
-	Malformed []framework.Diagnostic
-}
-
-const ignorePrefix = "//vialint:ignore"
-
-// CollectIgnores scans file comments for suppression directives.
-func CollectIgnores(fset *token.FileSet, files []*ast.File) *Ignores {
-	ig := &Ignores{cells: make(map[ignoreKey]bool)}
-	for _, f := range files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				if !strings.HasPrefix(c.Text, ignorePrefix) {
-					continue
-				}
-				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
-				names, justification, _ := strings.Cut(rest, " ")
-				pos := fset.Position(c.Pos())
-				if names == "" || strings.TrimSpace(justification) == "" {
-					ig.Malformed = append(ig.Malformed, framework.Diagnostic{
-						Pos:      c.Pos(),
-						Analyzer: "vialint",
-						Message:  "malformed //vialint:ignore: need analyzer name(s) and a justification",
-					})
-					continue
-				}
-				for _, name := range strings.Split(names, ",") {
-					if name == "all" {
-						name = ""
-					}
-					for _, line := range []int{pos.Line, pos.Line + 1} {
-						ig.cells[ignoreKey{pos.Filename, line, name}] = true
-					}
-				}
-			}
-		}
+// runTimed runs one pass, accumulating wall time under the analyzer's
+// name when a timing sink is attached.
+func runTimed(a *framework.Analyzer, pass *framework.Pass, timings map[string]float64) error {
+	if timings == nil {
+		return a.Run(pass)
 	}
-	return ig
-}
-
-// Suppresses reports whether a diagnostic is covered by a directive.
-func (ig *Ignores) Suppresses(fset *token.FileSet, d framework.Diagnostic) bool {
-	pos := fset.Position(d.Pos)
-	return ig.cells[ignoreKey{pos.Filename, pos.Line, d.Analyzer}] ||
-		ig.cells[ignoreKey{pos.Filename, pos.Line, ""}]
+	start := time.Now()
+	err := a.Run(pass)
+	timings[a.Name] += time.Since(start).Seconds()
+	return err
 }

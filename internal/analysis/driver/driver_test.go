@@ -9,6 +9,7 @@ import (
 	"testing"
 
 	"repro/internal/analysis/determinism"
+	"repro/internal/analysis/dettaint"
 	"repro/internal/analysis/framework"
 )
 
@@ -99,15 +100,115 @@ func TestLoadRepoPackage(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(pkgs) != 1 {
-		t.Fatalf("want 1 package, got %d", len(pkgs))
+	// Module-local dependencies ride along as FactsOnly packages; the
+	// requested package is the only reportable one and, being downstream of
+	// its deps, comes last in the dependency order.
+	var requested []*Package
+	for _, p := range pkgs {
+		if !p.FactsOnly {
+			requested = append(requested, p)
+		}
 	}
-	p := pkgs[0]
+	if len(requested) != 1 {
+		t.Fatalf("want 1 reportable package, got %d", len(requested))
+	}
+	p := requested[0]
 	if p.Path != "repro/internal/quality" {
 		t.Errorf("path = %q", p.Path)
 	}
+	if pkgs[len(pkgs)-1] != p {
+		t.Error("requested package should sort after its dependencies")
+	}
 	if len(p.Files) == 0 || p.Pkg == nil || len(p.Info.Defs) == 0 {
 		t.Error("package loaded without syntax or type information")
+	}
+	if p.Unit == nil || len(p.Unit.GoFiles) == 0 || p.Unit.Exports["time"] == "" {
+		t.Error("package loaded without a usable build unit")
+	}
+}
+
+// mapImporter resolves a fixed set of in-memory packages, falling back to
+// export data for everything else.
+type mapImporter struct {
+	pkgs     map[string]*types.Package
+	fallback types.Importer
+}
+
+func (m mapImporter) Import(path string) (*types.Package, error) {
+	if p, ok := m.pkgs[path]; ok {
+		return p, nil
+	}
+	return m.fallback.Import(path)
+}
+
+// TestFactPropagationAcrossPackages drives the whole cross-package fact
+// pipeline through the driver: a FactsOnly dependency exports its taint
+// summary, the dependent package imports it and reports — and nothing is
+// reported from the FactsOnly package itself.
+func TestFactPropagationAcrossPackages(t *testing.T) {
+	if testing.Short() {
+		t.Skip("shells out to the go tool")
+	}
+	fset := token.NewFileSet()
+	parse := func(name, src string) *ast.File {
+		f, err := parser.ParseFile(fset, name, src, parser.ParseComments)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return f
+	}
+	exports, err := StdExports([]string{"time"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	std := ExportImporter(fset, exports)
+
+	f1 := parse("p1.go", `package p1
+
+import "time"
+
+func Stamp() int64 { return time.Now().UnixNano() }
+`)
+	info1 := NewInfo()
+	tp1, err := (&types.Config{Importer: std}).Check("p1", fset, []*ast.File{f1}, info1)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f2 := parse("p2.go", `package p2
+
+import "p1"
+
+func Root() int64 { return p1.Stamp() }
+`)
+	info2 := NewInfo()
+	imp := mapImporter{pkgs: map[string]*types.Package{"p1": tp1}, fallback: std}
+	tp2, err := (&types.Config{Importer: imp}).Check("p2", fset, []*ast.File{f2}, info2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	pkgs := []*Package{
+		{Path: "p1", Fset: fset, Files: []*ast.File{f1}, Pkg: tp1, Info: info1, FactsOnly: true},
+		{Path: "p2", Fset: fset, Files: []*ast.File{f2}, Pkg: tp2, Info: info2},
+	}
+	a := dettaint.New(dettaint.Config{Roots: map[string][]string{"p1": nil, "p2": nil}})
+	timings := map[string]float64{}
+	diags, err := RunWithFacts(pkgs, []*framework.Analyzer{a}, framework.NewFacts(), timings)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 1 {
+		t.Fatalf("want exactly 1 diagnostic (p1's suppressed, p2's reported), got %d: %v", len(diags), diags)
+	}
+	if pos := fset.Position(diags[0].Pos); pos.Filename != "p2.go" {
+		t.Errorf("diagnostic landed in %s, want p2.go", pos.Filename)
+	}
+	if !strings.Contains(diags[0].Message, "via p1.Stamp") {
+		t.Errorf("message should carry the cross-package chain: %q", diags[0].Message)
+	}
+	if timings["dettaint"] <= 0 {
+		t.Error("timing sink not populated")
 	}
 }
 

@@ -1,0 +1,76 @@
+package driver
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// ignoreKey identifies one suppressed (file line, analyzer) cell; analyzer
+// "" means the directive suppresses every analyzer on that line.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// Ignores indexes //vialint:ignore directives for one package.
+//
+// A directive has the form
+//
+//	//vialint:ignore <analyzer>[,<analyzer>...] <justification>
+//
+// and suppresses the named analyzers (or "all") on the directive's own line
+// and on the following line — so it works both trailing a statement and as
+// a standalone comment above one. The justification is mandatory: a bare
+// directive is itself reported, so suppressions stay auditable.
+type Ignores struct {
+	cells map[ignoreKey]bool
+	// Malformed holds diagnostics for directives missing a justification.
+	Malformed []framework.Diagnostic
+}
+
+const ignorePrefix = "//vialint:ignore"
+
+// CollectIgnores scans file comments for suppression directives.
+func CollectIgnores(fset *token.FileSet, files []*ast.File) *Ignores {
+	ig := &Ignores{cells: make(map[ignoreKey]bool)}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(c.Text, ignorePrefix))
+				names, justification, _ := strings.Cut(rest, " ")
+				pos := fset.Position(c.Pos())
+				if names == "" || strings.TrimSpace(justification) == "" {
+					ig.Malformed = append(ig.Malformed, framework.Diagnostic{
+						Pos:      c.Pos(),
+						Analyzer: "vialint",
+						Message:  "malformed //vialint:ignore: need analyzer name(s) and a justification",
+					})
+					continue
+				}
+				for _, name := range strings.Split(names, ",") {
+					if name == "all" {
+						name = ""
+					}
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						ig.cells[ignoreKey{pos.Filename, line, name}] = true
+					}
+				}
+			}
+		}
+	}
+	return ig
+}
+
+// Suppresses reports whether a diagnostic is covered by a directive.
+func (ig *Ignores) Suppresses(fset *token.FileSet, d framework.Diagnostic) bool {
+	pos := fset.Position(d.Pos)
+	return ig.cells[ignoreKey{pos.Filename, pos.Line, d.Analyzer}] ||
+		ig.cells[ignoreKey{pos.Filename, pos.Line, ""}]
+}

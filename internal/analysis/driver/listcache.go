@@ -1,0 +1,141 @@
+package driver
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+)
+
+// List-unit caching: `go list -export -deps` is the expensive half of a
+// lint run (it consults — and if needed, populates — the build cache for
+// export data of every dependency). Its output is fully determined by the
+// module's source state, so vialint can persist the decoded unit list and
+// reuse it while the tree is unchanged, cutting warm lint runs to parse +
+// type-check + analyze.
+//
+// Validity is judged by a source stamp: the Go toolchain version, the
+// requested patterns, and the (count, total size, max mtime) of every
+// .go/go.mod/go.sum file under the module root. Any edit, addition, or
+// deletion perturbs the stamp and forces a fresh `go list`. Export-data
+// files recorded in the cache are also re-stat'd — the go build cache may
+// have pruned them, in which case the cache is stale regardless of the
+// stamp.
+
+// listCache is the on-disk cache file format.
+type listCache struct {
+	Stamp sourceStamp
+	Pkgs  []listedPkg
+}
+
+// sourceStamp fingerprints the inputs that determine `go list` output.
+type sourceStamp struct {
+	GoVersion string
+	Patterns  string
+	Files     int
+	Bytes     int64
+	MaxMtime  int64 // unix nanos
+}
+
+// stampSources walks the module tree rooted at dir.
+func stampSources(dir string, patterns []string) (sourceStamp, error) {
+	st := sourceStamp{GoVersion: runtime.Version(), Patterns: strings.Join(patterns, " ")}
+	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			if name := d.Name(); name == ".git" || name == "bin" {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		name := d.Name()
+		if !strings.HasSuffix(name, ".go") && name != "go.mod" && name != "go.sum" {
+			return nil
+		}
+		info, err := d.Info()
+		if err != nil {
+			return err
+		}
+		st.Files++
+		st.Bytes += info.Size()
+		if mt := info.ModTime().UnixNano(); mt > st.MaxMtime {
+			st.MaxMtime = mt
+		}
+		return nil
+	})
+	return st, err
+}
+
+// LoadCached is Load with a persistent `go list` unit cache at cacheFile.
+// A hit skips the go list round-trip entirely; misses (first run, changed
+// sources, pruned export data) fall back to go list and refresh the
+// cache. An unwritable cache file degrades to plain Load, never fails the
+// lint.
+func LoadCached(dir, cacheFile string, patterns []string) ([]*Package, bool, error) {
+	root := dir
+	if root == "" {
+		root = "."
+	}
+	stamp, err := stampSources(root, patterns)
+	if err != nil {
+		pkgs, lerr := Load(dir, patterns)
+		return pkgs, false, lerr
+	}
+	if cached, ok := readListCache(cacheFile, stamp); ok {
+		pkgs, err := buildPackages(cached)
+		if err == nil {
+			return pkgs, true, nil
+		}
+		// Cached units no longer build (e.g. export data vanished
+		// mid-flight): fall through to a fresh list.
+	}
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, false, err
+	}
+	writeListCache(cacheFile, listCache{Stamp: stamp, Pkgs: listed})
+	pkgs, err := buildPackages(listed)
+	return pkgs, false, err
+}
+
+// readListCache loads and validates the cache file against the stamp.
+func readListCache(cacheFile string, stamp sourceStamp) ([]listedPkg, bool) {
+	data, err := os.ReadFile(cacheFile)
+	if err != nil {
+		return nil, false
+	}
+	var c listCache
+	if err := json.Unmarshal(data, &c); err != nil || c.Stamp != stamp {
+		return nil, false
+	}
+	// Export data lives in the go build cache and can be pruned under us.
+	for _, p := range c.Pkgs {
+		if p.Export == "" {
+			continue
+		}
+		if _, err := os.Stat(p.Export); err != nil {
+			return nil, false
+		}
+	}
+	return c.Pkgs, true
+}
+
+// writeListCache persists the cache, atomically and best-effort.
+func writeListCache(cacheFile string, c listCache) {
+	data, err := json.Marshal(c)
+	if err != nil {
+		return
+	}
+	if err := os.MkdirAll(filepath.Dir(cacheFile), 0o755); err != nil {
+		return
+	}
+	tmp := cacheFile + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return
+	}
+	//vialint:ignore errwrap best-effort cache write: a failed rename just means the next run re-lists
+	_ = os.Rename(tmp, cacheFile)
+}

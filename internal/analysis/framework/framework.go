@@ -29,6 +29,15 @@ type Analyzer struct {
 	// one of these entries or lives under one of them (prefix + "/").
 	// Empty means every package.
 	Targets []string
+	// UsesFacts marks analyzers that export or import cross-package facts.
+	// The driver runs fact-using analyzers over dependency packages too
+	// (with reporting suppressed), so summaries flow to dependents; the
+	// vet-mode shim persists their facts in .vetx files.
+	UsesFacts bool
+	// NeedsBuild marks analyzers that require Pass.Unit (compiler-assisted
+	// checks like noalloc). The driver and test harness populate Unit; an
+	// embedding that cannot must skip these analyzers.
+	NeedsBuild bool
 	// Run performs the check over one package.
 	Run func(*Pass) error
 }
@@ -40,7 +49,12 @@ type Pass struct {
 	Files     []*ast.File
 	Pkg       *types.Package
 	TypesInfo *types.Info
+	// Unit carries the build-level view of the package (source dir, file
+	// list, export data of dependencies) for analyzers with NeedsBuild.
+	// Nil when the embedding cannot supply it.
+	Unit *BuildUnit
 
+	facts  *Facts
 	report func(Diagnostic)
 }
 
@@ -55,6 +69,12 @@ type Diagnostic struct {
 func NewPass(a *Analyzer, fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, report func(Diagnostic)) *Pass {
 	return &Pass{Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info, report: report}
 }
+
+// SetUnit attaches build-level package info (for NeedsBuild analyzers).
+func (p *Pass) SetUnit(u *BuildUnit) { p.Unit = u }
+
+// SetFacts attaches a fact store shared across the run's passes.
+func (p *Pass) SetFacts(f *Facts) { p.facts = f }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
@@ -111,6 +131,22 @@ func WalkStack(files []*ast.File, fn func(n ast.Node, stack []ast.Node)) {
 			return true
 		})
 	}
+}
+
+// HasDirective reports whether a comment group contains the given
+// machine-readable directive (e.g. "//via:noalloc") as a whole comment
+// line. Directives follow the //go: convention: no space after the
+// slashes, so they are distinguishable from prose.
+func HasDirective(cg *ast.CommentGroup, directive string) bool {
+	if cg == nil {
+		return false
+	}
+	for _, c := range cg.List {
+		if strings.TrimSpace(c.Text) == directive {
+			return true
+		}
+	}
+	return false
 }
 
 // IsErrorType reports whether t is (or trivially implements) the built-in

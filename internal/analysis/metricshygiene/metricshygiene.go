@@ -1,0 +1,259 @@
+// Package metricshygiene polices the obs metric namespace.
+//
+// Every instrument the module registers flows into one flat namespace
+// scraped by /metrics; hygiene violations there are silent and
+// cumulative: a typo'd name splits a time series, a missing unit suffix
+// makes dashboards guess, an fmt.Sprintf label value explodes
+// cardinality, and a name registered from two different places with two
+// different kinds panics the registry at runtime. The analyzer enforces,
+// at every obs.Registry registration call site outside the obs package
+// itself:
+//
+//   - names are compile-time constants (directly, or the base argument of
+//     obs.L) matching via(_[a-z0-9]+)+
+//   - unit-suffix conventions: counters end _total, histograms end
+//     _seconds/_bytes/_size, gauges do not end _total
+//   - label keys are compile-time constants and label values are never
+//     built with fmt.Sprint/Sprintf/Sprintln (closed label vocabularies
+//     only; dynamic values from closed sets — enum String methods,
+//     bounded ids — stay legal)
+//   - each rendered metric identity is registered from exactly one static
+//     call site, enforced across package boundaries with facts: dynamic
+//     label values wildcard to "*", so per-instance registration loops
+//     stay one site while a second package reusing the name is flagged
+package metricshygiene
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// registerMethods maps obs.Registry method names to metric kinds.
+var registerMethods = map[string]string{
+	"Counter":   "counter",
+	"Gauge":     "gauge",
+	"GaugeFunc": "gauge",
+	"Histogram": "histogram",
+}
+
+// nameRe is the mandatory shape of a metric base name.
+var nameRe = regexp.MustCompile(`^via(_[a-z0-9]+)+$`)
+
+// histogramSuffixes are the accepted histogram units.
+var histogramSuffixes = []string{"_seconds", "_bytes", "_size"}
+
+// regFact records where a metric identity was first registered.
+type regFact struct {
+	Kind string `json:"kind"`
+	Pos  string `json:"pos"`
+}
+
+// Analyzer is the production instance.
+var Analyzer = New()
+
+// New builds the analyzer.
+func New() *framework.Analyzer {
+	return &framework.Analyzer{
+		Name:      "metricshygiene",
+		Doc:       "enforce metric naming, unit suffixes, closed label sets, and exactly-once registration across the module",
+		UsesFacts: true,
+		Run:       run,
+	}
+}
+
+func run(pass *framework.Pass) error {
+	if isObsPackage(pass.Pkg.Path()) {
+		// The registry implementation itself builds detached instruments
+		// and re-renders names; the rules apply to its users.
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			kind, ok := registryCall(pass.TypesInfo, call)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			checkRegistration(pass, call, kind)
+			return true
+		})
+	}
+	return nil
+}
+
+func isObsPackage(path string) bool {
+	return path == "obs" || strings.HasSuffix(path, "/obs")
+}
+
+// registryCall matches r.Counter(...) / r.Gauge(...) / r.GaugeFunc(...) /
+// r.Histogram(...) where r is an obs.Registry.
+func registryCall(info *types.Info, call *ast.CallExpr) (kind string, ok bool) {
+	sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !isSel {
+		return "", false
+	}
+	kind, isReg := registerMethods[sel.Sel.Name]
+	if !isReg {
+		return "", false
+	}
+	s, hasSel := info.Selections[sel]
+	if !hasSel || s.Kind() != types.MethodVal {
+		return "", false
+	}
+	recv := s.Recv()
+	if p, isPtr := recv.(*types.Pointer); isPtr {
+		recv = p.Elem()
+	}
+	named, isNamed := recv.(*types.Named)
+	if !isNamed || named.Obj().Name() != "Registry" || named.Obj().Pkg() == nil || !isObsPackage(named.Obj().Pkg().Path()) {
+		return "", false
+	}
+	return kind, true
+}
+
+// checkRegistration validates one registration site.
+func checkRegistration(pass *framework.Pass, call *ast.CallExpr, kind string) {
+	nameArg := call.Args[0]
+	identity, base, ok := metricIdentity(pass, nameArg)
+	if !ok {
+		return // already reported inside metricIdentity
+	}
+
+	if !nameRe.MatchString(base) {
+		pass.Reportf(nameArg.Pos(), "metric name %q must match via(_[a-z0-9]+)+: one flat via_ namespace, lower-case words, underscores", base)
+	}
+	switch kind {
+	case "counter":
+		if !strings.HasSuffix(base, "_total") {
+			pass.Reportf(nameArg.Pos(), "counter %q must end in _total (unit-suffix convention: monotonic counts carry _total)", base)
+		}
+	case "histogram":
+		if !hasAnySuffix(base, histogramSuffixes) {
+			pass.Reportf(nameArg.Pos(), "histogram %q must end in a unit suffix (%s)", base, strings.Join(histogramSuffixes, ", "))
+		}
+	case "gauge":
+		if strings.HasSuffix(base, "_total") {
+			pass.Reportf(nameArg.Pos(), "gauge %q must not end in _total; _total marks monotonic counters", base)
+		}
+	}
+
+	pos := pass.Fset.Position(nameArg.Pos()).String()
+	var prev regFact
+	if pass.ImportFact(identity, &prev) {
+		if prev.Pos != pos {
+			pass.Reportf(nameArg.Pos(), "metric %s is already registered at %s as a %s; every metric identity must have exactly one registration site", identity, prev.Pos, prev.Kind)
+		}
+		return
+	}
+	pass.ExportFact(identity, regFact{Kind: kind, Pos: pos})
+}
+
+// metricIdentity renders the metric's static identity from its name
+// argument: "name" for plain constants, "name{k=v,k2=*}" for obs.L calls
+// (dynamic values wildcarded). Reports and returns ok=false for
+// non-constant shapes.
+func metricIdentity(pass *framework.Pass, arg ast.Expr) (identity, base string, ok bool) {
+	if v := constString(pass.TypesInfo, arg); v != "" {
+		base = v
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		return v, base, true
+	}
+
+	if call, isCall := ast.Unparen(arg).(*ast.CallExpr); isCall {
+		if sel, isSel := ast.Unparen(call.Fun).(*ast.SelectorExpr); isSel {
+			if pkgPath, name, isPkgFn := framework.PkgFunc(pass.TypesInfo, sel); isPkgFn && isObsPackage(pkgPath) && name == "L" {
+				return labeledIdentity(pass, call)
+			}
+		}
+	}
+
+	pass.Reportf(arg.Pos(), "metric name must be a compile-time constant (or obs.L with a constant base name); dynamic names fragment the namespace and defeat static registration checks")
+	return "", "", false
+}
+
+// labeledIdentity renders obs.L(base, k1, v1, ...) statically.
+func labeledIdentity(pass *framework.Pass, call *ast.CallExpr) (identity, base string, ok bool) {
+	if len(call.Args) == 0 {
+		return "", "", false
+	}
+	base = constString(pass.TypesInfo, call.Args[0])
+	if base == "" {
+		pass.Reportf(call.Args[0].Pos(), "obs.L base name must be a compile-time constant")
+		return "", "", false
+	}
+	var parts []string
+	kv := call.Args[1:]
+	for i := 0; i < len(kv); i += 2 {
+		key := constString(pass.TypesInfo, kv[i])
+		if key == "" {
+			pass.Reportf(kv[i].Pos(), "label key must be a compile-time constant; a dynamic key is an unbounded label schema")
+			return "", "", false
+		}
+		val := "*"
+		if i+1 < len(kv) {
+			if fn := sprintCall(pass.TypesInfo, kv[i+1]); fn != "" {
+				pass.Reportf(kv[i+1].Pos(), "label value built with fmt.%s is an unbounded label set; label values must come from a closed vocabulary (enum String methods, bounded ids, literals)", fn)
+			}
+			if v := constString(pass.TypesInfo, kv[i+1]); v != "" {
+				val = v
+			}
+		}
+		parts = append(parts, key+"="+val)
+	}
+	identity = base
+	if len(parts) > 0 {
+		identity += "{" + strings.Join(parts, ",") + "}"
+	}
+	return identity, base, true
+}
+
+// constString evaluates an expression to a compile-time string constant,
+// or "".
+func constString(info *types.Info, e ast.Expr) string {
+	tv, ok := info.Types[e]
+	if !ok || tv.Value == nil || tv.Value.Kind() != constant.String {
+		return ""
+	}
+	return constant.StringVal(tv.Value)
+}
+
+// sprintCall reports whether e is a call to fmt.Sprint/Sprintf/Sprintln,
+// returning the function name.
+func sprintCall(info *types.Info, e ast.Expr) string {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	pkgPath, name, ok := framework.PkgFunc(info, sel)
+	if !ok || pkgPath != "fmt" {
+		return ""
+	}
+	switch name {
+	case "Sprint", "Sprintf", "Sprintln":
+		return name
+	}
+	return ""
+}
+
+func hasAnySuffix(s string, suffixes []string) bool {
+	for _, suf := range suffixes {
+		if strings.HasSuffix(s, suf) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package metricshygiene_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/metricshygiene"
+)
+
+func TestHygiene(t *testing.T) {
+	// One session: the obs stub first, then m, then m2 — so m2 sees m's
+	// registration facts across the package boundary.
+	analysistest.Run(t, "testdata", metricshygiene.New(), "obs", "m", "m2")
+}

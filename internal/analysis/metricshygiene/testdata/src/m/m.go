@@ -1,0 +1,34 @@
+// Package m exercises every hygiene rule at registration sites.
+package m
+
+import (
+	"fmt"
+
+	"obs"
+)
+
+var reg *obs.Registry
+
+func Register(id string, keyVar string) {
+	reg.Counter("via_good_total").Inc()
+	reg.Counter("bad_name_total").Inc()  // want `metric name "bad_name_total" must match via\(_\[a-z0-9\]\+\)\+`
+	reg.Counter("via_bad_count").Inc()   // want `counter "via_bad_count" must end in _total`
+	reg.Gauge("via_things_total")        // want `gauge "via_things_total" must not end in _total`
+	reg.Histogram("via_latency", nil)    // want `histogram "via_latency" must end in a unit suffix`
+	reg.Histogram("via_latency_seconds", nil)
+
+	// Dynamic label value wildcards: one site may serve many instances.
+	reg.GaugeFunc(obs.L("via_sessions", "node", id), nil)
+
+	// Distinct literal label values are distinct identities...
+	reg.Counter(obs.L("via_shed_total", "endpoint", "choose")).Inc()
+	reg.Counter(obs.L("via_shed_total", "endpoint", "report")).Inc()
+	// ...but the same identity from a second site is a duplicate.
+	reg.Counter(obs.L("via_shed_total", "endpoint", "choose")).Inc() // want `metric via_shed_total\{endpoint=choose\} is already registered`
+
+	reg.Counter(obs.L("via_kinds_total", "kind", fmt.Sprintf("k%d", 1))).Inc() // want `label value built with fmt.Sprintf is an unbounded label set`
+	reg.Counter(obs.L("via_keys_total", keyVar, "v")).Inc()                    // want `label key must be a compile-time constant`
+
+	name := "via_dynamic_total"
+	reg.Counter(name).Inc() // want `metric name must be a compile-time constant`
+}

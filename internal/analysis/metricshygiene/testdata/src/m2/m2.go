@@ -1,0 +1,12 @@
+// Package m2 re-registers a metric that package m owns: the
+// exactly-once rule must hold across package boundaries via facts.
+package m2
+
+import "obs"
+
+var reg *obs.Registry
+
+func Register() {
+	reg.Counter("via_good_total").Inc() // want `metric via_good_total is already registered at .*m\.go.* as a counter`
+	reg.Gauge("via_m2_depth")
+}

@@ -1,0 +1,28 @@
+// Package obs is a miniature of the production registry API: just enough
+// surface for the hygiene rules to bind to. The analyzer matches the
+// Registry type and L function by name and package base, so this fixture
+// stands in for repro/internal/obs. The package itself is exempt from the
+// rules, exactly like production obs.
+package obs
+
+type Counter struct{}
+
+func (c *Counter) Inc()          {}
+func (c *Counter) Add(n int64)   {}
+
+type Gauge struct{}
+
+func (g *Gauge) Set(v float64) {}
+
+type Histogram struct{}
+
+func (h *Histogram) Observe(v float64) {}
+
+type Registry struct{}
+
+func (r *Registry) Counter(name string) *Counter                 { return &Counter{} }
+func (r *Registry) Gauge(name string) *Gauge                     { return &Gauge{} }
+func (r *Registry) GaugeFunc(name string, f func() float64)      {}
+func (r *Registry) Histogram(name string, b []float64) *Histogram { return &Histogram{} }
+
+func L(name string, kv ...string) string { return name }

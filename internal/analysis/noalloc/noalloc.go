@@ -1,0 +1,270 @@
+// Package noalloc enforces zero-allocation hot paths, compiler-verified.
+//
+// A function annotated
+//
+//	//via:noalloc
+//
+// in its doc comment promises that its steady-state body performs no heap
+// allocation. The promise matters on the per-packet paths — the relay
+// forward loop, the rtp repair encoder/decoder, FlowStats accounting, obs
+// instrument updates — where an allocation per packet turns into GC
+// pressure at exactly the queue-buildup moments the paper's tail-latency
+// story cares about.
+//
+// Rather than pattern-matching "allocating constructs" in the AST (which
+// both over-approximates — a &T{} that stays on the stack is free — and
+// under-approximates — an innocent-looking closure capture allocates),
+// the analyzer asks the compiler: it re-runs `go tool compile -m=2` over
+// the package with an importcfg assembled from the build unit's export
+// data, parses the escape-analysis diagnostics, and reports every
+// `escapes to heap` / `moved to heap` whose position falls inside an
+// annotated function. The finding lands on the escaping expression, so
+// the fix (hoist the buffer, preallocate, restructure) is pointed at
+// directly.
+//
+// Packages with no annotated function skip the compile entirely, so the
+// analyzer's cost is proportional to use.
+package noalloc
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Directive is the annotation recognized in function doc comments.
+const Directive = "//via:noalloc"
+
+// Analyzer is the production instance.
+var Analyzer = New()
+
+// New builds the analyzer.
+func New() *framework.Analyzer {
+	return &framework.Analyzer{
+		Name:       "noalloc",
+		Doc:        "verify //via:noalloc functions stay allocation-free using the compiler's escape analysis",
+		NeedsBuild: true,
+		Run:        run,
+	}
+}
+
+// span is one annotated function's source extent.
+type span struct {
+	name       string
+	file       string
+	start, end int // line range, inclusive
+}
+
+// escapeRe matches one escape-analysis diagnostic. -m=2 prints each
+// finding twice (once bare, once with a trailing colon introducing the
+// flow explanation); the trailing colon is stripped before deduping.
+var escapeRe = regexp.MustCompile(`^(.+?):(\d+):(\d+): (.*(?:escapes to heap|moved to heap:.*?)):?$`)
+
+func run(pass *framework.Pass) error {
+	var spans []span
+	for _, f := range pass.Files {
+		name := absPath(pass.Fset.File(f.Pos()).Name())
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if !framework.HasDirective(fd.Doc, Directive) {
+				continue
+			}
+			if fd.Body == nil {
+				pass.Reportf(fd.Name.Pos(), "%s on a bodyless declaration has nothing to verify", Directive)
+				continue
+			}
+			spans = append(spans, span{
+				name:  fd.Name.Name,
+				file:  name,
+				start: pass.Fset.Position(fd.Pos()).Line,
+				end:   pass.Fset.Position(fd.End()).Line,
+			})
+		}
+	}
+	if len(spans) == 0 {
+		return nil
+	}
+	if pass.Unit == nil {
+		return fmt.Errorf("noalloc: %s requires build-unit info the embedding did not supply", Directive)
+	}
+
+	out, err := compileEscapes(pass.Unit)
+	if err != nil {
+		return err
+	}
+
+	lineFor := fileIndex(pass)
+	for _, e := range out {
+		sp, ok := containing(spans, e.file, e.line)
+		if !ok {
+			continue
+		}
+		pos := posAt(pass.Fset, lineFor[e.file], e.line, e.col)
+		pass.Reportf(pos, "%s function %s allocates: %s", Directive, sp.name, e.msg)
+	}
+	return nil
+}
+
+// escape is one parsed compiler diagnostic.
+type escape struct {
+	file string
+	line int
+	col  int
+	msg  string
+}
+
+// compileEscapes runs the compiler's escape analysis over the unit and
+// returns the deduplicated heap-allocation diagnostics.
+func compileEscapes(u *framework.BuildUnit) ([]escape, error) {
+	cfg, err := writeImportcfg(u)
+	if err != nil {
+		return nil, err
+	}
+	defer os.Remove(cfg)
+
+	args := []string{"tool", "compile", "-p", u.ImportPath, "-importcfg", cfg, "-m=2", "-o", os.DevNull}
+	args = append(args, u.GoFiles...)
+	cmd := exec.Command("go", args...)
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	runErr := cmd.Run()
+	// The compiler exits 0 even with -m diagnostics; a non-zero exit means
+	// the package itself failed to compile, which the driver's type check
+	// should have caught first — surface it loudly.
+	if runErr != nil && !onlyDiagnostics(buf.String()) {
+		return nil, fmt.Errorf("noalloc: compiling %s: %v\n%s", u.ImportPath, runErr, buf.String())
+	}
+
+	// -m=2 narrates each allocation more than once at the same position
+	// ("y escapes to heap:" introducing the flow, then "moved to heap: y"):
+	// one position is one finding, first message wins.
+	type posKey struct {
+		file      string
+		line, col int
+	}
+	seen := make(map[posKey]bool)
+	var out []escape
+	for _, line := range strings.Split(buf.String(), "\n") {
+		m := escapeRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		k := posKey{file: absPath(m[1]), line: ln, col: col}
+		if !seen[k] {
+			seen[k] = true
+			out = append(out, escape{file: k.file, line: ln, col: col, msg: strings.TrimSuffix(m[4], ":")})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].file != out[j].file {
+			return out[i].file < out[j].file
+		}
+		if out[i].line != out[j].line {
+			return out[i].line < out[j].line
+		}
+		return out[i].col < out[j].col
+	})
+	return out, nil
+}
+
+// onlyDiagnostics reports whether compiler output consists solely of -m
+// diagnostic lines (position-prefixed), i.e. no hard errors. Used to
+// tolerate exotic exit codes without masking real compile failures.
+func onlyDiagnostics(out string) bool {
+	for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+		if line == "" {
+			continue
+		}
+		if !escapeRe.MatchString(line) && !strings.Contains(line, ": can inline ") &&
+			!strings.Contains(line, ": cannot inline ") && !strings.Contains(line, ": inlining call ") {
+			return false
+		}
+	}
+	return true
+}
+
+// writeImportcfg materializes the unit's export map as a compiler
+// importcfg file.
+func writeImportcfg(u *framework.BuildUnit) (string, error) {
+	var b strings.Builder
+	paths := make([]string, 0, len(u.Exports))
+	for p := range u.Exports {
+		if p == u.ImportPath {
+			continue
+		}
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	for _, p := range paths {
+		fmt.Fprintf(&b, "packagefile %s=%s\n", p, u.Exports[p])
+	}
+	f, err := os.CreateTemp("", "vialint-importcfg-*")
+	if err != nil {
+		return "", fmt.Errorf("noalloc: importcfg: %w", err)
+	}
+	if _, err := f.WriteString(b.String()); err != nil {
+		f.Close()
+		os.Remove(f.Name())
+		return "", fmt.Errorf("noalloc: importcfg: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return "", fmt.Errorf("noalloc: importcfg: %w", err)
+	}
+	return f.Name(), nil
+}
+
+// containing finds the annotated span covering a diagnostic position.
+func containing(spans []span, file string, line int) (span, bool) {
+	for _, sp := range spans {
+		if sp.file == file && line >= sp.start && line <= sp.end {
+			return sp, true
+		}
+	}
+	return span{}, false
+}
+
+// fileIndex maps absolute source file names to their token.File. The
+// compiler prints absolute positions regardless of how the file was
+// spelled on its command line, so the fset's (possibly relative) names
+// are absolutized to match.
+func fileIndex(pass *framework.Pass) map[string]*token.File {
+	m := make(map[string]*token.File, len(pass.Files))
+	for _, f := range pass.Files {
+		tf := pass.Fset.File(f.Pos())
+		m[absPath(tf.Name())] = tf
+	}
+	return m
+}
+
+// absPath canonicalizes a path, falling back to the input on error.
+func absPath(p string) string {
+	if a, err := filepath.Abs(p); err == nil {
+		return a
+	}
+	return p
+}
+
+// posAt converts a (file, line, col) triple back into a token.Pos.
+func posAt(fset *token.FileSet, tf *token.File, line, col int) token.Pos {
+	if tf == nil || line < 1 || line > tf.LineCount() {
+		return token.NoPos
+	}
+	return tf.LineStart(line) + token.Pos(col-1)
+}

@@ -1,0 +1,15 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/noalloc"
+)
+
+func TestNoAlloc(t *testing.T) {
+	if testing.Short() {
+		t.Skip("drives go tool compile")
+	}
+	analysistest.Run(t, "testdata", noalloc.New(), "na")
+}

@@ -1,0 +1,46 @@
+// Package na exercises compiler-verified zero-allocation enforcement.
+package na
+
+import "fmt"
+
+// Sum stays entirely on the stack: annotated and clean.
+//
+//via:noalloc
+func Sum(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// Box leaks a local through its return value.
+//
+//via:noalloc
+func Box(x int) *int {
+	y := x // want `//via:noalloc function Box allocates: y escapes to heap`
+	return &y
+}
+
+// Sprint boxes its argument into the interface slot of Sprintf.
+//
+//via:noalloc
+func Sprint(x int) string {
+	return fmt.Sprintf("%d", x) // want `//via:noalloc function Sprint allocates: x escapes to heap`
+}
+
+// FreeBox allocates identically to Box but carries no annotation, so the
+// compiler's verdict is not a finding.
+func FreeBox(x int) *int {
+	y := x
+	return &y
+}
+
+// Scale writes in place through a caller-owned buffer: clean.
+//
+//via:noalloc
+func Scale(dst []float64, k float64) {
+	for i := range dst {
+		dst[i] *= k
+	}
+}

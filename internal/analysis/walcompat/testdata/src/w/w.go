@@ -1,0 +1,62 @@
+// Package w exercises the append-only WAL schema contract.
+package w // want `golden schema for w.Vanished exists but the struct is gone`
+
+// Good matches its golden exactly plus one legally-appended optional
+// field.
+//
+//via:walrecord
+type Good struct {
+	Term uint64 `json:"term"`
+	Src  int32  `json:"src"`
+	Note string `json:"note,omitempty"`
+}
+
+// Shrunk's golden has a trailing field (Dst int32) that the struct no
+// longer declares: deleting a committed field breaks replay of old
+// frames.
+//
+//via:walrecord
+type Shrunk struct { // want `committed field Dst \(int32\) was removed`
+	Term uint64 `json:"term"`
+}
+
+// Renamed swaps a committed field's name.
+//
+//via:walrecord
+type Renamed struct { // want `field 0 is Epoch but the committed schema has Term`
+	Epoch uint64 `json:"term"`
+}
+
+// Retyped widens a committed field.
+//
+//via:walrecord
+type Retyped struct { // want `field Src changed type from int32 to int64`
+	Src int64 `json:"src"`
+}
+
+// Retagged changes a committed field's wire name.
+//
+//via:walrecord
+type Retagged struct { // want `field Term changed tag from .*term.* to .*epoch`
+	Term uint64 `json:"epoch"`
+}
+
+// BadAppend appends a required field: old frames have no value for it.
+//
+//via:walrecord
+type BadAppend struct { // want `appended field Count must be optional`
+	Term  uint64 `json:"term"`
+	Count int64  `json:"count"`
+}
+
+// Fresh has no golden yet.
+//
+//via:walrecord
+type Fresh struct { // want `WAL record Fresh has no committed schema`
+	Term uint64 `json:"term"`
+}
+
+// Plain is unannotated: free to change shape.
+type Plain struct {
+	Whatever string
+}

@@ -1,0 +1,9 @@
+// Package wupd is the -update-wal-schema fixture: its golden is generated
+// into a temp dir by the test, then verified clean.
+package wupd
+
+//via:walrecord
+type Rec struct {
+	Term uint64 `json:"term"`
+	Data []byte `json:"data"`
+}

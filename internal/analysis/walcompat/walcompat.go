@@ -1,0 +1,296 @@
+// Package walcompat enforces WAL schema evolution rules against committed
+// golden schemas.
+//
+// The controller's write-ahead log outlives any single binary: a WAL
+// written by version N is replayed by version N+1 after an upgrade, and by
+// a warm standby that may briefly run a different build. Record payloads
+// are therefore append-only: a struct annotated
+//
+//	//via:walrecord
+//
+// may evolve ONLY by appending new optional fields — never by deleting,
+// renaming, retyping, or reordering existing ones. "Optional" means a
+// decoder reading old frames yields a well-defined zero for the new field:
+// a `json:",omitempty"` (or excluded `json:"-"`) tag, or an inherently
+// nullable pointer/slice/map type.
+//
+// The committed source of truth is a directory of golden JSON schemas
+// (one file per record struct, internal/analysis/walcompat/schema in
+// production). The analyzer compares every annotated struct against its
+// golden: the golden's field list must be a prefix of the current one,
+// and appended fields must be optional. A struct with no golden, and a
+// golden whose struct vanished, are both findings — the schema directory
+// and the source must stay in lockstep, through `vialint
+// -update-wal-schema`, which rewrites the goldens for intentional,
+// reviewed evolution (the diff shows up in code review next to the code
+// change that motivated it).
+package walcompat
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/types"
+	"os"
+	"path/filepath"
+	"reflect"
+	"sort"
+	"strconv"
+	"strings"
+
+	"repro/internal/analysis/framework"
+)
+
+// Directive is the annotation recognized on record struct declarations.
+const Directive = "//via:walrecord"
+
+// Schema is one golden file's content.
+type Schema struct {
+	// Struct is the fully-qualified struct name, "pkg/path.Name".
+	Struct string  `json:"struct"`
+	Fields []Field `json:"fields"`
+}
+
+// Field is one struct field's identity: all three components are frozen.
+type Field struct {
+	Name string `json:"name"`
+	Type string `json:"type"`
+	Tag  string `json:"tag,omitempty"`
+}
+
+// Config points the analyzer at a golden schema directory.
+type Config struct {
+	// SchemaDir holds the golden files, one "<pkgbase>.<Type>.json" each.
+	SchemaDir string
+	// Update rewrites goldens from current source instead of verifying
+	// (the -update-wal-schema flow); nothing is reported.
+	Update bool
+}
+
+// New builds the analyzer.
+func New(cfg Config) *framework.Analyzer {
+	return &framework.Analyzer{
+		Name: "walcompat",
+		Doc:  "enforce append-only, optional-field evolution of //via:walrecord structs against committed golden schemas",
+		Run:  func(pass *framework.Pass) error { return run(pass, cfg) },
+	}
+}
+
+// record is one annotated struct found in source.
+type record struct {
+	name   string // bare type name
+	pos    ast.Node
+	fields []Field
+}
+
+func run(pass *framework.Pass, cfg Config) error {
+	var recs []record
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				doc := ts.Doc
+				if doc == nil && len(gd.Specs) == 1 {
+					doc = gd.Doc
+				}
+				if !framework.HasDirective(doc, Directive) {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					pass.Reportf(ts.Pos(), "%s applies to struct types only", Directive)
+					continue
+				}
+				recs = append(recs, record{name: ts.Name.Name, pos: ts.Name, fields: structFields(pass, st)})
+			}
+		}
+	}
+	if len(recs) == 0 && cfg.SchemaDir == "" {
+		return nil
+	}
+
+	if cfg.Update {
+		return update(pass, cfg.SchemaDir, recs)
+	}
+	verify(pass, cfg.SchemaDir, recs)
+	return nil
+}
+
+// structFields flattens a struct's fields in declaration order.
+func structFields(pass *framework.Pass, st *ast.StructType) []Field {
+	var out []Field
+	for _, f := range st.Fields.List {
+		typ := "?"
+		if tv, ok := pass.TypesInfo.Types[f.Type]; ok {
+			typ = types.TypeString(tv.Type, nil)
+		}
+		tag := ""
+		if f.Tag != nil {
+			tag, _ = strconv.Unquote(f.Tag.Value)
+		}
+		if len(f.Names) == 0 {
+			// Embedded field: named after its type's last element.
+			name := typ
+			if i := strings.LastIndexAny(name, "./"); i >= 0 {
+				name = name[i+1:]
+			}
+			out = append(out, Field{Name: strings.TrimPrefix(name, "*"), Type: typ, Tag: tag})
+			continue
+		}
+		for _, n := range f.Names {
+			out = append(out, Field{Name: n.Name, Type: typ, Tag: tag})
+		}
+	}
+	return out
+}
+
+// goldenPath names the golden file for a struct in this package.
+func goldenPath(schemaDir, pkgPath, name string) string {
+	base := pkgPath
+	if i := strings.LastIndex(base, "/"); i >= 0 {
+		base = base[i+1:]
+	}
+	return filepath.Join(schemaDir, base+"."+name+".json")
+}
+
+func verify(pass *framework.Pass, schemaDir string, recs []record) {
+	pkgPath := pass.Pkg.Path()
+	for _, r := range recs {
+		path := goldenPath(schemaDir, pkgPath, r.name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			pass.Reportf(r.pos.Pos(), "WAL record %s has no committed schema (%s); run vialint -update-wal-schema and review the diff", r.name, filepath.Base(path))
+			continue
+		}
+		var golden Schema
+		if err := json.Unmarshal(data, &golden); err != nil {
+			pass.Reportf(r.pos.Pos(), "golden schema %s is unreadable: %v", filepath.Base(path), err)
+			continue
+		}
+		compare(pass, r, golden)
+	}
+	reportOrphans(pass, schemaDir, pkgPath, recs)
+}
+
+// compare checks the append-only contract for one struct.
+func compare(pass *framework.Pass, r record, golden Schema) {
+	cur := r.fields
+	for i, gf := range golden.Fields {
+		if i >= len(cur) {
+			pass.Reportf(r.pos.Pos(), "WAL record %s: committed field %s (%s) was removed; WAL records are append-only — deprecate in place instead", r.name, gf.Name, gf.Type)
+			continue
+		}
+		cf := cur[i]
+		switch {
+		case cf == gf:
+			// unchanged
+		case cf.Name != gf.Name:
+			pass.Reportf(r.pos.Pos(), "WAL record %s: field %d is %s but the committed schema has %s; WAL records are append-only — existing fields cannot be renamed, removed, or reordered", r.name, i, cf.Name, gf.Name)
+		case cf.Type != gf.Type:
+			pass.Reportf(r.pos.Pos(), "WAL record %s: field %s changed type from %s to %s; old frames would decode differently — add a new optional field instead", r.name, cf.Name, gf.Type, cf.Type)
+		default:
+			pass.Reportf(r.pos.Pos(), "WAL record %s: field %s changed tag from %q to %q; the wire name of a committed field is frozen", r.name, cf.Name, gf.Tag, cf.Tag)
+		}
+	}
+	for _, cf := range cur[min(len(golden.Fields), len(cur)):] {
+		if !optional(cf) {
+			pass.Reportf(r.pos.Pos(), "WAL record %s: appended field %s must be optional (json \",omitempty\"/\"-\" tag, or a pointer/slice/map type) so frames written before it still decode", r.name, cf.Name)
+		}
+	}
+}
+
+// optional reports whether a field tolerates absence in old frames.
+func optional(f Field) bool {
+	jt := reflect.StructTag(f.Tag).Get("json")
+	if jt == "-" || strings.Contains(jt, ",omitempty") {
+		return true
+	}
+	return strings.HasPrefix(f.Type, "*") || strings.HasPrefix(f.Type, "[]") || strings.HasPrefix(f.Type, "map[")
+}
+
+// reportOrphans flags goldens claiming this package whose struct is no
+// longer annotated in source.
+func reportOrphans(pass *framework.Pass, schemaDir, pkgPath string, recs []record) {
+	have := make(map[string]bool, len(recs))
+	for _, r := range recs {
+		have[r.name] = true
+	}
+	for _, g := range packageGoldens(schemaDir, pkgPath) {
+		name := strings.TrimPrefix(g.Struct, pkgPath+".")
+		if !have[name] {
+			pass.Reportf(pass.Files[0].Package, "golden schema for %s exists but the struct is gone or lost its %s annotation; a decoder for committed WAL frames must stay", g.Struct, Directive)
+		}
+	}
+}
+
+// packageGoldens loads every golden whose struct lives in pkgPath.
+func packageGoldens(schemaDir, pkgPath string) []Schema {
+	entries, err := os.ReadDir(schemaDir)
+	if err != nil {
+		return nil
+	}
+	var out []Schema
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".json") {
+			continue
+		}
+		data, err := os.ReadFile(filepath.Join(schemaDir, e.Name()))
+		if err != nil {
+			continue
+		}
+		var s Schema
+		if err := json.Unmarshal(data, &s); err != nil {
+			continue
+		}
+		if strings.TrimSuffix(s.Struct, "."+structName(s.Struct)) == pkgPath {
+			out = append(out, s)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Struct < out[j].Struct })
+	return out
+}
+
+func structName(qualified string) string {
+	if i := strings.LastIndex(qualified, "."); i >= 0 {
+		return qualified[i+1:]
+	}
+	return qualified
+}
+
+// update rewrites this package's goldens from source: one file per
+// annotated struct, orphaned files removed.
+func update(pass *framework.Pass, schemaDir string, recs []record) error {
+	pkgPath := pass.Pkg.Path()
+	if len(recs) > 0 {
+		if err := os.MkdirAll(schemaDir, 0o755); err != nil {
+			return fmt.Errorf("walcompat: %w", err)
+		}
+	}
+	have := make(map[string]bool, len(recs))
+	for _, r := range recs {
+		have[r.name] = true
+		s := Schema{Struct: pkgPath + "." + r.name, Fields: r.fields}
+		data, err := json.MarshalIndent(s, "", "  ")
+		if err != nil {
+			return fmt.Errorf("walcompat: marshaling schema for %s: %w", r.name, err)
+		}
+		path := goldenPath(schemaDir, pkgPath, r.name)
+		if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+			return fmt.Errorf("walcompat: writing %s: %w", path, err)
+		}
+	}
+	for _, g := range packageGoldens(schemaDir, pkgPath) {
+		if name := structName(g.Struct); !have[name] {
+			//vialint:ignore errwrap best-effort cleanup of an orphaned golden during -update-wal-schema
+			_ = os.Remove(goldenPath(schemaDir, pkgPath, name))
+		}
+	}
+	return nil
+}

@@ -1,0 +1,40 @@
+package walcompat_test
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/analysis/analysistest"
+	"repro/internal/analysis/walcompat"
+)
+
+func TestEvolutionRules(t *testing.T) {
+	a := walcompat.New(walcompat.Config{SchemaDir: filepath.Join("testdata", "schema")})
+	analysistest.Run(t, "testdata", a, "w")
+}
+
+// TestUpdateThenVerify drives the -update-wal-schema flow: generate the
+// golden into a fresh dir, check its content, then verify the same source
+// against it cleanly.
+func TestUpdateThenVerify(t *testing.T) {
+	dir := t.TempDir()
+	upd := walcompat.New(walcompat.Config{SchemaDir: dir, Update: true})
+	analysistest.Run(t, "testdata", upd, "wupd")
+
+	data, err := os.ReadFile(filepath.Join(dir, "wupd.Rec.json"))
+	if err != nil {
+		t.Fatalf("golden not generated: %v", err)
+	}
+	var s walcompat.Schema
+	if err := json.Unmarshal(data, &s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Struct != "wupd.Rec" || len(s.Fields) != 2 || s.Fields[0].Name != "Term" || s.Fields[1].Type != "[]byte" {
+		t.Fatalf("unexpected golden: %+v", s)
+	}
+
+	ver := walcompat.New(walcompat.Config{SchemaDir: dir})
+	analysistest.Run(t, "testdata", ver, "wupd")
+}

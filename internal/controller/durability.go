@@ -50,6 +50,8 @@ const (
 // slice, and replay exactly as before — the repair bandit is never
 // consulted, so its RNG stays untouched and legacy logs replay
 // bit-identically.
+//
+//via:walrecord
 type walChoose struct {
 	THours float64                `json:"t_hours"`
 	Src    int32                  `json:"src"`
@@ -60,6 +62,8 @@ type walChoose struct {
 
 // walReport is the durable form of one /v1/report observation. Repair and
 // DurationSec follow the same versioning-by-omission rule as walChoose.
+//
+//via:walrecord
 type walReport struct {
 	THours      float64               `json:"t_hours"`
 	Src         int32                 `json:"src"`
@@ -73,6 +77,8 @@ type walReport struct {
 // walTerm marks a leadership acquisition: every boot-as-primary and every
 // promotion appends one, so replicas replaying the log always agree on the
 // current term.
+//
+//via:walrecord
 type walTerm struct {
 	Term uint64 `json:"term"`
 }
@@ -82,6 +88,8 @@ const ctrlSnapshotVersion = 1
 // ctrlSnapshot is the controller-level snapshot payload: the strategy's
 // full state plus the controller state replay cannot rebuild once the
 // covered WAL prefix is truncated.
+//
+//via:walrecord
 type ctrlSnapshot struct {
 	Version   int
 	Term      uint64

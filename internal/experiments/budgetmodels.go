@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/core"
 	"repro/internal/netsim"
@@ -65,14 +66,7 @@ func topRelayShare(usage map[netsim.RelayID]int64, k int) float64 {
 	if total == 0 {
 		return 0
 	}
-	// Selection of top-k (tiny n; simple sort).
-	for i := 0; i < len(tops); i++ {
-		for j := i + 1; j < len(tops); j++ {
-			if tops[j] > tops[i] {
-				tops[i], tops[j] = tops[j], tops[i]
-			}
-		}
-	}
+	sort.Slice(tops, func(i, j int) bool { return tops[i] > tops[j] })
 	if k > len(tops) {
 		k = len(tops)
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"sort"
 	"strings"
 	"time"
 
@@ -77,6 +78,8 @@ func QuickChaosConfig() ChaosConfig {
 // shows how often the system leaned on each resilience mechanism —
 // mid-call failover, cached decisions, retries, heartbeat-driven
 // directory expiry.
+//
+//vialint:ignore dettaint live-by-design: Chaos drives a real loopback deployment (testbed.Start) whose controller legitimately runs on the wall clock
 func Chaos(cfg ChaosConfig) ([]*stats.Table, error) {
 	scheme, err := rtp.ParseScheme(cfg.Repair)
 	if err != nil {
@@ -166,8 +169,15 @@ func Chaos(cfg ChaosConfig) ([]*stats.Table, error) {
 		if derr != nil {
 			return
 		}
-		next := []netsim.Option{netsim.DirectOption()}
+		// Stable candidate order: the selector's tie-breaks must not
+		// depend on directory-map iteration order.
+		ids := make([]netsim.RelayID, 0, len(dir))
 		for id := range dir {
+			ids = append(ids, id)
+		}
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		next := []netsim.Option{netsim.DirectOption()}
+		for _, id := range ids {
 			next = append(next, netsim.BounceOption(id))
 		}
 		cands = next

@@ -63,6 +63,8 @@ func QuickFig18Config() Fig18Config {
 // the CDF of Via's per-call suboptimality vs the measured-best option
 // (paper: within 20% of the oracle for ~70% of calls, exact best picked for
 // no more than ~30%).
+//
+//vialint:ignore dettaint live-by-design: Fig18 drives a real loopback deployment (testbed.Start) whose controller legitimately runs on the wall clock
 func Fig18(cfg Fig18Config) ([]*stats.Table, error) {
 	wcfg := netsim.DefaultConfig(cfg.Seed)
 	wcfg.NumASes = 60

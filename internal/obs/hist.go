@@ -52,6 +52,8 @@ func NewHistogram(bounds []float64) *Histogram {
 }
 
 // Observe folds one sample in.
+//
+//via:noalloc
 func (h *Histogram) Observe(v float64) {
 	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
 	h.counts[i].Add(1)

@@ -264,10 +264,14 @@ type Counter struct {
 }
 
 // Inc adds one.
+//
+//via:noalloc
 func (c *Counter) Inc() { c.v.Add(1) }
 
 // Add adds n (negative deltas are a programming error but not checked on
 // the hot path).
+//
+//via:noalloc
 func (c *Counter) Add(n int64) { c.v.Add(n) }
 
 // Value returns the current count.
@@ -279,6 +283,8 @@ type Gauge struct {
 }
 
 // Set stores v.
+//
+//via:noalloc
 func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
 
 // Add adds delta with a CAS loop (gauges are low-rate; contention is not

@@ -121,6 +121,7 @@ func (n *Node) Serve() error {
 	}
 }
 
+//via:noalloc
 func (n *Node) handle(pkt []byte, out *[]byte, f *transport.Frame, next *net.UDPAddr) {
 	if err := f.Unmarshal(pkt); err != nil {
 		n.dropped.Add(1)
@@ -139,11 +140,7 @@ func (n *Node) handle(pkt []byte, out *[]byte, f *transport.Frame, next *net.UDP
 	n.mu.Lock()
 	ss := n.sessions[f.Session]
 	if ss == nil {
-		if len(n.sessions) >= n.maxSess {
-			n.evictOldestLocked(now)
-		}
-		ss = &sessionEntry{}
-		n.sessions[f.Session] = ss
+		ss = n.newSessionLocked(f.Session, now)
 	}
 	ss.Packets++
 	ss.Bytes += int64(len(pkt))
@@ -158,6 +155,18 @@ func (n *Node) handle(pkt []byte, out *[]byte, f *transport.Frame, next *net.UDP
 	*out = f.Marshal((*out)[:0])
 	//vialint:ignore errwrap best-effort UDP forwarding: a failed send is equivalent to loss, which the media layer absorbs
 	_, _ = n.conn.WriteTo(*out, next)
+}
+
+// newSessionLocked inserts a fresh session entry, evicting first at the
+// hard cap. Kept out of handle so the once-per-session allocation does not
+// sit on the per-packet path. Caller holds n.mu.
+func (n *Node) newSessionLocked(id uint64, now time.Time) *sessionEntry {
+	if len(n.sessions) >= n.maxSess {
+		n.evictOldestLocked(now)
+	}
+	ss := &sessionEntry{}
+	n.sessions[id] = ss
+	return ss
 }
 
 // sweepIdleLocked drops sessions idle past the TTL. Caller holds n.mu.

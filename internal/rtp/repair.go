@@ -264,6 +264,8 @@ func NewFECEncoder(k int) *FECEncoder {
 func (e *FECEncoder) K() int { return e.k }
 
 // Add folds one media packet into the current group.
+//
+//via:noalloc
 func (e *FECEncoder) Add(p *Packet) *FECPacket {
 	if e.n == 0 {
 		e.pkt.BaseSeq = p.Seq
@@ -617,6 +619,8 @@ const maxGapBurst = 256
 
 // Observe folds one arrival in, invoking miss for every newly-detected
 // missing sequence number.
+//
+//via:noalloc
 func (g *GapTracker) Observe(seq uint16, miss func(uint16)) {
 	if !g.init {
 		g.init = true
@@ -668,6 +672,8 @@ func (r *RtxRing) Put(seq uint16, wire []byte) {
 
 // Get returns the stored wire bytes for seq, if the ring still holds
 // them. The returned slice is owned by the ring — send it, don't keep it.
+//
+//via:noalloc
 func (r *RtxRing) Get(seq uint16) ([]byte, bool) {
 	i := int(seq) % len(r.slots)
 	if !r.used[i] || r.seqs[i] != seq {

@@ -21,6 +21,8 @@ type JitterEstimator struct {
 }
 
 // Observe folds one packet arrival into the estimate.
+//
+//via:noalloc
 func (j *JitterEstimator) Observe(rtpTS uint32, arrivalNanos int64) {
 	if !j.init {
 		j.init = true
@@ -96,6 +98,8 @@ func (l *LossTracker) Observe(seq uint16) {
 
 // ObserveArrival folds one received sequence number into the tracker and
 // classifies the arrival.
+//
+//via:noalloc
 func (l *LossTracker) ObserveArrival(seq uint16) Arrival {
 	ext := l.extend(seq)
 	if !l.init {
@@ -226,6 +230,8 @@ type FlowStats struct {
 // Duplicates are excluded from the jitter estimate — a RED copy or
 // redundant retransmit trails its original by an arbitrary gap that says
 // nothing about path delay variation.
+//
+//via:noalloc
 func (f *FlowStats) ObservePacket(p *Packet, arrivalNanos int64) Arrival {
 	a := f.Loss.ObserveArrival(p.Seq)
 	if a != ArrivalDuplicate {

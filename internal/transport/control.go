@@ -36,7 +36,11 @@ type RelayListResponse struct {
 	Relays []RelayInfo `json:"relays"`
 }
 
-// WireOption is netsim.Option in JSON-friendly form.
+// WireOption is netsim.Option in JSON-friendly form. It is embedded in
+// durable WAL records, so its schema may evolve only by appending
+// optional fields.
+//
+//via:walrecord
 type WireOption struct {
 	Kind string         `json:"kind"` // "direct" | "bounce" | "transit"
 	R1   netsim.RelayID `json:"r1,omitempty"`
@@ -87,7 +91,11 @@ type ChooseResponse struct {
 	Repair string `json:"repair,omitempty"`
 }
 
-// WireMetrics is quality.Metrics for the wire.
+// WireMetrics is quality.Metrics for the wire. It is embedded in durable
+// WAL records, so its schema may evolve only by appending optional
+// fields.
+//
+//via:walrecord
 type WireMetrics struct {
 	RTTMs    float64 `json:"rtt_ms"`
 	LossRate float64 `json:"loss_rate"`

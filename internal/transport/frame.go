@@ -144,11 +144,7 @@ func (f *Frame) NextHopInto(a *net.UDPAddr) bool {
 		return false
 	}
 	h := f.Route[0]
-	if cap(a.IP) < 4 {
-		a.IP = make(net.IP, 4)
-	}
-	a.IP = a.IP[:4]
-	copy(a.IP, h.IP[:])
+	a.IP = append(a.IP[:0], h.IP[:]...)
 	a.Port = int(h.Port)
 	a.Zone = ""
 	return true

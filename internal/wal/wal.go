@@ -54,6 +54,8 @@ import (
 type Type uint8
 
 // Record is one log entry.
+//
+//via:walrecord
 type Record struct {
 	Type Type
 	Data []byte
@@ -449,6 +451,8 @@ func (l *Log) DurableNotify() <-chan struct{} {
 // Replay invokes fn for every durable record with LSN in [from, durable],
 // in order. fn's record Data is only valid during the call. Stopping early:
 // return a non-nil error (it is passed through).
+//
+//vialint:ignore dettaint syncLocked samples the clock only to feed the fsync-latency histogram; the replayed record stream itself is a pure function of the log
 func (l *Log) Replay(from uint64, fn func(lsn uint64, rec Record) error) error {
 	l.mu.Lock()
 	if from < l.segs[0].first {

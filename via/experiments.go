@@ -53,6 +53,8 @@ const (
 
 // RunDeploymentExperiment runs the §5.5 controlled deployment (Fig. 18) on
 // loopback with real sockets and returns its result table.
+//
+//vialint:ignore dettaint live-by-design: wraps experiments.Fig18, a real loopback deployment on the wall clock
 func RunDeploymentExperiment(scale DeploymentScale) ([]*ResultTable, error) {
 	cfg := experiments.QuickFig18Config()
 	if scale == DeploymentFull {
