@@ -22,7 +22,7 @@ COVER_FLOOR ?= 75.0
 # -timings prints load + per-analyzer wall time to stderr).
 VIALINT_FLAGS ?=
 
-.PHONY: verify build vet lint lint-fast test race short fuzz chaos chaos-ha chaos-repair loss-sweep bench bench-json bench-smoke cover
+.PHONY: verify build vet lint lint-fast test race short fuzz chaos chaos-ha chaos-repair loss-sweep bench bench-json bench-choose bench-smoke choose-smoke cover
 
 verify: build vet lint test race
 
@@ -116,9 +116,22 @@ bench:
 bench-json:
 	$(GO) run ./cmd/viabench -seed $(BENCH_SEED) -calls $(BENCH_CALLS) bench
 
+# Choose-throughput harness: zipf-skewed pair population hammering
+# Choose at N goroutines, uncached and cache-wrapped, writing
+# BENCH_2.json. Commit the refreshed baseline when the hot path changes.
+bench-choose:
+	$(GO) run ./cmd/viabench choose
+
 # CI gate: small-scale sequential pass compared against the committed
 # BENCH_ci.json baseline; fails on >25% regression in allocs/op or in an
 # experiment's normalized share of suite wall time.
 bench-smoke:
 	$(GO) run ./cmd/viabench -seed 1 -calls $(VIABENCH_CALLS) -modes seq \
 		-benchout bench-ci-current.json -baseline BENCH_ci.json -tolerance 0.25 bench
+
+# CI gate for the decision hot path: a reduced choose run compared
+# against the committed BENCH_2.json on the machine-independent
+# invariants (cached allocs/op, hit rate, cached/uncached speedup).
+choose-smoke:
+	$(GO) run ./cmd/viabench -choose-ops 400000 \
+		-benchout choose-ci-current.json -baseline BENCH_2.json -tolerance 0.25 choose

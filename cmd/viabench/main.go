@@ -8,6 +8,7 @@
 //	viabench [flags] fig18          run the loopback deployment (§5.5)
 //	viabench [flags] chaos          run the fault-injection benchmark
 //	viabench [flags] bench          benchmark-regression harness (BENCH_<seed>.json)
+//	viabench [flags] choose         Choose-throughput harness (BENCH_2.json)
 //	viabench -list                  list experiment names
 //
 // Flags:
@@ -24,6 +25,13 @@
 //	-baseline F      bench: compare against a committed baseline, exit 1 on regression
 //	-tolerance T     bench: allowed fractional regression (default 0.25)
 //	-modes M         bench: comma-separated passes, seq and/or par (default "seq,par")
+//	-gomaxprocs N    bench/choose: override GOMAXPROCS for the measured run
+//	-benchnote S     bench/choose: host caveat recorded verbatim in the JSON
+//	-choose-ops N    choose: measured Choose calls (default 2000000)
+//	-choose-pairs N  choose: distinct AS pairs (default 4096)
+//	-choose-goroutines N  choose: concurrent callers (default 4)
+//	-choose-zipf S   choose: pair-popularity skew (default 1.1)
+//	-choose-observe-every N  choose: one Observe per N Chooses (default 200)
 //	-metricsout F    fig18/chaos: write the final metrics snapshot as JSON to F
 //	-waldir D        chaos: run the controller durably (WAL + snapshots in D;
 //	                 the fault plan gains an abrupt crash + WAL-recovery restart)
@@ -74,6 +82,13 @@ func run() int {
 	tolerance := flag.Float64("tolerance", 0.25, "bench: allowed fractional regression")
 	modes := flag.String("modes", "seq,par", "bench: comma-separated seq,par")
 	metricsOut := flag.String("metricsout", "", "fig18/chaos: write final metrics snapshot JSON to file")
+	gomaxprocs := flag.Int("gomaxprocs", 0, "bench/choose: override GOMAXPROCS for the measured run (0 = leave as-is)")
+	benchNote := flag.String("benchnote", "", "bench/choose: host caveat recorded verbatim in the report JSON")
+	chooseOps := flag.Int("choose-ops", 2_000_000, "choose: total measured Choose calls")
+	choosePairs := flag.Int("choose-pairs", 4096, "choose: distinct AS pairs in the workload")
+	chooseGoroutines := flag.Int("choose-goroutines", 4, "choose: concurrent callers")
+	chooseZipf := flag.Float64("choose-zipf", 1.1, "choose: zipf skew of pair popularity")
+	chooseObserve := flag.Int("choose-observe-every", 200, "choose: one Observe per N Chooses per caller (0 = none)")
 	walDir := flag.String("waldir", "", "chaos: run the controller durably (WAL+snapshots here; adds crash/WAL-restart faults)")
 	repair := flag.String("repair", "", "chaos: loss-repair scheme on every call (none|nack|red|fec-K; adds burst loss to the fault plan)")
 	flag.Parse()
@@ -85,11 +100,12 @@ func run() int {
 		fmt.Printf("%-8s %s\n", "fig18", "real-networking deployment (§5.5)")
 		fmt.Printf("%-8s %s\n", "chaos", "fault-injection benchmark (relay death + controller flap)")
 		fmt.Printf("%-8s %s\n", "bench", "benchmark-regression harness (writes BENCH_<seed>.json)")
+		fmt.Printf("%-8s %s\n", "choose", "Choose-throughput + tail-latency harness (writes BENCH_2.json)")
 		return 0
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: viabench [flags] all | bench | fig18 | <experiment>... (use -list)")
+		fmt.Fprintln(os.Stderr, "usage: viabench [flags] all | bench | choose | fig18 | <experiment>... (use -list)")
 		return 2
 	}
 
@@ -111,7 +127,23 @@ func run() int {
 	}
 
 	if len(args) == 1 && args[0] == "bench" {
-		return runBench(*seed, *calls, *modes, *benchOut, *baseline, *tolerance)
+		if *gomaxprocs > 0 {
+			prev := runtime.GOMAXPROCS(*gomaxprocs)
+			defer runtime.GOMAXPROCS(prev)
+		}
+		return runBench(*seed, *calls, *modes, *benchOut, *baseline, *tolerance, *benchNote)
+	}
+	if len(args) == 1 && args[0] == "choose" {
+		cfg := benchharness.DefaultChooseConfig()
+		cfg.Seed = *seed
+		cfg.Ops = *chooseOps
+		cfg.Pairs = *choosePairs
+		cfg.Goroutines = *chooseGoroutines
+		cfg.ZipfS = *chooseZipf
+		cfg.ObserveEvery = *chooseObserve
+		cfg.GOMAXPROCS = *gomaxprocs
+		cfg.Note = *benchNote
+		return runChoose(cfg, *benchOut, *baseline, *tolerance)
 	}
 
 	names := args
@@ -259,8 +291,65 @@ func runConcurrent(env *experiments.Env, names []string, jobs int, csv bool) err
 	return firstErr
 }
 
+// runChoose drives the Choose-throughput mode against an optional
+// committed baseline (BENCH_2.json).
+func runChoose(cfg benchharness.ChooseConfig, out, baseline string, tolerance float64) int {
+	cfg.Logf = func(format string, args ...any) {
+		fmt.Printf(format+"\n", args...)
+	}
+	rep, err := benchharness.RunChoose(cfg)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "choose: %v\n", err)
+		return 1
+	}
+	if out == "" {
+		out = "BENCH_2.json"
+	}
+	if err := benchharness.WriteChooseJSON(rep, out); err != nil {
+		fmt.Fprintf(os.Stderr, "choose: %v\n", err)
+		return 1
+	}
+	fmt.Printf("[choose report written to %s]\n", out)
+	appendStepSummary(chooseSummaryLine(rep))
+	if baseline == "" {
+		return 0
+	}
+	base, err := benchharness.ReadChooseJSON(baseline)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "choose: %v\n", err)
+		return 1
+	}
+	regressions, err := benchharness.ChooseCompare(rep, base, tolerance)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "choose: %v\n", err)
+		return 1
+	}
+	if len(regressions) > 0 {
+		fmt.Fprintf(os.Stderr, "choose: %d regression(s) vs %s:\n", len(regressions), baseline)
+		for _, r := range regressions {
+			fmt.Fprintf(os.Stderr, "  %s\n", r)
+		}
+		return 1
+	}
+	fmt.Printf("[choose: no regressions vs %s at tolerance %.0f%%]\n", baseline, 100*tolerance)
+	return 0
+}
+
+// chooseSummaryLine renders the one-line markdown result for the CI job
+// summary: ops/s and tail latency per variant plus the cache speedup.
+func chooseSummaryLine(rep *benchharness.ChooseReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "**choose** pairs=%d goroutines=%d GOMAXPROCS=%d:", rep.Pairs, rep.Goroutines, rep.GOMAXPROCS)
+	for _, v := range rep.Variants {
+		fmt.Fprintf(&sb, " %s=%.2fM ops/s (p50=%s p99=%s p99.9=%s)", v.Variant, v.OpsPerSec/1e6,
+			time.Duration(v.P50Ns), time.Duration(v.P99Ns), time.Duration(v.P999Ns))
+	}
+	fmt.Fprintf(&sb, " cache speedup %.1fx", rep.CacheSpeedup)
+	return sb.String()
+}
+
 // runBench drives the benchmark-regression harness.
-func runBench(seed uint64, calls int, modes, out, baseline string, tolerance float64) int {
+func runBench(seed uint64, calls int, modes, out, baseline string, tolerance float64, note string) int {
 	var modeList []string
 	for _, m := range strings.Split(modes, ",") {
 		if m = strings.TrimSpace(m); m != "" {
@@ -271,6 +360,7 @@ func runBench(seed uint64, calls int, modes, out, baseline string, tolerance flo
 		Seed:  seed,
 		Calls: calls,
 		Modes: modeList,
+		Note:  note,
 		Logf: func(format string, args ...any) {
 			fmt.Printf(format+"\n", args...)
 		},

@@ -103,6 +103,8 @@ func serveCmd(args []string) int {
 		"comma-separated repair arms offered to the per-pair bandit, e.g. none,nack,red,fec-4 (empty = repair selection off)")
 	repairBudget := fs.Float64("repair-budget", 0,
 		"cap on the talk-time fraction of redundant repair bandwidth per pair (0 = default 0.25, >= 1 = uncapped)")
+	cacheTTL := fs.Float64("cache-ttl", 0,
+		"decision-cache TTL in virtual hours (0 = no cache); incompatible with -wal, whose replay must re-execute every decision")
 	timescale := fs.Float64("timescale", 0, "virtual hours per wall second (0 = real time)")
 	seed := fs.Uint64("seed", 1, "strategy seed")
 	state := fs.String("state", "", "history snapshot file: loaded at start, saved on SIGINT (in-memory mode only)")
@@ -135,6 +137,14 @@ func serveCmd(args []string) int {
 	if *state != "" && *walDir != "" {
 		log.Fatal("-state and -wal are mutually exclusive (the WAL supersedes the history snapshot file)")
 	}
+	if *cacheTTL > 0 && *walDir != "" {
+		// WAL replay reproduces state by re-executing every choose record
+		// against the strategy; a cache in front would serve some of those
+		// from cached decisions (the cache itself is not persisted), the
+		// inner algorithm's RNG would advance differently live vs replay,
+		// and recovery would diverge. Cache at the client tier instead.
+		log.Fatal("-cache-ttl and -wal are mutually exclusive (cached decisions would break replay determinism)")
+	}
 
 	reg := obs.NewRegistry()
 	cfg := core.DefaultViaConfig(m)
@@ -159,8 +169,16 @@ func serveCmd(args []string) int {
 		}
 	}
 
+	var serveStrat core.Strategy = strat
+	if *cacheTTL > 0 {
+		cached := core.NewCached(strat, *cacheTTL)
+		cached.RegisterMetrics(reg)
+		serveStrat = cached
+		fmt.Printf("decision cache enabled (ttl %.2gh, %d pairs max)\n", *cacheTTL, core.DefaultCacheMaxPairs)
+	}
+
 	ccfg := controller.Config{
-		Strategy:        strat,
+		Strategy:        serveStrat,
 		TimeScale:       *timescale,
 		RelayTTL:        *relayTTL,
 		Metrics:         reg,

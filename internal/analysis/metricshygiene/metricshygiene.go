@@ -35,10 +35,11 @@ import (
 
 // registerMethods maps obs.Registry method names to metric kinds.
 var registerMethods = map[string]string{
-	"Counter":   "counter",
-	"Gauge":     "gauge",
-	"GaugeFunc": "gauge",
-	"Histogram": "histogram",
+	"Counter":     "counter",
+	"CounterFunc": "counter",
+	"Gauge":       "gauge",
+	"GaugeFunc":   "gauge",
+	"Histogram":   "histogram",
 }
 
 // nameRe is the mandatory shape of a metric base name.

@@ -20,6 +20,10 @@ func Register(id string, keyVar string) {
 	// Dynamic label value wildcards: one site may serve many instances.
 	reg.GaugeFunc(obs.L("via_sessions", "node", id), nil)
 
+	// Callback counters follow counter naming.
+	reg.CounterFunc("via_cb_total", nil)
+	reg.CounterFunc("via_cb_count", nil) // want `counter "via_cb_count" must end in _total`
+
 	// Distinct literal label values are distinct identities...
 	reg.Counter(obs.L("via_shed_total", "endpoint", "choose")).Inc()
 	reg.Counter(obs.L("via_shed_total", "endpoint", "report")).Inc()

@@ -23,6 +23,7 @@ type Registry struct{}
 func (r *Registry) Counter(name string) *Counter                 { return &Counter{} }
 func (r *Registry) Gauge(name string) *Gauge                     { return &Gauge{} }
 func (r *Registry) GaugeFunc(name string, f func() float64)      {}
+func (r *Registry) CounterFunc(name string, f func() int64)      {}
 func (r *Registry) Histogram(name string, b []float64) *Histogram { return &Histogram{} }
 
 func L(name string, kv ...string) string { return name }

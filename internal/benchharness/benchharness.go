@@ -39,6 +39,9 @@ type Config struct {
 	// ModeParallel). Each pass builds a fresh environment so strategy-run
 	// caches are cold and the passes are comparable.
 	Modes []string
+	// Note is copied into the report verbatim (host caveats, e.g. the
+	// 1-core CI container making the par/seq speedup ≈1 by construction).
+	Note string
 	// Logf receives progress lines; nil silences them.
 	Logf func(format string, args ...any)
 }
@@ -69,6 +72,7 @@ type Report struct {
 	GOARCH     string     `json:"goarch"`
 	GoVersion  string     `json:"go_version"`
 	GOMAXPROCS int        `json:"gomaxprocs"`
+	Note       string     `json:"note,omitempty"`
 	CreatedUTC string     `json:"created_utc"`
 	Modes      []ModeStat `json:"modes"`
 	// SpeedupParOverSeq is sequential wall / parallel wall when both
@@ -93,6 +97,7 @@ func Run(cfg Config) (*Report, error) {
 		GOARCH:     runtime.GOARCH,
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Note:       cfg.Note,
 		CreatedUTC: time.Now().UTC().Format(time.RFC3339),
 	}
 	var seqWall, parWall int64
@@ -189,7 +194,21 @@ func DefaultPath(seed uint64) string {
 
 // WriteJSON persists a report.
 func WriteJSON(rep *Report, path string) error {
-	b, err := json.MarshalIndent(rep, "", "  ")
+	return writeJSONFile(rep, path)
+}
+
+// ReadJSON loads a previously written report.
+func ReadJSON(path string) (*Report, error) {
+	var rep Report
+	if err := readJSONFile(path, &rep); err != nil {
+		return nil, err
+	}
+	return &rep, nil
+}
+
+// writeJSONFile persists any report shape as indented JSON.
+func writeJSONFile(v any, path string) error {
+	b, err := json.MarshalIndent(v, "", "  ")
 	if err != nil {
 		return fmt.Errorf("benchharness: encode report: %w", err)
 	}
@@ -200,17 +219,16 @@ func WriteJSON(rep *Report, path string) error {
 	return nil
 }
 
-// ReadJSON loads a previously written report.
-func ReadJSON(path string) (*Report, error) {
+// readJSONFile loads a JSON report into v.
+func readJSONFile(path string, v any) error {
 	b, err := os.ReadFile(path)
 	if err != nil {
-		return nil, fmt.Errorf("benchharness: read baseline: %w", err)
+		return fmt.Errorf("benchharness: read baseline: %w", err)
 	}
-	var rep Report
-	if err := json.Unmarshal(b, &rep); err != nil {
-		return nil, fmt.Errorf("benchharness: parse %s: %w", path, err)
+	if err := json.Unmarshal(b, v); err != nil {
+		return fmt.Errorf("benchharness: parse %s: %w", path, err)
 	}
-	return &rep, nil
+	return nil
 }
 
 // minShare is the fraction of total suite time below which an experiment

@@ -1,0 +1,225 @@
+package core
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/netsim"
+	"repro/internal/obs"
+	"repro/internal/quality"
+)
+
+func TestCachedEpochInvalidationUnhookedInner(t *testing.T) {
+	// An inner strategy with no report hook: Observe itself must bump the
+	// pair epoch, so a report forces exactly one recompute.
+	calls := 0
+	inner := &countingStrategy{onChoose: func() { calls++ }}
+	c := NewCached(inner, 100) // TTL far away; only epochs can miss
+	cands := []netsim.Option{netsim.DirectOption()}
+
+	c.Choose(Call{Src: 1, Dst: 2, THours: 0}, cands) // miss (cold)
+	c.Choose(Call{Src: 1, Dst: 2, THours: 1}, cands) // hit
+	if calls != 1 {
+		t.Fatalf("inner consulted %d times before report, want 1", calls)
+	}
+	c.Observe(Call{Src: 1, Dst: 2, THours: 1}, netsim.DirectOption(), quality.Metrics{})
+	c.Choose(Call{Src: 1, Dst: 2, THours: 2}, cands) // miss: epoch bumped
+	c.Choose(Call{Src: 1, Dst: 2, THours: 3}, cands) // hit again
+	if calls != 2 {
+		t.Errorf("inner consulted %d times after report, want 2", calls)
+	}
+	if inv := c.Invalidations(); inv != 1 {
+		t.Errorf("invalidations = %d, want 1", inv)
+	}
+	// A report from the reverse direction invalidates the same entry.
+	c.Observe(Call{Src: 2, Dst: 1, THours: 3}, netsim.DirectOption(), quality.Metrics{})
+	c.Choose(Call{Src: 1, Dst: 2, THours: 4}, cands) // miss again
+	if calls != 3 {
+		t.Errorf("inner consulted %d times after reverse report, want 3", calls)
+	}
+}
+
+func TestCachedEpochInvalidationViaHook(t *testing.T) {
+	// With a Via inner the cache attaches to the report hook: invalidation
+	// fires when the report is *applied*, and a cached decision never
+	// outlives a fresh measurement for its pair.
+	cfg := DefaultViaConfig(quality.RTT)
+	cfg.Epsilon = 0 // no exploration noise; decisions are deterministic
+	via := NewVia(cfg, nil)
+	c := NewCached(via, 1000)
+	if !c.hooked {
+		t.Fatal("cache did not attach to Via's report hook")
+	}
+	cands := []netsim.Option{netsim.DirectOption(), netsim.BounceOption(1)}
+
+	call := Call{Src: 1, Dst: 2, THours: 30}
+	c.Choose(call, cands)
+	before := c.Misses()
+	c.Choose(call, cands)
+	if c.Misses() != before {
+		t.Fatal("second Choose should be a cache hit")
+	}
+	c.Observe(call, netsim.DirectOption(), quality.Metrics{RTTMs: 80})
+	c.Choose(call, cands)
+	if c.Misses() != before+1 {
+		t.Error("Choose after an applied report must recompute")
+	}
+}
+
+func TestCachedBoundedEviction(t *testing.T) {
+	inner := &countingStrategy{}
+	// maxPairs below the shard count clamps to one slot per shard.
+	c := NewCachedBounded(inner, 5, 1)
+	cands := []netsim.Option{netsim.DirectOption()}
+	for p := 0; p < 500; p++ {
+		c.Choose(Call{Src: netsim.ASID(2 * p), Dst: netsim.ASID(2*p + 1), THours: 0}, cands)
+	}
+	if n := c.Len(); n > cacheShardCount {
+		t.Errorf("cache holds %d pairs, bound is %d", n, cacheShardCount)
+	}
+	if c.Evictions() == 0 {
+		t.Error("filling past the bound must evict")
+	}
+}
+
+func TestCachedSweepDropsExpired(t *testing.T) {
+	inner := &countingStrategy{}
+	c := NewCached(inner, 2)
+	cands := []netsim.Option{netsim.DirectOption()}
+	c.Choose(Call{Src: 1, Dst: 2, THours: 0}, cands) // expires at t=2
+	c.Choose(Call{Src: 3, Dst: 4, THours: 3}, cands) // expires at t=5
+	if n := c.Len(); n != 2 {
+		t.Fatalf("len = %d, want 2", n)
+	}
+	c.Sweep(4)
+	if n := c.Len(); n != 1 {
+		t.Errorf("len after sweep = %d, want 1", n)
+	}
+}
+
+func TestCachedRegisterMetrics(t *testing.T) {
+	inner := &countingStrategy{}
+	c := NewCached(inner, 10)
+	reg := obs.NewRegistry()
+	c.RegisterMetrics(reg)
+	cands := []netsim.Option{netsim.DirectOption()}
+	c.Choose(Call{Src: 1, Dst: 2, THours: 0}, cands)
+	c.Choose(Call{Src: 1, Dst: 2, THours: 1}, cands)
+	snap := reg.Snapshot()
+	if snap["via_decision_cache_hits_total"] != 1 {
+		t.Errorf("hits metric = %v, want 1", snap["via_decision_cache_hits_total"])
+	}
+	if snap["via_decision_cache_misses_total"] != 1 {
+		t.Errorf("misses metric = %v, want 1", snap["via_decision_cache_misses_total"])
+	}
+	if snap["via_decision_cache_entries"] != 1 {
+		t.Errorf("entries metric = %v, want 1", snap["via_decision_cache_entries"])
+	}
+}
+
+// transitEcho returns the transit route oriented src→dst: R1 is always
+// the relay "near" the source. Any correctly oriented cache must
+// preserve that property for both call directions.
+type transitEcho struct{}
+
+func (transitEcho) Name() string { return "transit-echo" }
+func (transitEcho) Choose(c Call, _ []netsim.Option) netsim.Option {
+	return netsim.TransitOption(netsim.RelayID(c.Src), netsim.RelayID(c.Dst))
+}
+func (transitEcho) Observe(Call, netsim.Option, quality.Metrics) {}
+
+func TestCachedConcurrentOrientation(t *testing.T) {
+	// Hammer one cache from both call directions across many pairs while
+	// reports invalidate concurrently. Run under -race this doubles as the
+	// memory-model check for the lock-free hit path; the assertion checks
+	// that a decision is never served with the transit legs backwards.
+	c := NewCached(transitEcho{}, 0.001) // tiny TTL: constant refill churn
+	const (
+		workers = 8
+		pairs   = 64
+		ops     = 4000
+	)
+	var wg sync.WaitGroup
+	errs := make(chan string, workers)
+	for w := 0; w < workers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < ops; i++ {
+				p := (i + w) % pairs
+				src, dst := netsim.ASID(2*p+1), netsim.ASID(2*p+2)
+				if i%2 == 1 {
+					src, dst = dst, src
+				}
+				call := Call{Src: src, Dst: dst, THours: float64(i) * 1e-5}
+				opt := c.Choose(call, nil)
+				if opt.Kind != netsim.Transit ||
+					opt.R1 != netsim.RelayID(src) || opt.R2 != netsim.RelayID(dst) {
+					errs <- "misoriented transit from cache"
+					return
+				}
+				if i%7 == 0 {
+					c.Observe(call, opt, quality.Metrics{RTTMs: 50})
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errs)
+	for e := range errs {
+		t.Fatal(e)
+	}
+}
+
+func BenchmarkCachedHit(b *testing.B) {
+	c := NewCached(&countingStrategy{}, 1000)
+	cands := []netsim.Option{netsim.DirectOption()}
+	call := Call{Src: 1, Dst: 2, THours: 0}
+	c.Choose(call, cands) // fill
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Choose(call, cands)
+	}
+}
+
+func BenchmarkCachedHitReverse(b *testing.B) {
+	c := NewCached(&fixedStrategy{opt: netsim.TransitOption(1, 2)}, 1000)
+	cands := []netsim.Option{netsim.TransitOption(1, 2)}
+	c.Choose(Call{Src: 1, Dst: 9, THours: 0}, cands) // fill
+	call := Call{Src: 9, Dst: 1, THours: 0}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Choose(call, cands)
+	}
+}
+
+func TestShardedReportHookAttachment(t *testing.T) {
+	// A sharded inner attaches the hook only if every shard does: hook
+	// delivery must be guaranteed, or the cache falls back to
+	// Observe-side invalidation.
+	viaShards := NewSharded(4, func(i int) Strategy {
+		cfg := DefaultViaConfig(quality.RTT)
+		cfg.Seed = uint64(i + 1)
+		return NewVia(cfg, nil)
+	})
+	if c := NewCached(viaShards, 10); !c.hooked {
+		t.Error("all-Via sharded inner should attach the report hook")
+	}
+	plainShards := NewSharded(4, func(int) Strategy { return &countingStrategy{} })
+	c := NewCached(plainShards, 100)
+	if c.hooked {
+		t.Fatal("unhookable shards must not claim hook attachment")
+	}
+	// Fallback path still invalidates: a report forces a recompute.
+	cands := []netsim.Option{netsim.DirectOption()}
+	c.Choose(Call{Src: 1, Dst: 2, THours: 0}, cands)
+	c.Observe(Call{Src: 1, Dst: 2, THours: 1}, netsim.DirectOption(), quality.Metrics{})
+	before := c.Misses()
+	c.Choose(Call{Src: 1, Dst: 2, THours: 2}, cands)
+	if c.Misses() != before+1 {
+		t.Error("Observe on an unhooked sharded inner must invalidate the pair")
+	}
+}

@@ -1,0 +1,204 @@
+package core
+
+// Report ingestion: decoupling measurement reports from decisions.
+//
+// Observe is called once per finished call, and in the synchronous
+// (default) mode it applies the report inline: history bucket update,
+// bandit arm update, cache invalidation hook — all on the caller's
+// goroutine, serialized behind the strategy mutex. That is exactly right
+// for the simulator, whose results must be a pure function of the seed:
+// sim time only advances between events, so "apply before the next
+// Choose" is both deterministic and semantically the paper's Algorithm 1.
+//
+// A live controller has the opposite shape: reports arrive in bursts
+// (call teardowns cluster), each report costs a history append plus a
+// bandit update behind v.mu, and every microsecond spent applying them is
+// stolen from Choose latency. AsyncIngest moves application off the
+// decision path: Observe enqueues into a bounded ring and returns; a
+// single drainer goroutine applies reports in arrival order (the ring is
+// multi-producer, single-consumer) and fires the report hook, which is
+// what bumps decision-cache epochs — so with async ingestion a cached
+// decision is invalidated when the new measurement is actually *visible*
+// to the bandit, not merely received.
+//
+// The ring is deliberately a mutex+condvar structure, not a
+// clock-driven batcher: the determinism analyzers (determinism, dettaint)
+// keep this package free of time.Now, and bounding by count (with
+// blocking backpressure, so reports are delayed, never dropped) needs no
+// timer. Flush gives deterministic tests and state snapshots a
+// synchronization point: it blocks until everything enqueued before the
+// call has been applied.
+
+import (
+	"sync"
+
+	"repro/internal/netsim"
+	"repro/internal/quality"
+)
+
+// ReportHooked is implemented by strategies that can announce report
+// application. SetReportHook registers a callback invoked after each
+// report has been folded into strategy state (synchronously from Observe,
+// or from the drainer goroutine under AsyncIngest); it reports whether
+// the hook is guaranteed to fire for every report. The decision cache
+// uses this to invalidate by application, not receipt.
+type ReportHooked interface {
+	SetReportHook(func(Call)) bool
+}
+
+// defaultIngestBuffer bounds the pending-report ring when the config
+// doesn't: deep enough to absorb a teardown burst, small enough that
+// backpressure (not memory) handles a stalled drainer.
+const defaultIngestBuffer = 4096
+
+// pendingReport is one enqueued Observe call.
+type pendingReport struct {
+	call Call
+	opt  netsim.Option
+	m    quality.Metrics
+}
+
+// reportRing is a bounded multi-producer single-consumer queue. Producers
+// block when the ring is full (backpressure; reports are never dropped),
+// the drainer sleeps when it is empty, and flush waits for quiescence —
+// all three on condvars over one mutex, so the structure is clock-free.
+type reportRing struct {
+	mu       sync.Mutex
+	notEmpty sync.Cond // signaled on enqueue
+	notFull  sync.Cond // signaled on drain
+	idle     sync.Cond // broadcast when outstanding returns to 0
+
+	buf  []pendingReport // guarded by mu; fixed-capacity ring storage
+	head int             // guarded by mu
+	n    int             // guarded by mu
+
+	// outstanding counts reports enqueued but not yet applied — it stays
+	// nonzero while the drainer works a batch outside the lock, which is
+	// exactly the window flush must wait out.
+	outstanding int  // guarded by mu
+	closed      bool // guarded by mu
+}
+
+func newReportRing(capacity int) *reportRing {
+	r := &reportRing{buf: make([]pendingReport, capacity)}
+	r.notEmpty.L = &r.mu
+	r.notFull.L = &r.mu
+	r.idle.L = &r.mu
+	return r
+}
+
+// enqueue adds one report, blocking while the ring is full. It reports
+// false (dropping the report) only after close.
+func (r *reportRing) enqueue(p pendingReport) bool {
+	r.mu.Lock()
+	for r.n == len(r.buf) && !r.closed {
+		r.notFull.Wait()
+	}
+	if r.closed {
+		r.mu.Unlock()
+		return false
+	}
+	r.buf[(r.head+r.n)%len(r.buf)] = p
+	r.n++
+	r.outstanding++
+	r.mu.Unlock()
+	r.notEmpty.Signal()
+	return true
+}
+
+// drainInto waits for work, moves everything currently enqueued into
+// batch (reusing its capacity), and reports whether the ring is still
+// open. After close it keeps returning batches until the ring is empty.
+func (r *reportRing) drainInto(batch []pendingReport) ([]pendingReport, bool) {
+	r.mu.Lock()
+	for r.n == 0 && !r.closed {
+		r.notEmpty.Wait()
+	}
+	for r.n > 0 {
+		batch = append(batch, r.buf[r.head])
+		r.buf[r.head] = pendingReport{} // drop references for GC
+		r.head = (r.head + 1) % len(r.buf)
+		r.n--
+	}
+	open := !r.closed
+	r.mu.Unlock()
+	r.notFull.Broadcast()
+	return batch, open
+}
+
+// markApplied retires k drained reports; at quiescence flush waiters wake.
+func (r *reportRing) markApplied(k int) {
+	r.mu.Lock()
+	r.outstanding -= k
+	if r.outstanding == 0 {
+		r.idle.Broadcast()
+	}
+	r.mu.Unlock()
+}
+
+// flush blocks until every report enqueued before the call has been
+// applied. Must not be called after close without a running drainer.
+func (r *reportRing) flush() {
+	r.mu.Lock()
+	for r.outstanding > 0 {
+		r.idle.Wait()
+	}
+	r.mu.Unlock()
+}
+
+// close stops the ring: the drainer finishes the backlog and exits,
+// blocked producers unblock (their reports are dropped).
+func (r *reportRing) close() {
+	r.mu.Lock()
+	r.closed = true
+	r.mu.Unlock()
+	r.notEmpty.Broadcast()
+	r.notFull.Broadcast()
+}
+
+// SetReportHook implements ReportHooked: hook fires after each report is
+// applied to the history and bandit state. Always attached (returns
+// true). Set it before concurrent use.
+func (v *Via) SetReportHook(hook func(Call)) bool {
+	v.mu.Lock()
+	v.reportHook = hook
+	v.mu.Unlock()
+	return true
+}
+
+// Flush blocks until every report passed to Observe before the call has
+// been applied. A no-op in synchronous mode, which is what makes it safe
+// to call unconditionally before snapshots and assertions.
+func (v *Via) Flush() {
+	if v.ring != nil {
+		v.ring.flush()
+	}
+}
+
+// Close stops the async drainer after it finishes the backlog. A no-op in
+// synchronous mode; Observe after Close drops the report.
+func (v *Via) Close() {
+	if v.ring == nil {
+		return
+	}
+	v.ring.close()
+	v.drainWG.Wait()
+}
+
+// drainLoop is the single consumer: apply reports in arrival order until
+// the ring is closed and empty.
+func (v *Via) drainLoop() {
+	defer v.drainWG.Done()
+	var batch []pendingReport
+	for {
+		var open bool
+		batch, open = v.ring.drainInto(batch[:0])
+		for i := range batch {
+			v.applyReport(batch[i].call, batch[i].opt, batch[i].m)
+		}
+		v.ring.markApplied(len(batch))
+		if !open && len(batch) == 0 {
+			return
+		}
+	}
+}

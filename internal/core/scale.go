@@ -1,9 +1,6 @@
 package core
 
 import (
-	"sync"
-	"sync/atomic"
-
 	"repro/internal/netsim"
 	"repro/internal/quality"
 )
@@ -15,9 +12,9 @@ import (
 //     can scale across cores or machines ("partitioning techniques provide
 //     a good starting point").
 //
-//   - Cached: a client-side decision cache ("each client could cache the
-//     relaying decisions and refresh periodically"), trading decision
-//     staleness for controller load.
+// The companion mechanism — Cached, the client-side decision cache
+// ("each client could cache the relaying decisions and refresh
+// periodically") — lives in cache.go.
 
 // Sharded partitions calls across shards by canonical pair hash. Each
 // shard is an independent strategy instance, so there is no cross-shard
@@ -72,79 +69,18 @@ func (s *Sharded) NumShards() int { return len(s.shards) }
 // Shard exposes one shard (diagnostics).
 func (s *Sharded) Shard(i int) Strategy { return s.shards[i] }
 
-// Cached wraps a strategy with a per-pair decision cache: a pair's choice
-// is reused for TTLHours before the inner strategy is consulted again.
-// Observations always pass through (measurement reports are cheap and keep
-// the history fresh); only the decision round-trips are saved.
-type Cached struct {
-	inner    Strategy
-	ttlHours float64
-
-	mu    sync.Mutex
-	cache map[groupPair]cachedDecision
-
-	hits, misses atomic.Int64
-}
-
-type cachedDecision struct {
-	opt     netsim.Option // canonical orientation
-	expires float64       // tHours
-}
-
-// NewCached wraps inner with a decision cache of the given TTL (hours).
-func NewCached(inner Strategy, ttlHours float64) *Cached {
-	if ttlHours <= 0 {
-		ttlHours = 1
-	}
-	return &Cached{
-		inner:    inner,
-		ttlHours: ttlHours,
-		cache:    make(map[groupPair]cachedDecision),
-	}
-}
-
-// Name implements Strategy.
-func (c *Cached) Name() string { return c.inner.Name() + "+cache" }
-
-// Choose implements Strategy.
-func (c *Cached) Choose(call Call, cands []netsim.Option) netsim.Option {
-	gp := groupPair{int32(call.Src), int32(call.Dst)}
-	flip := gp.a > gp.b
-	if flip {
-		gp.a, gp.b = gp.b, gp.a
-	}
-	c.mu.Lock()
-	if d, ok := c.cache[gp]; ok && call.THours < d.expires {
-		c.mu.Unlock()
-		c.hits.Add(1)
-		opt := d.opt
-		if flip && opt.Kind == netsim.Transit {
-			opt.R1, opt.R2 = opt.R2, opt.R1
+// SetReportHook implements ReportHooked by forwarding the hook to every
+// shard that supports it, so a decision cache wrapped around the sharded
+// strategy still sees report-application events. It reports true only if
+// every shard attached the hook; otherwise the caller must keep its
+// fallback path, because some pairs' reports would never fire the hook.
+func (s *Sharded) SetReportHook(hook func(Call)) bool {
+	all := len(s.shards) > 0
+	for _, sh := range s.shards {
+		h, ok := sh.(ReportHooked)
+		if !ok || !h.SetReportHook(hook) {
+			all = false
 		}
-		return opt
 	}
-	c.mu.Unlock()
-
-	c.misses.Add(1)
-	opt := c.inner.Choose(call, cands)
-	canon := canonOpt(int32(call.Src), int32(call.Dst), opt)
-	c.mu.Lock()
-	c.cache[gp] = cachedDecision{opt: canon, expires: call.THours + c.ttlHours}
-	c.mu.Unlock()
-	return opt
-}
-
-// Observe implements Strategy.
-func (c *Cached) Observe(call Call, opt netsim.Option, m quality.Metrics) {
-	c.inner.Observe(call, opt, m)
-}
-
-// HitRate reports the fraction of decisions served from the cache — the
-// controller-load reduction of §7.
-func (c *Cached) HitRate() float64 {
-	h, m := c.hits.Load(), c.misses.Load()
-	if h+m == 0 {
-		return 0
-	}
-	return float64(h) / float64(h+m)
+	return all
 }

@@ -162,11 +162,11 @@ func (v *Via) SaveState(w io.Writer) error {
 			UCBT:      ps.ucb.t,
 			UCBMaxQ:   ps.ucb.maxQ,
 		}
-		for opt, a := range ps.ucb.arms {
-			rec.Arms = append(rec.Arms, viaArmRec{Opt: opt, Count: a.count, Sum: a.sum})
+		// Arms are kept sorted by optionLess, so the byte stream is
+		// reproducible without re-sorting.
+		for _, a := range ps.ucb.arms {
+			rec.Arms = append(rec.Arms, viaArmRec{Opt: a.opt, Count: a.count, Sum: a.sum})
 		}
-		// Arms live in a map; order them so the byte stream is reproducible.
-		sort.Slice(rec.Arms, func(i, j int) bool { return optionLess(rec.Arms[i].Opt, rec.Arms[j].Opt) })
 		st.Pairs = append(st.Pairs, rec)
 	}
 	v.mu.Unlock()
@@ -249,9 +249,13 @@ func (v *Via) LoadState(r io.Reader) error {
 		ucb := newUCBState()
 		ucb.t = rec.UCBT
 		ucb.maxQ = rec.UCBMaxQ
+		ucb.arms = make([]ucbArm, 0, len(rec.Arms))
 		for _, a := range rec.Arms {
-			ucb.arms[a.Opt] = &ucbArm{count: a.Count, sum: a.Sum}
+			ucb.arms = append(ucb.arms, ucbArm{opt: a.Opt, count: a.Count, sum: a.Sum})
 		}
+		// Snapshots write arms sorted, but the invariant is load-bearing
+		// (find binary-searches), so don't trust the bytes.
+		sort.Slice(ucb.arms, func(i, j int) bool { return optionLess(ucb.arms[i].opt, ucb.arms[j].opt) })
 		pairs[groupPair{rec.A, rec.B}] = &pairState{
 			topkEpoch: rec.TopkEpoch,
 			topk:      rec.Topk,

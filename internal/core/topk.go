@@ -1,8 +1,6 @@
 package core
 
 import (
-	"sort"
-
 	"repro/internal/netsim"
 	"repro/internal/quality"
 )
@@ -29,12 +27,25 @@ func TopK(cands []Candidate, m quality.Metric) []Candidate {
 	}
 	sorted := make([]Candidate, len(cands))
 	copy(sorted, cands)
-	sort.Slice(sorted, func(i, j int) bool {
-		ui, uj := sorted[i].Pred.Upper(m), sorted[j].Pred.Upper(m)
-		if ui != uj {
-			return ui < uj
+	out, _ := topKInPlace(sorted, m, nil)
+	return out
+}
+
+// topKInPlace is TopK over caller-owned storage: cands is sorted and
+// compacted in place (the returned slice aliases it), and incl is a
+// reusable inclusion-scratch whose grown form is returned for the caller
+// to keep. The hot path (Via's per-epoch prune) passes per-strategy
+// scratch through here so pruning allocates nothing at steady state.
+func topKInPlace(cands []Candidate, m quality.Metric, incl []bool) ([]Candidate, []bool) {
+	if len(cands) == 0 {
+		return nil, incl
+	}
+	sortCandidates(cands, func(a, b *Candidate) bool {
+		ua, ub := a.Pred.Upper(m), b.Pred.Upper(m)
+		if ua != ub {
+			return ua < ub
 		}
-		return optionLess(sorted[i].Option, sorted[j].Option)
+		return optionLess(a.Option, b.Option)
 	})
 
 	// The option with the smallest upper bound can never satisfy the
@@ -42,29 +53,47 @@ func TopK(cands []Candidate, m quality.Metric) []Candidate {
 	// bound), so it seeds the set. Then iterate to a fixpoint: any excluded
 	// option whose lower bound fails to clear the included set's maximum
 	// upper bound must be pulled in, which may in turn raise that maximum.
-	included := make([]bool, len(sorted))
-	included[0] = true
-	maxUpper := sorted[0].Pred.Upper(m)
+	if cap(incl) < len(cands) {
+		incl = make([]bool, len(cands))
+	}
+	incl = incl[:len(cands)]
+	for i := range incl {
+		incl[i] = false
+	}
+	incl[0] = true
+	maxUpper := cands[0].Pred.Upper(m)
 	for changed := true; changed; {
 		changed = false
-		for i := 1; i < len(sorted); i++ {
-			if included[i] || sorted[i].Pred.Lower(m) > maxUpper {
+		for i := 1; i < len(cands); i++ {
+			if incl[i] || cands[i].Pred.Lower(m) > maxUpper {
 				continue
 			}
-			included[i] = true
+			incl[i] = true
 			changed = true
-			if u := sorted[i].Pred.Upper(m); u > maxUpper {
+			if u := cands[i].Pred.Upper(m); u > maxUpper {
 				maxUpper = u
 			}
 		}
 	}
-	out := sorted[:0]
-	for i, inc := range included {
+	out := cands[:0]
+	for i, inc := range incl {
 		if inc {
-			out = append(out, sorted[i])
+			out = append(out, cands[i])
 		}
 	}
-	return out
+	return out, incl
+}
+
+// sortCandidates is an allocation-free insertion sort. Candidate sets are
+// the relays offered for one pair — tens at most — where insertion sort
+// beats sort.Slice outright and, unlike it, neither boxes an interface
+// nor heap-allocates a closure.
+func sortCandidates(cands []Candidate, less func(a, b *Candidate) bool) {
+	for i := 1; i < len(cands); i++ {
+		for j := i; j > 0 && less(&cands[j], &cands[j-1]); j-- {
+			cands[j], cands[j-1] = cands[j-1], cands[j]
+		}
+	}
 }
 
 // FixedTopK is the ablation of Figure 15: keep exactly k options ranked by
@@ -75,17 +104,25 @@ func FixedTopK(cands []Candidate, m quality.Metric, k int) []Candidate {
 	}
 	sorted := make([]Candidate, len(cands))
 	copy(sorted, cands)
-	sort.Slice(sorted, func(i, j int) bool {
-		mi, mj := sorted[i].Pred.Mean[m], sorted[j].Pred.Mean[m]
-		if mi != mj {
-			return mi < mj
-		}
-		return optionLess(sorted[i].Option, sorted[j].Option)
-	})
-	if k > len(sorted) {
-		k = len(sorted)
+	return fixedTopKInPlace(sorted, m, k)
+}
+
+// fixedTopKInPlace is FixedTopK over caller-owned storage.
+func fixedTopKInPlace(cands []Candidate, m quality.Metric, k int) []Candidate {
+	if len(cands) == 0 || k <= 0 {
+		return nil
 	}
-	return sorted[:k]
+	sortCandidates(cands, func(a, b *Candidate) bool {
+		ma, mb := a.Pred.Mean[m], b.Pred.Mean[m]
+		if ma != mb {
+			return ma < mb
+		}
+		return optionLess(a.Option, b.Option)
+	})
+	if k > len(cands) {
+		k = len(cands)
+	}
+	return cands[:k]
 }
 
 func optionLess(a, b netsim.Option) bool {

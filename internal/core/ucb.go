@@ -7,33 +7,82 @@ import (
 	"repro/internal/quality"
 )
 
+// Per-pair bandit state, stored flat.
+//
+// The first implementation kept `map[netsim.Option]*ucbArm`: one heap
+// object per arm, a hash per lookup, and map iteration order to fight in
+// every aggregate (incumbent had to carry an explicit tie-break). A
+// pair's arm count is the top-k plus an ε-exploration tail — single
+// digits, occasionally tens — which is exactly the regime where a sorted
+// slice beats a map on every axis: binary search is two or three cache
+// lines, insertion is a memmove, iteration is linear memory in a
+// deterministic order, and there are zero per-arm allocations. Since
+// Choose runs explore() behind the strategy mutex on every uncached
+// decision, this is the single hottest data structure in the module.
+
 // ucbArm is the running reward state of one relaying option for one pair.
 type ucbArm struct {
+	opt   netsim.Option
 	count float64 // |C_r|: calls assigned to this option (decays on refresh)
 	sum   float64 // Σ Q(c', r): raw observed metric values
+}
+
+// armStat is one candidate's resolved state in explore's scratch buffer:
+// the effective sample count and sum after applying the prediction prior.
+type armStat struct {
+	n   float64
+	sum float64
 }
 
 // ucbState is the per-pair exploration-exploitation state used by
 // Algorithm 3.
 type ucbState struct {
-	arms map[netsim.Option]*ucbArm
-	t    float64 // total assignments for this pair (the T of Algorithm 3)
-	maxQ float64 // largest value ever observed (naive-normalization ablation)
+	arms []ucbArm // sorted by optionLess on opt; no duplicates
+	t    float64  // total assignments for this pair (the T of Algorithm 3)
+	maxQ float64  // largest value ever observed (naive-normalization ablation)
+
+	// scratch is explore's per-candidate staging buffer, reused across
+	// calls so a steady-state Choose allocates nothing.
+	scratch []armStat
 }
 
 func newUCBState() *ucbState {
-	return &ucbState{arms: make(map[netsim.Option]*ucbArm)}
+	return &ucbState{}
+}
+
+// find returns the index of opt in arms, or the index where it would be
+// inserted; ok reports whether it is present.
+func (s *ucbState) find(opt netsim.Option) (int, bool) {
+	lo, hi := 0, len(s.arms)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if optionLess(s.arms[mid].opt, opt) {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo, lo < len(s.arms) && s.arms[lo].opt == opt
+}
+
+// arm returns the option's arm for in-place mutation, or nil.
+func (s *ucbState) arm(opt netsim.Option) *ucbArm {
+	if i, ok := s.find(opt); ok {
+		return &s.arms[i]
+	}
+	return nil
 }
 
 // observe folds one realized metric value into the state.
 func (s *ucbState) observe(opt netsim.Option, q float64) {
-	a := s.arms[opt]
-	if a == nil {
-		a = &ucbArm{}
-		s.arms[opt] = a
+	i, ok := s.find(opt)
+	if !ok {
+		s.arms = append(s.arms, ucbArm{})
+		copy(s.arms[i+1:], s.arms[i:])
+		s.arms[i] = ucbArm{opt: opt}
 	}
-	a.count++
-	a.sum += q
+	s.arms[i].count++
+	s.arms[i].sum += q
 	s.t++
 	if q > s.maxQ {
 		s.maxQ = q
@@ -48,7 +97,7 @@ func (s *ucbState) observe(opt netsim.Option, q float64) {
 // re-explores it promptly.
 func (s *ucbState) reseedStale(topk []Candidate, m quality.Metric) {
 	for _, c := range topk {
-		a := s.arms[c.Option]
+		a := s.arm(c.Option)
 		if a == nil || a.count < 1 {
 			continue
 		}
@@ -79,9 +128,9 @@ func (s *ucbState) decay(factor float64) {
 		factor = 0
 	}
 	s.t *= factor
-	for _, a := range s.arms {
-		a.count *= factor
-		a.sum *= factor
+	for i := range s.arms {
+		s.arms[i].count *= factor
+		s.arms[i].sum *= factor
 	}
 }
 
@@ -92,11 +141,25 @@ func (s *ucbState) decay(factor float64) {
 // become indistinguishable (§4.5 modification 1). An option never tried in
 // this epoch is chosen immediately (its confidence bound is unbounded).
 // coef is the exploration coefficient (0.1 in the paper's pseudocode).
+//
+// The pass structure is allocation-free: candidate arm state is resolved
+// into a reusable scratch buffer while the normalizer accumulates, then
+// the confidence bounds are computed in one batched sweep over scratch.
 func (s *ucbState) explore(topk []Candidate, m quality.Metric, coef float64, naiveNorm bool) netsim.Option {
 	if len(topk) == 0 {
 		return netsim.DirectOption()
 	}
-	// Normalizer: mean of upper confidence bounds of the top-k candidates.
+	if cap(s.scratch) < len(topk) {
+		s.scratch = make([]armStat, len(topk))
+	}
+	scratch := s.scratch[:len(topk)]
+
+	// Pass 1: resolve each candidate's effective (n, sum) and accumulate
+	// the normalizer. An arm with no observations this epoch is scored as
+	// if the prediction were a single sample — a prediction-guided prior
+	// that spares each pair classic UCB1's mandatory init round (the
+	// prediction already is a measurement of the arm, pooled by
+	// tomography) while √(ln t / n) still drives it to be tried early.
 	var w float64
 	if naiveNorm {
 		// Ablation (Fig. 15): normalize by the full observed value range,
@@ -105,48 +168,47 @@ func (s *ucbState) explore(topk []Candidate, m quality.Metric, coef float64, nai
 		// between options become indistinguishable next to the exploration
 		// term (§4.5).
 		w = s.maxQ
-		for _, c := range topk {
-			if u := c.Pred.Upper(m); u > w {
+	}
+	for i, c := range topk {
+		scratch[i] = armStat{n: 1, sum: c.Pred.Mean[m]}
+		if a := s.arm(c.Option); a != nil && a.count >= 1 {
+			scratch[i] = armStat{n: a.count, sum: a.sum}
+		}
+		u := c.Pred.Upper(m)
+		if naiveNorm {
+			if u > w {
 				w = u
 			}
+		} else {
+			w += u
 		}
-	} else {
-		for _, c := range topk {
-			w += c.Pred.Upper(m)
-		}
+	}
+	if !naiveNorm {
 		w /= float64(len(topk))
 	}
 	if w <= 0 {
 		w = 1
 	}
 
+	// Pass 2: batched confidence bounds over the scratch; lowest wins.
 	t := s.t + 1
-	best := topk[0].Option
+	logT := math.Log(t)
+	best := 0
 	bestUCB := math.Inf(1)
-	for _, c := range topk {
-		// Prediction-guided prior: an arm with no observations this epoch
-		// is scored as if the prediction were a single sample. This keeps
-		// the survey cost of classic UCB1's mandatory init round from being
-		// paid per pair per epoch — the prediction already is a measurement
-		// of the arm (from other calls, pooled by tomography) — while the
-		// √(ln t / n) term still drives the arm to be tried early.
-		n, sum := 1.0, c.Pred.Mean[m]
-		if a := s.arms[c.Option]; a != nil && a.count >= 1 {
-			n, sum = a.count, a.sum
-		}
-		ucb := sum/(w*n) - math.Sqrt(coef*math.Log(t)/n)
+	for i := range scratch {
+		ucb := scratch[i].sum/(w*scratch[i].n) - math.Sqrt(coef*logT/scratch[i].n)
 		if ucb < bestUCB {
 			bestUCB = ucb
-			best = c.Option
+			best = i
 		}
 	}
-	return best
+	return topk[best].Option
 }
 
 // empiricalMean returns the option's observed mean, if it has any samples.
 // Used by the pure exploration baseline and by budget benefit estimation.
 func (s *ucbState) empiricalMean(opt netsim.Option) (float64, bool) {
-	a := s.arms[opt]
+	a := s.arm(opt)
 	if a == nil || a.count < 1 {
 		return 0, false
 	}
@@ -156,20 +218,20 @@ func (s *ucbState) empiricalMean(opt netsim.Option) (float64, bool) {
 // incumbent returns the arm with the best (lowest) empirical mean among
 // arms with at least minCount effective samples. The pruning step consults
 // it so a proven arm is never evicted from the candidate set by one noisy
-// prediction refresh.
+// prediction refresh. Arms are scanned in their sorted order, so ties
+// resolve to the optionLess-least arm without an explicit tie-break.
 func (s *ucbState) incumbent(minCount float64) (netsim.Option, float64, bool) {
 	var best netsim.Option
 	bestV := 0.0
 	found := false
-	for opt, a := range s.arms {
+	for i := range s.arms {
+		a := &s.arms[i]
 		if a.count < minCount {
 			continue
 		}
 		v := a.sum / a.count
-		// Deterministic tie-break: map iteration order must not leak into
-		// decisions.
-		if !found || v < bestV || (v == bestV && optionLess(opt, best)) {
-			best, bestV, found = opt, v, true
+		if !found || v < bestV {
+			best, bestV, found = a.opt, v, true
 		}
 	}
 	return best, bestV, found

@@ -111,7 +111,7 @@ func TestUCBDecay(t *testing.T) {
 	s.observe(netsim.BounceOption(1), 100)
 	s.observe(netsim.BounceOption(1), 100)
 	s.decay(0.5)
-	a := s.arms[netsim.BounceOption(1)]
+	a := s.arm(netsim.BounceOption(1))
 	if a.count != 1 || a.sum != 100 {
 		t.Errorf("decayed arm = %+v", a)
 	}
@@ -161,8 +161,8 @@ func TestReseedStale(t *testing.T) {
 	if v, ok := s.empiricalMean(opt); !ok || v != 60 {
 		t.Errorf("reseeded mean = %v, want 60", v)
 	}
-	if s.arms[opt].count != 1 {
-		t.Errorf("reseeded count = %v, want 1", s.arms[opt].count)
+	if s.arm(opt).count != 1 {
+		t.Errorf("reseeded count = %v, want 1", s.arm(opt).count)
 	}
 
 	// Mild disagreement (within 2.5x) must NOT reset.
@@ -173,7 +173,7 @@ func TestReseedStale(t *testing.T) {
 	c2 := cand(opt, 60, 5)
 	c2.Pred.N = 10
 	s2.reseedStale([]Candidate{c2}, quality.RTT)
-	if s2.arms[opt].count != 10 {
+	if s2.arm(opt).count != 10 {
 		t.Error("mild disagreement should keep memory")
 	}
 
@@ -185,7 +185,7 @@ func TestReseedStale(t *testing.T) {
 	c3 := cand(opt, 60, 5)
 	c3.Pred.N = 1
 	s3.reseedStale([]Candidate{c3}, quality.RTT)
-	if s3.arms[opt].count != 10 {
+	if s3.arm(opt).count != 10 {
 		t.Error("thin prediction should not reset memory")
 	}
 }

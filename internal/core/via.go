@@ -69,6 +69,17 @@ type ViaConfig struct {
 	// redundant repair bandwidth per pair (§4.6 applied to redundancy);
 	// 0 defaults to 0.25 when RepairSchemes is set, >= 1 disables.
 	RepairOverheadBudget float64
+	// AsyncIngest decouples measurement reports from decisions: Observe
+	// enqueues into a bounded ring and returns, and a drainer goroutine
+	// applies reports in arrival order (see ingest.go). Off by default —
+	// synchronous application is what keeps simulation results a pure
+	// function of the seed, and WAL-replay durability requires reports to
+	// be applied before the next record. Turn it on only for live
+	// serving; call Close on shutdown and Flush before snapshots.
+	AsyncIngest bool
+	// IngestBuffer bounds the async ring (reports pending application);
+	// 0 means defaultIngestBuffer. Producers block when it is full.
+	IngestBuffer int
 	// Groups sets the decision granularity (default: AS pair).
 	Groups GroupFunc
 	// Predictor tunes stage 2-3.
@@ -201,6 +212,23 @@ type Via struct {
 	// split so repair draws never perturb the path ε sequence.
 	repairRNG   *stats.RNG
 	repairPairs map[groupPair]*RepairBandit
+
+	// Reusable scratch (guarded by mu) so the uncached Choose path does
+	// no per-candidate heap allocation: predictions staging for the
+	// prune, the top-k inclusion fixpoint's bitmap, and the per-call
+	// candidate/top-k filters.
+	predScratch []Candidate
+	inclScratch []bool
+	candScratch []netsim.Option
+	topkScratch []Candidate
+
+	// reportHook (guarded by mu) fires after each report is applied; the
+	// decision cache registers its epoch bump here (see ingest.go).
+	reportHook func(Call)
+	// ring, when non-nil, carries Observe calls to the drainer goroutine
+	// (AsyncIngest). Nil means synchronous application.
+	ring    *reportRing
+	drainWG sync.WaitGroup
 }
 
 // NewVia builds the strategy. bb may be nil (backbone links then become
@@ -243,6 +271,15 @@ func NewVia(cfg ViaConfig, bb BackboneSource) *Via {
 	}
 	if cfg.Budget < 1 {
 		v.benefit = stats.NewP2(clamp01(1-cfg.Budget, 0.001, 0.999))
+	}
+	if cfg.AsyncIngest {
+		buf := cfg.IngestBuffer
+		if buf <= 0 {
+			buf = defaultIngestBuffer
+		}
+		v.ring = newReportRing(buf)
+		v.drainWG.Add(1)
+		go v.drainLoop()
 	}
 	v.obs = viaObs{enabled: cfg.Metrics != nil, spans: cfg.Spans, reg: cfg.Metrics}
 	if v.obs.enabled {
@@ -391,7 +428,10 @@ func (v *Via) Choose(c Call, cands []netsim.Option) netsim.Option {
 				ps.cands[i] = canonOpt(g1, g2, o)
 			}
 		}
-		ps.topk = v.pruneLocked(g1, g2, cands)
+		// pruneLocked returns scratch-backed storage; copy into the pair's
+		// own top-k slice (reusing its capacity) before the scratch is
+		// recycled for another pair.
+		ps.topk = append(ps.topk[:0], v.pruneLocked(g1, g2, cands)...)
 		ps.ucb.reseedStale(ps.topk, v.cfg.Metric)
 		if inc, mean, ok := ps.ucb.incumbent(5); ok {
 			present := false
@@ -521,22 +561,28 @@ func (v *Via) Choose(c Call, cands []netsim.Option) netsim.Option {
 
 // pruneLocked builds predictions for the candidates and applies Algorithm 2
 // (or the fixed-k ablation). Candidates and the returned set are in
-// canonical orientation.
+// canonical orientation. The result aliases the strategy's reusable
+// prediction scratch — valid only until the next pruneLocked call, so
+// callers that retain it must copy (Choose copies into the pair's own
+// top-k storage).
 func (v *Via) pruneLocked(g1, g2 int32, cands []netsim.Option) []Candidate {
-	var preds []Candidate
+	preds := v.predScratch[:0]
 	for _, opt := range cands {
 		copt := canonOpt(g1, g2, opt)
 		if p, ok := v.pred.Predict(g1, g2, copt); ok {
 			preds = append(preds, Candidate{Option: copt, Pred: p})
 		}
 	}
+	v.predScratch = preds[:0]
 	if len(preds) == 0 {
 		return nil
 	}
 	if v.cfg.FixedK > 0 {
-		return FixedTopK(preds, v.cfg.Metric, v.cfg.FixedK)
+		return fixedTopKInPlace(preds, v.cfg.Metric, v.cfg.FixedK)
 	}
-	return TopK(preds, v.cfg.Metric)
+	var sel []Candidate
+	sel, v.inclScratch = topKInPlace(preds, v.cfg.Metric, v.inclScratch)
+	return sel
 }
 
 // predictedBenefitLocked estimates the relative gain of the best predicted
@@ -630,7 +676,7 @@ func (v *Via) relayAllowedLocked(cands []netsim.Option) []netsim.Option {
 	if v.cfg.PerRelayBudget <= 0 || v.cfg.PerRelayBudget >= 1 {
 		return cands
 	}
-	out := make([]netsim.Option, 0, len(cands))
+	out := v.candScratch[:0]
 	for _, o := range cands {
 		switch o.Kind {
 		case netsim.Bounce:
@@ -644,6 +690,7 @@ func (v *Via) relayAllowedLocked(cands []netsim.Option) []netsim.Option {
 		}
 		out = append(out, o)
 	}
+	v.candScratch = out[:0] // keep grown capacity for the next call
 	if len(out) == 0 {
 		return cands[:1] // degenerate: keep something choosable
 	}
@@ -651,8 +698,9 @@ func (v *Via) relayAllowedLocked(cands []netsim.Option) []netsim.Option {
 }
 
 // filterTopKLocked drops top-k candidates whose relays are over their cap.
+// The result aliases reusable scratch: consume it before releasing v.mu.
 func (v *Via) filterTopKLocked(topk []Candidate) []Candidate {
-	out := make([]Candidate, 0, len(topk))
+	out := v.topkScratch[:0]
 	for _, c := range topk {
 		switch c.Option.Kind {
 		case netsim.Bounce:
@@ -666,12 +714,24 @@ func (v *Via) filterTopKLocked(topk []Candidate) []Candidate {
 		}
 		out = append(out, c)
 	}
+	v.topkScratch = out[:0] // keep grown capacity for the next call
 	return out
 }
 
 // Observe implements Strategy: fold the realized performance into the call
-// history (stage 1) and the per-pair UCB state.
+// history (stage 1) and the per-pair UCB state — inline, or via the async
+// ingestion ring when AsyncIngest is on.
 func (v *Via) Observe(c Call, opt netsim.Option, m quality.Metrics) {
+	if v.ring != nil {
+		v.ring.enqueue(pendingReport{call: c, opt: opt, m: m})
+		return
+	}
+	v.applyReport(c, opt, m)
+}
+
+// applyReport folds one measurement report into strategy state and fires
+// the report hook. Called from Observe (sync mode) or the drainer.
+func (v *Via) applyReport(c Call, opt netsim.Option, m quality.Metrics) {
 	g1, g2 := v.cfg.Groups(c)
 	bucket := v.epochOf(c.THours)
 	v.store.Add(netsim.ASID(g1), netsim.ASID(g2), opt, bucket, m)
@@ -688,9 +748,13 @@ func (v *Via) Observe(c Call, opt netsim.Option, m quality.Metrics) {
 		v.pairs[gp] = ps
 	}
 	ps.ucb.observe(copt, m.Get(v.cfg.Metric))
+	hook := v.reportHook
 	v.mu.Unlock()
 	if v.obs.observations != nil {
 		v.obs.observations.Inc()
+	}
+	if hook != nil {
+		hook(c)
 	}
 }
 
@@ -712,7 +776,8 @@ func (v *Via) TopKFor(c Call, cands []netsim.Option) []Candidate {
 	v.mu.Lock()
 	defer v.mu.Unlock()
 	v.ensureEpoch(v.epochOf(c.THours))
-	return v.pruneLocked(g1, g2, cands)
+	// pruneLocked hands back scratch; the caller gets an owned copy.
+	return append([]Candidate(nil), v.pruneLocked(g1, g2, cands)...)
 }
 
 // Predictor exposes the current trained predictor (nil before any call).

@@ -42,6 +42,9 @@ func (r *Registry) WriteText(w io.Writer) error {
 		case kindGaugeFunc:
 			typeLine(base, "gauge")
 			emit("%s %s\n", name, formatFloat(e.f()))
+		case kindCounterFunc:
+			typeLine(base, "counter")
+			emit("%s %d\n", name, e.cf())
 		case kindHistogram:
 			typeLine(base, "histogram")
 			writeHistogram(emit, base, labels, e.h)

@@ -43,6 +43,7 @@ const (
 	kindGauge
 	kindGaugeFunc
 	kindHistogram
+	kindCounterFunc
 )
 
 func (k kind) String() string {
@@ -55,6 +56,8 @@ func (k kind) String() string {
 		return "gaugefunc"
 	case kindHistogram:
 		return "histogram"
+	case kindCounterFunc:
+		return "counterfunc"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -66,6 +69,7 @@ type entry struct {
 	c    *Counter
 	g    *Gauge
 	f    func() float64
+	cf   func() int64
 	h    *Histogram
 }
 
@@ -185,7 +189,36 @@ func (r *Registry) GaugeFunc(name string, f func() float64) {
 	if e, ok := s.m[name]; ok && e.kind != kindGaugeFunc {
 		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as gaugefunc", name, e.kind))
 	}
+	if f == nil { // nil callback reads as zero, like every other instrument
+		f = func() float64 { return 0 }
+	}
 	s.m[name] = &entry{kind: kindGaugeFunc, f: f}
+}
+
+// CounterFunc registers a callback counter evaluated at exposition time —
+// the bridge for components that already keep their own monotonic atomics
+// (the decision cache's hit/miss counts) and must not pay a second atomic
+// add on the hot path to mirror them into a Counter. The callback must be
+// monotonic. Replace semantics mirror GaugeFunc: re-registering a name
+// swaps the callback, so a rebuilt component rebinds cleanly. Nil
+// registry: no-op.
+func (r *Registry) CounterFunc(name string, f func() int64) {
+	if r == nil {
+		return
+	}
+	s := r.shard(name)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		s.m = make(map[string]*entry)
+	}
+	if e, ok := s.m[name]; ok && e.kind != kindCounterFunc {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as counterfunc", name, e.kind))
+	}
+	if f == nil { // nil callback reads as zero, like every other instrument
+		f = func() int64 { return 0 }
+	}
+	s.m[name] = &entry{kind: kindCounterFunc, cf: f}
 }
 
 // Histogram returns the named fixed-bucket histogram, creating it with
@@ -240,6 +273,8 @@ func (r *Registry) Snapshot() map[string]float64 {
 			out[name] = e.g.Value()
 		case kindGaugeFunc:
 			out[name] = e.f()
+		case kindCounterFunc:
+			out[name] = float64(e.cf())
 		case kindHistogram:
 			base, labels := splitLabels(name)
 			out[joinLabels(base+"_count", labels)] = float64(e.h.Count())

@@ -240,3 +240,31 @@ var errFail = &writeErr{}
 type writeErr struct{}
 
 func (*writeErr) Error() string { return "injected write failure" }
+
+func TestCounterFunc(t *testing.T) {
+	r := NewRegistry()
+	n := int64(0)
+	r.CounterFunc("via_cb_total", func() int64 { return n })
+	n = 7
+	if got := r.Snapshot()["via_cb_total"]; got != 7 {
+		t.Errorf("counterfunc snapshot = %v, want 7", got)
+	}
+	var sb strings.Builder
+	r.WriteText(&sb)
+	if !strings.Contains(sb.String(), "# TYPE via_cb_total counter") ||
+		!strings.Contains(sb.String(), "via_cb_total 7") {
+		t.Errorf("counterfunc exposition missing, got:\n%s", sb.String())
+	}
+	// Revived component re-registers: replacement wins, like GaugeFunc.
+	r.CounterFunc("via_cb_total", func() int64 { return 100 })
+	if got := r.Snapshot()["via_cb_total"]; got != 100 {
+		t.Errorf("counterfunc after replace = %v, want 100", got)
+	}
+	// Nil callback and nil registry are inert.
+	r.CounterFunc("via_nilcb_total", nil)
+	if got := r.Snapshot()["via_nilcb_total"]; got != 0 {
+		t.Errorf("nil counterfunc = %v, want 0", got)
+	}
+	var nilReg *Registry
+	nilReg.CounterFunc("via_x_total", func() int64 { return 1 })
+}

@@ -187,9 +187,17 @@ func NewSharded(n int, factory func(shard int) Strategy) Strategy {
 
 // NewCached wraps a strategy with a per-pair decision cache (TTL in hours):
 // the §7 client-side caching that trades decision staleness for controller
-// load.
+// load. Entries are also invalidated early when a report for their pair is
+// applied (epoch invalidation), so the cache is at most one report stale.
 func NewCached(inner Strategy, ttlHours float64) *core.Cached {
 	return core.NewCached(inner, ttlHours)
+}
+
+// NewCachedBounded is NewCached with an explicit bound on the number of
+// cached pairs (full shards evict expired entries first, then the
+// nearest-expiry decision).
+func NewCachedBounded(inner Strategy, ttlHours float64, maxPairs int) *core.Cached {
+	return core.NewCachedBounded(inner, ttlHours, maxPairs)
 }
 
 // NewSimulator builds the §5.1 trace-driven simulator for a world.
