@@ -22,7 +22,7 @@ COVER_FLOOR ?= 75.0
 # -timings prints load + per-analyzer wall time to stderr).
 VIALINT_FLAGS ?=
 
-.PHONY: verify build vet lint lint-fast test race short fuzz chaos chaos-ha chaos-repair loss-sweep bench bench-json bench-choose bench-smoke choose-smoke cover
+.PHONY: verify build vet lint lint-fast test race short fuzz chaos chaos-ha chaos-repair soak loss-sweep bench bench-json bench-choose bench-smoke choose-smoke cover
 
 verify: build vet lint test race
 
@@ -99,6 +99,18 @@ chaos-ha:
 # call: the repair counters in the report must move.
 chaos-repair:
 	$(GO) run ./cmd/viabench -quick -repair nack chaos
+
+# Shard-chaos soak: zipf load over a live multi-shard consistent-hash
+# ring while shard 0's primary is killed, its warm standby promoted, and
+# the ring grown by one shard mid-run (DESIGN.md §16). Gates on zero
+# dropped decisions, the fault plan completing, and bit-identical
+# per-shard WAL replay; writes the machine-readable report and the final
+# metrics snapshot for CI artifact upload. SOAK_CALLS=24000 is the
+# nightly 10× scale.
+SOAK_CALLS ?= 2400
+soak:
+	$(GO) run ./cmd/viabench -soak-calls $(SOAK_CALLS) \
+		-soakout soak-report.json -metricsout soak-metrics.json soak
 
 # Loss-repair sweep: residual loss / MOS / overhead per (regime, scheme)
 # plus the per-regime repair bandit's learned choices.

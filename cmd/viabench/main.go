@@ -9,6 +9,7 @@
 //	viabench [flags] chaos          run the fault-injection benchmark
 //	viabench [flags] bench          benchmark-regression harness (BENCH_<seed>.json)
 //	viabench [flags] choose         Choose-throughput harness (BENCH_2.json)
+//	viabench [flags] soak           shard-chaos soak (ring fleet under faults)
 //	viabench -list                  list experiment names
 //
 // Flags:
@@ -37,6 +38,12 @@
 //	                 the fault plan gains an abrupt crash + WAL-recovery restart)
 //	-repair S        chaos: place every call with loss-repair scheme S
 //	                 (none | nack | red | fec-K) and add burst loss to the plan
+//	-soak-shards N   soak: initial ring shard count (default 3)
+//	-soak-calls N    soak: minimum decisions across workers (default 2400)
+//	-soak-pairs N    soak: zipf universe of group pairs (default 64)
+//	-soak-goroutines N  soak: concurrent workers (default 4)
+//	-soak-relays N   soak: bounce candidates per call beyond direct (default 5)
+//	-soakout F       soak: write the machine-readable report JSON to F
 //
 // When GITHUB_STEP_SUMMARY is set (GitHub Actions), bench appends a
 // one-line result to the job summary.
@@ -91,6 +98,12 @@ func run() int {
 	chooseObserve := flag.Int("choose-observe-every", 200, "choose: one Observe per N Chooses per caller (0 = none)")
 	walDir := flag.String("waldir", "", "chaos: run the controller durably (WAL+snapshots here; adds crash/WAL-restart faults)")
 	repair := flag.String("repair", "", "chaos: loss-repair scheme on every call (none|nack|red|fec-K; adds burst loss to the fault plan)")
+	soakShards := flag.Int("soak-shards", 3, "soak: initial ring shard count")
+	soakCalls := flag.Int("soak-calls", 2400, "soak: minimum decisions across workers")
+	soakPairs := flag.Int("soak-pairs", 64, "soak: zipf universe of group pairs")
+	soakGoroutines := flag.Int("soak-goroutines", 4, "soak: concurrent workers, one ring client each")
+	soakRelays := flag.Int("soak-relays", 5, "soak: bounce candidates per call beyond direct")
+	soakOut := flag.String("soakout", "", "soak: write the machine-readable soak report JSON to file")
 	flag.Parse()
 
 	if *list {
@@ -101,11 +114,12 @@ func run() int {
 		fmt.Printf("%-8s %s\n", "chaos", "fault-injection benchmark (relay death + controller flap)")
 		fmt.Printf("%-8s %s\n", "bench", "benchmark-regression harness (writes BENCH_<seed>.json)")
 		fmt.Printf("%-8s %s\n", "choose", "Choose-throughput + tail-latency harness (writes BENCH_2.json)")
+		fmt.Printf("%-8s %s\n", "soak", "shard-chaos soak (ring fleet under kill/promote/rebalance)")
 		return 0
 	}
 	args := flag.Args()
 	if len(args) == 0 {
-		fmt.Fprintln(os.Stderr, "usage: viabench [flags] all | bench | choose | fig18 | <experiment>... (use -list)")
+		fmt.Fprintln(os.Stderr, "usage: viabench [flags] all | bench | choose | soak | fig18 | <experiment>... (use -list)")
 		return 2
 	}
 
@@ -132,6 +146,19 @@ func run() int {
 			defer runtime.GOMAXPROCS(prev)
 		}
 		return runBench(*seed, *calls, *modes, *benchOut, *baseline, *tolerance, *benchNote)
+	}
+	if len(args) == 1 && args[0] == "soak" {
+		return runSoakCmd(soakParams{
+			seed:       *seed,
+			shards:     *soakShards,
+			calls:      *soakCalls,
+			pairs:      *soakPairs,
+			goroutines: *soakGoroutines,
+			relays:     *soakRelays,
+			walRoot:    *walDir,
+			soakOut:    *soakOut,
+			metricsOut: *metricsOut,
+		})
 	}
 	if len(args) == 1 && args[0] == "choose" {
 		cfg := benchharness.DefaultChooseConfig()

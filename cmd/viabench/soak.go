@@ -1,0 +1,113 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/ring"
+)
+
+// soakParams carries the soak subcommand's flag values into runSoakCmd.
+type soakParams struct {
+	seed       uint64
+	shards     int
+	calls      int
+	pairs      int
+	goroutines int
+	relays     int
+	walRoot    string
+	soakOut    string
+	metricsOut string
+}
+
+// runSoakCmd is the `viabench soak` mode: the shard-chaos soak e2e — a
+// zipf load over a live multi-shard fleet while shard 0's primary is
+// killed, its standby promoted, and the ring grown by one shard — with the
+// CI gate's acceptance checks applied (zero drops, per-shard WAL replay
+// identity, fault plan fully executed) and the machine-readable report
+// written for artifact upload.
+func runSoakCmd(p soakParams) int {
+	var reg *obs.Registry
+	if p.metricsOut != "" {
+		reg = obs.NewRegistry()
+	}
+	start := time.Now()
+	rep, err := ring.RunSoak(ring.SoakConfig{
+		Seed:       p.seed,
+		Shards:     p.shards,
+		Calls:      p.calls,
+		Pairs:      p.pairs,
+		Goroutines: p.goroutines,
+		Relays:     p.relays,
+		WALRoot:    p.walRoot,
+		Metrics:    reg,
+		Logf: func(format string, args ...any) {
+			fmt.Printf(format+"\n", args...)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "soak: %v\n", err)
+		return 1
+	}
+
+	failures := 0
+	fail := func(format string, args ...any) {
+		failures++
+		fmt.Fprintf(os.Stderr, "soak: FAIL: "+format+"\n", args...)
+	}
+	if rep.Drops != 0 {
+		fail("%d of %d decisions dropped", rep.Drops, rep.Calls)
+	}
+	if rep.FaultErrors != 0 {
+		fail("%d fault-plan steps failed", rep.FaultErrors)
+	}
+	if rep.Promotions != 1 {
+		fail("promotions = %d, want 1", rep.Promotions)
+	}
+	if rep.Rebalances != 1 {
+		fail("rebalances = %d, want 1", rep.Rebalances)
+	}
+	for _, sr := range rep.ShardReports {
+		if !sr.ReplayIdentical {
+			fail("shard %d WAL replay diverged from live state (lsn %d)", sr.ID, sr.AppliedLSN)
+		}
+	}
+
+	if p.soakOut != "" {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "soakout: %v\n", err)
+			return 1
+		}
+		if err := os.WriteFile(p.soakOut, append(buf, '\n'), 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "soakout: %v\n", err)
+			return 1
+		}
+		fmt.Printf("[soak report written to %s]\n", p.soakOut)
+	}
+	if reg != nil {
+		if err := writeMetricsSnapshot(reg, p.metricsOut); err != nil {
+			fmt.Fprintf(os.Stderr, "metricsout: %v\n", err)
+			return 1
+		}
+		fmt.Printf("[metrics snapshot written to %s]\n", p.metricsOut)
+	}
+
+	verdict := "PASS"
+	if failures > 0 {
+		verdict = fmt.Sprintf("FAIL (%d checks)", failures)
+	}
+	line := fmt.Sprintf("soak: %s — calls %d, drops %d, redirects %d, retries %d, epoch %d, merged budget (n=%d, th=%.4f) vs oracle (n=%d, th=%.4f), %s",
+		verdict, rep.Calls, rep.Drops, rep.Redirects, rep.Retries, rep.MapEpoch,
+		rep.MergedN, rep.MergedThreshold, rep.OracleN, rep.OracleThreshold,
+		time.Since(start).Round(time.Millisecond))
+	fmt.Println(line)
+	appendStepSummary(line)
+	if failures > 0 {
+		return 1
+	}
+	return 0
+}

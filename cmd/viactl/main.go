@@ -6,6 +6,7 @@
 // Usage:
 //
 //	viactl [serve] [flags]     run a controller (the default command)
+//	viactl route -ring-map F   run the stateless ring router over a shard map
 //	viactl snapshot -ctrl URL  force a durable snapshot on a running controller
 //	viactl promote  -ctrl URL  promote a standby to primary
 //	viactl wal-dump -dir DIR   print a WAL directory's snapshots and records
@@ -25,6 +26,12 @@
 // selection: choose requests that offer repair candidates get a scheme
 // picked by a bandit over (path, repair) arms, with -repair-budget capping
 // the redundant-bandwidth fraction (§4.6 applied to redundancy).
+//
+// A sharded control plane runs one serve per shard with -ring-map FILE
+// -ring-shard N (the server then redirects pairs it does not own to their
+// owner, 307 + the map epoch) plus one route process fronting the fleet.
+// The shard map file is the JSON GET /v1/ring/map serves; see DESIGN.md
+// §16 for the ring topology, epoch protocol, and failure matrix.
 //
 // Relays register with POST /v1/relays/register; clients call POST
 // /v1/choose and POST /v1/report. GET /v1/stats reports counters, GET
@@ -56,6 +63,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/obs"
 	"repro/internal/quality"
+	"repro/internal/ring"
 	"repro/internal/transport"
 	"repro/internal/wal"
 )
@@ -70,6 +78,8 @@ func run(args []string) int {
 	switch cmd {
 	case "serve":
 		return serveCmd(args)
+	case "route":
+		return routeCmd(args)
 	case "snapshot", "promote":
 		return adminCmd(cmd, args)
 	case "wal-dump":
@@ -87,6 +97,7 @@ func run(args []string) int {
 func usage(w io.Writer) {
 	fmt.Fprint(w, `usage:
   viactl [serve] [flags]     run a controller (default command; serve -h for flags)
+  viactl route -ring-map F   run the stateless ring router over a shard map
   viactl snapshot -ctrl URL  force a durable snapshot on a running controller
   viactl promote  -ctrl URL  promote a standby to primary
   viactl wal-dump -dir DIR   print a WAL directory's snapshots and records
@@ -113,6 +124,8 @@ func serveCmd(args []string) int {
 	walSync := fs.Duration("wal-sync", 0, "WAL group-commit window (0 = default, negative = fsync every append)")
 	snapEvery := fs.Int("snapshot-every", 0, "snapshot after this many applied records (0 = default 4096, negative = never)")
 	standbyOf := fs.String("standby", "", "run as warm standby of this primary controller URL (requires -wal)")
+	ringMapFile := fs.String("ring-map", "", "ring: shard-map JSON file; serve as one shard of this ring (requires -ring-shard)")
+	ringShard := fs.Int("ring-shard", -1, "ring: this server's shard ID in the -ring-map file")
 	lease := fs.Duration("lease", 0, "standby: primary silence tolerated before the lease lapses (0 = 2s)")
 	autoPromote := fs.Bool("auto-promote", false, "standby: self-promote to primary when the lease lapses")
 	maxConcurrent := fs.Int("max-concurrent", 0, "admission: concurrent choose/report requests per endpoint (0 = unlimited)")
@@ -136,6 +149,9 @@ func serveCmd(args []string) int {
 	}
 	if *state != "" && *walDir != "" {
 		log.Fatal("-state and -wal are mutually exclusive (the WAL supersedes the history snapshot file)")
+	}
+	if (*ringMapFile == "") != (*ringShard < 0) {
+		log.Fatal("-ring-map and -ring-shard go together (a shard needs both the map and its own ID)")
 	}
 	if *cacheTTL > 0 && *walDir != "" {
 		// WAL replay reproduces state by re-executing every choose record
@@ -205,9 +221,25 @@ func serveCmd(args []string) int {
 		srv = controller.New(ccfg)
 	}
 
+	handler := srv.Handler()
+	role := "standalone"
+	if *ringMapFile != "" {
+		m, err := loadRingMap(*ringMapFile)
+		if err != nil {
+			log.Fatalf("ring map: %v", err)
+		}
+		if _, ok := m.ShardByID(*ringShard); !ok {
+			log.Fatalf("ring map %s has no shard %d", *ringMapFile, *ringShard)
+		}
+		// The gate answers 307 for pairs other shards own and accepts
+		// newer-epoch map installs on POST /v1/ring/map.
+		handler = ring.NewGate(*ringShard, handler, m, reg)
+		role = fmt.Sprintf("ring shard %d (epoch %d, %d shards)", *ringShard, m.MapEpoch, len(m.Shards))
+	}
+
 	hs := &http.Server{
 		Addr:    *addr,
-		Handler: srv.Handler(),
+		Handler: handler,
 		// Misbehaving or stalled clients must not pin handler goroutines:
 		// every control RPC is a small JSON body, so generous-but-finite
 		// read bounds cost nothing in the happy path.
@@ -249,8 +281,8 @@ func serveCmd(args []string) int {
 	if *walDir != "" {
 		mode = "durable wal=" + *walDir
 	}
-	fmt.Printf("via controller listening on %s (metric=%s budget=%.2f role=%s state=%s mode=%s)\n",
-		*addr, m, *budget, srv.Role(), srv.State(), mode)
+	fmt.Printf("via controller listening on %s (metric=%s budget=%.2f role=%s state=%s mode=%s ring=%s)\n",
+		*addr, m, *budget, srv.Role(), srv.State(), mode, role)
 	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
 		log.Fatal(err)
 	}

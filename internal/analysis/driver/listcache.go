@@ -2,6 +2,9 @@ package driver
 
 import (
 	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -16,12 +19,15 @@ import (
 // type-check + analyze.
 //
 // Validity is judged by a source stamp: the Go toolchain version, the
-// requested patterns, and the (count, total size, max mtime) of every
-// .go/go.mod/go.sum file under the module root. Any edit, addition, or
-// deletion perturbs the stamp and forces a fresh `go list`. Export-data
-// files recorded in the cache are also re-stat'd — the go build cache may
-// have pruned them, in which case the cache is stale regardless of the
-// stamp.
+// requested patterns, and an FNV-1a hash over the relative path, size,
+// and contents of every .go/go.mod/go.sum file under the module root (in
+// WalkDir's lexical order, so the hash is deterministic). Any edit,
+// addition, deletion, or rename perturbs the stamp and forces a fresh
+// `go list`. Hashing contents rather than mtimes makes the stamp survive
+// a fresh checkout — CI restores .cache/ across runs, and every checkout
+// rewrites mtimes while the bytes are unchanged. Export-data files
+// recorded in the cache are also re-stat'd — the go build cache may have
+// pruned them, in which case the cache is stale regardless of the stamp.
 
 // listCache is the on-disk cache file format.
 type listCache struct {
@@ -35,12 +41,13 @@ type sourceStamp struct {
 	Patterns  string
 	Files     int
 	Bytes     int64
-	MaxMtime  int64 // unix nanos
+	Hash      uint64 // FNV-1a over (relative path, size, contents) per file
 }
 
 // stampSources walks the module tree rooted at dir.
 func stampSources(dir string, patterns []string) (sourceStamp, error) {
 	st := sourceStamp{GoVersion: runtime.Version(), Patterns: strings.Join(patterns, " ")}
+	h := fnv.New64a()
 	err := filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
 			return err
@@ -61,11 +68,23 @@ func stampSources(dir string, patterns []string) (sourceStamp, error) {
 		}
 		st.Files++
 		st.Bytes += info.Size()
-		if mt := info.ModTime().UnixNano(); mt > st.MaxMtime {
-			st.MaxMtime = mt
+		rel, err := filepath.Rel(dir, path)
+		if err != nil {
+			rel = path
+		}
+		fmt.Fprintf(h, "%s\x00%d\x00", filepath.ToSlash(rel), info.Size())
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		_, cerr := io.Copy(h, f)
+		f.Close() //vialint:ignore errwrap read-only file; the copy error below covers short reads
+		if cerr != nil {
+			return cerr
 		}
 		return nil
 	})
+	st.Hash = h.Sum64()
 	return st, err
 }
 

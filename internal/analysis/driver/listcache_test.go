@@ -1,0 +1,103 @@
+package driver
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// writeTree lays out files under dir; keys are slash-relative paths.
+func writeTree(t *testing.T, dir string, files map[string]string) {
+	t.Helper()
+	for rel, body := range files {
+		path := filepath.Join(dir, filepath.FromSlash(rel))
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestStampSurvivesMtimeChurn: the stamp must be a pure function of file
+// paths and contents. A fresh CI checkout rewrites every mtime while the
+// bytes are identical — that is exactly the case an actions/cache-restored
+// list cache must survive.
+func TestStampSurvivesMtimeChurn(t *testing.T) {
+	dir := t.TempDir()
+	writeTree(t, dir, map[string]string{
+		"go.mod":    "module stampcheck\n\ngo 1.22\n",
+		"a/a.go":    "package a\n",
+		"b/b.go":    "package b\n",
+		"b/not.txt": "ignored: not a stamped extension\n",
+	})
+	before, err := stampSources(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if before.Files != 3 {
+		t.Fatalf("stamp counted %d files, want 3 (go.mod + two .go)", before.Files)
+	}
+
+	// Simulate a checkout: same bytes, new mtimes everywhere.
+	past := time.Now().Add(-48 * time.Hour)
+	err = filepath.WalkDir(dir, func(path string, d os.DirEntry, err error) error {
+		if err != nil || d.IsDir() {
+			return err
+		}
+		return os.Chtimes(path, past, past)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	after, err := stampSources(dir, []string{"./..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before {
+		t.Fatalf("stamp changed under pure mtime churn:\n before %+v\n after  %+v", before, after)
+	}
+}
+
+// TestStampTracksContentAndLayout: any byte edit, rename, or same-size
+// content swap must perturb the hash even when file count and total size
+// are unchanged.
+func TestStampTracksContentAndLayout(t *testing.T) {
+	base := map[string]string{
+		"go.mod": "module stampcheck\n\ngo 1.22\n",
+		"a/a.go": "package a\n\nvar X = 1\n",
+	}
+	stampOf := func(files map[string]string) sourceStamp {
+		t.Helper()
+		dir := t.TempDir()
+		writeTree(t, dir, files)
+		st, err := stampSources(dir, []string{"./..."})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	orig := stampOf(base)
+
+	edited := map[string]string{
+		"go.mod": base["go.mod"],
+		"a/a.go": "package a\n\nvar X = 2\n", // same size, one byte differs
+	}
+	if st := stampOf(edited); st == orig {
+		t.Fatal("same-size content edit did not change the stamp")
+	}
+
+	renamed := map[string]string{
+		"go.mod": base["go.mod"],
+		"a/b.go": base["a/a.go"], // identical bytes under a new path
+	}
+	if st := stampOf(renamed); st == orig {
+		t.Fatal("rename did not change the stamp")
+	}
+
+	if st := stampOf(base); st != orig {
+		t.Fatalf("stamp is not reproducible across directories:\n %+v\n %+v", orig, st)
+	}
+}

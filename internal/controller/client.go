@@ -61,6 +61,10 @@ type Client struct {
 	// Breaker tunes the circuit breaker; zero value = defaults, negative
 	// Threshold disables it. Set before the first request.
 	Breaker BreakerConfig
+	// RefreshShards re-fetches the ring shard map after an epoch-stale
+	// redirect (see ringclient.go). Set before the first request; only
+	// meaningful once SetShards has installed a map.
+	RefreshShards func() (ShardMap, error)
 
 	rngMu     sync.Mutex
 	rng       *stats.RNG   // guarded by rngMu
@@ -68,7 +72,11 @@ type Client struct {
 	cursor    atomic.Int32 // sticky index into endpoints()
 	failovers atomic.Int64 // endpoint switches
 	brkOnce   sync.Once
-	brk       *breaker // initialized by breakerState
+	brk       *breaker     // initialized by breakerState
+	shards    atomic.Value // shardHolder; set by SetShards
+	redirects atomic.Int64 // 307 epoch-stale redirects followed
+	ringOnce  sync.Once
+	ringHTTP  *http.Client // initialized by ringClient; never follows 307s
 }
 
 // NewClient builds a client for a controller base URL with the default
@@ -235,7 +243,7 @@ func (c *Client) Choose(src, dst int32, cands []netsim.Option) (netsim.Option, e
 		req.Candidates = append(req.Candidates, transport.ToWireOption(o))
 	}
 	var resp transport.ChooseResponse
-	if err := c.post("/v1/choose", req, &resp); err != nil {
+	if err := c.postPair(src, dst, "/v1/choose", req, &resp); err != nil {
 		return netsim.DirectOption(), err
 	}
 	return resp.Option.Option(), nil
@@ -251,7 +259,7 @@ func (c *Client) ChooseWithRepair(src, dst int32, cands []netsim.Option, schemes
 		req.Candidates = append(req.Candidates, transport.ToWireOption(o))
 	}
 	var resp transport.ChooseResponse
-	if err := c.post("/v1/choose", req, &resp); err != nil {
+	if err := c.postPair(src, dst, "/v1/choose", req, &resp); err != nil {
 		return netsim.DirectOption(), "", err
 	}
 	return resp.Option.Option(), resp.Repair, nil
@@ -261,7 +269,7 @@ func (c *Client) ChooseWithRepair(src, dst int32, cands []netsim.Option, schemes
 // scheme that ran and the call duration in seconds (0 = unknown).
 func (c *Client) ReportRepair(src, dst int32, opt netsim.Option, scheme string, durSec float64, m quality.Metrics) error {
 	var resp transport.ReportResponse
-	return c.post("/v1/report", transport.ReportRequest{
+	return c.postPair(src, dst, "/v1/report", transport.ReportRequest{
 		Src: src, Dst: dst,
 		Option:      transport.ToWireOption(opt),
 		Metrics:     transport.ToWireMetrics(m),
@@ -273,7 +281,7 @@ func (c *Client) ReportRepair(src, dst int32, opt netsim.Option, scheme string, 
 // Report pushes one call's measurements.
 func (c *Client) Report(src, dst int32, opt netsim.Option, m quality.Metrics) error {
 	var resp transport.ReportResponse
-	return c.post("/v1/report", transport.ReportRequest{
+	return c.postPair(src, dst, "/v1/report", transport.ReportRequest{
 		Src: src, Dst: dst,
 		Option:  transport.ToWireOption(opt),
 		Metrics: transport.ToWireMetrics(m),

@@ -62,6 +62,9 @@ type Config struct {
 	// WALSyncInterval is the WAL group-commit window (see wal.Options).
 	// 0 = the wal package default; negative = fsync per append.
 	WALSyncInterval time.Duration
+	// WALSegmentBytes is the WAL segment rotation size (see wal.Options).
+	// 0 = the wal package default.
+	WALSegmentBytes int64
 	// SnapshotEvery takes a background snapshot after this many applied
 	// records, then truncates the covered WAL prefix. 0 = default 4096;
 	// negative disables automatic snapshots (forced ones still work).
@@ -195,6 +198,7 @@ func Open(cfg Config) (*Server, error) {
 	s := newServer(cfg)
 	wlog, err := wal.Open(cfg.WALDir, wal.Options{
 		SyncInterval: cfg.WALSyncInterval,
+		SegmentBytes: cfg.WALSegmentBytes,
 		Metrics:      cfg.Metrics,
 	})
 	if err != nil {
@@ -305,6 +309,8 @@ func newServer(cfg Config) *Server {
 	s.mux.HandleFunc("GET /v1/wal/snapshot", s.handleWALSnapshot)
 	s.mux.HandleFunc("POST /v1/admin/snapshot", s.handleAdminSnapshot)
 	s.mux.HandleFunc("POST /v1/promote", s.handlePromote)
+	s.mux.HandleFunc("GET /v1/budget/digest", s.handleBudgetDigest)
+	s.mux.HandleFunc("POST /v1/budget/merged", s.handleBudgetMerged)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return s
 }

@@ -40,6 +40,7 @@ const (
 	recChoose wal.Type = 1
 	recReport wal.Type = 2
 	recTerm   wal.Type = 3
+	recBudget wal.Type = 4
 )
 
 // walChoose is the durable form of one /v1/choose decision input.
@@ -81,6 +82,19 @@ type walReport struct {
 //via:walrecord
 type walTerm struct {
 	Term uint64 `json:"term"`
+}
+
+// walBudget records a fleet-merged §4.6 budget-threshold install (shard
+// ring mode): the router aggregates every shard's benefit digest and
+// pushes the merged threshold to each shard, which logs it before applying
+// so replayed gate decisions match the live ones. Logs written before the
+// ring layer never contain this type, and replay without it leaves the
+// strategy on its local estimator — exactly the pre-ring behavior.
+//
+//via:walrecord
+type walBudget struct {
+	N         int64   `json:"n"`
+	Threshold float64 `json:"threshold"`
 }
 
 const ctrlSnapshotVersion = 1
@@ -252,6 +266,18 @@ func (s *Server) applyRecordLocked(rec wal.Record) error {
 			return fmt.Errorf("controller: decode term record: %w", err)
 		}
 		s.term.Store(r.Term)
+	case recBudget:
+		var r walBudget
+		if err := json.Unmarshal(rec.Data, &r); err != nil {
+			return fmt.Errorf("controller: decode budget record: %w", err)
+		}
+		// Mirror the live install path: only a Via-backed strategy carries
+		// the shared gate. A record logged by a Via controller but replayed
+		// into a non-Via strategy is a config change, and the config is the
+		// source of truth — skip it.
+		if via, ok := unwrapVia(s.cfg.Strategy); ok {
+			via.SetSharedBudgetThreshold(r.N, r.Threshold)
+		}
 	default:
 		return fmt.Errorf("controller: unknown wal record type %d", rec.Type)
 	}
@@ -269,6 +295,8 @@ func DescribeRecord(rec wal.Record) string {
 		return fmt.Sprintf("report %s", rec.Data)
 	case recTerm:
 		return fmt.Sprintf("term   %s", rec.Data)
+	case recBudget:
+		return fmt.Sprintf("budget %s", rec.Data)
 	default:
 		return fmt.Sprintf("unknown(type=%d) %d bytes", rec.Type, len(rec.Data))
 	}

@@ -1,0 +1,228 @@
+package controller
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/netsim"
+	"repro/internal/quality"
+	"repro/internal/transport"
+	"repro/internal/wal"
+)
+
+func ringViaConfig(seed uint64) core.ViaConfig {
+	cfg := core.DefaultViaConfig(quality.RTT)
+	cfg.Budget = 0.8
+	cfg.Seed = seed
+	return cfg
+}
+
+// openRingServer opens a durable server the way a ring shard runs: full
+// WAL retained (snapshots disabled) so it stays rebalanceable.
+func openRingServer(t *testing.T, dir string, seed uint64) *Server {
+	t.Helper()
+	s, err := Open(Config{
+		Strategy:      core.NewVia(ringViaConfig(seed), nil),
+		WALDir:        dir,
+		SnapshotEvery: -1,
+		Clock:         newFakeClock().Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// drive pushes n choose+report rounds for the given pair through the
+// server's apply path (the same path HTTP requests take).
+func drive(t *testing.T, s *Server, src, dst int32, n int, thBase float64) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		call := core.Call{Src: netsim.ASID(src), Dst: netsim.ASID(dst), THours: thBase + 0.097*float64(i)}
+		opt, _, err := s.applyChoose(call, testCands(), nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wm := transport.ToWireMetrics(synthMetrics(i, opt))
+		if err := s.applyReport(call, opt, wm, "", 180); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestBudgetInstallReplaysIdentically checks the recBudget WAL record: a
+// merged-threshold install lands in the log before the strategy applies
+// it, so a from-scratch replay — calls, install, more calls — reproduces
+// the live strategy state byte-for-byte.
+func TestBudgetInstallReplaysIdentically(t *testing.T) {
+	dir := t.TempDir()
+	s := openRingServer(t, dir, 7)
+
+	drive(t, s, 10, 11, 40, 0)
+	if err := s.applyBudget(1234, 0.042); err != nil {
+		t.Fatal(err)
+	}
+	// Post-install traffic runs under the shared gate; replay must make
+	// the same gate decisions at the same log positions.
+	drive(t, s, 10, 11, 40, 40*0.097)
+
+	liveState, err := s.StrategyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveLSN := s.AppliedLSN()
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	re := openRingServer(t, dir, 7)
+	defer re.Close() //vialint:ignore errwrap test teardown close
+	// Reopening as primary appends one fresh term record after replay.
+	if re.AppliedLSN() != liveLSN+1 {
+		t.Fatalf("replayed to lsn %d, live was %d (+1 boot term)", re.AppliedLSN(), liveLSN)
+	}
+	reState, err := re.StrategyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(liveState, reState) {
+		t.Fatalf("replayed strategy state (%dB) differs from live state (%dB); the budget install is not replaying", len(reState), len(liveState))
+	}
+}
+
+// TestExportImportMovesOnePair rebalances pair (10,11) from one durable
+// shard to another: the exported stream must contain exactly that pair's
+// records in LSN order, and after import the destination must itself
+// replay byte-identically (imports are WAL-first like live traffic).
+func TestExportImportMovesOnePair(t *testing.T) {
+	srcDir, dstDir := t.TempDir(), t.TempDir()
+	src := openRingServer(t, srcDir, 3)
+	defer src.Close() //vialint:ignore errwrap test teardown close
+	dst := openRingServer(t, dstDir, 3)
+
+	// The source shard owns two pairs; the destination already has its own
+	// traffic, which the import must interleave with, not clobber.
+	drive(t, src, 10, 11, 15, 0)
+	drive(t, src, 20, 21, 10, 0)
+	drive(t, dst, 30, 31, 5, 0)
+	preImportLSN := dst.AppliedLSN()
+
+	var moved []wal.Record
+	err := src.ExportRecords(
+		func(s, d int32) bool { return s == 10 && d == 11 },
+		func(rec wal.Record) error { moved = append(moved, rec); return nil },
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 15 rounds = 15 choose + 15 report records; the term and pair (20,21)
+	// records must not leak into the export.
+	if len(moved) != 30 {
+		t.Fatalf("exported %d records, want 30", len(moved))
+	}
+	for _, rec := range moved {
+		s, d, ok := RecordPair(rec)
+		if !ok || s != 10 || d != 11 {
+			t.Fatalf("exported record type=%d pair=(%d,%d) ok=%v; export leaked a foreign record", rec.Type, s, d, ok)
+		}
+	}
+
+	if err := dst.ImportRecords(moved); err != nil {
+		t.Fatal(err)
+	}
+	if got := dst.AppliedLSN(); got != preImportLSN+30 {
+		t.Fatalf("destination lsn %d after import, want %d", got, preImportLSN+30)
+	}
+
+	liveState, err := dst.StrategyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	liveLSN := dst.AppliedLSN()
+	if err := dst.Close(); err != nil {
+		t.Fatal(err)
+	}
+	re := openRingServer(t, dstDir, 3)
+	defer re.Close() //vialint:ignore errwrap test teardown close
+	// Reopening as primary appends one fresh term record after replay.
+	if re.AppliedLSN() != liveLSN+1 {
+		t.Fatalf("replayed to lsn %d, live was %d (+1 boot term)", re.AppliedLSN(), liveLSN)
+	}
+	reState, err := re.StrategyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(liveState, reState) {
+		t.Fatal("destination replay differs from live state after import")
+	}
+}
+
+// TestExportRefusesTruncatedWAL: once a snapshot has truncated the log
+// prefix, the moved-pairs history is gone and a rebalance export must
+// fail loudly instead of silently under-exporting.
+func TestExportRefusesTruncatedWAL(t *testing.T) {
+	// Tiny segments so the log rolls and a snapshot can actually reclaim a
+	// sealed prefix (truncation is segment-granular).
+	s, err := Open(Config{
+		Strategy:        core.NewVia(ringViaConfig(5), nil),
+		WALDir:          t.TempDir(),
+		SnapshotEvery:   -1,
+		WALSegmentBytes: 512,
+		Clock:           newFakeClock().Now,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close() //vialint:ignore errwrap test teardown close
+	drive(t, s, 10, 11, 20, 0)
+	if _, _, err := s.Snapshot(); err != nil {
+		t.Fatal(err)
+	}
+	if first := s.wlog.FirstLSN(); first <= 1 {
+		t.Fatalf("snapshot left FirstLSN=%d; segments never rolled, the test is not exercising truncation", first)
+	}
+	err = s.ExportRecords(func(int32, int32) bool { return true }, func(wal.Record) error { return nil })
+	if err == nil {
+		t.Fatal("export succeeded over a truncated WAL")
+	}
+}
+
+// getJSONBody fetches path from the server's handler and decodes the JSON
+// response into out.
+func getJSONBody(t *testing.T, s *Server, path string, out any) {
+	t.Helper()
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close() //vialint:ignore errwrap test teardown close
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBudgetEndpointsInMemory: an in-memory (non-durable) controller still
+// serves digests and accepts merged installs — it just has no log to
+// write. Digest of a fresh strategy is OK with n=0 and no sketch.
+func TestBudgetEndpointsInMemory(t *testing.T) {
+	s := New(Config{Strategy: core.NewVia(ringViaConfig(9), nil), Clock: newFakeClock().Now})
+	defer s.Close() //vialint:ignore errwrap test teardown close
+
+	var d transport.BudgetDigestResponse
+	getJSONBody(t, s, "/v1/budget/digest", &d)
+	if !d.OK || d.N != 0 || d.P != 0 {
+		t.Fatalf("fresh digest = %+v, want OK with n=0 and a zero sketch", d)
+	}
+	if err := s.applyBudget(50, 0.1); err != nil {
+		t.Fatal(err)
+	}
+}

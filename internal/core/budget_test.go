@@ -1,0 +1,110 @@
+package core
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/quality"
+)
+
+// TestBudgetDigestLifecycle walks the §4.6 digest through its states:
+// absent without a budget, present-but-cold on a fresh budgeted strategy,
+// and warm (threshold + P² sketch) after enough gated traffic.
+func TestBudgetDigestLifecycle(t *testing.T) {
+	// Budget 1 (unbudgeted) ⇒ no benefit estimator, nothing to digest.
+	unbudgeted := NewVia(DefaultViaConfig(quality.RTT), nil)
+	if _, _, ok := unbudgeted.BudgetDigest(); ok {
+		t.Fatal("unbudgeted Via claims a budget digest")
+	}
+	if _, ok := unbudgeted.BudgetSketch(); ok {
+		t.Fatal("unbudgeted Via claims a budget sketch")
+	}
+
+	cfg := DefaultViaConfig(quality.RTT)
+	cfg.Budget = 0.8
+	v := NewVia(cfg, nil)
+	n, th, ok := v.BudgetDigest()
+	if !ok || n != 0 || th != 0 {
+		t.Fatalf("fresh budgeted digest = (%d, %v, %v), want (0, 0, true)", n, th, ok)
+	}
+
+	// Benefit samples only accrue once predictions exist, i.e. after the
+	// first refresh epoch; drive across several.
+	drive(v, newFakeEnv(1), 2000, 96)
+	n, _, ok = v.BudgetDigest()
+	if !ok || n < 20 {
+		t.Fatalf("digest after 2000 calls = n=%d ok=%v; estimator never warmed", n, ok)
+	}
+	st, ok := v.BudgetSketch()
+	if !ok {
+		t.Fatal("warm Via has no sketch")
+	}
+	if math.Abs(st.P-0.2) > 1e-9 {
+		t.Fatalf("sketch tracks quantile %v, want 0.2 (1 - budget)", st.P)
+	}
+	if int64(st.N) != n {
+		t.Fatalf("sketch n=%d, digest n=%d", st.N, n)
+	}
+	if st.Pos[4] != float64(st.N) {
+		t.Fatalf("sketch last marker position %v, want n=%d", st.Pos[4], st.N)
+	}
+	for i := 0; i < 4; i++ {
+		if st.Q[i] > st.Q[i+1] {
+			t.Fatalf("sketch marker heights not monotone: %v", st.Q)
+		}
+	}
+}
+
+// TestSharedBudgetThresholdGates: once a fleet-merged threshold is
+// installed, the budget-aware gate compares against it instead of the
+// local estimator — an unreachably high threshold forces every non-explore
+// call direct, while the local estimator keeps accumulating for digests.
+func TestSharedBudgetThresholdGates(t *testing.T) {
+	cfg := DefaultViaConfig(quality.RTT)
+	cfg.Budget = 0.8
+	cfg.Epsilon = 0 // no exploration, so gating is the only relay path
+	v := NewVia(cfg, nil)
+	e := newFakeEnv(3)
+	drive(v, e, 1500, 72)
+
+	nBefore, _, _ := v.BudgetDigest()
+	v.SetSharedBudgetThreshold(100, 1e9)
+	for i := 0; i < 100; i++ {
+		c := Call{Src: 3, Dst: 9, THours: 72 + float64(i)*0.01}
+		if opt := v.Choose(c, e.options()); opt.IsRelayed() {
+			t.Fatalf("call %d relayed through an unreachable shared threshold: %v", i, opt)
+		}
+	}
+	nAfter, _, ok := v.BudgetDigest()
+	if !ok || nAfter <= nBefore {
+		t.Fatalf("local digest stopped accumulating under a shared gate: %d -> %d", nBefore, nAfter)
+	}
+}
+
+// TestSharedBudgetStateRoundTrip: the shared-gate install survives
+// SaveState/LoadState — a standby or WAL replay that restored state
+// without it would gate differently than the primary did.
+func TestSharedBudgetStateRoundTrip(t *testing.T) {
+	cfg := DefaultViaConfig(quality.RTT)
+	cfg.Budget = 0.8
+	v := NewVia(cfg, nil)
+	drive(v, newFakeEnv(5), 600, 48)
+	v.SetSharedBudgetThreshold(4242, 0.125)
+
+	var buf bytes.Buffer
+	if err := v.SaveState(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored := NewVia(cfg, nil)
+	if err := restored.LoadState(bytes.NewReader(buf.Bytes())); err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := restored.SaveState(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("save → load → save is not a fixed point with a shared budget threshold installed")
+	}
+}

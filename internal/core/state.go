@@ -95,6 +95,12 @@ type viaState struct {
 	RNG         stats.RNGState
 	RepairRNG   stats.RNGState     // zero (empty PCG) = repair never used
 	RepairPairs []viaRepairPairRec // sorted by (A, B)
+	// Fleet-shared §4.6 gate, added after version 1 shipped (same
+	// versioning-by-omission rule as the repair fields): pre-ring snapshots
+	// decode with SharedBenefit false, which is exactly their state.
+	SharedBenefit   bool
+	SharedBenefitN  int64
+	SharedBenefitTh float64
 }
 
 // SaveState writes the strategy's complete decision state. Safe to call
@@ -108,16 +114,19 @@ func (v *Via) SaveState(w io.Writer) error {
 
 	v.mu.Lock()
 	st := viaState{
-		Version:    viaStateVersion,
-		History:    hist.Bytes(),
-		CurEpoch:   v.curEpoch,
-		HasBenefit: v.benefit != nil,
-		Relayed:    v.relayed,
-		Total:      v.total,
-		RelayedSec: v.relayedSec,
-		TotalSec:   v.totalSec,
-		RelayUse:   make([]viaRelayUseRec, 0, len(v.relayUse)),
-		RelayCalls: v.relayCalls,
+		Version:         viaStateVersion,
+		History:         hist.Bytes(),
+		CurEpoch:        v.curEpoch,
+		HasBenefit:      v.benefit != nil,
+		SharedBenefit:   v.sharedBenefit,
+		SharedBenefitN:  v.sharedBenefitN,
+		SharedBenefitTh: v.sharedBenefitTh,
+		Relayed:         v.relayed,
+		Total:           v.total,
+		RelayedSec:      v.relayedSec,
+		TotalSec:        v.totalSec,
+		RelayUse:        make([]viaRelayUseRec, 0, len(v.relayUse)),
+		RelayCalls:      v.relayCalls,
 	}
 	if v.benefit != nil {
 		st.Benefit = v.benefit.State()
@@ -271,6 +280,9 @@ func (v *Via) LoadState(r io.Reader) error {
 	v.repairRNG = repairRNG
 	v.repairPairs = repairPairs
 	v.benefit = benefit
+	v.sharedBenefit = st.SharedBenefit
+	v.sharedBenefitN = st.SharedBenefitN
+	v.sharedBenefitTh = st.SharedBenefitTh
 	v.curEpoch = st.CurEpoch
 	v.pairs = pairs
 	v.relayed = st.Relayed

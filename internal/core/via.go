@@ -199,6 +199,16 @@ type Via struct {
 	pairs    map[groupPair]*pairState
 
 	benefit *stats.P2 // distribution of predicted relative benefit (§4.6)
+	// Fleet-shared §4.6 gate (guarded by mu): when the control plane is
+	// sharded, no single strategy sees the whole benefit population, so the
+	// router periodically merges every shard's digest and installs the
+	// fleet-wide threshold here. While installed it replaces the local
+	// estimator in the gate; the local P2 keeps accumulating so the next
+	// digest reflects this shard's traffic.
+	sharedBenefit   bool
+	sharedBenefitN  int64
+	sharedBenefitTh float64
+
 	relayed int64
 	total   int64
 	// Duration-weighted counters (BudgetByDuration).
@@ -523,7 +533,7 @@ func (v *Via) Choose(c Call, cands []netsim.Option) netsim.Option {
 	case !hasDirect:
 		// No default path to prefer: proceed straight to exploitation.
 	case budgeted && v.cfg.BudgetAware:
-		if v.benefit.N() >= 20 && benefit < v.benefit.Value() {
+		if n, th := v.budgetGateLocked(); n >= 20 && benefit < th {
 			return v.obs.decide(trace, OutcomeBenefitGated, netsim.DirectOption())
 		}
 	case budgeted && !v.cfg.BudgetAware:
@@ -756,6 +766,66 @@ func (v *Via) applyReport(c Call, opt netsim.Option, m quality.Metrics) {
 	if hook != nil {
 		hook(c)
 	}
+}
+
+// budgetGateLocked returns the (sample count, threshold) pair the §4.6
+// budget-aware gate compares against: the fleet-merged values when a shard
+// router has installed them, the local percentile estimator otherwise.
+// Callers hold v.mu.
+func (v *Via) budgetGateLocked() (int64, float64) {
+	if v.sharedBenefit {
+		return v.sharedBenefitN, v.sharedBenefitTh
+	}
+	if v.benefit == nil || v.benefit.N() < 20 {
+		return int64(0), 0
+	}
+	return int64(v.benefit.N()), v.benefit.Value()
+}
+
+// BudgetDigest reports the local §4.6 benefit-percentile state for
+// cross-shard aggregation: the sample count and (once the estimator has
+// enough samples to be meaningful) the current threshold. ok is false when
+// no budget is configured — there is nothing to aggregate.
+func (v *Via) BudgetDigest() (n int64, threshold float64, ok bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.benefit == nil {
+		return 0, 0, false
+	}
+	n = int64(v.benefit.N())
+	if n >= 20 {
+		threshold = v.benefit.Value()
+	}
+	return n, threshold, true
+}
+
+// BudgetSketch exposes the local benefit estimator's full P² marker state.
+// The five (height, position) markers are a piecewise-linear CDF sketch of
+// the local benefit population, which a shard router can merge across the
+// fleet by inverting the sample-weighted mixture CDF — unlike averaging
+// per-shard quantiles, that merge stays faithful when shards see skewed
+// slices of the pair population. ok is false when no budget is configured.
+func (v *Via) BudgetSketch() (stats.P2State, bool) {
+	v.mu.Lock()
+	defer v.mu.Unlock()
+	if v.benefit == nil {
+		return stats.P2State{}, false
+	}
+	return v.benefit.State(), true
+}
+
+// SetSharedBudgetThreshold installs the fleet-merged §4.6 gate: from now on
+// the budget-aware gate compares predicted benefit against this threshold
+// (with n standing in for the warm-up sample count) instead of the local
+// estimator. The local estimator keeps accumulating so future digests stay
+// current. A durable controller logs the install as a WAL record before
+// calling this, so replay reproduces the same gate decisions.
+func (v *Via) SetSharedBudgetThreshold(n int64, threshold float64) {
+	v.mu.Lock()
+	v.sharedBenefit = true
+	v.sharedBenefitN = n
+	v.sharedBenefitTh = threshold
+	v.mu.Unlock()
 }
 
 // RelayedFraction reports the fraction of calls this strategy sent through

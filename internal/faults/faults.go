@@ -73,6 +73,18 @@ const (
 	// layer exists to survive. Rate carries the stationary loss fraction
 	// and MeanBurst the mean burst length; rate 0 heals the segment.
 	BurstLoss
+	// KillShard kills one ring shard's primary controller abruptly — the
+	// sharded-control-plane analogue of CrashController. Targets must
+	// implement ShardTarget.
+	KillShard
+	// PromoteShardStandby promotes a ring shard's warm standby to primary.
+	PromoteShardStandby
+	// AddShard grows the ring by one shard and rebalances the moved pairs
+	// onto it (epoch+1 map install, then WAL replay of moved pairs).
+	AddShard
+	// RemoveShard drains a ring shard: epoch+1 map install, moved pairs
+	// replayed onto their new owners, then the shard shuts down.
+	RemoveShard
 )
 
 // String names the fault kind.
@@ -102,6 +114,14 @@ func (k Kind) String() string {
 		return "promote-standby"
 	case BurstLoss:
 		return "burst-loss"
+	case KillShard:
+		return "kill-shard"
+	case PromoteShardStandby:
+		return "promote-shard-standby"
+	case AddShard:
+		return "add-shard"
+	case RemoveShard:
+		return "remove-shard"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -148,6 +168,9 @@ type Event struct {
 	Delay time.Duration  // DelayControl added latency
 	// MeanBurst is the BurstLoss mean burst length in packets.
 	MeanBurst float64
+	// Shard is the ring shard ID for KillShard / PromoteShardStandby /
+	// RemoveShard (AddShard mints its own ID).
+	Shard int
 }
 
 // String renders the event for logs and errors.
@@ -163,6 +186,8 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s@%s rate=%.2f", e.Kind, e.At, e.Rate)
 	case DelayControl:
 		return fmt.Sprintf("%s@%s delay=%s", e.Kind, e.At, e.Delay)
+	case KillShard, PromoteShardStandby, RemoveShard:
+		return fmt.Sprintf("%s@%s shard=%d", e.Kind, e.At, e.Shard)
 	default:
 		return fmt.Sprintf("%s@%s", e.Kind, e.At)
 	}
@@ -198,6 +223,22 @@ type Target interface {
 	SetBurstLoss(a, b Endpoint, rate, meanBurstLen float64) error
 }
 
+// ShardTarget is the extra surface a sharded control plane exposes to
+// fault plans. Targets that also serve shard faults implement it
+// alongside Target; Event.Apply type-asserts at firing time, so plans
+// with shard events fail cleanly (not silently) against an unsharded
+// target.
+type ShardTarget interface {
+	// KillShard kills one shard's primary controller abruptly.
+	KillShard(id int) error
+	// PromoteShardStandby promotes a shard's warm standby to primary.
+	PromoteShardStandby(id int) error
+	// AddShard grows the ring by one shard and rebalances onto it.
+	AddShard() error
+	// RemoveShard drains and removes a shard, rebalancing its pairs away.
+	RemoveShard(id int) error
+}
+
 // Apply fires the event against the target.
 func (e Event) Apply(t Target) error {
 	switch e.Kind {
@@ -225,6 +266,21 @@ func (e Event) Apply(t Target) error {
 		return t.PromoteStandby()
 	case BurstLoss:
 		return t.SetBurstLoss(e.A, e.B, e.Rate, e.MeanBurst)
+	case KillShard, PromoteShardStandby, AddShard, RemoveShard:
+		st, ok := t.(ShardTarget)
+		if !ok {
+			return fmt.Errorf("faults: target %T does not support shard faults", t)
+		}
+		switch e.Kind {
+		case KillShard:
+			return st.KillShard(e.Shard)
+		case PromoteShardStandby:
+			return st.PromoteShardStandby(e.Shard)
+		case AddShard:
+			return st.AddShard()
+		default:
+			return st.RemoveShard(e.Shard)
+		}
 	default:
 		return fmt.Errorf("faults: unknown event kind %v", e.Kind)
 	}
@@ -313,6 +369,26 @@ func (p *Plan) BurstLossAt(at time.Duration, a, b Endpoint, rate, meanBurstLen f
 // HealBurstLossAt schedules the end of a segment's burst loss.
 func (p *Plan) HealBurstLossAt(at time.Duration, a, b Endpoint) *Plan {
 	return p.add(Event{At: at, Kind: BurstLoss, A: a, B: b})
+}
+
+// KillShardAt schedules a ring shard's primary death.
+func (p *Plan) KillShardAt(at time.Duration, shard int) *Plan {
+	return p.add(Event{At: at, Kind: KillShard, Shard: shard})
+}
+
+// PromoteShardStandbyAt schedules a ring shard's standby promotion.
+func (p *Plan) PromoteShardStandbyAt(at time.Duration, shard int) *Plan {
+	return p.add(Event{At: at, Kind: PromoteShardStandby, Shard: shard})
+}
+
+// AddShardAt schedules a ring grow-and-rebalance.
+func (p *Plan) AddShardAt(at time.Duration) *Plan {
+	return p.add(Event{At: at, Kind: AddShard})
+}
+
+// RemoveShardAt schedules a ring shard's drain-and-remove.
+func (p *Plan) RemoveShardAt(at time.Duration, shard int) *Plan {
+	return p.add(Event{At: at, Kind: RemoveShard, Shard: shard})
 }
 
 // FlapController schedules `times` partition/heal cycles starting at

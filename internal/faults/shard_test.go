@@ -1,0 +1,118 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeShardTarget is a fakeTarget that also serves shard faults.
+type fakeShardTarget struct {
+	fakeTarget
+}
+
+func (f *fakeShardTarget) KillShard(id int) error {
+	f.record(fmt.Sprintf("kill-shard %d", id))
+	return nil
+}
+
+func (f *fakeShardTarget) PromoteShardStandby(id int) error {
+	f.record(fmt.Sprintf("promote-shard %d", id))
+	return nil
+}
+
+func (f *fakeShardTarget) AddShard() error {
+	f.record("add-shard")
+	return nil
+}
+
+func (f *fakeShardTarget) RemoveShard(id int) error {
+	f.record(fmt.Sprintf("remove-shard %d", id))
+	return nil
+}
+
+func TestShardPlanBuildersAndApply(t *testing.T) {
+	plan := NewPlan(1).
+		KillShardAt(10*time.Millisecond, 0).
+		PromoteShardStandbyAt(20*time.Millisecond, 0).
+		AddShardAt(30*time.Millisecond).
+		RemoveShardAt(40*time.Millisecond, 2)
+
+	want := []struct {
+		kind  Kind
+		shard int
+	}{
+		{KillShard, 0},
+		{PromoteShardStandby, 0},
+		{AddShard, 0},
+		{RemoveShard, 2},
+	}
+	if len(plan.Events) != len(want) {
+		t.Fatalf("plan has %d events, want %d", len(plan.Events), len(want))
+	}
+	tgt := &fakeShardTarget{}
+	for i, ev := range plan.Events {
+		if ev.Kind != want[i].kind || ev.Shard != want[i].shard {
+			t.Fatalf("event %d = kind %v shard %d, want %v/%d", i, ev.Kind, ev.Shard, want[i].kind, want[i].shard)
+		}
+		if err := ev.Apply(tgt); err != nil {
+			t.Fatalf("apply %s: %v", ev, err)
+		}
+	}
+	wantLog := []string{"kill-shard 0", "promote-shard 0", "add-shard", "remove-shard 2"}
+	tgt.mu.Lock()
+	defer tgt.mu.Unlock()
+	if len(tgt.log) != len(wantLog) {
+		t.Fatalf("target log %v, want %v", tgt.log, wantLog)
+	}
+	for i, l := range wantLog {
+		if tgt.log[i] != l {
+			t.Fatalf("target log %v, want %v", tgt.log, wantLog)
+		}
+	}
+}
+
+func TestShardEventAgainstNonShardTarget(t *testing.T) {
+	// A target that implements only the base interface must refuse shard
+	// faults with a clear error instead of panicking.
+	ev := Event{Kind: KillShard, Shard: 1}
+	err := ev.Apply(&fakeTarget{})
+	if err == nil || !strings.Contains(err.Error(), "does not support shard faults") {
+		t.Fatalf("apply against non-shard target: %v", err)
+	}
+}
+
+func TestShardEventString(t *testing.T) {
+	ev := Event{At: 300 * time.Millisecond, Kind: KillShard, Shard: 3}
+	s := ev.String()
+	if !strings.Contains(s, "kill-shard") || !strings.Contains(s, "shard=3") {
+		t.Fatalf("event string %q missing kind or shard", s)
+	}
+	if got := AddShard.String(); got != "add-shard" {
+		t.Fatalf("AddShard.String() = %q", got)
+	}
+	if got := RemoveShard.String(); got != "remove-shard" {
+		t.Fatalf("RemoveShard.String() = %q", got)
+	}
+}
+
+func TestUnsupportedTargetRefusesEverything(t *testing.T) {
+	var u UnsupportedTarget
+	for _, err := range []error{
+		u.KillRelay(1),
+		u.CrashController(),
+		u.PromoteStandby(),
+	} {
+		if !errors.Is(err, ErrUnsupported) {
+			t.Fatalf("UnsupportedTarget returned %v, want ErrUnsupported", err)
+		}
+	}
+	// Shard faults against it fail the type assertion path by design when
+	// embedded without overrides — the embedding struct is what adds
+	// ShardTarget. Applying directly must error, not panic.
+	if err := (Event{Kind: AddShard}).Apply(u); err == nil {
+		t.Fatal("AddShard against bare UnsupportedTarget succeeded")
+	}
+}

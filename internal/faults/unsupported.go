@@ -1,0 +1,50 @@
+package faults
+
+import (
+	"errors"
+	"time"
+
+	"repro/internal/netsim"
+)
+
+// ErrUnsupported is what UnsupportedTarget's methods return.
+var ErrUnsupported = errors.New("faults: fault kind not supported by this target")
+
+// UnsupportedTarget is an embeddable Target that rejects every fault.
+// Targets that serve only a slice of the taxonomy (the ring Fleet serves
+// only shard faults) embed it and override what they support, staying
+// compilable as the Target interface grows.
+type UnsupportedTarget struct{}
+
+// KillRelay implements Target.
+func (UnsupportedTarget) KillRelay(netsim.RelayID) error { return ErrUnsupported }
+
+// ReviveRelay implements Target.
+func (UnsupportedTarget) ReviveRelay(netsim.RelayID) error { return ErrUnsupported }
+
+// Blackhole implements Target.
+func (UnsupportedTarget) Blackhole(_, _ Endpoint) error { return ErrUnsupported }
+
+// Heal implements Target.
+func (UnsupportedTarget) Heal(_, _ Endpoint) error { return ErrUnsupported }
+
+// SetControlPartitioned implements Target (no-op).
+func (UnsupportedTarget) SetControlPartitioned(bool) {}
+
+// SetControlDropRate implements Target (no-op).
+func (UnsupportedTarget) SetControlDropRate(float64) {}
+
+// SetControlDelay implements Target (no-op).
+func (UnsupportedTarget) SetControlDelay(time.Duration) {}
+
+// CrashController implements Target.
+func (UnsupportedTarget) CrashController() error { return ErrUnsupported }
+
+// RestartController implements Target.
+func (UnsupportedTarget) RestartController() error { return ErrUnsupported }
+
+// PromoteStandby implements Target.
+func (UnsupportedTarget) PromoteStandby() error { return ErrUnsupported }
+
+// SetBurstLoss implements Target.
+func (UnsupportedTarget) SetBurstLoss(_, _ Endpoint, _, _ float64) error { return ErrUnsupported }

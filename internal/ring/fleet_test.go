@@ -1,0 +1,251 @@
+package ring
+
+import (
+	"bytes"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/controller"
+	"repro/internal/core"
+	"repro/internal/quality"
+)
+
+// constClock freezes algorithm time so a fleet shard and a reference
+// controller make byte-identical decisions (nowHours stays 0 for both).
+func constClock() func() time.Time {
+	t0 := time.Date(2016, 8, 22, 0, 0, 0, 0, time.UTC)
+	return func() time.Time { return t0 }
+}
+
+func soakViaConfig(seed uint64) core.ViaConfig {
+	cfg := core.DefaultViaConfig(quality.RTT)
+	cfg.Budget = 0.8
+	cfg.Seed = seed
+	return cfg
+}
+
+// TestSingleShardDegeneratesByteIdentically drives the same sequential
+// call stream through a 1-shard fleet and through a plain unsharded
+// controller, then compares full strategy state bytes. A one-shard ring
+// must be today's behavior exactly — same decisions, same RNG positions,
+// same estimator states.
+func TestSingleShardDegeneratesByteIdentically(t *testing.T) {
+	work := newSoakWorkload(SoakConfig{Pairs: 24, ZipfS: 1.1, Relays: 4})
+
+	fleet, err := NewFleet(FleetConfig{
+		Shards:      1,
+		WALRoot:     t.TempDir(),
+		NewStrategy: func() core.Strategy { return core.NewVia(soakViaConfig(7), nil) },
+		Clock:       constClock(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	plain := controller.New(controller.Config{
+		Strategy: core.NewVia(soakViaConfig(7), nil),
+		Clock:    constClock(),
+	})
+	ts := httptest.NewServer(plain.Handler())
+	defer ts.Close()
+
+	ringClient := fleet.NewClient()
+	plainClient := controller.NewClient(ts.URL)
+
+	// Same pair sequence on both sides, strictly sequential.
+	seq := make([]int, 0, 300)
+	for i := 0; i < 300; i++ {
+		seq = append(seq, (i*37)%24)
+	}
+	for _, pair := range seq {
+		src, dst := work.groups(pair)
+		opt, err := ringClient.Choose(src, dst, work.opts[pair])
+		if err != nil {
+			t.Fatalf("ring choose: %v", err)
+		}
+		if err := ringClient.Report(src, dst, opt, work.measure(pair, opt)); err != nil {
+			t.Fatalf("ring report: %v", err)
+		}
+		popt, err := plainClient.Choose(src, dst, work.opts[pair])
+		if err != nil {
+			t.Fatalf("plain choose: %v", err)
+		}
+		if popt != opt {
+			t.Fatalf("pair %d: ring chose %+v, plain chose %+v", pair, opt, popt)
+		}
+		if err := plainClient.Report(src, dst, popt, work.measure(pair, popt)); err != nil {
+			t.Fatalf("plain report: %v", err)
+		}
+	}
+
+	ringState, _, _, err := fleet.ShardState(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plainState, err := plain.StrategyState()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ringState, plainState) {
+		t.Fatalf("single-shard ring state (%d bytes) differs from plain controller state (%d bytes)", len(ringState), len(plainState))
+	}
+}
+
+// TestEpochStaleClientRedirects grows the ring under a client still
+// holding the old map; the client must follow 307s, re-fetch the map,
+// and lose no requests.
+func TestEpochStaleClientRedirects(t *testing.T) {
+	work := newSoakWorkload(SoakConfig{Pairs: 64, ZipfS: 1.1, Relays: 3})
+	fleet, err := NewFleet(FleetConfig{
+		Shards:      2,
+		WALRoot:     t.TempDir(),
+		NewStrategy: func() core.Strategy { return core.NewVia(soakViaConfig(3), nil) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	client := fleet.NewClient() // snapshots the epoch-1 map
+	if err := fleet.AddShard(); err != nil {
+		t.Fatal(err)
+	}
+	if got := fleet.Map().MapEpoch; got != 2 {
+		t.Fatalf("map epoch after AddShard = %d, want 2", got)
+	}
+
+	// Drive every pair once under the stale map: pairs that moved to the
+	// new shard 307 on first touch; nothing may fail.
+	for pair := 0; pair < 64; pair++ {
+		src, dst := work.groups(pair)
+		opt, err := client.Choose(src, dst, work.opts[pair])
+		if err != nil {
+			t.Fatalf("choose pair %d: %v", pair, err)
+		}
+		if err := client.Report(src, dst, opt, work.measure(pair, opt)); err != nil {
+			t.Fatalf("report pair %d: %v", pair, err)
+		}
+	}
+	if client.Redirects() == 0 {
+		t.Fatal("stale client never hit a 307; the redirect path went unexercised")
+	}
+	// After the first redirect the client refreshed its map; it must now
+	// agree with the fleet.
+	if got := client.Redirects(); got > 130 {
+		t.Fatalf("client took %d redirects for 128 requests; map refresh is not sticking", got)
+	}
+}
+
+// TestRebalanceDuringInflightChoose grows the ring while workers hammer
+// it; zero request failures allowed, and the moved pairs' records must
+// land on the new shard.
+func TestRebalanceDuringInflightChoose(t *testing.T) {
+	work := newSoakWorkload(SoakConfig{Pairs: 48, ZipfS: 1.0, Relays: 3})
+	fleet, err := NewFleet(FleetConfig{
+		Shards:      2,
+		WALRoot:     t.TempDir(),
+		NewStrategy: func() core.Strategy { return core.NewVia(soakViaConfig(11), nil) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	var failures atomic.Int64
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			client := fleet.NewClient()
+			i := g
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				pair := i % 48
+				i++
+				src, dst := work.groups(pair)
+				opt, err := client.Choose(src, dst, work.opts[pair])
+				if err != nil {
+					failures.Add(1)
+					continue
+				}
+				if err := client.Report(src, dst, opt, work.measure(pair, opt)); err != nil {
+					failures.Add(1)
+				}
+			}
+		}(g)
+	}
+	time.Sleep(150 * time.Millisecond)
+	if err := fleet.AddShard(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(150 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+
+	if n := failures.Load(); n != 0 {
+		t.Fatalf("%d requests failed across the rebalance", n)
+	}
+	if fleet.Rebalances() != 1 {
+		t.Fatalf("rebalances = %d, want 1", fleet.Rebalances())
+	}
+	// The new shard must own pairs and hold their replayed history.
+	m := fleet.Map()
+	owned := 0
+	for pair := 0; pair < 48; pair++ {
+		src, dst := work.groups(pair)
+		if m.OwnerShard(src, dst).ID == 2 {
+			owned++
+		}
+	}
+	if owned == 0 {
+		t.Skip("no test pair moved to the new shard under this map (vnode layout); ownership exercised elsewhere")
+	}
+	state, _, lsn, err := fleet.ShardState(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(state) == 0 || lsn == 0 {
+		t.Fatalf("new shard has state=%dB lsn=%d; rebalance import left it empty", len(state), lsn)
+	}
+}
+
+// TestFleetRouterServesMapAndHealth covers the router surface the
+// clients bootstrap from.
+func TestFleetRouterServesMapAndHealth(t *testing.T) {
+	fleet, err := NewFleet(FleetConfig{
+		Shards:      2,
+		WALRoot:     t.TempDir(),
+		NewStrategy: func() core.Strategy { return core.NewVia(soakViaConfig(5), nil) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	m, err := FetchMap(fleet.RouterURL())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.MapEpoch != 1 || len(m.Shards) != 2 {
+		t.Fatalf("router map epoch=%d shards=%d, want 1/2", m.MapEpoch, len(m.Shards))
+	}
+	resp, err := http.Get(fleet.RouterURL() + "/v1/health")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("router health status %d", resp.StatusCode)
+	}
+}

@@ -1,0 +1,162 @@
+package ring
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strconv"
+	"sync/atomic"
+
+	"repro/internal/obs"
+)
+
+// maxPairBody bounds how much of a choose/report body the gate will read
+// to find the pair; matches the controller's own request-size posture.
+const maxPairBody = 1 << 20
+
+// pairHeader is the prefix of ChooseRequest/ReportRequest the gate needs:
+// just the pair. json.Unmarshal ignores the rest of the body.
+type pairHeader struct {
+	Src int32 `json:"src"`
+	Dst int32 `json:"dst"`
+}
+
+// Gate is the per-shard ownership check: middleware wrapped around a
+// controller.Server's handler. Pair-scoped requests (choose/report) for
+// pairs this shard does not own are answered 307 with the owner's URL —
+// the mechanism by which clients holding a stale (older-epoch) map
+// self-correct. Everything else passes through to the controller.
+//
+// The gate also serves and accepts the shard map itself on /v1/ring/map,
+// so a fleet operator (or the Fleet harness) can push a new epoch to
+// every shard.
+type Gate struct {
+	shardID int
+	inner   http.Handler
+	cur     atomic.Pointer[Map]
+
+	redirects *obs.Counter
+	installs  *obs.Counter
+	epochG    *obs.Gauge
+}
+
+// NewGate wraps a shard's handler with ownership enforcement under the
+// given starting map. reg may be nil to skip metrics.
+func NewGate(shardID int, inner http.Handler, m *Map, reg *obs.Registry) *Gate {
+	g := &Gate{shardID: shardID, inner: inner}
+	g.cur.Store(m)
+	if reg != nil {
+		// Shard IDs are small and bounded, so the label stays legal.
+		id := strconv.Itoa(shardID)
+		g.redirects = reg.Counter(obs.L("via_ring_redirects_total", "shard", id))
+		g.installs = reg.Counter(obs.L("via_ring_map_installs_total", "shard", id))
+		g.epochG = reg.Gauge(obs.L("via_ring_map_epoch", "shard", id))
+		g.epochG.Set(float64(m.MapEpoch))
+	}
+	return g
+}
+
+// Current returns the map the gate is enforcing.
+func (g *Gate) Current() *Map { return g.cur.Load() }
+
+// Install adopts a newer-epoch map. Same or older epochs are rejected —
+// the install protocol is strictly monotone, so replayed or reordered
+// pushes cannot roll a shard back.
+func (g *Gate) Install(m *Map) error {
+	for {
+		cur := g.cur.Load()
+		if m.MapEpoch <= cur.MapEpoch {
+			return errStaleEpoch(m.MapEpoch, cur.MapEpoch)
+		}
+		if g.cur.CompareAndSwap(cur, m) {
+			if g.installs != nil {
+				g.installs.Inc()
+				g.epochG.Set(float64(m.MapEpoch))
+			}
+			return nil
+		}
+	}
+}
+
+type errStale struct{ got, cur uint64 }
+
+func errStaleEpoch(got, cur uint64) error { return errStale{got, cur} }
+
+func (e errStale) Error() string {
+	return "ring: map epoch " + strconv.FormatUint(e.got, 10) +
+		" not newer than installed " + strconv.FormatUint(e.cur, 10)
+}
+
+// ServeHTTP implements http.Handler.
+func (g *Gate) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case r.URL.Path == "/v1/ring/map":
+		g.serveMap(w, r)
+	case r.Method == http.MethodPost && (r.URL.Path == "/v1/choose" || r.URL.Path == "/v1/report"):
+		g.gatePair(w, r)
+	default:
+		g.inner.ServeHTTP(w, r)
+	}
+}
+
+// serveMap answers GET with the current map and POST with an install.
+func (g *Gate) serveMap(w http.ResponseWriter, r *http.Request) {
+	switch r.Method {
+	case http.MethodGet:
+		data, err := g.cur.Load().EncodeJSON()
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(data) //vialint:ignore errwrap best-effort HTTP response write; the client observes any failure
+	case http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxPairBody))
+		if err != nil {
+			http.Error(w, "read map: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		m, err := DecodeMap(body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := g.Install(m); err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	default:
+		http.Error(w, "method not allowed", http.StatusMethodNotAllowed)
+	}
+}
+
+// gatePair peeks at the request pair; owned pairs pass through with the
+// body restored, foreign pairs get a 307 naming the owner.
+func (g *Gate) gatePair(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxPairBody))
+	if err != nil {
+		http.Error(w, "read request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	var hdr pairHeader
+	if err := json.Unmarshal(body, &hdr); err != nil {
+		http.Error(w, "decode request: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	m := g.cur.Load()
+	owner := m.OwnerShard(hdr.Src, hdr.Dst)
+	if owner.ID != g.shardID {
+		if g.redirects != nil {
+			g.redirects.Inc()
+		}
+		w.Header().Set("Location", owner.URL+r.URL.Path)
+		w.Header().Set("X-Via-Ring-Epoch", strconv.FormatUint(m.MapEpoch, 10))
+		w.WriteHeader(http.StatusTemporaryRedirect)
+		return
+	}
+	r.Body = io.NopCloser(bytes.NewReader(body))
+	r.ContentLength = int64(len(body))
+	g.inner.ServeHTTP(w, r)
+}

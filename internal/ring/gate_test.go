@@ -1,0 +1,127 @@
+package ring
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+// pairOwnedBy finds a (src, src+1) pair the given shard owns.
+func pairOwnedBy(t *testing.T, m *Map, shardID int) (int32, int32) {
+	t.Helper()
+	for src := int32(0); src < 100_000; src += 2 {
+		if m.OwnerShard(src, src+1).ID == shardID {
+			return src, src + 1
+		}
+	}
+	t.Fatalf("no pair owned by shard %d in probe range", shardID)
+	return 0, 0
+}
+
+func chooseBody(src, dst int32) []byte {
+	return []byte(fmt.Sprintf(`{"src":%d,"dst":%d,"candidates":[]}`, src, dst))
+}
+
+func TestGateRedirectsForeignPairs(t *testing.T) {
+	m, err := NewMap(0, Shard{ID: 0, URL: "http://s0"}, Shard{ID: 1, URL: "http://s1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var innerHits int
+	inner := http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		innerHits++
+		if r.Method == http.MethodPost {
+			// The gate must restore the body it peeked at.
+			body, _ := io.ReadAll(r.Body)
+			var hdr pairHeader
+			if err := json.Unmarshal(body, &hdr); err != nil {
+				t.Errorf("inner handler got unreadable body: %v", err)
+			}
+		}
+		w.WriteHeader(http.StatusOK)
+	})
+	gate := NewGate(0, inner, m, nil)
+
+	// Foreign pair → 307 with the owner's URL and the map epoch.
+	src, dst := pairOwnedBy(t, m, 1)
+	rec := httptest.NewRecorder()
+	gate.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/choose", bytes.NewReader(chooseBody(src, dst))))
+	if rec.Code != http.StatusTemporaryRedirect {
+		t.Fatalf("foreign pair: status %d, want 307", rec.Code)
+	}
+	if loc := rec.Header().Get("Location"); loc != "http://s1/v1/choose" {
+		t.Fatalf("Location = %q, want owner URL", loc)
+	}
+	if ep := rec.Header().Get("X-Via-Ring-Epoch"); ep != "1" {
+		t.Fatalf("X-Via-Ring-Epoch = %q, want 1", ep)
+	}
+	if innerHits != 0 {
+		t.Fatal("foreign pair reached the inner handler")
+	}
+
+	// Owned pair → passes through with a readable body.
+	src, dst = pairOwnedBy(t, m, 0)
+	rec = httptest.NewRecorder()
+	gate.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/report", bytes.NewReader(chooseBody(src, dst))))
+	if rec.Code != http.StatusOK || innerHits != 1 {
+		t.Fatalf("owned pair: status %d innerHits %d, want 200/1", rec.Code, innerHits)
+	}
+
+	// Non-pair routes pass through untouched.
+	rec = httptest.NewRecorder()
+	gate.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/health", nil))
+	if innerHits != 2 {
+		t.Fatal("GET /v1/health did not reach the inner handler")
+	}
+}
+
+func TestGateMapInstallProtocol(t *testing.T) {
+	m, err := NewMap(0, Shard{ID: 0, URL: "http://s0"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gate := NewGate(0, http.NotFoundHandler(), m, nil)
+
+	// GET serves the current map.
+	rec := httptest.NewRecorder()
+	gate.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/v1/ring/map", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET map: status %d", rec.Code)
+	}
+	got, err := DecodeMap(rec.Body.Bytes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.MapEpoch != 1 {
+		t.Fatalf("served epoch %d, want 1", got.MapEpoch)
+	}
+
+	// POST with a newer epoch installs.
+	next, err := m.WithShardAdded(Shard{ID: 1, URL: "http://s1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := next.EncodeJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec = httptest.NewRecorder()
+	gate.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/ring/map", bytes.NewReader(data)))
+	if rec.Code != http.StatusNoContent {
+		t.Fatalf("POST newer map: status %d, want 204", rec.Code)
+	}
+	if gate.Current().MapEpoch != 2 {
+		t.Fatalf("installed epoch %d, want 2", gate.Current().MapEpoch)
+	}
+
+	// Re-POSTing the same epoch is a conflict: installs are monotone.
+	rec = httptest.NewRecorder()
+	gate.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/v1/ring/map", bytes.NewReader(data)))
+	if rec.Code != http.StatusConflict {
+		t.Fatalf("POST stale map: status %d, want 409", rec.Code)
+	}
+}

@@ -205,3 +205,35 @@ type TopKResponse struct {
 	Metric string      `json:"metric"`
 	TopK   []TopKEntry `json:"topk"`
 }
+
+// BudgetDigestResponse is one shard's §4.6 benefit-percentile digest (GET
+// /v1/budget/digest): the local sample count, the local threshold once
+// warmed up (n >= 20), and the P² marker sketch — five (height, position)
+// points approximating the local benefit CDF — that lets the router merge
+// shards by inverting the sample-weighted mixture CDF instead of averaging
+// thresholds. OK is false when the strategy runs without a budget.
+type BudgetDigestResponse struct {
+	OK        bool    `json:"ok"`
+	N         int64   `json:"n"`
+	Threshold float64 `json:"threshold"`
+	// P is the target quantile the estimator tracks (1 - Budget).
+	P float64 `json:"p,omitempty"`
+	// Q and Pos are the P² marker heights and 1-based marker positions;
+	// meaningful once N >= 5 (before that the estimator buffers raw
+	// samples and the sketch is sent zeroed, signalled by P == 0).
+	Q   [5]float64 `json:"q"`
+	Pos [5]float64 `json:"pos"`
+}
+
+// BudgetMergedRequest installs the fleet-merged §4.6 budget threshold on a
+// shard (POST /v1/budget/merged). Durable shards log the install before
+// applying it, so WAL replay reproduces the same gate decisions.
+type BudgetMergedRequest struct {
+	N         int64   `json:"n"`
+	Threshold float64 `json:"threshold"`
+}
+
+// BudgetMergedResponse acknowledges a merged-threshold install.
+type BudgetMergedResponse struct {
+	OK bool `json:"ok"`
+}
