@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"strings"
 	"time"
 
 	"repro/internal/obs"
@@ -100,8 +101,13 @@ func runSoakCmd(p soakParams) int {
 	if failures > 0 {
 		verdict = fmt.Sprintf("FAIL (%d checks)", failures)
 	}
-	line := fmt.Sprintf("soak: %s — calls %d, drops %d, redirects %d, retries %d, epoch %d, merged budget (n=%d, th=%.4f) vs oracle (n=%d, th=%.4f), %s",
+	perShard := make([]string, 0, len(rep.ShardReports))
+	for _, sr := range rep.ShardReports {
+		perShard = append(perShard, fmt.Sprintf("s%d=%.0f/s", sr.ID, sr.DecisionsPerSec))
+	}
+	line := fmt.Sprintf("soak: %s — calls %d, drops %d, redirects %d, retries %d, epoch %d, decisions [%s], merged budget (n=%d, th=%.4f) vs oracle (n=%d, th=%.4f), %s",
 		verdict, rep.Calls, rep.Drops, rep.Redirects, rep.Retries, rep.MapEpoch,
+		strings.Join(perShard, " "),
 		rep.MergedN, rep.MergedThreshold, rep.OracleN, rep.OracleThreshold,
 		time.Since(start).Round(time.Millisecond))
 	fmt.Println(line)

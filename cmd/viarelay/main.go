@@ -5,6 +5,13 @@
 // Usage:
 //
 //	viarelay -id 3 -addr :9003 -controller http://ctrl:8080
+//
+// Maintenance drain (DESIGN.md §17): start with -drain to come up out of
+// rotation, or send SIGTERM to a running relay to drain before exit — it
+// stops accepting new sessions, advertises draining on its heartbeat so
+// the controller excludes it from candidate enumeration, nudges active
+// clients toward their backup relays, and exits once its sessions are
+// gone (or after -drain-grace). SIGINT remains an immediate shutdown.
 package main
 
 import (
@@ -14,6 +21,7 @@ import (
 	"net"
 	"os"
 	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/controller"
@@ -27,6 +35,8 @@ func main() {
 	ctrl := flag.String("controller", "", "controller base URL (optional)")
 	advertise := flag.String("advertise", "", "address to register with the controller (default: bound address)")
 	heartbeat := flag.Duration("heartbeat", 15*time.Second, "re-registration interval (liveness)")
+	drain := flag.Bool("drain", false, "start in drain mode: serve existing sessions, accept no new ones")
+	drainGrace := flag.Duration("drain-grace", 30*time.Second, "on SIGTERM, wait this long for sessions to migrate before exiting")
 	flag.Parse()
 
 	conn, err := net.ListenPacket("udp", *addr)
@@ -34,25 +44,31 @@ func main() {
 		log.Fatalf("listen: %v", err)
 	}
 	node := relay.New(netsim.RelayID(*id), conn)
-	fmt.Printf("relay %d forwarding on %s\n", *id, node.Addr())
+	if *drain {
+		node.SetDraining(true)
+	}
+	fmt.Printf("relay %d forwarding on %s (draining=%v)\n", *id, node.Addr(), node.Draining())
 
+	var cc *controller.Client
+	reg := *advertise
 	if *ctrl != "" {
-		reg := *advertise
 		if reg == "" {
 			reg = node.Addr().String()
 		}
-		cc := controller.NewClient(*ctrl)
-		if err := cc.RegisterRelay(netsim.RelayID(*id), reg); err != nil {
+		cc = controller.NewClient(*ctrl)
+		if err := cc.HeartbeatRelay(netsim.RelayID(*id), reg, node.Draining()); err != nil {
 			log.Fatalf("register: %v", err)
 		}
 		fmt.Printf("registered with controller %s as %s\n", *ctrl, reg)
 		// Heartbeat: re-registration keeps the relay in the directory; a
 		// crashed relay silently ages out of it (controller RelayTTL).
+		// Each beat carries the current drain state, so flipping into
+		// drain propagates within one interval.
 		go func() {
 			t := time.NewTicker(*heartbeat)
 			defer t.Stop()
 			for range t.C {
-				if err := cc.RegisterRelay(netsim.RelayID(*id), reg); err != nil {
+				if err := cc.HeartbeatRelay(netsim.RelayID(*id), reg, node.Draining()); err != nil {
 					log.Printf("heartbeat: %v", err)
 				}
 			}
@@ -69,11 +85,35 @@ func main() {
 		}
 	}()
 
-	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt)
+	intC := make(chan os.Signal, 1)
+	signal.Notify(intC, os.Interrupt)
+	termC := make(chan os.Signal, 1)
+	signal.Notify(termC, syscall.SIGTERM)
 	go func() {
-		<-sig
-		node.Close()
+		for {
+			select {
+			case <-intC:
+				node.Close()
+				return
+			case <-termC:
+				fmt.Printf("relay %d: draining (grace %s)\n", *id, *drainGrace)
+				node.SetDraining(true)
+				if cc != nil {
+					// Advertise immediately rather than waiting a beat.
+					if err := cc.HeartbeatRelay(netsim.RelayID(*id), reg, true); err != nil {
+						log.Printf("drain heartbeat: %v", err)
+					}
+				}
+				go func() {
+					deadline := time.Now().Add(*drainGrace)
+					for time.Now().Before(deadline) && node.Sessions() > 0 {
+						time.Sleep(500 * time.Millisecond)
+					}
+					fmt.Printf("relay %d: drain complete (%d sessions left)\n", *id, node.Sessions())
+					node.Close()
+				}()
+			}
+		}
 	}()
 	if err := node.Serve(); err != nil {
 		log.Fatalf("serve: %v", err)

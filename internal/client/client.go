@@ -23,10 +23,21 @@ import (
 	"repro/internal/transport"
 )
 
+// connHolder wraps the agent's PacketConn so atomic.Value always stores
+// one concrete type. The conn is swapped wholesale by Rebind (NAT rebind
+// / interface handover), so every send and the read loop must go through
+// the holder rather than a plain field.
+type connHolder struct{ c net.PacketConn }
+
 // Agent is one endpoint.
 type Agent struct {
-	group int32 // the agent's AS-analogue group id
-	conn  net.PacketConn
+	group int32        // the agent's AS-analogue group id
+	connV atomic.Value // connHolder; swapped by Rebind
+
+	// rebindGen increments on every Rebind; long-running loops (media,
+	// reverse streams) notice the change and re-derive routes that embed
+	// the agent's own address.
+	rebindGen atomic.Int64
 
 	mu       sync.Mutex
 	relays   map[netsim.RelayID]*net.UDPAddr
@@ -36,6 +47,17 @@ type Agent struct {
 	rng      *stats.RNG
 
 	failovers atomic.Int64 // mid-call repaths across all calls
+
+	// Mobility counters (DESIGN.md §17).
+	rebinds         atomic.Int64 // Rebind calls performed
+	keepalivesSent  atomic.Int64 // session keepalives emitted
+	pathResponses   atomic.Int64 // relay path challenges answered
+	drainMigrations atomic.Int64 // in-place migrations off draining relays
+	tokenDowngrades atomic.Int64 // calls that dropped the token for a legacy peer
+
+	// mobility gates the per-call session token (wire v3). On by default;
+	// disabled agents produce byte-identical v1/v2 traffic.
+	mobilityOff atomic.Bool
 
 	// Loss-repair data-plane counters (see repair.go).
 	nacksSent         atomic.Int64 // NACK seqs requested (receiver side)
@@ -79,8 +101,32 @@ func (a *Agent) RepairDowngrades() int64 { return a.repairDowngrades.Load() }
 // SetLegacyV1 makes the agent behave like a pre-repair build: incoming
 // frames with a repair byte are dropped (an old parser would reject the
 // v2 magic) and no scheme is ever echoed, so a repair-requesting caller
-// must detect the silence and downgrade.
+// must detect the silence and downgrade. A legacy build also predates
+// session tokens, so v3 frames are dropped and none are emitted.
 func (a *Agent) SetLegacyV1(on bool) { a.legacyV1.Store(on) }
+
+// SetMobility toggles session tokens (wire v3) for calls this agent
+// originates. Off, the agent emits byte-identical v1/v2 traffic — the
+// compat path for peers that never negotiate a token.
+func (a *Agent) SetMobility(on bool) { a.mobilityOff.Store(!on) }
+
+// Rebinds returns how many times the agent's transport was rebound.
+func (a *Agent) Rebinds() int64 { return a.rebinds.Load() }
+
+// KeepalivesSent returns how many session keepalives the agent has sent.
+func (a *Agent) KeepalivesSent() int64 { return a.keepalivesSent.Load() }
+
+// PathResponses returns how many relay path challenges were answered.
+func (a *Agent) PathResponses() int64 { return a.pathResponses.Load() }
+
+// DrainMigrations returns how many calls migrated off a draining relay
+// in place (not counted as failovers: the path was healthy, just
+// retiring).
+func (a *Agent) DrainMigrations() int64 { return a.drainMigrations.Load() }
+
+// TokenDowngrades returns how many calls dropped their session token
+// mid-call to interoperate with a silent (pre-token) peer.
+func (a *Agent) TokenDowngrades() int64 { return a.tokenDowngrades.Load() }
 
 // RegisterMetrics publishes the agent's failover and loss-repair counters
 // on a shared registry, labeled per client.
@@ -99,6 +145,16 @@ func (a *Agent) RegisterMetrics(reg *obs.Registry, client string) {
 		func() float64 { return float64(a.RtxDeadlineMisses()) })
 	reg.GaugeFunc(obs.L("via_client_repair_downgrades", "client", client),
 		func() float64 { return float64(a.RepairDowngrades()) })
+	reg.CounterFunc(obs.L("via_client_rebinds_total", "client", client),
+		func() int64 { return a.Rebinds() })
+	reg.CounterFunc(obs.L("via_client_keepalives_total", "client", client),
+		func() int64 { return a.KeepalivesSent() })
+	reg.CounterFunc(obs.L("via_client_path_responses_total", "client", client),
+		func() int64 { return a.PathResponses() })
+	reg.CounterFunc(obs.L("via_client_drain_migrations_total", "client", client),
+		func() int64 { return a.DrainMigrations() })
+	reg.CounterFunc(obs.L("via_client_token_downgrades_total", "client", client),
+		func() int64 { return a.TokenDowngrades() })
 }
 
 // outCall is caller-side per-call state.
@@ -114,10 +170,21 @@ type outCall struct {
 	sendTo   *net.UDPAddr // current first hop (retransmit target)
 	echoSeen bool         // a receiver report carried a scheme echo
 	echo     rtp.Scheme   // the scheme the callee confirmed
+
+	// drainNudge is set by the read loop when a relay on the path asks the
+	// call to migrate (KindDrain); the media loop consumes it and repaths
+	// in place to the next failover candidate.
+	drainNudge bool
 }
 
 // inCall is callee-side per-call state.
 type inCall struct {
+	// token is the callee's own session token, minted when the first
+	// frame of a token-bearing call arrives and immutable afterwards. It
+	// rides every reverse frame (reports, NACKs, return media) so the
+	// relays can re-pin the callee's path independently of the caller's.
+	token transport.Token
+
 	mu        sync.Mutex
 	flow      rtp.FlowStats
 	reply     []*net.UDPAddr
@@ -150,22 +217,26 @@ const (
 func New(group int32, conn net.PacketConn, seed uint64) *Agent {
 	a := &Agent{
 		group:    group,
-		conn:     conn,
 		relays:   make(map[netsim.RelayID]*net.UDPAddr),
 		outgoing: make(map[uint64]*outCall),
 		incoming: make(map[uint64]*inCall),
 		rng:      stats.NewRNG(seed).Split("agent"),
 	}
+	a.connV.Store(connHolder{c: conn})
 	a.wg.Add(1)
-	go a.readLoop()
+	go a.readLoop(conn)
 	return a
 }
+
+// pc returns the agent's current transport. Sends load it fresh so a
+// concurrent Rebind redirects the very next datagram.
+func (a *Agent) pc() net.PacketConn { return a.connV.Load().(connHolder).c }
 
 // Group returns the agent's group id.
 func (a *Agent) Group() int32 { return a.group }
 
 // Addr returns the agent's media address.
-func (a *Agent) Addr() *net.UDPAddr { return a.conn.LocalAddr().(*net.UDPAddr) }
+func (a *Agent) Addr() *net.UDPAddr { return a.pc().LocalAddr().(*net.UDPAddr) }
 
 // SetRelays installs the relay directory (from the controller).
 func (a *Agent) SetRelays(dir map[netsim.RelayID]string) error {
@@ -192,7 +263,7 @@ func (a *Agent) Close() error {
 	}
 	a.closed = true
 	a.mu.Unlock()
-	err := a.conn.Close()
+	err := a.pc().Close()
 	a.wg.Wait()
 	return err
 }
@@ -229,6 +300,13 @@ type CallSpec struct {
 	// confirms the scheme — a pre-repair build — the caller downgrades to
 	// plain forwarding instead of failing the call.
 	Repair rtp.Scheme
+	// Keepalive is how often the caller refreshes its session state at the
+	// relays on the path: a token-bearing frame addressed to the relay
+	// chain (consumed before the peer) that resets the relay idle TTL and
+	// keeps NAT bindings warm. Zero means the 10s default; negative
+	// disables. Keepalives ride only relayed, token-bearing calls — direct
+	// or tokenless calls have no relay session to refresh.
+	Keepalive time.Duration
 }
 
 // CallOutcome is the result of a resilient call: the measured metrics,
@@ -331,6 +409,18 @@ func (a *Agent) CallResilient(spec CallSpec) (CallOutcome, error) {
 	if a.legacyV1.Load() {
 		scheme = rtp.SchemeNone
 	}
+	// Session token (wire v3): lets relays identify this call's frames by
+	// token rather than source address, so the call survives a mid-call
+	// NAT rebind (DESIGN.md §17). A legacy or mobility-off agent stays on
+	// the v1/v2 wire.
+	var tok transport.Token
+	if !a.legacyV1.Load() && !a.mobilityOff.Load() {
+		tok = a.newToken()
+	}
+	kaEvery := spec.Keepalive
+	if kaEvery == 0 {
+		kaEvery = 10 * time.Second
+	}
 	oc := &outCall{scheme: scheme, sendTo: rs.sendTo}
 	if scheme != rtp.SchemeNone {
 		oc.rtx = rtp.NewRtxRing(256)
@@ -352,6 +442,7 @@ func (a *Agent) CallResilient(spec CallSpec) (CallOutcome, error) {
 	f.Session = session
 	f.Kind = transport.KindMedia
 	f.Repair = scheme.Byte()
+	f.Token = tok
 	if err := f.SetRoute(rs.route); err != nil {
 		return out, err
 	}
@@ -365,6 +456,7 @@ func (a *Agent) CallResilient(spec CallSpec) (CallOutcome, error) {
 		pf.Session = session
 		pf.Kind = transport.KindFEC
 		pf.Repair = scheme.Byte()
+		pf.Token = f.Token
 		if err := pf.SetRoute(r.route); err != nil {
 			return err
 		}
@@ -374,6 +466,25 @@ func (a *Agent) CallResilient(spec CallSpec) (CallOutcome, error) {
 		if err := setParityRoute(rs); err != nil {
 			return out, err
 		}
+	}
+	// applyRoute swaps the call onto a new route set: media and parity
+	// addressing, plus the retransmit target NACK service uses.
+	applyRoute := func(r *routeSet) error {
+		if err := f.SetRoute(r.route); err != nil {
+			return err
+		}
+		if err := f.SetReply(r.reply); err != nil {
+			return err
+		}
+		if fecEnc != nil {
+			if err := setParityRoute(r); err != nil {
+				return err
+			}
+		}
+		oc.mu.Lock()
+		oc.sendTo = r.sendTo
+		oc.mu.Unlock()
+		return nil
 	}
 
 	total := int(spec.Duration / interval)
@@ -388,6 +499,13 @@ func (a *Agent) CallResilient(spec CallSpec) (CallOutcome, error) {
 	defer ticker.Stop()
 	tsStep := uint32(rtp.ClockRate / spec.PPS)
 	activated := time.Now() // when the current path started carrying media
+	gen := a.rebindGen.Load()
+	lastKA := time.Now() // first keepalive only after one period
+	if !tok.IsZero() {
+		// Prime the relay chain before media flows so every relay on the
+		// path binds the token to our source address from packet one.
+		a.sendKeepalive(session, tok, rs)
+	}
 	for i := 0; i < total; i++ {
 		pt := uint8(ptSimplex)
 		if spec.Duplex {
@@ -404,8 +522,13 @@ func (a *Agent) CallResilient(spec CallSpec) (CallOutcome, error) {
 		f.Payload = pkt.Marshal(buf[:0])
 		// The frame wraps the RTP packet; reuse buffers to avoid churn.
 		wire := f.Marshal(nil)
-		if _, err := a.conn.WriteTo(wire, rs.sendTo); err != nil {
-			return out, err
+		if _, err := a.pc().WriteTo(wire, rs.sendTo); err != nil {
+			// A rebind racing this send closes the old conn under us; the
+			// packet is one more loss in the handover burst, not a dead
+			// call. Any other send error is fatal as before.
+			if a.rebindGen.Load() == gen {
+				return out, err
+			}
 		}
 		if oc.rtx != nil {
 			oc.mu.Lock()
@@ -415,16 +538,65 @@ func (a *Agent) CallResilient(spec CallSpec) (CallOutcome, error) {
 		switch {
 		case scheme == rtp.SchemeRED:
 			//vialint:ignore errwrap the redundant copy is best-effort by construction
-			_, _ = a.conn.WriteTo(wire, rs.sendTo)
+			_, _ = a.pc().WriteTo(wire, rs.sendTo)
 		case fecEnc != nil:
 			if parity := fecEnc.Add(&pkt); parity != nil {
 				pf.Payload = parity.Marshal(nil)
 				//vialint:ignore errwrap parity is repair data; losing it degrades to plain forwarding
-				_, _ = a.conn.WriteTo(pf.Marshal(nil), rs.sendTo)
+				_, _ = a.pc().WriteTo(pf.Marshal(nil), rs.sendTo)
 			}
 		}
 		if i < total-1 {
 			<-ticker.C
+		}
+
+		// Mobility: after a Rebind the reply routes embedded in our frames
+		// still name the old address — re-derive them, and announce the new
+		// source to the relay chain right away (the keepalive triggers path
+		// validation without waiting for the next media packet). The relays
+		// keep delivering reverse traffic to the old address until the
+		// challenge completes; the token is what keeps the session alive
+		// across the gap.
+		if g := a.rebindGen.Load(); g != gen {
+			gen = g
+			if nrs, err := a.routeSet(cur, spec.Peer); err == nil {
+				rs = nrs
+				if err := applyRoute(rs); err != nil {
+					return out, err
+				}
+			}
+			a.sendKeepalive(session, tok, rs)
+			lastKA = time.Now()
+		}
+
+		// Keepalive cadence: refresh relay session/NAT state on quiet-but-
+		// alive paths (media itself also refreshes; this is the floor).
+		if !tok.IsZero() && kaEvery > 0 && time.Since(lastKA) >= kaEvery {
+			a.sendKeepalive(session, tok, rs)
+			lastKA = time.Now()
+		}
+
+		// Drain migration: a relay on the path asked us to move (it is
+		// retiring, not dead). Repath in place to the first resolvable
+		// failover candidate — unlike failover this is not punitive, so the
+		// old option is not recorded as failed and the failover counter
+		// stays untouched. No candidate? Keep riding the drain grace.
+		oc.mu.Lock()
+		nudged := oc.drainNudge
+		oc.drainNudge = false
+		oc.mu.Unlock()
+		if nudged {
+			if next, nrs, ok := nextOption(cur); ok {
+				cur, rs = next, nrs
+				out.Used = cur
+				if err := applyRoute(rs); err != nil {
+					return out, err
+				}
+				a.sendKeepalive(session, tok, rs)
+				lastKA = time.Now()
+				activated = time.Now()
+				a.drainMigrations.Add(1)
+			}
 		}
 
 		// Repair liveness: the callee confirms the scheme by echoing it on
@@ -432,18 +604,18 @@ func (a *Agent) CallResilient(spec CallSpec) (CallOutcome, error) {
 		// with a different scheme) is a pre-repair build — downgrade to
 		// plain forwarding immediately rather than failing the call. A peer
 		// that stays silent for FailoverAfter gets one downgrade attempt
-		// (maybe it dropped our v2 frames wholesale) before path failover.
-		if scheme != rtp.SchemeNone {
+		// (maybe it dropped our v2/v3 frames wholesale) before path
+		// failover; the session token is shed on the same silence signal,
+		// since a pre-token build rejects the v3 magic just as a pre-repair
+		// build rejects v2. An echoing peer keeps the token — it parsed our
+		// frames fine.
+		if scheme != rtp.SchemeNone || !tok.IsZero() {
 			oc.mu.Lock()
 			seenRR := oc.lastRR != nil
 			confirmed := oc.echoSeen && oc.echo == scheme
 			oc.mu.Unlock()
-			downgrade := seenRR && !confirmed
-			if !seenRR && time.Since(activated) > spec.FailoverAfter {
-				downgrade = true
-				activated = time.Now() // fresh liveness window for plain media
-			}
-			if downgrade {
+			silent := !seenRR && time.Since(activated) > spec.FailoverAfter
+			if scheme != rtp.SchemeNone && ((seenRR && !confirmed) || silent) {
 				scheme = rtp.SchemeNone
 				f.Repair = 0
 				fecEnc = nil
@@ -452,6 +624,15 @@ func (a *Agent) CallResilient(spec CallSpec) (CallOutcome, error) {
 				oc.rtx = nil
 				oc.mu.Unlock()
 				a.repairDowngrades.Add(1)
+			}
+			if silent && !tok.IsZero() {
+				tok = transport.Token{}
+				f.Token = tok
+				pf.Token = tok
+				a.tokenDowngrades.Add(1)
+			}
+			if silent {
+				activated = time.Now() // fresh liveness window for the downgraded wire
 			}
 		}
 
@@ -474,20 +655,11 @@ func (a *Agent) CallResilient(spec CallSpec) (CallOutcome, error) {
 			out.Failed = append(out.Failed, cur)
 			cur, rs = next, nrs
 			out.Used = cur
-			if err := f.SetRoute(rs.route); err != nil {
+			if err := applyRoute(rs); err != nil {
 				return out, err
 			}
-			if err := f.SetReply(rs.reply); err != nil {
-				return out, err
-			}
-			if fecEnc != nil {
-				if err := setParityRoute(rs); err != nil {
-					return out, err
-				}
-			}
-			oc.mu.Lock()
-			oc.sendTo = rs.sendTo
-			oc.mu.Unlock()
+			a.sendKeepalive(session, tok, rs)
+			lastKA = time.Now()
 			activated = time.Now()
 			a.failovers.Add(1)
 		}
@@ -684,12 +856,14 @@ func (a *Agent) routes(opt netsim.Option, peer *net.UDPAddr) (sendTo *net.UDPAdd
 	}
 }
 
-// readLoop dispatches incoming frames until the conn closes.
-func (a *Agent) readLoop() {
+// readLoop dispatches incoming frames until its conn closes. Each Rebind
+// starts a fresh loop on the new conn; closing the old conn retires the
+// old loop, so exactly one loop is live per transport generation.
+func (a *Agent) readLoop(conn net.PacketConn) {
 	defer a.wg.Done()
 	buf := make([]byte, 64*1024)
 	for {
-		n, _, err := a.conn.ReadFrom(buf)
+		n, src, err := conn.ReadFrom(buf)
 		if err != nil {
 			return
 		}
@@ -700,8 +874,8 @@ func (a *Agent) readLoop() {
 		if f.NextHop() != nil {
 			continue // not at its final destination; misdelivered
 		}
-		if a.legacyV1.Load() && f.Repair != 0 {
-			continue // pre-repair build: the v2 header reads as garbage
+		if a.legacyV1.Load() && (f.Repair != 0 || !f.Token.IsZero()) {
+			continue // pre-repair build: the v2/v3 header reads as garbage
 		}
 		switch f.Kind {
 		case transport.KindMedia:
@@ -712,6 +886,10 @@ func (a *Agent) readLoop() {
 			a.handleNack(&f)
 		case transport.KindFEC:
 			a.handleFEC(&f)
+		case transport.KindPathChallenge:
+			a.handlePathChallenge(&f, src)
+		case transport.KindDrain:
+			a.handleDrain(&f)
 		}
 	}
 }
@@ -728,6 +906,12 @@ func (a *Agent) handleMedia(f *transport.Frame) {
 	ic := a.incoming[f.Session]
 	if ic == nil {
 		ic = &inCall{}
+		// A token-bearing caller gets a token-bearing callee: the callee
+		// mints its own token (each endpoint's relay-adjacent hop tracks
+		// its own mobility), fixed for the life of the call.
+		if !f.Token.IsZero() && !a.mobilityOff.Load() {
+			ic.token = a.newTokenLocked()
+		}
 		a.incoming[f.Session] = ic
 		// Bound state growth from abandoned sessions.
 		if len(a.incoming) > 4096 {
@@ -824,6 +1008,7 @@ func (a *Agent) handleMedia(f *transport.Frame) {
 		var out transport.Frame
 		out.Session = f.Session
 		out.Kind = transport.KindReport
+		out.Token = ic.token
 		if err := out.SetRoute(replyRoute[1:]); err != nil {
 			return
 		}
@@ -834,10 +1019,10 @@ func (a *Agent) handleMedia(f *transport.Frame) {
 			out.Payload = append(out.Payload, echoScheme.Byte())
 		}
 		//vialint:ignore errwrap best-effort receiver report: a lost RR is one missing sample, repaired by the next interval
-		_, _ = a.conn.WriteTo(out.Marshal(nil), replyRoute[0])
+		_, _ = a.pc().WriteTo(out.Marshal(nil), replyRoute[0])
 	}
 	if len(nackSeqs) > 0 {
-		a.sendNack(f.Session, pkt.SSRC, nackSeqs, replyRoute)
+		a.sendNack(f.Session, pkt.SSRC, nackSeqs, replyRoute, ic.token)
 	}
 }
 
@@ -870,6 +1055,7 @@ func (a *Agent) streamBack(session uint64, ic *inCall) {
 	var f transport.Frame
 	f.Session = session
 	f.Kind = transport.KindMedia
+	f.Token = ic.token
 	if err := f.SetRoute(route); err != nil {
 		return
 	}
@@ -878,6 +1064,7 @@ func (a *Agent) streamBack(session uint64, ic *inCall) {
 	}
 
 	start := time.Now()
+	gen := a.rebindGen.Load()
 	for i := uint16(0); ; i++ {
 		// Stop when the forward stream has gone quiet or after a cap.
 		ic.mu.Lock()
@@ -886,6 +1073,15 @@ func (a *Agent) streamBack(session uint64, ic *inCall) {
 		if time.Now().UnixNano()-last > int64(600*time.Millisecond) ||
 			time.Since(start) > 60*time.Second {
 			return
+		}
+		// After a rebind only the final hop of our reply route — our own
+		// address — is stale; the relay chain still stands.
+		if g := a.rebindGen.Load(); g != gen {
+			gen = g
+			back[len(back)-1] = a.Addr()
+			if err := f.SetReply(back); err != nil {
+				return
+			}
 		}
 		pkt := rtp.Packet{
 			PayloadType: ptSimplex,
@@ -896,8 +1092,12 @@ func (a *Agent) streamBack(session uint64, ic *inCall) {
 		}
 		putNanos(payload, time.Now().UnixNano())
 		f.Payload = pkt.Marshal(nil)
-		if _, err := a.conn.WriteTo(f.Marshal(nil), sendTo); err != nil {
-			return
+		if _, err := a.pc().WriteTo(f.Marshal(nil), sendTo); err != nil {
+			// Tolerate the send that raced a rebind; the next loop
+			// iteration picks up the new conn.
+			if a.rebindGen.Load() == gen {
+				return
+			}
 		}
 		<-ticker.C
 	}

@@ -34,19 +34,20 @@ func (ic *inCall) setupRepairLocked(s rtp.Scheme) {
 // sendNack ships one bounded retransmit request back along the reply
 // route. Best-effort: a lost NACK is re-requested at the next interval
 // until the retry cap or playout deadline gives up on the gap.
-func (a *Agent) sendNack(session uint64, ssrc uint32, seqs []uint16, reply []*net.UDPAddr) {
+func (a *Agent) sendNack(session uint64, ssrc uint32, seqs []uint16, reply []*net.UDPAddr, tok transport.Token) {
 	if len(reply) == 0 {
 		return
 	}
 	var f transport.Frame
 	f.Session = session
 	f.Kind = transport.KindNack
+	f.Token = tok
 	if err := f.SetRoute(reply[1:]); err != nil {
 		return
 	}
 	req := rtp.NACKRequest{SSRC: ssrc, Seqs: seqs}
 	f.Payload = req.Marshal(nil)
-	if _, err := a.conn.WriteTo(f.Marshal(nil), reply[0]); err == nil {
+	if _, err := a.pc().WriteTo(f.Marshal(nil), reply[0]); err == nil {
 		a.nacksSent.Add(int64(len(seqs)))
 	}
 }
@@ -81,7 +82,7 @@ func (a *Agent) handleNack(f *transport.Frame) {
 	}
 	oc.mu.Unlock()
 	for _, w := range wires {
-		if _, err := a.conn.WriteTo(w, sendTo); err == nil {
+		if _, err := a.pc().WriteTo(w, sendTo); err == nil {
 			a.nacksHonored.Add(1)
 		}
 	}

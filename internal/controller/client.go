@@ -218,9 +218,17 @@ func (c *Client) get(path string, resp any) error {
 
 // RegisterRelay announces a relay's media address.
 func (c *Client) RegisterRelay(id netsim.RelayID, addr string) error {
+	return c.HeartbeatRelay(id, addr, false)
+}
+
+// HeartbeatRelay re-announces a relay, optionally advertising drain mode.
+// A draining relay stays registered (its sessions are still live) but is
+// excluded from the directory and candidate enumeration until a
+// non-draining heartbeat clears the mark.
+func (c *Client) HeartbeatRelay(id netsim.RelayID, addr string, draining bool) error {
 	var resp transport.RegisterRelayResponse
 	return c.post("/v1/relays/register",
-		transport.RegisterRelayRequest{RelayID: id, Addr: addr}, &resp)
+		transport.RegisterRelayRequest{RelayID: id, Addr: addr, Draining: draining}, &resp)
 }
 
 // Relays fetches the registered relay directory.

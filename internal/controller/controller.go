@@ -121,6 +121,10 @@ type Server struct {
 	mu        sync.RWMutex
 	relays    map[netsim.RelayID]string    // guarded by mu
 	relaySeen map[netsim.RelayID]time.Time // guarded by mu
+	// relayDraining marks relays whose latest heartbeat advertised drain
+	// mode: still alive, but excluded from the directory and candidate
+	// enumeration so no new calls land on them.
+	relayDraining map[netsim.RelayID]bool // guarded by mu
 
 	reports   atomic.Int64
 	chooses   atomic.Int64
@@ -269,8 +273,9 @@ func newServer(cfg Config) *Server {
 		clock:     clock,
 		start:     now,
 		baseTime:  now,
-		relays:    make(map[netsim.RelayID]string),
-		relaySeen: make(map[netsim.RelayID]time.Time),
+		relays:        make(map[netsim.RelayID]string),
+		relaySeen:     make(map[netsim.RelayID]time.Time),
+		relayDraining: make(map[netsim.RelayID]bool),
 		mux:       http.NewServeMux(),
 	}
 	s.roleVal.Store(RolePrimary)
@@ -288,6 +293,12 @@ func newServer(cfg Config) *Server {
 	})
 	m.GaugeFunc("via_controller_live_relays", func() float64 {
 		return float64(s.liveRelays())
+	})
+	m.GaugeFunc("via_controller_draining_relays", func() float64 {
+		s.mu.RLock()
+		n := len(s.relayDraining)
+		s.mu.RUnlock()
+		return float64(n)
 	})
 
 	s.limChoose = newLimiter(cfg.Admission,
@@ -454,6 +465,13 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.relays[req.RelayID] = req.Addr
 	s.relaySeen[req.RelayID] = now
+	if req.Draining {
+		s.relayDraining[req.RelayID] = true
+	} else {
+		// A non-draining heartbeat clears the mark: drain is reversible
+		// (maintenance canceled) and a restarted relay starts clean.
+		delete(s.relayDraining, req.RelayID)
+	}
 	// Registration is the natural sweep point: drop entries whose
 	// heartbeat lapsed long ago so the directory maps cannot grow without
 	// bound as relays churn.
@@ -462,6 +480,7 @@ func (s *Server) handleRegister(w http.ResponseWriter, r *http.Request) {
 			if now.Sub(seen) > 2*s.cfg.RelayTTL {
 				delete(s.relays, id)
 				delete(s.relaySeen, id)
+				delete(s.relayDraining, id)
 			}
 		}
 	}
@@ -476,6 +495,9 @@ func (s *Server) handleRelays(w http.ResponseWriter, _ *http.Request) {
 	for id, addr := range s.relays {
 		if s.cfg.RelayTTL > 0 && now.Sub(s.relaySeen[id]) > s.cfg.RelayTTL {
 			continue // heartbeat lapsed: treat the relay as dead
+		}
+		if s.relayDraining[id] {
+			continue // draining: no new calls, existing ones migrate off
 		}
 		out = append(out, transport.RelayInfo{RelayID: id, Addr: addr})
 	}
@@ -591,6 +613,9 @@ func (s *Server) handleTopK(w http.ResponseWriter, r *http.Request) {
 	for id := range s.relays {
 		if s.cfg.RelayTTL > 0 && now.Sub(s.relaySeen[id]) > s.cfg.RelayTTL {
 			continue
+		}
+		if s.relayDraining[id] {
+			continue // draining relays are not candidates for new calls
 		}
 		cands = append(cands, netsim.BounceOption(id))
 	}

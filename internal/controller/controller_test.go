@@ -67,6 +67,39 @@ func TestRegisterAndListRelays(t *testing.T) {
 	}
 }
 
+func TestDrainingRelayExcludedFromDirectory(t *testing.T) {
+	_, c := testServer(t, &recordingStrategy{})
+	if err := c.RegisterRelay(1, "127.0.0.1:5001"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.RegisterRelay(2, "127.0.0.1:5002"); err != nil {
+		t.Fatal(err)
+	}
+	// Relay 1 heartbeats in drain mode: still registered, but invisible
+	// to callers enumerating candidates.
+	if err := c.HeartbeatRelay(1, "127.0.0.1:5001", true); err != nil {
+		t.Fatal(err)
+	}
+	relays, err := c.Relays()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(relays) != 1 || relays[2] != "127.0.0.1:5002" {
+		t.Errorf("directory with draining relay = %v, want only relay 2", relays)
+	}
+	// Drain is reversible: a plain heartbeat restores the relay.
+	if err := c.HeartbeatRelay(1, "127.0.0.1:5001", false); err != nil {
+		t.Fatal(err)
+	}
+	relays, err = c.Relays()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(relays) != 2 {
+		t.Errorf("directory after drain cleared = %v, want both relays", relays)
+	}
+}
+
 func TestChooseRoundTrip(t *testing.T) {
 	strat := &recordingStrategy{ret: netsim.TransitOption(2, 5)}
 	_, c := testServer(t, strat)

@@ -1,0 +1,238 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/quality"
+	"repro/internal/stats"
+)
+
+// Churn sweep (DESIGN.md §17): what mid-call mobility costs under each
+// recovery policy, as endpoint churn (NAT rebinds, WiFi↔LTE handovers)
+// rises. Three arms:
+//
+//   - migrate: token-based session migration. The client announces its new
+//     address with a keepalive, the relay validates it with a path
+//     challenge and re-pins the return path; the call never leaves its
+//     predicted relay. The outage is one validation round trip, and NACK
+//     retransmission recovers the gap packets whose repair still lands
+//     inside the playout deadline.
+//   - redial-via: the pre-mobility behavior — the call drops and the
+//     client re-dials, with prediction-guided selection putting the new
+//     call back on the best candidate. The user eats a dropped call plus
+//     signaling/setup dead air per churn event.
+//   - redial-random: drop and re-dial without prediction: the same dead
+//     air, and the rest of the call rides whichever candidate the re-dial
+//     happened to land on.
+//
+// The headline the gate cares about: migration degrades gracefully (MOS
+// declines by validation gaps only) while both re-dial arms fall off a
+// cliff in drops and dead air, and the unpredicted one also loses the
+// relay-selection gains Via exists to provide.
+
+// churnRatesPerMin are the swept churn intensities, in rebinds per minute
+// of talk time. 0 is the no-churn control; 4/min is a subway commute.
+func churnRatesPerMin() []float64 {
+	return []float64{0, 0.5, 1, 2, 4}
+}
+
+const (
+	// churnPlayoutMs is the playout buffer depth bounding useful NACK
+	// repair, matching rtp.NACKConfig's default deadline.
+	churnPlayoutMs = 400
+	// churnRedialSetupMs is the fixed signaling cost of a re-dial before
+	// path-dependent round trips: directory fetch, permission prompt
+	// debounce, codec renegotiation.
+	churnRedialSetupMs = 250
+)
+
+// churnSampleSize scales the sampled call population with -calls, clamped
+// so the per-cell means stay stable without dominating the run.
+func churnSampleSize(calls int) int {
+	n := calls / 10
+	if n < 1000 {
+		n = 1000
+	}
+	if n > 8000 {
+		n = 8000
+	}
+	return n
+}
+
+// churnCall is one sampled call: its pair, window, candidate set, and the
+// per-option window means the policies price segments with.
+type churnCall struct {
+	durSec float64
+	best   quality.Metrics
+	cands  []quality.Metrics
+}
+
+// churnSample draws the call population from the trace workload: real AS
+// pairs with Zipf volume, log-normal durations, and each pair's candidate
+// options priced at the call's window.
+func churnSample(e *Env) []churnCall {
+	n := churnSampleSize(e.Calls)
+	out := make([]churnCall, 0, n)
+	for _, rec := range e.Trace {
+		if len(out) >= n {
+			break
+		}
+		if rec.Src == rec.Dst || rec.Duration <= 0 {
+			continue
+		}
+		opts := e.World.Options(rec.Src, rec.Dst)
+		if len(opts) == 0 {
+			continue
+		}
+		cands := make([]quality.Metrics, len(opts))
+		bestIdx, bestMOS := 0, -1.0
+		em := quality.DefaultEModel()
+		for i, o := range opts {
+			cands[i] = e.World.WindowMean(rec.Src, rec.Dst, o, rec.Window())
+			if mos := em.MOS(cands[i]); mos > bestMOS {
+				bestIdx, bestMOS = i, mos
+			}
+		}
+		out = append(out, churnCall{durSec: rec.Duration, best: cands[bestIdx], cands: cands})
+	}
+	return out
+}
+
+// churnPoisson draws the number of rebinds in a call of the given talk
+// time (Knuth's method; means here are small).
+func churnPoisson(rng *stats.RNG, ratePerMin, durSec float64) int {
+	mean := ratePerMin * durSec / 60
+	if mean <= 0 {
+		return 0
+	}
+	l := math.Exp(-mean)
+	k, p := 0, 1.0
+	for {
+		p *= rng.Float64()
+		if p < l {
+			return k
+		}
+		k++
+	}
+}
+
+// churnOutcome aggregates one (rate, policy) cell.
+type churnOutcome struct {
+	calls     int
+	rebinds   int
+	drops     int
+	outageSec float64
+	talkSec   float64
+	mosSum    float64
+}
+
+// churnMigrate prices one call under token-based migration: per rebind,
+// the endpoint is dark for one validation round trip on the serving path;
+// retransmission then claws back the fraction of the gap that still fits
+// the playout deadline.
+func churnMigrate(c churnCall, rebinds int) (outageSec, mos float64) {
+	gap := c.best.RTTMs / 1000
+	outageSec = float64(rebinds) * gap
+	repairable := 1 - c.best.RTTMs/churnPlayoutMs
+	if repairable < 0 {
+		repairable = 0
+	}
+	residual := c.best.LossRate + (outageSec*(1-repairable))/c.durSec
+	mos = quality.DefaultEModel().MOS(quality.Metrics{
+		RTTMs:    c.best.RTTMs,
+		LossRate: clampRate(residual),
+		JitterMs: c.best.JitterMs,
+	})
+	return outageSec, mos
+}
+
+// churnRedial prices one call under drop-and-re-dial. Each rebind kills
+// the call for the signaling setup plus two path round trips; the next
+// segment rides the predicted best option (predicted=true) or a uniform
+// candidate. MOS is the talk-time-weighted mean over segments, with the
+// dead air charged as loss against the whole call — dead air is time the
+// network delivered nothing.
+func churnRedial(rng *stats.RNG, c churnCall, rebinds int, predicted bool) (outageSec, mos float64) {
+	segs := rebinds + 1
+	seg := c.best
+	mosSum := 0.0
+	for i := 0; i < segs; i++ {
+		if i > 0 {
+			outageSec += (churnRedialSetupMs + 2*seg.RTTMs) / 1000
+			if predicted {
+				seg = c.best
+			} else {
+				seg = c.cands[rng.IntN(len(c.cands))]
+			}
+		}
+		mosSum += quality.DefaultEModel().MOS(seg)
+	}
+	mos = mosSum / float64(segs)
+	// Charge the dead air: scale MOS down by the fraction of the call the
+	// user spent listening to silence and redial tones.
+	deadFrac := outageSec / (c.durSec + outageSec)
+	mos = mos - (mos-1)*clampRate(deadFrac)
+	return outageSec, mos
+}
+
+// clampRate clamps a fraction into [0, 1].
+func clampRate(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// ChurnSweep sweeps endpoint churn rates across the three recovery
+// policies over a trace-sampled call population.
+func ChurnSweep(e *Env) []*stats.Table {
+	rng := stats.NewRNG(e.Seed).Split("churnsweep")
+	calls := churnSample(e)
+	t := &stats.Table{
+		Title: fmt.Sprintf("mid-call churn: migration vs drop-and-re-dial (%d calls/cell)", len(calls)),
+		Headers: []string{"churn/min", "policy", "rebinds/call", "drops/call",
+			"dead air ms/call", "mean MOS", "ΔMOS vs no churn"},
+	}
+	policies := []string{"migrate", "redial-via", "redial-random"}
+	baseMOS := make(map[string]float64)
+	for _, rate := range churnRatesPerMin() {
+		for _, pol := range policies {
+			cellRNG := rng.Split(fmt.Sprintf("%s/%.2f", pol, rate))
+			var agg churnOutcome
+			for _, c := range calls {
+				n := churnPoisson(cellRNG, rate, c.durSec)
+				var outage, mos float64
+				switch pol {
+				case "migrate":
+					outage, mos = churnMigrate(c, n)
+				case "redial-via":
+					outage, mos = churnRedial(cellRNG, c, n, true)
+					agg.drops += n
+				default:
+					outage, mos = churnRedial(cellRNG, c, n, false)
+					agg.drops += n
+				}
+				agg.calls++
+				agg.rebinds += n
+				agg.outageSec += outage
+				agg.talkSec += c.durSec
+				agg.mosSum += mos
+			}
+			mean := agg.mosSum / float64(agg.calls)
+			if rate == 0 {
+				baseMOS[pol] = mean
+			}
+			t.AddRow(fmt.Sprintf("%.1f", rate), pol,
+				fmt.Sprintf("%.2f", float64(agg.rebinds)/float64(agg.calls)),
+				fmt.Sprintf("%.2f", float64(agg.drops)/float64(agg.calls)),
+				fmt.Sprintf("%.0f", agg.outageSec/float64(agg.calls)*1000),
+				fmt.Sprintf("%.3f", mean),
+				fmt.Sprintf("%+.3f", mean-baseMOS[pol]))
+		}
+	}
+	return []*stats.Table{t}
+}

@@ -46,6 +46,7 @@ func Registry() []Experiment {
 		{"cache", "client-side decision caching (§7)", DecisionCaching, 25},
 		{"budgetmodels", "alternative budget models (§4.6)", BudgetModels, 26},
 		{"losssweep", "loss-repair scheme sweep & bandit (NACK/RED/FEC)", LossSweep, 27},
+		{"churnsweep", "mid-call churn: migrate-in-place vs drop/re-dial (§17)", ChurnSweep, 28},
 	}
 	sort.Slice(exps, func(i, j int) bool { return exps[i].Order < exps[j].Order })
 	return exps

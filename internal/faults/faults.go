@@ -85,6 +85,22 @@ const (
 	// RemoveShard drains a ring shard: epoch+1 map install, moved pairs
 	// replayed onto their new owners, then the shard shuts down.
 	RemoveShard
+	// NATRebind swaps one client's transport for a fresh socket mid-call —
+	// the NAT rebinding / interface handover of DESIGN.md §17. The client's
+	// address changes; token-bearing calls must survive via relay path
+	// validation and return-path re-pinning. Targets must implement
+	// MobilityTarget.
+	NATRebind
+	// Churn fires one churn wave: every client listed on the event rebinds
+	// in order — concentrated mobility, the worst case for address-keyed
+	// session state. Targets must implement MobilityTarget.
+	Churn
+	// DrainRelay toggles a relay's maintenance drain: it stops accepting
+	// new sessions, advertises draining on its heartbeat (the controller
+	// excludes it from candidate enumeration), and nudges its active calls
+	// toward backup relays. Event.Off lifts the drain. Targets must
+	// implement MobilityTarget.
+	DrainRelay
 )
 
 // String names the fault kind.
@@ -122,6 +138,12 @@ func (k Kind) String() string {
 		return "add-shard"
 	case RemoveShard:
 		return "remove-shard"
+	case NATRebind:
+		return "nat-rebind"
+	case Churn:
+		return "churn"
+	case DrainRelay:
+		return "drain-relay"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -171,6 +193,11 @@ type Event struct {
 	// Shard is the ring shard ID for KillShard / PromoteShardStandby /
 	// RemoveShard (AddShard mints its own ID).
 	Shard int
+	// Clients lists the agents a Churn wave rebinds, in order. NATRebind
+	// names its single client through A (ClientEnd).
+	Clients []netsim.ASID
+	// Off lifts a DrainRelay instead of setting it.
+	Off bool
 }
 
 // String renders the event for logs and errors.
@@ -188,6 +215,16 @@ func (e Event) String() string {
 		return fmt.Sprintf("%s@%s delay=%s", e.Kind, e.At, e.Delay)
 	case KillShard, PromoteShardStandby, RemoveShard:
 		return fmt.Sprintf("%s@%s shard=%d", e.Kind, e.At, e.Shard)
+	case NATRebind:
+		return fmt.Sprintf("%s@%s %s", e.Kind, e.At, e.A)
+	case Churn:
+		return fmt.Sprintf("%s@%s clients=%d", e.Kind, e.At, len(e.Clients))
+	case DrainRelay:
+		verb := "on"
+		if e.Off {
+			verb = "off"
+		}
+		return fmt.Sprintf("%s@%s relay=%d %s", e.Kind, e.At, e.Relay, verb)
 	default:
 		return fmt.Sprintf("%s@%s", e.Kind, e.At)
 	}
@@ -280,6 +317,24 @@ func (e Event) Apply(t Target) error {
 			return st.AddShard()
 		default:
 			return st.RemoveShard(e.Shard)
+		}
+	case NATRebind, Churn, DrainRelay:
+		mt, ok := t.(MobilityTarget)
+		if !ok {
+			return fmt.Errorf("faults: target %T does not support mobility faults", t)
+		}
+		switch e.Kind {
+		case NATRebind:
+			return mt.RebindClient(e.A.AS)
+		case Churn:
+			for _, as := range e.Clients {
+				if err := mt.RebindClient(as); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			return mt.SetRelayDraining(e.Relay, !e.Off)
 		}
 	default:
 		return fmt.Errorf("faults: unknown event kind %v", e.Kind)

@@ -54,21 +54,57 @@ func TestForwardZeroAlloc(t *testing.T) {
 	conn := &discardConn{}
 	n := New(1, conn)
 	wire := repairWire(t)
+	src := &net.UDPAddr{IP: net.IPv4(10, 9, 0, 1), Port: 4000}
 
 	out := make([]byte, 0, 64*1024)
 	var f transport.Frame
 	next := &net.UDPAddr{IP: make(net.IP, 4)}
 	// Warm up: create the session entry and size the buffers.
-	n.handle(wire, &out, &f, next)
+	n.handle(wire, src, &out, &f, next)
 
 	allocs := testing.AllocsPerRun(500, func() {
-		n.handle(wire, &out, &f, next)
+		n.handle(wire, src, &out, &f, next)
 	})
 	if allocs != 0 {
 		t.Errorf("forwarding allocates %v per packet, want 0", allocs)
 	}
 	if conn.writes == 0 {
 		t.Fatal("nothing was forwarded")
+	}
+}
+
+// TestForwardZeroAllocV3 repeats the zero-alloc assertion for wire-v3
+// frames in their steady state: the token is already bound to the source
+// address, so per-packet mobility work is one map lookup and a compare.
+func TestForwardZeroAllocV3(t *testing.T) {
+	conn := &discardConn{}
+	n := New(1, conn)
+	f3 := transport.Frame{Session: 0xFEED, Kind: transport.KindMedia, Repair: 0x84,
+		Token: transport.Token{1, 2, 3, 4}}
+	addrs := []*net.UDPAddr{
+		{IP: net.IPv4(10, 0, 0, 1), Port: 7001},
+		{IP: net.IPv4(10, 0, 0, 2), Port: 7002},
+	}
+	if err := f3.SetRoute(addrs); err != nil {
+		t.Fatal(err)
+	}
+	if err := f3.SetReply(addrs); err != nil {
+		t.Fatal(err)
+	}
+	f3.Payload = make([]byte, 172)
+	wire := f3.Marshal(nil)
+	src := &net.UDPAddr{IP: net.IPv4(10, 9, 0, 1), Port: 4000}
+
+	out := make([]byte, 0, 64*1024)
+	var f transport.Frame
+	next := &net.UDPAddr{IP: make(net.IP, 4)}
+	n.handle(wire, src, &out, &f, next) // warm up: session + token binding
+
+	allocs := testing.AllocsPerRun(500, func() {
+		n.handle(wire, src, &out, &f, next)
+	})
+	if allocs != 0 {
+		t.Errorf("v3 forwarding allocates %v per packet, want 0", allocs)
 	}
 }
 
@@ -79,15 +115,16 @@ func BenchmarkForwardRepairFrame(b *testing.B) {
 	conn := &discardConn{}
 	n := New(1, conn)
 	wire := repairWire(b)
+	src := &net.UDPAddr{IP: net.IPv4(10, 9, 0, 1), Port: 4000}
 	out := make([]byte, 0, 64*1024)
 	var f transport.Frame
 	next := &net.UDPAddr{IP: make(net.IP, 4)}
-	n.handle(wire, &out, &f, next)
+	n.handle(wire, src, &out, &f, next)
 
 	b.ReportAllocs()
 	b.SetBytes(int64(len(wire)))
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		n.handle(wire, &out, &f, next)
+		n.handle(wire, src, &out, &f, next)
 	}
 }

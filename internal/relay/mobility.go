@@ -1,0 +1,343 @@
+package relay
+
+import (
+	"encoding/binary"
+	"net"
+	"time"
+
+	"repro/internal/transport"
+)
+
+// Mid-call mobility (DESIGN.md §17). Wire-v3 frames carry an opaque
+// per-endpoint session token, so the relay can recognize "same call,
+// new source address" when a NAT rebind or WiFi↔LTE handover changes an
+// endpoint's 5-tuple mid-call. The first address a token appears from is
+// trusted implicitly (it is the address the call was set up over, the
+// moral equivalent of QUIC's handshake-validated path); every later
+// address must answer a path challenge before the relay re-pins the
+// return path to it. Until validation completes, traffic *from* the new
+// address still forwards — sending media onward to a known destination
+// amplifies nothing — but nothing is ever sent *to* an unvalidated
+// address except the fixed-size challenge itself.
+const (
+	// pathChallengeResend spaces retransmits of an unanswered challenge.
+	pathChallengeResend = 250 * time.Millisecond
+	// pathChallengeMaxTries bounds one validation episode; exhausting it
+	// counts a failure and the next frame from that address starts over.
+	pathChallengeMaxTries = 5
+	// drainNudgeEvery rate-limits per-endpoint drain nudges.
+	drainNudgeEvery = time.Second
+)
+
+// addrKey is a comparable IPv4 addr+port, the session table's view of an
+// endpoint address.
+type addrKey [6]byte
+
+// toAddrKey converts a UDP source address into table form. Non-UDP or
+// non-IPv4 addresses (never produced by the testbed) report false.
+func toAddrKey(a net.Addr) (addrKey, bool) {
+	u, ok := a.(*net.UDPAddr)
+	if !ok {
+		return addrKey{}, false
+	}
+	ip4 := u.IP.To4()
+	if ip4 == nil {
+		return addrKey{}, false
+	}
+	var k addrKey
+	copy(k[:4], ip4)
+	binary.BigEndian.PutUint16(k[4:], uint16(u.Port))
+	return k, true
+}
+
+// udpAddr converts a table key back into a sendable address.
+func (k addrKey) udpAddr() *net.UDPAddr {
+	return &net.UDPAddr{
+		IP:   net.IPv4(k[0], k[1], k[2], k[3]),
+		Port: int(binary.BigEndian.Uint16(k[4:])),
+	}
+}
+
+// tokenEntry is the relay's per-token mobility state: the endpoint's
+// current validated address plus any in-flight validation of a new one.
+type tokenEntry struct {
+	session   uint64
+	addr      addrKey // current validated source address
+	bound     bool    // addr holds a binding (first frame seen)
+	pending   *pathPending
+	lastSeen  time.Time
+	lastNudge time.Time
+}
+
+// pathPending is one outstanding challenge episode toward a new address.
+type pathPending struct {
+	nonce  uint64
+	addr   addrKey
+	sentAt time.Time
+	tries  int
+}
+
+// remapEntry redirects final-hop delivery from a stale endpoint address
+// to its validated successor, so reverse traffic addressed by a peer
+// that has not yet learned the new reply route still arrives.
+type remapEntry struct {
+	to addrKey
+	at time.Time
+}
+
+// mobilityActions is what the locked fast path asks the cold path to
+// send after the lock is released.
+type mobilityActions struct {
+	challenge bool
+	nonce     uint64
+	nudge     bool
+}
+
+// observeTokenLocked updates the token table for a frame from src and
+// decides whether a path challenge or drain nudge is owed. Caller holds
+// n.mu. Allocation happens only on new-token and new-challenge events,
+// never in the steady state, keeping handle's noalloc promise.
+func (n *Node) observeTokenLocked(session uint64, tok transport.Token, src net.Addr, now time.Time, draining bool) mobilityActions {
+	var act mobilityActions
+	te := n.tokens[tok]
+	if te == nil {
+		te = n.newTokenLocked(session, tok, now)
+	}
+	te.lastSeen = now
+	k, ok := toAddrKey(src)
+	if !ok {
+		return act
+	}
+	switch {
+	case !te.bound:
+		// First sighting: the call was set up over this path, trust it.
+		te.bound, te.addr = true, k
+	case te.addr != k:
+		act = n.scheduleChallengeLocked(te, k, now)
+	}
+	if draining && now.Sub(te.lastNudge) >= drainNudgeEvery {
+		te.lastNudge = now
+		act.nudge = true
+	}
+	return act
+}
+
+// newTokenLocked inserts a token entry, bounding the table alongside the
+// session cap. Caller holds n.mu.
+func (n *Node) newTokenLocked(session uint64, tok transport.Token, now time.Time) *tokenEntry {
+	if len(n.tokens) >= n.maxSess {
+		n.sweepIdleLocked(now)
+		if len(n.tokens) >= n.maxSess {
+			var oldest transport.Token
+			var oldestSeen time.Time
+			first := true
+			for t, te := range n.tokens {
+				if first || te.lastSeen.Before(oldestSeen) {
+					oldest, oldestSeen, first = t, te.lastSeen, false
+				}
+			}
+			if !first {
+				delete(n.tokens, oldest)
+			}
+		}
+	}
+	te := &tokenEntry{session: session}
+	n.tokens[tok] = te
+	return te
+}
+
+// scheduleChallengeLocked runs the challenge state machine for a frame
+// arriving from unvalidated address k. Caller holds n.mu.
+func (n *Node) scheduleChallengeLocked(te *tokenEntry, k addrKey, now time.Time) mobilityActions {
+	var act mobilityActions
+	p := te.pending
+	if p == nil || p.addr != k {
+		// New episode (or the endpoint moved again mid-validation: the
+		// newest address wins, the stale episode is abandoned).
+		p = &pathPending{nonce: n.rng.Uint64(), addr: k, sentAt: now, tries: 1}
+		te.pending = p
+		act.challenge, act.nonce = true, p.nonce
+		return act
+	}
+	if now.Sub(p.sentAt) < pathChallengeResend {
+		return act // recently challenged; wait for the response
+	}
+	if p.tries >= pathChallengeMaxTries {
+		// Episode exhausted: count one failure, let the next frame from
+		// this address open a fresh episode.
+		n.pathFail.Add(1)
+		te.pending = nil
+		return act
+	}
+	p.sentAt = now
+	p.tries++
+	act.challenge, act.nonce = true, p.nonce
+	return act
+}
+
+// repinLocked rewrites a final-delivery address that has a validated
+// migration, in place and allocation-free. Caller holds n.mu.
+func (n *Node) repinLocked(next *net.UDPAddr) {
+	if len(n.remap) == 0 {
+		return
+	}
+	k, ok := toAddrKey(next)
+	if !ok {
+		return
+	}
+	re, ok := n.remap[k]
+	if !ok {
+		return
+	}
+	next.IP = append(next.IP[:0], re.to[0], re.to[1], re.to[2], re.to[3])
+	next.Port = int(binary.BigEndian.Uint16(re.to[4:]))
+}
+
+// consume handles frames addressed to the relay itself (empty forward
+// route): keepalives and path responses. Anything else with an exhausted
+// route is misrouted, as before.
+func (n *Node) consume(f *transport.Frame, src net.Addr, size int) {
+	switch f.Kind {
+	case transport.KindKeepalive:
+		n.handleKeepalive(f, src, size)
+	case transport.KindPathResponse:
+		n.handlePathResponse(f, src)
+	default:
+		n.dropped.Add(1)
+	}
+}
+
+// handleKeepalive refreshes the session's idle deadline — a long silent
+// but alive call must not be evicted — and runs the same token
+// observation as data frames, so a keepalive from a rebound address
+// starts path validation without waiting for media.
+func (n *Node) handleKeepalive(f *transport.Frame, src net.Addr, size int) {
+	now := time.Now()
+	draining := n.draining.Load()
+	var act mobilityActions
+	n.mu.Lock()
+	ss := n.sessions[f.Session]
+	if ss == nil {
+		if draining {
+			n.mu.Unlock()
+			n.drainRejected.Add(1)
+			return
+		}
+		ss = n.newSessionLocked(f.Session, now)
+	}
+	ss.Bytes += int64(size)
+	ss.lastSeen = now
+	if !f.Token.IsZero() {
+		act = n.observeTokenLocked(f.Session, f.Token, src, now, draining)
+	}
+	n.mu.Unlock()
+	n.keepalives.Add(1)
+	if act.challenge || act.nudge {
+		n.sendMobility(f.Session, f.Token, src, act)
+	}
+}
+
+// handlePathResponse validates an echoed challenge and, on success,
+// re-pins the token's return path to the responding address.
+func (n *Node) handlePathResponse(f *transport.Frame, src net.Addr) {
+	var c transport.PathChallenge
+	if err := c.Unmarshal(f.Payload); err != nil || c.Token != f.Token || f.Token.IsZero() {
+		n.pathFail.Add(1)
+		return
+	}
+	k, ok := toAddrKey(src)
+	if !ok {
+		n.pathFail.Add(1)
+		return
+	}
+	now := time.Now()
+	n.mu.Lock()
+	te := n.tokens[f.Token]
+	if te == nil || te.pending == nil || te.pending.addr != k || te.pending.nonce != c.Nonce {
+		n.mu.Unlock()
+		n.pathFail.Add(1)
+		return
+	}
+	old, hadOld := te.addr, te.bound
+	te.addr, te.bound = k, true
+	te.pending = nil
+	te.lastSeen = now
+	if ss := n.sessions[te.session]; ss != nil {
+		ss.lastSeen = now
+	}
+	if hadOld && old != k {
+		// Collapse remap chains so multi-rebind sessions resolve in one
+		// lookup: anything that pointed at the old address now points at
+		// the new one, and the new address itself is never a stale key.
+		for from, re := range n.remap {
+			if re.to == old {
+				n.remap[from] = remapEntry{to: k, at: now}
+			}
+		}
+		n.remap[old] = remapEntry{to: k, at: now}
+		delete(n.remap, k)
+		n.migrations.Add(1)
+	}
+	n.mu.Unlock()
+	n.pathOK.Add(1)
+}
+
+// sendMobility emits the challenge and/or drain nudge decided under the
+// lock. Cold path: runs only on address change or during drain.
+func (n *Node) sendMobility(session uint64, tok transport.Token, dst net.Addr, act mobilityActions) {
+	if act.challenge {
+		c := transport.PathChallenge{Nonce: act.nonce, Token: tok}
+		f := transport.Frame{Session: session, Kind: transport.KindPathChallenge, Token: tok}
+		f.Payload = c.Marshal(make([]byte, 0, transport.PathChallengeLen))
+		//vialint:ignore errwrap best-effort UDP: a lost challenge is retransmitted by the next frame from the new address
+		_, _ = n.conn.WriteTo(f.Marshal(nil), dst)
+		n.challenges.Add(1)
+	}
+	if act.nudge {
+		f := transport.Frame{Session: session, Kind: transport.KindDrain, Token: tok}
+		//vialint:ignore errwrap best-effort UDP: drain nudges repeat once per drainNudgeEvery while traffic flows
+		_, _ = n.conn.WriteTo(f.Marshal(nil), dst)
+		n.drainNudges.Add(1)
+	}
+}
+
+// SetDraining switches drain mode. Entering drain immediately nudges
+// every known endpoint toward its backup relay; endpoints that miss the
+// nudge (loss) are re-nudged as their traffic flows. New sessions are
+// rejected while draining; existing ones keep forwarding until they
+// migrate or end.
+func (n *Node) SetDraining(d bool) {
+	n.draining.Store(d)
+	if !d {
+		return
+	}
+	now := time.Now()
+	type target struct {
+		session uint64
+		tok     transport.Token
+		addr    addrKey
+	}
+	var targets []target
+	n.mu.Lock()
+	for tok, te := range n.tokens {
+		if te.bound {
+			te.lastNudge = now
+			targets = append(targets, target{te.session, tok, te.addr})
+		}
+	}
+	n.mu.Unlock()
+	for _, t := range targets {
+		n.sendMobility(t.session, t.tok, t.addr.udpAddr(), mobilityActions{nudge: true})
+	}
+}
+
+// Draining reports whether the relay is in drain mode (advertised to the
+// controller via heartbeats).
+func (n *Node) Draining() bool { return n.draining.Load() }
+
+// Migrations returns how many validated session migrations (address
+// re-pins) this relay has performed.
+func (n *Node) Migrations() int64 { return n.migrations.Load() }
+
+// Keepalives returns how many session keepalives the relay has consumed.
+func (n *Node) Keepalives() int64 { return n.keepalives.Load() }

@@ -18,6 +18,7 @@ import (
 
 	"repro/internal/netsim"
 	"repro/internal/obs"
+	"repro/internal/stats"
 	"repro/internal/transport"
 )
 
@@ -42,12 +43,30 @@ type Node struct {
 	dropped atomic.Int64
 	evicted atomic.Int64
 
+	// Mobility counters (DESIGN.md §17): path validation, session
+	// migration, keepalives, and drain progress.
+	keepalives    atomic.Int64
+	challenges    atomic.Int64
+	pathOK        atomic.Int64
+	pathFail      atomic.Int64
+	migrations    atomic.Int64
+	drainNudges   atomic.Int64
+	drainRejected atomic.Int64
+
+	// draining, once set, rejects frames for unknown sessions and nudges
+	// active endpoints toward their backup relay. Checked lock-free on
+	// the per-packet path.
+	draining atomic.Bool
+
 	mu         sync.Mutex
-	sessions   map[uint64]*sessionEntry // guarded by mu
-	sinceSweep int                      // guarded by mu
-	idleTTL    time.Duration            // guarded by mu
-	maxSess    int                      // guarded by mu
-	closed     bool                     // guarded by mu
+	sessions   map[uint64]*sessionEntry          // guarded by mu
+	tokens     map[transport.Token]*tokenEntry   // guarded by mu
+	remap      map[addrKey]remapEntry            // guarded by mu
+	rng        *stats.RNG                        // guarded by mu
+	sinceSweep int                               // guarded by mu
+	idleTTL    time.Duration                     // guarded by mu
+	maxSess    int                               // guarded by mu
+	closed     bool                              // guarded by mu
 }
 
 // SessionStats is the per-session accounting a relay keeps.
@@ -69,8 +88,15 @@ func New(id netsim.RelayID, conn net.PacketConn) *Node {
 		id:       id,
 		conn:     conn,
 		sessions: make(map[uint64]*sessionEntry),
-		idleTTL:  sessionIdleTTL,
-		maxSess:  maxSessions,
+		tokens:   make(map[transport.Token]*tokenEntry),
+		remap:    make(map[addrKey]remapEntry),
+		// Challenge nonces only need to be unpredictable to an off-path
+		// attacker (the 128-bit token is the real secret); a time-seeded
+		// PRNG suffices and keeps the package dependency-free. Relay is a
+		// live-network package, so reading the clock here is legal.
+		rng:     stats.NewRNG(uint64(time.Now().UnixNano()) ^ uint64(id)<<32),
+		idleTTL: sessionIdleTTL,
+		maxSess: maxSessions,
 	}
 }
 
@@ -104,7 +130,7 @@ func (n *Node) Serve() error {
 	var f transport.Frame
 	next := &net.UDPAddr{IP: make(net.IP, 4)}
 	for {
-		sz, _, err := n.conn.ReadFrom(buf)
+		sz, src, err := n.conn.ReadFrom(buf)
 		if err != nil {
 			if errors.Is(err, net.ErrClosed) {
 				return nil
@@ -117,34 +143,54 @@ func (n *Node) Serve() error {
 			}
 			return err
 		}
-		n.handle(buf[:sz], &out, &f, next)
+		n.handle(buf[:sz], src, &out, &f, next)
 	}
 }
 
 //via:noalloc
-func (n *Node) handle(pkt []byte, out *[]byte, f *transport.Frame, next *net.UDPAddr) {
+func (n *Node) handle(pkt []byte, src net.Addr, out *[]byte, f *transport.Frame, next *net.UDPAddr) {
 	if err := f.Unmarshal(pkt); err != nil {
 		n.dropped.Add(1)
 		return
 	}
 	if !f.NextHopInto(next) {
-		// A frame with an exhausted route landed on a relay: misrouted.
-		n.dropped.Add(1)
+		// An exhausted route at a relay is either a mobility frame
+		// addressed to this relay itself (keepalive, path response) or a
+		// misrouted data frame; consume sorts them out off the hot path.
+		n.consume(f, src, len(pkt))
 		return
 	}
 	f.PopHop()
 
-	n.packets.Add(1)
-	n.bytes.Add(int64(len(pkt)))
 	now := time.Now()
+	draining := n.draining.Load()
+	var act mobilityActions
 	n.mu.Lock()
 	ss := n.sessions[f.Session]
 	if ss == nil {
+		if draining {
+			// Draining relays accept no new sessions: the controller has
+			// stopped advertising us, so anything unknown is a straggler
+			// that should land on another relay.
+			n.mu.Unlock()
+			n.drainRejected.Add(1)
+			n.dropped.Add(1)
+			return
+		}
 		ss = n.newSessionLocked(f.Session, now)
 	}
 	ss.Packets++
 	ss.Bytes += int64(len(pkt))
 	ss.lastSeen = now
+	if !f.Token.IsZero() {
+		act = n.observeTokenLocked(f.Session, f.Token, src, now, draining)
+	}
+	if len(f.Route) == 0 {
+		// Final delivery hop: follow any validated migration so reverse
+		// traffic reaches the endpoint's current address even before the
+		// peer learns the new reply route.
+		n.repinLocked(next)
+	}
 	n.sinceSweep++
 	if n.sinceSweep >= sweepEvery {
 		n.sinceSweep = 0
@@ -152,9 +198,15 @@ func (n *Node) handle(pkt []byte, out *[]byte, f *transport.Frame, next *net.UDP
 	}
 	n.mu.Unlock()
 
+	n.packets.Add(1)
+	n.bytes.Add(int64(len(pkt)))
 	*out = f.Marshal((*out)[:0])
 	//vialint:ignore errwrap best-effort UDP forwarding: a failed send is equivalent to loss, which the media layer absorbs
 	_, _ = n.conn.WriteTo(*out, next)
+
+	if act.challenge || act.nudge {
+		n.sendMobility(f.Session, f.Token, src, act)
+	}
 }
 
 // newSessionLocked inserts a fresh session entry, evicting first at the
@@ -169,12 +221,23 @@ func (n *Node) newSessionLocked(id uint64, now time.Time) *sessionEntry {
 	return ss
 }
 
-// sweepIdleLocked drops sessions idle past the TTL. Caller holds n.mu.
+// sweepIdleLocked drops sessions, token bindings, and migration remaps
+// idle past the TTL. Caller holds n.mu.
 func (n *Node) sweepIdleLocked(now time.Time) {
 	for id, ss := range n.sessions {
 		if now.Sub(ss.lastSeen) > n.idleTTL {
 			delete(n.sessions, id)
 			n.evicted.Add(1)
+		}
+	}
+	for tok, te := range n.tokens {
+		if now.Sub(te.lastSeen) > n.idleTTL {
+			delete(n.tokens, tok)
+		}
+	}
+	for old, re := range n.remap {
+		if now.Sub(re.at) > n.idleTTL {
+			delete(n.remap, old)
 		}
 	}
 }
@@ -252,4 +315,18 @@ func (n *Node) RegisterMetrics(reg *obs.Registry) {
 		func() float64 { return float64(n.Evicted()) })
 	reg.GaugeFunc(obs.L("via_relay_active_sessions", "relay", id),
 		func() float64 { return float64(n.Sessions()) })
+	reg.CounterFunc(obs.L("via_session_migrations_total", "relay", id),
+		func() int64 { return n.migrations.Load() })
+	reg.CounterFunc(obs.L("via_path_validation_challenges_total", "relay", id),
+		func() int64 { return n.challenges.Load() })
+	reg.CounterFunc(obs.L("via_path_validation_successes_total", "relay", id),
+		func() int64 { return n.pathOK.Load() })
+	reg.CounterFunc(obs.L("via_path_validation_failures_total", "relay", id),
+		func() int64 { return n.pathFail.Load() })
+	reg.CounterFunc(obs.L("via_relay_keepalives_total", "relay", id),
+		func() int64 { return n.keepalives.Load() })
+	reg.CounterFunc(obs.L("via_relay_drain_nudges_total", "relay", id),
+		func() int64 { return n.drainNudges.Load() })
+	reg.CounterFunc(obs.L("via_relay_drain_rejected_total", "relay", id),
+		func() int64 { return n.drainRejected.Load() })
 }

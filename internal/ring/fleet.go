@@ -293,6 +293,26 @@ func (f *Fleet) ShardIDs() []int {
 	return ids
 }
 
+// ShardDecisions returns the choose count each live shard's gates have
+// passed through (primary plus standby, so a promoted incarnation's
+// serving time is included). Keys are shard IDs.
+func (f *Fleet) ShardDecisions() map[int]int64 {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make(map[int]int64, len(f.shards))
+	for id, sh := range f.shards {
+		var n int64
+		if sh.gatePrim != nil {
+			n += sh.gatePrim.Decisions()
+		}
+		if sh.gateStby != nil {
+			n += sh.gateStby.Decisions()
+		}
+		out[id] = n
+	}
+	return out
+}
+
 // ShardState captures a shard's strategy state bytes from its serving
 // incarnation, and the WAL directory + applied LSN that state is aligned
 // with — everything a replay-identity check needs.

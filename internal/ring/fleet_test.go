@@ -141,6 +141,89 @@ func TestEpochStaleClientRedirects(t *testing.T) {
 	}
 }
 
+// TestRedirectReachesPromotedReplica pins the nastiest stale-map corner:
+// a client holding the pre-growth map 307s toward a shard whose primary
+// is already dead and whose standby is still mid-promotion. The redirect
+// target refuses connections, the standby answers 503 until its
+// promotion lands — and the client's retry budget must carry the request
+// across that whole window to the promoted replica without losing it.
+func TestRedirectReachesPromotedReplica(t *testing.T) {
+	work := newSoakWorkload(SoakConfig{Pairs: 64, ZipfS: 1.1, Relays: 3})
+	fleet, err := NewFleet(FleetConfig{
+		Shards:      2,
+		WALRoot:     t.TempDir(),
+		NewStrategy: func() core.Strategy { return core.NewVia(soakViaConfig(13), nil) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fleet.Close()
+
+	client := fleet.NewClient() // snapshots the epoch-1 map
+	client.Retry = controller.RetryPolicy{
+		MaxAttempts: 12,
+		BaseDelay:   25 * time.Millisecond,
+		MaxDelay:    200 * time.Millisecond,
+		Timeout:     2 * time.Second,
+	}
+	if err := fleet.AddShard(); err != nil {
+		t.Fatal(err)
+	}
+	const grown = 2
+	m := fleet.Map()
+	moved := -1
+	for pair := 0; pair < 64; pair++ {
+		src, dst := work.groups(pair)
+		if m.OwnerShard(src, dst).ID == grown {
+			moved = pair
+			break
+		}
+	}
+	if moved < 0 {
+		t.Skip("no test pair moved to the new shard under this map (vnode layout)")
+	}
+
+	// Kill the new shard's primary now; promote its standby only after the
+	// client has had time to chase the 307 into the dead primary and eat
+	// the standby's pre-promotion 503s.
+	if err := fleet.KillShard(grown); err != nil {
+		t.Fatal(err)
+	}
+	promoted := make(chan error, 1)
+	go func() {
+		time.Sleep(150 * time.Millisecond)
+		promoted <- fleet.PromoteShardStandby(grown)
+	}()
+
+	src, dst := work.groups(moved)
+	opt, err := client.Choose(src, dst, work.opts[moved])
+	if err != nil {
+		t.Fatalf("choose across kill+promote window: %v", err)
+	}
+	if err := client.Report(src, dst, opt, work.measure(moved, opt)); err != nil {
+		t.Fatalf("report to promoted replica: %v", err)
+	}
+	if err := <-promoted; err != nil {
+		t.Fatalf("promote: %v", err)
+	}
+	if client.Redirects() == 0 {
+		t.Fatal("stale client never took a 307; the mid-promotion redirect path went unexercised")
+	}
+
+	// The decision must have been served by the promoted standby — the
+	// primary died before the request and never came back.
+	fleet.mu.Lock()
+	sh := fleet.shards[grown]
+	primN, stbyN := sh.gatePrim.Decisions(), sh.gateStby.Decisions()
+	fleet.mu.Unlock()
+	if primN != 0 {
+		t.Fatalf("dead primary served %d decisions", primN)
+	}
+	if stbyN == 0 {
+		t.Fatal("promoted standby served no decisions; the request landed somewhere else")
+	}
+}
+
 // TestRebalanceDuringInflightChoose grows the ring while workers hammer
 // it; zero request failures allowed, and the moved pairs' records must
 // land on the new shard.

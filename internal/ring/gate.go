@@ -36,9 +36,12 @@ type Gate struct {
 	inner   http.Handler
 	cur     atomic.Pointer[Map]
 
-	redirects *obs.Counter
-	installs  *obs.Counter
-	epochG    *obs.Gauge
+	decisions atomic.Int64
+
+	redirects  *obs.Counter
+	installs   *obs.Counter
+	mDecisions *obs.Counter
+	epochG     *obs.Gauge
 }
 
 // NewGate wraps a shard's handler with ownership enforcement under the
@@ -51,6 +54,7 @@ func NewGate(shardID int, inner http.Handler, m *Map, reg *obs.Registry) *Gate {
 		id := strconv.Itoa(shardID)
 		g.redirects = reg.Counter(obs.L("via_ring_redirects_total", "shard", id))
 		g.installs = reg.Counter(obs.L("via_ring_map_installs_total", "shard", id))
+		g.mDecisions = reg.Counter(obs.L("via_ring_decisions_total", "shard", id))
 		g.epochG = reg.Gauge(obs.L("via_ring_map_epoch", "shard", id))
 		g.epochG.Set(float64(m.MapEpoch))
 	}
@@ -59,6 +63,10 @@ func NewGate(shardID int, inner http.Handler, m *Map, reg *obs.Registry) *Gate {
 
 // Current returns the map the gate is enforcing.
 func (g *Gate) Current() *Map { return g.cur.Load() }
+
+// Decisions counts the choose requests this gate owned and passed through
+// to its shard — the per-shard denominator for decisions/s accounting.
+func (g *Gate) Decisions() int64 { return g.decisions.Load() }
 
 // Install adopts a newer-epoch map. Same or older epochs are rejected —
 // the install protocol is strictly monotone, so replayed or reordered
@@ -155,6 +163,12 @@ func (g *Gate) gatePair(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("X-Via-Ring-Epoch", strconv.FormatUint(m.MapEpoch, 10))
 		w.WriteHeader(http.StatusTemporaryRedirect)
 		return
+	}
+	if r.URL.Path == "/v1/choose" {
+		g.decisions.Add(1)
+		if g.mDecisions != nil {
+			g.mDecisions.Inc()
+		}
 	}
 	r.Body = io.NopCloser(bytes.NewReader(body))
 	r.ContentLength = int64(len(body))

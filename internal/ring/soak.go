@@ -72,6 +72,12 @@ type ShardReport struct {
 	// ReplayIdentical reports whether re-opening the shard's WAL from
 	// scratch reproduced the live strategy state byte-for-byte.
 	ReplayIdentical bool `json:"replay_identical"`
+	// Decisions is how many choose requests this shard's gates owned and
+	// served over the load window; DecisionsPerSec is that count over the
+	// window's wall time — the per-shard throughput CI trends, and the
+	// first place a hot or starved shard shows up.
+	Decisions       int64   `json:"decisions"`
+	DecisionsPerSec float64 `json:"decisions_per_sec"`
 }
 
 // SoakReport is the soak's machine-readable outcome (uploaded by CI).
@@ -307,7 +313,11 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 	// The workload window in virtual hours: the oracle below ramps its
 	// clock over this same span so both sides cross the same prediction
 	// epochs. Measured here, before teardown/replay inflate wall time.
-	workHours := time.Since(start).Seconds() * cfg.TimeScale
+	loadSec := time.Since(start).Seconds()
+	workHours := loadSec * cfg.TimeScale
+	// Per-shard throughput over the same window; captured now, while every
+	// gate (including killed shards' survivors) is still addressable.
+	shardDecisions := fleet.ShardDecisions()
 	sched.Stop()
 	rep.FaultErrors = len(sched.Errors())
 	for _, e := range sched.Errors() {
@@ -356,12 +366,16 @@ func RunSoak(cfg SoakConfig) (*SoakReport, error) {
 			return nil, fmt.Errorf("ring: replay shard %d: %w", c.id, err)
 		}
 		identical := string(replayed) == string(c.state)
+		decs := shardDecisions[c.id]
 		rep.ShardReports = append(rep.ShardReports, ShardReport{
 			ID:              c.id,
 			AppliedLSN:      c.lsn,
 			ReplayIdentical: identical,
+			Decisions:       decs,
+			DecisionsPerSec: float64(decs) / loadSec,
 		})
-		logf("soak: shard %d lsn=%d replay_identical=%v", c.id, c.lsn, identical)
+		logf("soak: shard %d lsn=%d replay_identical=%v decisions=%d (%.0f/s)",
+			c.id, c.lsn, identical, decs, float64(decs)/loadSec)
 	}
 
 	// Oracle: the same call distribution fed sequentially to one

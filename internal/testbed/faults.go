@@ -277,18 +277,22 @@ func (tb *Testbed) StartHeartbeats(every time.Duration) {
 			}
 			tb.mu.Lock()
 			type beat struct {
-				id   netsim.RelayID
-				addr string
+				id       netsim.RelayID
+				addr     string
+				draining bool
 			}
 			var beats []beat
 			for i, id := range tb.cfg.RelayIDs {
 				if !tb.deadRelays[id] {
-					beats = append(beats, beat{id, tb.relayAddrs[i]})
+					// Each beat carries the relay's live drain state, so a
+					// drain set mid-scenario is not clobbered by the next
+					// periodic re-registration.
+					beats = append(beats, beat{id, tb.relayAddrs[i], tb.Relays[i].Draining()})
 				}
 			}
 			tb.mu.Unlock()
 			for _, b := range beats {
-				_ = tb.adminCtrl.RegisterRelay(b.id, b.addr) //vialint:ignore errwrap heartbeat is periodic; a missed beat is retried next tick
+				_ = tb.adminCtrl.HeartbeatRelay(b.id, b.addr, b.draining) //vialint:ignore errwrap heartbeat is periodic; a missed beat is retried next tick
 			}
 		}
 	}()

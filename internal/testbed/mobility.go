@@ -1,0 +1,110 @@
+package testbed
+
+import (
+	"fmt"
+	"net"
+
+	"repro/internal/faults"
+	"repro/internal/netsim"
+	"repro/internal/wan"
+)
+
+// The Testbed also serves mobility faults: mid-call client rebinds and
+// relay maintenance drains (DESIGN.md §17).
+var _ faults.MobilityTarget = (*Testbed)(nil)
+
+// retiringConn is the transport handed to client agents: when the agent
+// closes it (Agent.Rebind discards the old conn this way), the shaper
+// retires gracefully — reads and new writes die at once, like a NAT
+// binding expiring, but datagrams already delayed in the emulated WAN
+// still deliver, because packets in flight do not vanish when an endpoint
+// moves. Relays keep the abrupt Close: a crashed process must release its
+// address immediately so revival can rebind it.
+type retiringConn struct {
+	*wan.Shaper
+}
+
+func (c retiringConn) Close() error { return c.Shaper.Retire() }
+
+// RebindClient swaps one client's transport for a fresh socket on a new
+// port, mid-flight — the testbed's NAT rebinding. The new shaper gets the
+// same world-model impairments as the old one (the path changed sockets,
+// not geography), and every other node learns the new address with the
+// impairment it had toward the old one. The old socket closes; in-flight
+// calls must survive on the mobility layer alone.
+func (tb *Testbed) RebindClient(as netsim.ASID) error {
+	tb.mu.Lock()
+	var c *ClientNode
+	for _, cn := range tb.Clients {
+		if cn.AS == as {
+			c = cn
+			break
+		}
+	}
+	if c == nil {
+		tb.mu.Unlock()
+		return fmt.Errorf("testbed: no client in AS %d", as)
+	}
+	pc, err := net.ListenPacket("udp", "127.0.0.1:0")
+	if err != nil {
+		tb.mu.Unlock()
+		return fmt.Errorf("testbed: rebind client %d: %w", as, err)
+	}
+	tb.rebindSeq++
+	sh := wan.Wrap(pc, tb.cfg.Seed^uint64(as)<<16^0xB1D<<40^tb.rebindSeq)
+	oldAddr := c.Agent.Addr().String()
+	newAddr := pc.LocalAddr().String()
+
+	// Outgoing links for the fresh shaper: same derivation as
+	// configureLinks, scoped to this one client.
+	const window = 0
+	w := tb.World
+	for i, rid := range tb.cfg.RelayIDs {
+		sh.SetLink(tb.relayAddrs[i], oneWay(w.AccessMetrics(as, rid, window)))
+	}
+	for _, other := range tb.Clients {
+		if other == c {
+			continue
+		}
+		sh.SetLink(other.Agent.Addr().String(), oneWay(w.WindowMean(as, other.AS, netsim.DirectOption(), window)))
+	}
+	// Inbound: relays and peers reach the new address under the old
+	// address's impairment. The old links are left in place — late packets
+	// to the dead socket just vanish, like a real NAT's expired binding.
+	for _, rsh := range tb.relayShapers {
+		rsh.SetLink(newAddr, rsh.Link(oldAddr))
+	}
+	for _, other := range tb.Clients {
+		if other == c {
+			continue
+		}
+		other.Shaper.SetLink(newAddr, other.Shaper.Link(oldAddr))
+	}
+	c.Shaper = sh
+	tb.mu.Unlock()
+	// Rebind swaps the conn and retires the old shaper (in-flight delayed
+	// packets still deliver); links are already in place for the first
+	// packet out of the new socket.
+	return c.Agent.Rebind(retiringConn{sh})
+}
+
+// SetRelayDraining toggles a relay's maintenance drain and advertises it
+// to the controller immediately — candidate enumeration must stop
+// offering a draining relay before the next heartbeat tick would.
+func (tb *Testbed) SetRelayDraining(id netsim.RelayID, draining bool) error {
+	tb.mu.Lock()
+	i, err := tb.relayIndexLocked(id)
+	if err != nil {
+		tb.mu.Unlock()
+		return err
+	}
+	if tb.deadRelays[id] {
+		tb.mu.Unlock()
+		return fmt.Errorf("testbed: relay %d is dead, cannot drain", id)
+	}
+	node := tb.Relays[i]
+	addr := tb.relayAddrs[i]
+	tb.mu.Unlock()
+	node.SetDraining(draining)
+	return tb.adminCtrl.HeartbeatRelay(id, addr, draining)
+}

@@ -126,6 +126,7 @@ type Testbed struct {
 	relayShapers []*wan.Shaper
 	relayAddrs   []string // stable across kill/revive (rebound in place)
 	deadRelays   map[netsim.RelayID]bool
+	rebindSeq    uint64 // guarded by mu — RebindClient shaper seed uniquifier
 
 	hbStop chan struct{}
 	hbOnce sync.Once
@@ -273,7 +274,7 @@ func Start(cfg Config) (*Testbed, error) {
 			return nil, err
 		}
 		sh := wan.Wrap(pc, cfg.Seed^uint64(as)<<16^uint64(i))
-		ag := client.New(int32(as), sh, cfg.Seed+uint64(i)*7919)
+		ag := client.New(int32(as), retiringConn{sh}, cfg.Seed+uint64(i)*7919)
 		ag.RegisterMetrics(reg, strconv.Itoa(int(as)))
 		tb.Clients = append(tb.Clients, &ClientNode{AS: as, Agent: ag, Shaper: sh})
 	}
@@ -356,10 +357,11 @@ func (tb *Testbed) wanTotal(read func(*wan.Shaper) int64) float64 {
 	for _, sh := range tb.relayShapers {
 		sum += read(sh)
 	}
-	tb.mu.Unlock()
+	// Client shapers are swapped in place by RebindClient (under mu).
 	for _, c := range tb.Clients {
 		sum += read(c.Shaper)
 	}
+	tb.mu.Unlock()
 	return float64(sum)
 }
 

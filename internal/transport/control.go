@@ -15,9 +15,13 @@ import (
 //	GET  /v1/health          — HealthResponse
 
 // RegisterRelayRequest announces a relay's media address to the controller.
+// Heartbeats re-send it periodically; Draining marks a relay in
+// maintenance drain, which the controller excludes from candidate
+// enumeration while existing calls migrate off it (DESIGN.md §17).
 type RegisterRelayRequest struct {
-	RelayID netsim.RelayID `json:"relay_id"`
-	Addr    string         `json:"addr"` // host:port of the relay's UDP socket
+	RelayID  netsim.RelayID `json:"relay_id"`
+	Addr     string         `json:"addr"` // host:port of the relay's UDP socket
+	Draining bool           `json:"draining,omitempty"`
 }
 
 // RegisterRelayResponse acknowledges registration.

@@ -29,6 +29,26 @@ const frameMagic = 0x5641 // "VA"
 // one produce byte-identical traffic for unrepaired calls.
 const frameMagicV2 = 0x5642 // "VB"
 
+// frameMagicV3 marks wire v3, which inserts the repair byte (as in v2)
+// plus a TokenLen-byte opaque session token after it. The token lets
+// relays identify a session independently of its source address, which
+// is what makes mid-call NAT rebinding survivable (DESIGN.md §17).
+// Marshal emits v3 only when the token is nonzero, so peers that never
+// negotiate a token keep producing v1/v2 traffic byte-identically.
+const frameMagicV3 = 0x5643 // "VC"
+
+// TokenLen is the size of the opaque per-call session token carried by
+// wire v3 frames. 128 bits: unguessable by an off-path attacker, cheap
+// to compare.
+const TokenLen = 16
+
+// Token is the opaque per-call session token. The zero value means "no
+// token" and keeps the frame on wire v1/v2.
+type Token [TokenLen]byte
+
+// IsZero reports whether the token is unset.
+func (t Token) IsZero() bool { return t == Token{} }
+
 // MaxHops bounds the route length (direct=0, bounce=1, transit=2).
 const MaxHops = 4
 
@@ -46,6 +66,10 @@ type Frame struct {
 	// means plain forwarding; nonzero values ride the v2 header. Relays
 	// forward it opaquely.
 	Repair uint8
+	// Token is the opaque mobility token (wire v3). Zero means the call
+	// did not negotiate one; relays then fall back to address-pinned
+	// behavior and Marshal stays on v1/v2.
+	Token Token
 	// Route holds the remaining forwarding targets. The packet's next stop
 	// is Route[0]; a relay pops it and sends the rest onward. Empty means
 	// the packet is at its final destination.
@@ -66,6 +90,14 @@ const (
 	KindReport = 2 // receiver report
 	KindNack   = 3 // rtp.NACKRequest: retransmit plea, receiver → sender
 	KindFEC    = 4 // rtp.FECPacket: XOR parity over a media group
+
+	// Mobility kinds (DESIGN.md §17). These travel with an empty forward
+	// route when addressed to the relay itself: the relay consumes them
+	// instead of forwarding.
+	KindKeepalive     = 5 // empty payload; refreshes the relay's idle TTL
+	KindPathChallenge = 6 // PathChallenge: relay → new source address
+	KindPathResponse  = 7 // PathChallenge echoed: client → relay
+	KindDrain         = 8 // relay → endpoints: migrate off this relay
 )
 
 // netip is a compact IPv4 address + port.
@@ -169,22 +201,34 @@ func (f *Frame) ReplyAddrs() []*net.UDPAddr {
 // Marshal appends the frame's wire form to dst.
 // Layout v1: magic(2) session(8) kind(1) nRoute(1) route(6·n) nReply(1)
 // reply(6·n) payload. Layout v2 inserts repair(1) after kind(1) and is
-// emitted only when Repair is nonzero.
+// emitted only when Repair is nonzero. Layout v3 inserts repair(1) and
+// token(16) after kind(1) and is emitted only when Token is nonzero, so
+// token-less calls stay byte-identical to a v2-era build.
 func (f *Frame) Marshal(dst []byte) []byte {
-	var h [13]byte
-	n := 12
-	if f.Repair != 0 {
+	var h [13 + TokenLen]byte
+	var n int
+	switch {
+	case !f.Token.IsZero():
+		binary.BigEndian.PutUint16(h[0:2], frameMagicV3)
+		binary.BigEndian.PutUint64(h[2:10], f.Session)
+		h[10] = f.Kind
+		h[11] = f.Repair
+		copy(h[12:12+TokenLen], f.Token[:])
+		h[12+TokenLen] = byte(len(f.Route))
+		n = 13 + TokenLen
+	case f.Repair != 0:
 		binary.BigEndian.PutUint16(h[0:2], frameMagicV2)
 		binary.BigEndian.PutUint64(h[2:10], f.Session)
 		h[10] = f.Kind
 		h[11] = f.Repair
 		h[12] = byte(len(f.Route))
 		n = 13
-	} else {
+	default:
 		binary.BigEndian.PutUint16(h[0:2], frameMagic)
 		binary.BigEndian.PutUint64(h[2:10], f.Session)
 		h[10] = f.Kind
 		h[11] = byte(len(f.Route))
+		n = 12
 	}
 	dst = append(dst, h[:n]...)
 	for _, hop := range f.Route {
@@ -212,9 +256,18 @@ func (f *Frame) Unmarshal(buf []byte) error {
 	switch binary.BigEndian.Uint16(buf[0:2]) {
 	case frameMagic:
 		f.Repair = 0
+		f.Token = Token{}
 	case frameMagicV2:
 		f.Repair = buf[11]
+		f.Token = Token{}
 		off = 12
+	case frameMagicV3:
+		if len(buf) < 12+TokenLen {
+			return ErrFrame
+		}
+		f.Repair = buf[11]
+		copy(f.Token[:], buf[12:12+TokenLen])
+		off = 12 + TokenLen
 	default:
 		return ErrFrame
 	}

@@ -1,0 +1,139 @@
+package transport
+
+import (
+	"bytes"
+	"testing"
+)
+
+func testToken(b byte) Token {
+	var t Token
+	for i := range t {
+		t[i] = b + byte(i)
+	}
+	return t
+}
+
+func TestFrameV3RoundTrip(t *testing.T) {
+	f := Frame{Session: 42, Kind: KindMedia, Repair: 0x21, Token: testToken(0x40), Payload: []byte("media")}
+	if err := f.SetRoute(v2Addrs(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetReply(v2Addrs(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	wire := f.Marshal(nil)
+	if wire[0] != 0x56 || wire[1] != 0x43 {
+		t.Fatalf("magic = %x %x, want v3", wire[0], wire[1])
+	}
+	var g Frame
+	if err := g.Unmarshal(wire); err != nil {
+		t.Fatal(err)
+	}
+	if g.Session != f.Session || g.Kind != f.Kind || g.Repair != f.Repair ||
+		g.Token != f.Token || len(g.Route) != 2 || len(g.Reply) != 1 ||
+		string(g.Payload) != "media" {
+		t.Errorf("round trip mismatch: %+v", g)
+	}
+}
+
+func TestFrameV3RepairZeroStillV3(t *testing.T) {
+	// A token without a repair scheme must still ride v3 (the repair byte
+	// is carried as zero), not silently drop the token to stay on v1.
+	f := Frame{Session: 3, Kind: KindKeepalive, Token: testToken(1)}
+	wire := f.Marshal(nil)
+	if wire[0] != 0x56 || wire[1] != 0x43 {
+		t.Fatalf("magic = %x %x, want v3", wire[0], wire[1])
+	}
+	var g Frame
+	if err := g.Unmarshal(wire); err != nil {
+		t.Fatal(err)
+	}
+	if g.Repair != 0 || g.Token != f.Token {
+		t.Errorf("decode: repair %d token %x", g.Repair, g.Token)
+	}
+}
+
+func TestFrameWireUnchangedWhenNoToken(t *testing.T) {
+	// Token-less frames must stay byte-identical to what a v2-era build
+	// emits — both the v1 (no repair) and v2 (repair) shapes — so legacy
+	// peers that never negotiate a token interoperate unchanged.
+	for _, repair := range []uint8{0, 0x84} {
+		f := Frame{Session: 7, Kind: KindMedia, Repair: repair, Payload: []byte("x")}
+		if err := f.SetRoute(v2Addrs(t, 1)); err != nil {
+			t.Fatal(err)
+		}
+		wire := f.Marshal(nil)
+		wantMagic := byte(0x41)
+		if repair != 0 {
+			wantMagic = 0x42
+		}
+		if wire[0] != 0x56 || wire[1] != wantMagic {
+			t.Fatalf("repair %d: magic = %x %x", repair, wire[0], wire[1])
+		}
+		var g Frame
+		if err := g.Unmarshal(wire); err != nil {
+			t.Fatal(err)
+		}
+		if !g.Token.IsZero() {
+			t.Errorf("repair %d: decode invented token %x", repair, g.Token)
+		}
+	}
+}
+
+func TestFrameV3Truncated(t *testing.T) {
+	f := Frame{Session: 1, Kind: KindMedia, Token: testToken(9), Payload: []byte("pay")}
+	if err := f.SetRoute(v2Addrs(t, 1)); err != nil {
+		t.Fatal(err)
+	}
+	wire := f.Marshal(nil)
+	// Header is 13+TokenLen bytes plus one route hop plus the reply count:
+	// every strict prefix shorter than the full fixed part must be rejected.
+	for n := 0; n < 13+TokenLen+netipLen+1; n++ {
+		var g Frame
+		if err := g.Unmarshal(wire[:n]); err == nil {
+			t.Errorf("truncated at %d decoded", n)
+		}
+	}
+}
+
+func TestFrameV3UnmarshalNoAlloc(t *testing.T) {
+	f := Frame{Session: 9, Kind: KindMedia, Repair: 2, Token: testToken(3), Payload: make([]byte, 160)}
+	if err := f.SetRoute(v2Addrs(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.SetReply(v2Addrs(t, 2)); err != nil {
+		t.Fatal(err)
+	}
+	wire := f.Marshal(nil)
+	var g Frame
+	allocs := testing.AllocsPerRun(200, func() {
+		if err := g.Unmarshal(wire); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Errorf("v3 Unmarshal allocates %v per frame", allocs)
+	}
+}
+
+func TestPathChallengeRoundTrip(t *testing.T) {
+	c := PathChallenge{Nonce: 0xdeadbeefcafef00d, Token: testToken(0x10)}
+	wire := c.Marshal(nil)
+	if len(wire) != PathChallengeLen {
+		t.Fatalf("wire len %d, want %d", len(wire), PathChallengeLen)
+	}
+	var d PathChallenge
+	if err := d.Unmarshal(wire); err != nil {
+		t.Fatal(err)
+	}
+	if d != c {
+		t.Errorf("round trip mismatch: %+v vs %+v", d, c)
+	}
+	// Fixed-size payload: both truncation and trailing bytes are malformed.
+	if err := d.Unmarshal(wire[:len(wire)-1]); err != ErrPathChallenge {
+		t.Errorf("short payload: err = %v", err)
+	}
+	if err := d.Unmarshal(append(bytes.Clone(wire), 0)); err != ErrPathChallenge {
+		t.Errorf("long payload: err = %v", err)
+	}
+}

@@ -1,0 +1,58 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+)
+
+// Path validation (DESIGN.md §17). When a relay sees a known session
+// token arrive from a new source address it must not re-pin the return
+// path on that evidence alone — an off-path attacker who guessed or
+// observed the token could hijack the reverse stream. Instead the relay
+// sends a PathChallenge to the *new* address and re-pins only after the
+// owner echoes it back as a KindPathResponse. This mirrors QUIC's
+// PATH_CHALLENGE/PATH_RESPONSE (RFC 9000 §8.2): the response proves the
+// peer both receives at the new address and holds the session token.
+//
+// Amplification bound: a challenge is a fixed PathChallengeLen-byte
+// payload in a route-less frame — smaller than any media frame that can
+// trigger it — and relays cap outstanding challenges per session, so an
+// attacker spraying spoofed sources cannot use the relay as an
+// amplifier.
+
+// PathChallengeLen is the fixed wire size of a PathChallenge payload.
+const PathChallengeLen = 8 + TokenLen
+
+// ErrPathChallenge reports a malformed path-challenge payload.
+var ErrPathChallenge = errors.New("transport: malformed path challenge")
+
+// PathChallenge is the payload of KindPathChallenge and KindPathResponse
+// frames (the frame kind discriminates direction). The responder echoes
+// the payload byte-for-byte.
+type PathChallenge struct {
+	// Nonce is unpredictable per challenge; the relay accepts a response
+	// only while the (token, nonce, address) triple is outstanding.
+	Nonce uint64
+	// Token binds the exchange to one session, so a response captured
+	// from one call cannot validate an address for another.
+	Token Token
+}
+
+// Marshal appends the challenge's wire form to dst:
+// nonce(8) token(16), both fixed-width.
+func (c *PathChallenge) Marshal(dst []byte) []byte {
+	dst = binary.BigEndian.AppendUint64(dst, c.Nonce)
+	return append(dst, c.Token[:]...)
+}
+
+// Unmarshal decodes a challenge payload. Trailing bytes are rejected:
+// the payload is fixed-size, and tolerating padding would let a future
+// extension silently change meaning under old parsers.
+func (c *PathChallenge) Unmarshal(buf []byte) error {
+	if len(buf) != PathChallengeLen {
+		return ErrPathChallenge
+	}
+	c.Nonce = binary.BigEndian.Uint64(buf[0:8])
+	copy(c.Token[:], buf[8:8+TokenLen])
+	return nil
+}

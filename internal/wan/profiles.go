@@ -1,0 +1,28 @@
+package wan
+
+// Named link profiles: canned LinkParams for recurring scenario shapes,
+// so experiments and chaos tests describe links by intent rather than by
+// raw numbers.
+
+// ProfileTorLike models a hop through a high-latency anonymity overlay —
+// the kind of backup path a privacy-conscious deployment might hold in
+// reserve: usable for a call, but with multi-hundred-millisecond one-way
+// delay, heavy jitter from circuit multiplexing, and mild queue-drop
+// loss. Churn experiments use it as the pessimal fallback relay: even
+// against a path this bad, migrating a live call in place should beat
+// dropping and re-dialing it.
+func ProfileTorLike() LinkParams {
+	return LinkParams{DelayMs: 280, JitterMs: 70, LossRate: 0.015}
+}
+
+// ProfileIntercontinental models a clean long-haul path: high propagation
+// delay, little else wrong with it.
+func ProfileIntercontinental() LinkParams {
+	return LinkParams{DelayMs: 90, JitterMs: 6, LossRate: 0.002}
+}
+
+// ProfileCongestedAccess models a loaded last-mile link: moderate delay,
+// bufferbloat jitter, and bursty loss.
+func ProfileCongestedAccess() LinkParams {
+	return LinkParams{DelayMs: 25, JitterMs: 18, LossRate: 0.01, BurstLossRate: 0.02, MeanBurstLen: 4}
+}

@@ -74,6 +74,7 @@ type Shaper struct {
 	bursts    map[string]*geState   // guarded by mu
 	rng       *stats.RNG            // guarded by mu
 	closed    bool                  // guarded by mu
+	retired   bool                  // guarded by mu
 	pending   sync.WaitGroup
 
 	faultDrops atomic.Int64
@@ -159,7 +160,7 @@ func (s *Shaper) Link(dst string) LinkParams {
 // success — the network ate them, not the caller.
 func (s *Shaper) WriteTo(b []byte, addr net.Addr) (int, error) {
 	s.mu.Lock()
-	if s.closed {
+	if s.closed || s.retired {
 		s.mu.Unlock()
 		return 0, net.ErrClosed
 	}
@@ -203,10 +204,17 @@ func (s *Shaper) WriteTo(b []byte, addr net.Addr) (int, error) {
 	if delay <= 0 {
 		return s.conn.WriteTo(b, addr)
 	}
-	// Deliver later; the caller's buffer may be reused, so copy.
+	// Deliver later; the caller's buffer — and its addr, which hot paths
+	// like the relay reuse across sends — may be rewritten before the
+	// timer fires, so snapshot both.
 	s.delayed.Add(1)
 	buf := make([]byte, len(b))
 	copy(buf, b)
+	if u, ok := addr.(*net.UDPAddr); ok {
+		cp := *u
+		cp.IP = append(net.IP(nil), u.IP...)
+		addr = &cp
+	}
 	s.pending.Add(1)
 	time.AfterFunc(delay, func() {
 		defer s.pending.Done()
@@ -221,9 +229,50 @@ func (s *Shaper) WriteTo(b []byte, addr net.Addr) (int, error) {
 	return len(b), nil
 }
 
-// ReadFrom passes through to the underlying conn.
+// ReadFrom passes through to the underlying conn. On a retired shaper it
+// reports net.ErrClosed as soon as the underlying read unblocks, so a
+// reader loop terminates cleanly even though the socket itself lingers
+// until the delayed-delivery queue drains.
 func (s *Shaper) ReadFrom(b []byte) (int, net.Addr, error) {
-	return s.conn.ReadFrom(b)
+	n, addr, err := s.conn.ReadFrom(b)
+	if err != nil {
+		s.mu.Lock()
+		retired := s.retired
+		s.mu.Unlock()
+		if retired {
+			return 0, nil, net.ErrClosed
+		}
+	}
+	return n, addr, err
+}
+
+// Retire begins the graceful teardown a NAT rebind calls for: new reads
+// and writes fail immediately (the old binding is gone for the endpoint),
+// but datagrams already delayed in flight still deliver — packets in the
+// network do not vanish when an endpoint moves. The socket closes in the
+// background once they drain. Use Close for abrupt teardown (a crash),
+// which must also release the address at once.
+func (s *Shaper) Retire() error {
+	s.mu.Lock()
+	if s.closed || s.retired {
+		s.mu.Unlock()
+		return nil
+	}
+	s.retired = true
+	s.mu.Unlock()
+	// Unblock any reader now; ReadFrom converts the timeout to ErrClosed.
+	err := s.conn.SetReadDeadline(time.Now())
+	go func() {
+		s.pending.Wait()
+		s.mu.Lock()
+		closed := s.closed
+		s.closed = true
+		s.mu.Unlock()
+		if !closed {
+			s.conn.Close() //vialint:ignore errwrap background teardown of a retired socket; nothing is listening for the result
+		}
+	}()
+	return err
 }
 
 // Close marks the shaper closed, waits for in-flight delayed packets to
